@@ -1,0 +1,227 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* **A1 — queue capacity** (§3.6): sweep the broadcast-queue capacity and
+  measure cgsim throughput and context-switch counts.  Small queues
+  force scheduler round-trips per element; beyond a modest capacity the
+  fast path absorbs almost all transfers.
+* **A2 — cooperative vs thread-per-kernel scaling** (§5.2 discussion):
+  the paper predicts cgsim's single-threaded design loses when a graph
+  has many compute-heavy kernels with little communication.  Sweep the
+  kernel count of a numpy-heavy chain and compare the two simulators.
+* **A3 — adapter-thunk overhead sensitivity**: sweep the calibrated
+  thunk costs and verify the Table 1 relative throughput responds
+  monotonically (the calibration is not a knife-edge).
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.aiesim import CycleModel, ExtractionOverheadModel, simulate_graph
+from repro.apps import bitonic, datasets
+from repro.core import (
+    AIE,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    Window,
+    compute_kernel,
+    float32,
+    make_compute_graph,
+)
+from repro.x86sim import run_threaded
+
+from conftest import record_row
+
+# ---------------------------------------------------------------------------
+# A1: queue capacity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("capacity", [1, 4, 16, 64, 256])
+def test_a1_queue_capacity(benchmark, capacity, results_dir):
+    blocks = datasets.bitonic_blocks(128)
+    flat = blocks.reshape(-1)
+
+    def run():
+        out = []
+        return bitonic.BITONIC_GRAPH(flat, out, capacity=capacity)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = benchmark.stats.stats.mean
+    benchmark.extra_info.update({
+        "capacity": capacity,
+        "context_switches": report.context_switches,
+    })
+    record_row(
+        "Ablation A1: queue capacity vs cgsim throughput (bitonic, "
+        "128 blocks)",
+        f"capacity={capacity:<5} time={t:.4f}s "
+        f"switches={report.context_switches}",
+    )
+    path = results_dir / "ablation_a1.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[str(capacity)] = {"time_s": t,
+                           "switches": report.context_switches}
+    path.write_text(json.dumps(data, indent=2))
+
+    if capacity >= 64:
+        # Fast path dominant: a handful of switches per block at most.
+        assert report.context_switches < 128 * 40
+
+
+def test_a1_capacity_monotone_switches(results_dir):
+    """More capacity never increases context switches (sanity on A1)."""
+    flat = datasets.bitonic_blocks(64).reshape(-1)
+    switches = []
+    for cap in (1, 8, 64):
+        out = []
+        rep = bitonic.BITONIC_GRAPH(flat, out, capacity=cap)
+        switches.append(rep.context_switches)
+    assert switches[0] >= switches[1] >= switches[2]
+
+
+# ---------------------------------------------------------------------------
+# A2: cooperative vs thread-per-kernel vs kernel count
+# ---------------------------------------------------------------------------
+
+WIN = Window(float32, 4096)
+
+
+@compute_kernel(realm=AIE)
+async def heavy_stage(x: In[WIN], y: Out[WIN]):
+    """A compute-heavy window kernel (numpy FFT round trip per block)."""
+    while True:
+        blk = np.asarray(await x.get(), dtype=np.float32)
+        spec = np.fft.rfft(blk)
+        for _ in range(4):
+            spec = spec * np.conj(spec) / (np.abs(spec) + 1.0)
+        await y.put(np.fft.irfft(spec, n=blk.shape[0]).astype(np.float32))
+
+
+def _chain_graph(n_kernels: int):
+    @make_compute_graph(name=f"chain{n_kernels}")
+    def g(x: IoC[WIN]):
+        cur = x
+        for _ in range(n_kernels):
+            nxt = IoConnector(WIN)
+            heavy_stage(cur, nxt)
+            cur = nxt
+        return cur
+
+    return g
+
+
+@pytest.mark.parametrize("n_kernels", [1, 2, 4])
+def test_a2_scaling(benchmark, n_kernels, results_dir):
+    g = _chain_graph(n_kernels)
+    data = np.random.default_rng(0).standard_normal(
+        (8, 4096)).astype(np.float32)
+
+    def cg():
+        out = []
+        g(data, out)
+        return out
+
+    benchmark.pedantic(cg, rounds=1, iterations=1)
+    t_cg = benchmark.stats.stats.mean
+
+    t0 = perf_counter()
+    out = []
+    run_threaded(g, data, out)
+    t_x86 = perf_counter() - t0
+
+    benchmark.extra_info.update({"n_kernels": n_kernels,
+                                 "cgsim_s": t_cg, "x86sim_s": t_x86})
+    record_row(
+        "Ablation A2: cooperative vs thread-per-kernel scaling "
+        "(compute-heavy chain)",
+        f"kernels={n_kernels:<3} cgsim={t_cg:.3f}s x86sim={t_x86:.3f}s "
+        f"speedup(x86/cg)={t_cg / t_x86:.2f}x",
+    )
+    path = results_dir / "ablation_a2.json"
+    rows = json.loads(path.read_text()) if path.exists() else {}
+    rows[str(n_kernels)] = {"cgsim_s": t_cg, "x86sim_s": t_x86}
+    path.write_text(json.dumps(rows, indent=2))
+
+
+# ---------------------------------------------------------------------------
+# A3: thunk overhead sensitivity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("extra_scl", [1, 2, 4])
+def test_a3_thunk_stream_cost(benchmark, extra_scl, results_dir):
+    model = CycleModel(overheads=ExtractionOverheadModel(
+        stream_access_scl_thunk=extra_scl
+    ))
+
+    def run():
+        hand = simulate_graph(bitonic.BITONIC_GRAPH, "hand", n_blocks=6,
+                              model=CycleModel())
+        thunk = simulate_graph(bitonic.BITONIC_GRAPH, "thunk", n_blocks=6,
+                               model=model)
+        return hand.block_interval_ns / thunk.block_interval_ns
+
+    rel = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"extra_scl": extra_scl, "rel": rel})
+    record_row(
+        "Ablation A3: thunk stream-access cost vs relative throughput "
+        "(bitonic)",
+        f"thunk access cycles={extra_scl}: rel throughput={100 * rel:.2f}%",
+    )
+    path = results_dir / "ablation_a3.json"
+    rows = json.loads(path.read_text()) if path.exists() else {}
+    rows[str(extra_scl)] = {"rel_percent": 100 * rel}
+    path.write_text(json.dumps(rows, indent=2))
+    assert 0.5 < rel <= 1.05
+
+
+def test_a3_monotone(results_dir):
+    """Higher per-access thunk cost strictly lowers relative throughput."""
+    rels = []
+    for extra in (1, 3, 6):
+        model = CycleModel(overheads=ExtractionOverheadModel(
+            stream_access_scl_thunk=extra
+        ))
+        hand = simulate_graph(bitonic.BITONIC_GRAPH, "hand", n_blocks=4)
+        thunk = simulate_graph(bitonic.BITONIC_GRAPH, "thunk", n_blocks=4,
+                               model=model)
+        rels.append(hand.block_interval_ns / thunk.block_interval_ns)
+    assert rels[0] > rels[1] > rels[2]
+
+
+# ---------------------------------------------------------------------------
+# A4: device clock scaling
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("ghz", [1.0, 1.25, 1.33])
+def test_a4_clock_scaling(benchmark, ghz, results_dir):
+    """Table 1 ns values scale inversely with the AIE clock; the cycle
+    counts themselves are clock-invariant (sanity of the device model)."""
+    from repro.aiesim.device import DeviceDescriptor
+
+    dev = DeviceDescriptor(name=f"vc_{ghz}", columns=50, rows=8,
+                           aie_clock_hz=ghz * 1e9)
+
+    def run():
+        return simulate_graph(bitonic.BITONIC_GRAPH, "hand", n_blocks=4,
+                              device=dev)
+
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_row(
+        "Ablation A4: AIE clock vs per-block time (bitonic, hand)",
+        f"{ghz:.2f} GHz: {rep.block_interval_ns:8.1f} ns/block "
+        f"({rep.block_interval_cycles:.0f} cycles)",
+    )
+    baseline = simulate_graph(bitonic.BITONIC_GRAPH, "hand", n_blocks=4)
+    assert rep.block_interval_cycles == baseline.block_interval_cycles
+    assert rep.block_interval_ns == pytest.approx(
+        rep.block_interval_cycles / ghz
+    )

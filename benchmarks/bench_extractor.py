@@ -1,0 +1,73 @@
+"""Extractor pipeline cost: how long does the §4 tool flow take?
+
+Not a paper table, but the framework's usability depends on the
+extractor being interactive-speed (the paper's pitch is fast design
+iteration).  Measures the stages separately: ingestion + constexpr
+evaluation, partitioning, kernel extraction + co-extraction, and full
+project generation for each example app.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extractor import (
+    extract_kernel,
+    extract_project,
+    ingest_module,
+    partition_graph,
+)
+
+from conftest import record_row
+
+TABLE = "Extractor pipeline timings"
+
+APPS = ["repro.apps.bitonic", "repro.apps.farrow", "repro.apps.iir",
+        "repro.apps.bilinear"]
+
+
+@pytest.mark.parametrize("module", APPS)
+def test_full_extraction(benchmark, module):
+    result = benchmark.pedantic(
+        lambda: extract_project(module), rounds=3, iterations=1
+    )
+    t = benchmark.stats.stats.mean
+    proj = result.projects[0]
+    n_files = sum(len(f) for f in proj.realm_files.values())
+    record_row(
+        TABLE,
+        f"{module.split('.')[-1]:<10} full extraction: {t * 1e3:7.1f} ms "
+        f"({n_files} files)",
+    )
+    assert t < 5.0, "extraction must stay interactive"
+
+
+def test_stage_breakdown(benchmark):
+    def stages():
+        ing = ingest_module("repro.apps.farrow")
+        marked = ing.graphs[0]
+        part = partition_graph(marked.graph)
+        exts = [extract_kernel(k) for k in marked.kernels()]
+        return ing, part, exts
+
+    ing, part, exts = benchmark.pedantic(stages, rounds=3, iterations=1)
+    assert len(exts) == 2
+    record_row(
+        TABLE,
+        f"farrow stage pipeline (ingest+partition+extract): "
+        f"{benchmark.stats.stats.mean * 1e3:.1f} ms",
+    )
+
+
+def test_serialization_throughput(benchmark):
+    """Flatten/JSON round-trip throughput on the biggest app graph."""
+    from repro.apps import farrow
+    from repro.core import SerializedGraph
+
+    sg = farrow.FARROW_GRAPH.serialized
+
+    def roundtrip():
+        return SerializedGraph.from_json(sg.to_json())
+
+    again = benchmark(roundtrip)
+    assert again == sg

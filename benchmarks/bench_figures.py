@@ -1,0 +1,173 @@
+"""Figure regeneration: the paper's structural figures from live objects.
+
+* **Figure 4** — graph definition vs resulting in-memory graph: the
+  exact example is built with the public API, its topology is verified
+  against the paper's drawing, and the DOT rendering is emitted.
+* **Figures 1/2/5/6** — architecture and workflow diagrams: regenerated
+  as DOT/text renderings driven by the real pipeline objects (graph
+  construction artefacts, extraction flow stages, evaluation flow).
+  These carry no measured data in the paper; the reproduction verifies
+  that each depicted stage exists and connects as drawn.
+"""
+
+# NOTE: no `from __future__ import annotations` here — kernel port
+# annotations must stay live objects for signature introspection when
+# kernels are defined inside functions (their imports are local).
+
+import pytest
+
+from repro.core import AIE, In, IoC, IoConnector, Out, compute_kernel, int32, make_compute_graph
+from repro.extractor import extract_project, partition_graph
+from repro.extractor.codegen.dot import graph_to_dot
+
+from conftest import record_row
+
+
+def build_figure4():
+    """The verbatim Figure 4 construction (int connectors, kernel k)."""
+
+    @compute_kernel(realm=AIE, name="k")
+    async def k(inp: In[int32], out: Out[int32]):
+        while True:
+            await out.put(await inp.get())
+
+    @make_compute_graph(name="figure4")
+    def the_graph(a: IoC[int32]):
+        # Internal connections
+        b = IoConnector(int32, name="b")
+        c = IoConnector(int32, name="c")
+        # Kernels
+        k(a, b)
+        k(b, c)
+        # External graph outputs
+        return c
+
+    return the_graph
+
+
+def test_figure4(benchmark, results_dir):
+    graph = benchmark.pedantic(build_figure4, rounds=1, iterations=1)
+    g = graph.graph
+
+    # The resulting in-memory graph of Figure 4(b): two kernel
+    # instances k[0], k[1]; input a feeds k[0]; b connects k[0]->k[1];
+    # c is the global output of k[1].
+    assert [i.instance_name for i in g.kernels] == ["k_0", "k_1"]
+    assert g.stats() == {"kernels": 2, "nets": 3, "inputs": 1,
+                         "outputs": 1, "broadcasts": 0, "merges": 0,
+                         "realms": 1}
+    b_net = next(n for n in g.nets if n.name == "b")
+    assert b_net.producers[0].instance_idx == 0
+    assert b_net.consumers[0].instance_idx == 1
+
+    dot = graph_to_dot(g, title="Figure 4: compute graph definition")
+    (results_dir / "figure4.dot").write_text(dot)
+    record_row(
+        "Figures",
+        f"figure4.dot regenerated: {len(dot.splitlines())} DOT lines, "
+        f"topology verified (2 kernels, chain a->k0->b->k1->c)",
+    )
+
+
+def test_figure1_compile_time_flow(benchmark, results_dir):
+    """Figure 1: kernels + connectivity lambda -> post-processing ->
+    flattened constexpr graph.  Verified by walking the real artefacts
+    each stage produces."""
+
+    def flow():
+        graph = build_figure4()
+        stages = [
+            ("COMPUTE_KERNEL definitions",
+             [i.kernel.name for i in graph.graph.kernels]),
+            ("graph definition lambda", graph.qualname),
+            ("compile-time postprocessing + flattening",
+             f"{len(graph.serialized.net_table)} nets, "
+             f"{len(graph.serialized.kernel_table)} kernel rows"),
+            ("constexpr variable (SerializedGraph)",
+             f"format v{graph.serialized.format_version}"),
+        ]
+        return stages
+
+    stages = benchmark.pedantic(flow, rounds=1, iterations=1)
+    text = "Figure 1 (compile-time graph construction):\n" + "\n".join(
+        f"  [{i}] {name}: {detail}" for i, (name, detail) in
+        enumerate(stages)
+    )
+    (results_dir / "figure1.txt").write_text(text + "\n")
+    assert len(stages) == 4
+    record_row("Figures", "figure1.txt regenerated: 4 pipeline stages")
+
+
+def test_figure2_and_6_workflow(benchmark, results_dir):
+    """Figures 2 and 6: prototyping + evaluation workflow — simulate on
+    the workstation (left) or extract deployable graphs (right), then
+    compare against the hand implementation on the AIE simulator."""
+
+    def flow():
+        import numpy as np
+
+        from repro.aiesim import simulate_graph
+        from repro.apps import bitonic, datasets
+
+        # left branch: workstation simulation
+        blocks = datasets.bitonic_blocks(2)
+        out = []
+        run_report = bitonic.BITONIC_GRAPH(blocks.reshape(-1), out)
+        # right branch: extraction to a deployable project
+        extraction = extract_project("repro.apps.bitonic")
+        # evaluation extension (Figure 6): both variants on aiesim
+        hand = simulate_graph(bitonic.BITONIC_GRAPH, "hand", n_blocks=3)
+        thunk = simulate_graph(bitonic.BITONIC_GRAPH, "thunk", n_blocks=3)
+        return run_report, extraction, hand, thunk
+
+    run_report, extraction, hand, thunk = benchmark.pedantic(
+        flow, rounds=1, iterations=1
+    )
+    assert run_report.completed
+    assert extraction.projects[0].realm_files["aie"]
+    lines = [
+        "Figure 2/6 (workflow): stages executed end to end",
+        f"  simulate-on-workstation: {run_report!r}",
+        f"  extract-to-project: realms "
+        f"{sorted(extraction.projects[0].realm_files)}",
+        f"  evaluate hand vs extracted on aiesim: "
+        f"{hand.block_interval_ns:.1f} vs {thunk.block_interval_ns:.1f} ns",
+    ]
+    (results_dir / "figure2_6.txt").write_text("\n".join(lines) + "\n")
+    record_row("Figures", "figure2_6.txt regenerated: workflow walked")
+
+
+def test_figure5_extraction_flow(benchmark, results_dir):
+    """Figure 5: ingestion -> constexpr evaluation -> deserialize ->
+    transform -> per-kernel files on disk."""
+
+    def flow(tmpdir=None):
+        from repro.extractor.ingest import ingest_module
+
+        ing = ingest_module("repro.apps.farrow")
+        marked = ing.graphs[0]
+        part = partition_graph(marked.graph)
+        res = extract_project(ing)
+        return ing, part, res
+
+    ing, part, res = benchmark.pedantic(flow, rounds=1, iterations=1)
+    proj = res.projects[0]
+    lines = [
+        "Figure 5 (graph extraction flow):",
+        f"  [1] source file: {ing.source_path}",
+        f"  [2] AST + constexpr evaluation: "
+        f"{len(ing.graphs)} marked graph(s)",
+        f"  [3] deserialized graph: {marked_stats(part)}",
+        f"  [4] transforms + codegen: "
+        f"{sorted(proj.realm_files['aie'])}",
+    ]
+    (results_dir / "figure5.txt").write_text("\n".join(lines) + "\n")
+    assert "graph.hpp" in proj.realm_files["aie"]
+    assert "kernel_decls.hpp" in proj.realm_files["aie"]
+    record_row("Figures", "figure5.txt regenerated: extraction flow walked")
+
+
+def marked_stats(partition):
+    s = partition.stats()
+    return (f"{s['realms']} realm(s), {s['intra']} intra / "
+            f"{s['inter']} inter / {s['global']} global nets")

@@ -1,0 +1,84 @@
+"""§5.2 profiling experiment: cgsim synchronisation overhead.
+
+The paper profiles the bitonic graph under cgsim with perf and finds
+99.94% of the runtime inside the kernel and 0.06% in synchronisation and
+data transfer; profiling the remaining examples "confirmed that
+synchronisation overhead in cgsim remains negligible across all cases".
+This benchmark reproduces that measurement with the runtime's built-in
+profiler (per-resume timestamping).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps import bilinear, bitonic, datasets, farrow, iir
+
+from conftest import PAPER_KERNEL_FRACTION, record_row
+
+TABLE = "Sec. 5.2 profile: time inside kernels vs synchronisation"
+_RESULTS = {}
+_HEADER = False
+
+
+def _emit_header():
+    global _HEADER
+    if not _HEADER:
+        record_row(
+            TABLE,
+            f"{'graph':<10}{'kernel%':>9}{'sync%':>8}{'switches':>10}"
+            f" | paper bitonic: 99.94% kernel / 0.06% sync",
+        )
+        _HEADER = True
+
+
+def _run_profiled(app: str):
+    if app == "bitonic":
+        blocks = datasets.bitonic_blocks(256)
+        out = []
+        return bitonic.BITONIC_GRAPH(blocks.reshape(-1), out, profile=True)
+    if app == "farrow":
+        blocks, mu = datasets.farrow_blocks(32)
+        out = []
+        return farrow.FARROW_GRAPH(blocks, int(mu), out, profile=True)
+    if app == "iir":
+        out = []
+        return iir.IIR_GRAPH(datasets.iir_blocks(32), out, profile=True)
+    if app == "bilinear":
+        px, fr = datasets.bilinear_blocks(8)
+        out = []
+        return bilinear.BILINEAR_GRAPH(px.reshape(-1), fr.reshape(-1),
+                                       out, profile=True)
+    raise ValueError(app)  # pragma: no cover
+
+
+@pytest.mark.parametrize("app", ["bitonic", "farrow", "iir", "bilinear"])
+def test_profile_overhead(benchmark, app, results_dir):
+    report = benchmark.pedantic(
+        lambda: _run_profiled(app), rounds=1, iterations=1
+    )
+    frac = report.kernel_fraction
+    benchmark.extra_info.update({
+        "kernel_fraction": frac,
+        "context_switches": report.context_switches,
+    })
+
+    _emit_header()
+    record_row(
+        TABLE,
+        f"{app:<10}{100 * frac:>9.2f}{100 * (1 - frac):>8.2f}"
+        f"{report.context_switches:>10}",
+    )
+    _RESULTS[app] = {"kernel_fraction": frac,
+                     "context_switches": report.context_switches,
+                     "paper_bitonic_kernel_fraction": PAPER_KERNEL_FRACTION}
+    (results_dir / "profile.json").write_text(
+        json.dumps(_RESULTS, indent=2)
+    )
+
+    # The reproduced claim: synchronisation overhead is negligible.  Our
+    # per-resume timers are coarser than perf, so the bound is softer
+    # than 99.94% but still demonstrates the sub-percent overhead class.
+    assert frac > 0.97, f"{app}: sync overhead {1 - frac:.2%} not negligible"

@@ -1,0 +1,100 @@
+"""Table 1: processing time per input block, hand-optimized vs extracted.
+
+Methodology follows §5.2 of the paper: the metric is the steady-state
+time between iterations reported by the cycle-approximate simulator's
+execution trace, at 1250 MHz AIE clock.  ``mode='hand'`` plays the role
+of the original AMD ADF kernels; ``mode='thunk'`` plays the
+cgsim-extracted kernels with generic port adapter thunks (§4.5).
+
+Absolute calibration: our substrate is a model, not AMD's simulator, so
+per-app "this work (calibrated ns)" scales our simulated ratio onto the
+paper's AMD baseline; the raw model ns are reported alongside.  The
+headline claim under reproduction is the **relative throughput column**:
+every extracted graph must retain >= ~85% of hand-optimized throughput,
+with IIR at parity.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.aiesim import simulate_graph
+from repro.apps import bilinear, bitonic, farrow, iir
+
+from conftest import PAPER_TABLE1, record_row
+
+APPS = {
+    "bitonic": (bitonic.BITONIC_GRAPH, {}),
+    "farrow": (farrow.FARROW_GRAPH, {"rtp_values": {"mu": 13107}}),
+    "iir": (iir.IIR_GRAPH, {}),
+    "bilinear": (bilinear.BILINEAR_GRAPH, {}),
+}
+
+_HEADER_EMITTED = False
+_RESULTS = {}
+
+
+def _emit_header():
+    global _HEADER_EMITTED
+    if not _HEADER_EMITTED:
+        record_row(
+            "Table 1: processing time per input block (aiesim analog)",
+            f"{'graph':<10}{'bytes':>6}{'hand(ns)':>10}{'extr(ns)':>10}"
+            f"{'rel%':>8} | {'paper AMD':>10}{'paper this':>11}"
+            f"{'paper rel%':>11}{'calib this(ns)':>15}",
+        )
+        _HEADER_EMITTED = True
+
+
+@pytest.mark.parametrize("app", list(APPS))
+def test_table1(benchmark, app, results_dir):
+    graph, kw = APPS[app]
+
+    def run_both():
+        hand = simulate_graph(graph, mode="hand", n_blocks=8, **kw)
+        thunk = simulate_graph(graph, mode="thunk", n_blocks=8, **kw)
+        return hand, thunk
+
+    hand, thunk = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rel = 100.0 * hand.block_interval_ns / thunk.block_interval_ns
+    block_bytes, amd_ns, paper_this_ns, paper_rel = PAPER_TABLE1[app]
+    calibrated_this = amd_ns * (thunk.block_interval_ns /
+                                hand.block_interval_ns)
+
+    benchmark.extra_info.update({
+        "hand_ns": hand.block_interval_ns,
+        "thunk_ns": thunk.block_interval_ns,
+        "rel_percent": rel,
+        "paper_rel_percent": paper_rel,
+    })
+
+    _emit_header()
+    record_row(
+        "Table 1: processing time per input block (aiesim analog)",
+        f"{app:<10}{block_bytes:>6}{hand.block_interval_ns:>10.1f}"
+        f"{thunk.block_interval_ns:>10.1f}{rel:>8.2f} | "
+        f"{amd_ns:>10.1f}{paper_this_ns:>11.1f}{paper_rel:>11.2f}"
+        f"{calibrated_this:>15.1f}",
+    )
+    _RESULTS[app] = {
+        "hand_ns": hand.block_interval_ns,
+        "thunk_ns": thunk.block_interval_ns,
+        "rel_percent": rel,
+        "calibrated_this_work_ns": calibrated_this,
+        "paper": {"amd_ns": amd_ns, "this_work_ns": paper_this_ns,
+                  "rel_percent": paper_rel},
+    }
+    (results_dir / "table1.json").write_text(json.dumps(_RESULTS, indent=2))
+
+    # The reproduced claims:
+    assert rel >= 82.0, f"{app}: extracted graph below the ~85% band"
+    if app == "iir":
+        assert rel >= 99.0, "IIR must reach performance parity (§5.2)"
+    # shape within a few points of the paper's cell
+    assert abs(rel - paper_rel) < 6.0, (
+        f"{app}: rel throughput {rel:.1f}% deviates from paper "
+        f"{paper_rel:.1f}% by more than 6pp"
+    )

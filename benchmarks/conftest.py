@@ -1,0 +1,72 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+its rows next to the paper's published values at the end of the session.
+``--quick`` divides the Table 2 repetition counts by 8 for fast runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+#: Table 1 reference values from the paper (ns per block).
+PAPER_TABLE1 = {
+    # app: (block_bytes, amd_ns, this_work_ns, rel_percent)
+    "bitonic": (64, 3556.8, 4168.8, 85.32),
+    "farrow": (4096, 912.8, 1019.0, 89.58),
+    "iir": (8192, 5410.0, 5385.0, 100.46),
+    "bilinear": (2048, 484.0, 567.2, 85.33),
+}
+
+#: Table 2 reference values (repetitions, cgsim_s, x86sim_s, aiesim_s).
+PAPER_TABLE2 = {
+    "bitonic": (1024, 14.32, 22.90, 5825.96),
+    "farrow": (512, 22.26, 20.70, 4287.03),
+    "iir": (256, 18.20, 21.37, 4346.19),
+    "bilinear": (1, 14.95, 15.57, 3534.90),
+}
+
+#: §5.2 perf profile reference: cgsim spends 99.94% in the kernel.
+PAPER_KERNEL_FRACTION = 0.9994
+
+_TABLES: "OrderedDict[str, list]" = OrderedDict()
+
+
+def record_row(table: str, row: str) -> None:
+    """Register one formatted output row for end-of-session printing."""
+    _TABLES.setdefault(table, []).append(row)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="divide Table 2 repetition counts by 8",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    return request.config.getoption("--quick")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    d = Path(__file__).parent / "results"
+    d.mkdir(exist_ok=True)
+    return d
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    tw = terminalreporter
+    for title, rows in _TABLES.items():
+        tw.section(title, sep="=")
+        for row in rows:
+            tw.line(row)

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Audio effects chain: broadcast, merge-free mixing, and RTP control.
+
+A dry/wet effects processor built from three custom kernels:
+
+* the input stream **broadcasts** to a direct path and an effect path
+  (passing one connector to two kernel inputs, paper sec. 3.4),
+* the effect path runs a one-pole low-pass and a soft clipper,
+* a two-input mixer blends dry/wet with a **runtime parameter** (RTP)
+  controlling the blend (paper sec. 3.7).
+
+The same graph runs on the cooperative cgsim runtime and on the
+thread-per-kernel x86sim runner, producing identical samples.
+
+Run:  python examples/audio_effects.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    AIE,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    PortSettings,
+    compute_kernel,
+    float32,
+    make_compute_graph,
+)
+from repro.x86sim import run_threaded
+
+RTP = PortSettings(runtime_parameter=True)
+
+
+@compute_kernel(realm=AIE)
+async def lowpass_kernel(x: In[float32], y: Out[float32]):
+    """One-pole low-pass: y[n] = 0.25*x[n] + 0.75*y[n-1]."""
+    state = np.float32(0.0)
+    while True:
+        v = await x.get()
+        state = np.float32(0.25) * np.float32(v) + np.float32(0.75) * state
+        await y.put(state)
+
+
+@compute_kernel(realm=AIE)
+async def softclip_kernel(x: In[float32], y: Out[float32]):
+    """Cubic soft clipper with unit saturation."""
+    while True:
+        v = np.float32(await x.get())
+        if v > 1.0:
+            v = np.float32(2.0 / 3.0)
+        elif v < -1.0:
+            v = np.float32(-2.0 / 3.0)
+        else:
+            v = v - v * v * v / np.float32(3.0)
+        await y.put(v)
+
+
+@compute_kernel(realm=AIE)
+async def mixer_kernel(dry: In[float32], wet: In[float32],
+                       blend: In[float32, RTP], out: Out[float32]):
+    """out = (1-blend)*dry + blend*wet; blend is a runtime parameter."""
+    k = np.float32(await blend.get())
+    g = np.float32(1.0) - k
+    while True:
+        d = np.float32(await dry.get())
+        w = np.float32(await wet.get())
+        await out.put(g * d + k * w)
+
+
+@make_compute_graph
+def effects_graph(audio_in: IoC[float32], blend: IoC[float32]):
+    filtered = IoConnector(float32, name="filtered")
+    shaped = IoConnector(float32, name="shaped")
+    mixed = IoConnector(float32, name="mixed")
+    # audio_in feeds BOTH the low-pass and the mixer's dry input:
+    # an implicit stream broadcast.
+    lowpass_kernel(audio_in, filtered)
+    softclip_kernel(filtered, shaped)
+    mixer_kernel(audio_in, shaped, blend, mixed)
+    return mixed
+
+
+def reference(signal: np.ndarray, blend: float) -> np.ndarray:
+    """Scalar reference of the same chain (float32 arithmetic order)."""
+    out = np.empty_like(signal)
+    state = np.float32(0.0)
+    k = np.float32(blend)
+    g = np.float32(1.0) - k
+    for i, v in enumerate(signal):
+        state = np.float32(0.25) * np.float32(v) + np.float32(0.75) * state
+        w = state
+        if w > 1.0:
+            w = np.float32(2.0 / 3.0)
+        elif w < -1.0:
+            w = np.float32(-2.0 / 3.0)
+        else:
+            w = w - w * w * w / np.float32(3.0)
+        out[i] = g * np.float32(v) + k * w
+    return out
+
+
+def main():
+    rng = np.random.default_rng(7)
+    t = np.arange(4096)
+    signal = (
+        0.8 * np.sin(2 * np.pi * 0.01 * t)
+        + 0.6 * np.sin(2 * np.pi * 0.09 * t)
+        + 0.1 * rng.standard_normal(t.size)
+    ).astype(np.float32)
+    blend = 0.7
+
+    print(f"graph: {effects_graph.graph.stats()}")
+    bcast = [n for n in effects_graph.graph.nets if n.is_broadcast]
+    print(f"broadcast nets: {[n.name for n in bcast]}")
+
+    out_cg: list = []
+    report = effects_graph(signal, blend, out_cg)
+    print(f"cgsim : {report!r}")
+
+    out_x86: list = []
+    x86rep = run_threaded(effects_graph, signal, blend, out_x86)
+    print(f"x86sim: {x86rep!r}")
+
+    ref = reference(signal, blend)
+    got_cg = np.asarray(out_cg, dtype=np.float32)
+    got_x86 = np.asarray(out_x86, dtype=np.float32)
+    assert np.array_equal(got_cg, got_x86), "execution models disagree!"
+    assert np.allclose(got_cg, ref, atol=1e-6), "chain mismatch vs reference"
+    print(f"processed {got_cg.size} samples; peak out "
+          f"{np.abs(got_cg).max():.3f}; both execution models agree "
+          f"with the reference.")
+    print("audio_effects passed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Image upsampling with the bilinear-interpolation graph.
+
+Uses the ported AMD Bilinear_Interpolation example as a library: a
+synthetic image is upscaled 2x by gathering each output sample's
+neighbourhood and fractional offsets, streaming them through the
+bilinear compute graph, and reassembling the image.  The result is
+checked against a direct numpy interpolation of the same image.
+
+Run:  python examples/image_resample.py
+"""
+
+import numpy as np
+
+from repro.apps import bilinear
+from repro.apps.datasets import BILINEAR_BLOCK
+
+
+def make_image(h: int = 32, w: int = 32) -> np.ndarray:
+    """A smooth synthetic test image (sum of gradients and a blob)."""
+    y, x = np.mgrid[0:h, 0:w].astype(np.float32)
+    img = (
+        100.0 + 2.0 * x + 1.0 * y
+        + 80.0 * np.exp(-((x - w / 2) ** 2 + (y - h / 2) ** 2) / 40.0)
+    )
+    return img.astype(np.float32)
+
+
+def gather_neighbourhoods(img: np.ndarray, scale: int):
+    """Build (pixels, fracs) streams for an upscaled sampling grid."""
+    h, w = img.shape
+    oh, ow = h * scale, w * scale
+    ys = np.arange(oh, dtype=np.float32) / scale
+    xs = np.arange(ow, dtype=np.float32) / scale
+    gy, gx = np.meshgrid(ys, xs, indexing="ij")
+    # Clamp the *anchor* (not the coordinate) so border samples use the
+    # last pixel pair with a fraction of exactly 1.0 — exact at edges.
+    y0 = np.clip(np.floor(gy), 0, h - 2).astype(np.intp)
+    x0 = np.clip(np.floor(gx), 0, w - 2).astype(np.intp)
+    fy = (gy - y0).astype(np.float32)
+    fx = (gx - x0).astype(np.float32)
+    # per sample: p00 p01 p10 p11 (quad), then fx fy
+    pixels = np.stack([
+        img[y0, x0], img[y0, x0 + 1], img[y0 + 1, x0], img[y0 + 1, x0 + 1]
+    ], axis=-1).reshape(-1, 4)
+    fracs = np.stack([fx, fy], axis=-1).reshape(-1, 2)
+    return pixels.astype(np.float32), fracs.astype(np.float32), (oh, ow)
+
+
+def main():
+    img = make_image()
+    scale = 2
+    pixels, fracs, (oh, ow) = gather_neighbourhoods(img, scale)
+    n_samples = pixels.shape[0]
+    print(f"input image {img.shape}, output {oh}x{ow} "
+          f"({n_samples} samples)")
+
+    # The graph processes fixed 256-sample blocks; pad to a multiple.
+    pad = (-n_samples) % BILINEAR_BLOCK
+    if pad:
+        pixels = np.vstack([pixels, np.zeros((pad, 4), np.float32)])
+        fracs = np.vstack([fracs, np.zeros((pad, 2), np.float32)])
+    blocks = pixels.shape[0] // BILINEAR_BLOCK
+    print(f"streaming {blocks} blocks of {BILINEAR_BLOCK} samples")
+
+    out = bilinear.run_cgsim(
+        pixels.reshape(blocks, -1), fracs.reshape(blocks, -1)
+    ).reshape(-1)[:n_samples]
+    upscaled = out.reshape(oh, ow)
+
+    # Reference: direct vectorised bilinear interpolation.
+    ref = bilinear.reference(pixels.reshape(blocks, -1),
+                             fracs.reshape(blocks, -1)
+                             ).reshape(-1)[:n_samples].reshape(oh, ow)
+    assert np.array_equal(upscaled, ref), "graph output != reference"
+
+    # Sanity: upsampling preserves the original samples on the grid.
+    on_grid = upscaled[::scale, ::scale]
+    err = np.abs(on_grid - img).max()
+    print(f"max error on original grid points: {err:.5f}")
+    assert err < 1e-3
+    print(f"value range: in [{img.min():.1f}, {img.max():.1f}] -> "
+          f"out [{upscaled.min():.1f}, {upscaled.max():.1f}]")
+    print("image_resample passed.")
+
+
+if __name__ == "__main__":
+    main()

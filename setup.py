@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no network access and no `wheel` package, so PEP 660
+editable installs (``pip install -e .``) cannot build the editable wheel.
+This shim keeps the legacy ``python setup.py develop`` path working; all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

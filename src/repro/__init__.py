@@ -1,0 +1,34 @@
+"""cgsim-py: compute-graph simulation and implementation framework
+targeting AMD Versal AI Engines (Python reproduction).
+
+Reproduction of Strobl et al., *"A Compute Graph Simulation and
+Implementation Framework Targeting AMD Versal AI Engines"* (H2RC @
+SC'25).  Subpackages:
+
+``repro.core``
+    The cgsim compute-graph simulation library: kernel/graph definition,
+    build-time graph construction, flattening/serialization, cooperative
+    runtime (paper §3).
+``repro.aieintr``
+    AIE SIMD intrinsics and vector-API emulation on numpy (§3.9).
+``repro.extractor``
+    Source-to-source graph extractor: realm partitioning, kernel source
+    transformation, co-extraction, and code generation for AIE projects
+    (paper §4).
+``repro.aiesim``
+    Cycle-approximate AI Engine array simulator (substitute for AMD's
+    aiesim), used for the Table 1 performance experiments.
+``repro.x86sim``
+    Functional thread-per-kernel simulator (substitute for AMD's
+    x86sim), used for the Table 2 wall-clock experiments.
+``repro.apps``
+    The four AMD Vitis-Tutorials example applications ported to cgsim:
+    bilinear interpolation, bitonic sort, farrow filter, IIR filter
+    (paper §5).
+"""
+
+__version__ = "1.0.0"
+
+from . import core  # re-export the primary API at package level
+
+__all__ = ["core", "__version__"]

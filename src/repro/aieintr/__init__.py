@@ -1,0 +1,27 @@
+"""repro.aieintr — AIE SIMD intrinsics and vector-API emulation (§3.9).
+
+AMD provides x86 host implementations of the AIE intrinsics as part of
+Vitis; cgsim imports them via an adapter header so prototypes can use
+real AIE SIMD code outside the Vitis environment.  That library is
+proprietary, so this package reimplements the required surface on numpy:
+
+* :mod:`~repro.aieintr.vector` — ``aie::vector`` registers,
+* :mod:`~repro.aieintr.accum` — 48/80-bit and float accumulators,
+* :mod:`~repro.aieintr.arith` — mul/mac/sliding-window MAC,
+* :mod:`~repro.aieintr.fixedpoint` — shift-round-saturate paths,
+* :mod:`~repro.aieintr.shuffle` — lane permute network,
+* :mod:`~repro.aieintr.sortops` — compare-exchange primitives,
+* :mod:`~repro.aieintr.tracing` — micro-op recording for the
+  cycle-approximate simulator.
+
+Import style used by kernels, matching C++ ``aie::`` qualification::
+
+    from repro import aieintr as aie
+    v = aie.vec([...]); acc = aie.mul(v, w)
+"""
+
+from .api import *  # noqa: F401,F403 — curated facade re-export
+from .api import __all__  # noqa: F401
+from .tracing import MicroOp, TraceRecorder, active_recorder, emit  # noqa: F401
+
+__all__ = list(__all__) + ["MicroOp", "TraceRecorder", "active_recorder", "emit"]

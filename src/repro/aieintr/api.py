@@ -1,0 +1,62 @@
+"""The ``aie::`` API facade.
+
+Kernel code ported from AMD examples reads most naturally when it can
+say ``aie.mul(...)``, ``aie.broadcast(...)`` just like the C++ ``aie::``
+namespace.  This module is that namespace: a curated re-export of the
+emulated vector API.  The C++ code generator maps these call names back
+to their ``aie::`` spellings one-to-one (see
+``repro.extractor.codegen.kernel_cpp``).
+"""
+
+from __future__ import annotations
+
+from .accum import Accum, acc_from_vector, acc_zeros
+from .arith import (
+    add,
+    mac,
+    msc,
+    mul,
+    negmul,
+    sliding_mac,
+    sliding_mul,
+    sliding_mul_complex,
+    sub,
+)
+from .fixedpoint import RoundMode, q_mul, round_shift, saturate, srs_array, ups_array
+from .shuffle import (
+    butterfly_partner,
+    deinterleave,
+    interleave,
+    permute,
+    reverse,
+    rotate,
+    swap_pairs,
+)
+from .sortops import bitonic_sort_vector, bitonic_stage_dirs, compare_exchange
+from .varray import (
+    va_add,
+    va_copy,
+    va_mac,
+    va_max,
+    va_min,
+    va_mul,
+    va_round_shift,
+    va_select,
+    va_srs,
+    va_sub,
+)
+from .vector import AieVector, broadcast, concat, iota, vec, zeros
+
+__all__ = [
+    "AieVector", "vec", "zeros", "broadcast", "iota", "concat",
+    "Accum", "acc_zeros", "acc_from_vector",
+    "mul", "mac", "msc", "negmul", "add", "sub",
+    "sliding_mul", "sliding_mac", "sliding_mul_complex",
+    "RoundMode", "saturate", "round_shift", "srs_array", "ups_array",
+    "q_mul",
+    "permute", "reverse", "rotate", "swap_pairs", "butterfly_partner",
+    "interleave", "deinterleave",
+    "compare_exchange", "bitonic_stage_dirs", "bitonic_sort_vector",
+    "va_add", "va_sub", "va_mul", "va_mac", "va_round_shift", "va_srs",
+    "va_min", "va_max", "va_select", "va_copy",
+]

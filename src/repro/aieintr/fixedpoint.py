@@ -1,0 +1,119 @@
+"""Fixed-point helpers: shift-round-saturate and friends.
+
+The AIE scalar and vector units implement Q-format fixed-point arithmetic
+with a configurable rounding mode and saturation on the accumulator-to-
+vector move (the ``srs`` intrinsic).  The farrow example's hand-optimised
+fixed-point SIMD convolution leans on these, so the emulation implements
+the full behaviour:
+
+* ``srs(acc, shift)``: arithmetic right shift with rounding, then
+  saturation into the destination integer type;
+* ``ups(vec, shift)``: up-shift a vector into an accumulator;
+* rounding modes ``floor``, ``nearest`` (round half away from zero,
+  the AIE ``rnd_sym`` default), and ``even`` (banker's rounding).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .tracing import emit
+
+__all__ = [
+    "RoundMode",
+    "saturate",
+    "round_shift",
+    "srs_array",
+    "ups_array",
+    "q_mul",
+]
+
+
+class RoundMode:
+    """Rounding modes of the AIE shift-round-saturate path."""
+
+    FLOOR = "floor"
+    NEAREST = "nearest"   # round half away from zero (AIE rnd_sym)
+    EVEN = "even"         # round half to even
+
+    ALL = (FLOOR, NEAREST, EVEN)
+
+
+_INT_LIMITS = {
+    np.dtype(np.int8): (-(1 << 7), (1 << 7) - 1),
+    np.dtype(np.int16): (-(1 << 15), (1 << 15) - 1),
+    np.dtype(np.int32): (-(1 << 31), (1 << 31) - 1),
+    np.dtype(np.int64): (-(1 << 63), (1 << 63) - 1),
+}
+
+
+def saturate(values: np.ndarray, dtype) -> np.ndarray:
+    """Clamp int64 *values* into the representable range of *dtype*."""
+    dt = np.dtype(dtype)
+    try:
+        lo, hi = _INT_LIMITS[dt]
+    except KeyError:
+        raise ValueError(f"saturate() supports signed ints, got {dt}") from None
+    return np.clip(values, lo, hi).astype(dt)
+
+
+def round_shift(values: np.ndarray, shift: int,
+                mode: str = RoundMode.NEAREST) -> np.ndarray:
+    """Arithmetic right shift by *shift* with the given rounding mode.
+
+    Operates in int64; no saturation (that is :func:`saturate`'s job).
+    ``shift == 0`` is the identity for all modes.
+    """
+    v = np.asarray(values, dtype=np.int64)
+    if shift < 0:
+        raise ValueError(f"shift must be >= 0, got {shift}")
+    if shift == 0:
+        return v.copy()
+    if mode == RoundMode.FLOOR:
+        return v >> shift
+    half = np.int64(1) << (shift - 1)
+    if mode == RoundMode.NEAREST:
+        # Round half away from zero: add +half for non-negative, and
+        # (half - 1) for negatives so that -0.5 rounds to -1... AIE's
+        # symmetric rounding rounds magnitudes, i.e. away from zero.
+        adj = np.where(v >= 0, half, half - 1)
+        return (v + adj) >> shift
+    if mode == RoundMode.EVEN:
+        q = v >> shift
+        rem = v - (q << shift)
+        tie = rem == half
+        up = (rem > half) | (tie & ((q & 1) == 1))
+        return q + up.astype(np.int64)
+    raise ValueError(f"unknown rounding mode {mode!r}")
+
+
+def srs_array(acc: np.ndarray, shift: int, dtype=np.int16,
+              mode: str = RoundMode.NEAREST) -> np.ndarray:
+    """Shift-round-saturate an accumulator array into *dtype* lanes.
+
+    This is the workhorse move from the 48/80-bit accumulator register
+    back to a 16/32-bit vector register.
+    """
+    emit("srs", int(np.asarray(acc).shape[-1]) if np.asarray(acc).ndim else 1,
+         np.dtype(dtype).itemsize)
+    return saturate(round_shift(acc, shift, mode), dtype)
+
+
+def ups_array(values: np.ndarray, shift: int) -> np.ndarray:
+    """Up-shift vector lanes into accumulator precision (``ups``)."""
+    v = np.asarray(values, dtype=np.int64)
+    emit("ups", v.shape[-1] if v.ndim else 1, 8)
+    return v << shift
+
+
+def q_mul(a: Union[int, np.ndarray], b: Union[int, np.ndarray],
+          frac_bits: int, dtype=np.int16,
+          mode: str = RoundMode.NEAREST) -> np.ndarray:
+    """Fixed-point multiply of two Q(frac_bits) values with srs.
+
+    Scalar-path convenience used by golden-reference implementations.
+    """
+    prod = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    return saturate(round_shift(prod, frac_bits, mode), dtype)

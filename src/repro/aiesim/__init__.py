@@ -1,0 +1,47 @@
+"""repro.aiesim — cycle-approximate AI Engine array simulator.
+
+The substitute for AMD's proprietary aiesim (§5.2): a trace-driven,
+discrete-event, cycle-approximate model of the Versal AIE array used to
+reproduce Table 1 (per-block processing time, hand-written vs extracted
+kernels) and the aiesim column of Table 2 (simulation wall-clock).
+
+Pipeline: :mod:`kernelprog` captures each kernel's micro-op trace and
+packs it into VLIW cycles via :mod:`timing`; :mod:`placer`/:mod:`router`
+map the graph onto the :mod:`device` grid; :mod:`simulator` runs the
+discrete-event model (:mod:`events`) with stream FIFOs (:mod:`stream`),
+window lock pairs and DMAs (:mod:`dma`), and per-kernel tile executors
+(:mod:`tile`); :mod:`trace`/:mod:`profiler` render the results.
+"""
+
+from .device import SMALL_TEST_DEVICE, VC1902, DeviceDescriptor
+from .memory import BankAllocation, BufferRequest, TileMemoryAllocator
+from .kernelprog import (
+    KernelProgram,
+    Segment,
+    TraceStimulus,
+    build_kernel_program,
+)
+from .placer import Placement, place_graph
+from .profiler import TileProfile, format_profile, profile_report
+from .router import Route, RoutingTable, route_all
+from .simulator import AiesimReport, simulate_graph
+from .timing import (
+    CycleModel,
+    ExtractionOverheadModel,
+    KernelClassification,
+    SlotModel,
+    classify_trace,
+)
+from .trace import IterationTrace, export_vcd, iteration_trace
+
+__all__ = [
+    "simulate_graph", "AiesimReport",
+    "DeviceDescriptor", "VC1902", "SMALL_TEST_DEVICE",
+    "CycleModel", "SlotModel", "ExtractionOverheadModel",
+    "KernelClassification", "classify_trace",
+    "KernelProgram", "Segment", "TraceStimulus", "build_kernel_program",
+    "Placement", "place_graph", "Route", "RoutingTable", "route_all",
+    "IterationTrace", "iteration_trace", "export_vcd",
+    "TileProfile", "profile_report", "format_profile",
+    "BufferRequest", "BankAllocation", "TileMemoryAllocator",
+]

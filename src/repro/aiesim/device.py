@@ -1,0 +1,79 @@
+"""AIE device descriptions.
+
+Models the array-level parameters of the Versal AI Engine architecture
+the paper evaluates on: a 2-D grid of VLIW/SIMD tiles, each with local
+data memory shareable with its neighbours, connected by a stream-switch
+network, with PLIO interfaces at the array's south edge clocked in the
+programmable logic domain.
+
+The default device mirrors the paper's configuration (§5.2): AIE clock
+1250 MHz, PL clock 625 MHz, 64-bit PLIO — i.e. 4 stream bytes per AIE
+cycle at the array boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["DeviceDescriptor", "VC1902", "SMALL_TEST_DEVICE"]
+
+
+@dataclass(frozen=True)
+class DeviceDescriptor:
+    """Static description of one AIE array configuration."""
+
+    name: str
+    columns: int
+    rows: int
+    aie_clock_hz: float = 1.25e9
+    pl_clock_hz: float = 625e6
+    #: Data memory per tile in bytes (8 banks x 4 KiB on AIE1).
+    tile_memory_bytes: int = 32 * 1024
+    memory_banks: int = 8
+    #: Program memory per tile.
+    program_memory_bytes: int = 16 * 1024
+    #: Stream switch FIFO depth per port, in 32-bit words.
+    stream_fifo_words: int = 4
+    #: Native AIE stream width: one 32-bit word per AIE cycle.
+    stream_bytes_per_cycle: int = 4
+    #: PLIO width in bits (64-bit @ PL clock == 4 B/AIE cycle at 1:2).
+    plio_bits: int = 64
+    #: Locks per tile memory module.
+    locks_per_tile: int = 16
+
+    @property
+    def ns_per_cycle(self) -> float:
+        return 1e9 / self.aie_clock_hz
+
+    @property
+    def n_tiles(self) -> int:
+        return self.columns * self.rows
+
+    @property
+    def plio_bytes_per_aie_cycle(self) -> float:
+        """Sustained PLIO bandwidth expressed per AIE cycle."""
+        per_second = self.plio_bits / 8 * self.pl_clock_hz
+        return per_second / self.aie_clock_hz
+
+    def in_bounds(self, col: int, row: int) -> bool:
+        return 0 <= col < self.columns and 0 <= row < self.rows
+
+    def neighbours(self, col: int, row: int) -> Tuple[Tuple[int, int], ...]:
+        """Tiles whose data memory this tile can access directly.
+
+        AIE1 tiles share memory with the north/south neighbours and the
+        east-or-west neighbour depending on row parity; the simulator
+        uses the simplified 4-neighbourhood, which is conservative for
+        placement validity (a superset never arises).
+        """
+        cand = [(col - 1, row), (col + 1, row), (col, row - 1),
+                (col, row + 1)]
+        return tuple((c, r) for c, r in cand if self.in_bounds(c, r))
+
+
+#: The paper's target: the VC1902 AIE array (400 tiles, 50 x 8).
+VC1902 = DeviceDescriptor(name="xcvc1902", columns=50, rows=8)
+
+#: A tiny array for unit tests (placement-pressure scenarios).
+SMALL_TEST_DEVICE = DeviceDescriptor(name="test2x2", columns=2, rows=2)

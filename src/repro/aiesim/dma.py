@@ -1,0 +1,110 @@
+"""Window (buffer) transport: ping-pong buffers, locks, and tile DMA.
+
+AIE window I/O is double-buffered: while the kernel processes one
+buffer, the DMA (or the neighbouring producer kernel) fills the other;
+counting locks arbitrate ownership.  The model represents each window
+connection as a :class:`WindowChannel` — an ``empty``/``full`` lock pair
+initialised for two buffers — and, when the connection crosses the
+array boundary, a DMA process that converts between stream words and
+whole buffers:
+
+* ``S2MM`` (stream-to-memory-map): acquires an empty buffer, pulls the
+  window's words from the PLIO stream, releases it full;
+* ``MM2S``: acquires a full buffer, pushes its words to the stream,
+  releases it empty.
+
+Kernel-to-kernel window connections between *adjacent* tiles use shared
+memory — no data movement, locks only — which is why the placer keeps
+window-connected kernels adjacent.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from .events import Acquire, CountingLock, Environment, Release, Timeout
+from .stream import StreamLink
+
+__all__ = ["WindowChannel", "S2mmDma", "Mm2sDma", "DMA_BYTES_PER_CYCLE"]
+
+#: Tile DMA bandwidth: one 32-bit word per cycle per channel.
+DMA_BYTES_PER_CYCLE = 4
+
+
+class WindowChannel:
+    """One window connection: a double-buffered lock pair.
+
+    ``empty`` starts at 2 (both ping-pong buffers writable); ``full``
+    starts at 0.  Producers acquire ``empty`` / release ``full``;
+    consumers acquire ``full`` / release ``empty``.
+    """
+
+    def __init__(self, env: Environment, name: str, buffer_bytes: int,
+                 n_buffers: int = 2):
+        self.env = env
+        self.name = name
+        self.buffer_bytes = buffer_bytes
+        self.n_buffers = n_buffers
+        self.empty = CountingLock(value=n_buffers, max_value=n_buffers,
+                                  name=f"{name}.empty")
+        self.full = CountingLock(value=0, max_value=n_buffers,
+                                 name=f"{name}.full")
+        self.blocks_moved = 0
+
+    @property
+    def words(self) -> int:
+        return max(1, (self.buffer_bytes + 3) // 4)
+
+
+class S2mmDma:
+    """Stream→memory DMA filling a window channel from a stream link.
+
+    ``cycles_per_word`` models the memory-side access pattern: 1 for
+    linear writes, 2 for **corner-turning** (transposing) transfers,
+    whose strided writes defeat bank-burst coalescing.  Corner-turning
+    DMA is one of the §6 features the paper leaves unexposed; nets can
+    request it with the ``dma_transpose`` connection attribute.
+    """
+
+    def __init__(self, env: Environment, channel: WindowChannel,
+                 link: StreamLink, consumer_idx: int, name: str,
+                 n_blocks: int, cycles_per_word: int = 1):
+        self.channel = channel
+        self.link = link
+        self.consumer_idx = consumer_idx
+        self.n_blocks = n_blocks
+        self.cycles_per_word = cycles_per_word
+        env.spawn(f"s2mm:{name}", self._run())
+
+    def _run(self) -> Generator:
+        ch = self.channel
+        for _ in range(self.n_blocks):
+            yield Acquire(ch.empty)
+            for _ in range(ch.words):
+                yield from self.link.get_word(self.consumer_idx)
+                yield Timeout(self.cycles_per_word)
+            ch.blocks_moved += 1
+            yield Release(ch.full)
+
+
+class Mm2sDma:
+    """Memory→stream DMA draining a window channel into a stream link."""
+
+    def __init__(self, env: Environment, channel: WindowChannel,
+                 link: StreamLink, name: str, n_blocks: int,
+                 cycles_per_word: int = 1):
+        self.channel = channel
+        self.link = link
+        self.n_blocks = n_blocks
+        self.cycles_per_word = cycles_per_word
+        env.spawn(f"mm2s:{name}", self._run())
+
+    def _run(self) -> Generator:
+        ch = self.channel
+        for _ in range(self.n_blocks):
+            yield Acquire(ch.full)
+            for _ in range(ch.words):
+                yield Timeout(self.cycles_per_word)
+                yield from self.link.put_word()
+            ch.blocks_moved += 1
+            yield Release(ch.empty)

@@ -1,0 +1,273 @@
+"""Discrete-event simulation core for the AIE array model.
+
+A minimal generator-based DES kernel (in the SimPy style, implemented
+from scratch): *processes* are Python generators that yield requests —
+``Timeout`` to consume simulated cycles, ``Get``/``Put`` on bounded
+stores, ``Acquire``/``Release`` on counting locks.  The
+:class:`Environment` owns the event heap and advances simulated time.
+
+The engine is deliberately small and allocation-light: the AIE model
+generates one event per stream burst and per lock handshake, and Table 2
+reproduces the *wall-clock* cost of cycle-approximate simulation, so the
+inner loop matters.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["Environment", "Process", "Timeout", "Get", "Put",
+           "Acquire", "Release", "Store", "CountingLock"]
+
+
+class Timeout:
+    """Request: suspend the process for *cycles* simulated cycles."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int):
+        if cycles < 0:
+            raise SimulationError(f"negative timeout: {cycles}")
+        self.cycles = cycles
+
+
+class Get:
+    """Request: take one item from *store* (blocks while empty)."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        self.store = store
+
+
+class Put:
+    """Request: add *item* to *store* (blocks while full)."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: "Store", item: Any = None):
+        self.store = store
+        self.item = item
+
+
+class Acquire:
+    """Request: decrement *lock* by *amount* (blocks while insufficient)."""
+
+    __slots__ = ("lock", "amount")
+
+    def __init__(self, lock: "CountingLock", amount: int = 1):
+        self.lock = lock
+        self.amount = amount
+
+
+class Release:
+    """Request: increment *lock* by *amount* (never blocks)."""
+
+    __slots__ = ("lock", "amount")
+
+    def __init__(self, lock: "CountingLock", amount: int = 1):
+        self.lock = lock
+        self.amount = amount
+
+
+class Process:
+    """One live generator under DES control."""
+
+    __slots__ = ("name", "gen", "done", "blocked_on", "wait_since")
+
+    def __init__(self, name: str, gen: Generator):
+        self.name = name
+        self.gen = gen
+        self.done = False
+        self.blocked_on: Optional[str] = None
+        self.wait_since: int = 0
+
+    def __repr__(self):
+        state = "done" if self.done else (self.blocked_on or "ready")
+        return f"<Process {self.name} {state}>"
+
+
+class Store:
+    """Bounded FIFO store of items (stream FIFO model)."""
+
+    __slots__ = ("name", "capacity", "items", "get_waiters", "put_waiters")
+
+    def __init__(self, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self.get_waiters: List[Process] = []
+        self.put_waiters: List[Tuple[Process, Any]] = []
+
+    @property
+    def level(self) -> int:
+        return len(self.items)
+
+
+class CountingLock:
+    """AIE-style counting semaphore (lock unit of the memory module)."""
+
+    __slots__ = ("name", "value", "max_value", "waiters",
+                 "acquires", "stall_cycles")
+
+    def __init__(self, value: int = 0, max_value: int = 64, name: str = ""):
+        self.name = name
+        self.value = value
+        self.max_value = max_value
+        self.waiters: List[Tuple[Process, int]] = []
+        self.acquires = 0
+        self.stall_cycles = 0
+
+
+class Environment:
+    """The event loop: schedules processes on a cycle-granular heap."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, Process, Any]] = []
+        self._seq = 0
+        self.processes: List[Process] = []
+        self.events_executed = 0
+
+    # -- process management ------------------------------------------------------
+
+    def spawn(self, name: str, gen: Generator) -> Process:
+        proc = Process(name, gen)
+        self.processes.append(proc)
+        self._schedule(proc, self.now, None)
+        return proc
+
+    def _schedule(self, proc: Process, when: int, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, proc, value))
+
+    # -- request handling --------------------------------------------------------
+
+    def _handle(self, proc: Process, req: Any) -> None:
+        """Apply one yielded request; reschedule or park the process."""
+        if isinstance(req, Timeout):
+            self._schedule(proc, self.now + req.cycles, None)
+        elif isinstance(req, Get):
+            store = req.store
+            if store.items:
+                item = store.items.pop(0)
+                self._wake_putter(store)
+                self._schedule(proc, self.now, item)
+            else:
+                proc.blocked_on = f"get:{store.name}"
+                proc.wait_since = self.now
+                store.get_waiters.append(proc)
+        elif isinstance(req, Put):
+            store = req.store
+            if len(store.items) < store.capacity:
+                store.items.append(req.item)
+                self._wake_getter(store)
+                self._schedule(proc, self.now, None)
+            else:
+                proc.blocked_on = f"put:{store.name}"
+                proc.wait_since = self.now
+                store.put_waiters.append((proc, req.item))
+        elif isinstance(req, Acquire):
+            lock = req.lock
+            if lock.value >= req.amount:
+                lock.value -= req.amount
+                lock.acquires += 1
+                self._schedule(proc, self.now, None)
+            else:
+                proc.blocked_on = f"acq:{lock.name}"
+                proc.wait_since = self.now
+                lock.waiters.append((proc, req.amount))
+        elif isinstance(req, Release):
+            lock = req.lock
+            lock.value += req.amount
+            if lock.value > lock.max_value:
+                raise SimulationError(
+                    f"lock {lock.name!r} over-released "
+                    f"({lock.value} > {lock.max_value})"
+                )
+            self._drain_lock_waiters(lock)
+            self._schedule(proc, self.now, None)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded unknown request {req!r}"
+            )
+
+    def _wake_getter(self, store: Store) -> None:
+        if store.get_waiters and store.items:
+            proc = store.get_waiters.pop(0)
+            proc.blocked_on = None
+            item = store.items.pop(0)
+            self._schedule(proc, self.now, item)
+            self._wake_putter(store)
+
+    def _wake_putter(self, store: Store) -> None:
+        if store.put_waiters and len(store.items) < store.capacity:
+            proc, item = store.put_waiters.pop(0)
+            proc.blocked_on = None
+            store.items.append(item)
+            self._schedule(proc, self.now, None)
+            self._wake_getter(store)
+
+    def _drain_lock_waiters(self, lock: CountingLock) -> None:
+        # FIFO but skip-over: wake the first waiter whose amount fits.
+        i = 0
+        while i < len(lock.waiters):
+            proc, amount = lock.waiters[i]
+            if lock.value >= amount:
+                lock.waiters.pop(i)
+                lock.value -= amount
+                lock.acquires += 1
+                lock.stall_cycles += self.now - proc.wait_since
+                proc.blocked_on = None
+                self._schedule(proc, self.now, None)
+            else:
+                i += 1
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None,
+            stop: Optional[Callable[[], bool]] = None,
+            max_events: int = 50_000_000) -> None:
+        """Advance the simulation.
+
+        Stops when the heap empties, simulated time exceeds *until*, the
+        *stop* predicate returns True, or *max_events* fire (runaway
+        guard).
+        """
+        heap = self._heap
+        while heap:
+            when, _seq, proc, value = heapq.heappop(heap)
+            if until is not None and when > until:
+                # Leave the event for a later run() call.
+                heapq.heappush(heap, (when, _seq, proc, value))
+                self.now = until
+                return
+            self.now = when
+            if proc.done:
+                continue
+            self.events_executed += 1
+            if self.events_executed > max_events:
+                raise SimulationError(
+                    f"DES exceeded {max_events} events; model livelock?"
+                )
+            try:
+                req = proc.gen.send(value)
+            except StopIteration:
+                proc.done = True
+                continue
+            self._handle(proc, req)
+            if stop is not None and stop():
+                return
+
+    def blocked_report(self) -> str:
+        """Diagnostic: which processes are parked where."""
+        lines = [
+            f"  {p.name}: {p.blocked_on} since cycle {p.wait_since}"
+            for p in self.processes if not p.done and p.blocked_on
+        ]
+        return "\n".join(lines) if lines else "  (none blocked)"

@@ -1,0 +1,161 @@
+"""Kernel placement onto the AIE tile grid.
+
+Window-connected kernels want to be *adjacent* so they can exchange
+buffers through shared tile memory (zero-copy, locks only); kernels
+connected by streams only need a route through the switch network.  The
+placer therefore:
+
+1. groups kernel instances into clusters connected by window nets,
+2. places each cluster contiguously (BFS around a seed tile),
+3. falls back to stream-routed window transport (DMA + stream) when a
+   window pair cannot be made adjacent — a slower but legal realisation,
+   flagged in the placement result.
+
+The greedy strategy is deliberately simple; placement quality only
+affects the simulation through the shared/streamed window distinction
+and routing hop counts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.dtypes import WindowType
+from ..core.graph import ComputeGraph
+from ..errors import PlacementError
+from .device import DeviceDescriptor
+
+__all__ = ["Placement", "place_graph"]
+
+Coord = Tuple[int, int]
+
+
+@dataclass
+class Placement:
+    """Result of placing one graph onto a device."""
+
+    device: DeviceDescriptor
+    coords: Dict[int, Coord]             # instance_idx -> (col, row)
+    window_shared: Dict[int, bool]       # net_id -> shared-memory?
+    warnings: List[str] = field(default_factory=list)
+
+    def coord_of(self, instance_idx: int) -> Coord:
+        return self.coords[instance_idx]
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        ca, cb = self.coords[a], self.coords[b]
+        return cb in self.device.neighbours(*ca)
+
+    def describe(self) -> str:
+        lines = [f"placement on {self.device.name}:"]
+        for idx, (c, r) in sorted(self.coords.items()):
+            lines.append(f"  instance {idx} -> tile({c},{r})")
+        for net_id, shared in sorted(self.window_shared.items()):
+            mode = "shared-memory" if shared else "stream-DMA"
+            lines.append(f"  window net {net_id}: {mode}")
+        return "\n".join(lines)
+
+
+def _window_pairs(graph: ComputeGraph) -> List[Tuple[int, int, int]]:
+    """(net_id, producer_instance, consumer_instance) for every
+    kernel-to-kernel window edge."""
+    pairs = []
+    for net in graph.nets:
+        if not isinstance(net.dtype, WindowType):
+            continue
+        for p in net.producers:
+            for c in net.consumers:
+                pairs.append((net.net_id, p.instance_idx, c.instance_idx))
+    return pairs
+
+
+def place_graph(graph: ComputeGraph, device: DeviceDescriptor,
+                start_column: int = 0) -> Placement:
+    """Greedy cluster placement; see module docstring."""
+    n = len(graph.kernels)
+    if n > device.n_tiles:
+        raise PlacementError(
+            f"graph {graph.name!r} has {n} kernels but device "
+            f"{device.name} has only {device.n_tiles} tiles"
+        )
+
+    # Affinity adjacency (window edges) between instances.
+    affinity: Dict[int, Set[int]] = {i: set() for i in range(n)}
+    pairs = _window_pairs(graph)
+    for _net, a, b in pairs:
+        if a != b:
+            affinity[a].add(b)
+            affinity[b].add(a)
+
+    occupied: Set[Coord] = set()
+    coords: Dict[int, Coord] = {}
+    warnings: List[str] = []
+
+    def nearest_free(seed: Coord) -> Optional[Coord]:
+        """BFS for the closest unoccupied tile from *seed*."""
+        if not device.in_bounds(*seed):
+            seed = (min(max(seed[0], 0), device.columns - 1),
+                    min(max(seed[1], 0), device.rows - 1))
+        seen = {seed}
+        dq = deque([seed])
+        while dq:
+            cur = dq.popleft()
+            if cur not in occupied:
+                return cur
+            for nb in device.neighbours(*cur):
+                if nb not in seen:
+                    seen.add(nb)
+                    dq.append(nb)
+        return None
+
+    # Place in BFS order over affinity components, seeded column-major.
+    visited: Set[int] = set()
+    next_seed_col = start_column
+    for root in range(n):
+        if root in visited:
+            continue
+        dq = deque([root])
+        visited.add(root)
+        while dq:
+            inst = dq.popleft()
+            placed_neighbours = [
+                coords[o] for o in affinity[inst] if o in coords
+            ]
+            target: Optional[Coord] = None
+            if placed_neighbours:
+                for pc in placed_neighbours:
+                    for cand in device.neighbours(*pc):
+                        if cand not in occupied:
+                            target = cand
+                            break
+                    if target:
+                        break
+            if target is None:
+                target = nearest_free((next_seed_col, 0))
+            if target is None:
+                raise PlacementError(
+                    f"no free tile for instance {inst} of graph "
+                    f"{graph.name!r}"
+                )
+            coords[inst] = target
+            occupied.add(target)
+            for o in sorted(affinity[inst]):
+                if o not in visited:
+                    visited.add(o)
+                    dq.append(o)
+        next_seed_col = min(next_seed_col + 1, device.columns - 1)
+
+    placement = Placement(device=device, coords=coords, window_shared={})
+    for net_id, a, b in pairs:
+        shared = a == b or placement.are_adjacent(a, b)
+        prev = placement.window_shared.get(net_id, True)
+        placement.window_shared[net_id] = prev and shared
+        if not shared:
+            warnings.append(
+                f"window net {net_id} endpoints not adjacent; falling "
+                f"back to stream-DMA transport"
+            )
+    placement.warnings = warnings
+    return placement

@@ -1,0 +1,62 @@
+"""Profiler-style reporting over simulation results.
+
+The paper measures the bitonic example with the Vitis AIE profiler
+(§5.2) instead of trace timestamps; this module provides the analogous
+view over an :class:`~repro.aiesim.simulator.AiesimReport`: per-tile
+busy/stall breakdown and derived throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .simulator import AiesimReport
+
+__all__ = ["TileProfile", "profile_report", "format_profile"]
+
+
+@dataclass(frozen=True)
+class TileProfile:
+    """One kernel instance's execution profile."""
+
+    instance: str
+    coord: tuple
+    busy_cycles: int
+    blocks: int
+    utilization: float
+
+    @property
+    def busy_cycles_per_block(self) -> float:
+        return self.busy_cycles / self.blocks if self.blocks else float("nan")
+
+
+def profile_report(report: AiesimReport) -> List[TileProfile]:
+    """Per-tile profiles, sorted by utilization (hottest first)."""
+    profiles = [
+        TileProfile(
+            instance=name,
+            coord=tuple(stats["coord"]),
+            busy_cycles=stats["busy_cycles"],
+            blocks=stats["blocks"],
+            utilization=stats["utilization"],
+        )
+        for name, stats in report.tiles.items()
+    ]
+    return sorted(profiles, key=lambda p: -p.utilization)
+
+
+def format_profile(report: AiesimReport) -> str:
+    """Human-readable profiler table (the AIE-profiler style view)."""
+    lines = [
+        f"profile of {report.graph_name!r} ({report.mode}) on "
+        f"{report.device_name}: interval "
+        f"{report.block_interval_ns:.1f} ns/block",
+        f"{'instance':<24}{'tile':<10}{'busy/blk':>10}{'util':>8}",
+    ]
+    for p in profile_report(report):
+        lines.append(
+            f"{p.instance:<24}{str(p.coord):<10}"
+            f"{p.busy_cycles_per_block:>10.1f}{p.utilization:>8.1%}"
+        )
+    return "\n".join(lines)

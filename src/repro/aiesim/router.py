@@ -1,0 +1,141 @@
+"""Stream-switch routing over the tile grid.
+
+Every stream net (and every window net that fell back to stream-DMA
+transport) needs a circuit through the array's stream-switch network.
+The router uses dimension-ordered (X-then-Y) routing from each
+producer's tile to each consumer's tile — graph I/O enters and leaves
+through the shim row below row 0 of the producer/consumer column — and
+checks per-link channel capacity.
+
+Routing affects the simulation report (hop counts, congestion) and
+sanity-checks realisability; per-hop latency shifts arrival times by a
+constant and does not change steady-state throughput, so the throughput
+model does not consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import RoutingError
+from .device import DeviceDescriptor
+from .placer import Placement
+
+__all__ = ["Route", "RoutingTable", "route_net", "route_all"]
+
+Coord = Tuple[int, int]
+
+#: Stream channels available per inter-tile link direction (AIE1 switch).
+CHANNELS_PER_LINK = 6
+
+
+@dataclass(frozen=True)
+class Route:
+    """One producer→consumer circuit: the tile coords it traverses."""
+
+    net_id: int
+    src: Coord
+    dst: Coord
+    hops: Tuple[Coord, ...]
+
+    @property
+    def n_hops(self) -> int:
+        return max(0, len(self.hops) - 1)
+
+    @property
+    def latency_cycles(self) -> int:
+        """One cycle per switch traversal."""
+        return len(self.hops)
+
+
+@dataclass
+class RoutingTable:
+    """All routes of a graph plus link-occupancy bookkeeping."""
+
+    routes: List[Route] = field(default_factory=list)
+    link_load: Dict[Tuple[Coord, Coord], int] = field(default_factory=dict)
+
+    @property
+    def max_congestion(self) -> int:
+        return max(self.link_load.values(), default=0)
+
+    @property
+    def total_hops(self) -> int:
+        return sum(r.n_hops for r in self.routes)
+
+
+def _xy_path(src: Coord, dst: Coord) -> List[Coord]:
+    """Dimension-ordered path, inclusive of both endpoints."""
+    path = [src]
+    c, r = src
+    step = 1 if dst[0] >= c else -1
+    while c != dst[0]:
+        c += step
+        path.append((c, r))
+    step = 1 if dst[1] >= r else -1
+    while r != dst[1]:
+        r += step
+        path.append((c, r))
+    return path
+
+
+def route_net(net_id: int, src: Coord, dst: Coord,
+              table: RoutingTable,
+              device: DeviceDescriptor) -> Route:
+    """Route one circuit and record its link usage."""
+    for coord in (src, dst):
+        # Shim endpoints sit at row -1 of a column; tiles must be valid.
+        if coord[1] >= 0 and not device.in_bounds(*coord):
+            raise RoutingError(f"route endpoint {coord} outside device")
+    path = _xy_path(src, dst)
+    for a, b in zip(path, path[1:]):
+        key = (a, b)
+        table.link_load[key] = table.link_load.get(key, 0) + 1
+        if table.link_load[key] > CHANNELS_PER_LINK:
+            raise RoutingError(
+                f"stream link {a}->{b} oversubscribed "
+                f"(> {CHANNELS_PER_LINK} channels) while routing net "
+                f"{net_id}"
+            )
+    route = Route(net_id=net_id, src=src, dst=dst, hops=tuple(path))
+    table.routes.append(route)
+    return route
+
+
+def route_all(graph, placement: Placement,
+              device: DeviceDescriptor) -> RoutingTable:
+    """Route every stream circuit of *graph* under *placement*.
+
+    Circuits: kernel→kernel stream edges, stream-DMA window edges,
+    graph inputs (shim of the consumer's column → consumer tile), and
+    graph outputs (producer tile → shim of its column).
+    """
+    from ..core.dtypes import WindowType
+
+    table = RoutingTable()
+    input_nets = {io.net_id for io in graph.inputs}
+    output_nets = {io.net_id for io in graph.outputs}
+
+    for net in graph.nets:
+        if net.settings.runtime_parameter:
+            continue  # RTPs are configuration writes, not circuits
+        is_window = isinstance(net.dtype, WindowType)
+        if is_window and placement.window_shared.get(net.net_id, False):
+            continue  # shared-memory transport: no circuit
+
+        for p in net.producers:
+            src = placement.coord_of(p.instance_idx)
+            for c in net.consumers:
+                dst = placement.coord_of(c.instance_idx)
+                if src != dst:
+                    route_net(net.net_id, src, dst, table, device)
+        if net.net_id in input_nets:
+            for c in net.consumers:
+                dst = placement.coord_of(c.instance_idx)
+                route_net(net.net_id, (dst[0], -1), dst, table, device)
+        if net.net_id in output_nets:
+            for p in net.producers:
+                src = placement.coord_of(p.instance_idx)
+                route_net(net.net_id, src, (src[0], -1), table, device)
+    return table

@@ -1,0 +1,443 @@
+"""Graph-level cycle-approximate simulation (the aiesim analog).
+
+``simulate_graph`` assembles the full model for one compute graph:
+
+1. trace + time every kernel (:mod:`repro.aiesim.kernelprog`),
+2. place kernels on the tile grid (:mod:`repro.aiesim.placer`) and route
+   all stream circuits (:mod:`repro.aiesim.router`),
+3. instantiate the DES: tile executors, window channels, DMAs, PLIO
+   feeders/collectors,
+4. run until every graph output has produced ``n_blocks`` blocks,
+5. report the steady-state **time between iterations** — the metric the
+   paper reads from aiesim execution traces for Table 1 — plus per-tile
+   utilization (the AIE-profiler style number used for bitonic).
+
+``mode`` selects the code-generation flavour being timed: ``"hand"``
+models the original hand-written ADF kernels, ``"thunk"`` models the
+cgsim-extracted kernels with generic port adapter thunks (§4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.builder import CompiledGraph
+from ..core.dtypes import WindowType
+from ..core.graph import ComputeGraph
+from ..errors import SimulationError
+from .device import VC1902, DeviceDescriptor
+from .dma import Mm2sDma, S2mmDma, WindowChannel
+from .memory import BufferRequest, TileMemoryAllocator
+from .events import Environment
+from .kernelprog import KernelProgram, TraceStimulus, build_kernel_program
+from .placer import Placement, place_graph
+from .router import RoutingTable, route_all
+from .stream import (
+    DdrModel,
+    GmioCollector,
+    GmioFeeder,
+    PlioCollector,
+    PlioFeeder,
+    StreamLink,
+)
+from .tile import PortBinding, TileExecutor
+from .timing import CycleModel
+
+__all__ = ["AiesimReport", "simulate_graph"]
+
+
+@dataclass
+class AiesimReport:
+    """Results of one cycle-approximate graph simulation."""
+
+    graph_name: str
+    mode: str
+    device_name: str
+    n_blocks: int
+    #: Steady-state cycles between consecutive output blocks.
+    block_interval_cycles: float
+    #: Same, in nanoseconds at the device's AIE clock.
+    block_interval_ns: float
+    #: Cycle timestamp of the first completed output block (fill latency).
+    first_block_cycles: int
+    #: Per-output-port block completion timestamps (cycles).
+    output_block_times: Dict[str, List[int]] = field(default_factory=dict)
+    #: Per-kernel-instance tile statistics.
+    tiles: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    kernel_programs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    placement_text: str = ""
+    routing_hops: int = 0
+    routing_congestion: int = 0
+    des_events: int = 0
+    sim_wall_seconds: float = 0.0
+    warnings: List[str] = field(default_factory=list)
+
+    def __repr__(self):
+        return (
+            f"<AiesimReport {self.graph_name!r}/{self.mode} "
+            f"interval={self.block_interval_ns:.1f}ns "
+            f"({self.block_interval_cycles:.0f}cyc) "
+            f"blocks={self.n_blocks}>"
+        )
+
+
+def _steady_interval(times: List[int]) -> float:
+    """Steady-state inter-block interval from completion timestamps."""
+    if not times:
+        return float("nan")
+    if len(times) == 1:
+        return float(times[0])
+    if len(times) == 2:
+        return float(times[1] - times[0])
+    # Skip the fill-latency block; average the rest.
+    return (times[-1] - times[0]) / (len(times) - 1)
+
+
+def _stimulus_for(graph: ComputeGraph, inst, rtp_values: Dict[str, Any]
+                  ) -> TraceStimulus:
+    """Derive the trace stimulus from 'block_items' net attributes."""
+    block_items: Dict[str, int] = {}
+    rtps: Dict[str, Any] = {}
+    for port_idx, net_id in enumerate(inst.port_nets):
+        spec = inst.kernel.port_specs[port_idx]
+        if not spec.is_input:
+            continue
+        net = graph.net(net_id)
+        if net.settings.runtime_parameter:
+            if net.name in rtp_values:
+                rtps[spec.name] = rtp_values[net.name]
+            elif "rtp_value" in net.attrs:
+                rtps[spec.name] = net.attrs["rtp_value"]
+            continue
+        if isinstance(spec.dtype, WindowType):
+            continue
+        items = net.attrs.get("block_items")
+        if items is None:
+            raise SimulationError(
+                f"stream net {net.name!r} feeding {inst.instance_name}."
+                f"{spec.name} has no 'block_items' attribute; the "
+                f"cycle-approximate simulator needs the per-iteration "
+                f"element count (set it with "
+                f"connector.set_attrs(block_items=N))"
+            )
+        block_items[spec.name] = int(items)
+    return TraceStimulus(block_items=block_items, rtp_values=rtps)
+
+
+def simulate_graph(graph: CompiledGraph | ComputeGraph,
+                   mode: str = "thunk",
+                   n_blocks: int = 8,
+                   device: DeviceDescriptor = VC1902,
+                   model: Optional[CycleModel] = None,
+                   rtp_values: Optional[Dict[str, Any]] = None,
+                   max_events: int = 50_000_000,
+                   force_window_streaming: bool = False) -> AiesimReport:
+    """Run the cycle-approximate simulation of one compute graph.
+
+    ``force_window_streaming`` pretends no window pair shares memory,
+    routing every kernel-to-kernel window through DMA + stream — a
+    what-if lever for placement studies.
+    """
+    t_wall0 = perf_counter()
+    g = graph.graph if isinstance(graph, CompiledGraph) else graph
+    model = model or CycleModel()
+    rtp_values = rtp_values or {}
+    warnings: List[str] = []
+
+    if not g.outputs:
+        raise SimulationError(
+            f"graph {g.name!r} has no outputs; the simulator measures "
+            f"output block intervals"
+        )
+
+    # --- 1. kernel programs -------------------------------------------------
+    programs: Dict[int, KernelProgram] = {}
+    for inst in g.kernels:
+        stim = _stimulus_for(g, inst, rtp_values)
+        programs[inst.index] = build_kernel_program(
+            inst.kernel, stim, mode, model
+        )
+
+    # --- 2. placement & routing -----------------------------------------------
+    placement = place_graph(g, device)
+    if force_window_streaming:
+        placement.window_shared = {
+            k: False for k in placement.window_shared
+        }
+    warnings.extend(placement.warnings)
+    routing = route_all(g, placement, device)
+
+    # --- 3. DES assembly ----------------------------------------------------------
+    env = Environment()
+    _ddr: List[DdrModel] = []  # lazily created shared DDR controller
+
+    def ddr() -> DdrModel:
+        if not _ddr:
+            _ddr.append(DdrModel(env))
+        return _ddr[0]
+
+    def make_feeder(net, link, words: int) -> None:
+        """PLIO or GMIO input endpoint, per the net's io_mode attr."""
+        if net.attrs.get("io_mode") == "gmio":
+            GmioFeeder(env, ddr(), link, net.name, words, n_blocks + 2)
+        else:
+            PlioFeeder(env, device, link, net.name, words, n_blocks + 2)
+
+    def make_collector(net, link, cidx: int, io_name: str, words: int):
+        if net.attrs.get("io_mode") == "gmio":
+            return GmioCollector(env, ddr(), link, cidx, io_name,
+                                 words_per_block=words, n_blocks=n_blocks)
+        return PlioCollector(env, device, link, cidx, io_name,
+                             words_per_block=words, n_blocks=n_blocks)
+    bindings: Dict[int, Dict[str, PortBinding]] = {
+        inst.index: {} for inst in g.kernels
+    }
+    collectors: List[PlioCollector] = []
+    collector_names: List[str] = []
+    input_nets = {io.net_id: io for io in g.inputs}
+    outputs_by_net: Dict[int, List] = {}
+    for io in g.outputs:
+        outputs_by_net.setdefault(io.net_id, []).append(io)
+
+    def spec_of(ep):
+        return g.kernels[ep.instance_idx].kernel.port_specs[ep.port_idx]
+
+    tile_buffers: Dict[int, List[BufferRequest]] = {}
+
+    for net in g.nets:
+        if net.settings.runtime_parameter:
+            for ep in net.consumers:
+                bindings[ep.instance_idx][spec_of(ep).name] = \
+                    PortBinding(kind="rtp")
+            continue
+
+        is_window = isinstance(net.dtype, WindowType)
+        kernel_consumers = list(net.consumers)
+        kernel_producers = list(net.producers)
+        net_outputs = outputs_by_net.get(net.net_id, [])
+        is_input = net.net_id in input_nets
+
+        if is_window:
+            if is_input and kernel_producers:
+                raise SimulationError(
+                    f"window net {net.name!r} merges a graph input with "
+                    f"kernel producers; unsupported topology"
+                )
+            buffer_bytes = net.dtype.nbytes
+            # One channel per consuming endpoint (kernel or output).
+            consumer_channels: List[WindowChannel] = []
+            for ep in kernel_consumers:
+                ch = WindowChannel(env, f"{net.name}->k{ep.instance_idx}",
+                                   buffer_bytes)
+                consumer_channels.append(ch)
+                bindings[ep.instance_idx][spec_of(ep).name] = PortBinding(
+                    kind="win_in", channels=(ch,)
+                )
+                tile_buffers.setdefault(ep.instance_idx, []).append(
+                    BufferRequest(name=ch.name, nbytes=ch.n_buffers *
+                                  buffer_bytes, ping_pong=True,
+                                  dma_filled=is_input)
+                )
+            out_channels: List[WindowChannel] = []
+            for io in net_outputs:
+                ch = WindowChannel(env, f"{net.name}->out{io.io_index}",
+                                   buffer_bytes)
+                out_channels.append(ch)
+                for ep in kernel_producers:
+                    tile_buffers.setdefault(ep.instance_idx, []).append(
+                        BufferRequest(name=ch.name,
+                                      nbytes=ch.n_buffers * buffer_bytes,
+                                      ping_pong=True, dma_filled=True)
+                    )
+
+            shared = placement.window_shared.get(net.net_id, True)
+            if is_input:
+                # PLIO -> S2MM DMA -> per-consumer channels.
+                link = StreamLink(env, device, f"in:{net.name}",
+                                  n_consumers=len(consumer_channels),
+                                  fifo_words=device.stream_fifo_words)
+                words = max(1, (buffer_bytes + 3) // 4)
+                make_feeder(net, link, words)
+                cpw = 2 if net.attrs.get("dma_transpose") else 1
+                for i, ch in enumerate(consumer_channels):
+                    S2mmDma(env, ch, link, i, f"{net.name}[{i}]",
+                            n_blocks + 2, cycles_per_word=cpw)
+            elif kernel_producers:
+                all_channels = tuple(consumer_channels + out_channels)
+                if shared or not kernel_consumers:
+                    for ep in kernel_producers:
+                        bindings[ep.instance_idx][spec_of(ep).name] = \
+                            PortBinding(kind="win_out", channels=all_channels)
+                else:
+                    # Stream-DMA fallback: producer-side channel, then
+                    # MM2S -> link -> S2MM into each consumer channel.
+                    for ep in kernel_producers:
+                        pch = WindowChannel(
+                            env, f"{net.name}<-k{ep.instance_idx}",
+                            buffer_bytes,
+                        )
+                        bindings[ep.instance_idx][spec_of(ep).name] = \
+                            PortBinding(kind="win_out", channels=(pch,))
+                        link = StreamLink(
+                            env, device, f"dma:{net.name}",
+                            n_consumers=len(all_channels),
+                        )
+                        Mm2sDma(env, pch, link, net.name, n_blocks + 2)
+                        for i, ch in enumerate(all_channels):
+                            S2mmDma(env, ch, link, i,
+                                    f"{net.name}[{i}]", n_blocks + 2)
+
+            # Output windows drain through MM2S to PLIO collectors.
+            for io, ch in zip(net_outputs, out_channels):
+                link = StreamLink(env, device, f"out:{net.name}",
+                                  n_consumers=1)
+                cpw = 2 if net.attrs.get("dma_transpose") else 1
+                Mm2sDma(env, ch, link, f"{net.name}->plio", n_blocks + 2,
+                        cycles_per_word=cpw)
+                col = make_collector(net, link, 0, io.name, ch.words)
+                collectors.append(col)
+                collector_names.append(io.name)
+            continue
+
+        # ---- stream net -------------------------------------------------------
+        n_link_consumers = len(kernel_consumers) + len(net_outputs)
+        link = StreamLink(env, device, net.name,
+                          n_consumers=n_link_consumers)
+        cidx = 0
+        for ep in kernel_consumers:
+            bindings[ep.instance_idx][spec_of(ep).name] = PortBinding(
+                kind="stream_in", link=link, consumer_idx=cidx
+            )
+            cidx += 1
+        for ep in kernel_producers:
+            bindings[ep.instance_idx][spec_of(ep).name] = PortBinding(
+                kind="stream_out", link=link
+            )
+        if is_input:
+            if not kernel_consumers and not net_outputs:
+                # A declared input nobody reads: nothing to feed.
+                warnings.append(
+                    f"input net {net.name!r} has no consumers; "
+                    f"no PLIO feeder instantiated"
+                )
+                continue
+            # Feeder paced by the words one iteration consumes.
+            words = None
+            for ep in kernel_consumers:
+                words = programs[ep.instance_idx].io_words.get(
+                    spec_of(ep).name
+                )
+                if words:
+                    break
+            if words is None:
+                raise SimulationError(
+                    f"cannot derive per-block word count for input net "
+                    f"{net.name!r}"
+                )
+            make_feeder(net, link, words)
+        for io in net_outputs:
+            words = None
+            for ep in kernel_producers:
+                words = programs[ep.instance_idx].io_words.get(
+                    spec_of(ep).name
+                )
+                if words:
+                    break
+            if words is None:
+                raise SimulationError(
+                    f"cannot derive per-block word count for output net "
+                    f"{net.name!r}"
+                )
+            col = make_collector(net, link, cidx, io.name, words)
+            cidx += 1
+            collectors.append(col)
+            collector_names.append(io.name)
+
+    # Memory budget: allocate every tile's window buffers into banks.
+    tile_memory: Dict[int, Any] = {}
+    for inst_idx, requests in tile_buffers.items():
+        coord = placement.coord_of(inst_idx)
+        alloc = TileMemoryAllocator(device, coord).allocate(requests)
+        tile_memory[inst_idx] = alloc
+        if alloc.spilled:
+            warnings.append(
+                f"instance {g.kernels[inst_idx].instance_name}: window "
+                f"buffers {alloc.spilled} exceed {device.tile_memory_bytes}"
+                f" B tile memory (would spill to neighbour tiles)"
+            )
+
+    # --- tiles ---------------------------------------------------------------
+    executors: Dict[str, TileExecutor] = {}
+    for inst in g.kernels:
+        ex = TileExecutor(env, inst.instance_name, programs[inst.index],
+                          bindings[inst.index])
+        executors[inst.instance_name] = ex
+
+    # --- 4. run ---------------------------------------------------------------
+    env.run(max_events=max_events)
+    unfinished = [
+        name for col, name in zip(collectors, collector_names)
+        if not col.done
+    ]
+    if unfinished:
+        raise SimulationError(
+            f"simulation of {g.name!r} stalled before outputs "
+            f"{unfinished} completed {n_blocks} blocks; blocked:\n"
+            + env.blocked_report()
+        )
+
+    # --- 5. report ------------------------------------------------------------
+    all_times = [col.block_times for col in collectors]
+    # The graph's iteration interval is the slowest output's interval.
+    interval = max(_steady_interval(t) for t in all_times)
+    first = max(t[0] for t in all_times)
+    report = AiesimReport(
+        graph_name=g.name,
+        mode=mode,
+        device_name=device.name,
+        n_blocks=n_blocks,
+        block_interval_cycles=interval,
+        block_interval_ns=interval * device.ns_per_cycle,
+        first_block_cycles=first,
+        output_block_times={
+            name: col.block_times
+            for name, col in zip(collector_names, collectors)
+        },
+        tiles={
+            name: {
+                "busy_cycles": ex.stats.busy_cycles,
+                "blocks": ex.stats.blocks_done,
+                "utilization": ex.utilization(),
+                "coord": placement.coord_of(idx),
+                "memory_bytes": (
+                    tile_memory[idx].total_bytes
+                    if idx in tile_memory else 0
+                ),
+                "bank_conflict_factor": (
+                    tile_memory[idx].conflict_factor()
+                    if idx in tile_memory else 1.0
+                ),
+            }
+            for name, ex in executors.items()
+            for idx in [next(i.index for i in g.kernels
+                             if i.instance_name == name)]
+        },
+        kernel_programs={
+            g.kernels[idx].instance_name: {
+                "classification": prog.classification,
+                "body_cycles_lower_bound": prog.body_cycles_lower_bound,
+                "mode": prog.mode,
+                "io_words": dict(prog.io_words),
+            }
+            for idx, prog in programs.items()
+        },
+        placement_text=placement.describe(),
+        routing_hops=routing.total_hops,
+        routing_congestion=routing.max_congestion,
+        des_events=env.events_executed,
+        sim_wall_seconds=perf_counter() - t_wall0,
+        warnings=warnings,
+    )
+    return report

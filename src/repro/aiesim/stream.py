@@ -1,0 +1,234 @@
+"""Stream transport models: switch FIFOs, PLIO endpoints, broadcast.
+
+Streams on the AIE array move 32-bit words through a circuit-switched
+network of stream switches with small per-port FIFOs; backpressure is
+wired into the protocol.  PLIO ports bridge to the programmable logic at
+the array's south edge — with the paper's clocks (1250/625 MHz, 64-bit
+PLIO) one PLIO sustains one 32-bit word per AIE cycle.
+
+The model is word-granular: every word is one DES store item.  Broadcast
+nets replicate words into one FIFO per consumer (the stream switch does
+this replication in hardware at no extra cost to the producer, but the
+producer stalls until *all* branch FIFOs can accept the word — exactly
+the hardware's backpressure-on-any-branch behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..errors import SimulationError
+from .device import DeviceDescriptor
+from .events import Acquire, CountingLock, Environment, Get, Put, Release, Store, Timeout
+
+__all__ = ["StreamLink", "PlioFeeder", "PlioCollector",
+           "DdrModel", "GmioFeeder", "GmioCollector"]
+
+
+class StreamLink:
+    """A stream net realised in hardware: one FIFO per consumer edge."""
+
+    def __init__(self, env: Environment, device: DeviceDescriptor,
+                 name: str, n_consumers: int,
+                 fifo_words: Optional[int] = None):
+        self.env = env
+        self.name = name
+        depth = fifo_words if fifo_words is not None \
+            else device.stream_fifo_words
+        # A net with no consumers still accepts (and drops) traffic.
+        self.fifos: List[Store] = [
+            Store(depth, name=f"{name}[{i}]") for i in range(n_consumers)
+        ]
+        self.words_moved = 0
+
+    def put_word(self) -> Generator:
+        """Producer-side: deliver one word to every consumer FIFO.
+
+        A generator to be delegated to via ``yield from``.
+        """
+        self.words_moved += 1
+        for fifo in self.fifos:
+            yield Put(fifo, 1)
+
+    def get_word(self, consumer_idx: int) -> Generator:
+        """Consumer-side: take one word from this consumer's FIFO."""
+        if not (0 <= consumer_idx < len(self.fifos)):
+            raise SimulationError(
+                f"stream link {self.name!r} has no consumer {consumer_idx}"
+            )
+        yield Get(self.fifos[consumer_idx])
+
+
+class PlioFeeder:
+    """Array-boundary input: injects words at the PLIO rate.
+
+    Runs as a DES process pushing ``words_per_block * n_blocks`` words
+    into a :class:`StreamLink`, pacing itself at the PLIO bandwidth
+    (one word per AIE cycle with the paper's clock configuration).
+    """
+
+    def __init__(self, env: Environment, device: DeviceDescriptor,
+                 link: StreamLink, name: str,
+                 words_per_block: int, n_blocks: int):
+        self.env = env
+        self.link = link
+        self.name = name
+        self.words_per_block = words_per_block
+        self.n_blocks = n_blocks
+        self.words_sent = 0
+        cycles_per_word = max(
+            1, round(4 / device.plio_bytes_per_aie_cycle)
+        )
+        self._cycles_per_word = cycles_per_word
+        env.spawn(f"plio_in:{name}", self._run())
+
+    def _run(self) -> Generator:
+        total = self.words_per_block * self.n_blocks
+        for _ in range(total):
+            yield Timeout(self._cycles_per_word)
+            yield from self.link.put_word()
+            self.words_sent += 1
+
+
+class PlioCollector:
+    """Array-boundary output: drains words, timestamps block completion."""
+
+    def __init__(self, env: Environment, device: DeviceDescriptor,
+                 link: StreamLink, consumer_idx: int, name: str,
+                 words_per_block: int, n_blocks: int):
+        self.env = env
+        self.link = link
+        self.consumer_idx = consumer_idx
+        self.name = name
+        self.words_per_block = words_per_block
+        self.n_blocks = n_blocks
+        self.block_times: List[int] = []
+        self.words_received = 0
+        cycles_per_word = max(
+            1, round(4 / device.plio_bytes_per_aie_cycle)
+        )
+        self._cycles_per_word = cycles_per_word
+        env.spawn(f"plio_out:{name}", self._run())
+
+    @property
+    def done(self) -> bool:
+        return len(self.block_times) >= self.n_blocks
+
+    def _run(self) -> Generator:
+        words_in_block = 0
+        while len(self.block_times) < self.n_blocks:
+            yield from self.link.get_word(self.consumer_idx)
+            yield Timeout(self._cycles_per_word)
+            self.words_received += 1
+            words_in_block += 1
+            if words_in_block == self.words_per_block:
+                self.block_times.append(self.env.now)
+                words_in_block = 0
+
+
+# ---------------------------------------------------------------------------
+# Global Memory I/O (GMIO) — the paper's sec. 6 extension, implemented.
+# ---------------------------------------------------------------------------
+
+
+class DdrModel:
+    """Shared DDR memory-controller model backing all GMIO ports.
+
+    GMIO transfers move data between the AIE array and global memory in
+    bursts; the controller services a bounded number of outstanding
+    bursts and each burst pays an access latency before its words
+    stream.  One DdrModel instance is shared by every GMIO endpoint of
+    a simulation, so heavy multi-port GMIO traffic contends — the
+    behaviour that distinguishes GMIO from dedicated PLIO lanes.
+    """
+
+    #: Words per DDR burst (64 x 32-bit = 256 B).
+    BURST_WORDS = 64
+    #: Cycles of access latency per burst (row activation + controller).
+    BURST_LATENCY = 100
+    #: Maximum overlapping bursts the controller services.
+    MAX_OUTSTANDING = 2
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.tokens = CountingLock(
+            value=self.MAX_OUTSTANDING,
+            max_value=self.MAX_OUTSTANDING,
+            name="ddr",
+        )
+        self.bursts_serviced = 0
+
+    def burst(self, words: int) -> Generator:
+        """One burst transaction of up to BURST_WORDS words."""
+        yield Acquire(self.tokens)
+        yield Timeout(self.BURST_LATENCY)
+        # GMIO is 64-bit at the AIE clock: 2 words per cycle.
+        yield Timeout((words + 1) // 2)
+        self.bursts_serviced += 1
+        yield Release(self.tokens)
+
+
+class GmioFeeder:
+    """Array input from global memory through a GMIO port."""
+
+    def __init__(self, env: Environment, ddr: DdrModel, link: StreamLink,
+                 name: str, words_per_block: int, n_blocks: int):
+        self.env = env
+        self.ddr = ddr
+        self.link = link
+        self.name = name
+        self.words_per_block = words_per_block
+        self.n_blocks = n_blocks
+        self.words_sent = 0
+        env.spawn(f"gmio_in:{name}", self._run())
+
+    def _run(self) -> Generator:
+        total = self.words_per_block * self.n_blocks
+        remaining = total
+        while remaining > 0:
+            burst_words = min(DdrModel.BURST_WORDS, remaining)
+            yield from self.ddr.burst(burst_words)
+            for _ in range(burst_words):
+                yield from self.link.put_word()
+                self.words_sent += 1
+            remaining -= burst_words
+
+
+class GmioCollector:
+    """Array output to global memory through a GMIO port."""
+
+    def __init__(self, env: Environment, ddr: DdrModel, link: StreamLink,
+                 consumer_idx: int, name: str, words_per_block: int,
+                 n_blocks: int):
+        self.env = env
+        self.ddr = ddr
+        self.link = link
+        self.consumer_idx = consumer_idx
+        self.name = name
+        self.words_per_block = words_per_block
+        self.n_blocks = n_blocks
+        self.block_times: List[int] = []
+        self.words_received = 0
+        env.spawn(f"gmio_out:{name}", self._run())
+
+    @property
+    def done(self) -> bool:
+        return len(self.block_times) >= self.n_blocks
+
+    def _run(self) -> Generator:
+        words_in_block = 0
+        buffered = 0
+        while len(self.block_times) < self.n_blocks:
+            yield from self.link.get_word(self.consumer_idx)
+            self.words_received += 1
+            words_in_block += 1
+            buffered += 1
+            if buffered == DdrModel.BURST_WORDS:
+                yield from self.ddr.burst(buffered)
+                buffered = 0
+            if words_in_block == self.words_per_block:
+                if buffered:
+                    yield from self.ddr.burst(buffered)
+                    buffered = 0
+                self.block_times.append(self.env.now)
+                words_in_block = 0

@@ -1,0 +1,161 @@
+"""Tile executor: runs one kernel program on one AIE tile.
+
+The executor is a DES process replaying the kernel's timed program
+(init once, then the loop body per block): compute segments consume
+cycles; stream segments interact with :class:`StreamLink` FIFOs; window
+segments perform the lock protocol on :class:`WindowChannel` pairs
+(holding the consumed buffer until the next acquire, i.e. true
+ping-pong).  The executor accounts busy vs stall cycles for the
+profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .dma import WindowChannel
+from .events import Acquire, Environment, Release, Timeout
+from .kernelprog import KernelProgram, Segment
+from .stream import StreamLink
+
+__all__ = ["PortBinding", "TileExecutor"]
+
+
+@dataclass
+class PortBinding:
+    """How one kernel port maps onto hardware transport.
+
+    kind:
+        ``stream_in`` (link + consumer index), ``stream_out`` (link),
+        ``win_in`` (one WindowChannel), ``win_out`` (one channel per
+        consumer — broadcast windows release each), ``rtp`` (none).
+    """
+
+    kind: str
+    link: Optional[StreamLink] = None
+    consumer_idx: int = -1
+    channels: Tuple[WindowChannel, ...] = ()
+
+
+@dataclass
+class TileStats:
+    busy_cycles: int = 0
+    blocks_done: int = 0
+    start_time: int = 0
+    last_block_time: int = 0
+    block_times: List[int] = field(default_factory=list)
+
+
+class TileExecutor:
+    """One kernel instance executing on one tile."""
+
+    def __init__(self, env: Environment, name: str, program: KernelProgram,
+                 bindings: Dict[str, PortBinding]):
+        self.env = env
+        self.name = name
+        self.program = program
+        self.bindings = bindings
+        self.stats = TileStats()
+        self._held: Dict[str, bool] = {}
+        self._check_bindings()
+        env.spawn(f"tile:{name}", self._run())
+
+    def _check_bindings(self) -> None:
+        for seg in self.program.init + self.program.body:
+            if seg.kind == "compute":
+                continue
+            if seg.kind == "rtp_rd":
+                continue
+            if seg.port not in self.bindings:
+                raise SimulationError(
+                    f"tile {self.name}: no binding for port {seg.port!r}"
+                )
+
+    # -- execution ---------------------------------------------------------------
+
+    def _run(self) -> Generator:
+        self.stats.start_time = self.env.now
+        for seg in self.program.init:
+            yield from self._exec(seg)
+        while True:
+            overhead = self.program.per_block_overhead
+            if overhead:
+                self.stats.busy_cycles += overhead
+                yield Timeout(overhead)
+            for seg in self.program.body:
+                yield from self._exec(seg)
+            self.stats.blocks_done += 1
+            self.stats.last_block_time = self.env.now
+            self.stats.block_times.append(self.env.now)
+
+    def _exec(self, seg: Segment) -> Generator:
+        kind = seg.kind
+        if kind == "compute":
+            self.stats.busy_cycles += seg.cycles
+            yield Timeout(seg.cycles)
+            return
+        if kind == "rtp_rd":
+            self.stats.busy_cycles += seg.cycles
+            yield Timeout(seg.cycles)
+            return
+
+        binding = self.bindings[seg.port]
+        if kind == "stream_rd":
+            if binding.kind != "stream_in":
+                raise SimulationError(
+                    f"{self.name}: stream_rd on non-stream port {seg.port!r}"
+                )
+            self.stats.busy_cycles += seg.cycles
+            yield Timeout(seg.cycles)
+            for _ in range(seg.words):
+                yield from binding.link.get_word(binding.consumer_idx)
+        elif kind == "stream_wr":
+            if binding.kind != "stream_out":
+                raise SimulationError(
+                    f"{self.name}: stream_wr on non-stream port {seg.port!r}"
+                )
+            self.stats.busy_cycles += seg.cycles
+            yield Timeout(seg.cycles)
+            for _ in range(seg.words):
+                yield from binding.link.put_word()
+        elif kind == "win_rd":
+            if binding.kind != "win_in":
+                raise SimulationError(
+                    f"{self.name}: win_rd on non-window port {seg.port!r}"
+                )
+            channel = binding.channels[0]
+            if self._held.get(seg.port):
+                # Ping-pong: hand the previous buffer back first.
+                yield Release(channel.empty)
+            yield Acquire(channel.full)
+            self._held[seg.port] = True
+            channel.blocks_moved += 1
+            self.stats.busy_cycles += seg.cycles
+            yield Timeout(seg.cycles)
+        elif kind == "win_wr":
+            if binding.kind != "win_out":
+                raise SimulationError(
+                    f"{self.name}: win_wr on non-window port {seg.port!r}"
+                )
+            for channel in binding.channels:
+                yield Acquire(channel.empty)
+            self.stats.busy_cycles += seg.cycles
+            yield Timeout(seg.cycles)
+            for channel in binding.channels:
+                channel.blocks_moved += 1
+                yield Release(channel.full)
+        else:
+            raise SimulationError(
+                f"{self.name}: unknown segment kind {kind!r}"
+            )
+
+    # -- reporting ----------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Busy fraction since the first segment started."""
+        span = self.stats.last_block_time - self.stats.start_time
+        if span <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_cycles / span)

@@ -1,0 +1,261 @@
+"""VLIW issue-slot timing model for AIE kernels.
+
+The AIE core is a 7-way VLIW: per cycle it can issue two vector loads,
+one vector store, one vector-unit operation (fixed *or* floating point),
+one scalar operation, and moves.  The cycle model packs a recorded
+micro-op trace into these slots under the software-pipelining assumption
+(aiecompiler pipelines inner loops aggressively), i.e. the cycle count
+of a compute segment is the *slot-bound*:
+
+    cycles = max_slot ceil(total_issues(slot) / slots_per_cycle(slot))
+
+plus a fixed per-segment scheduling overhead.
+
+Extraction overhead model
+-------------------------
+Table 1's "This work" column measures kernels whose I/O went through the
+extractor's generic port adapter thunks instead of hand-written native
+stream access (§4.4–4.5); the paper attributes the measured 0–15%
+penalty to "differences in code generation around I/O stream access"
+(§5.2).  :class:`ExtractionOverheadModel` encodes that attribution as
+three mechanisms, calibrated against the paper's published numbers (see
+EXPERIMENTS.md):
+
+* per stream-element access, the adapter thunk adds guard/move scalar
+  ops (hits kernels with per-element stream I/O: bitonic, bilinear);
+* kernels whose inner loops are hand-pipelined fixed-point MAC chains
+  lose a few percent of VLIW packing efficiency because the generic
+  port types inhibit pointer post-increment tricks (farrow);
+* hand/ADF kernels pay a per-block kernel-invocation overhead that the
+  extracted persistent-loop (`while(true)`) kernels avoid — which is
+  why a bulk-restructured kernel with window I/O (IIR) can come out
+  marginally *faster* after extraction, as the paper measured
+  (100.46%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..aieintr.tracing import MicroOp
+from ..errors import TimingModelError
+
+__all__ = [
+    "SlotModel",
+    "ExtractionOverheadModel",
+    "CycleModel",
+    "KernelClassification",
+    "classify_trace",
+]
+
+# Issue slots and how many of each the VLIW can issue per cycle.
+SLOTS_PER_CYCLE: Dict[str, int] = {
+    "ld": 2,   # two 256-bit load units
+    "st": 1,   # one 256-bit store unit
+    "vec": 1,  # vector ALU (fixed or float)
+    "scl": 1,  # scalar unit
+    "mv": 1,   # move/upd/ext path
+}
+
+# op mnemonic -> (slot, lanes processed per issue, keyed by element bytes)
+# Lanes-per-issue reflects AIE1 datapath widths: 32 int16 MACs/cycle,
+# 8 fp32 MACs/cycle, 512-bit shuffle network, 256-bit load/store.
+_DEFAULT = {1: 32, 2: 32, 4: 16, 8: 8}
+_OP_TABLE: Dict[str, Tuple[str, Dict[int, int]]] = {
+    # vector ALU
+    "vmul": ("vec", {1: 64, 2: 32, 4: 8, 8: 8}),
+    "vmac": ("vec", {1: 64, 2: 32, 4: 8, 8: 8}),
+    "vmsc": ("vec", {1: 64, 2: 32, 4: 8, 8: 8}),
+    "vmul_acc": ("vec", {1: 64, 2: 32, 4: 8, 8: 8}),
+    "vfpmul": ("vec", {4: 8, 8: 4}),
+    "vfpmac": ("vec", {4: 8, 8: 4}),
+    "vfpmsc": ("vec", {4: 8, 8: 4}),
+    "vadd": ("vec", _DEFAULT),
+    "vsub": ("vec", _DEFAULT),
+    "vneg": ("vec", _DEFAULT),
+    "vabs": ("vec", _DEFAULT),
+    "vmax": ("vec", _DEFAULT),
+    "vmin": ("vec", _DEFAULT),
+    "vsel": ("vec", _DEFAULT),
+    "vcmp": ("vec", _DEFAULT),
+    "vshuffle": ("vec", {1: 64, 2: 32, 4: 16, 8: 8}),
+    "vreduce": ("vec", _DEFAULT),
+    "vsrs": ("vec", {1: 16, 2: 16, 4: 16, 8: 16}),
+    "srs": ("vec", {1: 16, 2: 16, 4: 16, 8: 16}),
+    "ups": ("vec", {1: 16, 2: 16, 4: 16, 8: 16}),
+    "vconv": ("vec", _DEFAULT),
+    "vacc_add": ("vec", {8: 8, 4: 8}),
+    "vacc_clr": ("vec", {8: 16, 4: 16}),
+    "vbcast": ("vec", _DEFAULT),
+    "vreduce_add": ("vec", _DEFAULT),
+    # load/store (lanes-per-issue derived from 32-byte accesses)
+    "vld": ("ld", None),
+    "vst": ("st", None),
+    "vmov": ("mv", None),
+    "vconcat": ("mv", None),
+    # element moves
+    "vext_elem": ("mv", {1: 1, 2: 1, 4: 1, 8: 1}),
+    "vupd_elem": ("mv", {1: 1, 2: 1, 4: 1, 8: 1}),
+    "vshift_elem": ("mv", {1: 1, 2: 1, 4: 1, 8: 1}),
+    "vext": ("mv", {1: 64, 2: 32, 4: 16, 8: 8}),
+    "vupd": ("mv", {1: 64, 2: 32, 4: 16, 8: 8}),
+    "vclr": ("mv", {1: 64, 2: 64, 4: 64, 8: 64}),
+    # scalar
+    "scl": ("scl", {1: 1, 2: 1, 4: 1, 8: 1}),
+}
+
+#: Micro-ops that are I/O interactions, handled by the DES rather than
+#: the slot packer.
+IO_OPS = frozenset({
+    "stream_rd", "stream_wr", "win_rd", "win_wr", "rtp_rd", "rtp_wr",
+})
+
+#: Bytes moved per load/store issue (256-bit memory interfaces).
+LDST_BYTES_PER_ISSUE = 32
+
+
+@dataclass(frozen=True)
+class SlotModel:
+    """Per-segment packing parameters."""
+
+    #: Fixed scheduling overhead added to every compute segment
+    #: (loop prologue/epilogue, branch shadow).
+    segment_overhead_cycles: int = 2
+
+
+@dataclass(frozen=True)
+class ExtractionOverheadModel:
+    """Calibrated costs of the extractor's generic port thunks (§4.5).
+
+    ``mode='hand'`` models the original AMD ADF kernel; ``mode='thunk'``
+    models the cgsim-extracted kernel.  See module docstring for the
+    mechanism behind each constant.
+    """
+
+    # per stream *element* access
+    stream_access_scl_hand: int = 1
+    stream_access_scl_thunk: int = 2       # + adapter guard per access
+
+    # VLIW packing efficiency of extracted kernels, by kernel class
+    stream_loop_efficiency: float = 0.89
+    fixedpoint_loop_efficiency: float = 0.885
+    bulk_efficiency: float = 1.0
+
+    # per window acquire/release handshake
+    window_handshake_hand: int = 10
+    window_handshake_thunk: int = 18
+
+    # per block: ADF kernel invocation vs extracted persistent loop
+    adf_invocation_cycles: int = 32
+    persistent_loop_cycles: int = 2
+
+
+class KernelClassification:
+    """I/O-pattern classes that select the packing-efficiency constant."""
+
+    STREAM_LOOP = "stream_loop"       # per-element stream I/O in the loop
+    FIXEDPOINT_LOOP = "fixedpoint_loop"  # hand-pipelined int MAC chains
+    BULK = "bulk"                     # restructured bulk compute
+
+
+def classify_trace(ops: Iterable[MicroOp]) -> str:
+    """Classify a kernel body trace into a :class:`KernelClassification`.
+
+    Stream-element accesses anywhere in the loop mark a stream loop;
+    otherwise a vector-lane mix dominated by integer MACs marks a
+    hand-pipelined fixed-point loop; everything else is bulk compute.
+    """
+    n_stream = 0
+    n_total = 0
+    int_mac_lanes = 0
+    vec_lanes = 0
+    for op in ops:
+        n_total += 1
+        if op.op in ("stream_rd", "stream_wr"):
+            n_stream += 1
+        slot_entry = _OP_TABLE.get(op.op)
+        if slot_entry is not None and slot_entry[0] == "vec":
+            vec_lanes += op.lanes
+            if op.op in ("vmul", "vmac", "vmsc", "vmul_acc"):
+                int_mac_lanes += op.lanes
+    if n_total and n_stream / n_total > 0.02:
+        return KernelClassification.STREAM_LOOP
+    if vec_lanes and int_mac_lanes / vec_lanes >= 0.4:
+        return KernelClassification.FIXEDPOINT_LOOP
+    return KernelClassification.BULK
+
+
+class CycleModel:
+    """Packs micro-op segments into VLIW cycles."""
+
+    def __init__(self, slots: SlotModel = SlotModel(),
+                 overheads: ExtractionOverheadModel = ExtractionOverheadModel()):
+        self.slots = slots
+        self.overheads = overheads
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _issues(self, op: MicroOp) -> Tuple[str, int]:
+        entry = _OP_TABLE.get(op.op)
+        if entry is None:
+            raise TimingModelError(f"unknown micro-op {op.op!r}")
+        slot, table = entry
+        if table is None:  # load/store/move sized by bytes
+            nbytes = op.lanes * op.ebytes
+            return slot, max(1, math.ceil(nbytes / LDST_BYTES_PER_ISSUE))
+        per_issue = table.get(op.ebytes)
+        if per_issue is None:
+            # Fall back to nearest defined width.
+            widths = sorted(table)
+            key = min(widths, key=lambda w: abs(w - op.ebytes))
+            per_issue = table[key]
+        return slot, max(1, math.ceil(op.lanes / per_issue))
+
+    def efficiency(self, mode: str, classification: str) -> float:
+        """Packing efficiency of the compute schedule for this kernel."""
+        if mode == "hand":
+            return 1.0
+        if classification == KernelClassification.STREAM_LOOP:
+            return self.overheads.stream_loop_efficiency
+        if classification == KernelClassification.FIXEDPOINT_LOOP:
+            return self.overheads.fixedpoint_loop_efficiency
+        return self.overheads.bulk_efficiency
+
+    # -- main entry points ----------------------------------------------------------
+
+    def pack_segment(self, ops: List[MicroOp], mode: str,
+                     classification: str) -> int:
+        """Cycle count of one compute segment (no I/O ops inside)."""
+        if not ops:
+            return 0
+        issues: Dict[str, int] = {s: 0 for s in SLOTS_PER_CYCLE}
+        for op in ops:
+            slot, n = self._issues(op)
+            issues[slot] += n
+        bound = max(
+            math.ceil(issues[s] / SLOTS_PER_CYCLE[s])
+            for s in SLOTS_PER_CYCLE
+        )
+        eff = self.efficiency(mode, classification)
+        return math.ceil(bound / eff) + self.slots.segment_overhead_cycles
+
+    def stream_access_cycles(self, mode: str) -> int:
+        """Instruction-issue cost of one stream element access (the DES
+        adds transfer/stall time on top)."""
+        if mode == "hand":
+            return self.overheads.stream_access_scl_hand
+        return self.overheads.stream_access_scl_thunk
+
+    def window_handshake_cycles(self, mode: str) -> int:
+        """Lock/pointer handshake cost per window acquire or release."""
+        if mode == "hand":
+            return self.overheads.window_handshake_hand
+        return self.overheads.window_handshake_thunk
+
+    def per_block_cycles(self, mode: str) -> int:
+        """Per-iteration overhead: ADF invocation vs persistent loop."""
+        if mode == "hand":
+            return self.overheads.adf_invocation_cycles
+        return self.overheads.persistent_loop_cycles

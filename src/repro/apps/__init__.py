@@ -1,0 +1,29 @@
+"""repro.apps — the four AMD Vitis-Tutorials examples ported to cgsim (§5).
+
+Each module exposes the ported kernels, the compiled (and
+extraction-marked) compute graph, a ``run_cgsim`` convenience runner and
+a golden ``reference``:
+
+* :mod:`~repro.apps.bitonic`   — 16-wide bitonic sort (stream I/O)
+* :mod:`~repro.apps.bilinear`  — bilinear interpolation (stream I/O)
+* :mod:`~repro.apps.farrow`    — fractional-delay Farrow filter
+  (2 kernels, window I/O, RTP)
+* :mod:`~repro.apps.iir`       — SIMD cascaded-biquad IIR (window I/O)
+
+:mod:`~repro.apps.datasets` generates the deterministic test vectors;
+:mod:`~repro.apps.golden` holds the numpy/scipy reference
+implementations.
+"""
+
+from . import bilinear, bitonic, datasets, farrow, golden, iir
+
+#: name -> app module, in the paper's Table 1 row order.
+ALL_APPS = {
+    "bitonic": bitonic,
+    "farrow": farrow,
+    "iir": iir,
+    "bilinear": bilinear,
+}
+
+__all__ = ["bitonic", "bilinear", "farrow", "iir", "golden", "datasets",
+           "ALL_APPS"]

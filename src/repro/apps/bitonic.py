@@ -1,0 +1,77 @@
+"""bitonic-sorting: 16-wide bitonic sort on float32 (AMD example port).
+
+A single-kernel graph implementing the 16-element bitonic sorting
+network with AIE vector intrinsics and API — the paper selects it as an
+API-compatibility stress test (§5).  The kernel assembles 16 stream
+elements into one vector register, runs the 10-step compare-exchange
+network, and streams the sorted lanes out.
+
+One block = 16 float32 = 64 bytes (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import aieintr as aie
+from ..core import (
+    AIE,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    compute_kernel,
+    extract_compute_graph,
+    float32,
+    make_compute_graph,
+)
+from .datasets import BITONIC_BLOCK
+from .golden import golden_bitonic
+
+__all__ = ["bitonic16_kernel", "BITONIC_GRAPH", "run_cgsim", "reference"]
+
+
+@compute_kernel(realm=AIE)
+async def bitonic16_kernel(inp: In[float32], out: Out[float32]):
+    """Sort each run of 16 stream values ascending (bitonic network)."""
+    while True:
+        v = aie.zeros(16, np.float32)
+        for _ in range(16):
+            x = await inp.get()
+            v = v.push(x)
+        v = aie.bitonic_sort_vector(v)
+        for i in range(16):
+            await out.put(v[i])
+
+
+@extract_compute_graph
+@make_compute_graph(name="bitonic")
+def BITONIC_GRAPH(samples: IoC[float32]):
+    """The single-kernel bitonic graph: stream in, sorted stream out."""
+    samples.set_attrs(plio_name="samples_in", plio_width=32,
+                      block_items=BITONIC_BLOCK)
+    sorted_out = IoConnector(float32, name="sorted")
+    sorted_out.set_attrs(plio_name="sorted_out", plio_width=32)
+    bitonic16_kernel(samples, sorted_out)
+    return sorted_out
+
+
+def run_cgsim(blocks: np.ndarray, **run_options) -> np.ndarray:
+    """Run *blocks* ``(n, 16)`` through the cgsim graph; returns the
+    sorted blocks with the same shape."""
+    blocks = np.asarray(blocks, dtype=np.float32)
+    if blocks.ndim == 1:
+        blocks = blocks.reshape(1, -1)
+    if blocks.shape[1] != BITONIC_BLOCK:
+        raise ValueError(f"blocks must be (n, {BITONIC_BLOCK})")
+    out: list = []
+    BITONIC_GRAPH(blocks.reshape(-1), out, **run_options)
+    return np.asarray(out, dtype=np.float32).reshape(blocks.shape)
+
+
+def reference(blocks: np.ndarray) -> np.ndarray:
+    """Golden output for ``(n, 16)`` input blocks."""
+    blocks = np.asarray(blocks, dtype=np.float32).reshape(-1, BITONIC_BLOCK)
+    return np.stack([golden_bitonic(b) for b in blocks])

@@ -1,0 +1,95 @@
+"""Deterministic test-vector generation for the example applications.
+
+The AMD examples ship reference input files; this module generates
+equivalent synthetic vectors from seeded RNGs so every component (cgsim
+run, x86sim run, aiesim trace, benchmarks) sees identical data.  Block
+sizes follow Table 1 of the paper:
+
+=========  ==================  =====================
+app        block size (bytes)  block contents
+=========  ==================  =====================
+bitonic    64                  16 x float32
+farrow     4096                1024 x cint16
+iir        8192                2048 x float32
+bilinear   2048                256 samples (output)
+=========  ==================  =====================
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "BITONIC_BLOCK", "FARROW_BLOCK", "IIR_BLOCK", "BILINEAR_BLOCK",
+    "bitonic_blocks", "farrow_blocks", "iir_blocks", "bilinear_blocks",
+    "BLOCK_BYTES",
+]
+
+BITONIC_BLOCK = 16     # float32 elements per block (64 B)
+FARROW_BLOCK = 1024    # cint16 elements per block (4096 B)
+IIR_BLOCK = 2048       # float32 elements per block (8192 B)
+BILINEAR_BLOCK = 256   # interpolated samples per block (2048 B nominal)
+
+#: Nominal per-block sizes in bytes, as reported in Table 1.
+BLOCK_BYTES = {
+    "bitonic": 64,
+    "farrow": 4096,
+    "iir": 8192,
+    "bilinear": 2048,
+}
+
+
+def bitonic_blocks(n_blocks: int, seed: int = 2025) -> np.ndarray:
+    """``(n_blocks, 16)`` float32 blocks of uniform random values."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1e3, 1e3, size=(n_blocks, BITONIC_BLOCK)).astype(
+        np.float32
+    )
+
+
+def farrow_blocks(n_blocks: int, seed: int = 2025
+                  ) -> Tuple[np.ndarray, int]:
+    """Complex int16-range sample blocks plus a Q15 fractional delay.
+
+    Returns ``(blocks, mu_q15)``; blocks shape ``(n_blocks, 1024)``
+    complex128 with integer components in the cint16 range (headroom
+    factor 1/4 keeps branch sums inside int16 after Q15 normalisation,
+    matching the example's input conditioning).
+    """
+    rng = np.random.default_rng(seed)
+    lim = 1 << 13  # int16 range / 4 headroom
+    re = rng.integers(-lim, lim, size=(n_blocks, FARROW_BLOCK))
+    im = rng.integers(-lim, lim, size=(n_blocks, FARROW_BLOCK))
+    mu_q15 = 13107  # mu = 0.4 in Q15, the example's default delay
+    return re.astype(np.float64) + 1j * im.astype(np.float64), mu_q15
+
+
+def iir_blocks(n_blocks: int, seed: int = 2025) -> np.ndarray:
+    """``(n_blocks, 2048)`` float32 blocks: noisy multi-tone signal."""
+    rng = np.random.default_rng(seed)
+    n = n_blocks * IIR_BLOCK
+    t = np.arange(n, dtype=np.float64)
+    sig = (
+        np.sin(2 * np.pi * 0.01 * t)
+        + 0.5 * np.sin(2 * np.pi * 0.37 * t)
+        + 0.1 * rng.standard_normal(n)
+    )
+    return sig.astype(np.float32).reshape(n_blocks, IIR_BLOCK)
+
+
+def bilinear_blocks(n_blocks: int, seed: int = 2025
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Pixel-neighbourhood and fraction blocks for bilinear interpolation.
+
+    Returns ``(pixels, fracs)`` with shapes
+    ``(n_blocks, 256*4)`` and ``(n_blocks, 256*2)`` float32; per sample
+    the pixel quad is ``p00 p01 p10 p11`` and fractions are ``fx fy``.
+    """
+    rng = np.random.default_rng(seed)
+    pixels = rng.uniform(0.0, 255.0,
+                         size=(n_blocks, BILINEAR_BLOCK * 4)).astype(np.float32)
+    fracs = rng.uniform(0.0, 1.0,
+                        size=(n_blocks, BILINEAR_BLOCK * 2)).astype(np.float32)
+    return pixels, fracs

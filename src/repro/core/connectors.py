@@ -1,0 +1,142 @@
+"""IoConnector: the wiring object of cgsim graph construction (§3.4).
+
+Inside a graph-definition function, ``IoConnector`` objects stand for
+stream nets.  Passing the same connector to several kernel *inputs*
+creates an implicit broadcast; passing it to several kernel *outputs*
+creates an implicit merge — exactly the semantics of the C++ original.
+
+Connectors can carry **connection attributes**: string-keyed values that
+are either strings or integers (§3.4).  Attributes do not influence the
+simulator; they ride along in the serialized graph to parameterise the
+extractor (PLIO port names, buffering modes, placement hints, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import AttributeValueError, BuildContextError, PortTypeError
+from .dtypes import StreamType
+
+__all__ = ["IoConnector", "IoC", "validate_attrs"]
+
+
+def validate_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Check that attribute keys are strings and values are str or int.
+
+    Mirrors the paper's restriction: "key-value pairs with string keys and
+    either string or integer values" (§3.4).
+    """
+    out = {}
+    for k, v in attrs.items():
+        if not isinstance(k, str):
+            raise AttributeValueError(
+                f"attribute key must be a string, got {k!r}"
+            )
+        if isinstance(v, bool) or not isinstance(v, (str, int)):
+            raise AttributeValueError(
+                f"attribute {k!r} must be a string or integer, got {v!r}"
+            )
+        out[k] = v
+    return out
+
+
+class IoConnector:
+    """A stream net handle used while defining a graph.
+
+    Parameters
+    ----------
+    dtype:
+        Element type of the net.  May be ``None``; it is then inferred
+        from the first port the connector binds to.
+    name:
+        Optional diagnostic name; also used for PLIO naming by the AIE
+        code generator when no explicit attribute overrides it.
+    attrs:
+        Initial connection attributes (validated).
+    """
+
+    _counter = 0
+
+    def __init__(self, dtype: Optional[StreamType] = None,
+                 name: Optional[str] = None,
+                 attrs: Optional[Dict[str, Any]] = None):
+        from .builder import current_build_context
+
+        ctx = current_build_context(required=False)
+        if ctx is None:
+            raise BuildContextError(
+                "IoConnector can only be created inside a graph definition "
+                "function executed by make_compute_graph()"
+            )
+        if dtype is not None and not isinstance(dtype, StreamType):
+            raise PortTypeError(
+                f"IoConnector dtype must be a StreamType, got {dtype!r}"
+            )
+        IoConnector._counter += 1
+        self.uid = IoConnector._counter
+        self.dtype = dtype
+        self.name = name or f"net{self.uid}"
+        self.attrs: Dict[str, Any] = validate_attrs(attrs or {})
+        ctx.register_connector(self)
+
+    # -- attributes ------------------------------------------------------------
+
+    def set_attr(self, key: str, value: Any) -> "IoConnector":
+        """Attach one connection attribute; returns self for chaining."""
+        self.attrs.update(validate_attrs({key: value}))
+        return self
+
+    def set_attrs(self, **attrs: Any) -> "IoConnector":
+        """Attach several connection attributes; returns self."""
+        self.attrs.update(validate_attrs(attrs))
+        return self
+
+    # -- type inference ----------------------------------------------------------
+
+    def unify_dtype(self, dtype: StreamType, where: str) -> None:
+        """Bind or check this connector's element type against *dtype*."""
+        if self.dtype is None:
+            self.dtype = dtype
+        elif self.dtype != dtype:
+            raise PortTypeError(
+                f"stream type mismatch on connector {self.name!r}{where}: "
+                f"connector carries {self.dtype.name}, port wants "
+                f"{dtype.name}"
+            )
+
+    def __repr__(self):
+        t = self.dtype.name if self.dtype else "?"
+        return f"<IoConnector {self.name}:{t}>"
+
+
+class _IoCAnnotation:
+    """Annotation object for graph-definition input parameters."""
+
+    __slots__ = ("dtype",)
+
+    def __init__(self, dtype: StreamType):
+        if not isinstance(dtype, StreamType):
+            raise PortTypeError(
+                f"IoC[...] requires a StreamType, got {dtype!r}"
+            )
+        self.dtype = dtype
+
+    def __repr__(self):
+        return f"IoC[{self.dtype.name}]"
+
+
+class _IoCFactory:
+    """Implements ``IoC[dtype]`` for graph-input annotations.
+
+    The builder-function parameters become the graph's global inputs
+    (§3.4); their annotations provide the input stream types, mirroring
+    the typed ``IoConnector<int> a`` lambda parameters of the C++ API.
+    """
+
+    def __getitem__(self, dtype: StreamType) -> _IoCAnnotation:
+        return _IoCAnnotation(dtype)
+
+
+#: Annotate graph-definition inputs: ``def g(a: IoC[float32]): ...``
+IoC = _IoCFactory()

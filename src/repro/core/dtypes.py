@@ -1,0 +1,312 @@
+"""Stream data types for cgsim-py compute graphs.
+
+The C++ cgsim library types its stream ports with arbitrary C++ types
+(``KernelReadPort<float>``, including user-defined structs — the paper
+highlights this as a type-safety improvement over AMD's flat buffers,
+§5.1).  This module provides the Python analog: a small, registry-backed
+type system whose members know
+
+* their **numpy representation** (for fast block transfers and for the
+  AIE intrinsics emulation),
+* their **C++ spelling** (for the extractor's code generators), and
+* their **byte size** (for the cycle-approximate stream timing model).
+
+Every type instance is immutable and registered under a unique key so the
+flattened :class:`~repro.core.serialize.SerializedGraph` can reference
+types by string key exactly the way the C++ version preserves type
+information through template-function pointers (§3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SerializationError, StreamTypeError
+
+__all__ = [
+    "StreamType",
+    "ScalarType",
+    "ComplexIntType",
+    "VectorType",
+    "WindowType",
+    "StructType",
+    "register_dtype",
+    "dtype_by_key",
+    "float32",
+    "float64",
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "uint8",
+    "uint16",
+    "uint32",
+    "cint16",
+    "cint32",
+    "Window",
+    "Vec",
+]
+
+
+_DTYPE_REGISTRY: Dict[str, "StreamType"] = {}
+
+
+def register_dtype(dtype: "StreamType") -> "StreamType":
+    """Register *dtype* under its key; idempotent for equal definitions."""
+    existing = _DTYPE_REGISTRY.get(dtype.key)
+    if existing is not None:
+        if existing != dtype:
+            raise SerializationError(
+                f"stream type key {dtype.key!r} already registered with a "
+                f"different definition"
+            )
+        return existing
+    _DTYPE_REGISTRY[dtype.key] = dtype
+    return dtype
+
+
+def dtype_by_key(key: str) -> "StreamType":
+    """Resolve a registry key back to its :class:`StreamType`.
+
+    Used by the deserializer and the extractor when reconstructing a
+    graph from its flattened form.
+    """
+    try:
+        return _DTYPE_REGISTRY[key]
+    except KeyError:
+        raise SerializationError(f"unknown stream type key {key!r}") from None
+
+
+@dataclass(frozen=True)
+class StreamType:
+    """Base class for all stream data types.
+
+    Attributes
+    ----------
+    name:
+        Human-readable short name, unique within a kind.
+    cpp_name:
+        The C++ spelling emitted by the AIE code generator.
+    nbytes:
+        Size in bytes of one stream element (what one ``get()`` yields).
+    """
+
+    name: str
+    cpp_name: str
+    nbytes: int
+
+    @property
+    def key(self) -> str:
+        """Registry key; stable across processes (used in serialization)."""
+        return f"{type(self).__name__}:{self.name}"
+
+    # -- runtime value checking --------------------------------------------
+
+    def validate(self, value: Any) -> Any:
+        """Check (and possibly normalise) *value* for this stream type.
+
+        Raises :class:`StreamTypeError` on mismatch.  Subclasses override;
+        the base accepts anything (opaque user type).
+        """
+        return value
+
+    def zero(self) -> Any:
+        """A neutral element of this type (used by runtime-parameter sinks
+        and by the simulators to prime ping-pong buffers)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScalarType(StreamType):
+    """A plain scalar: float32, int16, ..."""
+
+    np_dtype: Any = None
+
+    def validate(self, value: Any) -> Any:
+        if isinstance(value, (bool,)):
+            raise StreamTypeError(f"bool is not a valid {self.name} value")
+        try:
+            return self.np_dtype(value)
+        except (TypeError, ValueError) as exc:
+            raise StreamTypeError(
+                f"cannot convert {value!r} to stream type {self.name}"
+            ) from exc
+
+    def zero(self) -> Any:
+        return self.np_dtype(0)
+
+
+@dataclass(frozen=True)
+class ComplexIntType(StreamType):
+    """AIE complex integer type (cint16 / cint32): a pair of integers.
+
+    Values are numpy complex scalars whose real/imag parts are integral;
+    the fixed-point apps (farrow) stream these.
+    """
+
+    component_bits: int = 16
+
+    def validate(self, value: Any) -> Any:
+        if isinstance(value, complex) or isinstance(value, np.complexfloating):
+            c = complex(value)
+        elif isinstance(value, (tuple, list)) and len(value) == 2:
+            c = complex(value[0], value[1])
+        else:
+            raise StreamTypeError(
+                f"cannot convert {value!r} to stream type {self.name}"
+            )
+        lim = 1 << (self.component_bits - 1)
+        re, im = int(c.real), int(c.imag)
+        if not (-lim <= re < lim and -lim <= im < lim):
+            raise StreamTypeError(
+                f"{self.name} component out of range: ({re}, {im})"
+            )
+        return np.complex128(complex(re, im))
+
+    def zero(self) -> Any:
+        return np.complex128(0)
+
+
+@dataclass(frozen=True)
+class VectorType(StreamType):
+    """A fixed-width SIMD vector of a scalar base type.
+
+    One stream element is a numpy array of shape ``(lanes,)``.
+    """
+
+    base: ScalarType = None
+    lanes: int = 0
+
+    def validate(self, value: Any) -> Any:
+        arr = np.asarray(value, dtype=self.base.np_dtype)
+        if arr.shape != (self.lanes,):
+            raise StreamTypeError(
+                f"expected vector of {self.lanes} x {self.base.name}, got "
+                f"shape {arr.shape}"
+            )
+        return arr
+
+    def zero(self) -> Any:
+        return np.zeros(self.lanes, dtype=self.base.np_dtype)
+
+
+@dataclass(frozen=True)
+class WindowType(StreamType):
+    """A window/buffer port payload: a block of *count* base elements.
+
+    This models AIE window (ping-pong buffer) I/O: one ``get()`` on a
+    window port yields a whole block, matching the AMD examples that
+    process one input buffer per kernel invocation (farrow, bilinear).
+    """
+
+    base: StreamType = None
+    count: int = 0
+
+    def validate(self, value: Any) -> Any:
+        if isinstance(self.base, ScalarType):
+            arr = np.asarray(value, dtype=self.base.np_dtype)
+        elif isinstance(self.base, ComplexIntType):
+            arr = np.asarray(value, dtype=np.complex128)
+        else:
+            arr = np.asarray(value)
+        if arr.shape != (self.count,):
+            raise StreamTypeError(
+                f"expected window of {self.count} x {self.base.name}, got "
+                f"shape {arr.shape}"
+            )
+        return arr
+
+    def zero(self) -> Any:
+        if isinstance(self.base, ScalarType):
+            return np.zeros(self.count, dtype=self.base.np_dtype)
+        return np.zeros(self.count, dtype=np.complex128)
+
+
+@dataclass(frozen=True)
+class StructType(StreamType):
+    """A user-defined struct streamed by value.
+
+    ``fields`` maps field name -> member StreamType.  The C++ code
+    generator emits a matching plain struct definition; cgsim advertises
+    custom struct streaming as a type-safety win over the AIE framework's
+    flat buffers (§5.1).
+    """
+
+    fields: Tuple[Tuple[str, StreamType], ...] = ()
+
+    def validate(self, value: Any) -> Any:
+        if isinstance(value, dict):
+            items = value
+        elif hasattr(value, "_asdict"):
+            items = value._asdict()
+        else:
+            raise StreamTypeError(
+                f"struct stream {self.name} expects a mapping or namedtuple, "
+                f"got {type(value).__name__}"
+            )
+        missing = [n for n, _ in self.fields if n not in items]
+        if missing:
+            raise StreamTypeError(
+                f"struct stream {self.name} missing fields {missing}"
+            )
+        return {n: t.validate(items[n]) for n, t in self.fields}
+
+    def zero(self) -> Any:
+        return {n: t.zero() for n, t in self.fields}
+
+
+# ---------------------------------------------------------------------------
+# Built-in types
+# ---------------------------------------------------------------------------
+
+float32 = register_dtype(ScalarType("float32", "float", 4, np.float32))
+float64 = register_dtype(ScalarType("float64", "double", 8, np.float64))
+int8 = register_dtype(ScalarType("int8", "int8_t", 1, np.int8))
+int16 = register_dtype(ScalarType("int16", "int16_t", 2, np.int16))
+int32 = register_dtype(ScalarType("int32", "int32_t", 4, np.int32))
+int64 = register_dtype(ScalarType("int64", "int64_t", 8, np.int64))
+uint8 = register_dtype(ScalarType("uint8", "uint8_t", 1, np.uint8))
+uint16 = register_dtype(ScalarType("uint16", "uint16_t", 2, np.uint16))
+uint32 = register_dtype(ScalarType("uint32", "uint32_t", 4, np.uint32))
+cint16 = register_dtype(ComplexIntType("cint16", "cint16", 4, 16))
+cint32 = register_dtype(ComplexIntType("cint32", "cint32", 8, 32))
+
+
+def Vec(base: ScalarType, lanes: int) -> VectorType:
+    """Create (or fetch) the SIMD vector type ``lanes x base``."""
+    t = VectorType(
+        name=f"v{lanes}{base.name}",
+        cpp_name=f"aie::vector<{base.cpp_name}, {lanes}>",
+        nbytes=base.nbytes * lanes,
+        base=base,
+        lanes=lanes,
+    )
+    return register_dtype(t)
+
+
+def Window(base: StreamType, count: int) -> WindowType:
+    """Create (or fetch) a window/buffer type of ``count`` base elements."""
+    t = WindowType(
+        name=f"win{count}_{base.name}",
+        cpp_name=base.cpp_name,  # windows are typed by their element in ADF
+        nbytes=base.nbytes * count,
+        base=base,
+        count=count,
+    )
+    return register_dtype(t)
+
+
+def Struct(name: str, fields: Dict[str, StreamType]) -> StructType:
+    """Create (or fetch) a user-defined struct stream type."""
+    ftuple = tuple(fields.items())
+    nbytes = sum(t.nbytes for _, t in ftuple)
+    t = StructType(
+        name=name,
+        cpp_name=name,
+        nbytes=nbytes,
+        fields=ftuple,
+    )
+    return register_dtype(t)

@@ -1,0 +1,297 @@
+"""Kernel definition: the Python analog of cgsim's ``COMPUTE_KERNEL`` macro.
+
+A compute kernel is declared as an ``async`` function whose parameters are
+annotated with :data:`~repro.core.ports.In` / :data:`~repro.core.ports.Out`
+port types, wrapped by the :func:`compute_kernel` decorator::
+
+    @compute_kernel(realm=AIE)
+    async def adder_kernel(in1: In[float32], in2: In[float32],
+                           out: Out[float32]):
+        while True:
+            val = (await in1.get()) + (await in2.get())
+            await out.put(val)
+
+Exactly like the C++ macro (§3.3), the decorator turns the function into a
+class-like object (:class:`KernelClass`) carrying metadata: the kernel's
+execution *realm* (target hardware, §4.3), its I/O port specifications
+(collected here from annotations, where C++ uses type traits), and source
+location information that the extractor uses to recover the kernel's text.
+
+Every kernel is recorded in a process-wide registry under a stable key so
+the flattened serialized graph can reference kernels by key — the Python
+analog of preserving type information through template-function pointers
+(§3.5).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import GraphBuildError
+from .ports import (
+    In,
+    KernelReadPort,
+    KernelWritePort,
+    PortDirection,
+    PortSpec,
+    _PortAnnotation,
+)
+
+__all__ = [
+    "Realm",
+    "AIE",
+    "NOEXTRACT",
+    "PYSIM",
+    "HLS",
+    "compute_kernel",
+    "KernelClass",
+    "kernel_registry",
+    "kernel_by_key",
+    "clear_kernel_registry",
+]
+
+
+@dataclass(frozen=True)
+class Realm:
+    """Execution realm: the hardware target of a kernel (§4.3).
+
+    ``extractable`` marks realms whose kernels the graph extractor should
+    pull out of the host program; the ``noextract`` realm (kernels that
+    stay in the host) is the special case the paper provides.
+    """
+
+    name: str
+    extractable: bool = True
+
+    def __str__(self):
+        return self.name
+
+
+#: Kernels destined for the AI Engine array.
+AIE = Realm("aie", extractable=True)
+
+#: Kernels excluded from extraction; they remain host-side (§4).
+NOEXTRACT = Realm("noextract", extractable=False)
+
+#: Kernels targeting this repo's cycle-approximate Python AIE simulator.
+#: Functionally identical to AIE; exists so extraction tests can route a
+#: graph at a second extractable realm.
+PYSIM = Realm("pysim", extractable=True)
+
+#: Kernels targeting programmable logic via high-level synthesis.  The
+#: paper lists HLS as the realm architecture's next target (§6); this
+#: reproduction ships the corresponding backend as an extension.
+HLS = Realm("hls", extractable=True)
+
+_REALM_REGISTRY: Dict[str, Realm] = {
+    r.name: r for r in (AIE, NOEXTRACT, PYSIM, HLS)
+}
+
+
+def realm_by_name(name: str) -> Realm:
+    """Look up a realm; unknown names become extractable custom realms."""
+    try:
+        return _REALM_REGISTRY[name]
+    except KeyError:
+        realm = Realm(name, extractable=True)
+        _REALM_REGISTRY[name] = realm
+        return realm
+
+
+_KERNEL_REGISTRY: Dict[str, "KernelClass"] = {}
+
+
+def kernel_registry() -> Dict[str, "KernelClass"]:
+    """The live kernel registry (key -> KernelClass)."""
+    return _KERNEL_REGISTRY
+
+
+def kernel_by_key(key: str) -> "KernelClass":
+    """Resolve a registry key to its KernelClass (used by deserialization)."""
+    try:
+        return _KERNEL_REGISTRY[key]
+    except KeyError:
+        raise GraphBuildError(
+            f"unknown kernel registry key {key!r}; was the defining module "
+            f"imported before deserialization?"
+        ) from None
+
+
+def clear_kernel_registry() -> None:
+    """Testing hook: forget all registered kernels."""
+    _KERNEL_REGISTRY.clear()
+
+
+class KernelClass:
+    """A defined compute kernel: function + metadata.
+
+    Calling a :class:`KernelClass` inside an active build context records
+    a kernel *instance* in the graph under construction, binding the
+    passed :class:`~repro.core.connectors.IoConnector` arguments to the
+    kernel's ports (§3.4).  Outside a build context, calling it raises —
+    kernels do not execute directly; they run under a
+    :class:`~repro.core.runtime.RuntimeContext`.
+    """
+
+    def __init__(self, fn: Callable, realm: Realm,
+                 port_specs: Tuple[PortSpec, ...], name: str):
+        self.fn = fn
+        self.realm = realm
+        self.port_specs = port_specs
+        self.name = name
+        self.module = fn.__module__
+        self.qualname = fn.__qualname__
+        try:
+            self.source_file = inspect.getsourcefile(fn)
+            _, self.source_lineno = inspect.getsourcelines(fn)
+        except (OSError, TypeError):  # dynamically defined kernels
+            self.source_file = None
+            self.source_lineno = None
+        self.__doc__ = fn.__doc__
+
+    # -- identity --------------------------------------------------------------
+
+    @property
+    def registry_key(self) -> str:
+        """Stable key used by serialized graphs to reference this kernel."""
+        return f"{self.module}:{self.qualname}"
+
+    @property
+    def read_ports(self) -> Tuple[PortSpec, ...]:
+        return tuple(p for p in self.port_specs if p.is_input)
+
+    @property
+    def write_ports(self) -> Tuple[PortSpec, ...]:
+        return tuple(p for p in self.port_specs if p.is_output)
+
+    def port_by_name(self, name: str) -> PortSpec:
+        for p in self.port_specs:
+            if p.name == name:
+                return p
+        raise GraphBuildError(f"kernel {self.name} has no port {name!r}")
+
+    # -- graph construction -----------------------------------------------------
+
+    def __call__(self, *args, **kwargs):
+        """Instantiate this kernel in the graph under construction."""
+        from .builder import current_build_context  # cycle-free at runtime
+
+        ctx = current_build_context()
+        return ctx.add_kernel_instance(self, args, kwargs)
+
+    # -- runtime ----------------------------------------------------------------
+
+    def instantiate(self, runtime_ports) -> Any:
+        """Create the kernel coroutine with bound runtime port objects.
+
+        ``runtime_ports`` must be one KernelReadPort/KernelWritePort per
+        declared port, in signature order.
+        """
+        if len(runtime_ports) != len(self.port_specs):
+            raise GraphBuildError(
+                f"kernel {self.name} expects {len(self.port_specs)} ports, "
+                f"got {len(runtime_ports)}"
+            )
+        for spec, port in zip(self.port_specs, runtime_ports):
+            want = KernelReadPort if spec.is_input else KernelWritePort
+            if not isinstance(port, want):
+                raise GraphBuildError(
+                    f"kernel {self.name} port {spec.name!r} expects "
+                    f"{want.__name__}, got {type(port).__name__}"
+                )
+        return self.fn(*runtime_ports)
+
+    def __repr__(self):
+        sig = ", ".join(
+            f"{'in' if p.is_input else 'out'} {p.name}:{p.dtype.name}"
+            for p in self.port_specs
+        )
+        return f"<KernelClass {self.name}@{self.realm} ({sig})>"
+
+
+def _collect_port_specs(fn: Callable) -> Tuple[PortSpec, ...]:
+    """Derive PortSpecs from the annotated signature of *fn*."""
+    try:
+        # eval_str resolves string annotations produced under
+        # `from __future__ import annotations` in user modules.
+        sig = inspect.signature(fn, eval_str=True)
+    except (NameError, TypeError):
+        sig = inspect.signature(fn)
+    specs = []
+    for i, (pname, param) in enumerate(sig.parameters.items()):
+        if param.kind not in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            raise GraphBuildError(
+                f"kernel {fn.__qualname__}: parameter {pname!r} must be "
+                f"positional (no *args/**kwargs/keyword-only ports)"
+            )
+        ann = param.annotation
+        if not isinstance(ann, _PortAnnotation):
+            raise GraphBuildError(
+                f"kernel {fn.__qualname__}: parameter {pname!r} must be "
+                f"annotated with In[...] or Out[...], got {ann!r}"
+            )
+        specs.append(
+            PortSpec(
+                name=pname,
+                direction=ann.direction,
+                dtype=ann.dtype,
+                settings=ann.settings,
+                index=i,
+            )
+        )
+    if not specs:
+        raise GraphBuildError(
+            f"kernel {fn.__qualname__} declares no ports; a compute kernel "
+            f"must have at least one stream port"
+        )
+    return tuple(specs)
+
+
+def compute_kernel(realm: Realm = AIE, *, name: Optional[str] = None):
+    """Decorator defining a compute kernel (analog of ``COMPUTE_KERNEL``).
+
+    Parameters
+    ----------
+    realm:
+        Target hardware realm of this kernel (first macro argument in the
+        C++ version).
+    name:
+        Override the kernel name (defaults to the function name).
+
+    Returns a :class:`KernelClass`; the original coroutine function stays
+    reachable as ``KernelClass.fn``.
+    """
+    if callable(realm):  # applied without parentheses: @compute_kernel
+        raise GraphBuildError(
+            "compute_kernel must be called with arguments: "
+            "@compute_kernel(realm=AIE)"
+        )
+
+    def deco(fn: Callable) -> KernelClass:
+        if not inspect.iscoroutinefunction(fn):
+            raise GraphBuildError(
+                f"kernel {fn.__qualname__} must be an 'async def' function "
+                f"(the analog of a C++20 coroutine)"
+            )
+        specs = _collect_port_specs(fn)
+        kc = KernelClass(fn, realm, specs, name or fn.__name__)
+        existing = _KERNEL_REGISTRY.get(kc.registry_key)
+        if existing is not None and existing.fn.__code__ is not fn.__code__:
+            # Re-definition (e.g. module re-imported under a test runner)
+            # replaces the entry; genuinely distinct kernels colliding on a
+            # key would be a user error worth surfacing.
+            if existing.source_file != kc.source_file:
+                raise GraphBuildError(
+                    f"kernel registry key collision: {kc.registry_key!r} "
+                    f"defined in both {existing.source_file} and "
+                    f"{kc.source_file}"
+                )
+        _KERNEL_REGISTRY[kc.registry_key] = kc
+        return kc
+
+    return deco

@@ -1,0 +1,333 @@
+"""Kernel I/O ports: declarations, settings, and runtime stream endpoints.
+
+This module provides the Python analog of cgsim's ``KernelReadPort<T>`` /
+``KernelWritePort<T>`` templates (§3.3).  A kernel declares its ports in
+its signature via the :data:`In` / :data:`Out` annotation helpers::
+
+    @compute_kernel(realm=AIE)
+    async def adder(in1: In[float32], in2: In[float32], out: Out[float32]):
+        while True:
+            val = (await in1.get()) + (await in2.get())
+            await out.put(val)
+
+Settings that *influence graph behaviour* — runtime-parameter marking and
+bus beat size — are attached to the port declaration itself, mirroring the
+non-type template arguments of the C++ ports (§3.4).  When two
+parameterised ports meet on one :class:`~repro.core.connectors.IoConnector`,
+their settings are merged; conflicts raise :class:`PortSettingsError` at
+build time, the analog of the paper's compile-time error.
+
+At runtime, ports are bound to broadcast queues and expose awaitable
+``get()`` / ``put()`` operations whose fast path completes without a
+scheduler round-trip — the property behind cgsim's low synchronisation
+overhead measured in §5.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Tuple
+
+from ..errors import PortSettingsError, StreamTypeError
+from .dtypes import StreamType
+
+__all__ = [
+    "PortDirection",
+    "PortSettings",
+    "merge_settings",
+    "PortSpec",
+    "In",
+    "Out",
+    "KernelReadPort",
+    "KernelWritePort",
+]
+
+
+class PortDirection(enum.Enum):
+    """Direction of a kernel port, from the kernel's point of view."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class PortSettings:
+    """Behavioural port configuration (non-type template args in C++).
+
+    Attributes
+    ----------
+    runtime_parameter:
+        Marks the port as a runtime parameter (RTP) instead of a stream:
+        the port carries a scalar configuration value rather than a data
+        stream (§3.4, §3.7).
+    beat_bytes:
+        Beat size in bytes of the underlying bus (e.g. AXI-Stream width)
+        for streaming interfaces.  ``None`` means unconstrained.
+    depth:
+        FIFO depth hint for the connection.  ``None`` = framework default.
+    """
+
+    runtime_parameter: bool = False
+    beat_bytes: Optional[int] = None
+    depth: Optional[int] = None
+
+    def as_tuple(self) -> Tuple:
+        """Flat representation used by graph serialization."""
+        return (
+            int(self.runtime_parameter),
+            -1 if self.beat_bytes is None else self.beat_bytes,
+            -1 if self.depth is None else self.depth,
+        )
+
+    @staticmethod
+    def from_tuple(t: Tuple) -> "PortSettings":
+        rtp, beat, depth = t
+        return PortSettings(
+            runtime_parameter=bool(rtp),
+            beat_bytes=None if beat == -1 else int(beat),
+            depth=None if depth == -1 else int(depth),
+        )
+
+
+def merge_settings(a: PortSettings, b: PortSettings, where: str = "") -> PortSettings:
+    """Merge the settings of two ports joined by an IoConnector.
+
+    ``None`` acts as a wildcard; concrete values must agree.  The
+    ``runtime_parameter`` flag must match exactly (a stream cannot be
+    half RTP).  Raises :class:`PortSettingsError` on conflict — the
+    build-time analog of cgsim's compile-time error (§3.4).
+    """
+    if a.runtime_parameter != b.runtime_parameter:
+        raise PortSettingsError(
+            f"runtime-parameter flag mismatch on connected ports{where}: "
+            f"{a.runtime_parameter} vs {b.runtime_parameter}"
+        )
+
+    def _merge(x, y, what):
+        if x is None:
+            return y
+        if y is None:
+            return x
+        if x != y:
+            raise PortSettingsError(
+                f"incompatible {what} on connected ports{where}: {x} vs {y}"
+            )
+        return x
+
+    return PortSettings(
+        runtime_parameter=a.runtime_parameter,
+        beat_bytes=_merge(a.beat_bytes, b.beat_bytes, "beat size"),
+        depth=_merge(a.depth, b.depth, "FIFO depth"),
+    )
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Declaration of one kernel port: name, direction, type, settings.
+
+    This is the build-time metadata the ``COMPUTE_KERNEL`` macro collects
+    via type traits in the C++ version (§3.3).
+    """
+
+    name: str
+    direction: PortDirection
+    dtype: StreamType
+    settings: PortSettings = PortSettings()
+    index: int = -1  # position within the kernel signature
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction is PortDirection.READ
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction is PortDirection.WRITE
+
+    def with_index(self, index: int) -> "PortSpec":
+        return replace(self, index=index)
+
+
+class _PortAnnotation:
+    """The object produced by ``In[dtype]`` / ``Out[dtype, settings]``.
+
+    Purely declarative: it exists only so kernel signatures can be
+    introspected by :func:`~repro.core.kernel.compute_kernel`.
+    """
+
+    __slots__ = ("direction", "dtype", "settings")
+
+    def __init__(self, direction: PortDirection, dtype: StreamType,
+                 settings: PortSettings):
+        if not isinstance(dtype, StreamType):
+            raise TypeError(
+                f"port annotation requires a StreamType, got {dtype!r}"
+            )
+        self.direction = direction
+        self.dtype = dtype
+        self.settings = settings
+
+    def __repr__(self):
+        d = "In" if self.direction is PortDirection.READ else "Out"
+        return f"{d}[{self.dtype.name}]"
+
+
+class _PortFactory:
+    """Implements the ``In[...]`` / ``Out[...]`` subscription syntax."""
+
+    __slots__ = ("direction",)
+
+    def __init__(self, direction: PortDirection):
+        self.direction = direction
+
+    def __getitem__(self, args) -> _PortAnnotation:
+        if not isinstance(args, tuple):
+            args = (args,)
+        dtype = args[0]
+        settings = PortSettings()
+        for extra in args[1:]:
+            if isinstance(extra, PortSettings):
+                settings = extra
+            else:
+                raise TypeError(
+                    f"unexpected port annotation argument {extra!r}"
+                )
+        return _PortAnnotation(self.direction, dtype, settings)
+
+    def __call__(self, dtype: StreamType, **settings) -> _PortAnnotation:
+        return _PortAnnotation(
+            self.direction, dtype, PortSettings(**settings)
+        )
+
+
+#: Declare a kernel read (input) port: ``in1: In[float32]``.
+In = _PortFactory(PortDirection.READ)
+
+#: Declare a kernel write (output) port: ``out: Out[float32]``.
+Out = _PortFactory(PortDirection.WRITE)
+
+
+# ---------------------------------------------------------------------------
+# Runtime port objects
+# ---------------------------------------------------------------------------
+
+
+class _GetAwaitable:
+    """Awaitable returned by :meth:`KernelReadPort.get`.
+
+    Fast path: if data is already available the value is returned without
+    yielding to the scheduler (zero context-switch cost).  Slow path: the
+    coroutine yields a park request and is re-driven once a producer
+    pushes data.
+    """
+
+    __slots__ = ("port",)
+
+    def __init__(self, port: "KernelReadPort"):
+        self.port = port
+
+    def __await__(self):
+        port = self.port
+        while True:
+            ok, value = port._queue.try_get(port._consumer_idx)
+            if ok:
+                port._items += 1
+                return value
+            yield ("rd", port._queue, port._consumer_idx)
+
+    # Allow use from plain generators in tests: iter(awaitable)
+    __iter__ = __await__
+
+
+class _PutAwaitable:
+    """Awaitable returned by :meth:`KernelWritePort.put`."""
+
+    __slots__ = ("port", "value")
+
+    def __init__(self, port: "KernelWritePort", value: Any):
+        self.port = port
+        self.value = value
+
+    def __await__(self):
+        port = self.port
+        value = self.value
+        if port._validate:
+            value = port.dtype.validate(value)
+        while True:
+            if port._queue.try_put(value):
+                port._items += 1
+                return None
+            yield ("wr", port._queue, -1)
+
+    __iter__ = __await__
+
+
+class KernelReadPort:
+    """Runtime read endpoint of a kernel, bound to one broadcast queue.
+
+    The kernel-facing API matches the C++ version: ``await port.get()``
+    yields the next stream element (the Python spelling of
+    ``co_await port.get()``).
+    """
+
+    __slots__ = ("spec", "dtype", "_queue", "_consumer_idx", "_items")
+
+    def __init__(self, spec: PortSpec, queue, consumer_idx: int):
+        self.spec = spec
+        self.dtype = spec.dtype
+        self._queue = queue
+        self._consumer_idx = consumer_idx
+        self._items = 0
+
+    def get(self) -> _GetAwaitable:
+        """Awaitable that resolves to the next element on this stream."""
+        return _GetAwaitable(self)
+
+    def try_get(self):
+        """Non-blocking read: ``(True, value)`` or ``(False, None)``."""
+        ok, value = self._queue.try_get(self._consumer_idx)
+        if ok:
+            self._items += 1
+        return ok, value
+
+    @property
+    def items_transferred(self) -> int:
+        """Number of elements this port has consumed (profiling)."""
+        return self._items
+
+    def __repr__(self):
+        return f"<KernelReadPort {self.spec.name}:{self.dtype.name}>"
+
+
+class KernelWritePort:
+    """Runtime write endpoint of a kernel, bound to one broadcast queue."""
+
+    __slots__ = ("spec", "dtype", "_queue", "_validate", "_items")
+
+    def __init__(self, spec: PortSpec, queue, validate: bool = False):
+        self.spec = spec
+        self.dtype = spec.dtype
+        self._queue = queue
+        self._validate = validate
+        self._items = 0
+
+    def put(self, value: Any) -> _PutAwaitable:
+        """Awaitable that completes once *value* is enqueued downstream."""
+        return _PutAwaitable(self, value)
+
+    def try_put(self, value: Any) -> bool:
+        """Non-blocking write; returns False when the queue is full."""
+        if self._validate:
+            value = self.dtype.validate(value)
+        ok = self._queue.try_put(value)
+        if ok:
+            self._items += 1
+        return ok
+
+    @property
+    def items_transferred(self) -> int:
+        """Number of elements this port has produced (profiling)."""
+        return self._items
+
+    def __repr__(self):
+        return f"<KernelWritePort {self.spec.name}:{self.dtype.name}>"

@@ -1,0 +1,291 @@
+"""Runtime graph instantiation and execution (§3.6–3.8).
+
+:class:`RuntimeContext` is the deserializer-driven execution instance of
+a compute graph.  Construction mirrors the paper's sequence exactly:
+
+1. recreate all graph I/O ports (queues) from the serialized descriptors,
+2. instantiate all kernels and connect them through those queues,
+3. attach global-I/O source/sink coroutines for the containers the user
+   passed positionally (sources first, then sinks, §3.7),
+4. start the embedded cooperative task scheduler, which creates every
+   kernel coroutine in a suspended state, registers it pending, and runs
+   until no coroutine can continue (§3.8),
+5. terminate all kernel coroutines and release their frames; results
+   remain in the user's sink containers.
+
+A :class:`RunReport` summarises the execution: per-task final states,
+context-switch counts, item transfer counts, optional kernel-vs-overhead
+time split, and stall diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DeadlockError, GraphRuntimeError, IoBindingError
+from .graph import ComputeGraph, Net
+from .ports import KernelReadPort, KernelWritePort
+from .queues import BroadcastQueue, DEFAULT_QUEUE_CAPACITY, LatchQueue
+from .scheduler import CooperativeScheduler, SchedulerStats, TaskState
+from .sources_sinks import (
+    ArraySinkCursor,
+    RuntimeParam,
+    make_sink,
+    make_source,
+)
+
+__all__ = ["RuntimeContext", "RunReport"]
+
+
+@dataclass
+class RunReport:
+    """Outcome of one graph execution."""
+
+    graph_name: str
+    stats: SchedulerStats
+    completed: bool                 # every source fully drained, no stall
+    deadlocked: bool                # kernels left blocked on writes
+    items_in: int                   # elements consumed from all sources
+    items_out: int                  # elements delivered to all sinks
+    task_states: Dict[str, str] = field(default_factory=dict)
+    stall_diagnosis: str = ""
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def context_switches(self) -> int:
+        return self.stats.context_switches
+
+    @property
+    def wall_time(self) -> float:
+        return self.stats.wall_time
+
+    @property
+    def kernel_fraction(self) -> float:
+        return self.stats.kernel_fraction
+
+    def __repr__(self):
+        status = "ok" if self.completed else (
+            "DEADLOCK" if self.deadlocked else "stalled"
+        )
+        return (
+            f"<RunReport {self.graph_name!r} {status} in={self.items_in} "
+            f"out={self.items_out} switches={self.context_switches}>"
+        )
+
+
+class RuntimeContext:
+    """A single execution instance of a compute graph (§3.6).
+
+    Parameters
+    ----------
+    graph:
+        The deserialized :class:`ComputeGraph`.
+    capacity:
+        Default queue capacity for nets that specify no depth.
+    validate:
+        Enable per-element stream type checking on kernel writes and
+        sources (off by default; it costs a dtype conversion per item).
+    """
+
+    #: Keyword arguments that CompiledGraph.__call__ routes to the
+    #: constructor rather than to run().
+    CONSTRUCT_OPTIONS = frozenset({"capacity", "validate"})
+
+    def __init__(self, graph: ComputeGraph,
+                 capacity: int = DEFAULT_QUEUE_CAPACITY,
+                 validate: bool = False):
+        self.graph = graph
+        self.validate = validate
+        self.queues: Dict[int, BroadcastQueue] = {}
+        self._consumer_alloc: Dict[int, int] = {}  # net_id -> next idx
+        self._kernel_ports: List[Tuple] = []       # per-instance port lists
+        self._io_bound = False
+        self._sources: List[Tuple[int, Any]] = []  # (input_idx, coroutine)
+        self._sinks: List[Tuple[int, Any, Optional[ArraySinkCursor]]] = []
+        self._rtp_sinks: List[Tuple[LatchQueue, RuntimeParam]] = []
+        self._source_tasks: List = []
+        self._sink_cursors: List[ArraySinkCursor] = []
+        self._containers_out: List[Any] = []
+
+        # Step 1 (§3.6): recreate all I/O ports — one queue per net.
+        for net in graph.nets:
+            n_consumers = len(net.consumers) + sum(
+                1 for io in graph.outputs if io.net_id == net.net_id
+            )
+            if net.settings.runtime_parameter:
+                q: BroadcastQueue = LatchQueue(
+                    n_consumers=max(n_consumers, 1), name=net.name,
+                )
+            else:
+                depth = net.settings.depth
+                if depth is None:
+                    attr_depth = net.attrs.get("depth")
+                    depth = int(attr_depth) if attr_depth is not None else capacity
+                q = BroadcastQueue(
+                    capacity=depth, n_consumers=n_consumers, name=net.name,
+                )
+            self.queues[net.net_id] = q
+            self._consumer_alloc[net.net_id] = 0
+
+        # Step 2 (§3.6): instantiate kernels and connect them.
+        self._kernel_coros: List[Tuple[str, Any]] = []
+        for inst in graph.kernels:
+            ports = []
+            for port_idx, net_id in enumerate(inst.port_nets):
+                spec = inst.kernel.port_specs[port_idx]
+                q = self.queues[net_id]
+                if spec.is_input:
+                    cidx = self._alloc_consumer(net_id)
+                    ports.append(KernelReadPort(spec, q, cidx))
+                else:
+                    ports.append(KernelWritePort(spec, q, validate=validate))
+            coro = inst.kernel.instantiate(ports)
+            self._kernel_coros.append((inst.instance_name, coro))
+            self._kernel_ports.append(tuple(ports))
+
+    def _alloc_consumer(self, net_id: int) -> int:
+        idx = self._consumer_alloc[net_id]
+        self._consumer_alloc[net_id] = idx + 1
+        return idx
+
+    # -- global I/O binding (§3.7) ---------------------------------------------------
+
+    def bind_io(self, *io: Any) -> None:
+        """Attach data sources and sinks, positionally: all graph inputs
+        first, then all graph outputs."""
+        g = self.graph
+        expected = len(g.inputs) + len(g.outputs)
+        if len(io) != expected:
+            raise IoBindingError(
+                f"graph {g.name!r} takes {len(g.inputs)} source(s) + "
+                f"{len(g.outputs)} sink(s) = {expected} positional I/O "
+                f"argument(s), got {len(io)}"
+            )
+        if self._io_bound:
+            raise IoBindingError("I/O already bound for this run")
+        self._io_bound = True
+
+        for gio, container in zip(g.inputs, io[:len(g.inputs)]):
+            net = g.net(gio.net_id)
+            q = self.queues[gio.net_id]
+            if net.settings.runtime_parameter:
+                value = container.value if isinstance(container, RuntimeParam) \
+                    else container
+                if self.validate:
+                    value = net.dtype.validate(value)
+                q.try_put(value)  # latch; always succeeds
+            else:
+                coro = make_source(q, net.dtype, container, self.validate)
+                self._sources.append((gio.io_index, coro))
+
+        for gio, container in zip(g.outputs, io[len(g.inputs):]):
+            net = g.net(gio.net_id)
+            q = self.queues[gio.net_id]
+            if net.settings.runtime_parameter:
+                if not isinstance(container, RuntimeParam):
+                    raise IoBindingError(
+                        f"output {gio.name!r} is a runtime parameter; pass "
+                        f"a RuntimeParam sink"
+                    )
+                if not isinstance(q, LatchQueue):  # pragma: no cover
+                    raise GraphRuntimeError("RTP net lacks a latch queue")
+                self._rtp_sinks.append((q, container))
+            else:
+                cidx = self._alloc_consumer(gio.net_id)
+                coro, cursor = make_sink(q, cidx, net.dtype, container)
+                self._sinks.append((gio.io_index, coro, cursor))
+                self._containers_out.append((gio.io_index, container))
+                if cursor is not None:
+                    self._sink_cursors.append(cursor)
+
+    # -- execution (§3.8) ---------------------------------------------------------------
+
+    def run(self, profile: bool = False, max_steps: Optional[int] = None,
+            strict: bool = False) -> RunReport:
+        """Execute the graph until no coroutine can continue.
+
+        ``strict=True`` raises :class:`DeadlockError` if the run ends
+        with kernels blocked on *writes* (a stall, as opposed to the
+        normal end-of-input state where kernels block on reads).
+        """
+        if not self._io_bound:
+            if self.graph.inputs or self.graph.outputs:
+                raise IoBindingError(
+                    "bind_io() must be called before run() on a graph "
+                    "with global I/O"
+                )
+        sched = CooperativeScheduler(profile=profile)
+        for net_id, q in self.queues.items():
+            q.bind_scheduler(sched)
+
+        # Kernels first (they were created suspended at construction),
+        # then sources and sinks.
+        for name, coro in self._kernel_coros:
+            sched.spawn(name, coro, kind="kernel")
+        for idx, coro in self._sources:
+            self._source_tasks.append(
+                sched.spawn(f"source[{idx}]", coro, kind="source")
+            )
+        for idx, coro, _cursor in self._sinks:
+            sched.spawn(f"sink[{idx}]", coro, kind="sink")
+
+        try:
+            stats = sched.run(max_steps=max_steps)
+        finally:
+            sched.close()
+
+        # RTP outputs: copy the final latch values out.
+        for latch, param in self._rtp_sinks:
+            param.value = latch.last_value
+
+        items_in = sum(
+            self.queues[gio.net_id].total_puts for gio in self.graph.inputs
+        )
+        items_out = 0
+        for (sidx, _coro, cursor), (_cidx, container) in zip(
+            self._sinks, self._containers_out
+        ):
+            if cursor is not None:
+                items_out += cursor.items_stored
+            elif isinstance(container, list):
+                items_out += len(container)
+
+        sources_done = all(
+            t.state is TaskState.FINISHED for t in self._source_tasks
+        )
+        blocked_writers = [
+            t for t in sched.tasks
+            if t.state is TaskState.BLOCKED_WRITE and t.kind == "kernel"
+        ]
+        # Data left in a queue that some consumer never drained means a
+        # kernel stopped making progress while work remained (a deadlock
+        # or an early-returning kernel), even if no writer is blocked.
+        undrained = sum(
+            q.size_for(c)
+            for q in self.queues.values()
+            for c in range(q.n_consumers)
+        )
+        deadlocked = bool(blocked_writers) or not sources_done \
+            or undrained > 0
+        diagnosis = "" if not deadlocked else (
+            f"graph stalled before consuming all input "
+            f"({undrained} element(s) left undrained):\n"
+            + sched.describe_blockage()
+        )
+
+        report = RunReport(
+            graph_name=self.graph.name,
+            stats=stats,
+            completed=not deadlocked,
+            deadlocked=deadlocked,
+            items_in=items_in,
+            items_out=items_out,
+            task_states=dict(stats.task_states),
+            stall_diagnosis=diagnosis,
+        )
+        if strict and deadlocked:
+            raise DeadlockError(diagnosis or "graph stalled", report=report)
+        return report

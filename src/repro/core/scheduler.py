@@ -1,0 +1,286 @@
+"""Cooperative coroutine scheduler: cgsim's execution engine (§3.8).
+
+All kernels of a graph (plus the global-I/O source and sink coroutines)
+run as cooperatively multitasked coroutines on **one OS thread**.  The
+scheduler keeps a FIFO ready-deque; a task runs until its next stream
+operation blocks, at which point it parks itself on the corresponding
+queue's waiter list.  Queue operations wake waiters back onto the ready
+deque.  Execution proceeds "until no coroutines can continue execution" —
+there is deliberately no explicit termination condition, matching the
+paper (§3.8, footnote 2).
+
+Design notes
+------------
+* The *fast path* of a stream access never reaches the scheduler: port
+  awaitables try the queue inline and only yield when they must block.
+  Context switches therefore happen only on genuinely full/empty queues.
+  This is what keeps synchronisation overhead at the sub-0.1% level the
+  paper measures with perf (§5.2).
+* ``profile=True`` timestamps every resume to split wall time into
+  per-task kernel time vs scheduler overhead, reproducing the §5.2
+  profiling experiment.  It costs two ``perf_counter()`` calls per
+  context switch and is off by default.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import GraphRuntimeError
+
+__all__ = [
+    "TaskState",
+    "Task",
+    "CooperativeScheduler",
+    "SchedulerStats",
+    "sched_yield",
+]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states of a scheduled coroutine task."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED_READ = "blocked-read"
+    BLOCKED_WRITE = "blocked-write"
+    FINISHED = "finished"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class Task:
+    """One coroutine under scheduler control."""
+
+    __slots__ = (
+        "name", "coro", "kind", "state", "blocked_on",
+        "resumes", "cpu_time", "error",
+    )
+
+    def __init__(self, name: str, coro, kind: str = "kernel"):
+        self.name = name
+        self.coro = coro
+        self.kind = kind  # "kernel" | "source" | "sink"
+        self.state = TaskState.READY
+        self.blocked_on: Optional[Tuple[Any, str]] = None  # (queue, op)
+        self.resumes = 0
+        self.cpu_time = 0.0
+        self.error: Optional[BaseException] = None
+
+    def __repr__(self):
+        return f"<Task {self.name} {self.kind} {self.state.value}>"
+
+
+class _YieldAwaitable:
+    """Voluntary yield: reschedule the current task at the back of the
+    ready deque.  Compute-only kernels use this to stay cooperative."""
+
+    __slots__ = ()
+
+    def __await__(self):
+        yield ("yield", None, -1)
+
+    __iter__ = __await__
+
+
+def sched_yield() -> _YieldAwaitable:
+    """``await sched_yield()`` — give other kernels a turn."""
+    return _YieldAwaitable()
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate execution statistics for one scheduler run."""
+
+    context_switches: int = 0
+    wall_time: float = 0.0
+    kernel_time: float = 0.0       # only populated when profiling
+    overhead_time: float = 0.0     # only populated when profiling
+    profiled: bool = False
+    task_states: Dict[str, str] = field(default_factory=dict)
+    task_resumes: Dict[str, int] = field(default_factory=dict)
+    task_cpu_time: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def kernel_fraction(self) -> float:
+        """Fraction of profiled wall time spent inside task code — the
+        §5.2 metric (cgsim: 99.94% for bitonic)."""
+        if not self.profiled or self.wall_time == 0.0:
+            return float("nan")
+        return self.kernel_time / self.wall_time
+
+
+class CooperativeScheduler:
+    """FIFO cooperative scheduler over framework coroutines.
+
+    Coroutines communicate with the scheduler through yielded commands
+    emitted by the port awaitables:
+
+    ``("rd", queue, consumer_idx)``
+        park on ``queue.read_waiters[consumer_idx]`` until data arrives.
+    ``("wr", queue, -1)``
+        park on ``queue.write_waiters`` until a slot frees.
+    ``("yield", None, -1)``
+        voluntary reschedule.
+    """
+
+    def __init__(self, profile: bool = False):
+        self.tasks: List[Task] = []
+        self.ready: deque = deque()
+        self.profile = profile
+        self._started = False
+
+    # -- task management -----------------------------------------------------------
+
+    def spawn(self, name: str, coro, kind: str = "kernel") -> Task:
+        """Register a coroutine; it starts suspended and pending (§3.8)."""
+        if self._started:
+            raise GraphRuntimeError(
+                "cannot spawn tasks after the scheduler has started"
+            )
+        task = Task(name, coro, kind)
+        self.tasks.append(task)
+        self.ready.append(task)
+        return task
+
+    def wake_all(self, waiters: List[Task]) -> None:
+        """Move every parked task in *waiters* to the ready deque.
+
+        Called by queues on puts/gets.  Spurious wakeups are harmless:
+        awaitables re-check their queue and re-park if still blocked.
+        """
+        for task in waiters:
+            if task.state in (TaskState.BLOCKED_READ, TaskState.BLOCKED_WRITE):
+                task.state = TaskState.READY
+                task.blocked_on = None
+                self.ready.append(task)
+        waiters.clear()
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, max_steps: Optional[int] = None) -> SchedulerStats:
+        """Drive tasks until no coroutine can continue (§3.8).
+
+        Returns aggregate stats; inspect task states afterwards to tell a
+        clean drain from a stall.  ``max_steps`` bounds context switches
+        as a runaway guard (raises GraphRuntimeError when exceeded).
+        """
+        self._started = True
+        stats = SchedulerStats(profiled=self.profile)
+        ready = self.ready
+        profile = self.profile
+        steps = 0
+        t_run0 = perf_counter()
+
+        while ready:
+            task = ready.popleft()
+            if task.state is not TaskState.READY:
+                continue  # cancelled/finished while queued
+            task.state = TaskState.RUNNING
+            task.resumes += 1
+            steps += 1
+            if max_steps is not None and steps > max_steps:
+                self._cancel_all()
+                raise GraphRuntimeError(
+                    f"scheduler exceeded max_steps={max_steps}; the graph "
+                    f"appears to livelock"
+                )
+            try:
+                if profile:
+                    t0 = perf_counter()
+                    cmd = task.coro.send(None)
+                    task.cpu_time += perf_counter() - t0
+                else:
+                    cmd = task.coro.send(None)
+            except StopIteration:
+                task.state = TaskState.FINISHED
+                continue
+            except BaseException as exc:  # kernel raised
+                task.state = TaskState.FAILED
+                task.error = exc
+                self._cancel_all()
+                raise GraphRuntimeError(
+                    f"task {task.name!r} raised "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+
+            op, queue, idx = cmd
+            if op == "rd":
+                # Re-check under "lock" (single thread, so: after send
+                # returned).  A producer may have pushed between the failed
+                # try_get and the yield reaching us only in re-entrant
+                # scenarios; the awaitable retries on resume either way.
+                task.state = TaskState.BLOCKED_READ
+                task.blocked_on = (queue, "read")
+                queue.read_waiters[idx].append(task)
+            elif op == "wr":
+                task.state = TaskState.BLOCKED_WRITE
+                task.blocked_on = (queue, "write")
+                queue.write_waiters.append(task)
+            elif op == "yield":
+                task.state = TaskState.READY
+                ready.append(task)
+            else:  # pragma: no cover - defensive
+                task.state = TaskState.FAILED
+                self._cancel_all()
+                raise GraphRuntimeError(
+                    f"task {task.name!r} yielded unknown scheduler command "
+                    f"{op!r}"
+                )
+
+        stats.wall_time = perf_counter() - t_run0
+        stats.context_switches = steps
+        if profile:
+            stats.kernel_time = sum(t.cpu_time for t in self.tasks)
+            stats.overhead_time = max(0.0, stats.wall_time - stats.kernel_time)
+        for t in self.tasks:
+            stats.task_states[t.name] = t.state.value
+            stats.task_resumes[t.name] = t.resumes
+            if profile:
+                stats.task_cpu_time[t.name] = t.cpu_time
+        return stats
+
+    # -- teardown -------------------------------------------------------------------
+
+    def _cancel_all(self) -> None:
+        for t in self.tasks:
+            if t.state in (
+                TaskState.READY, TaskState.BLOCKED_READ,
+                TaskState.BLOCKED_WRITE, TaskState.RUNNING,
+            ):
+                t.state = TaskState.CANCELLED
+                t.coro.close()
+
+    def close(self) -> None:
+        """Terminate all remaining coroutines (RuntimeContext teardown,
+        §3.8: kernels are terminated once execution completes)."""
+        for t in self.tasks:
+            if t.state in (
+                TaskState.READY, TaskState.BLOCKED_READ,
+                TaskState.BLOCKED_WRITE,
+            ):
+                t.state = TaskState.CANCELLED
+                t.coro.close()
+
+    # -- introspection ----------------------------------------------------------------
+
+    def blocked_tasks(self) -> List[Task]:
+        return [
+            t for t in self.tasks
+            if t.state in (TaskState.BLOCKED_READ, TaskState.BLOCKED_WRITE)
+        ]
+
+    def describe_blockage(self) -> str:
+        """Human-readable wait diagnosis for deadlock reports."""
+        lines = []
+        for t in self.blocked_tasks():
+            queue, op = t.blocked_on
+            lines.append(
+                f"  {t.name} ({t.kind}) blocked on {op} of "
+                f"{queue.name or 'queue'}"
+            )
+        return "\n".join(lines) if lines else "  (no blocked tasks)"

@@ -1,0 +1,226 @@
+"""Global I/O: data sources, sinks, and runtime parameters (§3.7).
+
+cgsim streams data into and out of a graph's global ports through
+specialised coroutines that the RuntimeContext attaches after
+instantiating the graph.  Each source/sink coroutine bridges one stream
+to a standard Python container supplied by the user:
+
+* **input**: any iterable (list, generator, numpy array).  For window
+  (buffer) streams, a flat numpy array is automatically chunked into
+  window-sized blocks.
+* **output**: a ``list`` (elements are appended) or a pre-allocated
+  numpy array (filled front to back).
+* **runtime parameters**: scalars are passed directly, or wrapped in
+  :class:`RuntimeParam` when the caller wants the post-run value back
+  (RTP sinks).
+
+Sources and sinks are positional when invoking a graph: sources first, in
+global-input order, then sinks in global-output order (§3.7).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import IoBindingError, StreamTypeError
+from .dtypes import ScalarType, StreamType, WindowType
+from .queues import BroadcastQueue
+
+__all__ = [
+    "RuntimeParam",
+    "queue_put",
+    "queue_get",
+    "iter_stream_values",
+    "make_source",
+    "make_sink",
+    "ArraySinkCursor",
+]
+
+
+class RuntimeParam:
+    """Mutable scalar box for runtime-parameter ports (§3.7).
+
+    As a *source*, its value is latched into the RTP port before the run.
+    As a *sink*, its value is updated from the RTP latch when the run
+    completes.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None):
+        self.value = value
+
+    def __repr__(self):
+        return f"RuntimeParam({self.value!r})"
+
+
+class _QueuePut:
+    """Queue-level awaitable put (used by source coroutines, which have
+    no kernel port object)."""
+
+    __slots__ = ("queue", "value")
+
+    def __init__(self, queue: BroadcastQueue, value: Any):
+        self.queue = queue
+        self.value = value
+
+    def __await__(self):
+        queue = self.queue
+        value = self.value
+        while True:
+            if queue.try_put(value):
+                return None
+            yield ("wr", queue, -1)
+
+    __iter__ = __await__
+
+
+class _QueueGet:
+    """Queue-level awaitable get (used by sink coroutines)."""
+
+    __slots__ = ("queue", "consumer_idx")
+
+    def __init__(self, queue: BroadcastQueue, consumer_idx: int):
+        self.queue = queue
+        self.consumer_idx = consumer_idx
+
+    def __await__(self):
+        queue = self.queue
+        idx = self.consumer_idx
+        while True:
+            ok, value = queue.try_get(idx)
+            if ok:
+                return value
+            yield ("rd", queue, idx)
+
+    __iter__ = __await__
+
+
+def queue_put(queue: BroadcastQueue, value: Any) -> _QueuePut:
+    return _QueuePut(queue, value)
+
+
+def queue_get(queue: BroadcastQueue, consumer_idx: int) -> _QueueGet:
+    return _QueueGet(queue, consumer_idx)
+
+
+# ---------------------------------------------------------------------------
+# Input adaptation
+# ---------------------------------------------------------------------------
+
+
+def iter_stream_values(dtype: StreamType, data: Any,
+                       validate: bool = False) -> Iterator[Any]:
+    """Adapt a user container to a stream of *dtype* elements.
+
+    Window streams accept either an iterable of ready-made blocks or one
+    flat numpy array whose length is a multiple of the window size (the
+    convenient form for the AMD example test vectors).
+    """
+    if isinstance(dtype, WindowType) and isinstance(data, np.ndarray):
+        if data.ndim == 1:
+            if data.size % dtype.count != 0:
+                raise IoBindingError(
+                    f"flat array of {data.size} elements cannot be chunked "
+                    f"into windows of {dtype.count}"
+                )
+            blocks: Iterable[Any] = (
+                data[i:i + dtype.count]
+                for i in range(0, data.size, dtype.count)
+            )
+        elif data.ndim == 2 and data.shape[1] == dtype.count:
+            blocks = iter(data)
+        else:
+            raise IoBindingError(
+                f"array of shape {data.shape} does not match window "
+                f"stream of {dtype.count} elements"
+            )
+        if validate:
+            return (dtype.validate(b) for b in blocks)
+        return iter(blocks)
+
+    it = iter(data)
+    if validate:
+        return (dtype.validate(v) for v in it)
+    return it
+
+
+async def _source_coro(queue: BroadcastQueue, values: Iterator[Any]):
+    for v in values:
+        await _QueuePut(queue, v)
+
+
+def make_source(queue: BroadcastQueue, dtype: StreamType, data: Any,
+                validate: bool = False):
+    """Build the source coroutine feeding *queue* from *data* (§3.7)."""
+    return _source_coro(queue, iter_stream_values(dtype, data, validate))
+
+
+# ---------------------------------------------------------------------------
+# Output adaptation
+# ---------------------------------------------------------------------------
+
+
+class ArraySinkCursor:
+    """Sequentially fills a pre-allocated numpy array from a stream.
+
+    Scalar streams fill one element per item; window streams fill one
+    block per item.  Overflow raises — the caller sized the array.
+    """
+
+    def __init__(self, array: np.ndarray, dtype: StreamType):
+        self.array = array
+        self.dtype = dtype
+        self.count = 0  # items received
+        if isinstance(dtype, WindowType):
+            if array.size % dtype.count != 0:
+                raise IoBindingError(
+                    f"sink array of {array.size} elements is not a "
+                    f"multiple of the window size {dtype.count}"
+                )
+            self.capacity = array.size // dtype.count
+        else:
+            self.capacity = array.size
+
+    def store(self, value: Any) -> None:
+        if self.count >= self.capacity:
+            raise StreamTypeError(
+                f"sink array overflow: capacity {self.capacity} items"
+            )
+        flat = self.array.reshape(-1)
+        if isinstance(self.dtype, WindowType):
+            n = self.dtype.count
+            flat[self.count * n:(self.count + 1) * n] = value
+        else:
+            flat[self.count] = value
+        self.count += 1
+
+    @property
+    def items_stored(self) -> int:
+        return self.count
+
+
+async def _sink_coro(queue: BroadcastQueue, consumer_idx: int, store):
+    while True:
+        value = await _QueueGet(queue, consumer_idx)
+        store(value)
+
+
+def make_sink(queue: BroadcastQueue, consumer_idx: int,
+              dtype: StreamType, container: Any):
+    """Build the sink coroutine draining *queue* into *container*.
+
+    Returns ``(coroutine, cursor_or_None)``; the cursor reports item
+    counts for array containers.
+    """
+    if isinstance(container, list):
+        return _sink_coro(queue, consumer_idx, container.append), None
+    if isinstance(container, np.ndarray):
+        cursor = ArraySinkCursor(container, dtype)
+        return _sink_coro(queue, consumer_idx, cursor.store), cursor
+    raise IoBindingError(
+        f"unsupported sink container {type(container).__name__}; pass a "
+        f"list or a pre-allocated numpy array"
+    )

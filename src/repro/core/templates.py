@@ -1,0 +1,146 @@
+"""Templated kernels: parameterised kernel families.
+
+The paper lists templated kernel support among the hardware features the
+framework does not yet expose (§6); this module is that extension.  A
+*kernel template* is a factory producing the kernel coroutine from
+compile-time parameters::
+
+    @kernel_template(realm=AIE)
+    def fir_kernel(TAPS: tuple):
+        async def fir(x: In[float32], y: Out[float32]):
+            hist = [0.0] * len(TAPS)
+            while True:
+                ...
+        return fir
+
+    fir4 = fir_kernel.instantiate(TAPS=(0.25, 0.25, 0.25, 0.25))
+
+``instantiate`` returns an ordinary :class:`KernelClass` whose name and
+registry key are mangled with the parameter values (the analog of C++
+template instantiation producing distinct symbols), so distinct
+instantiations coexist in graphs and serialized forms.  Instantiations
+are cached: equal parameters yield the *same* KernelClass, mirroring
+template deduplication.
+
+For the extractor, instantiated kernels carry ``template_params`` and
+their source resolves to the factory's source; code generators emit the
+parameter binding as a header comment (C++ template argument lists have
+no general Python-value analog).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import GraphBuildError
+from .kernel import AIE, KernelClass, Realm, _KERNEL_REGISTRY, _collect_port_specs
+
+__all__ = ["kernel_template", "KernelTemplate"]
+
+
+def _mangle(params: Dict[str, Any]) -> str:
+    """A short, stable suffix encoding the parameter binding."""
+    text = repr(tuple(sorted(params.items())))
+    digest = hashlib.sha1(text.encode()).hexdigest()[:8]
+    readable = "_".join(
+        f"{k}{v}" for k, v in sorted(params.items())
+        if isinstance(v, (int, bool)) and len(str(v)) <= 6
+    )
+    return f"{readable}_{digest}" if readable else digest
+
+
+class TemplatedKernelClass(KernelClass):
+    """A kernel class produced by template instantiation."""
+
+    def __init__(self, fn, realm: Realm, port_specs, name: str,
+                 template: "KernelTemplate", params: Dict[str, Any]):
+        super().__init__(fn, realm, port_specs, name)
+        self.template = template
+        self.template_params = dict(params)
+        # Source location is the factory's, for the extractor.
+        try:
+            self.source_file = inspect.getsourcefile(template.factory)
+            _, self.source_lineno = inspect.getsourcelines(template.factory)
+        except (OSError, TypeError):  # pragma: no cover
+            pass
+
+    @property
+    def registry_key(self) -> str:
+        return (f"{self.template.factory.__module__}:"
+                f"{self.template.factory.__qualname__}"
+                f"<{_mangle(self.template_params)}>")
+
+
+class KernelTemplate:
+    """A parameterised family of kernels (see module docstring)."""
+
+    def __init__(self, factory: Callable, realm: Realm, name: str):
+        self.factory = factory
+        self.realm = realm
+        self.name = name
+        self._instances: Dict[Tuple, TemplatedKernelClass] = {}
+        self.__doc__ = factory.__doc__
+
+    def _cache_key(self, params: Dict[str, Any]) -> Tuple:
+        try:
+            key = tuple(sorted(params.items()))
+            hash(key)  # instantiations are cached by value
+            return key
+        except TypeError as exc:
+            raise GraphBuildError(
+                f"template {self.name}: parameters must be orderable and "
+                f"hashable ({exc}); use tuples instead of lists"
+            ) from exc
+
+    def instantiate(self, **params: Any) -> TemplatedKernelClass:
+        """Create (or fetch) the kernel for this parameter binding."""
+        key = self._cache_key(params)
+        cached = self._instances.get(key)
+        if cached is not None:
+            return cached
+
+        fn = self.factory(**params)
+        if not inspect.iscoroutinefunction(fn):
+            raise GraphBuildError(
+                f"template {self.name} must return an 'async def' kernel "
+                f"function, got {type(fn).__name__}"
+            )
+        specs = _collect_port_specs(fn)
+        kc = TemplatedKernelClass(
+            fn, self.realm, specs,
+            name=f"{self.name}_{_mangle(params)}",
+            template=self, params=params,
+        )
+        _KERNEL_REGISTRY[kc.registry_key] = kc
+        self._instances[key] = kc
+        return kc
+
+    def __call__(self, *args, **kwargs):
+        raise GraphBuildError(
+            f"kernel template {self.name!r} must be instantiated before "
+            f"use: {self.name}.instantiate(<params>)(connectors...)"
+        )
+
+    def __repr__(self):
+        return (f"<KernelTemplate {self.name} "
+                f"({len(self._instances)} instantiation(s))>")
+
+
+def kernel_template(realm: Realm = AIE, *, name: Optional[str] = None):
+    """Decorator defining a kernel template.
+
+    The decorated function receives the template parameters and returns
+    the kernel coroutine function (with the usual In/Out annotations).
+    """
+    if callable(realm):
+        raise GraphBuildError(
+            "kernel_template must be called with arguments: "
+            "@kernel_template(realm=AIE)"
+        )
+
+    def deco(factory: Callable) -> KernelTemplate:
+        return KernelTemplate(factory, realm, name or factory.__name__)
+
+    return deco

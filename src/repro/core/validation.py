@@ -1,0 +1,96 @@
+"""Whole-graph validation and static analyses.
+
+Build-time construction (:mod:`repro.core.builder`) already rejects
+malformed graphs; this module adds *advisory* analyses used by the
+runtime, the extractor, and the hardware simulators:
+
+* cycle detection (feedback loops are legal dataflow but deadlock when a
+  cycle's total queue capacity is smaller than its in-flight data),
+* realm composition summaries (what §4.3 partitioning will see),
+* fan-in/fan-out statistics for placement heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .graph import ComputeGraph
+
+__all__ = ["GraphIssue", "check_graph", "find_kernel_cycles", "realm_summary"]
+
+
+@dataclass(frozen=True)
+class GraphIssue:
+    """One advisory finding about a graph."""
+
+    severity: str  # "info" | "warning"
+    code: str
+    message: str
+
+    def __str__(self):
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def find_kernel_cycles(graph: ComputeGraph) -> List[List[int]]:
+    """Return cycles among kernel instances (lists of instance indices).
+
+    Uses the net topology: instance A feeds instance B if some net has A
+    as producer and B as consumer.
+    """
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from(inst.index for inst in graph.kernels)
+    for net in graph.nets:
+        for p in net.producers:
+            for c in net.consumers:
+                g.add_edge(p.instance_idx, c.instance_idx)
+    return [list(c) for c in nx.simple_cycles(g)]
+
+
+def realm_summary(graph: ComputeGraph) -> Dict[str, int]:
+    """Kernel-instance count per realm name (input to §4.3 partitioning)."""
+    out: Dict[str, int] = {}
+    for inst in graph.kernels:
+        out[inst.realm.name] = out.get(inst.realm.name, 0) + 1
+    return out
+
+
+def check_graph(graph: ComputeGraph) -> List[GraphIssue]:
+    """Run all advisory analyses; returns an issue list (possibly empty)."""
+    issues: List[GraphIssue] = []
+
+    cycles = find_kernel_cycles(graph)
+    for cyc in cycles:
+        names = " -> ".join(graph.kernels[i].instance_name for i in cyc)
+        issues.append(GraphIssue(
+            "warning", "feedback-cycle",
+            f"kernel cycle {names}: ensure enough queue capacity or "
+            f"initial tokens, or the graph will stall",
+        ))
+
+    for net in graph.nets:
+        if net.is_broadcast and net.is_merge:
+            issues.append(GraphIssue(
+                "info", "merge-broadcast",
+                f"net {net.name!r} both merges {len(net.producers)} "
+                f"producers and broadcasts to {len(net.consumers)} "
+                f"consumers; producer interleaving order is unspecified",
+            ))
+        if net.settings.runtime_parameter and net.is_merge:
+            issues.append(GraphIssue(
+                "warning", "rtp-merge",
+                f"runtime parameter net {net.name!r} has multiple "
+                f"writers; last write wins",
+            ))
+
+    fan_out = max((len(n.consumers) for n in graph.nets), default=0)
+    if fan_out > 8:
+        issues.append(GraphIssue(
+            "info", "wide-broadcast",
+            f"maximum stream fan-out is {fan_out}; AIE stream switches "
+            f"support limited physical broadcast, the router will split "
+            f"this into a tree",
+        ))
+    return issues

@@ -1,0 +1,141 @@
+"""Exception hierarchy for the cgsim-py framework.
+
+All framework errors derive from :class:`CgsimError`, split along the two
+phases of the paper's model: *build-time* errors (the analog of the C++
+``constexpr``/compile-time diagnostics in cgsim §3.4) and *runtime* errors
+raised while a :class:`~repro.core.runtime.RuntimeContext` is executing a
+graph.  The extractor and the hardware simulators add their own branches.
+"""
+
+from __future__ import annotations
+
+
+class CgsimError(Exception):
+    """Base class for every error raised by the framework."""
+
+
+# ---------------------------------------------------------------------------
+# Build ("compile") time
+# ---------------------------------------------------------------------------
+
+
+class GraphBuildError(CgsimError):
+    """Error detected while constructing a compute graph.
+
+    This is the Python analog of a C++ compile-time error produced during
+    ``constexpr`` graph construction (paper §3.4): incompatible port
+    settings, dangling connectors, type mismatches, and malformed builder
+    functions all surface here, *before* any data flows.
+    """
+
+
+class PortSettingsError(GraphBuildError):
+    """Two ports connected via an IoConnector have incompatible settings.
+
+    The paper generates a compile-time error when merged port
+    configurations conflict (§3.4); this is that error.
+    """
+
+
+class PortTypeError(GraphBuildError):
+    """Stream data type mismatch between connected endpoints."""
+
+
+class AttributeValueError(GraphBuildError):
+    """A connection attribute has a non-string/non-integer value (§3.4)."""
+
+
+class BuildContextError(GraphBuildError):
+    """Graph-construction API used outside an active build context."""
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+class SerializationError(CgsimError):
+    """The flattened (array-based) graph form is malformed or cannot be
+    reconstructed, e.g. an unknown kernel registry key (§3.5)."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime
+# ---------------------------------------------------------------------------
+
+
+class GraphRuntimeError(CgsimError):
+    """Error raised while executing an instantiated compute graph."""
+
+
+class DeadlockError(GraphRuntimeError):
+    """No coroutine can continue but unconsumed work remains.
+
+    Raised (optionally — see ``RuntimeContext.run(strict=...)``) when the
+    scheduler stops with kernels blocked on *writes*, which indicates the
+    graph stalled rather than ran out of input.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class StreamTypeError(GraphRuntimeError):
+    """A value pushed through a stream does not match the stream's type."""
+
+
+class IoBindingError(GraphRuntimeError):
+    """The positional sources/sinks passed when invoking a graph do not
+    match the graph's global inputs and outputs (§3.7)."""
+
+
+# ---------------------------------------------------------------------------
+# Extractor
+# ---------------------------------------------------------------------------
+
+
+class ExtractionError(CgsimError):
+    """The graph extractor could not ingest or transform a source module."""
+
+
+class KernelSourceError(ExtractionError):
+    """A kernel's source text could not be recovered or rewritten."""
+
+
+class CoExtractionError(ExtractionError):
+    """Transitive dependency co-extraction failed (§4.6)."""
+
+
+class CodegenError(ExtractionError):
+    """A realm backend failed to generate code for a kernel or graph."""
+
+
+class UnsupportedConstructError(CodegenError):
+    """The kernel body uses a Python construct outside the restricted
+    subset that the C++ kernel transpiler accepts."""
+
+    def __init__(self, message: str, lineno: int | None = None):
+        super().__init__(message)
+        self.lineno = lineno
+
+
+# ---------------------------------------------------------------------------
+# Hardware simulators
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(CgsimError):
+    """Base class for errors in the aiesim / x86sim substrates."""
+
+
+class PlacementError(SimulationError):
+    """The placer could not map all kernels onto the AIE tile array."""
+
+
+class RoutingError(SimulationError):
+    """The stream-switch router could not realise a net."""
+
+
+class TimingModelError(SimulationError):
+    """The VLIW timing model was asked to cost an unknown micro-op."""

@@ -1,0 +1,56 @@
+"""repro.extractor — the compute graph extractor (paper §4).
+
+Source-to-source translation of cgsim graph prototypes into deployable
+projects: :mod:`ingest` recovers serialized graphs from modules (the
+constexpr-evaluation analog), :mod:`partition` splits graphs by realm
+and classifies connections, :mod:`kernel_extract`/:mod:`transforms`
+isolate and rewrite kernel sources (await removal, declaration
+splitting), :mod:`coextract` pulls in transitive dependencies, and the
+:mod:`realms` backends generate code — ADF-style C++ for the AIE realm
+(:mod:`codegen.aie_cpp`), a runnable Python project for this repo's AIE
+simulator (:mod:`codegen.pysim_backend`), and DOT renderings
+(:mod:`codegen.dot`).  :mod:`project` assembles full project bundles;
+:mod:`cli` is the command-line front end.
+"""
+
+from .coextract import CoExtraction, coextract_kernel, collect_free_names
+from .ingest import IngestedModule, MarkedGraph, ingest_module, ingest_path
+from .kernel_extract import ExtractedKernel, extract_kernel
+from .partition import (
+    ClassifiedNet,
+    NetClass,
+    RealmPartition,
+    RealmSubgraph,
+    partition_graph,
+)
+from .project import ExtractionResult, GraphProject, extract_project
+from .realms import (
+    AieRealmBackend,
+    HlsRealmBackend,
+    PysimRealmBackend,
+    RealmBackend,
+    backend_for,
+    register_backend,
+    registered_backends,
+)
+from .transforms import (
+    AsyncToSync,
+    RemoveAwait,
+    StripDecorators,
+    signature_stub,
+    synchronous_definition,
+)
+
+__all__ = [
+    "ingest_module", "ingest_path", "IngestedModule", "MarkedGraph",
+    "partition_graph", "RealmPartition", "RealmSubgraph", "NetClass",
+    "ClassifiedNet",
+    "extract_kernel", "ExtractedKernel",
+    "coextract_kernel", "CoExtraction", "collect_free_names",
+    "RemoveAwait", "AsyncToSync", "StripDecorators",
+    "signature_stub", "synchronous_definition",
+    "extract_project", "ExtractionResult", "GraphProject",
+    "RealmBackend", "AieRealmBackend", "PysimRealmBackend",
+    "HlsRealmBackend",
+    "register_backend", "backend_for", "registered_backends",
+]

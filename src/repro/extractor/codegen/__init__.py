@@ -1,0 +1,9 @@
+"""Code generators for realm backends (§4.7).
+
+* :mod:`aie_cpp` — Vitis-compatible ADF project: ``graph.hpp``,
+  ``kernel_decls.hpp``, per-kernel ``.cc``, compat header;
+* :mod:`kernel_cpp` — restricted Python→C++ kernel-body transpiler;
+* :mod:`pysim_backend` — runnable Python project for the in-repo AIE
+  simulator;
+* :mod:`dot` — Graphviz renderings of compute graphs (Figure 4).
+"""

@@ -1,0 +1,89 @@
+"""Graphviz DOT rendering of compute graphs.
+
+Regenerates the paper's structural figures from live objects: Figure 4's
+definition→graph correspondence, and the realm-coloured partitioning
+views of §4.3.  Output is plain DOT text (no graphviz binary needed to
+validate structure; tests parse the text).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...core.dtypes import WindowType
+from ...core.graph import ComputeGraph
+
+__all__ = ["graph_to_dot"]
+
+_REALM_COLORS = {
+    "aie": "#a7c7e7",
+    "noextract": "#d3d3d3",
+    "pysim": "#b5e7a0",
+}
+
+
+def _esc(s: str) -> str:
+    return s.replace('"', '\\"')
+
+
+def graph_to_dot(graph: ComputeGraph, title: Optional[str] = None,
+                 color_by_realm: bool = True) -> str:
+    """Render *graph* as a DOT digraph.
+
+    Kernel instances are boxes (coloured by realm), global inputs and
+    outputs are ellipses, and every net contributes edges from each
+    producer to each consumer; broadcast nets fan out from a dot node
+    mirroring Figure 4's rendering.
+    """
+    lines = [f'digraph "{_esc(title or graph.name)}" {{',
+             "  rankdir=LR;",
+             '  node [fontname="Helvetica"];']
+
+    for io in graph.inputs:
+        lines.append(
+            f'  in{io.io_index} [label="{_esc(io.name)}" shape=ellipse];'
+        )
+    for io in graph.outputs:
+        lines.append(
+            f'  out{io.io_index} [label="{_esc(io.name)}" shape=ellipse '
+            f'peripheries=2];'
+        )
+    for inst in graph.kernels:
+        color = _REALM_COLORS.get(inst.realm.name, "#ffffff") \
+            if color_by_realm else "#ffffff"
+        lines.append(
+            f'  k{inst.index} [label="{_esc(inst.instance_name)}\\n'
+            f'({_esc(inst.realm.name)})" shape=box style=filled '
+            f'fillcolor="{color}"];'
+        )
+
+    for net in graph.nets:
+        srcs = [f"k{ep.instance_idx}" for ep in net.producers]
+        dsts = [f"k{ep.instance_idx}" for ep in net.consumers]
+        srcs += [f"in{io.io_index}" for io in graph.inputs
+                 if io.net_id == net.net_id]
+        dsts += [f"out{io.io_index}" for io in graph.outputs
+                 if io.net_id == net.net_id]
+        style = "dashed" if net.settings.runtime_parameter else "solid"
+        penwidth = "2" if isinstance(net.dtype, WindowType) else "1"
+        label = f"{net.name}:{net.dtype.name}"
+        if len(dsts) > 1 or len(srcs) > 1:
+            # Broadcast/merge hub node, as in Figure 4's rendering.
+            hub = f"net{net.net_id}"
+            lines.append(f'  {hub} [shape=point width=0.08 xlabel='
+                         f'"{_esc(label)}"];')
+            for s in srcs:
+                lines.append(f'  {s} -> {hub} [style={style} '
+                             f'penwidth={penwidth} arrowhead=none];')
+            for d in dsts:
+                lines.append(f'  {hub} -> {d} [style={style} '
+                             f'penwidth={penwidth}];')
+        else:
+            for s in srcs:
+                for d in dsts:
+                    lines.append(
+                        f'  {s} -> {d} [label="{_esc(label)}" '
+                        f'style={style} penwidth={penwidth}];'
+                    )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,406 @@
+"""Restricted Python→C++ transpiler for AIE kernel bodies.
+
+The paper's extractor moves C++ source text verbatim; this reproduction
+hosts kernels in Python, so emitting a Vitis-compatible ``.cc`` file
+requires translation.  The transpiler accepts the *kernel subset*:
+``while``/``for range()``/``if`` control flow, scalar locals, vector
+intrinsic calls through the ``aie`` facade, and (await-stripped) port
+operations.  Everything it cannot prove translatable raises
+:class:`UnsupportedConstructError`; the AIE backend then emits a
+manual-port stub instead (recorded in the extraction report).
+
+Generated code targets the AIE API plus a small ``cgsim::`` compat
+header (emitted into every project by
+:mod:`repro.extractor.codegen.aie_cpp`) that adapts the simulator's
+vector-method spellings to AIE API calls — the C++-side counterpart of
+the realm-provided port type implementations the paper describes (§4.4).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from ...core.dtypes import StreamType, WindowType
+from ...core.kernel import KernelClass
+from ...core.ports import PortSpec
+from ...errors import UnsupportedConstructError
+from ..kernel_extract import ExtractedKernel
+from ..transforms import parse_function
+
+__all__ = ["transpile_kernel", "cpp_port_parameter", "transpile_constant"]
+
+#: numpy dtype attribute -> C++ type
+_NP_TYPES = {
+    "float32": "float", "float64": "double",
+    "int8": "int8_t", "int16": "int16", "int32": "int32",
+    "int64": "int64", "uint8": "uint8_t", "uint16": "uint16",
+    "uint32": "uint32", "complex128": "cfloat",
+}
+
+#: aie.<fn> free functions that map 1:1 onto the AIE API.
+_AIE_DIRECT = {
+    "mul", "mac", "msc", "negmul", "add", "sub",
+    "sliding_mul", "sliding_mac", "concat", "reverse",
+}
+
+_BINOPS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.Mod: "%", ast.LShift: "<<", ast.RShift: ">>",
+    ast.BitAnd: "&", ast.BitOr: "|", ast.BitXor: "^",
+}
+_CMPOPS = {
+    ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+    ast.Gt: ">", ast.GtE: ">=",
+}
+
+
+def cpp_port_parameter(spec: PortSpec, dialect: str = "adf") -> str:
+    """The C++ parameter declaration for one kernel port.
+
+    ``dialect='adf'`` emits AIE/ADF types (streams, io_buffers);
+    ``dialect='hls'`` emits Vitis HLS types (``hls::stream`` references
+    and plain arrays for window ports).
+    """
+    t = spec.dtype
+    if spec.settings.runtime_parameter:
+        return f"{t.cpp_name} {spec.name}"
+    if dialect == "hls":
+        if isinstance(t, WindowType):
+            return f"{t.base.cpp_name} {spec.name}[{t.count}]"
+        return f"hls::stream<{t.cpp_name}>& {spec.name}"
+    if isinstance(t, WindowType):
+        base = t.base.cpp_name
+        if spec.is_input:
+            return f"adf::input_buffer<{base}>& {spec.name}"
+        return f"adf::output_buffer<{base}>& {spec.name}"
+    if spec.is_input:
+        return f"input_stream<{t.cpp_name}>* {spec.name}"
+    return f"output_stream<{t.cpp_name}>* {spec.name}"
+
+
+def transpile_constant(source_segment: str) -> Optional[str]:
+    """Transpile a simple top-level constant assignment, or None.
+
+    Only literal ints/floats survive (``LANES = 8`` →
+    ``static constexpr auto LANES = 8;``); tables and computed values
+    are left to manual porting.
+    """
+    try:
+        tree = ast.parse(source_segment)
+    except SyntaxError:
+        return None
+    if len(tree.body) != 1 or not isinstance(tree.body[0], ast.Assign):
+        return None
+    assign = tree.body[0]
+    if len(assign.targets) != 1 or not isinstance(assign.targets[0], ast.Name):
+        return None
+    if not isinstance(assign.value, ast.Constant) or \
+            not isinstance(assign.value.value, (int, float)):
+        return None
+    name = assign.targets[0].id
+    return f"static constexpr auto {name} = {assign.value.value!r};"
+
+
+class _Transpiler:
+    """One-pass AST→C++ text generator for the kernel subset."""
+
+    def __init__(self, kernel: KernelClass, dialect: str = "adf"):
+        self.kernel = kernel
+        self.dialect = dialect
+        self.ports: Dict[str, PortSpec] = {
+            s.name: s for s in kernel.port_specs
+        }
+        self.declared: set = set(self.ports)
+        self.lines: List[str] = []
+        self.indent = 0
+        self._tmp = 0
+
+    # -- infrastructure ----------------------------------------------------------
+
+    def fail(self, node: ast.AST, what: str) -> None:
+        raise UnsupportedConstructError(
+            f"kernel {self.kernel.name}: {what}",
+            lineno=getattr(node, "lineno", None),
+        )
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def fresh(self, hint: str = "i") -> str:
+        self._tmp += 1
+        return f"_{hint}{self._tmp}"
+
+    # -- entry -------------------------------------------------------------------
+
+    def run(self, fn: ast.FunctionDef) -> str:
+        params = ", ".join(
+            cpp_port_parameter(self.ports[a.arg], self.dialect)
+            for a in fn.args.args
+        )
+        self.emit(f"void {self.kernel.name}({params}) {{")
+        self.indent += 1
+        body = fn.body
+        doc = ast.get_docstring(fn)
+        if doc is not None:
+            for line in doc.splitlines():
+                self.emit(f"// {line.strip()}")
+            body = body[1:]
+        for stmt in body:
+            self.stmt(stmt)
+        self.indent -= 1
+        self.emit("}")
+        return "\n".join(self.lines)
+
+    # -- statements -----------------------------------------------------------------
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.While):
+            test = "true" if (isinstance(node.test, ast.Constant)
+                              and node.test.value is True) \
+                else self.expr(node.test)
+            if node.orelse:
+                self.fail(node, "while/else is not supported")
+            self.emit(f"while ({test}) {{")
+            self.indent += 1
+            for s in node.body:
+                self.stmt(s)
+            self.indent -= 1
+            self.emit("}")
+        elif isinstance(node, ast.For):
+            self._for_range(node)
+        elif isinstance(node, ast.If):
+            self.emit(f"if ({self.expr(node.test)}) {{")
+            self.indent += 1
+            for s in node.body:
+                self.stmt(s)
+            self.indent -= 1
+            if node.orelse:
+                self.emit("} else {")
+                self.indent += 1
+                for s in node.orelse:
+                    self.stmt(s)
+                self.indent -= 1
+            self.emit("}")
+        elif isinstance(node, ast.Assign):
+            if len(node.targets) != 1:
+                self.fail(node, "chained assignment")
+            tgt = node.targets[0]
+            if not isinstance(tgt, ast.Name):
+                self.fail(node, "only simple-name assignment targets")
+            value = self.expr(node.value)
+            if tgt.id in self.declared:
+                self.emit(f"{tgt.id} = {value};")
+            else:
+                self.declared.add(tgt.id)
+                self.emit(f"auto {tgt.id} = {value};")
+        elif isinstance(node, ast.AugAssign):
+            if not isinstance(node.target, ast.Name):
+                self.fail(node, "augmented assignment to non-name")
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                self.fail(node, f"augmented op {type(node.op).__name__}")
+            self.emit(
+                f"{node.target.id} {op}= {self.expr(node.value)};"
+            )
+        elif isinstance(node, ast.Expr):
+            self.emit(f"{self.expr(node.value)};")
+        elif isinstance(node, ast.Pass):
+            self.emit(";")
+        elif isinstance(node, ast.Break):
+            self.emit("break;")
+        elif isinstance(node, ast.Continue):
+            self.emit("continue;")
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.fail(node, "kernels cannot return values")
+            self.emit("return;")
+        else:
+            self.fail(node, f"statement {type(node).__name__}")
+
+    def _for_range(self, node: ast.For) -> None:
+        it = node.iter
+        if not (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id == "range" and not it.keywords):
+            self.fail(node, "for loops must iterate over range()")
+        if node.orelse:
+            self.fail(node, "for/else is not supported")
+        args = [self.expr(a) for a in it.args]
+        if len(args) == 1:
+            lo, hi, step = "0", args[0], "1"
+        elif len(args) == 2:
+            lo, hi, step = args[0], args[1], "1"
+        elif len(args) == 3:
+            lo, hi, step = args
+        else:
+            self.fail(node, "range() arity")
+        if not isinstance(node.target, ast.Name):
+            self.fail(node, "tuple loop targets")
+        var = node.target.id if node.target.id != "_" else self.fresh()
+        self.emit(f"for (int {var} = {lo}; {var} < {hi}; {var} += {step}) {{")
+        self.indent += 1
+        self.declared.add(var)
+        for s in node.body:
+            self.stmt(s)
+        self.indent -= 1
+        self.emit("}")
+
+    # -- expressions ------------------------------------------------------------------
+
+    def expr(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool):
+                return "true" if v else "false"
+            if isinstance(v, (int, float)):
+                return repr(v)
+            self.fail(node, f"constant {v!r}")
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                self.fail(node, f"operator {type(node.op).__name__}")
+            return f"({self.expr(node.left)} {op} {self.expr(node.right)})"
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                return f"(-{self.expr(node.operand)})"
+            if isinstance(node.op, ast.Not):
+                return f"(!{self.expr(node.operand)})"
+            self.fail(node, f"unary {type(node.op).__name__}")
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                self.fail(node, "chained comparison")
+            op = _CMPOPS.get(type(node.ops[0]))
+            if op is None:
+                self.fail(node, f"comparison {type(node.ops[0]).__name__}")
+            return (f"({self.expr(node.left)} {op} "
+                    f"{self.expr(node.comparators[0])})")
+        if isinstance(node, ast.BoolOp):
+            op = " && " if isinstance(node.op, ast.And) else " || "
+            return "(" + op.join(self.expr(v) for v in node.values) + ")"
+        if isinstance(node, ast.Subscript):
+            return (f"cgsim::get({self.expr(node.value)}, "
+                    f"{self.expr(node.slice)})")
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "np":
+                self.fail(node, "bare numpy attribute outside a call")
+            return f"{self.expr(base)}.{node.attr}"
+        self.fail(node, f"expression {type(node).__name__}")
+
+    # -- calls ------------------------------------------------------------------------
+
+    def _np_type(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and node.value.id == "np":
+            t = _NP_TYPES.get(node.attr)
+            if t is None:
+                self.fail(node, f"numpy type {node.attr}")
+            return t
+        return None
+
+    def call(self, node: ast.Call) -> str:
+        if node.keywords:
+            self.fail(node, "keyword arguments in kernel calls")
+        fn = node.func
+        args = node.args
+
+        # np.float32(x) and friends: casts.
+        cast = self._np_type(fn) if isinstance(fn, ast.Attribute) else None
+        if cast is not None:
+            if len(args) != 1:
+                self.fail(node, "cast arity")
+            return f"({cast})({self.expr(args[0])})"
+
+        if isinstance(fn, ast.Attribute):
+            base = fn.value
+            # Port operations.
+            if isinstance(base, ast.Name) and base.id in self.ports:
+                return self._port_op(node, base.id, fn.attr, args)
+            # aie.<fn>(...) intrinsics facade.
+            if isinstance(base, ast.Name) and base.id == "aie":
+                return self._aie_call(node, fn.attr, args)
+            # Vector method calls -> cgsim:: compat helpers.
+            recv = self.expr(base)
+            rendered = ", ".join(self.expr(a) for a in args)
+            sep = ", " if rendered else ""
+            return f"cgsim::{fn.attr}({recv}{sep}{rendered})"
+
+        if isinstance(fn, ast.Name):
+            if fn.id in ("int", "float"):
+                return f"({fn.id})({self.expr(args[0])})"
+            rendered = ", ".join(self.expr(a) for a in args)
+            return f"{fn.id}({rendered})"
+        self.fail(node, "call target")
+
+    def _port_op(self, node: ast.Call, port: str, op: str,
+                 args: List[ast.expr]) -> str:
+        spec = self.ports[port]
+        is_window = isinstance(spec.dtype, WindowType)
+        hls = self.dialect == "hls"
+        if op == "get":
+            if args:
+                self.fail(node, "get() takes no arguments")
+            if spec.settings.runtime_parameter:
+                return port  # RTP: the parameter itself
+            if is_window:
+                return port if hls else f"cgsim::window_read({port})"
+            return f"{port}.read()" if hls else f"readincr({port})"
+        if op == "put":
+            if len(args) != 1:
+                self.fail(node, "put() takes one argument")
+            value = self.expr(args[0])
+            if is_window:
+                if hls:
+                    return f"cgsim_hls::window_write({port}, {value})"
+                return f"cgsim::window_write({port}, {value})"
+            if hls:
+                return f"{port}.write({value})"
+            return f"writeincr({port}, {value})"
+        self.fail(node, f"port operation {op!r}")
+
+    def _aie_call(self, node: ast.Call, name: str,
+                  args: List[ast.expr]) -> str:
+        if name == "zeros":
+            if len(args) != 2:
+                self.fail(node, "aie.zeros(lanes, dtype)")
+            t = self._np_type(args[1])
+            if t is None:
+                self.fail(node, "aie.zeros dtype must be a numpy type")
+            return f"aie::zeros<{t}, {self.expr(args[0])}>()"
+        if name == "broadcast":
+            if len(args) < 2:
+                self.fail(node, "aie.broadcast(value, lanes[, dtype])")
+            t = self._np_type(args[2]) if len(args) > 2 else "float"
+            return (f"aie::broadcast<{t}, {self.expr(args[1])}>"
+                    f"({self.expr(args[0])})")
+        if name == "iota":
+            t = self._np_type(args[1]) if len(args) > 1 else "int32"
+            return f"cgsim::iota<{t}, {self.expr(args[0])}>()"
+        rendered = ", ".join(self.expr(a) for a in args)
+        if name in _AIE_DIRECT:
+            return f"aie::{name}({rendered})"
+        return f"cgsim::{name}({rendered})"
+
+
+def transpile_kernel(extracted: ExtractedKernel,
+                     dialect: str = "adf") -> str:
+    """Transpile the (already await-stripped) kernel definition to C++.
+
+    ``dialect`` selects the target flavour: ``adf`` (AIE kernels) or
+    ``hls`` (Vitis HLS dataflow kernels).  Raises
+    :class:`UnsupportedConstructError` when the body escapes the
+    restricted kernel subset.
+    """
+    if dialect not in ("adf", "hls"):
+        raise UnsupportedConstructError(f"unknown C++ dialect {dialect!r}")
+    tree = parse_function(extracted.definition)
+    fns = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(fns) != 1:
+        raise UnsupportedConstructError(
+            f"kernel {extracted.name}: expected one function definition"
+        )
+    return _Transpiler(extracted.kernel, dialect).run(fns[0])

@@ -1,0 +1,193 @@
+"""Co-extraction of referenced code (§4.6).
+
+A kernel rarely stands alone: it references helper functions, constant
+lookup tables, and custom types defined at global scope in the prototype
+module.  The extractor captures not only the kernel's direct
+dependencies but transitive ones, plus the import directives they need,
+so each generated kernel source file is self-contained.  Realm backends
+can blacklist modules (the analog of blacklisting simulation-only
+headers) to keep host-only helpers out of hardware builds.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import textwrap
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.kernel import KernelClass
+from ..errors import CoExtractionError
+
+__all__ = ["CoExtraction", "coextract_kernel", "collect_free_names"]
+
+
+def collect_free_names(fn_node: ast.AST) -> List[str]:
+    """Free variable names referenced by a function body.
+
+    Approximation: every ``Name`` loaded minus every name bound anywhere
+    in the function (arguments, assignments, loop targets, ...).  Good
+    enough for the restricted kernel subset; over-collection is harmless
+    (unknown names are reported, not extracted).
+    """
+    loaded: List[str] = []
+    bound: Set[str] = set()
+
+    class V(ast.NodeVisitor):
+        def visit_Name(self, node: ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                loaded.append(node.id)
+            else:
+                bound.add(node.id)
+
+        def visit_arg(self, node: ast.arg):
+            bound.add(node.arg)
+
+        def visit_FunctionDef(self, node):
+            bound.add(node.name)
+            self.generic_visit(node)
+
+        def visit_AsyncFunctionDef(self, node):
+            bound.add(node.name)
+            self.generic_visit(node)
+
+        def visit_Lambda(self, node: ast.Lambda):
+            for a in node.args.args:
+                bound.add(a.arg)
+            self.generic_visit(node)
+
+    V().visit(fn_node)
+    seen: Set[str] = set()
+    out = []
+    for n in loaded:
+        if n not in bound and n not in seen:
+            seen.add(n)
+            out.append(n)
+    return out
+
+
+@dataclass
+class CoExtraction:
+    """Everything a kernel source file needs besides the kernel itself."""
+
+    #: Import statements (source text), module-blacklist filtered.
+    imports: List[str] = field(default_factory=list)
+    #: Global-scope source chunks (constants, helper functions, classes)
+    #: in original file order.
+    definitions: List[str] = field(default_factory=list)
+    #: Names that could not be resolved in the module (diagnostics).
+    unresolved: List[str] = field(default_factory=list)
+    #: Imports dropped by the realm blacklist.
+    blacklisted: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = []
+        if self.imports:
+            parts.append("\n".join(self.imports))
+        parts.extend(self.definitions)
+        return "\n\n".join(parts)
+
+
+def _module_index(tree: ast.Module, source: str):
+    """Index top-level definitions and imports of a module AST.
+
+    Returns (defs, imports): ``defs`` maps name -> (order, segment);
+    ``imports`` maps bound name -> (order, segment, module_name).
+    """
+    defs: Dict[str, Tuple[int, str]] = {}
+    imports: Dict[str, Tuple[int, str, str]] = {}
+    for order, node in enumerate(tree.body):
+        seg = ast.get_source_segment(source, node)
+        if seg is None:  # pragma: no cover - synthetic trees
+            seg = ast.unparse(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            defs[node.name] = (order, seg)
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    defs[tgt.id] = (order, seg)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                defs[node.target.id] = (order, seg)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                imports[bound] = (order, seg, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                imports[bound] = (order, seg, mod)
+    return defs, imports
+
+
+def coextract_kernel(kernel: KernelClass, module_tree: ast.Module,
+                     module_source: str,
+                     blacklist: Sequence[str] = (),
+                     extra_roots: Sequence[str] = ()) -> CoExtraction:
+    """Compute the co-extraction set for *kernel* (§4.6).
+
+    ``blacklist`` lists module-name prefixes whose imports must not
+    appear in the generated source (simulation-only helpers).
+    ``extra_roots`` adds names to seed the traversal (used when a realm
+    backend injects wrapper code that references module globals).
+    """
+    defs, imports = _module_index(module_tree, module_source)
+
+    # Find the kernel's own AST node by name.
+    kernel_node: Optional[ast.AST] = None
+    for node in ast.walk(module_tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name == kernel.fn.__name__:
+            kernel_node = node
+            break
+    if kernel_node is None:
+        raise CoExtractionError(
+            f"kernel {kernel.name!r} not found in module source"
+        )
+
+    needed_defs: Dict[str, Tuple[int, str]] = {}
+    needed_imports: Dict[str, Tuple[int, str, str]] = {}
+    unresolved: List[str] = []
+    blacklisted: List[str] = []
+    visited: Set[str] = set()
+
+    def visit_name(name: str) -> None:
+        if name in visited or hasattr(builtins, name):
+            return
+        visited.add(name)
+        if name in imports:
+            order, seg, mod = imports[name]
+            if any(mod == b or mod.startswith(b + ".") for b in blacklist):
+                blacklisted.append(seg)
+            else:
+                needed_imports[name] = (order, seg, mod)
+            return
+        if name in defs:
+            order, seg = defs[name]
+            if name == kernel.fn.__name__:
+                return  # the kernel itself is emitted separately
+            needed_defs[name] = (order, seg)
+            # Recurse into the definition's own references.
+            sub = ast.parse(textwrap.dedent(seg))
+            for sub_name in collect_free_names(sub):
+                visit_name(sub_name)
+            return
+        unresolved.append(name)
+
+    for name in collect_free_names(kernel_node):
+        visit_name(name)
+    for name in extra_roots:
+        visit_name(name)
+
+    return CoExtraction(
+        imports=[seg for _, seg, _ in
+                 sorted(set(needed_imports.values()), key=lambda t: t[0])],
+        definitions=[seg for _, seg in
+                     sorted(set(needed_defs.values()), key=lambda t: t[0])],
+        unresolved=sorted(set(unresolved)),
+        blacklisted=sorted(set(blacklisted)),
+    )

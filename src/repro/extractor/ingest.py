@@ -1,0 +1,154 @@
+"""Graph ingestion: recovering serialized graphs from source modules (§4.2).
+
+The C++ extractor parses the input file with Clang, lets cgsim's
+compile-time preprocessing run inside Clang's ``constexpr`` interpreter,
+and reads back the serialized graph variables annotated with the
+``extract_compute_graph`` attribute.  The Python analog offloads the
+evaluation to the Python interpreter the same way: the module is
+*imported* (executing ``make_compute_graph`` at module scope), then its
+globals are scanned for :class:`CompiledGraph` objects carrying the
+extraction mark.
+
+Ingestion also records everything later stages need: the module's source
+text and AST (for kernel extraction and co-extraction) and the kernels
+reachable from each marked graph.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib
+import importlib.util
+import inspect
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import ModuleType
+from typing import Dict, List, Optional
+
+from ..core.builder import CompiledGraph
+from ..core.graph import ComputeGraph
+from ..core.kernel import KernelClass
+from ..errors import ExtractionError
+
+__all__ = ["IngestedModule", "MarkedGraph", "ingest_module", "ingest_path"]
+
+
+@dataclass
+class MarkedGraph:
+    """One extraction-marked compute graph found in a module."""
+
+    variable_name: str
+    compiled: CompiledGraph
+
+    @property
+    def graph(self) -> ComputeGraph:
+        return self.compiled.graph
+
+    @property
+    def name(self) -> str:
+        return self.compiled.name
+
+    def kernels(self) -> List[KernelClass]:
+        """Unique kernel classes used by this graph, in first-use order."""
+        seen: Dict[str, KernelClass] = {}
+        for inst in self.graph.kernels:
+            seen.setdefault(inst.kernel.registry_key, inst.kernel)
+        return list(seen.values())
+
+
+@dataclass
+class IngestedModule:
+    """A source module with its marked graphs and source artefacts."""
+
+    module: ModuleType
+    source_path: Optional[Path]
+    source_text: str
+    tree: ast.Module
+    graphs: List[MarkedGraph] = field(default_factory=list)
+
+    @property
+    def module_name(self) -> str:
+        return self.module.__name__
+
+    def graph_by_name(self, name: str) -> MarkedGraph:
+        for g in self.graphs:
+            if g.name == name or g.variable_name == name:
+                return g
+        raise ExtractionError(
+            f"module {self.module_name} has no marked graph {name!r}; "
+            f"available: {[g.name for g in self.graphs]}"
+        )
+
+
+def _scan(module: ModuleType) -> List[MarkedGraph]:
+    found = []
+    for var_name, value in vars(module).items():
+        if isinstance(value, CompiledGraph) and value.extract_marked:
+            found.append(MarkedGraph(variable_name=var_name, compiled=value))
+    return found
+
+
+def ingest_module(module: ModuleType | str) -> IngestedModule:
+    """Ingest an importable module (by object or dotted name)."""
+    if isinstance(module, str):
+        try:
+            module = importlib.import_module(module)
+        except ImportError as exc:
+            raise ExtractionError(
+                f"cannot import module {module!r}: {exc}"
+            ) from exc
+    try:
+        source_text = inspect.getsource(module)
+        source_path = Path(inspect.getsourcefile(module) or "")
+    except (OSError, TypeError) as exc:
+        raise ExtractionError(
+            f"module {module.__name__} has no recoverable source: {exc}"
+        ) from exc
+
+    graphs = _scan(module)
+    if not graphs:
+        raise ExtractionError(
+            f"module {module.__name__} contains no graphs marked with "
+            f"extract_compute_graph()"
+        )
+    return IngestedModule(
+        module=module,
+        source_path=source_path if str(source_path) else None,
+        source_text=source_text,
+        tree=ast.parse(source_text),
+        graphs=graphs,
+    )
+
+
+def ingest_path(path: str | Path,
+                module_name: Optional[str] = None) -> IngestedModule:
+    """Ingest a module from a filesystem path (the CLI entry point).
+
+    The file is imported under *module_name* (default: its stem prefixed
+    to avoid clobbering an installed module), which runs cgsim's graph
+    construction — the analog of Clang evaluating the constexpr graph
+    variables (§4.2).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ExtractionError(f"no such source file: {path}")
+    # The default module name hashes the full path so re-ingesting
+    # same-named files from different directories cannot collide in the
+    # kernel registry.
+    digest = hashlib.sha1(str(path.resolve()).encode()).hexdigest()[:8]
+    name = module_name or f"cgsim_extract_{path.stem}_{digest}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise ExtractionError(f"cannot load {path} as a Python module")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        del sys.modules[name]
+        raise ExtractionError(
+            f"executing {path} failed during graph construction: {exc}"
+        ) from exc
+    return ingest_module(module)

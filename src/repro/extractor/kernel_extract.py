@@ -1,0 +1,115 @@
+"""Per-kernel source extraction (§4.4).
+
+For every kernel reachable from a marked graph, the extractor isolates
+the kernel's source text from its defining module and produces the two
+artefacts the paper describes — a *forward declaration* (call signature
+only) and a *full definition* — after applying the standard transforms:
+decorator removal, ``co_await``-token removal (``await`` here), and the
+coroutine-to-function lowering.  The kernel's transitive dependencies
+are captured alongside (§4.6).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import sys
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.kernel import KernelClass
+from ..errors import KernelSourceError
+from .coextract import CoExtraction, coextract_kernel
+from .transforms import signature_stub, synchronous_definition
+
+__all__ = ["ExtractedKernel", "extract_kernel"]
+
+_MODULE_SOURCE_CACHE: Dict[str, Tuple[ast.Module, str]] = {}
+
+
+def _module_artifacts(module_name: str) -> Tuple[ast.Module, str]:
+    """Source text + AST of a kernel's defining module (cached)."""
+    cached = _MODULE_SOURCE_CACHE.get(module_name)
+    if cached is not None:
+        return cached
+    module = sys.modules.get(module_name)
+    if module is None:
+        raise KernelSourceError(
+            f"kernel module {module_name!r} is not imported"
+        )
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError) as exc:
+        raise KernelSourceError(
+            f"cannot recover source of module {module_name!r}: {exc}"
+        ) from exc
+    artifacts = (ast.parse(source), source)
+    _MODULE_SOURCE_CACHE[module_name] = artifacts
+    return artifacts
+
+
+@dataclass
+class ExtractedKernel:
+    """All source artefacts extracted for one kernel."""
+
+    kernel: KernelClass
+    original_source: str
+    #: Forward declaration: signature + docstring, stub body (§4.4).
+    declaration: str
+    #: Full synchronous definition: awaits removed, async lowered.
+    definition: str
+    coextraction: CoExtraction
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+
+def extract_kernel(kernel: KernelClass,
+                   blacklist: Sequence[str] = ()) -> ExtractedKernel:
+    """Isolate and transform one kernel's source (§4.4, §4.6).
+
+    ``blacklist`` is the realm's import blacklist for co-extraction.
+
+    Templated kernels (see :mod:`repro.core.templates`) extract the
+    inner kernel function's source with the template parameter binding
+    materialised as co-extracted constant definitions — the analog of a
+    C++ template instantiation's bound arguments.
+    """
+    try:
+        original = inspect.getsource(kernel.fn)
+    except (OSError, TypeError) as exc:
+        raise KernelSourceError(
+            f"cannot recover source of kernel {kernel.name!r}: {exc}"
+        ) from exc
+
+    template_params = getattr(kernel, "template_params", None)
+
+    tree, module_source = _module_artifacts(kernel.module)
+    coex = coextract_kernel(kernel, tree, module_source,
+                            blacklist=blacklist)
+    definition = synchronous_definition(original)
+    declaration = signature_stub(original)
+
+    if template_params:
+        # Bind the template parameters as constants ahead of the body
+        # and rename the function to the mangled instantiation name.
+        bindings = [f"{k} = {v!r}" for k, v in
+                    sorted(template_params.items())]
+        coex.definitions = bindings + coex.definitions
+        inner = kernel.fn.__name__
+        definition = definition.replace(f"def {inner}(",
+                                        f"def {kernel.name}(", 1)
+        declaration = declaration.replace(f"def {inner}(",
+                                          f"def {kernel.name}(", 1)
+        # Parameters resolved by the binding are no longer unresolved.
+        coex.unresolved = [n for n in coex.unresolved
+                           if n not in template_params]
+
+    return ExtractedKernel(
+        kernel=kernel,
+        original_source=original,
+        declaration=declaration,
+        definition=definition,
+        coextraction=coex,
+    )

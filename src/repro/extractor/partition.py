@@ -1,0 +1,144 @@
+"""Realm partitioning and port classification (§4.3).
+
+After deserialization the extractor splits the graph by target hardware
+realm and classifies every connection:
+
+* **intra-realm** — entirely within one realm;
+* **inter-realm** — transfers data between different realms;
+* **global** — moves data into or out of the graph.
+
+The per-port classification lets realm backends generate the right
+thing for each endpoint: internal connections, boundary interfaces, or
+external (PLIO) ports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..core.graph import ComputeGraph, KernelInstance, Net
+from ..core.kernel import Realm
+from ..errors import ExtractionError
+
+__all__ = ["NetClass", "ClassifiedNet", "RealmSubgraph", "RealmPartition",
+           "partition_graph"]
+
+
+class NetClass(enum.Enum):
+    """Connection categories of §4.3."""
+
+    INTRA_REALM = "intra-realm"
+    INTER_REALM = "inter-realm"
+    GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class ClassifiedNet:
+    """A net with its §4.3 classification and the realms it touches."""
+
+    net: Net
+    net_class: NetClass
+    realms: Tuple[str, ...]          # realm names touching this net
+    is_graph_input: bool
+    is_graph_output: bool
+
+
+@dataclass
+class RealmSubgraph:
+    """The slice of a graph assigned to one realm."""
+
+    realm: Realm
+    instances: List[KernelInstance] = field(default_factory=list)
+    #: Nets fully inside this realm.
+    internal_nets: List[ClassifiedNet] = field(default_factory=list)
+    #: Nets crossing into/out of this realm (other realm or global I/O).
+    boundary_nets: List[ClassifiedNet] = field(default_factory=list)
+
+    @property
+    def kernel_classes(self):
+        seen = {}
+        for inst in self.instances:
+            seen.setdefault(inst.kernel.registry_key, inst.kernel)
+        return list(seen.values())
+
+
+@dataclass
+class RealmPartition:
+    """Full partitioning result for one graph."""
+
+    graph: ComputeGraph
+    classified: Dict[int, ClassifiedNet]
+    subgraphs: Dict[str, RealmSubgraph]
+
+    def subgraph(self, realm_name: str) -> RealmSubgraph:
+        try:
+            return self.subgraphs[realm_name]
+        except KeyError:
+            raise ExtractionError(
+                f"graph {self.graph.name!r} has no kernels in realm "
+                f"{realm_name!r}; realms present: "
+                f"{sorted(self.subgraphs)}"
+            ) from None
+
+    @property
+    def realm_names(self) -> List[str]:
+        return sorted(self.subgraphs)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "realms": len(self.subgraphs),
+            "intra": sum(1 for c in self.classified.values()
+                         if c.net_class is NetClass.INTRA_REALM),
+            "inter": sum(1 for c in self.classified.values()
+                         if c.net_class is NetClass.INTER_REALM),
+            "global": sum(1 for c in self.classified.values()
+                          if c.net_class is NetClass.GLOBAL),
+        }
+
+
+def partition_graph(graph: ComputeGraph) -> RealmPartition:
+    """Partition *graph* into per-realm subgraphs and classify nets."""
+    input_nets = {io.net_id for io in graph.inputs}
+    output_nets = {io.net_id for io in graph.outputs}
+
+    subgraphs: Dict[str, RealmSubgraph] = {}
+    for inst in graph.kernels:
+        sg = subgraphs.setdefault(inst.realm.name, RealmSubgraph(inst.realm))
+        sg.instances.append(inst)
+
+    classified: Dict[int, ClassifiedNet] = {}
+    for net in graph.nets:
+        realms: Set[str] = set()
+        for ep in net.producers + net.consumers:
+            realms.add(graph.kernels[ep.instance_idx].realm.name)
+        is_in = net.net_id in input_nets
+        is_out = net.net_id in output_nets
+        if is_in or is_out:
+            net_class = NetClass.GLOBAL
+        elif len(realms) > 1:
+            net_class = NetClass.INTER_REALM
+        elif len(realms) == 1:
+            net_class = NetClass.INTRA_REALM
+        else:
+            # No kernel endpoints and not global: a degenerate net the
+            # builder would have warned about; classify as global.
+            net_class = NetClass.GLOBAL
+        cnet = ClassifiedNet(
+            net=net,
+            net_class=net_class,
+            realms=tuple(sorted(realms)),
+            is_graph_input=is_in,
+            is_graph_output=is_out,
+        )
+        classified[net.net_id] = cnet
+        for rname in realms:
+            sg = subgraphs[rname]
+            if net_class is NetClass.INTRA_REALM:
+                sg.internal_nets.append(cnet)
+            else:
+                sg.boundary_nets.append(cnet)
+
+    return RealmPartition(graph=graph, classified=classified,
+                          subgraphs=subgraphs)

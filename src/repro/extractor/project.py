@@ -1,0 +1,201 @@
+"""Project assembly: the extractor's top-level flow (Figure 5).
+
+``extract_project`` runs the full pipeline for a source module —
+ingest → evaluate → partition → per-kernel transform/co-extract →
+per-realm codegen — and writes one project directory per marked graph:
+
+.. code-block:: text
+
+    <out>/<graph>/
+        serialized.json        flattened graph (§3.5 form)
+        graph.dot              structural rendering
+        extraction_report.json per-kernel and per-net summary
+        aie/                   Vitis-style project (graph.hpp, ...)
+        pysim/                 runnable Python project
+
+The ``noextract`` realm produces no files, exactly as in the paper: its
+kernels remain part of the host application.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import ModuleType
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import ExtractionError
+from .codegen.dot import graph_to_dot
+from .ingest import IngestedModule, MarkedGraph, ingest_module, ingest_path
+from .kernel_extract import ExtractedKernel
+from .partition import RealmPartition, partition_graph
+from .realms import PysimRealmBackend, backend_for
+
+__all__ = ["GraphProject", "ExtractionResult", "extract_project"]
+
+
+@dataclass
+class GraphProject:
+    """Everything generated for one marked graph."""
+
+    graph_name: str
+    partition: RealmPartition
+    #: realm name -> {relative path -> content}
+    realm_files: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: realm name -> kernel name -> status
+    kernel_status: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: realm name -> kernel registry key -> extraction record
+    extracted: Dict[str, Dict[str, ExtractedKernel]] = field(
+        default_factory=dict
+    )
+    dot: str = ""
+    serialized_json: str = ""
+    output_dir: Optional[Path] = None
+
+    def report(self) -> Dict:
+        """The JSON-serializable extraction report."""
+        stats = self.partition.stats()
+        return {
+            "graph": self.graph_name,
+            "realms": self.partition.realm_names,
+            "net_classes": {
+                "intra_realm": stats["intra"],
+                "inter_realm": stats["inter"],
+                "global": stats["global"],
+            },
+            "kernels": {
+                realm: {
+                    name: status
+                    for name, status in statuses.items()
+                }
+                for realm, statuses in self.kernel_status.items()
+            },
+            "unresolved_names": {
+                realm: {
+                    ext.name: ext.coextraction.unresolved
+                    for ext in records.values()
+                    if ext.coextraction.unresolved
+                }
+                for realm, records in self.extracted.items()
+            },
+            "files": {
+                realm: sorted(files)
+                for realm, files in self.realm_files.items()
+            },
+        }
+
+
+@dataclass
+class ExtractionResult:
+    """Result of extracting one source module."""
+
+    module_name: str
+    projects: List[GraphProject] = field(default_factory=list)
+
+    def project(self, graph_name: str) -> GraphProject:
+        for p in self.projects:
+            if p.graph_name == graph_name:
+                return p
+        raise ExtractionError(
+            f"no project for graph {graph_name!r}; have "
+            f"{[p.graph_name for p in self.projects]}"
+        )
+
+
+def _build_project(marked: MarkedGraph) -> GraphProject:
+    partition = partition_graph(marked.graph)
+    project = GraphProject(
+        graph_name=marked.graph.name,
+        partition=partition,
+        dot=graph_to_dot(marked.graph),
+        serialized_json=marked.compiled.serialized.to_json(indent=2),
+    )
+    pysim_backend = PysimRealmBackend()
+    for realm_name in partition.realm_names:
+        subgraph = partition.subgraph(realm_name)
+        if not subgraph.realm.extractable:
+            continue  # noextract: kernels stay host-side (§4)
+        backend = backend_for(realm_name)
+        if backend is None:
+            raise ExtractionError(
+                f"no backend registered for extractable realm "
+                f"{realm_name!r} (graph {marked.graph.name!r})"
+            )
+        extracted = backend.extract_kernels(subgraph)
+        files = backend.generate(marked, partition, subgraph, extracted)
+        project.realm_files[realm_name] = files
+        project.kernel_status[realm_name] = backend.kernel_status() or {
+            kc.name: "extracted" for kc in subgraph.kernel_classes
+        }
+        project.extracted[realm_name] = extracted
+
+        # The AIE realm additionally gets the runnable pysim project —
+        # the in-repo execution path for extracted graphs.
+        if realm_name == "aie":
+            pysim_files = pysim_backend.generate(
+                marked, partition, subgraph, extracted
+            )
+            project.realm_files.setdefault("pysim", {}).update(pysim_files)
+            project.extracted.setdefault("pysim", {}).update(extracted)
+            project.kernel_status.setdefault("pysim", {}).update({
+                kc.name: "generated" for kc in subgraph.kernel_classes
+            })
+    return project
+
+
+def _write_project(project: GraphProject, out_dir: Path) -> None:
+    base = out_dir / project.graph_name
+    base.mkdir(parents=True, exist_ok=True)
+    (base / "serialized.json").write_text(project.serialized_json)
+    (base / "graph.dot").write_text(project.dot)
+    (base / "extraction_report.json").write_text(
+        json.dumps(project.report(), indent=2)
+    )
+    for realm, files in project.realm_files.items():
+        for rel, content in files.items():
+            path = base / realm / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+    project.output_dir = base
+
+
+def extract_project(source: Union[str, Path, ModuleType, IngestedModule],
+                    out_dir: Optional[Union[str, Path]] = None,
+                    graphs: Optional[Sequence[str]] = None
+                    ) -> ExtractionResult:
+    """Run the full extraction flow on *source*.
+
+    *source* may be a filesystem path, an importable module (object or
+    dotted name), or a pre-ingested module.  With *out_dir* the projects
+    are written to disk; otherwise they stay in memory on the result.
+    *graphs* optionally restricts extraction to the named graphs.
+    """
+    if isinstance(source, IngestedModule):
+        ingested = source
+    elif isinstance(source, ModuleType):
+        ingested = ingest_module(source)
+    elif isinstance(source, (str, Path)) and Path(str(source)).exists():
+        ingested = ingest_path(source)
+    elif isinstance(source, str):
+        ingested = ingest_module(source)
+    else:
+        raise ExtractionError(f"cannot ingest {source!r}")
+
+    result = ExtractionResult(module_name=ingested.module_name)
+    for marked in ingested.graphs:
+        if graphs is not None and marked.name not in graphs \
+                and marked.variable_name not in graphs:
+            continue
+        result.projects.append(_build_project(marked))
+    if graphs is not None and not result.projects:
+        raise ExtractionError(
+            f"none of the requested graphs {list(graphs)} found in "
+            f"{ingested.module_name}"
+        )
+
+    if out_dir is not None:
+        out = Path(out_dir)
+        for project in result.projects:
+            _write_project(project, out)
+    return result

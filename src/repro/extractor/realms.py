@@ -1,0 +1,147 @@
+"""Realm backend registry (§4.3–4.7).
+
+Each *realm backend* knows how to turn one realm's subgraph into project
+files.  The architecture is pluggable — the paper's stated path to HLS
+and other future targets — with three built-ins:
+
+* ``aie``  — Vitis-compatible ADF project (C++ headers + kernels);
+* ``pysim`` — runnable Python project targeting this repo's AIE
+  simulator (also generated *for* ``aie``-realm subgraphs, since both
+  describe AIE execution);
+* ``hls`` — Vitis HLS dataflow project (the paper leaves this as the
+  architecture's next target, §6; shipped here as an extension);
+* ``noextract`` — kernels stay in the host program; no backend runs.
+
+Registering a backend under a new realm name makes
+:func:`repro.extractor.project.extract_project` pick it up.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..errors import ExtractionError
+from .ingest import MarkedGraph
+from .kernel_extract import ExtractedKernel, extract_kernel
+from .partition import RealmPartition, RealmSubgraph
+
+__all__ = ["RealmBackend", "AieRealmBackend", "PysimRealmBackend",
+           "HlsRealmBackend", "register_backend", "backend_for",
+           "registered_backends"]
+
+
+class RealmBackend(ABC):
+    """Turns one realm subgraph into a file bundle."""
+
+    #: Realm name this backend serves.
+    name: str = ""
+    #: Module-name prefixes excluded from co-extraction imports — the
+    #: analog of blacklisting simulation-only headers (§4.6).
+    import_blacklist: Sequence[str] = ()
+
+    def extract_kernels(self, subgraph: RealmSubgraph
+                        ) -> Dict[str, ExtractedKernel]:
+        """Run kernel source extraction for every kernel in the realm."""
+        return {
+            kc.registry_key: extract_kernel(kc, self.import_blacklist)
+            for kc in subgraph.kernel_classes
+        }
+
+    @abstractmethod
+    def generate(self, marked: MarkedGraph, partition: RealmPartition,
+                 subgraph: RealmSubgraph,
+                 extracted: Dict[str, ExtractedKernel]
+                 ) -> Dict[str, str]:
+        """Return {relative_path: file_content} for this subgraph."""
+
+    def kernel_status(self) -> Dict[str, str]:
+        """Per-kernel generation status from the last generate() call."""
+        return {}
+
+
+class AieRealmBackend(RealmBackend):
+    """ADF C++ project generation for the AIE realm (§4.5, §4.7)."""
+
+    name = "aie"
+    #: cgsim runtime and simulator internals never reach hardware builds.
+    import_blacklist = ("repro.core", "repro.aiesim", "repro.x86sim",
+                        "scipy")
+
+    def __init__(self):
+        self._last_status: Dict[str, str] = {}
+
+    def generate(self, marked, partition, subgraph, extracted):
+        from .codegen.aie_cpp import generate_aie_project
+
+        result = generate_aie_project(partition, subgraph, extracted)
+        self._last_status = dict(result.kernel_status)
+        return result.files
+
+    def kernel_status(self) -> Dict[str, str]:
+        return dict(self._last_status)
+
+
+class PysimRealmBackend(RealmBackend):
+    """Runnable Python project targeting :mod:`repro.aiesim`."""
+
+    name = "pysim"
+    import_blacklist = ()
+
+    def generate(self, marked, partition, subgraph, extracted):
+        from .codegen.pysim_backend import generate_pysim_module
+
+        module_text = generate_pysim_module(marked, partition, extracted)
+        return {f"graph_{marked.graph.name}.py": module_text}
+
+
+class HlsRealmBackend(RealmBackend):
+    """Vitis HLS dataflow project generation for the ``hls`` realm.
+
+    The HLS extension the paper's realm architecture was designed to
+    enable (§6): kernels annotated ``realm=HLS`` become ``hls::stream``
+    functions wired inside a ``#pragma HLS DATAFLOW`` top function.
+    """
+
+    name = "hls"
+    import_blacklist = ("repro.core", "repro.aiesim", "repro.x86sim",
+                        "scipy")
+
+    def __init__(self):
+        self._last_status: Dict[str, str] = {}
+
+    def generate(self, marked, partition, subgraph, extracted):
+        from .codegen.hls_cpp import generate_hls_project
+
+        result = generate_hls_project(partition, subgraph, extracted)
+        self._last_status = dict(result.kernel_status)
+        return result.files
+
+    def kernel_status(self) -> Dict[str, str]:
+        return dict(self._last_status)
+
+
+_BACKENDS: Dict[str, RealmBackend] = {}
+
+
+def register_backend(backend: RealmBackend) -> RealmBackend:
+    """Register (or replace) the backend for ``backend.name``."""
+    if not backend.name:
+        raise ExtractionError("realm backend must define a name")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def backend_for(realm_name: str) -> Optional[RealmBackend]:
+    """The backend serving *realm_name*, or None (e.g. noextract)."""
+    return _BACKENDS.get(realm_name)
+
+
+def registered_backends() -> List[str]:
+    """Names of all realms with a registered code-generation backend."""
+    return sorted(_BACKENDS)
+
+
+register_backend(AieRealmBackend())
+register_backend(PysimRealmBackend())
+register_backend(HlsRealmBackend())

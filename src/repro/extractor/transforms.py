@@ -1,0 +1,134 @@
+"""Standard source transformations shared by realm backends (§4.4).
+
+The paper's extractor offers realm-independent transformation routines —
+removing ``co_await`` tokens, splitting declarations from definitions —
+that realm backends compose.  The Python analog operates on ``ast``
+trees of kernel functions:
+
+* :class:`RemoveAwait` — unwrap every ``await expr`` to ``expr``,
+  converting the coroutine-based asynchronous stream operations into
+  synchronous blocking calls (§4.4);
+* :class:`AsyncToSync` — rewrite ``async def`` to ``def``;
+* :class:`StripDecorators` — drop the ``@compute_kernel`` decoration;
+* :func:`signature_stub` — the "forward declaration" pass: the kernel's
+  call signature with a placeholder body (the extractor processes each
+  kernel twice, §4.4).
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import List, Optional
+
+from ..errors import KernelSourceError
+
+__all__ = [
+    "RemoveAwait",
+    "AsyncToSync",
+    "StripDecorators",
+    "parse_function",
+    "unparse",
+    "signature_stub",
+    "synchronous_definition",
+]
+
+
+class RemoveAwait(ast.NodeTransformer):
+    """Unwrap ``await <expr>`` into ``<expr>``.
+
+    After this pass the kernel no longer depends on the cooperative
+    multithreading framework; port operations become blocking calls that
+    each realm's native port types implement (§4.4).
+    """
+
+    def visit_Await(self, node: ast.Await):
+        self.generic_visit(node)
+        return node.value
+
+
+class AsyncToSync(ast.NodeTransformer):
+    """Turn ``async def`` kernels into plain functions."""
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef):
+        self.generic_visit(node)
+        out = ast.FunctionDef(
+            name=node.name,
+            args=node.args,
+            body=node.body,
+            decorator_list=node.decorator_list,
+            returns=node.returns,
+            type_comment=node.type_comment,
+        )
+        return ast.copy_location(out, node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor):  # pragma: no cover
+        raise KernelSourceError("async for is not part of the kernel subset")
+
+    def visit_AsyncWith(self, node: ast.AsyncWith):  # pragma: no cover
+        raise KernelSourceError("async with is not part of the kernel subset")
+
+
+class StripDecorators(ast.NodeTransformer):
+    """Remove all decorators from the (single) top-level function."""
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        node.decorator_list = []
+        return node
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef):
+        node.decorator_list = []
+        return node
+
+
+def parse_function(source: str) -> ast.Module:
+    """Parse one function's source (tolerating enclosing indentation)."""
+    try:
+        return ast.parse(textwrap.dedent(source))
+    except SyntaxError as exc:
+        raise KernelSourceError(f"cannot parse kernel source: {exc}") from exc
+
+
+def _single_function(tree: ast.Module):
+    fns = [n for n in tree.body
+           if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    if len(fns) != 1:
+        raise KernelSourceError(
+            f"expected exactly one function definition, found {len(fns)}"
+        )
+    return fns[0]
+
+
+def unparse(tree: ast.AST) -> str:
+    return ast.unparse(ast.fix_missing_locations(tree))
+
+
+def synchronous_definition(source: str) -> str:
+    """Full synchronous kernel definition: decorators stripped, awaits
+    removed, ``async def`` lowered to ``def``."""
+    tree = parse_function(source)
+    tree = StripDecorators().visit(tree)
+    tree = RemoveAwait().visit(tree)
+    tree = AsyncToSync().visit(tree)
+    return unparse(tree)
+
+
+def signature_stub(source: str, placeholder: Optional[str] = None) -> str:
+    """Forward declaration: the signature with a stub body.
+
+    ``placeholder`` customises the stub body (default ``...``).
+    """
+    tree = parse_function(source)
+    tree = StripDecorators().visit(tree)
+    tree = AsyncToSync().visit(tree)
+    fn = _single_function(tree)
+    doc = ast.get_docstring(fn)
+    body: List[ast.stmt] = []
+    if doc is not None:
+        body.append(ast.Expr(ast.Constant(doc)))
+    if placeholder:
+        body.append(ast.parse(placeholder).body[0])
+    else:
+        body.append(ast.Expr(ast.Constant(...)))
+    fn.body = body
+    return unparse(tree)

@@ -1,0 +1,237 @@
+"""Randomised graph generation for differential testing.
+
+Generates random layered dataflow graphs out of a fixed set of
+rate-1 integer kernels, together with a pure-numpy reference evaluator,
+so test suites can assert that the cooperative cgsim runtime, the
+thread-per-kernel x86sim runner, and the serialization round trip all
+compute identical results on arbitrary topologies (chains, diamonds,
+broadcasts, multi-input merers of the *join* kind).
+
+All generated kernels consume and produce exactly one element per
+firing, so any generated graph is deadlock-free under any positive
+queue capacity and its semantics are expressible as elementwise numpy
+expressions — which is what makes an independent reference evaluator
+trivial to get right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .core import (
+    AIE,
+    CompiledGraph,
+    In,
+    IoConnector,
+    Out,
+    build_compute_graph,
+    compute_kernel,
+    int64,
+)
+from .core.connectors import _IoCAnnotation
+
+__all__ = ["RandomGraphSpec", "random_graph_spec", "build_random_graph",
+           "reference_eval", "KERNEL_SEMANTICS"]
+
+
+# ---------------------------------------------------------------------------
+# The kernel zoo: rate-1 integer operators with pure numpy semantics.
+# ---------------------------------------------------------------------------
+
+
+@compute_kernel(realm=AIE)
+async def t_inc(a: In[int64], z: Out[int64]):
+    """z = a + 1"""
+    while True:
+        await z.put((await a.get()) + 1)
+
+
+@compute_kernel(realm=AIE)
+async def t_dbl(a: In[int64], z: Out[int64]):
+    """z = 2 * a"""
+    while True:
+        await z.put(2 * (await a.get()))
+
+
+@compute_kernel(realm=AIE)
+async def t_neg(a: In[int64], z: Out[int64]):
+    """z = -a"""
+    while True:
+        await z.put(-(await a.get()))
+
+
+@compute_kernel(realm=AIE)
+async def t_add(a: In[int64], b: In[int64], z: Out[int64]):
+    """z = a + b"""
+    while True:
+        await z.put((await a.get()) + (await b.get()))
+
+
+@compute_kernel(realm=AIE)
+async def t_sub(a: In[int64], b: In[int64], z: Out[int64]):
+    """z = a - b"""
+    while True:
+        await z.put((await a.get()) - (await b.get()))
+
+
+@compute_kernel(realm=AIE)
+async def t_max(a: In[int64], b: In[int64], z: Out[int64]):
+    """z = max(a, b)"""
+    while True:
+        x = await a.get()
+        y = await b.get()
+        await z.put(x if x >= y else y)
+
+
+@compute_kernel(realm=AIE)
+async def t_split(a: In[int64], z1: Out[int64], z2: Out[int64]):
+    """z1 = a + 10, z2 = a - 10 (explicit two-output kernel)."""
+    while True:
+        x = await a.get()
+        await z1.put(x + 10)
+        await z2.put(x - 10)
+
+
+#: kernel -> (n_inputs, [per-output numpy function over input arrays])
+KERNEL_SEMANTICS = {
+    t_inc: (1, [lambda a: a + 1]),
+    t_dbl: (1, [lambda a: 2 * a]),
+    t_neg: (1, [lambda a: -a]),
+    t_add: (2, [lambda a, b: a + b]),
+    t_sub: (2, [lambda a, b: a - b]),
+    t_max: (2, [np.maximum]),
+    t_split: (1, [lambda a: a + 10, lambda a: a - 10]),
+}
+
+_ONE_IN = [k for k, (n, _) in KERNEL_SEMANTICS.items() if n == 1]
+_TWO_IN = [k for k, (n, _) in KERNEL_SEMANTICS.items() if n == 2]
+
+
+# ---------------------------------------------------------------------------
+# Specification and construction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RandomGraphSpec:
+    """A reproducible description of one random graph.
+
+    ``nodes`` lists kernel firings in topological order; each entry is
+    ``(kernel, input_sources)`` where every input source is either
+    ``("in", i)`` (global input i) or ``("k", node_idx, out_idx)``.
+    Outputs of nodes may feed several consumers (implicit broadcast);
+    every never-consumed kernel output becomes a global graph output.
+    """
+
+    n_inputs: int
+    nodes: Tuple[Tuple[object, Tuple[Tuple, ...]], ...]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+
+def random_graph_spec(seed: int, n_kernels: int = 6,
+                      n_inputs: int = 2) -> RandomGraphSpec:
+    """Sample a random layered DAG specification."""
+    rng = np.random.default_rng(seed)
+    available: List[Tuple] = [("in", i) for i in range(n_inputs)]
+    nodes: List[Tuple[object, Tuple[Tuple, ...]]] = []
+    for idx in range(n_kernels):
+        if len(available) >= 2 and rng.random() < 0.45:
+            kernel = _TWO_IN[rng.integers(len(_TWO_IN))]
+            srcs = tuple(
+                available[i] for i in rng.choice(
+                    len(available), size=2, replace=True
+                )
+            )
+        else:
+            kernel = _ONE_IN[rng.integers(len(_ONE_IN))] \
+                if rng.random() < 0.8 else t_split
+            srcs = (available[rng.integers(len(available))],)
+        nodes.append((kernel, srcs))
+        n_outs = len(KERNEL_SEMANTICS[kernel][1])
+        for out_idx in range(n_outs):
+            available.append(("k", idx, out_idx))
+    return RandomGraphSpec(n_inputs=n_inputs, nodes=tuple(nodes))
+
+
+def build_random_graph(spec: RandomGraphSpec,
+                       name: str = "random") -> CompiledGraph:
+    """Materialise a spec as a real compiled compute graph."""
+
+    def builder(*input_conns):
+        produced: Dict[Tuple, IoConnector] = {
+            ("in", i): conn for i, conn in enumerate(input_conns)
+        }
+        consumed: set = set()
+        for idx, (kernel, srcs) in enumerate(spec.nodes):
+            n_outs = len(KERNEL_SEMANTICS[kernel][1])
+            outs = [IoConnector(int64, name=f"n{idx}o{o}")
+                    for o in range(n_outs)]
+            args = [produced[s] for s in srcs]
+            consumed.update(srcs)
+            kernel(*args, *outs)
+            for o, conn in enumerate(outs):
+                produced[("k", idx, o)] = conn
+        outputs = [
+            produced[key] for key in sorted(
+                (k for k in produced if k[0] == "k" and k not in consumed),
+                key=lambda k: (k[1], k[2]),
+            )
+        ]
+        return tuple(outputs)
+
+    # Give the builder the right arity with annotated parameters.
+    builder.__signature__ = _make_signature(spec.n_inputs)
+    return build_compute_graph(builder, name=name)
+
+
+def _make_signature(n_inputs: int):
+    import inspect
+
+    params = [
+        inspect.Parameter(
+            f"in{i}", inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            annotation=_IoCAnnotation(int64),
+        )
+        for i in range(n_inputs)
+    ]
+    return inspect.Signature(params)
+
+
+# ---------------------------------------------------------------------------
+# Reference evaluation
+# ---------------------------------------------------------------------------
+
+
+def reference_eval(spec: RandomGraphSpec,
+                   inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Evaluate the spec with pure numpy (independent of the runtime).
+
+    Returns one array per graph output, in the same order
+    :func:`build_random_graph` declares them.
+    """
+    if len(inputs) != spec.n_inputs:
+        raise ValueError(
+            f"spec takes {spec.n_inputs} inputs, got {len(inputs)}"
+        )
+    values: Dict[Tuple, np.ndarray] = {
+        ("in", i): np.asarray(arr, dtype=np.int64)
+        for i, arr in enumerate(inputs)
+    }
+    consumed: set = set()
+    for idx, (kernel, srcs) in enumerate(spec.nodes):
+        _n, fns = KERNEL_SEMANTICS[kernel]
+        args = [values[s] for s in srcs]
+        consumed.update(srcs)
+        for o, fn in enumerate(fns):
+            values[("k", idx, o)] = fn(*args)
+    out_keys = sorted(
+        (k for k in values if k[0] == "k" and k not in consumed),
+        key=lambda k: (k[1], k[2]),
+    )
+    return [values[k] for k in out_keys]

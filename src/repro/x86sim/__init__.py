@@ -1,0 +1,17 @@
+"""repro.x86sim — functional thread-per-kernel simulator (x86sim analog).
+
+AMD's x86sim runs each AIE kernel on its own OS thread; this package
+reproduces that execution model for cgsim graphs so the wall-clock
+comparison of Table 2 (cooperative single-thread cgsim vs preemptive
+thread-per-kernel x86sim) can be reproduced on identical kernel code.
+"""
+
+from .channels import ThreadedBroadcastQueue, ThreadedLatchQueue
+from .runner import X86RunReport, run_threaded
+
+__all__ = [
+    "run_threaded",
+    "X86RunReport",
+    "ThreadedBroadcastQueue",
+    "ThreadedLatchQueue",
+]

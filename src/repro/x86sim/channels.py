@@ -1,0 +1,188 @@
+"""Thread-safe broadcast channels for the x86sim execution model.
+
+AMD's functional simulator (x86sim) assigns each kernel to a dedicated
+OS thread (§5.2).  This module provides the inter-thread stream channel:
+the same fixed-capacity MPMC broadcast semantics as
+:class:`repro.core.queues.BroadcastQueue`, but guarded by a lock and
+condition variable, plus the **drain protocol** a preemptive simulator
+needs (cooperative cgsim can simply stop scheduling; threads must be
+told the stream ended):
+
+* every channel knows its producer count; ``producer_done()`` decrements
+  it, and a channel with zero remaining producers is *closed*;
+* ``wait_readable()`` returns False once the channel is closed and empty
+  for that consumer — the kernel driver then terminates the kernel;
+* consumers that terminate early are *detached* so their stalled cursor
+  stops back-pressuring producers.
+
+The ``try_put``/``try_get`` surface is identical to the cooperative
+queue, so the unmodified kernel port objects work on both.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["ThreadedBroadcastQueue", "ThreadedLatchQueue"]
+
+
+class ThreadedBroadcastQueue:
+    """Lock-guarded fixed-capacity MPMC broadcast channel."""
+
+    def __init__(self, capacity: int, n_consumers: int, n_producers: int,
+                 name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.n_consumers = n_consumers
+        self._slots: List[Any] = [None] * capacity
+        self._head = 0
+        self._cursors: List[Optional[int]] = [0] * n_consumers
+        self._producers_left = n_producers
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.total_puts = 0
+        self.total_gets = 0
+        # API parity with the cooperative queue (unused under threads).
+        self.read_waiters: List[List] = [[] for _ in range(n_consumers)]
+        self.write_waiters: List = []
+
+    # -- state helpers (call with lock held) -------------------------------------
+
+    def _active_min_cursor(self) -> Optional[int]:
+        active = [c for c in self._cursors if c is not None]
+        return min(active) if active else None
+
+    def _is_full(self) -> bool:
+        m = self._active_min_cursor()
+        if m is None:
+            return False  # no live consumers: writes are dropped
+        return self._head - m >= self.capacity
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._producers_left == 0
+
+    # -- producer side -----------------------------------------------------------
+
+    def try_put(self, value: Any) -> bool:
+        with self._cond:
+            if self._is_full():
+                return False
+            m = self._active_min_cursor()
+            if m is not None:
+                self._slots[self._head % self.capacity] = value
+            self._head += 1
+            self.total_puts += 1
+            self._cond.notify_all()
+            return True
+
+    def wait_writable(self, timeout: Optional[float] = None) -> bool:
+        """Block until a slot is free.  Returns False on timeout."""
+        with self._cond:
+            return self._cond.wait_for(lambda: not self._is_full(), timeout)
+
+    def producer_done(self) -> None:
+        """One producer finished; close the channel when all have."""
+        with self._cond:
+            if self._producers_left > 0:
+                self._producers_left -= 1
+                if self._producers_left == 0:
+                    self._cond.notify_all()
+
+    # -- consumer side ------------------------------------------------------------
+
+    def try_get(self, consumer_idx: int) -> Tuple[bool, Any]:
+        with self._cond:
+            cur = self._cursors[consumer_idx]
+            if cur is None:
+                raise SimulationError(
+                    f"read on detached consumer {consumer_idx} of "
+                    f"{self.name!r}"
+                )
+            if cur == self._head:
+                return False, None
+            value = self._slots[cur % self.capacity]
+            self._cursors[consumer_idx] = cur + 1
+            self.total_gets += 1
+            self._cond.notify_all()
+            return True, value
+
+    def wait_readable(self, consumer_idx: int,
+                      timeout: Optional[float] = None) -> bool:
+        """Block until data is available for this consumer.
+
+        Returns False when the channel is closed and drained (or on
+        timeout) — the end-of-stream signal.
+        """
+        with self._cond:
+            def _ready():
+                cur = self._cursors[consumer_idx]
+                return (cur is not None and cur != self._head) \
+                    or self._producers_left == 0
+            if not self._cond.wait_for(_ready, timeout):
+                return False
+            cur = self._cursors[consumer_idx]
+            return cur is not None and cur != self._head
+
+    def detach_consumer(self, consumer_idx: int) -> None:
+        """A consumer terminated early; stop it back-pressuring writers."""
+        with self._cond:
+            self._cursors[consumer_idx] = None
+            self._cond.notify_all()
+
+
+class ThreadedLatchQueue:
+    """Thread-safe runtime-parameter latch (see
+    :class:`repro.core.queues.LatchQueue`)."""
+
+    def __init__(self, n_consumers: int, name: str = ""):
+        self.name = name
+        self.n_consumers = n_consumers
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._value: Any = None
+        self._has_value = False
+        self.total_puts = 0
+        self.total_gets = 0
+        self.read_waiters: List[List] = [[] for _ in range(max(n_consumers, 1))]
+        self.write_waiters: List = []
+
+    def try_put(self, value: Any) -> bool:
+        with self._cond:
+            self._value = value
+            self._has_value = True
+            self.total_puts += 1
+            self._cond.notify_all()
+            return True
+
+    def try_get(self, consumer_idx: int) -> Tuple[bool, Any]:
+        with self._lock:
+            if not self._has_value:
+                return False, None
+            self.total_gets += 1
+            return True, self._value
+
+    def wait_readable(self, consumer_idx: int,
+                      timeout: Optional[float] = None) -> bool:
+        with self._cond:
+            return self._cond.wait_for(lambda: self._has_value, timeout)
+
+    def wait_writable(self, timeout: Optional[float] = None) -> bool:
+        return True
+
+    def producer_done(self) -> None:
+        pass  # a latch never closes; late readers still see the value
+
+    def detach_consumer(self, consumer_idx: int) -> None:
+        pass
+
+    @property
+    def last_value(self) -> Any:
+        with self._lock:
+            return self._value

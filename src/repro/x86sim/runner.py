@@ -1,0 +1,335 @@
+"""x86sim: thread-per-kernel functional graph execution (§5.2).
+
+AMD's functional simulator assigns every kernel to a dedicated OS
+thread; synchronisation happens preemptively through blocking channels.
+This runner reproduces that execution model for any compiled cgsim
+graph, so Table 2 can compare it directly against the cooperative
+single-thread cgsim runtime on identical kernels:
+
+* each kernel coroutine is driven by a *trampoline* on its own thread:
+  scheduler commands that would park the coroutine in cgsim instead
+  block the thread on the channel's condition variable;
+* sources/sinks also run on threads;
+* end-of-input is propagated by the channel drain protocol (see
+  :mod:`repro.x86sim.channels`): when a kernel's input closes, the
+  kernel is terminated and its own outputs close downstream.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.builder import CompiledGraph
+from ..core.graph import ComputeGraph
+from ..core.ports import KernelReadPort, KernelWritePort
+from ..core.queues import DEFAULT_QUEUE_CAPACITY
+from ..core.sources_sinks import (
+    ArraySinkCursor,
+    RuntimeParam,
+    iter_stream_values,
+    make_sink,
+)
+from ..errors import IoBindingError, SimulationError
+from .channels import ThreadedBroadcastQueue, ThreadedLatchQueue
+
+__all__ = ["X86RunReport", "run_threaded"]
+
+
+@dataclass
+class X86RunReport:
+    """Outcome of one thread-per-kernel execution."""
+
+    graph_name: str
+    wall_time: float
+    n_threads: int
+    items_in: int
+    items_out: int
+    thread_names: List[str] = field(default_factory=list)
+
+    def __repr__(self):
+        return (
+            f"<X86RunReport {self.graph_name!r} threads={self.n_threads} "
+            f"in={self.items_in} out={self.items_out} "
+            f"t={self.wall_time:.3f}s>"
+        )
+
+
+class _KernelThread(threading.Thread):
+    """Trampoline thread driving one kernel coroutine.
+
+    Translates the coroutine's scheduler commands into blocking channel
+    waits; terminates the kernel when an input stream closes and then
+    signals ``producer_done`` on every output channel.
+    """
+
+    def __init__(self, name: str, coro,
+                 in_bindings: List[Tuple[ThreadedBroadcastQueue, int]],
+                 out_queues: List[ThreadedBroadcastQueue],
+                 timeout: Optional[float]):
+        super().__init__(name=f"x86sim-{name}", daemon=True)
+        self.coro = coro
+        self.in_bindings = in_bindings
+        self.out_queues = out_queues
+        self.timeout = timeout
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            self._drive()
+        except BaseException as exc:  # surfaced by the runner after join
+            self.error = exc
+        finally:
+            self._teardown()
+
+    def _drive(self) -> None:
+        coro = self.coro
+        try:
+            cmd = coro.send(None)
+            while True:
+                op, queue, idx = cmd
+                if op == "rd":
+                    if not queue.wait_readable(idx, self.timeout):
+                        if getattr(queue, "closed", True):
+                            coro.close()
+                            return
+                        raise SimulationError(
+                            f"{self.name}: stalled waiting to read "
+                            f"{queue.name!r} for {self.timeout}s"
+                        )
+                elif op == "wr":
+                    if not queue.wait_writable(self.timeout):
+                        raise SimulationError(
+                            f"{self.name}: stalled waiting to write "
+                            f"{queue.name!r} for {self.timeout}s"
+                        )
+                # "yield" needs no wait; resume immediately.
+                cmd = coro.send(None)
+        except StopIteration:
+            return
+
+    def _teardown(self) -> None:
+        for queue, idx in self.in_bindings:
+            queue.detach_consumer(idx)
+        for queue in self.out_queues:
+            queue.producer_done()
+
+
+class _SourceThread(threading.Thread):
+    def __init__(self, name: str, queue: ThreadedBroadcastQueue, values,
+                 timeout: Optional[float]):
+        super().__init__(name=f"x86sim-{name}", daemon=True)
+        self.queue = queue
+        self.values = values
+        self.timeout = timeout
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            for v in self.values:
+                while not self.queue.try_put(v):
+                    if not self.queue.wait_writable(self.timeout):
+                        raise SimulationError(
+                            f"{self.name}: stalled writing {self.queue.name!r}"
+                        )
+        except BaseException as exc:
+            self.error = exc
+        finally:
+            self.queue.producer_done()
+
+
+class _SinkThread(threading.Thread):
+    def __init__(self, name: str, queue: ThreadedBroadcastQueue,
+                 consumer_idx: int, store, timeout: Optional[float]):
+        super().__init__(name=f"x86sim-{name}", daemon=True)
+        self.queue = queue
+        self.consumer_idx = consumer_idx
+        self.store = store
+        self.timeout = timeout
+        self.items = 0
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            while True:
+                ok, v = self.queue.try_get(self.consumer_idx)
+                if ok:
+                    self.store(v)
+                    self.items += 1
+                    continue
+                if not self.queue.wait_readable(self.consumer_idx,
+                                                self.timeout):
+                    if getattr(self.queue, "closed", True):
+                        return
+                    raise SimulationError(
+                        f"{self.name}: stalled reading {self.queue.name!r}"
+                    )
+        except BaseException as exc:
+            self.error = exc
+
+
+def run_threaded(graph: CompiledGraph | ComputeGraph, *io: Any,
+                 capacity: int = DEFAULT_QUEUE_CAPACITY,
+                 timeout: Optional[float] = 60.0) -> X86RunReport:
+    """Execute a compute graph with one OS thread per kernel.
+
+    Takes the same positional sources/sinks as invoking the graph under
+    cgsim (§3.7).  ``timeout`` bounds any single blocking wait; a stall
+    longer than that raises :class:`SimulationError` rather than hanging
+    the host process.
+    """
+    g = graph.graph if isinstance(graph, CompiledGraph) else graph
+    expected = len(g.inputs) + len(g.outputs)
+    if len(io) != expected:
+        raise IoBindingError(
+            f"graph {g.name!r} takes {expected} positional I/O arguments, "
+            f"got {len(io)}"
+        )
+
+    # Channels: one per net; producer count = kernel writers + sources.
+    queues: Dict[int, Any] = {}
+    consumer_alloc: Dict[int, int] = {}
+    input_nets = {gio.net_id for gio in g.inputs}
+    for net in g.nets:
+        n_consumers = len(net.consumers) + sum(
+            1 for gio in g.outputs if gio.net_id == net.net_id
+        )
+        n_producers = len(net.producers) + (
+            1 if net.net_id in input_nets else 0
+        )
+        if net.settings.runtime_parameter:
+            queues[net.net_id] = ThreadedLatchQueue(
+                n_consumers=max(n_consumers, 1), name=net.name
+            )
+        else:
+            depth = net.settings.depth
+            if depth is None:
+                attr_depth = net.attrs.get("depth")
+                depth = int(attr_depth) if attr_depth is not None else capacity
+            queues[net.net_id] = ThreadedBroadcastQueue(
+                capacity=depth, n_consumers=n_consumers,
+                n_producers=n_producers, name=net.name,
+            )
+        consumer_alloc[net.net_id] = 0
+
+    def alloc_consumer(net_id: int) -> int:
+        idx = consumer_alloc[net_id]
+        consumer_alloc[net_id] = idx + 1
+        return idx
+
+    threads: List[threading.Thread] = []
+
+    # Kernel threads.
+    for inst in g.kernels:
+        ports = []
+        in_bindings: List[Tuple[Any, int]] = []
+        out_queues: List[Any] = []
+        for port_idx, net_id in enumerate(inst.port_nets):
+            spec = inst.kernel.port_specs[port_idx]
+            q = queues[net_id]
+            if spec.is_input:
+                cidx = alloc_consumer(net_id)
+                ports.append(KernelReadPort(spec, q, cidx))
+                if isinstance(q, ThreadedBroadcastQueue):
+                    in_bindings.append((q, cidx))
+            else:
+                ports.append(KernelWritePort(spec, q))
+                out_queues.append(q)
+        coro = inst.kernel.instantiate(ports)
+        threads.append(_KernelThread(
+            inst.instance_name, coro, in_bindings, out_queues, timeout
+        ))
+
+    # Sources.
+    sinks: List[_SinkThread] = []
+    sink_cursors: List[ArraySinkCursor] = []
+    out_lists: List[list] = []
+    rtp_sinks: List[Tuple[ThreadedLatchQueue, RuntimeParam]] = []
+    for gio, container in zip(g.inputs, io[:len(g.inputs)]):
+        net = g.net(gio.net_id)
+        q = queues[gio.net_id]
+        if net.settings.runtime_parameter:
+            value = container.value if isinstance(container, RuntimeParam) \
+                else container
+            q.try_put(value)
+        else:
+            values = iter_stream_values(net.dtype, container)
+            threads.append(_SourceThread(
+                f"source[{gio.io_index}]", q, values, timeout
+            ))
+
+    # Sinks.
+    for gio, container in zip(g.outputs, io[len(g.inputs):]):
+        net = g.net(gio.net_id)
+        q = queues[gio.net_id]
+        if net.settings.runtime_parameter:
+            if not isinstance(container, RuntimeParam):
+                raise IoBindingError(
+                    f"output {gio.name!r} is a runtime parameter; pass a "
+                    f"RuntimeParam sink"
+                )
+            rtp_sinks.append((q, container))
+            continue
+        cidx = alloc_consumer(gio.net_id)
+        if isinstance(container, list):
+            store = container.append
+            out_lists.append(container)
+        elif isinstance(container, np.ndarray):
+            cursor = ArraySinkCursor(container, net.dtype)
+            sink_cursors.append(cursor)
+            store = cursor.store
+        else:
+            raise IoBindingError(
+                f"unsupported sink container {type(container).__name__}"
+            )
+        t = _SinkThread(f"sink[{gio.io_index}]", q, cidx, store, timeout)
+        sinks.append(t)
+        threads.append(t)
+
+    t0 = perf_counter()
+    for t in threads:
+        t.start()
+    # Bounded joins: a kernel that spins without consuming (or any other
+    # livelock) must surface as an error, not hang the host process.
+    # Threads are daemonic, so stragglers die with the interpreter.
+    deadline = None if timeout is None else perf_counter() + timeout * (
+        len(threads) + 1
+    )
+    stragglers: List[str] = []
+    for t in threads:
+        remaining = None if deadline is None \
+            else max(0.0, deadline - perf_counter())
+        t.join(remaining)
+        if t.is_alive():
+            stragglers.append(t.name)
+    wall = perf_counter() - t0
+
+    for t in threads:
+        err = getattr(t, "error", None)
+        if err is not None:
+            raise SimulationError(
+                f"x86sim thread {t.name} failed: {err}"
+            ) from err
+    if stragglers:
+        raise SimulationError(
+            f"x86sim run of {g.name!r} stalled: threads still alive "
+            f"after {timeout}s: {stragglers}"
+        )
+
+    for latch, param in rtp_sinks:
+        param.value = latch.last_value
+
+    items_in = sum(queues[gio.net_id].total_puts for gio in g.inputs)
+    items_out = sum(s.items for s in sinks)
+    return X86RunReport(
+        graph_name=g.name,
+        wall_time=wall,
+        n_threads=len(threads),
+        items_in=items_in,
+        items_out=items_out,
+        thread_names=[t.name for t in threads],
+    )

@@ -1,0 +1,183 @@
+"""Accumulators and the aie:: arithmetic entry points."""
+
+import numpy as np
+import pytest
+
+from repro import aieintr as aie
+from repro.aieintr.accum import Accum, acc_from_vector, acc_zeros
+
+
+class TestAccumBasics:
+    def test_acc_zeros_kinds(self):
+        for kind in ("acc48", "acc80", "accfloat"):
+            a = acc_zeros(8, kind)
+            assert a.lanes == 8 and a.kind == kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Accum(np.zeros(4), "acc13")
+
+    def test_from_vector_with_ups(self):
+        v = aie.vec([1, 2, 3, 4], dtype=np.int16)
+        a = acc_from_vector(v, shift=4)
+        assert list(a.to_array()) == [16, 32, 48, 64]
+
+    def test_float_accumulator(self):
+        v = aie.vec([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        a = acc_from_vector(v, kind="accfloat")
+        assert a.is_float
+        assert list(a.to_vector().to_array()) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_float_acc_rejects_shift(self):
+        a = acc_zeros(4, "accfloat")
+        with pytest.raises(ValueError):
+            a.to_vector(shift=2)
+
+
+class TestMacChains:
+    def test_int_mac_chain(self):
+        a = acc_zeros(4, "acc48")
+        x = aie.vec([1, 2, 3, 4], dtype=np.int16)
+        for _ in range(3):
+            a = a.mac(x, x)
+        assert list(a.to_array()) == [3, 12, 27, 48]
+
+    def test_msc(self):
+        a = acc_zeros(4, "acc48")
+        x = aie.vec([1, 2, 3, 4], dtype=np.int16)
+        a = a.mac(x, x).msc(x, 1)
+        assert list(a.to_array()) == [0, 2, 6, 12]
+
+    def test_scalar_rhs(self):
+        a = acc_zeros(4, "acc48")
+        x = aie.vec([1, 2, 3, 4], dtype=np.int16)
+        assert list(a.mac(x, 10).to_array()) == [10, 20, 30, 40]
+
+    def test_add_accumulators(self):
+        x = aie.vec([1, 2, 3, 4], dtype=np.int16)
+        a = aie.mul(x, x)
+        b = aie.mul(x, 2)
+        assert list(a.add(b).to_array()) == [3, 8, 15, 24]
+
+    def test_add_kind_mismatch(self):
+        with pytest.raises(ValueError):
+            acc_zeros(4, "acc48").add(acc_zeros(4, "acc80"))
+
+    def test_overflow_guard(self):
+        a = Accum(np.full(4, (1 << 47) - 1, dtype=np.int64), "acc48")
+        x = aie.vec([1, 1, 1, 1], dtype=np.int16)
+        with pytest.raises(OverflowError, match="acc48"):
+            a.mac(x, 1)
+
+    def test_acc80_allows_bigger(self):
+        a = Accum(np.full(4, 1 << 50, dtype=np.int64), "acc80")
+        x = aie.vec([1, 1, 1, 1], dtype=np.int16)
+        a.mac(x, 1)  # no raise
+
+    def test_to_vector_srs(self):
+        a = Accum(np.array([100, -100, 32768 << 2, 6]), "acc48")
+        v = a.to_vector(shift=2, dtype=np.int16)
+        assert list(v) == [25, -25, 32767, 2]
+
+
+class TestArithApi:
+    def test_mul_returns_accum(self):
+        x = aie.vec([1, 2, 3, 4], dtype=np.int16)
+        acc = aie.mul(x, x)
+        assert isinstance(acc, Accum) and acc.kind == "acc48"
+
+    def test_mul_float_kind(self):
+        x = aie.vec([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        assert aie.mul(x, x).kind == "accfloat"
+
+    def test_mul_int32_kind(self):
+        x = aie.vec([1, 2, 3, 4], dtype=np.int32)
+        assert aie.mul(x, x).kind == "acc80"
+
+    def test_negmul(self):
+        x = aie.vec([1, 2, 3, 4], dtype=np.int16)
+        assert list(aie.negmul(x, x).to_array()) == [-1, -4, -9, -16]
+
+    def test_mac_msc_free_functions(self):
+        x = aie.vec([1, 2, 3, 4], dtype=np.int16)
+        acc = aie.mac(aie.mul(x, x), x, x)
+        acc = aie.msc(acc, x, x)
+        assert list(acc.to_array()) == [1, 4, 9, 16]
+
+    def test_add_sub(self):
+        x = aie.vec([1, 2, 3, 4], dtype=np.int32)
+        assert list(aie.add(x, x)) == [2, 4, 6, 8]
+        assert list(aie.sub(x, x)) == [0, 0, 0, 0]
+
+
+class TestSlidingMul:
+    def test_matches_direct_convolution(self):
+        taps = aie.vec([1, 2, 3, 4], dtype=np.int16)
+        data = np.arange(20, dtype=np.int16)
+        acc = aie.sliding_mul(taps, data, out_lanes=16)
+        ref = [int(np.dot(data[i:i + 4], taps.to_array())) for i in range(16)]
+        assert list(acc.to_array()) == ref
+
+    def test_start_and_step(self):
+        taps = aie.vec([1, 0, 0, 0], dtype=np.int16)
+        data = np.arange(40, dtype=np.int16)
+        acc = aie.sliding_mul(taps, data, out_lanes=4, start=2, step=3)
+        assert list(acc.to_array()) == [2, 5, 8, 11]
+
+    def test_accumulating_variant(self):
+        taps = aie.vec([1, 1, 0, 0], dtype=np.int16)
+        data = np.ones(10, dtype=np.int16)
+        first = aie.sliding_mul(taps, data, out_lanes=4)
+        second = aie.sliding_mac(first, taps, data, out_lanes=4)
+        assert list(second.to_array()) == [4, 4, 4, 4]
+
+    def test_float_path(self):
+        taps = aie.vec([0.5, 0.5, 0.0, 0.0], dtype=np.float32)
+        data = np.arange(8, dtype=np.float32)
+        acc = aie.sliding_mul(taps, data, out_lanes=4)
+        assert acc.kind == "accfloat"
+        assert np.allclose(acc.to_array(), [0.5, 1.5, 2.5, 3.5])
+
+    def test_insufficient_data(self):
+        taps = aie.vec([1, 1, 1, 1], dtype=np.int16)
+        with pytest.raises(ValueError, match="needs"):
+            aie.sliding_mul(taps, np.ones(3, dtype=np.int16), out_lanes=4)
+
+    def test_complex_rejected(self):
+        taps = aie.vec([1, 1, 1, 1], dtype=np.int16)
+        with pytest.raises(TypeError, match="real"):
+            aie.sliding_mul(taps, np.ones(8, dtype=np.complex128),
+                            out_lanes=4)
+
+
+class TestSlidingMulComplex:
+    def test_matches_component_chains(self):
+        import numpy as np
+        from repro import aieintr as aie
+
+        taps = aie.vec([1, -2, 3, -4], dtype=np.int16)
+        d = (np.arange(16) + 1j * np.arange(16)[::-1]).astype(np.complex128)
+        out = aie.sliding_mul_complex(taps, d, out_lanes=8)
+        t = taps.to_array()
+        ref_r = [np.dot(np.real(d[i:i + 4]), t) for i in range(8)]
+        ref_i = [np.dot(np.imag(d[i:i + 4]), t) for i in range(8)]
+        assert np.array_equal(out.real, ref_r)
+        assert np.array_equal(out.imag, ref_i)
+
+    def test_rejects_real_data(self):
+        import numpy as np
+        from repro import aieintr as aie
+
+        taps = aie.vec([1, 1, 1, 1], dtype=np.int16)
+        with pytest.raises(TypeError, match="complex"):
+            aie.sliding_mul_complex(taps, np.ones(8), out_lanes=4)
+
+    def test_emits_two_mac_chains(self):
+        import numpy as np
+        from repro import aieintr as aie
+
+        taps = aie.vec([1, 1, 1, 1], dtype=np.int16)
+        d = np.ones(8, dtype=np.complex128)
+        with aie.TraceRecorder() as rec:
+            aie.sliding_mul_complex(taps, d, out_lanes=4)
+        assert rec.counts.get("vmac") == 2  # cmac = paired real chains

@@ -1,0 +1,128 @@
+"""Shift-round-saturate paths: exact fixed-point behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aieintr.fixedpoint import (
+    RoundMode,
+    q_mul,
+    round_shift,
+    saturate,
+    srs_array,
+    ups_array,
+)
+
+
+class TestSaturate:
+    def test_in_range_passthrough(self):
+        v = saturate(np.array([100, -100]), np.int16)
+        assert list(v) == [100, -100]
+
+    def test_clamps(self):
+        v = saturate(np.array([1 << 20, -(1 << 20)]), np.int16)
+        assert list(v) == [32767, -32768]
+
+    def test_dtype_of_result(self):
+        assert saturate(np.array([1]), np.int32).dtype == np.int32
+
+    def test_rejects_unsigned(self):
+        with pytest.raises(ValueError):
+            saturate(np.array([1]), np.uint16)
+
+
+class TestRoundShift:
+    def test_floor(self):
+        v = round_shift(np.array([7, -7]), 2, RoundMode.FLOOR)
+        assert list(v) == [1, -2]  # arithmetic shift floors
+
+    def test_nearest_half_away(self):
+        v = round_shift(np.array([5, 6, -5, -6, 2]), 2, RoundMode.NEAREST)
+        # 1.25->1, 1.5->2, -1.25->-1, -1.5->-2, 0.5->1
+        assert list(v) == [1, 2, -1, -2, 1]
+
+    def test_even(self):
+        v = round_shift(np.array([2, 6, 10]), 2, RoundMode.EVEN)
+        # 0.5->0, 1.5->2, 2.5->2
+        assert list(v) == [0, 2, 2]
+
+    def test_zero_shift_identity(self):
+        for mode in RoundMode.ALL:
+            v = round_shift(np.array([3, -3]), 0, mode)
+            assert list(v) == [3, -3]
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            round_shift(np.array([1]), -1)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            round_shift(np.array([1]), 1, "bogus")
+
+
+class TestSrsUps:
+    def test_srs_rounds_and_saturates(self):
+        acc = np.array([1 << 20, 6, -6])
+        v = srs_array(acc, 2, np.int16)
+        assert list(v) == [32767, 2, -2]
+        assert v.dtype == np.int16
+
+    def test_ups_shifts_up(self):
+        v = ups_array(np.array([1, -1], dtype=np.int16), 4)
+        assert list(v) == [16, -16]
+        assert v.dtype == np.int64
+
+    def test_srs_ups_inverse_for_exact(self):
+        x = np.array([100, -200, 300], dtype=np.int16)
+        assert list(srs_array(ups_array(x, 6), 6)) == list(x)
+
+
+class TestQMul:
+    def test_q15_multiply(self):
+        half = 1 << 14  # 0.5 in Q15
+        assert q_mul(half, half, 15) == 1 << 13  # 0.25
+
+    def test_saturation(self):
+        big = (1 << 15) - 1
+        r = q_mul(np.array([big]), np.array([1 << 15]), 0, np.int16)
+        assert r[0] == 32767
+
+
+@settings(max_examples=200, deadline=None)
+@given(v=st.integers(-(1 << 40), 1 << 40), shift=st.integers(1, 20))
+def test_property_nearest_matches_decimal_rounding(v, shift):
+    """NEAREST == round-half-away-from-zero on the real quotient."""
+    got = int(round_shift(np.array([v]), shift, RoundMode.NEAREST)[0])
+    q = v / (1 << shift)
+    import math
+
+    expect = math.floor(q + 0.5) if q >= 0 else math.ceil(q - 0.5)
+    assert got == expect
+
+
+@settings(max_examples=200, deadline=None)
+@given(v=st.integers(-(1 << 40), 1 << 40), shift=st.integers(0, 20))
+def test_property_floor_is_arithmetic_shift(v, shift):
+    got = int(round_shift(np.array([v]), shift, RoundMode.FLOOR)[0])
+    assert got == v >> shift
+
+
+@settings(max_examples=200, deadline=None)
+@given(vals=st.lists(st.integers(-(1 << 50), 1 << 50), min_size=1,
+                     max_size=16),
+       shift=st.integers(0, 30))
+def test_property_srs_always_in_range(vals, shift):
+    out = srs_array(np.array(vals), shift, np.int16)
+    assert out.min() >= -32768 and out.max() <= 32767
+
+
+@settings(max_examples=100, deadline=None)
+@given(v=st.integers(-(1 << 30), 1 << 30), shift=st.integers(1, 16))
+def test_property_rounding_modes_within_one(v, shift):
+    """All rounding modes agree within 1 ULP of the true quotient."""
+    outs = [int(round_shift(np.array([v]), shift, m)[0])
+            for m in RoundMode.ALL]
+    true = v / (1 << shift)
+    for o in outs:
+        assert abs(o - true) <= 1.0

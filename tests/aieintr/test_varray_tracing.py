@@ -1,0 +1,93 @@
+"""Array-level traced ops and the micro-op recording infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro import aieintr as aie
+from repro.aieintr.tracing import MicroOp, TraceRecorder, active_recorder, emit
+
+
+class TestVarrayOps:
+    def test_add_sub(self):
+        a = np.arange(10, dtype=np.int64)
+        assert np.array_equal(aie.va_add(a, 1), a + 1)
+        assert np.array_equal(aie.va_sub(a, 1), a - 1)
+
+    def test_mul_widens_ints(self):
+        a = np.full(4, 30000, dtype=np.int16)
+        out = aie.va_mul(a, 30000)
+        assert out.dtype == np.int64
+        assert out[0] == 900_000_000
+
+    def test_mul_float(self):
+        a = np.ones(4, dtype=np.float32)
+        assert np.allclose(aie.va_mul(a, 0.5), 0.5)
+
+    def test_mac(self):
+        acc = np.zeros(4, dtype=np.int64)
+        a = np.arange(4, dtype=np.int16)
+        assert list(aie.va_mac(acc, a, 3)) == [0, 3, 6, 9]
+
+    def test_mac_float(self):
+        acc = np.ones(4, dtype=np.float32)
+        a = np.ones(4, dtype=np.float32)
+        assert np.allclose(aie.va_mac(acc, a, 2.0), 3.0)
+
+    def test_round_shift_and_srs(self):
+        a = np.array([6, -6], dtype=np.int64)
+        assert list(aie.va_round_shift(a, 2)) == [2, -2]
+        out = aie.va_srs(np.array([1 << 30, -6]), 2, np.int16)
+        assert list(out) == [32767, -2]
+
+    def test_min_max_select_copy(self):
+        a = np.array([1, 5, 3])
+        assert list(aie.va_min(a, 3)) == [1, 3, 3]
+        assert list(aie.va_max(a, 3)) == [3, 5, 3]
+        assert list(aie.va_select([True, False, True], a, 0)) == [1, 0, 3]
+        c = aie.va_copy(a)
+        c[0] = 99
+        assert a[0] == 1
+
+
+class TestTracing:
+    def test_no_recorder_is_noop(self):
+        assert active_recorder() is None
+        emit("vadd", 8, 4)  # must not raise
+
+    def test_recorder_captures(self):
+        with TraceRecorder() as rec:
+            aie.va_add(np.ones(100), 1)
+            aie.va_mul(np.ones(50, dtype=np.int16), 2)
+        assert rec.counts == {"vadd": 1, "vmul": 1}
+        assert rec.ops[0].lanes == 100
+        assert len(rec) == 2
+
+    def test_recorder_cleared_on_exit(self):
+        with TraceRecorder():
+            pass
+        assert active_recorder() is None
+
+    def test_nested_recorder_rejected(self):
+        with TraceRecorder():
+            with pytest.raises(RuntimeError):
+                with TraceRecorder():
+                    pass
+
+    def test_microop_meta(self):
+        op = MicroOp("stream_rd", 1, 4, meta=(("port", "x"),))
+        assert op.get("port") == "x"
+        assert op.get("missing", 7) == 7
+
+    def test_vector_ops_emit(self):
+        v = aie.vec([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        with TraceRecorder() as rec:
+            _ = v + v
+            _ = v * v
+            _ = v.min(v)
+        assert rec.counts == {"vadd": 1, "vmul": 1, "vmin": 1}
+
+    def test_exception_still_clears_recorder(self):
+        with pytest.raises(ValueError):
+            with TraceRecorder():
+                raise ValueError("x")
+        assert active_recorder() is None

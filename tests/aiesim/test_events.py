@@ -1,0 +1,252 @@
+"""Discrete-event core: timeouts, stores, counting locks."""
+
+import pytest
+
+from repro.aiesim.events import (
+    Acquire,
+    CountingLock,
+    Environment,
+    Get,
+    Put,
+    Release,
+    Store,
+    Timeout,
+)
+from repro.errors import SimulationError
+
+
+class TestTimeouts:
+    def test_time_advances(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield Timeout(5)
+            log.append(env.now)
+            yield Timeout(3)
+            log.append(env.now)
+
+        env.spawn("p", proc())
+        env.run()
+        assert log == [5, 8]
+
+    def test_zero_timeout(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            yield Timeout(0)
+            done.append(env.now)
+
+        env.spawn("p", proc())
+        env.run()
+        assert done == [0]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+
+        def proc():
+            yield Timeout(-1)
+
+        env.spawn("p", proc())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_interleaving_two_processes(self):
+        env = Environment()
+        order = []
+
+        def proc(tag, dt):
+            for _ in range(3):
+                yield Timeout(dt)
+                order.append((env.now, tag))
+
+        env.spawn("a", proc("a", 2))
+        env.spawn("b", proc("b", 3))
+        env.run()
+        # At t=6 both fire; "b" scheduled its event earlier (at t=3) so
+        # FIFO tie-breaking runs it first.
+        assert order == [(2, "a"), (3, "b"), (4, "a"), (6, "b"),
+                         (6, "a"), (9, "b")]
+
+    def test_run_until(self):
+        env = Environment()
+
+        def proc():
+            while True:
+                yield Timeout(10)
+
+        env.spawn("p", proc())
+        env.run(until=35)
+        assert env.now == 35
+        env.run(until=55)
+        assert env.now == 55
+
+
+class TestStores:
+    def test_producer_consumer(self):
+        env = Environment()
+        s = Store(2, "s")
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield Put(s, i)
+                yield Timeout(1)
+
+        def consumer():
+            for _ in range(5):
+                item = yield Get(s)
+                got.append((env.now, item))
+                yield Timeout(3)
+
+        env.spawn("p", producer())
+        env.spawn("c", consumer())
+        env.run()
+        assert [i for _, i in got] == [0, 1, 2, 3, 4]
+        # consumer paced at 3 cycles: last item at t>=12
+        assert got[-1][0] >= 12
+
+    def test_backpressure(self):
+        env = Environment()
+        s = Store(1, "s")
+        times = []
+
+        def producer():
+            for i in range(3):
+                yield Put(s, i)
+                times.append(env.now)
+
+        def consumer():
+            for _ in range(3):
+                yield Timeout(10)
+                yield Get(s)
+
+        env.spawn("p", producer())
+        env.spawn("c", consumer())
+        env.run()
+        # puts 2 and 3 wait for gets at t=10 and t=20
+        assert times[0] == 0 and times[1] == 10 and times[2] == 20
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        s = Store(1, "s")
+        got = []
+
+        def consumer():
+            item = yield Get(s)
+            got.append((env.now, item))
+
+        def producer():
+            yield Timeout(7)
+            yield Put(s, "x")
+
+        env.spawn("c", consumer())
+        env.spawn("p", producer())
+        env.run()
+        assert got == [(7, "x")]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(0)
+
+
+class TestLocks:
+    def test_acquire_release(self):
+        env = Environment()
+        lock = CountingLock(value=2, max_value=2, name="l")
+        order = []
+
+        def worker(tag, hold):
+            yield Acquire(lock)
+            order.append((env.now, tag, "acq"))
+            yield Timeout(hold)
+            yield Release(lock)
+
+        env.spawn("a", worker("a", 5))
+        env.spawn("b", worker("b", 5))
+        env.spawn("c", worker("c", 5))
+        env.run()
+        # two grants immediately, third at t=5
+        assert order[0][0] == 0 and order[1][0] == 0
+        assert order[2][0] == 5
+        assert lock.acquires == 3
+        assert lock.stall_cycles == 5
+
+    def test_over_release_detected(self):
+        env = Environment()
+        lock = CountingLock(value=1, max_value=1)
+
+        def bad():
+            yield Release(lock)
+
+        env.spawn("b", bad())
+        with pytest.raises(SimulationError, match="over-released"):
+            env.run()
+
+    def test_multi_amount_acquire(self):
+        env = Environment()
+        lock = CountingLock(value=0, max_value=4)
+        log = []
+
+        def taker():
+            yield Acquire(lock, 3)
+            log.append(env.now)
+
+        def giver():
+            for _ in range(3):
+                yield Timeout(2)
+                yield Release(lock, 1)
+
+        env.spawn("t", taker())
+        env.spawn("g", giver())
+        env.run()
+        assert log == [6]
+
+
+class TestDiagnostics:
+    def test_blocked_report(self):
+        env = Environment()
+        s = Store(1, "lonely")
+
+        def stuck():
+            yield Get(s)
+
+        env.spawn("stuck", stuck())
+        env.run()
+        assert "stuck" in env.blocked_report()
+        assert "lonely" in env.blocked_report()
+
+    def test_unknown_request(self):
+        env = Environment()
+
+        def weird():
+            yield "nonsense"
+
+        env.spawn("w", weird())
+        with pytest.raises(SimulationError, match="unknown request"):
+            env.run()
+
+    def test_max_events_guard(self):
+        env = Environment()
+
+        def spinner():
+            while True:
+                yield Timeout(1)
+
+        env.spawn("s", spinner())
+        with pytest.raises(SimulationError, match="events"):
+            env.run(max_events=100)
+
+    def test_stop_predicate(self):
+        env = Environment()
+        count = []
+
+        def ticker():
+            while True:
+                yield Timeout(1)
+                count.append(env.now)
+
+        env.spawn("t", ticker())
+        env.run(stop=lambda: len(count) >= 5)
+        assert len(count) == 5

@@ -1,0 +1,259 @@
+"""§6 extension features: GMIO, corner-turning DMA, templated kernels."""
+
+import numpy as np
+import pytest
+
+from repro.aiesim import simulate_graph
+from repro.aiesim.events import Environment
+from repro.aiesim.stream import DdrModel, GmioCollector, GmioFeeder, StreamLink
+from repro.aiesim.device import VC1902
+from repro.core import (
+    AIE,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    Window,
+    compute_kernel,
+    float32,
+    kernel_template,
+    make_compute_graph,
+)
+from repro.errors import GraphBuildError
+
+WIN = Window(float32, 64)
+
+
+@compute_kernel(realm=AIE)
+async def passthrough_win(x: In[WIN], y: Out[WIN]):
+    while True:
+        await y.put(np.asarray(await x.get()))
+
+
+def _win_graph(**attrs):
+    @make_compute_graph(name="ext_win")
+    def g(x: IoC[WIN]):
+        if attrs:
+            x.set_attrs(**attrs)
+        y = IoConnector(WIN, name="y")
+        if attrs:
+            y.set_attrs(**attrs)
+        passthrough_win(x, y)
+        return y
+
+    return g
+
+
+class TestGmioUnits:
+    def test_gmio_roundtrip(self):
+        env = Environment()
+        ddr = DdrModel(env)
+        link = StreamLink(env, VC1902, "g", n_consumers=1, fifo_words=64)
+        GmioFeeder(env, ddr, link, "in", words_per_block=32, n_blocks=2)
+        col = GmioCollector(env, ddr, link, 0, "out",
+                            words_per_block=32, n_blocks=2)
+        env.run()
+        assert col.done
+        assert col.words_received == 64
+        assert ddr.bursts_serviced >= 2
+
+    def test_gmio_pays_burst_latency(self):
+        env = Environment()
+        ddr = DdrModel(env)
+        link = StreamLink(env, VC1902, "g", n_consumers=1, fifo_words=64)
+        GmioFeeder(env, ddr, link, "in", words_per_block=8, n_blocks=1)
+        col = GmioCollector(env, ddr, link, 0, "out",
+                            words_per_block=8, n_blocks=1)
+        env.run()
+        # two bursts (feed + collect), each >= BURST_LATENCY
+        assert col.block_times[0] >= 2 * DdrModel.BURST_LATENCY
+
+    def test_ddr_contention(self):
+        """More concurrent GMIO streams than controller slots: the
+        total time reflects serialised bursts."""
+        env = Environment()
+        ddr = DdrModel(env)
+        cols = []
+        for i in range(4):
+            link = StreamLink(env, VC1902, f"g{i}", n_consumers=1,
+                              fifo_words=64)
+            GmioFeeder(env, ddr, link, f"in{i}", words_per_block=64,
+                       n_blocks=1)
+            cols.append(GmioCollector(env, ddr, link, 0, f"out{i}",
+                                      words_per_block=64, n_blocks=1))
+        env.run()
+        finish = max(c.block_times[0] for c in cols)
+        # 8 bursts (4 feed + 4 drain) over 2 slots: >= 4 serial rounds.
+        assert finish >= 4 * DdrModel.BURST_LATENCY
+
+
+class TestGmioInGraphs:
+    def test_gmio_graph_slower_than_plio(self):
+        plio = simulate_graph(_win_graph(), "hand", n_blocks=4)
+        gmio = simulate_graph(_win_graph(io_mode="gmio"), "hand",
+                              n_blocks=4)
+        assert gmio.first_block_cycles > plio.first_block_cycles
+
+    def test_gmio_completes(self):
+        rep = simulate_graph(_win_graph(io_mode="gmio"), "thunk",
+                             n_blocks=3)
+        assert rep.block_interval_cycles > 0
+
+
+class TestCornerTurnDma:
+    def test_transpose_dma_slower(self):
+        linear = simulate_graph(_win_graph(), "hand", n_blocks=6)
+        turned = simulate_graph(_win_graph(dma_transpose=1), "hand",
+                                n_blocks=6)
+        assert turned.block_interval_cycles > linear.block_interval_cycles
+
+    def test_transpose_functionally_neutral(self):
+        """Corner-turning affects timing only; the cgsim runtime is
+        untouched (attribute is extractor/simulator metadata)."""
+        g = _win_graph(dma_transpose=1)
+        data = np.arange(128, dtype=np.float32)
+        out = []
+        g(data, out)
+        assert np.array_equal(np.concatenate(out), data)
+
+
+class TestKernelTemplates:
+    def test_instantiation_and_caching(self):
+        from repro.core import int32
+
+        @kernel_template(realm=AIE)
+        def mul_t(K: int):
+            async def mul_k(x: In[int32], y: Out[int32]):
+                while True:
+                    await y.put(K * (await x.get()))
+            return mul_k
+
+        a = mul_t.instantiate(K=3)
+        b = mul_t.instantiate(K=3)
+        c = mul_t.instantiate(K=4)
+        assert a is b and a is not c
+        assert a.template_params == {"K": 3}
+        assert "K3" in a.name and "K4" in c.name
+        assert a.registry_key != c.registry_key
+
+    def test_template_kernels_in_graph(self):
+        from repro.core import int32
+
+        @kernel_template(realm=AIE)
+        def add_t(BIAS: int):
+            async def add_k(x: In[int32], y: Out[int32]):
+                while True:
+                    await y.put(BIAS + (await x.get()))
+            return add_k
+
+        k10 = add_t.instantiate(BIAS=10)
+        k100 = add_t.instantiate(BIAS=100)
+
+        @make_compute_graph(name="templated")
+        def g(a: IoC[int32]):
+            m = IoConnector(int32)
+            o = IoConnector(int32)
+            k10(a, m)
+            k100(m, o)
+            return o
+
+        out = []
+        g([1, 2], out)
+        assert out == [111, 112]
+
+    def test_serialization_roundtrip(self):
+        from repro.core import SerializedGraph, int32
+
+        @kernel_template(realm=AIE)
+        def neg_t(SIGN: int):
+            async def neg_k(x: In[int32], y: Out[int32]):
+                while True:
+                    await y.put(SIGN * (await x.get()))
+            return neg_k
+
+        k = neg_t.instantiate(SIGN=-1)
+
+        @make_compute_graph(name="tmpl_ser")
+        def g(a: IoC[int32]):
+            o = IoConnector(int32)
+            k(a, o)
+            return o
+
+        rebuilt = SerializedGraph.from_json(g.serialized.to_json())
+        out = []
+        rebuilt([5], out)
+        assert out == [-5]
+
+    def test_uninstantiated_template_rejected_in_graph(self):
+        from repro.core import int32
+
+        @kernel_template(realm=AIE)
+        def raw_t(K: int):
+            async def raw_k(x: In[int32], y: Out[int32]):
+                while True:
+                    await y.put(await x.get())
+            return raw_k
+
+        with pytest.raises(GraphBuildError, match="instantiated"):
+            @make_compute_graph
+            def g(a: IoC[int32]):
+                o = IoConnector(int32)
+                raw_t(a, o)
+                return o
+
+    def test_factory_must_return_coroutine_fn(self):
+        @kernel_template(realm=AIE)
+        def bad_t(K: int):
+            def not_async(x: In[float32], y: Out[float32]):
+                pass
+            return not_async
+
+        with pytest.raises(GraphBuildError, match="async"):
+            bad_t.instantiate(K=1)
+
+    def test_unhashable_params_rejected(self):
+        @kernel_template(realm=AIE)
+        def list_t(TAPS):
+            async def k(x: In[float32], y: Out[float32]):
+                while True:
+                    await y.put(await x.get())
+            return k
+
+        with pytest.raises(GraphBuildError, match="hashable|orderable"):
+            list_t.instantiate(TAPS=[1, 2])
+
+    def test_tuple_params_allowed(self):
+        @kernel_template(realm=AIE)
+        def fir_t(TAPS: tuple):
+            async def fir_k(x: In[float32], y: Out[float32]):
+                hist = [0.0] * len(TAPS)
+                while True:
+                    hist = [await x.get()] + hist[:-1]
+                    acc = 0.0
+                    for h, t in zip(hist, TAPS):
+                        acc += h * t
+                    await y.put(acc)
+            return fir_k
+
+        fir = fir_t.instantiate(TAPS=(0.5, 0.5))
+
+        @make_compute_graph(name="fir_graph")
+        def g(a: IoC[float32]):
+            o = IoConnector(float32)
+            fir(a, o)
+            return o
+
+        out = []
+        g([2.0, 4.0, 6.0], out)
+        assert out == [1.0, 3.0, 5.0]
+
+    def test_repr(self):
+        @kernel_template(realm=AIE)
+        def r_t(K: int):
+            async def k(x: In[float32], y: Out[float32]):
+                while True:
+                    await y.put(await x.get())
+            return k
+
+        r_t.instantiate(K=1)
+        assert "1 instantiation" in repr(r_t)

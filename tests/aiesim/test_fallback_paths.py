@@ -1,0 +1,164 @@
+"""Placement-pressure scenarios: non-adjacent window fallback, memory
+budget advisories, and window broadcast."""
+
+import numpy as np
+import pytest
+
+from repro.aiesim import SMALL_TEST_DEVICE, place_graph, simulate_graph
+from repro.aiesim.device import DeviceDescriptor
+from repro.core import (
+    AIE,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    Window,
+    compute_kernel,
+    float32,
+    make_compute_graph,
+)
+
+WIN = Window(float32, 32)
+
+
+@compute_kernel(realm=AIE)
+async def fan_source(x: In[WIN], a: Out[WIN], b: Out[WIN], c: Out[WIN],
+                     d: Out[WIN]):
+    """One window in, four windows out (star centre)."""
+    while True:
+        blk = np.asarray(await x.get())
+        await a.put(blk)
+        await b.put(blk + 1)
+        await c.put(blk + 2)
+        await d.put(blk + 3)
+
+
+@compute_kernel(realm=AIE)
+async def win_sink_stage(x: In[WIN], y: Out[WIN]):
+    while True:
+        await y.put(np.asarray(await x.get()) * 2)
+
+
+def build_star_graph():
+    """Centre kernel window-connected to four leaf kernels: cannot be
+    fully adjacent on a 2x2 device (a corner tile has two neighbours)."""
+
+    @make_compute_graph(name="star")
+    def g(x: IoC[WIN]):
+        mids = [IoConnector(WIN, name=f"m{i}") for i in range(4)]
+        outs = [IoConnector(WIN, name=f"o{i}") for i in range(4)]
+        fan_source(x, *mids)
+        for m, o in zip(mids, outs):
+            win_sink_stage(m, o)
+        return tuple(outs)
+
+    return g
+
+
+def build_chain_graph():
+    """Two window kernels in a chain: always placeable adjacently."""
+
+    @make_compute_graph(name="winchain")
+    def g(x: IoC[WIN]):
+        m = IoConnector(WIN, name="m")
+        o = IoConnector(WIN, name="o")
+        win_sink_stage(x, m)
+        win_sink_stage(m, o)
+        return o
+
+    return g
+
+
+class TestNonAdjacentFallback:
+    def test_placement_needs_enough_tiles(self):
+        g = build_star_graph().graph
+        # 5 kernels on a 2x2 device must fail cleanly.
+        from repro.errors import PlacementError
+
+        with pytest.raises(PlacementError):
+            place_graph(g, SMALL_TEST_DEVICE)
+
+    def test_fallback_on_narrow_device(self):
+        """On a 1x6 strip, the star centre cannot touch all leaves:
+        some window nets fall back to stream-DMA transport."""
+        strip = DeviceDescriptor(name="strip", columns=6, rows=1)
+        g = build_star_graph().graph
+        placement = place_graph(g, strip)
+        assert placement.warnings, "expected stream-DMA fallback warnings"
+        assert not all(placement.window_shared.values())
+
+    def test_fallback_simulation_completes(self):
+        strip = DeviceDescriptor(name="strip", columns=6, rows=1)
+        rep = simulate_graph(build_star_graph(), mode="hand", n_blocks=3,
+                             device=strip)
+        assert rep.block_interval_cycles > 0
+        assert any("stream-DMA" in w for w in rep.warnings)
+
+    def test_forced_streaming_adds_latency(self):
+        """With identical placement, forcing window nets through DMA +
+        stream must increase the pipeline fill latency: the buffer is
+        store-and-forwarded instead of handed over by lock flip."""
+        g = build_chain_graph()
+        shared = simulate_graph(g, "hand", n_blocks=4)
+        streamed = simulate_graph(g, "hand", n_blocks=4,
+                                  force_window_streaming=True)
+        assert streamed.first_block_cycles > shared.first_block_cycles
+        assert streamed.des_events > shared.des_events
+
+    def test_forced_streaming_same_steady_state_or_slower(self):
+        g = build_chain_graph()
+        shared = simulate_graph(g, "hand", n_blocks=6)
+        streamed = simulate_graph(g, "hand", n_blocks=6,
+                                  force_window_streaming=True)
+        assert streamed.block_interval_cycles >= \
+            shared.block_interval_cycles
+
+
+class TestMemoryBudgetAdvisory:
+    def test_oversized_windows_warn(self):
+        big = Window(float32, 8192)  # 32 KiB buffer; x2 ping-pong = 64 KiB
+
+        @compute_kernel(realm=AIE)
+        async def big_win(x: In[big], y: Out[big]):
+            while True:
+                await y.put(np.asarray(await x.get()))
+
+        @make_compute_graph(name="bigwin")
+        def g(x: IoC[big]):
+            y = IoConnector(big)
+            big_win(x, y)
+            return y
+
+        rep = simulate_graph(g, "hand", n_blocks=2)
+        assert any("tile memory" in w for w in rep.warnings)
+
+
+class TestWindowBroadcast:
+    def test_window_broadcast_all_consumers_get_blocks(self):
+        @compute_kernel(realm=AIE)
+        async def dup(x: In[WIN], y: Out[WIN]):
+            while True:
+                await y.put(np.asarray(await x.get()))
+
+        @make_compute_graph(name="winbcast")
+        def g(x: IoC[WIN]):
+            mid = IoConnector(WIN, name="mid")
+            o1 = IoConnector(WIN, name="o1")
+            o2 = IoConnector(WIN, name="o2")
+            dup(x, mid)
+            dup(mid, o1)
+            dup(mid, o2)
+            return o1, o2
+
+        # functional broadcast on the cgsim runtime:
+        data = np.arange(64, dtype=np.float32)
+        s1, s2 = [], []
+        g(data, s1, s2)
+        assert np.array_equal(np.concatenate(s1), data)
+        assert np.array_equal(np.concatenate(s2), data)
+
+        # and the DES handles the two-channel window release:
+        rep = simulate_graph(g, "hand", n_blocks=3)
+        assert len(rep.output_block_times) == 2
+        for times in rep.output_block_times.values():
+            assert len(times) == 3

@@ -1,0 +1,161 @@
+"""Tile memory bank allocation and conflict estimation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aiesim import VC1902, simulate_graph
+from repro.aiesim.memory import BankAllocation, BufferRequest, TileMemoryAllocator
+from repro.errors import SimulationError
+
+
+def alloc(*requests):
+    return TileMemoryAllocator(VC1902).allocate(list(requests))
+
+
+class TestAllocation:
+    def test_small_buffer_fits_one_bank(self):
+        a = alloc(BufferRequest("w", 2048, ping_pong=False))
+        assert a.placements["w"] == [(0, 2048)]
+        assert a.total_bytes == 2048
+        assert not a.spilled
+
+    def test_pingpong_halves_on_distinct_banks(self):
+        a = alloc(BufferRequest("pp", 4096))
+        banks = a.banks_of("pp")
+        assert len(banks) == 2
+        assert banks[0] != banks[1]
+
+    def test_large_buffer_spans_banks(self):
+        # 16 KiB ping-pong: halves of 8 KiB span two 4 KiB banks each.
+        a = alloc(BufferRequest("big", 16384))
+        assert not a.spilled
+        assert a.total_bytes == 16384
+        assert len(a.banks_of("big")) >= 4
+
+    def test_full_tile_utilisation(self):
+        a = alloc(BufferRequest("all", 32768))
+        assert not a.spilled
+        assert a.total_bytes == 32768
+
+    def test_overflow_spills(self):
+        a = alloc(BufferRequest("too_big", 40000))
+        assert a.spilled == ["too_big"]
+        assert a.total_bytes == 0  # rollback leaves banks clean
+
+    def test_partial_overflow_rolls_back(self):
+        a = alloc(BufferRequest("ok", 30000),
+                  BufferRequest("nope", 8000))
+        assert "nope" in a.spilled
+        assert a.total_bytes == 30000
+
+    def test_check_raises_on_spill(self):
+        with pytest.raises(SimulationError, match="do not fit"):
+            TileMemoryAllocator(VC1902).check(
+                [BufferRequest("x", 65536)]
+            )
+
+    def test_check_passes_when_fits(self):
+        a = TileMemoryAllocator(VC1902).check(
+            [BufferRequest("x", 8192)]
+        )
+        assert isinstance(a, BankAllocation)
+
+
+class TestConflictFactor:
+    def test_no_dma_no_conflict(self):
+        a = alloc(BufferRequest("k1", 2048, ping_pong=False),
+                  BufferRequest("k2", 2048, ping_pong=False))
+        assert a.conflict_factor() == 1.0
+
+    def test_dma_only_no_conflict(self):
+        a = alloc(BufferRequest("io", 4096, dma_filled=True))
+        assert a.conflict_factor() == 1.0
+
+    def test_shared_bank_conflicts(self):
+        # Fill the tile so DMA and kernel buffers must share banks.
+        a = alloc(
+            BufferRequest("io", 16384, dma_filled=True),
+            BufferRequest("scratch", 14000, ping_pong=False),
+        )
+        assert not a.spilled
+        assert a.conflict_factor() >= 1.0
+
+    def test_disjoint_banks_no_conflict(self):
+        a = alloc(
+            BufferRequest("io", 4096, dma_filled=True),
+            BufferRequest("scratch", 2048, ping_pong=False),
+        )
+        dma_banks = set(a.banks_of("dma:io"))
+        k_banks = set(a.banks_of("scratch"))
+        if dma_banks.isdisjoint(k_banks):
+            assert a.conflict_factor() == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes=st.lists(st.integers(64, 12000), min_size=1, max_size=6))
+def test_property_allocation_conservation(sizes):
+    """Placed bytes == requested bytes for every non-spilled buffer, and
+    no bank exceeds its capacity."""
+    reqs = [BufferRequest(f"b{i}", s) for i, s in enumerate(sizes)]
+    a = TileMemoryAllocator(VC1902).allocate(reqs)
+    placed_names = {n.replace("dma:", "") for n in a.placements}
+    for req in reqs:
+        if req.name in a.spilled:
+            assert req.name not in placed_names
+            continue
+        pieces = a.placements[req.name]
+        half = (req.nbytes + 1) // 2
+        assert sum(b for _, b in pieces) == 2 * half
+    bank_size = VC1902.tile_memory_bytes // VC1902.memory_banks
+    assert all(used <= bank_size for used in a.bank_used)
+
+
+class TestSimulatorIntegration:
+    def test_iir_memory_accounted(self):
+        from repro.apps import iir
+
+        rep = simulate_graph(iir.IIR_GRAPH, "hand", n_blocks=2)
+        stats = rep.tiles["iir_sos_kernel_0"]
+        # 8 KiB in x2 buffers + 8 KiB out x2 buffers = 32 KiB.
+        assert stats["memory_bytes"] == 32768
+        assert stats["bank_conflict_factor"] >= 1.0
+        assert not any("exceed" in w for w in rep.warnings)
+
+    def test_farrow_stage2_fits(self):
+        from repro.apps import farrow
+
+        rep = simulate_graph(farrow.FARROW_GRAPH, "hand", n_blocks=2,
+                             rtp_values={"mu": 1})
+        s2 = rep.tiles["farrow_stage2_0"]
+        # acc 16 KiB + x_fwd 8 KiB + y 8 KiB = 32 KiB: exactly fits.
+        assert s2["memory_bytes"] == 32768
+        assert not any("exceed" in w for w in rep.warnings)
+
+    def test_oversized_graph_warns(self):
+        import numpy as np
+
+        from repro.core import (
+            AIE, In, IoC, IoConnector, Out, Window, compute_kernel,
+            float32, make_compute_graph,
+        )
+
+        big = Window(float32, 8192)
+
+        @compute_kernel(realm=AIE)
+        async def fat(x: In[big], y: Out[big], z: Out[big]):
+            while True:
+                blk = np.asarray(await x.get())
+                await y.put(blk)
+                await z.put(blk)
+
+        @make_compute_graph(name="fat_graph")
+        def g(x: IoC[big]):
+            y = IoConnector(big)
+            z = IoConnector(big)
+            fat(x, y, z)
+            return y, z
+
+        rep = simulate_graph(g, "hand", n_blocks=2)
+        # 3 x 64 KiB of ping-pong buffers on one tile: must warn.
+        assert any("exceed" in w for w in rep.warnings)

@@ -1,0 +1,170 @@
+"""The four ported AMD examples: cgsim runs vs golden references (§5.1).
+
+These are the repo's equivalent of the paper's functional validation:
+the ported kernels must reproduce the reference algorithm exactly
+(bit-exactly for the integer/ordered-float paths, within float32
+tolerance for the restructured IIR).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import bilinear, bitonic, datasets, farrow, iir
+from repro.x86sim import run_threaded
+
+
+class TestBitonic:
+    def test_matches_reference(self):
+        blocks = datasets.bitonic_blocks(6)
+        assert np.array_equal(bitonic.run_cgsim(blocks),
+                              bitonic.reference(blocks))
+
+    def test_single_block_1d(self):
+        b = datasets.bitonic_blocks(1)[0]
+        out = bitonic.run_cgsim(b)
+        assert out.shape == (1, 16)
+        assert np.array_equal(out[0], np.sort(b))
+
+    def test_wrong_block_size(self):
+        with pytest.raises(ValueError):
+            bitonic.run_cgsim(np.zeros((2, 8), dtype=np.float32))
+
+    def test_already_sorted_blocks(self):
+        blocks = np.sort(datasets.bitonic_blocks(2), axis=1)
+        assert np.array_equal(bitonic.run_cgsim(blocks), blocks)
+
+    def test_duplicates_and_negatives(self):
+        b = np.array([[0.0] * 8 + [-1.0] * 8], dtype=np.float32)
+        assert np.array_equal(bitonic.run_cgsim(b),
+                              np.sort(b, axis=1))
+
+    def test_block_independence(self):
+        """Each 16-block is sorted independently (no cross-block mixing)."""
+        blocks = datasets.bitonic_blocks(4)
+        joined = bitonic.run_cgsim(blocks)
+        single = np.stack([bitonic.run_cgsim(b)[0] for b in blocks])
+        assert np.array_equal(joined, single)
+
+
+class TestBilinear:
+    def test_matches_reference_bit_exact(self):
+        px, fr = datasets.bilinear_blocks(4)
+        assert np.array_equal(bilinear.run_cgsim(px, fr),
+                              bilinear.reference(px, fr))
+
+    def test_extreme_fractions(self):
+        n = datasets.BILINEAR_BLOCK
+        px = np.tile(np.array([1, 2, 3, 4], dtype=np.float32), n)[None, :]
+        fr = np.zeros((1, 2 * n), dtype=np.float32)  # fx=fy=0 -> p00
+        out = bilinear.run_cgsim(px, fr)
+        assert np.allclose(out, 1.0)
+
+
+class TestFarrow:
+    def test_matches_reference_bit_exact(self):
+        blocks, mu = datasets.farrow_blocks(3)
+        assert np.array_equal(farrow.run_cgsim(blocks, mu),
+                              farrow.reference(blocks, mu))
+
+    def test_block_streaming_equals_whole_signal(self):
+        """History carry across blocks: 4 streamed blocks == one long
+        signal filtered at once."""
+        blocks, mu = datasets.farrow_blocks(4)
+        streamed = farrow.run_cgsim(blocks, mu)
+        whole = farrow.reference(blocks, mu)  # operates on full signal
+        assert np.array_equal(streamed, whole)
+
+    def test_different_mu_changes_output(self):
+        blocks, _ = datasets.farrow_blocks(1)
+        y0 = farrow.run_cgsim(blocks, 0)
+        y1 = farrow.run_cgsim(blocks, 16384)
+        assert not np.array_equal(y0, y1)
+
+    def test_zero_input_zero_output(self):
+        z = np.zeros((1, datasets.FARROW_BLOCK), dtype=np.complex128)
+        assert not farrow.run_cgsim(z, 13107).any()
+
+
+class TestIir:
+    def test_matches_reference_tolerance(self):
+        blocks = datasets.iir_blocks(3)
+        got = iir.run_cgsim(blocks)
+        ref = iir.reference(blocks)
+        assert np.allclose(got, ref, rtol=1e-4, atol=1e-4)
+
+    def test_block_streaming_equals_whole_signal(self):
+        blocks = datasets.iir_blocks(4)
+        streamed = iir.run_cgsim(blocks)
+        whole = iir.reference(blocks)
+        assert np.allclose(streamed, whole, rtol=1e-4, atol=1e-4)
+
+    def test_impulse_response_decays(self):
+        x = np.zeros((1, datasets.IIR_BLOCK), dtype=np.float32)
+        x[0, 0] = 1.0
+        y = iir.run_cgsim(x)[0]
+        assert np.abs(y[-100:]).max() < np.abs(y[:100]).max()
+
+    def test_dc_gain_near_unity(self):
+        """Butterworth low-pass: DC passes at gain ~1."""
+        x = np.ones((1, datasets.IIR_BLOCK), dtype=np.float32)
+        y = iir.run_cgsim(x)[0]
+        assert y[-1] == pytest.approx(1.0, rel=1e-3)
+
+
+class TestX86simEquivalence:
+    """The thread-per-kernel execution model produces identical data."""
+
+    def test_bitonic(self):
+        blocks = datasets.bitonic_blocks(4)
+        out = []
+        rep = run_threaded(bitonic.BITONIC_GRAPH, blocks.reshape(-1), out)
+        got = np.asarray(out, np.float32).reshape(blocks.shape)
+        assert np.array_equal(got, bitonic.reference(blocks))
+        assert rep.n_threads == 3  # kernel + source + sink
+
+    def test_bilinear(self):
+        px, fr = datasets.bilinear_blocks(2)
+        out = []
+        run_threaded(bilinear.BILINEAR_GRAPH, px.reshape(-1),
+                     fr.reshape(-1), out)
+        got = np.asarray(out, np.float32).reshape(-1, 256)
+        assert np.array_equal(got, bilinear.reference(px, fr))
+
+    def test_farrow(self):
+        blocks, mu = datasets.farrow_blocks(2)
+        out = []
+        rep = run_threaded(farrow.FARROW_GRAPH, blocks, int(mu), out)
+        got = np.stack(out)
+        assert np.array_equal(got, farrow.reference(blocks, mu))
+        assert rep.n_threads == 4  # 2 kernels + source + sink
+
+    def test_iir(self):
+        blocks = datasets.iir_blocks(2)
+        out = []
+        run_threaded(iir.IIR_GRAPH, blocks, out)
+        got = np.stack([np.asarray(b, np.float32) for b in out])
+        assert np.allclose(got, iir.reference(blocks), rtol=1e-4, atol=1e-4)
+
+
+class TestDatasets:
+    def test_deterministic(self):
+        a = datasets.bitonic_blocks(3)
+        b = datasets.bitonic_blocks(3)
+        assert np.array_equal(a, b)
+
+    def test_block_bytes_match_table1(self):
+        assert datasets.BLOCK_BYTES == {
+            "bitonic": 64, "farrow": 4096, "iir": 8192, "bilinear": 2048,
+        }
+        assert datasets.BITONIC_BLOCK * 4 == 64
+        assert datasets.FARROW_BLOCK * 4 == 4096
+        assert datasets.IIR_BLOCK * 4 == 8192
+
+    def test_farrow_headroom(self):
+        blocks, mu = datasets.farrow_blocks(2)
+        assert np.abs(blocks.real).max() < (1 << 13)
+        assert 0 <= mu < (1 << 15)
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(datasets.bitonic_blocks(1, seed=1),
+                                  datasets.bitonic_blocks(1, seed=2))

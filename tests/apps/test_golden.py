@@ -1,0 +1,135 @@
+"""Golden reference implementations: internal consistency checks."""
+
+import numpy as np
+import pytest
+from scipy import signal as sp_signal
+
+from repro.apps.golden import (
+    FARROW_TAPS_Q15,
+    golden_bilinear,
+    golden_bitonic,
+    golden_farrow,
+    golden_iir,
+    iir_biquad_coeffs,
+)
+
+
+class TestBilinear:
+    def test_corners(self):
+        pixels = np.array([[1.0, 2.0, 3.0, 4.0]], dtype=np.float32)
+        # fx=fy=0 -> p00; fx=1,fy=0 -> p01; fx=0,fy=1 -> p10; both -> p11
+        for fr, expect in [((0, 0), 1.0), ((1, 0), 2.0),
+                           ((0, 1), 3.0), ((1, 1), 4.0)]:
+            out = golden_bilinear(pixels, np.array([fr], dtype=np.float32))
+            assert out[0] == pytest.approx(expect)
+
+    def test_center_average(self):
+        pixels = np.array([[0.0, 2.0, 4.0, 6.0]], dtype=np.float32)
+        out = golden_bilinear(pixels, np.array([[0.5, 0.5]]))
+        assert out[0] == pytest.approx(3.0)
+
+    def test_constant_field_invariant(self):
+        rng = np.random.default_rng(0)
+        pixels = np.full((10, 4), 7.25, dtype=np.float32)
+        fracs = rng.uniform(0, 1, (10, 2)).astype(np.float32)
+        assert np.allclose(golden_bilinear(pixels, fracs), 7.25)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            golden_bilinear(np.zeros((2, 4)), np.zeros((3, 2)))
+
+
+class TestBitonic:
+    def test_sorts(self):
+        rng = np.random.default_rng(3)
+        b = rng.standard_normal(16).astype(np.float32)
+        assert np.array_equal(golden_bitonic(b), np.sort(b))
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError):
+            golden_bitonic(np.zeros(8))
+
+
+class TestFarrowTaps:
+    def test_taps_shape_and_q15(self):
+        assert FARROW_TAPS_Q15.shape == (4, 4)
+        assert FARROW_TAPS_Q15.dtype == np.int16
+        # C0 is the pass-through branch: delta at x[n-1].
+        assert list(FARROW_TAPS_Q15[0]) == [0, 0, 1 << 15 - 1 + 1, 0] or \
+            FARROW_TAPS_Q15[0][2] == 32767  # clipped 1.0 in Q15
+
+    def test_branch_row_sums(self):
+        # Lagrange branches 1..3 sum to ~0 at mu-independent DC for C2/C3.
+        assert abs(int(FARROW_TAPS_Q15[2].sum())) <= 2
+        assert abs(int(FARROW_TAPS_Q15[3].sum())) <= 2
+
+
+class TestFarrow:
+    def test_mu_zero_is_unit_delay(self):
+        """mu=0: the Farrow interpolator reduces to branch C0 = x[n-1]
+        (up to Q15 coefficient quantisation of 1.0 -> 32767/32768)."""
+        x = (np.arange(1, 65) * 100).astype(np.float64) + 0j
+        y = golden_farrow(x, mu_q15=0)
+        expect = np.concatenate([[0], x[:-1]]).real
+        # 32767/32768 scaling keeps error within 4 LSB at this amplitude.
+        assert np.max(np.abs(y.real - expect)) <= 4
+        assert np.allclose(y.imag, 0)
+
+    def test_linear_signal_interpolation(self):
+        """On a linear ramp the Farrow structure realises a continuously
+        variable delay of (1 - mu) samples: y[n] = x[n - 1 + mu] — exact
+        for cubic Lagrange on polynomial inputs."""
+        ramp = (np.arange(100) * 64).astype(np.float64) + 0j
+        mu = 16384  # 0.5 in Q15
+        y = golden_farrow(ramp, mu)
+        # steady state region (skip 4-sample warmup)
+        n = np.arange(10, 90)
+        expect = (n - 0.5) * 64
+        assert np.max(np.abs(y.real[10:90] - expect)) <= 4
+
+    def test_output_is_integer_valued(self):
+        x = np.exp(1j * np.arange(32)) * 1000
+        x = np.round(x.real) + 1j * np.round(x.imag)
+        y = golden_farrow(x, 13107)
+        assert np.allclose(y.real, np.round(y.real))
+        assert np.allclose(y.imag, np.round(y.imag))
+
+    def test_saturation_bound(self):
+        x = np.full(16, 32767 + 32767j)
+        y = golden_farrow(x, 32767)
+        assert np.max(np.abs(y.real)) <= 32767
+        assert np.max(np.abs(y.imag)) <= 32767
+
+
+class TestIir:
+    def test_coeff_design_deterministic(self):
+        a = iir_biquad_coeffs()
+        b = iir_biquad_coeffs()
+        assert np.array_equal(a, b)
+        assert a.shape == (2, 6) and a.dtype == np.float32
+
+    def test_matches_sosfilt(self):
+        sos = iir_biquad_coeffs()
+        x = np.random.default_rng(0).standard_normal(500)
+        y, zf = golden_iir(x, sos)
+        ref = sp_signal.sosfilt(sos.astype(np.float64), x)
+        assert np.allclose(y, ref)
+        assert zf.shape == (2, 2)
+
+    def test_state_continuation(self):
+        """Filtering in two chunks with carried state equals one pass."""
+        sos = iir_biquad_coeffs()
+        x = np.random.default_rng(1).standard_normal(256)
+        y_full, _ = golden_iir(x, sos)
+        y1, z = golden_iir(x[:100], sos)
+        y2, _ = golden_iir(x[100:], sos, zi=z)
+        assert np.allclose(np.concatenate([y1, y2]), y_full)
+
+    def test_lowpass_attenuates_high_freq(self):
+        sos = iir_biquad_coeffs(cutoff=0.2)
+        t = np.arange(2048)
+        low = np.sin(2 * np.pi * 0.02 * t)
+        high = np.sin(2 * np.pi * 0.45 * t)
+        y_low, _ = golden_iir(low, sos)
+        y_high, _ = golden_iir(high, sos)
+        assert np.std(y_low[500:]) > 10 * np.std(y_high[500:])

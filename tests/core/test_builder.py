@@ -1,0 +1,341 @@
+"""Graph construction (§3.4): tracing, validation, Figure 4 semantics."""
+
+import pytest
+
+from repro.core import (
+    AIE,
+    CompiledGraph,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    PortSettings,
+    build_compute_graph,
+    compute_kernel,
+    extract_compute_graph,
+    float32,
+    int32,
+    make_compute_graph,
+)
+from repro.errors import (
+    BuildContextError,
+    GraphBuildError,
+    PortSettingsError,
+    PortTypeError,
+)
+from conftest import adder_kernel, doubler_kernel
+
+
+class TestFigure4:
+    """The paper's Figure 4 construction produces the documented graph."""
+
+    def test_structure(self, fig4_graph):
+        g = fig4_graph.graph
+        s = g.stats()
+        assert s["kernels"] == 2
+        assert s["nets"] == 3       # a, b, c
+        assert s["inputs"] == 1
+        assert s["outputs"] == 1
+
+    def test_chain_connectivity(self, fig4_graph):
+        g = fig4_graph.graph
+        first, second = g.kernels
+        assert g.downstream_instances(first) == [second]
+        assert g.downstream_instances(second) == []
+
+    def test_input_feeds_first_kernel(self, fig4_graph):
+        g = fig4_graph.graph
+        in_net = g.net(g.inputs[0].net_id)
+        assert [ep.instance_idx for ep in in_net.consumers] == [0]
+        assert in_net.producers == ()
+
+    def test_instance_names(self, fig4_graph):
+        g = fig4_graph.graph
+        assert [k.instance_name for k in g.kernels] == \
+            ["doubler_kernel_0", "doubler_kernel_1"]
+
+
+class TestDecoratorForms:
+    def test_bare_decorator(self):
+        @make_compute_graph
+        def g(a: IoC[int32]):
+            c = IoConnector(int32)
+            doubler_kernel(a, c)
+            return c
+
+        assert isinstance(g, CompiledGraph)
+        assert g.name == "g"
+
+    def test_named_decorator(self):
+        @make_compute_graph(name="custom")
+        def g2(a: IoC[int32]):
+            c = IoConnector(int32)
+            doubler_kernel(a, c)
+            return c
+
+        assert g2.name == "custom"
+
+    def test_functional_form(self):
+        def builder(a: IoC[int32]):
+            c = IoConnector(int32)
+            doubler_kernel(a, c)
+            return c
+
+        g = build_compute_graph(builder, name="fn_form")
+        assert g.name == "fn_form"
+
+    def test_extract_mark(self):
+        @extract_compute_graph
+        @make_compute_graph
+        def marked(a: IoC[int32]):
+            c = IoConnector(int32)
+            doubler_kernel(a, c)
+            return c
+
+        assert marked.extract_marked
+
+    def test_extract_mark_rejects_non_graph(self):
+        with pytest.raises(GraphBuildError):
+            extract_compute_graph(42)
+
+
+class TestBindings:
+    def test_keyword_binding(self):
+        @make_compute_graph
+        def g(a: IoC[float32], b: IoC[float32]):
+            c = IoConnector(float32)
+            adder_kernel(out=c, in1=a, in2=b)
+            return c
+
+        assert g.graph.stats()["kernels"] == 1
+
+    def test_missing_port(self):
+        with pytest.raises(GraphBuildError, match="not connected"):
+            @make_compute_graph
+            def g(a: IoC[float32]):
+                adder_kernel(a)
+
+    def test_double_binding(self):
+        with pytest.raises(GraphBuildError, match="bound twice"):
+            @make_compute_graph
+            def g(a: IoC[float32], b: IoC[float32]):
+                c = IoConnector(float32)
+                adder_kernel(a, b, c, out=c)
+
+    def test_too_many_positional(self):
+        with pytest.raises(GraphBuildError, match="positional"):
+            @make_compute_graph
+            def g(a: IoC[float32], b: IoC[float32]):
+                c = IoConnector(float32)
+                adder_kernel(a, b, c, c)
+
+    def test_unknown_keyword(self):
+        with pytest.raises(GraphBuildError, match="no port"):
+            @make_compute_graph
+            def g(a: IoC[float32], b: IoC[float32]):
+                c = IoConnector(float32)
+                adder_kernel(a, b, bogus=c)
+
+    def test_non_connector_argument(self):
+        with pytest.raises(GraphBuildError, match="IoConnector"):
+            @make_compute_graph
+            def g(a: IoC[float32], b: IoC[float32]):
+                adder_kernel(a, b, 42)
+
+    def test_instance_naming(self):
+        @make_compute_graph
+        def g(a: IoC[int32]):
+            b = IoConnector(int32)
+            c = IoConnector(int32)
+            doubler_kernel(a, b).named("front")
+            doubler_kernel(b, c)
+            return c
+
+        names = [k.instance_name for k in g.graph.kernels]
+        assert names == ["front", "doubler_kernel_1"]
+
+    def test_invalid_instance_name(self):
+        with pytest.raises(GraphBuildError):
+            @make_compute_graph
+            def g(a: IoC[int32]):
+                b = IoConnector(int32)
+                doubler_kernel(a, b).named("")
+                return b
+
+
+class TestTypeChecking:
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(PortTypeError, match="mismatch"):
+            @make_compute_graph
+            def g(a: IoC[int32]):
+                c = IoConnector(float32)
+                doubler_kernel(a, c)  # doubler writes int32
+                return c
+
+    def test_untyped_connector_inferred(self):
+        @make_compute_graph
+        def g(a: IoC[int32]):
+            c = IoConnector()  # dtype inferred from kernel port
+            doubler_kernel(a, c)
+            return c
+
+        assert g.graph.nets[-1].dtype is int32
+
+    def test_input_annotation_required(self):
+        with pytest.raises(GraphBuildError, match="IoC"):
+            @make_compute_graph
+            def g(a):
+                return None
+
+
+class TestStructuralValidation:
+    def test_dangling_consumer_rejected(self):
+        with pytest.raises(GraphBuildError, match="no\\s+producer"):
+            @make_compute_graph
+            def g(a: IoC[int32]):
+                dangling = IoConnector(int32)
+                out = IoConnector(int32)
+                adder_like = doubler_kernel  # reads dangling
+                adder_like(dangling, out)
+                return out
+
+    def test_output_without_producer_rejected(self):
+        with pytest.raises(GraphBuildError, match="output.*no producer"):
+            @make_compute_graph
+            def g(a: IoC[int32]):
+                orphan = IoConnector(int32)
+                b = IoConnector(int32)
+                doubler_kernel(a, b)
+                return orphan
+
+    def test_unused_connector_warns(self):
+        @make_compute_graph
+        def g(a: IoC[int32]):
+            IoConnector(int32, name="unused")
+            b = IoConnector(int32)
+            doubler_kernel(a, b)
+            return b
+
+        assert any("never used" in w for w in g.warnings)
+
+    def test_dropped_data_warns(self):
+        @make_compute_graph
+        def g(a: IoC[int32]):
+            dropped = IoConnector(int32, name="dropped")
+            b = IoConnector(int32)
+            doubler_kernel(a, dropped)
+            doubler_kernel(a, b)
+            return b
+
+        assert any("dropped" in w for w in g.warnings)
+
+    def test_bad_return_type(self):
+        with pytest.raises(GraphBuildError, match="return"):
+            @make_compute_graph
+            def g(a: IoC[int32]):
+                b = IoConnector(int32)
+                doubler_kernel(a, b)
+                return 42
+
+    def test_bad_return_sequence_member(self):
+        with pytest.raises(GraphBuildError, match="return"):
+            @make_compute_graph
+            def g(a: IoC[int32]):
+                b = IoConnector(int32)
+                doubler_kernel(a, b)
+                return (b, 17)
+
+
+class TestSettingsPropagation:
+    def test_settings_merge_onto_net(self):
+        @compute_kernel(realm=AIE)
+        async def beat_writer(i: In[int32], o: Out[int32, PortSettings(beat_bytes=8)]):
+            while True:
+                await o.put(await i.get())
+
+        @compute_kernel(realm=AIE)
+        async def beat_reader(i: In[int32, PortSettings(beat_bytes=8)], o: Out[int32]):
+            while True:
+                await o.put(await i.get())
+
+        @make_compute_graph
+        def g(a: IoC[int32]):
+            m = IoConnector(int32, name="m")
+            z = IoConnector(int32)
+            beat_writer(a, m)
+            beat_reader(m, z)
+            return z
+
+        net = next(n for n in g.graph.nets if n.name == "m")
+        assert net.settings.beat_bytes == 8
+
+    def test_incompatible_settings_build_error(self):
+        @compute_kernel(realm=AIE)
+        async def w4(i: In[int32], o: Out[int32, PortSettings(beat_bytes=4)]):
+            while True:
+                await o.put(await i.get())
+
+        @compute_kernel(realm=AIE)
+        async def r8(i: In[int32, PortSettings(beat_bytes=8)], o: Out[int32]):
+            while True:
+                await o.put(await i.get())
+
+        with pytest.raises(PortSettingsError):
+            @make_compute_graph
+            def g(a: IoC[int32]):
+                m = IoConnector(int32)
+                z = IoConnector(int32)
+                w4(a, m)
+                r8(m, z)
+                return z
+
+
+class TestBuildContext:
+    def test_connector_outside_context(self):
+        with pytest.raises(BuildContextError):
+            IoConnector(int32)
+
+    def test_no_nested_builds(self):
+        with pytest.raises(BuildContextError, match="nested"):
+            @make_compute_graph
+            def outer(a: IoC[int32]):
+                @make_compute_graph
+                def inner(x: IoC[int32]):
+                    return None
+                return None
+
+    def test_context_cleared_after_error(self):
+        with pytest.raises(GraphBuildError):
+            @make_compute_graph
+            def bad(a: IoC[int32]):
+                adder_kernel(a)  # wrong arity
+
+        # A subsequent build must work.
+        @make_compute_graph
+        def ok(a: IoC[int32]):
+            b = IoConnector(int32)
+            doubler_kernel(a, b)
+            return b
+
+        assert ok.graph.stats()["kernels"] == 1
+
+
+class TestBroadcastMerge:
+    def test_broadcast_net(self, broadcast_graph):
+        g = broadcast_graph.graph
+        mid = next(n for n in g.nets if n.name == "mid")
+        assert mid.is_broadcast and not mid.is_merge
+        assert len(mid.consumers) == 2
+
+    def test_merge_net(self):
+        @make_compute_graph
+        def g(a: IoC[int32], b: IoC[int32]):
+            m = IoConnector(int32, name="m")
+            out = IoConnector(int32)
+            doubler_kernel(a, m)
+            doubler_kernel(b, m)  # second producer: implicit merge
+            doubler_kernel(m, out)
+            return out
+
+        m = next(n for n in g.graph.nets if n.name == "m")
+        assert m.is_merge and len(m.producers) == 2

@@ -1,0 +1,83 @@
+"""IoConnector attributes and validation (§3.4)."""
+
+import pytest
+
+from repro.core import IoC, IoConnector, int32, make_compute_graph
+from repro.core.connectors import validate_attrs
+from repro.errors import AttributeValueError, BuildContextError, PortTypeError
+from conftest import doubler_kernel
+
+
+class TestAttrValidation:
+    def test_string_and_int_values(self):
+        attrs = validate_attrs({"plio_name": "in0", "width": 64})
+        assert attrs == {"plio_name": "in0", "width": 64}
+
+    def test_rejects_float(self):
+        with pytest.raises(AttributeValueError):
+            validate_attrs({"x": 1.5})
+
+    def test_rejects_bool(self):
+        with pytest.raises(AttributeValueError):
+            validate_attrs({"x": True})
+
+    def test_rejects_non_string_key(self):
+        with pytest.raises(AttributeValueError):
+            validate_attrs({42: "x"})
+
+    def test_rejects_none(self):
+        with pytest.raises(AttributeValueError):
+            validate_attrs({"x": None})
+
+
+class TestConnectorApi:
+    def test_attrs_travel_to_net(self):
+        @make_compute_graph
+        def g(a: IoC[int32]):
+            b = IoConnector(int32, name="b", attrs={"mode": "pp"})
+            b.set_attr("depth", 4).set_attrs(plio_name="out0")
+            doubler_kernel(a, b)
+            return b
+
+        net = next(n for n in g.graph.nets if n.name == "b")
+        assert net.attrs == {"mode": "pp", "depth": 4, "plio_name": "out0"}
+
+    def test_bad_attr_at_creation(self):
+        with pytest.raises(AttributeValueError):
+            @make_compute_graph
+            def g(a: IoC[int32]):
+                IoConnector(int32, attrs={"x": 2.5})
+
+    def test_outside_context_rejected(self):
+        with pytest.raises(BuildContextError):
+            IoConnector(int32)
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(PortTypeError):
+            @make_compute_graph
+            def g(a: IoC[int32]):
+                IoConnector("float")
+
+    def test_auto_names_unique(self):
+        @make_compute_graph
+        def g(a: IoC[int32]):
+            x = IoConnector(int32)
+            y = IoConnector(int32)
+            doubler_kernel(a, x)
+            doubler_kernel(x, y)
+            return y
+
+        names = [n.name for n in g.graph.nets]
+        assert len(set(names)) == len(names)
+
+    def test_ioc_annotation_requires_dtype(self):
+        with pytest.raises(PortTypeError):
+            IoC[3]
+
+    def test_repr(self):
+        @make_compute_graph
+        def g(a: IoC[int32]):
+            b = IoConnector(int32, name="mid")
+            doubler_kernel(a, b)
+            assert "mid" in repr(b) and "int32" in repr(b)
+            return b

@@ -1,0 +1,151 @@
+"""Stream type system: registry, validation, C++ names, zero values."""
+
+import numpy as np
+import pytest
+
+from repro.core import dtypes as dt
+from repro.errors import SerializationError, StreamTypeError
+
+
+class TestRegistry:
+    def test_builtin_types_registered(self):
+        for t in (dt.float32, dt.int16, dt.cint16):
+            assert dt.dtype_by_key(t.key) is t
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(SerializationError, match="unknown stream type"):
+            dt.dtype_by_key("ScalarType:nonexistent")
+
+    def test_reregistration_is_idempotent(self):
+        t1 = dt.Vec(dt.float32, 8)
+        t2 = dt.Vec(dt.float32, 8)
+        assert t1 is t2
+
+    def test_conflicting_registration_rejected(self):
+        bad = dt.ScalarType("float32", "double", 8, np.float64)
+        with pytest.raises(SerializationError, match="already registered"):
+            dt.register_dtype(bad)
+
+    def test_key_includes_kind(self):
+        assert dt.float32.key.startswith("ScalarType:")
+        assert dt.Window(dt.float32, 4).key.startswith("WindowType:")
+
+
+class TestScalar:
+    def test_validate_converts(self):
+        v = dt.float32.validate(3)
+        assert v == np.float32(3.0)
+        assert isinstance(v, np.float32)
+
+    def test_validate_rejects_bool(self):
+        with pytest.raises(StreamTypeError):
+            dt.int32.validate(True)
+
+    def test_validate_rejects_garbage(self):
+        with pytest.raises(StreamTypeError):
+            dt.float32.validate("not a number")
+
+    def test_zero(self):
+        assert dt.int16.zero() == 0
+        assert isinstance(dt.int16.zero(), np.int16)
+
+    def test_cpp_names(self):
+        assert dt.float32.cpp_name == "float"
+        assert dt.int16.cpp_name == "int16_t"
+        assert dt.uint8.cpp_name == "uint8_t"
+
+    def test_nbytes(self):
+        assert dt.float64.nbytes == 8
+        assert dt.int8.nbytes == 1
+
+
+class TestComplexInt:
+    def test_validate_complex(self):
+        v = dt.cint16.validate(3 + 4j)
+        assert v == np.complex128(3 + 4j)
+
+    def test_validate_pair(self):
+        assert dt.cint16.validate((1, -2)) == np.complex128(1 - 2j)
+
+    def test_range_check(self):
+        with pytest.raises(StreamTypeError, match="out of range"):
+            dt.cint16.validate(40000 + 0j)
+        dt.cint32.validate(40000 + 0j)  # wider type accepts it
+
+    def test_rejects_non_complex(self):
+        with pytest.raises(StreamTypeError):
+            dt.cint16.validate("hi")
+
+    def test_nbytes(self):
+        assert dt.cint16.nbytes == 4
+        assert dt.cint32.nbytes == 8
+
+
+class TestVector:
+    def test_validate_shape(self):
+        t = dt.Vec(dt.float32, 8)
+        v = t.validate(np.arange(8))
+        assert v.dtype == np.float32
+        with pytest.raises(StreamTypeError):
+            t.validate(np.arange(4))
+
+    def test_zero(self):
+        t = dt.Vec(dt.int16, 16)
+        z = t.zero()
+        assert z.shape == (16,) and z.dtype == np.int16 and not z.any()
+
+    def test_cpp_name(self):
+        assert dt.Vec(dt.float32, 8).cpp_name == "aie::vector<float, 8>"
+
+    def test_nbytes(self):
+        assert dt.Vec(dt.int16, 32).nbytes == 64
+
+
+class TestWindow:
+    def test_validate_block(self):
+        t = dt.Window(dt.float32, 16)
+        b = t.validate(np.zeros(16))
+        assert b.shape == (16,)
+        with pytest.raises(StreamTypeError):
+            t.validate(np.zeros(8))
+
+    def test_complex_window(self):
+        t = dt.Window(dt.cint16, 4)
+        b = t.validate(np.zeros(4, dtype=np.complex128))
+        assert b.dtype == np.complex128
+
+    def test_zero(self):
+        assert dt.Window(dt.int32, 5).zero().shape == (5,)
+
+    def test_nbytes_is_whole_block(self):
+        assert dt.Window(dt.cint16, 1024).nbytes == 4096
+
+
+class TestStruct:
+    def test_roundtrip(self):
+        t = dt.Struct("sample_t", {"x": dt.float32, "n": dt.int32})
+        v = t.validate({"x": 1.5, "n": 7})
+        assert v["x"] == np.float32(1.5)
+        assert v["n"] == np.int32(7)
+
+    def test_missing_field(self):
+        t = dt.Struct("pair_t", {"a": dt.int16, "b": dt.int16})
+        with pytest.raises(StreamTypeError, match="missing fields"):
+            t.validate({"a": 1})
+
+    def test_rejects_non_mapping(self):
+        t = dt.Struct("one_t", {"a": dt.int16})
+        with pytest.raises(StreamTypeError):
+            t.validate(42)
+
+    def test_zero(self):
+        t = dt.Struct("z_t", {"a": dt.int16, "b": dt.float32})
+        assert t.zero() == {"a": 0, "b": 0.0}
+
+    def test_nbytes_sums_fields(self):
+        t = dt.Struct("sz_t", {"a": dt.int16, "b": dt.float64})
+        assert t.nbytes == 10
+
+    def test_cpp_name_is_struct_name(self):
+        t = dt.Struct("my_struct", {"a": dt.int32})
+        assert t.cpp_name == "my_struct"

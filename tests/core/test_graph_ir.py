@@ -1,0 +1,76 @@
+"""ComputeGraph IR helpers: lookups, adjacency, networkx export."""
+
+import pytest
+
+from repro.errors import GraphBuildError
+
+
+class TestLookups:
+    def test_net_lookup(self, fig4_graph):
+        g = fig4_graph.graph
+        for net in g.nets:
+            assert g.net(net.net_id) is net
+
+    def test_unknown_net(self, fig4_graph):
+        with pytest.raises(GraphBuildError):
+            fig4_graph.graph.net(999)
+
+    def test_instances_of(self, fig4_graph):
+        g = fig4_graph.graph
+        kc = g.kernels[0].kernel
+        assert len(g.instances_of(kc)) == 2
+
+    def test_endpoint_spec(self, fig4_graph):
+        g = fig4_graph.graph
+        net = g.net(g.kernels[0].port_nets[1])  # first kernel's output
+        spec = g.endpoint_spec(net.producers[0])
+        assert spec.is_output
+
+    def test_producers_consumers_of_net(self, fig4_graph):
+        g = fig4_graph.graph
+        mid = next(n for n in g.nets if n.name == "b")
+        prods = g.producers_of_net(mid.net_id)
+        cons = g.consumers_of_net(mid.net_id)
+        assert len(prods) == 1 and len(cons) == 1
+        assert prods[0][0].index == 0 and cons[0][0].index == 1
+
+    def test_io_net_ids(self, broadcast_graph):
+        g = broadcast_graph.graph
+        assert len(g.input_net_ids()) == 1
+        assert len(g.output_net_ids()) == 2
+
+    def test_realms_property(self, mixed_realm_graph):
+        g = mixed_realm_graph.graph
+        assert [r.name for r in g.realms] == ["aie", "noextract"]
+
+
+class TestNetworkx:
+    def test_export_nodes(self, broadcast_graph):
+        nx_graph = broadcast_graph.graph.to_networkx()
+        kinds = [n[0] for n in nx_graph.nodes]
+        assert kinds.count("k") == 3
+        assert kinds.count("in") == 1
+        assert kinds.count("out") == 2
+
+    def test_export_edges_carry_net_ids(self, fig4_graph):
+        nx_graph = fig4_graph.graph.to_networkx()
+        for _u, _v, data in nx_graph.edges(data=True):
+            assert "net" in data and "dtype" in data
+
+    def test_chain_is_dag(self, fig4_graph):
+        import networkx as nx
+
+        g = fig4_graph.graph.to_networkx()
+        assert nx.is_directed_acyclic_graph(g)
+
+
+class TestStatsRepr:
+    def test_stats_counts(self, broadcast_graph):
+        s = broadcast_graph.graph.stats()
+        assert s == {
+            "kernels": 3, "nets": 4, "inputs": 1, "outputs": 2,
+            "broadcasts": 1, "merges": 0, "realms": 1,
+        }
+
+    def test_repr(self, fig4_graph):
+        assert "fig4" in repr(fig4_graph.graph)

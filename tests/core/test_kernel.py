@@ -1,0 +1,150 @@
+"""Kernel definition: the compute_kernel decorator and registry (§3.3)."""
+
+import pytest
+
+from repro.core import (
+    AIE,
+    In,
+    KernelClass,
+    NOEXTRACT,
+    Out,
+    PortSettings,
+    Realm,
+    compute_kernel,
+    float32,
+    int32,
+    kernel_by_key,
+    kernel_registry,
+    realm_by_name,
+)
+from repro.errors import GraphBuildError
+
+
+@compute_kernel(realm=AIE)
+async def sample_kernel(a: In[float32], b: Out[float32]):
+    """A sample."""
+    while True:
+        await b.put(await a.get())
+
+
+class TestDecorator:
+    def test_returns_kernel_class(self):
+        assert isinstance(sample_kernel, KernelClass)
+        assert sample_kernel.name == "sample_kernel"
+        assert sample_kernel.realm is AIE
+
+    def test_port_specs_from_annotations(self):
+        specs = sample_kernel.port_specs
+        assert [s.name for s in specs] == ["a", "b"]
+        assert specs[0].is_input and specs[1].is_output
+        assert specs[0].dtype is float32
+        assert specs[0].index == 0 and specs[1].index == 1
+
+    def test_read_write_port_views(self):
+        assert len(sample_kernel.read_ports) == 1
+        assert len(sample_kernel.write_ports) == 1
+
+    def test_port_by_name(self):
+        assert sample_kernel.port_by_name("a").is_input
+        with pytest.raises(GraphBuildError):
+            sample_kernel.port_by_name("zz")
+
+    def test_docstring_preserved(self):
+        assert sample_kernel.__doc__ == "A sample."
+
+    def test_registry_key_and_lookup(self):
+        key = sample_kernel.registry_key
+        assert key.endswith(":sample_kernel")
+        assert kernel_by_key(key) is sample_kernel
+        assert key in kernel_registry()
+
+    def test_unknown_key(self):
+        with pytest.raises(GraphBuildError, match="unknown kernel"):
+            kernel_by_key("nope:nope")
+
+    def test_settings_in_signature(self):
+        @compute_kernel(realm=AIE)
+        async def rtp_k(x: In[int32, PortSettings(runtime_parameter=True)],
+                        y: Out[int32]):
+            while True:
+                await y.put(await x.get())
+
+        assert rtp_k.port_specs[0].settings.runtime_parameter
+
+
+class TestDecoratorValidation:
+    def test_rejects_sync_function(self):
+        with pytest.raises(GraphBuildError, match="async def"):
+            @compute_kernel(realm=AIE)
+            def not_async(a: In[float32]):
+                pass
+
+    def test_rejects_missing_annotation(self):
+        with pytest.raises(GraphBuildError, match="annotated"):
+            @compute_kernel(realm=AIE)
+            async def missing(a):
+                pass
+
+    def test_rejects_no_ports(self):
+        with pytest.raises(GraphBuildError, match="at least one"):
+            @compute_kernel(realm=AIE)
+            async def portless():
+                pass
+
+    def test_rejects_kwargs_ports(self):
+        with pytest.raises(GraphBuildError, match="positional"):
+            @compute_kernel(realm=AIE)
+            async def kw_only(*, a: In[float32] = None):
+                pass
+
+    def test_rejects_bare_decorator(self):
+        with pytest.raises(GraphBuildError, match="called with arguments"):
+            compute_kernel(lambda: None)
+
+    def test_call_outside_build_context(self):
+        with pytest.raises(Exception, match="outside"):
+            sample_kernel(None, None)
+
+
+class TestRealms:
+    def test_builtin_realms(self):
+        assert AIE.extractable
+        assert not NOEXTRACT.extractable
+
+    def test_realm_by_name_known(self):
+        assert realm_by_name("aie") is AIE
+
+    def test_realm_by_name_custom(self):
+        r = realm_by_name("hls_custom_test")
+        assert isinstance(r, Realm)
+        assert r.extractable
+        assert realm_by_name("hls_custom_test") is r
+
+    def test_str(self):
+        assert str(AIE) == "aie"
+
+
+class TestInstantiate:
+    def test_wrong_port_count(self):
+        with pytest.raises(GraphBuildError, match="expects 2 ports"):
+            sample_kernel.instantiate([])
+
+    def test_wrong_port_type(self):
+        from repro.core import BroadcastQueue, KernelWritePort
+
+        q = BroadcastQueue(4, 1)
+        wr = KernelWritePort(sample_kernel.port_specs[1], q)
+        with pytest.raises(GraphBuildError, match="KernelReadPort"):
+            sample_kernel.instantiate([wr, wr])
+
+    def test_creates_coroutine(self):
+        from repro.core import BroadcastQueue, KernelReadPort, KernelWritePort
+
+        q1 = BroadcastQueue(4, 1)
+        q2 = BroadcastQueue(4, 1)
+        coro = sample_kernel.instantiate([
+            KernelReadPort(sample_kernel.port_specs[0], q1, 0),
+            KernelWritePort(sample_kernel.port_specs[1], q2),
+        ])
+        assert hasattr(coro, "send")
+        coro.close()

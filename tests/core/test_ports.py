@@ -1,0 +1,91 @@
+"""Port declarations, settings merging, and annotation helpers."""
+
+import pytest
+
+from repro.core import (
+    In,
+    Out,
+    PortDirection,
+    PortSettings,
+    float32,
+    int16,
+    merge_settings,
+)
+from repro.core.ports import _PortAnnotation
+from repro.errors import PortSettingsError
+
+
+class TestAnnotations:
+    def test_in_subscription(self):
+        ann = In[float32]
+        assert isinstance(ann, _PortAnnotation)
+        assert ann.direction is PortDirection.READ
+        assert ann.dtype is float32
+
+    def test_out_subscription(self):
+        assert Out[int16].direction is PortDirection.WRITE
+
+    def test_settings_in_subscription(self):
+        ann = In[float32, PortSettings(runtime_parameter=True)]
+        assert ann.settings.runtime_parameter
+
+    def test_call_form(self):
+        ann = Out(float32, beat_bytes=8)
+        assert ann.settings.beat_bytes == 8
+
+    def test_rejects_non_dtype(self):
+        with pytest.raises(TypeError):
+            In[42]
+
+    def test_rejects_unknown_extra(self):
+        with pytest.raises(TypeError):
+            In[float32, "bogus"]
+
+
+class TestSettingsMerge:
+    def test_defaults_merge(self):
+        s = merge_settings(PortSettings(), PortSettings())
+        assert s == PortSettings()
+
+    def test_wildcard_none(self):
+        a = PortSettings(beat_bytes=4)
+        b = PortSettings()
+        assert merge_settings(a, b).beat_bytes == 4
+        assert merge_settings(b, a).beat_bytes == 4
+
+    def test_matching_values(self):
+        a = PortSettings(beat_bytes=8, depth=16)
+        assert merge_settings(a, a) == a
+
+    def test_beat_conflict(self):
+        with pytest.raises(PortSettingsError, match="beat size"):
+            merge_settings(PortSettings(beat_bytes=4),
+                           PortSettings(beat_bytes=8))
+
+    def test_depth_conflict(self):
+        with pytest.raises(PortSettingsError, match="FIFO depth"):
+            merge_settings(PortSettings(depth=2), PortSettings(depth=4))
+
+    def test_rtp_flag_must_match(self):
+        with pytest.raises(PortSettingsError, match="runtime-parameter"):
+            merge_settings(PortSettings(runtime_parameter=True),
+                           PortSettings(runtime_parameter=False))
+
+    def test_where_in_message(self):
+        with pytest.raises(PortSettingsError, match="on connector 'x'"):
+            merge_settings(PortSettings(beat_bytes=4),
+                           PortSettings(beat_bytes=8),
+                           where=" on connector 'x'")
+
+
+class TestSettingsTuple:
+    def test_roundtrip_default(self):
+        s = PortSettings()
+        assert PortSettings.from_tuple(s.as_tuple()) == s
+
+    def test_roundtrip_full(self):
+        s = PortSettings(runtime_parameter=True, beat_bytes=16, depth=32)
+        assert PortSettings.from_tuple(s.as_tuple()) == s
+
+    def test_none_encoding(self):
+        assert PortSettings().as_tuple() == (0, -1, -1)

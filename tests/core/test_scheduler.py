@@ -1,0 +1,203 @@
+"""Cooperative scheduler semantics (§3.8)."""
+
+import pytest
+
+from repro.core import BroadcastQueue, CooperativeScheduler, TaskState, sched_yield
+from repro.core.sources_sinks import queue_get, queue_put
+from repro.errors import GraphRuntimeError
+
+
+async def producer(q, items):
+    for x in items:
+        await queue_put(q, x)
+
+
+async def consumer(q, idx, out, n):
+    for _ in range(n):
+        out.append(await queue_get(q, idx))
+
+
+class TestBasicExecution:
+    def test_pipeline_runs_to_completion(self):
+        q = BroadcastQueue(capacity=2, n_consumers=1)
+        out = []
+        sched = CooperativeScheduler()
+        q.bind_scheduler(sched)
+        sched.spawn("p", producer(q, list(range(10))), "source")
+        sched.spawn("c", consumer(q, 0, out, 10), "sink")
+        stats = sched.run()
+        assert out == list(range(10))
+        assert stats.task_states == {"p": "finished", "c": "finished"}
+
+    def test_tiny_queue_forces_context_switches(self):
+        q = BroadcastQueue(capacity=1, n_consumers=1)
+        out = []
+        sched = CooperativeScheduler()
+        q.bind_scheduler(sched)
+        sched.spawn("p", producer(q, list(range(20))), "source")
+        sched.spawn("c", consumer(q, 0, out, 20), "sink")
+        stats = sched.run()
+        assert out == list(range(20))
+        assert stats.context_switches > 20  # real blocking happened
+
+    def test_fast_path_avoids_switches(self):
+        # Large queue: the producer finishes in one resume, the consumer
+        # drains in one resume: exactly 2 context switches.
+        q = BroadcastQueue(capacity=64, n_consumers=1)
+        out = []
+        sched = CooperativeScheduler()
+        q.bind_scheduler(sched)
+        sched.spawn("p", producer(q, list(range(32))), "source")
+        sched.spawn("c", consumer(q, 0, out, 32), "sink")
+        stats = sched.run()
+        assert out == list(range(32))
+        assert stats.context_switches == 2
+
+    def test_broadcast_two_consumers(self):
+        q = BroadcastQueue(capacity=2, n_consumers=2)
+        o1, o2 = [], []
+        sched = CooperativeScheduler()
+        q.bind_scheduler(sched)
+        sched.spawn("p", producer(q, [1, 2, 3]), "source")
+        sched.spawn("c1", consumer(q, 0, o1, 3), "sink")
+        sched.spawn("c2", consumer(q, 1, o2, 3), "sink")
+        sched.run()
+        assert o1 == [1, 2, 3] and o2 == [1, 2, 3]
+
+
+class TestTermination:
+    def test_blocked_reader_left_blocked(self):
+        """No explicit termination condition (§3.8, footnote 2): a
+        consumer wanting more data than produced simply stays blocked."""
+        q = BroadcastQueue(capacity=4, n_consumers=1)
+        out = []
+        sched = CooperativeScheduler()
+        q.bind_scheduler(sched)
+        sched.spawn("p", producer(q, [1]), "source")
+        sched.spawn("c", consumer(q, 0, out, 5), "sink")
+        stats = sched.run()
+        assert out == [1]
+        assert stats.task_states["c"] == "blocked-read"
+        assert stats.task_states["p"] == "finished"
+
+    def test_blocked_writer_detectable(self):
+        q = BroadcastQueue(capacity=1, n_consumers=1)
+        sched = CooperativeScheduler()
+        q.bind_scheduler(sched)
+        sched.spawn("p", producer(q, [1, 2, 3]), "source")
+        stats = sched.run()
+        assert stats.task_states["p"] == "blocked-write"
+        assert "blocked on write" in sched.describe_blockage()
+
+    def test_close_terminates_blocked(self):
+        q = BroadcastQueue(capacity=4, n_consumers=1)
+        sched = CooperativeScheduler()
+        q.bind_scheduler(sched)
+        sched.spawn("c", consumer(q, 0, [], 1), "sink")
+        sched.run()
+        sched.close()
+        assert sched.tasks[0].state is TaskState.CANCELLED
+
+
+class TestVoluntaryYield:
+    def test_sched_yield_interleaves(self):
+        order = []
+
+        async def loud(tag, n):
+            for i in range(n):
+                order.append(tag)
+                await sched_yield()
+
+        sched = CooperativeScheduler()
+        sched.spawn("a", loud("a", 3))
+        sched.spawn("b", loud("b", 3))
+        sched.run()
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+
+class TestFailureHandling:
+    def test_kernel_exception_propagates(self):
+        async def boom():
+            await sched_yield()
+            raise ValueError("kaboom")
+
+        sched = CooperativeScheduler()
+        sched.spawn("bad", boom())
+        with pytest.raises(GraphRuntimeError, match="kaboom"):
+            sched.run()
+        assert sched.tasks[0].state is TaskState.FAILED
+
+    def test_other_tasks_cancelled_on_failure(self):
+        async def boom():
+            raise RuntimeError("die")
+
+        async def patient(q):
+            await queue_get(q, 0)
+
+        q = BroadcastQueue(capacity=1, n_consumers=1)
+        sched = CooperativeScheduler()
+        q.bind_scheduler(sched)
+        sched.spawn("victim", patient(q))
+        sched.spawn("bad", boom())
+        with pytest.raises(GraphRuntimeError):
+            sched.run()
+        assert sched.tasks[0].state is TaskState.CANCELLED
+
+    def test_max_steps_guard(self):
+        async def spinner():
+            while True:
+                await sched_yield()
+
+        sched = CooperativeScheduler()
+        sched.spawn("spin", spinner())
+        with pytest.raises(GraphRuntimeError, match="max_steps"):
+            sched.run(max_steps=100)
+
+    def test_unknown_command_rejected(self):
+        class Weird:
+            def __await__(self):
+                yield ("nonsense", None, -1)
+
+        async def weird():
+            await Weird()
+
+        sched = CooperativeScheduler()
+        sched.spawn("w", weird())
+        with pytest.raises(GraphRuntimeError, match="unknown scheduler"):
+            sched.run()
+
+    def test_spawn_after_start_rejected(self):
+        sched = CooperativeScheduler()
+
+        async def nop():
+            return None
+
+        sched.spawn("x", nop())
+        sched.run()
+        with pytest.raises(GraphRuntimeError, match="spawn"):
+            sched.spawn("late", nop())
+
+
+class TestProfiling:
+    def test_profile_collects_times(self):
+        q = BroadcastQueue(capacity=2, n_consumers=1)
+        out = []
+        sched = CooperativeScheduler(profile=True)
+        q.bind_scheduler(sched)
+        sched.spawn("p", producer(q, list(range(100))), "source")
+        sched.spawn("c", consumer(q, 0, out, 100), "sink")
+        stats = sched.run()
+        assert stats.profiled
+        assert stats.kernel_time > 0
+        assert 0 < stats.kernel_fraction <= 1.0
+        assert set(stats.task_cpu_time) == {"p", "c"}
+
+    def test_unprofiled_fraction_is_nan(self):
+        sched = CooperativeScheduler()
+
+        async def nop():
+            return None
+
+        sched.spawn("x", nop())
+        stats = sched.run()
+        assert stats.kernel_fraction != stats.kernel_fraction  # NaN

@@ -1,0 +1,164 @@
+"""Flattening and reconstruction (§3.5–3.6), including JSON round trips."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FORMAT_VERSION, SerializedGraph, flatten_graph
+from repro.errors import SerializationError
+from conftest import (
+    build_adder_graph,
+    build_broadcast_graph,
+    build_fig4_graph,
+    build_rtp_graph,
+    build_window_graph,
+)
+
+ALL_BUILDERS = [build_adder_graph, build_fig4_graph, build_broadcast_graph,
+                build_rtp_graph, build_window_graph]
+
+
+class TestFlatForm:
+    def test_only_plain_data(self, fig4_graph):
+        sg = fig4_graph.serialized
+
+        def check(obj):
+            assert isinstance(obj, (str, int, tuple)), type(obj)
+            if isinstance(obj, tuple):
+                for x in obj:
+                    check(x)
+
+        for f in dataclasses.fields(sg):
+            if f.name in ("format_version", "name"):
+                continue
+            check(getattr(sg, f.name))
+
+    def test_kernel_table_keys(self, fig4_graph):
+        sg = fig4_graph.serialized
+        assert all(key.endswith("doubler_kernel")
+                   for key, _ in sg.kernel_table)
+
+    def test_index_based_references(self, fig4_graph):
+        sg = fig4_graph.serialized
+        net_ids = {row[0] for row in sg.net_table}
+        for bindings in sg.binding_table:
+            assert all(nid in net_ids for nid in bindings)
+
+    def test_format_version(self, fig4_graph):
+        assert fig4_graph.serialized.format_version == FORMAT_VERSION
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_roundtrip_structure(self, builder):
+        compiled = builder()
+        original = compiled.graph
+        rebuilt = compiled.serialized.deserialize()
+        assert rebuilt.stats() == original.stats()
+        assert [k.kernel.registry_key for k in rebuilt.kernels] == \
+            [k.kernel.registry_key for k in original.kernels]
+        for n1, n2 in zip(rebuilt.nets, original.nets):
+            assert n1.producers == n2.producers
+            assert n1.consumers == n2.consumers
+            assert n1.dtype == n2.dtype
+            assert n1.attrs == n2.attrs
+            assert n1.settings == n2.settings
+
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_json_roundtrip(self, builder):
+        sg = builder().serialized
+        again = SerializedGraph.from_json(sg.to_json())
+        assert again == sg
+
+    def test_json_roundtrip_preserves_attrs(self):
+        from repro.apps import bitonic
+
+        sg = bitonic.BITONIC_GRAPH.serialized
+        again = SerializedGraph.from_json(sg.to_json(indent=2))
+        assert again == sg
+
+    def test_callable_serialized_graph(self, adder_graph):
+        """§3.6: the serialized object's call operator runs the graph."""
+        out = []
+        report = adder_graph.serialized([1.0, 2.0], [3.0, 4.0], out)
+        assert out == [4.0, 6.0]
+        assert report.completed
+
+
+class TestTamperDetection:
+    def test_bad_version(self, fig4_graph):
+        sg = dataclasses.replace(fig4_graph.serialized, format_version=99)
+        with pytest.raises(SerializationError, match="format"):
+            sg.validate()
+
+    def test_binding_to_unknown_net(self, fig4_graph):
+        sg = fig4_graph.serialized
+        bad = dataclasses.replace(
+            sg, binding_table=tuple([(999,) * len(b)
+                                     for b in sg.binding_table])
+        )
+        with pytest.raises(SerializationError, match="unknown net"):
+            bad.validate()
+
+    def test_io_unknown_net(self, fig4_graph):
+        sg = fig4_graph.serialized
+        bad = dataclasses.replace(
+            sg, input_table=((999, "a", sg.input_table[0][2]),)
+        )
+        with pytest.raises(SerializationError, match="unknown net"):
+            bad.validate()
+
+    def test_duplicate_net_ids(self, fig4_graph):
+        sg = fig4_graph.serialized
+        bad = dataclasses.replace(
+            sg, net_table=sg.net_table + (sg.net_table[0],)
+        )
+        with pytest.raises(SerializationError, match="duplicate"):
+            bad.validate()
+
+    def test_table_length_mismatch(self, fig4_graph):
+        sg = fig4_graph.serialized
+        bad = dataclasses.replace(sg, binding_table=sg.binding_table[:-1])
+        with pytest.raises(SerializationError, match="length"):
+            bad.validate()
+
+    def test_unknown_kernel_key(self, fig4_graph):
+        sg = fig4_graph.serialized
+        bad = dataclasses.replace(
+            sg,
+            kernel_table=tuple(("ghost:ghost", n)
+                               for _, n in sg.kernel_table),
+        )
+        with pytest.raises(Exception, match="unknown kernel"):
+            bad.deserialize()
+
+    def test_dtype_mismatch_on_binding(self, fig4_graph, adder_graph):
+        # Splice adder bindings onto doubler kernels: dtypes disagree.
+        fig4 = fig4_graph.serialized
+        bad = dataclasses.replace(
+            fig4,
+            net_table=tuple(
+                (nid, name, adder_graph.serialized.net_table[0][2], st_, at)
+                for nid, name, _dk, st_, at in fig4.net_table
+            ),
+        )
+        with pytest.raises(SerializationError, match="dtype"):
+            bad.deserialize()
+
+    def test_malformed_json(self):
+        with pytest.raises(SerializationError, match="malformed"):
+            SerializedGraph.from_json("{not json")
+
+    def test_json_missing_field(self):
+        with pytest.raises(SerializationError, match="malformed"):
+            SerializedGraph.from_json('{"format_version": 3}')
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_property_json_roundtrip_any_builder(data):
+    builder = data.draw(st.sampled_from(ALL_BUILDERS))
+    sg = builder().serialized
+    assert SerializedGraph.from_json(sg.to_json()) == sg

@@ -1,0 +1,87 @@
+"""Global I/O adapters: sources, sinks, runtime parameters (§3.7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Window, float32, int16
+from repro.core.sources_sinks import (
+    ArraySinkCursor,
+    RuntimeParam,
+    iter_stream_values,
+)
+from repro.errors import IoBindingError, StreamTypeError
+
+WIN4 = Window(float32, 4)
+
+
+class TestIterStreamValues:
+    def test_scalar_list(self):
+        assert list(iter_stream_values(float32, [1, 2, 3])) == [1, 2, 3]
+
+    def test_scalar_validation(self):
+        vals = list(iter_stream_values(float32, [1], validate=True))
+        assert isinstance(vals[0], np.float32)
+
+    def test_window_flat_array_chunked(self):
+        blocks = list(iter_stream_values(WIN4, np.arange(8.0)))
+        assert len(blocks) == 2
+        assert np.array_equal(blocks[0], [0, 1, 2, 3])
+
+    def test_window_2d_rows(self):
+        blocks = list(iter_stream_values(WIN4, np.ones((3, 4))))
+        assert len(blocks) == 3
+
+    def test_window_misaligned(self):
+        with pytest.raises(IoBindingError):
+            list(iter_stream_values(WIN4, np.arange(6.0)))
+
+    def test_window_bad_2d_shape(self):
+        with pytest.raises(IoBindingError):
+            list(iter_stream_values(WIN4, np.ones((2, 5))))
+
+    def test_window_list_of_blocks(self):
+        blocks = list(iter_stream_values(
+            WIN4, [np.zeros(4), np.ones(4)], validate=True
+        ))
+        assert len(blocks) == 2
+
+    def test_generator_passthrough(self):
+        gen = (i * i for i in range(4))
+        assert list(iter_stream_values(int16, gen)) == [0, 1, 4, 9]
+
+
+class TestArraySinkCursor:
+    def test_scalar_fill(self):
+        arr = np.zeros(3, dtype=np.float32)
+        c = ArraySinkCursor(arr, float32)
+        for v in (1.0, 2.0, 3.0):
+            c.store(v)
+        assert list(arr) == [1.0, 2.0, 3.0]
+        assert c.items_stored == 3
+
+    def test_overflow_raises(self):
+        c = ArraySinkCursor(np.zeros(1, dtype=np.float32), float32)
+        c.store(1.0)
+        with pytest.raises(StreamTypeError, match="overflow"):
+            c.store(2.0)
+
+    def test_window_fill(self):
+        arr = np.zeros(8, dtype=np.float32)
+        c = ArraySinkCursor(arr, WIN4)
+        c.store(np.arange(4.0))
+        c.store(np.arange(4.0) + 10)
+        assert np.array_equal(arr, [0, 1, 2, 3, 10, 11, 12, 13])
+        assert c.capacity == 2
+
+    def test_window_misaligned_array(self):
+        with pytest.raises(IoBindingError):
+            ArraySinkCursor(np.zeros(6, dtype=np.float32), WIN4)
+
+
+class TestRuntimeParam:
+    def test_box(self):
+        p = RuntimeParam(7)
+        assert p.value == 7
+        p.value = 9
+        assert p.value == 9
+        assert "9" in repr(p)

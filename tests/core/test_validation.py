@@ -1,0 +1,90 @@
+"""Advisory whole-graph analyses."""
+
+from repro.core import (
+    IoC,
+    IoConnector,
+    check_graph,
+    find_kernel_cycles,
+    int32,
+    make_compute_graph,
+    realm_summary,
+)
+from conftest import doubler_kernel, host_logger_kernel
+
+
+def build_cycle_graph():
+    from repro.core import In, Out, compute_kernel, AIE
+
+    @compute_kernel(realm=AIE)
+    async def two_in(a: In[int32], b: In[int32], o: Out[int32]):
+        while True:
+            await o.put(await a.get() + await b.get())
+
+    @make_compute_graph(name="cyclic")
+    def g(a: IoC[int32]):
+        fb = IoConnector(int32, name="fb")
+        out = IoConnector(int32, name="out")
+        two_in(a, fb, out)
+        doubler_kernel(out, fb)
+        return out
+
+    return g
+
+
+class TestCycles:
+    def test_chain_has_no_cycles(self, fig4_graph):
+        assert find_kernel_cycles(fig4_graph.graph) == []
+
+    def test_feedback_detected(self):
+        g = build_cycle_graph()
+        cycles = find_kernel_cycles(g.graph)
+        assert len(cycles) == 1
+        assert sorted(cycles[0]) == [0, 1]
+
+    def test_cycle_issue_reported(self):
+        issues = check_graph(build_cycle_graph().graph)
+        assert any(i.code == "feedback-cycle" for i in issues)
+        assert any("stall" in str(i) for i in issues)
+
+
+class TestRealmSummary:
+    def test_counts(self, mixed_realm_graph):
+        assert realm_summary(mixed_realm_graph.graph) == {
+            "aie": 1, "noextract": 1,
+        }
+
+
+class TestIssues:
+    def test_clean_graph_no_warnings(self, fig4_graph):
+        issues = check_graph(fig4_graph.graph)
+        assert all(i.severity == "info" for i in issues)
+
+    def test_merge_broadcast_info(self):
+        @make_compute_graph(name="mb")
+        def g(a: IoC[int32], b: IoC[int32]):
+            m = IoConnector(int32, name="m")
+            o1 = IoConnector(int32)
+            o2 = IoConnector(int32)
+            doubler_kernel(a, m)
+            doubler_kernel(b, m)
+            doubler_kernel(m, o1)
+            doubler_kernel(m, o2)
+            return o1, o2
+
+        issues = check_graph(g.graph)
+        assert any(i.code == "merge-broadcast" for i in issues)
+
+    def test_wide_broadcast_info(self):
+        @make_compute_graph(name="wide")
+        def g(a: IoC[int32]):
+            mid = IoConnector(int32, name="mid")
+            doubler_kernel(a, mid)
+            outs = []
+            for _ in range(9):
+                o = IoConnector(int32)
+                doubler_kernel(mid, o)
+                outs.append(o)
+            return tuple(outs)
+
+        issues = check_graph(g.graph)
+        assert any(i.code == "wide-broadcast" for i in issues)

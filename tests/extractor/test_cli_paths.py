@@ -1,0 +1,86 @@
+"""Extractor CLI on filesystem paths (the paper's tool-invocation mode)."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.extractor.cli import build_parser, main
+
+PROTO = textwrap.dedent('''
+    from repro.core import (
+        AIE, In, IoC, IoConnector, Out, compute_kernel,
+        extract_compute_graph, int32, make_compute_graph,
+    )
+
+    @compute_kernel(realm=AIE)
+    async def twice(x: In[int32], y: Out[int32]):
+        while True:
+            await y.put(2 * (await x.get()))
+
+    @extract_compute_graph
+    @make_compute_graph(name="cli_graph")
+    def CLI_GRAPH(a: IoC[int32]):
+        o = IoConnector(int32, name="o")
+        twice(a, o)
+        return o
+
+    @extract_compute_graph
+    @make_compute_graph(name="second_graph")
+    def SECOND(a: IoC[int32]):
+        o = IoConnector(int32)
+        twice(a, o)
+        return o
+''')
+
+
+@pytest.fixture
+def proto_file(tmp_path):
+    p = tmp_path / "cli_proto.py"
+    p.write_text(PROTO)
+    return p
+
+
+class TestCliOnFiles:
+    def test_file_extraction(self, proto_file, tmp_path, capsys):
+        out = tmp_path / "gen"
+        rc = main([str(proto_file), "-o", str(out)])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "cli_graph" in stdout and "second_graph" in stdout
+        assert (out / "cli_graph" / "aie" / "graph.hpp").exists()
+        assert (out / "second_graph" / "aie" / "graph.hpp").exists()
+
+    def test_graph_filter_flag(self, proto_file, tmp_path):
+        out = tmp_path / "gen"
+        rc = main([str(proto_file), "-o", str(out),
+                   "--graph", "cli_graph"])
+        assert rc == 0
+        assert (out / "cli_graph").exists()
+        assert not (out / "second_graph").exists()
+
+    def test_unknown_graph_filter_errors(self, proto_file, tmp_path,
+                                         capsys):
+        rc = main([str(proto_file), "-o", str(tmp_path / "x"),
+                   "--graph", "ghost"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_report_json_valid(self, proto_file, tmp_path):
+        out = tmp_path / "gen"
+        main([str(proto_file), "-o", str(out), "-q"])
+        report = json.loads(
+            (out / "cli_graph" / "extraction_report.json").read_text()
+        )
+        assert report["kernels"]["aie"]["twice"] == "transpiled"
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        rc = main([str(tmp_path / "nope.py"), "-o", str(tmp_path)])
+        assert rc == 1
+
+    def test_parser_metadata(self):
+        parser = build_parser()
+        assert parser.prog == "cgsim-extract"
+        args = parser.parse_args(["mod", "-o", "d", "--graph", "g1",
+                                  "--graph", "g2"])
+        assert args.graphs == ["g1", "g2"]

@@ -1,0 +1,198 @@
+"""Co-extraction of referenced code (§4.6)."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.extractor.coextract import collect_free_names, coextract_kernel
+from repro.extractor.ingest import ingest_path
+
+MODULE = textwrap.dedent('''
+    """Module with helpers and constants for co-extraction tests."""
+    import numpy as np
+    import math
+    from repro.core import (
+        AIE, In, IoC, IoConnector, Out, compute_kernel,
+        extract_compute_graph, float32, make_compute_graph,
+    )
+    from repro.core.scheduler import sched_yield  # simulation-only helper
+
+    SCALE = 4
+    OFFSET = 1.5
+    TABLE = np.arange(8)
+
+    def helper_a(x):
+        return helper_b(x) * SCALE
+
+    def helper_b(x):
+        return x + OFFSET
+
+    def unused_helper(x):
+        return x
+
+    class SampleType:
+        pass
+
+    @compute_kernel(realm=AIE)
+    async def fancy(xs: In[float32], ys: Out[float32]):
+        while True:
+            v = await xs.get()
+            await ys.put(helper_a(v) + math.floor(OFFSET))
+
+    @extract_compute_graph
+    @make_compute_graph(name="fancy_graph")
+    def FANCY(a: IoC[float32]):
+        o = IoConnector(float32)
+        fancy(a, o)
+        return o
+''')
+
+
+@pytest.fixture
+def ingested(tmp_path):
+    p = tmp_path / "coex_mod.py"
+    p.write_text(MODULE)
+    return ingest_path(p)
+
+
+def _coextract(ingested, blacklist=()):
+    kernel = ingested.graphs[0].kernels()[0]
+    return coextract_kernel(kernel, ingested.tree, ingested.source_text,
+                            blacklist=blacklist)
+
+
+class TestFreeNames:
+    def test_collects_loads_not_stores(self):
+        tree = ast.parse(
+            "def f(a):\n    b = a + C\n    return b * D\n"
+        )
+        names = collect_free_names(tree)
+        assert "C" in names and "D" in names
+        assert "a" not in names and "b" not in names
+
+    def test_loop_targets_bound(self):
+        tree = ast.parse(
+            "def f():\n    for i in range(N):\n        x = i\n"
+        )
+        names = collect_free_names(tree)
+        assert "N" in names and "i" not in names
+
+    def test_order_preserved_unique(self):
+        tree = ast.parse("def f():\n    return A + B + A\n")
+        assert collect_free_names(tree) == ["A", "B"]
+
+    def test_lambda_params_bound(self):
+        tree = ast.parse("def f():\n    g = lambda q: q + Z\n")
+        names = collect_free_names(tree)
+        assert "Z" in names and "q" not in names
+
+
+class TestTransitiveExtraction:
+    def test_direct_helper_extracted(self, ingested):
+        coex = _coextract(ingested)
+        defs = "\n".join(coex.definitions)
+        assert "def helper_a" in defs
+
+    def test_transitive_helper_extracted(self, ingested):
+        coex = _coextract(ingested)
+        defs = "\n".join(coex.definitions)
+        assert "def helper_b" in defs  # only reachable via helper_a
+
+    def test_constants_extracted(self, ingested):
+        coex = _coextract(ingested)
+        defs = "\n".join(coex.definitions)
+        assert "SCALE = 4" in defs
+        assert "OFFSET = 1.5" in defs
+
+    def test_unused_not_extracted(self, ingested):
+        coex = _coextract(ingested)
+        defs = "\n".join(coex.definitions)
+        assert "unused_helper" not in defs
+        assert "TABLE" not in defs
+        assert "SampleType" not in defs
+
+    def test_imports_captured(self, ingested):
+        coex = _coextract(ingested)
+        assert any("import math" in imp for imp in coex.imports)
+
+    def test_original_order(self, ingested):
+        coex = _coextract(ingested)
+        defs = coex.definitions
+        # SCALE/OFFSET come before helper_a/helper_b in the file.
+        idx = {chunk.split()[0] if "=" in chunk else chunk.split()[1].split("(")[0]: i
+               for i, chunk in enumerate(defs)}
+        assert idx["SCALE"] < idx["helper_a"]
+
+    def test_render_is_compilable(self, ingested):
+        coex = _coextract(ingested)
+        compile(coex.render(), "<coex>", "exec")
+
+
+class TestBlacklist:
+    def test_blacklisted_module_dropped(self, ingested):
+        kernel = ingested.graphs[0].kernels()[0]
+        coex = coextract_kernel(kernel, ingested.tree,
+                                ingested.source_text,
+                                blacklist=("math",),
+                                extra_roots=("sched_yield",))
+        assert not any("import math" in i for i in coex.imports)
+        assert any("math" in b for b in coex.blacklisted)
+
+    def test_blacklist_prefix_matches_submodules(self, ingested):
+        kernel = ingested.graphs[0].kernels()[0]
+        coex = coextract_kernel(kernel, ingested.tree,
+                                ingested.source_text,
+                                blacklist=("repro.core",),
+                                extra_roots=("sched_yield",))
+        assert any("sched_yield" in b for b in coex.blacklisted)
+
+    def test_unresolved_reported(self, tmp_path):
+        src = textwrap.dedent('''
+            from repro.core import (
+                AIE, In, IoC, IoConnector, Out, compute_kernel,
+                extract_compute_graph, float32, make_compute_graph,
+            )
+
+            @compute_kernel(realm=AIE)
+            async def mystery(x: In[float32], y: Out[float32]):
+                while True:
+                    await y.put(eval("UNKNOWABLE") if False else
+                                (await x.get()))
+
+            @extract_compute_graph
+            @make_compute_graph(name="m")
+            def M(a: IoC[float32]):
+                o = IoConnector(float32)
+                mystery(a, o)
+                return o
+        ''')
+        p = tmp_path / "unres.py"
+        p.write_text(src)
+        ing = ingest_path(p)
+        kernel = ing.graphs[0].kernels()[0]
+        coex = coextract_kernel(kernel, ing.tree, ing.source_text)
+        # `eval` is a builtin -> resolved; nothing unresolved expected
+        assert coex.unresolved == []
+
+
+class TestAppKernels:
+    """Co-extraction on the real example apps."""
+
+    def test_farrow_pulls_tap_table(self):
+        from repro.extractor.kernel_extract import extract_kernel
+        from repro.apps.farrow import farrow_stage1
+
+        ext = extract_kernel(farrow_stage1)
+        defs = "\n".join(ext.coextraction.definitions)
+        assert "_TAP_REGS" in defs
+        assert "def _branch" in defs
+
+    def test_bitonic_kernel_is_self_contained(self):
+        from repro.extractor.kernel_extract import extract_kernel
+        from repro.apps.bitonic import bitonic16_kernel
+
+        ext = extract_kernel(bitonic16_kernel)
+        assert ext.coextraction.definitions == []
+        assert any("aieintr" in i or "aie" in i
+                   for i in ext.coextraction.imports)

@@ -1,0 +1,238 @@
+"""The HLS realm backend (the paper's §6 extension point, implemented)."""
+
+import textwrap
+
+import pytest
+
+from repro.extractor import extract_project
+
+HLS_PROTO = textwrap.dedent('''
+    """A mixed AIE + HLS prototype."""
+    from repro.core import (
+        AIE, HLS, In, IoC, IoConnector, Out, compute_kernel,
+        extract_compute_graph, float32, int32, make_compute_graph,
+    )
+
+    THRESHOLD = 100
+
+    @compute_kernel(realm=HLS)
+    async def pl_scale(x: In[int32], y: Out[int32]):
+        """Doubles values on the programmable logic."""
+        while True:
+            await y.put(2 * (await x.get()))
+
+    @compute_kernel(realm=HLS)
+    async def pl_clamp(x: In[int32], y: Out[int32]):
+        while True:
+            v = await x.get()
+            if v > THRESHOLD:
+                v = THRESHOLD
+            await y.put(v)
+
+    @compute_kernel(realm=AIE)
+    async def aie_offset(x: In[int32], y: Out[int32]):
+        while True:
+            await y.put(1 + (await x.get()))
+
+    @extract_compute_graph
+    @make_compute_graph(name="hybrid")
+    def HYBRID(a: IoC[int32]):
+        s = IoConnector(int32, name="s")
+        c = IoConnector(int32, name="c")
+        o = IoConnector(int32, name="o")
+        pl_scale(a, s)
+        pl_clamp(s, c)
+        aie_offset(c, o)
+        return o
+
+    @extract_compute_graph
+    @make_compute_graph(name="plonly")
+    def PLONLY(a: IoC[int32]):
+        m = IoConnector(int32, name="m")
+        z1 = IoConnector(int32, name="z1")
+        z2 = IoConnector(int32, name="z2")
+        pl_scale(a, m)
+        pl_clamp(m, z1)
+        pl_scale(m, z2)  # broadcast of m on the PL fabric
+        return z1, z2
+''')
+
+
+@pytest.fixture(scope="module")
+def hls_projects(tmp_path_factory):
+    d = tmp_path_factory.mktemp("hls")
+    src = d / "hls_proto.py"
+    src.write_text(HLS_PROTO)
+    return extract_project(src, out_dir=d / "out")
+
+
+class TestHybridGraph:
+    def test_both_realms_generated(self, hls_projects):
+        proj = hls_projects.project("hybrid")
+        assert "hls" in proj.realm_files
+        assert "aie" in proj.realm_files
+
+    def test_hls_files(self, hls_projects):
+        files = hls_projects.project("hybrid").realm_files["hls"]
+        assert set(files) == {"hls_kernels.hpp", "hls_kernels.cpp",
+                              "hybrid_top.cpp"}
+
+    def test_kernel_declarations(self, hls_projects):
+        hpp = hls_projects.project("hybrid").realm_files["hls"][
+            "hls_kernels.hpp"]
+        assert "#include <hls_stream.h>" in hpp
+        assert ("void pl_scale(hls::stream<int32_t>& x, "
+                "hls::stream<int32_t>& y);") in hpp
+        assert "aie_offset" not in hpp  # other realm stays out
+
+    def test_kernel_bodies_transpiled(self, hls_projects):
+        proj = hls_projects.project("hybrid")
+        cpp = proj.realm_files["hls"]["hls_kernels.cpp"]
+        assert "x.read()" in cpp
+        assert "y.write(" in cpp
+        assert "readincr" not in cpp  # ADF spellings never leak into HLS
+        assert proj.kernel_status["hls"] == {
+            "pl_scale": "transpiled", "pl_clamp": "transpiled",
+        }
+
+    def test_coextracted_constant(self, hls_projects):
+        cpp = hls_projects.project("hybrid").realm_files["hls"][
+            "hls_kernels.cpp"]
+        assert "static constexpr auto THRESHOLD = 100;" in cpp
+
+    def test_top_function(self, hls_projects):
+        top = hls_projects.project("hybrid").realm_files["hls"][
+            "hybrid_top.cpp"]
+        assert "void hybrid_hls_top(" in top
+        assert "#pragma HLS DATAFLOW" in top
+        # boundary nets a (input) and c (to the AIE realm) are arguments
+        assert "hls::stream<int32_t>& a" in top
+        assert "hls::stream<int32_t>& c" in top
+        # the intra-realm net s is a local channel
+        assert 'hls::stream<int32_t> s("s");' in top
+        assert "#pragma HLS STREAM variable=s" in top
+        assert "pl_scale(a, s);" in top
+        assert "pl_clamp(s, c);" in top
+
+    def test_inter_realm_net_classified(self, hls_projects):
+        from repro.extractor import NetClass
+
+        part = hls_projects.project("hybrid").partition
+        c_net = next(cn for cn in part.classified.values()
+                     if cn.net.name == "c")
+        assert c_net.net_class is NetClass.INTER_REALM
+        assert c_net.realms == ("aie", "hls")
+
+    def test_aie_side_still_generated(self, hls_projects):
+        aie = hls_projects.project("hybrid").realm_files["aie"]
+        assert "kernels/aie_offset.cc" in aie
+        assert "pl_scale" not in aie["kernel_decls.hpp"]
+
+
+class TestBroadcastOnPl:
+    def test_replicator_emitted(self, hls_projects):
+        top = hls_projects.project("plonly").realm_files["hls"][
+            "plonly_top.cpp"]
+        # net m has two consumers: an explicit broadcast function exists
+        assert "cgsim_hls_broadcast2_int32" in top
+        assert "m_c0" in top and "m_c1" in top
+
+    def test_consumers_read_their_leg(self, hls_projects):
+        top = hls_projects.project("plonly").realm_files["hls"][
+            "plonly_top.cpp"]
+        assert "pl_clamp(m_c0, z1);" in top
+        assert "pl_scale(m_c1, z2);" in top
+
+    def test_axis_interface_pragmas(self, hls_projects):
+        top = hls_projects.project("plonly").realm_files["hls"][
+            "plonly_top.cpp"]
+        assert "#pragma HLS INTERFACE axis port=a" in top
+        assert "#pragma HLS INTERFACE axis port=z1" in top
+
+
+class TestHlsGraphStillRuns:
+    """HLS-realm kernels are ordinary cgsim kernels: the prototype
+    simulates on the workstation exactly like AIE-realm graphs."""
+
+    def test_functional(self, hls_projects, tmp_path):
+        # Re-ingest to get the compiled graphs and run them.
+        import importlib
+
+        mod_name = hls_projects.module_name
+        import sys
+
+        mod = sys.modules[mod_name]
+        out = []
+        mod.HYBRID([1, 60, 80], out)
+        assert out == [1 + min(2 * v, 100) for v in (1, 60, 80)]
+
+
+TEMPLATE_PROTO = textwrap.dedent('''
+    from repro.core import (
+        AIE, In, IoC, IoConnector, Out, extract_compute_graph,
+        int32, kernel_template, make_compute_graph,
+    )
+
+    @kernel_template(realm=AIE)
+    def gain_t(K: int):
+        async def gain_k(x: In[int32], y: Out[int32]):
+            while True:
+                await y.put(K * (await x.get()))
+        return gain_k
+
+    G3 = gain_t.instantiate(K=3)
+    G7 = gain_t.instantiate(K=7)
+
+    @extract_compute_graph
+    @make_compute_graph(name="templated_chain")
+    def TCHAIN(a: IoC[int32]):
+        m = IoConnector(int32, name="m")
+        o = IoConnector(int32, name="o")
+        G3(a, m)
+        G7(m, o)
+        return o
+''')
+
+
+class TestTemplatedKernelExtraction:
+    """Template instantiations extract with their parameter bindings
+    materialised (the C++-template-argument analog)."""
+
+    @pytest.fixture(scope="class")
+    def project(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("tmpl")
+        src = d / "tmpl_proto.py"
+        src.write_text(TEMPLATE_PROTO)
+        res = extract_project(src, out_dir=d / "out")
+        return res.project("templated_chain")
+
+    def test_two_distinct_instantiations(self, project):
+        statuses = project.kernel_status["aie"]
+        assert len(statuses) == 2
+        assert all(s == "transpiled" for s in statuses.values())
+
+    def test_parameter_binding_in_cc(self, project):
+        files = project.realm_files["aie"]
+        ccs = [v for k, v in files.items() if k.startswith("kernels/")]
+        joined = "\n".join(ccs)
+        assert "static constexpr auto K = 3;" in joined
+        assert "static constexpr auto K = 7;" in joined
+
+    def test_mangled_function_names(self, project):
+        decls = project.realm_files["aie"]["kernel_decls.hpp"]
+        assert decls.count("void gain_t_K") == 2
+
+    def test_no_unresolved_template_params(self, project):
+        report = project.report()
+        assert not report["unresolved_names"].get("aie")
+
+    def test_generated_pysim_runs(self, project):
+        import importlib.util
+
+        path = project.output_dir / "pysim" / "graph_templated_chain.py"
+        spec = importlib.util.spec_from_file_location("gen_tmpl", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        out = []
+        mod.run([1, 2], out)
+        assert out == [21, 42]

@@ -1,0 +1,164 @@
+"""Graph ingestion (§4.2) and realm partitioning (§4.3)."""
+
+import textwrap
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.extractor import (
+    NetClass,
+    ingest_module,
+    ingest_path,
+    partition_graph,
+)
+
+PROTOTYPE = textwrap.dedent('''
+    """A little cgsim prototype used by ingestion tests."""
+    import numpy as np
+
+    from repro.core import (
+        AIE, NOEXTRACT, In, IoC, IoConnector, Out, compute_kernel,
+        extract_compute_graph, float32, make_compute_graph,
+    )
+
+    GAIN = 2.0
+
+    @compute_kernel(realm=AIE)
+    async def amp(x: In[float32], y: Out[float32]):
+        while True:
+            await y.put(GAIN * (await x.get()))
+
+    @compute_kernel(realm=NOEXTRACT)
+    async def tap(x: In[float32], y: Out[float32]):
+        while True:
+            await y.put(await x.get())
+
+    @extract_compute_graph
+    @make_compute_graph(name="amp_graph")
+    def AMP_GRAPH(a: IoC[float32]):
+        m = IoConnector(float32, name="m")
+        o = IoConnector(float32, name="o")
+        amp(a, m)
+        tap(m, o)
+        return o
+
+    @make_compute_graph(name="unmarked")
+    def UNMARKED(a: IoC[float32]):
+        o = IoConnector(float32)
+        amp(a, o)
+        return o
+''')
+
+
+@pytest.fixture
+def prototype_path(tmp_path):
+    p = tmp_path / "proto_mod.py"
+    p.write_text(PROTOTYPE)
+    return p
+
+
+class TestIngestPath:
+    def test_finds_marked_graphs_only(self, prototype_path):
+        ing = ingest_path(prototype_path)
+        assert [g.name for g in ing.graphs] == ["amp_graph"]
+        assert ing.graphs[0].variable_name == "AMP_GRAPH"
+
+    def test_source_artifacts(self, prototype_path):
+        ing = ingest_path(prototype_path)
+        assert "async def amp" in ing.source_text
+        assert ing.tree is not None
+
+    def test_graph_kernels(self, prototype_path):
+        ing = ingest_path(prototype_path)
+        kernels = ing.graphs[0].kernels()
+        assert sorted(k.name for k in kernels) == ["amp", "tap"]
+
+    def test_graph_by_name(self, prototype_path):
+        ing = ingest_path(prototype_path)
+        assert ing.graph_by_name("amp_graph") is ing.graphs[0]
+        assert ing.graph_by_name("AMP_GRAPH") is ing.graphs[0]
+        with pytest.raises(ExtractionError):
+            ing.graph_by_name("ghost")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExtractionError, match="no such"):
+            ingest_path(tmp_path / "nope.py")
+
+    def test_module_with_error(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("raise RuntimeError('boom')\n")
+        with pytest.raises(ExtractionError, match="boom"):
+            ingest_path(bad)
+
+    def test_module_without_marks(self, tmp_path):
+        p = tmp_path / "plain.py"
+        p.write_text("x = 1\n")
+        with pytest.raises(ExtractionError, match="no graphs"):
+            ingest_path(p)
+
+
+class TestIngestModule:
+    def test_by_dotted_name(self):
+        ing = ingest_module("repro.apps.bitonic")
+        assert [g.name for g in ing.graphs] == ["bitonic"]
+
+    def test_by_module_object(self):
+        from repro.apps import farrow
+
+        ing = ingest_module(farrow)
+        assert ing.graphs[0].name == "farrow"
+
+    def test_unknown_module(self):
+        with pytest.raises(ExtractionError, match="cannot import"):
+            ingest_module("totally.bogus.module")
+
+
+class TestPartition:
+    def test_two_realms(self, prototype_path):
+        ing = ingest_path(prototype_path)
+        part = partition_graph(ing.graphs[0].graph)
+        assert part.realm_names == ["aie", "noextract"]
+        assert len(part.subgraph("aie").instances) == 1
+        assert len(part.subgraph("noextract").instances) == 1
+
+    def test_net_classification(self, prototype_path):
+        ing = ingest_path(prototype_path)
+        part = partition_graph(ing.graphs[0].graph)
+        by_name = {c.net.name: c for c in part.classified.values()}
+        # a: global input, m: inter-realm, o: global output
+        assert by_name["a"].net_class is NetClass.GLOBAL
+        assert by_name["m"].net_class is NetClass.INTER_REALM
+        assert by_name["o"].net_class is NetClass.GLOBAL
+        assert by_name["a"].is_graph_input
+        assert by_name["o"].is_graph_output
+
+    def test_intra_realm_classification(self, fig4_graph):
+        part = partition_graph(fig4_graph.graph)
+        classes = [c.net_class for c in part.classified.values()]
+        assert classes.count(NetClass.INTRA_REALM) == 1  # the b net
+        assert classes.count(NetClass.GLOBAL) == 2
+
+    def test_boundary_vs_internal_nets(self, prototype_path):
+        ing = ingest_path(prototype_path)
+        part = partition_graph(ing.graphs[0].graph)
+        aie_sg = part.subgraph("aie")
+        assert not aie_sg.internal_nets
+        assert len(aie_sg.boundary_nets) == 2  # a (global) + m (inter)
+
+    def test_stats(self, prototype_path):
+        ing = ingest_path(prototype_path)
+        part = partition_graph(ing.graphs[0].graph)
+        assert part.stats() == {"realms": 2, "intra": 0, "inter": 1,
+                                "global": 2}
+
+    def test_unknown_realm_lookup(self, fig4_graph):
+        part = partition_graph(fig4_graph.graph)
+        with pytest.raises(ExtractionError, match="no kernels in realm"):
+            part.subgraph("hls")
+
+    def test_multi_realm_inter_net_realms_tuple(self, mixed_realm_graph):
+        part = partition_graph(mixed_realm_graph.graph)
+        inter = [c for c in part.classified.values()
+                 if c.net_class is NetClass.INTER_REALM]
+        assert len(inter) == 1
+        assert inter[0].realms == ("aie", "noextract")

@@ -1,0 +1,242 @@
+"""The restricted Python→C++ kernel transpiler."""
+
+import pytest
+
+from repro.core import (
+    AIE,
+    In,
+    Out,
+    PortSettings,
+    Window,
+    cint16,
+    compute_kernel,
+    float32,
+    int32,
+)
+from repro.errors import UnsupportedConstructError
+from repro.extractor.codegen.kernel_cpp import (
+    cpp_port_parameter,
+    transpile_constant,
+    transpile_kernel,
+)
+from repro.extractor.kernel_extract import extract_kernel
+
+
+def transpile(kernel):
+    return transpile_kernel(extract_kernel(kernel))
+
+
+class TestPortParameters:
+    def test_stream_ports(self):
+        from conftest import adder_kernel
+
+        specs = adder_kernel.port_specs
+        assert cpp_port_parameter(specs[0]) == "input_stream<float>* in1"
+        assert cpp_port_parameter(specs[2]) == "output_stream<float>* out"
+
+    def test_window_ports(self):
+        from conftest import window_negate_kernel
+
+        specs = window_negate_kernel.port_specs
+        assert cpp_port_parameter(specs[0]) == "adf::input_buffer<float>& x"
+        assert cpp_port_parameter(specs[1]) == "adf::output_buffer<float>& y"
+
+    def test_rtp_port(self):
+        from conftest import scale_kernel
+
+        spec = scale_kernel.port_specs[1]
+        assert cpp_port_parameter(spec) == "int32_t factor"
+
+    def test_cint16_stream(self):
+        @compute_kernel(realm=AIE)
+        async def cplx(a: In[cint16], b: Out[cint16]):
+            while True:
+                await b.put(await a.get())
+
+        assert "input_stream<cint16>*" in cpp_port_parameter(
+            cplx.port_specs[0]
+        )
+
+
+class TestConstants:
+    def test_int_constant(self):
+        assert transpile_constant("LANES = 8") == \
+            "static constexpr auto LANES = 8;"
+
+    def test_float_constant(self):
+        assert "1.5" in transpile_constant("X = 1.5")
+
+    def test_table_rejected(self):
+        assert transpile_constant("T = np.arange(4)") is None
+
+    def test_function_rejected(self):
+        assert transpile_constant("def f():\n    pass") is None
+
+    def test_tuple_target_rejected(self):
+        assert transpile_constant("a, b = 1, 2") is None
+
+
+class TestTranspilableKernels:
+    def test_bitonic_transpiles(self):
+        from repro.apps.bitonic import bitonic16_kernel
+
+        cpp = transpile(bitonic16_kernel)
+        assert "void bitonic16_kernel(input_stream<float>* inp" in cpp
+        assert "while (true)" in cpp
+        assert "readincr(inp)" in cpp
+        assert "writeincr(out," in cpp
+        assert "aie::zeros<float, 16>()" in cpp
+        assert "cgsim::push(v, x)" in cpp
+        assert "await" not in cpp
+
+    def test_bilinear_transpiles(self):
+        from repro.apps.bilinear import bilinear_kernel
+
+        cpp = transpile(bilinear_kernel)
+        assert "void bilinear_kernel(" in cpp
+        assert "aie::broadcast<float, LANES>" in cpp
+        assert "(float)(1.0)" in cpp
+        assert cpp.count("readincr") >= 3
+
+    def test_docstring_becomes_comment(self):
+        from repro.apps.bitonic import bitonic16_kernel
+
+        cpp = transpile(bitonic16_kernel)
+        assert "// Sort each run of 16" in cpp
+
+    def test_control_flow_constructs(self):
+        @compute_kernel(realm=AIE)
+        async def controlly(a: In[int32], o: Out[int32]):
+            while True:
+                x = await a.get()
+                if x > 0:
+                    x = x * 2
+                else:
+                    x = -x
+                for i in range(2, 10, 2):
+                    x = x + i
+                await o.put(x)
+
+        cpp = transpile(controlly)
+        assert "if ((x > 0))" in cpp
+        assert "} else {" in cpp
+        assert "for (int i = 2; i < 10; i += 2)" in cpp
+        assert "(-x)" in cpp
+
+    def test_augassign_and_break(self):
+        @compute_kernel(realm=AIE)
+        async def augy(a: In[int32], o: Out[int32]):
+            while True:
+                x = await a.get()
+                n = 0
+                while True:
+                    n += 1
+                    if n > 3:
+                        break
+                await o.put(x + n)
+
+        cpp = transpile(augy)
+        assert "n += 1;" in cpp
+        assert "break;" in cpp
+
+    def test_reassignment_no_redeclare(self):
+        @compute_kernel(realm=AIE)
+        async def reassign(a: In[int32], o: Out[int32]):
+            while True:
+                x = await a.get()
+                x = x + 1
+                await o.put(x)
+
+        cpp = transpile(reassign)
+        assert cpp.count("auto x =") == 1
+        assert "x = (x + 1);" in cpp
+
+    def test_rtp_read_is_parameter(self):
+        from conftest import scale_kernel
+
+        cpp = transpile(scale_kernel)
+        # RTP get() compiles to the parameter itself
+        assert "auto k = factor;" in cpp
+
+
+class TestUnsupportedConstructs:
+    def _expect_unsupported(self, kernel, pattern):
+        with pytest.raises(UnsupportedConstructError, match=pattern):
+            transpile(kernel)
+
+    def test_numpy_calls_rejected(self):
+        from repro.apps.iir import iir_sos_kernel
+
+        with pytest.raises(UnsupportedConstructError):
+            transpile(iir_sos_kernel)
+
+    def test_farrow_rejected(self):
+        from repro.apps.farrow import farrow_stage1
+
+        with pytest.raises(UnsupportedConstructError):
+            transpile(farrow_stage1)
+
+    def test_tuple_assignment(self):
+        @compute_kernel(realm=AIE)
+        async def tupley(a: In[int32], o: Out[int32]):
+            while True:
+                x, y = await a.get(), 2
+                await o.put(x + y)
+
+        self._expect_unsupported(tupley, "assignment")
+
+    def test_non_range_for(self):
+        @compute_kernel(realm=AIE)
+        async def fory(a: In[int32], o: Out[int32]):
+            while True:
+                for x in [1, 2]:
+                    await o.put(x + await a.get())
+
+        self._expect_unsupported(fory, "range")
+
+    def test_keyword_call(self):
+        @compute_kernel(realm=AIE)
+        async def kwy(a: In[int32], o: Out[int32]):
+            while True:
+                v = aie.zeros(lanes=4)  # noqa: F821
+                await o.put(await a.get())
+
+        self._expect_unsupported(kwy, "keyword")
+
+    def test_return_value(self):
+        @compute_kernel(realm=AIE)
+        async def returny(a: In[int32], o: Out[int32]):
+            x = await a.get()
+            await o.put(x)
+            return x
+
+        self._expect_unsupported(returny, "return")
+
+    def test_error_carries_lineno(self):
+        @compute_kernel(realm=AIE)
+        async def liney(a: In[int32], o: Out[int32]):
+            while True:
+                x = {1: 2}  # dict literal unsupported
+                await o.put(await a.get())
+
+        with pytest.raises(UnsupportedConstructError) as ei:
+            transpile(liney)
+        assert ei.value.lineno is not None
+
+
+class TestGeneratedCodeQuality:
+    def test_balanced_braces(self):
+        from repro.apps.bitonic import bitonic16_kernel
+
+        cpp = transpile(bitonic16_kernel)
+        assert cpp.count("{") == cpp.count("}")
+
+    def test_statements_terminated(self):
+        from repro.apps.bilinear import bilinear_kernel
+
+        cpp = transpile(bilinear_kernel)
+        for line in cpp.splitlines():
+            s = line.strip()
+            if s and not s.startswith(("/", "void", "for", "while", "if",
+                                       "}", "{")):
+                assert s.endswith((";", "{")), line

@@ -1,0 +1,266 @@
+"""Project assembly, ADF graph codegen, DOT rendering, pysim backend, CLI."""
+
+import importlib.util
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ExtractionError
+from repro.extractor import extract_project
+from repro.extractor.cli import main as cli_main
+from repro.extractor.codegen.dot import graph_to_dot
+
+
+@pytest.fixture(scope="module")
+def bitonic_project(tmp_path_factory):
+    out = tmp_path_factory.mktemp("xtract")
+    res = extract_project("repro.apps.bitonic", out_dir=out)
+    return res.project("bitonic")
+
+
+@pytest.fixture(scope="module")
+def farrow_project(tmp_path_factory):
+    out = tmp_path_factory.mktemp("xtract_farrow")
+    res = extract_project("repro.apps.farrow", out_dir=out)
+    return res.project("farrow")
+
+
+class TestProjectLayout:
+    def test_files_on_disk(self, bitonic_project):
+        base = bitonic_project.output_dir
+        for rel in ("serialized.json", "graph.dot",
+                    "extraction_report.json",
+                    "aie/graph.hpp", "aie/kernel_decls.hpp",
+                    "aie/cgsim_aie_compat.hpp",
+                    "aie/kernels/bitonic16_kernel.cc",
+                    "pysim/graph_bitonic.py"):
+            assert (base / rel).exists(), rel
+
+    def test_report_contents(self, bitonic_project):
+        report = json.loads(
+            (bitonic_project.output_dir / "extraction_report.json")
+            .read_text()
+        )
+        assert report["graph"] == "bitonic"
+        assert report["realms"] == ["aie"]
+        assert report["kernels"]["aie"]["bitonic16_kernel"] == "transpiled"
+        assert report["net_classes"]["global"] == 2
+
+    def test_serialized_json_loadable(self, bitonic_project):
+        from repro.core import SerializedGraph
+
+        sg = SerializedGraph.from_json(
+            (bitonic_project.output_dir / "serialized.json").read_text()
+        )
+        assert sg.name == "bitonic"
+
+    def test_manual_port_status_for_numpy_kernels(self, farrow_project):
+        statuses = farrow_project.kernel_status["aie"]
+        assert all(v.startswith("manual-port") for v in statuses.values())
+        cc = farrow_project.realm_files["aie"]["kernels/farrow_stage1.cc"]
+        assert "TODO: manual port" in cc
+        assert "Original cgsim kernel source" in cc
+
+    def test_noextract_realm_produces_no_files(self, tmp_path):
+        src = tmp_path / "mixed_proto.py"
+        src.write_text(
+            "from repro.core import (AIE, NOEXTRACT, In, IoC, IoConnector,\n"
+            "    Out, compute_kernel, extract_compute_graph, float32,\n"
+            "    make_compute_graph)\n"
+            "\n"
+            "@compute_kernel(realm=AIE)\n"
+            "async def dev(a: In[float32], b: Out[float32]):\n"
+            "    while True:\n"
+            "        await b.put(await a.get())\n"
+            "\n"
+            "@compute_kernel(realm=NOEXTRACT)\n"
+            "async def host(a: In[float32], b: Out[float32]):\n"
+            "    while True:\n"
+            "        await b.put(await a.get())\n"
+            "\n"
+            "@extract_compute_graph\n"
+            "@make_compute_graph(name='mixed')\n"
+            "def MIXED(a: IoC[float32]):\n"
+            "    m = IoConnector(float32)\n"
+            "    o = IoConnector(float32)\n"
+            "    dev(a, m)\n"
+            "    host(m, o)\n"
+            "    return o\n"
+        )
+        res = extract_project(src, out_dir=tmp_path / "out")
+        proj = res.project("mixed")
+        assert "noextract" not in proj.realm_files
+        assert "aie" in proj.realm_files
+        # host kernel sources never reach the generated project
+        aie_all = "".join(proj.realm_files["aie"].values())
+        assert "async def host" not in aie_all
+
+    def test_graph_filter(self, tmp_path):
+        res = extract_project("repro.apps.bitonic", graphs=["bitonic"])
+        assert len(res.projects) == 1
+        with pytest.raises(ExtractionError, match="none of the requested"):
+            extract_project("repro.apps.bitonic", graphs=["ghost"])
+
+    def test_project_lookup_missing(self, bitonic_project):
+        from repro.extractor.project import ExtractionResult
+
+        res = ExtractionResult(module_name="x",
+                               projects=[bitonic_project])
+        with pytest.raises(ExtractionError):
+            res.project("nope")
+
+
+class TestAdfGraphHpp:
+    def test_bitonic_graph_hpp(self, bitonic_project):
+        hpp = bitonic_project.realm_files["aie"]["graph.hpp"]
+        assert "class bitonic_graph : public adf::graph" in hpp
+        assert "adf::input_port samples;" in hpp
+        assert "adf::output_port sorted;" in hpp
+        assert "adf::kernel::create(bitonic16_kernel)" in hpp
+        assert 'adf::source(bitonic16_kernel_0) = ' \
+            '"kernels/bitonic16_kernel.cc";' in hpp
+        assert "adf::connect<adf::stream>(samples, " \
+            "bitonic16_kernel_0.in[0]);" in hpp
+
+    def test_farrow_graph_hpp_transports(self, farrow_project):
+        hpp = farrow_project.realm_files["aie"]["graph.hpp"]
+        assert "adf::connect<adf::window<4096>>" in hpp
+        assert "adf::connect<adf::window<8192>>" in hpp
+        assert "adf::connect<adf::parameter>(mu, " \
+            "adf::async(farrow_stage1_0.in[1]));" in hpp
+
+    def test_attributes_emitted_as_comments(self, farrow_project):
+        hpp = farrow_project.realm_files["aie"]["graph.hpp"]
+        assert "buffer_mode='ping_pong'" in hpp
+        assert "plio_name='farrow_out'" in hpp
+
+    def test_kernel_decls(self, farrow_project):
+        decls = farrow_project.realm_files["aie"]["kernel_decls.hpp"]
+        assert "void farrow_stage1(adf::input_buffer<cint16>& x_in, " \
+            "int32_t mu, adf::output_buffer<int32_t>& acc_out, " \
+            "adf::output_buffer<cint16>& x_fwd);" in decls
+        assert "#pragma once" in decls
+
+    def test_compat_header_present(self, bitonic_project):
+        compat = bitonic_project.realm_files["aie"]["cgsim_aie_compat.hpp"]
+        assert "namespace cgsim" in compat
+        assert "bitonic_sort_vector" in compat
+
+
+class TestDot:
+    def test_dot_structure(self, farrow_project):
+        dot = farrow_project.dot
+        assert dot.startswith('digraph "farrow"')
+        assert dot.count("shape=box") == 2
+        assert "style=dashed" in dot      # RTP net
+        assert "penwidth=2" in dot        # window nets
+        assert dot.strip().endswith("}")
+
+    def test_broadcast_hub(self, broadcast_graph):
+        dot = graph_to_dot(broadcast_graph.graph)
+        assert "shape=point" in dot  # fan-out hub like Figure 4
+
+    def test_realm_colors(self, mixed_realm_graph):
+        dot = graph_to_dot(mixed_realm_graph.graph)
+        assert "#a7c7e7" in dot  # aie
+        assert "#d3d3d3" in dot  # noextract
+
+
+class TestPysimBackend:
+    def test_generated_module_runs(self, bitonic_project):
+        from repro.apps import bitonic, datasets
+
+        path = bitonic_project.output_dir / "pysim" / "graph_bitonic.py"
+        spec = importlib.util.spec_from_file_location("gen_bit", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+
+        blocks = datasets.bitonic_blocks(3)
+        out = []
+        report = mod.run(blocks.reshape(-1), out)
+        assert report.completed
+        got = np.asarray(out, np.float32).reshape(blocks.shape)
+        assert np.array_equal(got, bitonic.reference(blocks))
+
+    def test_generated_module_simulates(self, bitonic_project):
+        path = bitonic_project.output_dir / "pysim" / "graph_bitonic.py"
+        spec = importlib.util.spec_from_file_location("gen_bit2", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        rep = mod.simulate(mode="thunk", n_blocks=3)
+        assert rep.block_interval_ns > 0
+
+    def test_extracted_kernel_sources_embedded(self, bitonic_project):
+        path = bitonic_project.output_dir / "pysim" / "graph_bitonic.py"
+        text = path.read_text()
+        assert "EXTRACTED_KERNELS" in text
+        assert "def bitonic16_kernel" in text
+        assert "await" not in text.split("EXTRACTED_KERNELS")[1]
+
+
+class TestCli:
+    def test_cli_end_to_end(self, tmp_path, capsys):
+        rc = cli_main(["repro.apps.bitonic", "-o", str(tmp_path / "out")])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "bitonic16_kernel: transpiled" in captured
+        assert (tmp_path / "out" / "bitonic" / "aie" / "graph.hpp").exists()
+
+    def test_cli_quiet(self, tmp_path, capsys):
+        rc = cli_main(["repro.apps.iir", "-o", str(tmp_path / "o2"), "-q"])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+
+    def test_cli_error_path(self, tmp_path, capsys):
+        rc = cli_main(["no.such.module", "-o", str(tmp_path)])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestMultiInstanceCodegen:
+    """Two instances of one kernel: one .cc file, two ADF instances."""
+
+    PROTO = (
+        "from repro.core import (AIE, In, IoC, IoConnector, Out,\n"
+        "    compute_kernel, extract_compute_graph, int32,\n"
+        "    make_compute_graph)\n"
+        "\n"
+        "@compute_kernel(realm=AIE)\n"
+        "async def dbl(x: In[int32], y: Out[int32]):\n"
+        "    while True:\n"
+        "        await y.put(2 * (await x.get()))\n"
+        "\n"
+        "@extract_compute_graph\n"
+        "@make_compute_graph(name='twins')\n"
+        "def TWINS(a: IoC[int32]):\n"
+        "    b = IoConnector(int32, name='b')\n"
+        "    c = IoConnector(int32, name='c')\n"
+        "    dbl(a, b)\n"
+        "    dbl(b, c)\n"
+        "    return c\n"
+    )
+
+    @pytest.fixture(scope="class")
+    def twins(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("twins")
+        (d / "twins_proto.py").write_text(self.PROTO)
+        res = extract_project(d / "twins_proto.py", out_dir=d / "out")
+        return res.project("twins")
+
+    def test_single_kernel_file(self, twins):
+        ccs = [f for f in twins.realm_files["aie"] if f.endswith(".cc")]
+        assert ccs == ["kernels/dbl.cc"]
+
+    def test_two_adf_instances(self, twins):
+        hpp = twins.realm_files["aie"]["graph.hpp"]
+        assert "adf::kernel dbl_0;" in hpp
+        assert "adf::kernel dbl_1;" in hpp
+        assert hpp.count('adf::source') == 2
+        # intra-realm connection between the two instances
+        assert "adf::connect<adf::stream>(dbl_0.out[0], dbl_1.in[0]);" \
+            in hpp
+
+    def test_single_declaration(self, twins):
+        decls = twins.realm_files["aie"]["kernel_decls.hpp"]
+        assert decls.count("void dbl(") == 1

@@ -1,0 +1,117 @@
+"""Property-based tests over the source transformations.
+
+Random restricted-subset kernels are generated as source text; the
+transforms must always produce compilable synchronous code with all
+awaits removed and semantics preserved under a mini-interpreter.
+"""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extractor.transforms import (
+    signature_stub,
+    synchronous_definition,
+)
+
+# -- random kernel-source generation ----------------------------------------
+
+_exprs = st.deferred(lambda: st.one_of(
+    st.just("await a.get()"),
+    st.integers(-9, 9).map(str),
+    st.tuples(_exprs, st.sampled_from(["+", "-", "*"]), _exprs).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    ),
+))
+
+
+@st.composite
+def kernel_sources(draw):
+    body_exprs = draw(st.lists(_exprs, min_size=1, max_size=4))
+    lines = [
+        "@compute_kernel(realm=AIE)",
+        "async def gen_kernel(a: In[int32], o: Out[int32]):",
+        "    while True:",
+    ]
+    for i, e in enumerate(body_exprs):
+        lines.append(f"        v{i} = {e}")
+    total = " + ".join(f"v{i}" for i in range(len(body_exprs)))
+    lines.append(f"        await o.put({total})")
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=60, deadline=None)
+@given(src=kernel_sources())
+def test_property_awaits_always_removed(src):
+    out = synchronous_definition(src)
+    assert "await" not in out
+    assert "async" not in out
+    tree = ast.parse(out)
+    assert not any(isinstance(n, ast.Await) for n in ast.walk(tree))
+
+
+@settings(max_examples=60, deadline=None)
+@given(src=kernel_sources())
+def test_property_output_compiles(src):
+    compile(synchronous_definition(src), "<gen>", "exec")
+    compile(signature_stub(src), "<gen-stub>", "exec")
+
+
+@settings(max_examples=40, deadline=None)
+@given(src=kernel_sources())
+def test_property_expression_count_preserved(src):
+    """Stripping awaits keeps every get()/put() call in place."""
+    out = synchronous_definition(src)
+    assert out.count("a.get()") == src.count("await a.get()")
+    assert out.count("o.put(") == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(src=kernel_sources())
+def test_property_semantics_preserved(src):
+    """Mini-interpretation: run the synchronous body with fake ports and
+    compare against direct evaluation of the source's expressions."""
+    out = synchronous_definition(src)
+    tree = ast.parse(out)
+    fn = tree.body[0]
+
+    class FakeIn:
+        def __init__(self, values):
+            self.values = list(values)
+
+        def get(self):
+            return self.values.pop(0)
+
+    class FakeOut:
+        def __init__(self):
+            self.items = []
+
+        def put(self, v):
+            self.items.append(v)
+            if len(self.items) >= 2:
+                raise StopIteration  # break the while-True loop
+
+    n_gets = src.count("await a.get()") * 2 + 4
+    fake_a = FakeIn(range(1, n_gets + 1))
+    fake_o = FakeOut()
+    # Port annotations evaluate at def time; supply the real objects.
+    from repro.core import In, Out, int32
+
+    ns = {"In": In, "Out": Out, "int32": int32}
+    exec(compile(tree, "<gen>", "exec"), ns)
+    try:
+        ns["gen_kernel"](fake_a, fake_o)
+    except (StopIteration, IndexError):
+        pass
+    assert fake_o.items, "kernel produced nothing"
+    # Reference: evaluate the same expressions against a fresh counter.
+    ref_a = FakeIn(range(1, n_gets + 1))
+    ref_env = {"a": ref_a}
+    body_lines = [l.strip() for l in src.splitlines()
+                  if l.strip().startswith("v")]
+    for line in body_lines:
+        name, expr = line.split(" = ", 1)
+        ref_env[name] = eval(expr.replace("await ", ""), {}, ref_env)
+    total = sum(v for k, v in ref_env.items() if k.startswith("v"))
+    assert fake_o.items[0] == total

@@ -1,0 +1,122 @@
+"""Standard source transformations (§4.4)."""
+
+import ast
+
+import pytest
+
+from repro.errors import KernelSourceError
+from repro.extractor.transforms import (
+    AsyncToSync,
+    RemoveAwait,
+    StripDecorators,
+    parse_function,
+    signature_stub,
+    synchronous_definition,
+)
+
+KERNEL_SRC = '''\
+@compute_kernel(realm=AIE)
+async def adder(in1: In[float32], in2: In[float32], out: Out[float32]):
+    """Adds two streams."""
+    while True:
+        val = (await in1.get()) + (await in2.get())
+        await out.put(val)
+'''
+
+
+class TestRemoveAwait:
+    def test_awaits_removed(self):
+        out = synchronous_definition(KERNEL_SRC)
+        assert "await" not in out
+        assert "in1.get()" in out and "out.put(val)" in out
+
+    def test_expression_structure_preserved(self):
+        out = synchronous_definition(KERNEL_SRC)
+        tree = ast.parse(out)
+        assign = tree.body[0].body[1].body[0]
+        assert isinstance(assign, ast.Assign)
+        assert isinstance(assign.value, ast.BinOp)
+
+    def test_nested_awaits(self):
+        src = (
+            "async def k(a: In[float32], o: Out[float32]):\n"
+            "    await o.put(await a.get() * (await a.get()))\n"
+        )
+        out = synchronous_definition(src)
+        assert "await" not in out
+        assert out.count("a.get()") == 2
+
+
+class TestAsyncToSync:
+    def test_def_lowered(self):
+        out = synchronous_definition(KERNEL_SRC)
+        assert out.startswith("def adder(")
+        assert "async" not in out
+
+    def test_async_for_rejected(self):
+        src = (
+            "async def k(a: In[float32]):\n"
+            "    async for x in a:\n"
+            "        pass\n"
+        )
+        tree = parse_function(src)
+        with pytest.raises(KernelSourceError):
+            AsyncToSync().visit(tree)
+
+    def test_async_with_rejected(self):
+        src = (
+            "async def k(a: In[float32]):\n"
+            "    async with a:\n"
+            "        pass\n"
+        )
+        tree = parse_function(src)
+        with pytest.raises(KernelSourceError):
+            AsyncToSync().visit(tree)
+
+
+class TestStripDecorators:
+    def test_decorators_gone(self):
+        out = synchronous_definition(KERNEL_SRC)
+        assert "compute_kernel" not in out
+        assert "@" not in out
+
+
+class TestSignatureStub:
+    def test_declaration_keeps_signature(self):
+        decl = signature_stub(KERNEL_SRC)
+        assert "def adder(in1: In[float32], in2: In[float32], " \
+            "out: Out[float32])" in decl
+
+    def test_declaration_keeps_docstring(self):
+        decl = signature_stub(KERNEL_SRC)
+        assert "Adds two streams." in decl
+
+    def test_declaration_has_stub_body(self):
+        decl = signature_stub(KERNEL_SRC)
+        assert "while" not in decl
+        assert "..." in decl or "Ellipsis" in decl
+
+    def test_custom_placeholder(self):
+        decl = signature_stub(KERNEL_SRC, placeholder="raise NotImplementedError()")
+        assert "NotImplementedError" in decl
+
+    def test_declaration_compiles(self):
+        compile(signature_stub(KERNEL_SRC), "<decl>", "exec")
+
+
+class TestParsing:
+    def test_indented_source_accepted(self):
+        indented = "\n".join("    " + line for line in KERNEL_SRC.splitlines())
+        out = synchronous_definition(indented)
+        assert out.startswith("def adder(")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(KernelSourceError):
+            parse_function("def broken(:")
+
+    def test_two_functions_rejected_in_stub(self):
+        with pytest.raises(KernelSourceError):
+            signature_stub("def a():\n    pass\n\ndef b():\n    pass\n")
+
+    def test_definition_compiles(self):
+        compile(synchronous_definition(KERNEL_SRC), "<def>", "exec")

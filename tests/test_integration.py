@@ -1,0 +1,226 @@
+"""End-to-end integration tests across subsystems.
+
+The heavy hitter is the differential property test: random dataflow
+graphs (chains, diamonds, broadcasts, joins) must produce identical
+results under (a) the cooperative cgsim runtime, (b) the serialized
+JSON round trip, (c) the thread-per-kernel x86sim runner, and (d) the
+independent numpy reference evaluator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.testing import (
+    build_random_graph,
+    random_graph_spec,
+    reference_eval,
+)
+from repro.x86sim import run_threaded
+
+
+def _run_cgsim(graph, inputs, n_outputs, **opts):
+    sinks = [[] for _ in range(n_outputs)]
+    report = graph(*inputs, *sinks, **opts)
+    assert report.completed, report.stall_diagnosis
+    return [np.asarray(s, dtype=np.int64) for s in sinks]
+
+
+def _run_x86(graph, inputs, n_outputs):
+    sinks = [[] for _ in range(n_outputs)]
+    run_threaded(graph, *inputs, *sinks)
+    return [np.asarray(s, dtype=np.int64) for s in sinks]
+
+
+class TestRandomGraphHarness:
+    def test_spec_reproducible(self):
+        a = random_graph_spec(seed=5)
+        b = random_graph_spec(seed=5)
+        assert a == b
+
+    def test_spec_variety(self):
+        specs = {random_graph_spec(seed=s).nodes for s in range(10)}
+        assert len(specs) > 5
+
+    def test_build_produces_outputs(self):
+        spec = random_graph_spec(seed=0)
+        g = build_random_graph(spec)
+        assert len(g.graph.outputs) >= 1
+        assert len(g.graph.inputs) == spec.n_inputs
+
+    def test_reference_arity_check(self):
+        spec = random_graph_spec(seed=0, n_inputs=2)
+        with pytest.raises(ValueError):
+            reference_eval(spec, [np.arange(3)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       n_kernels=st.integers(1, 10),
+       n_items=st.integers(1, 40),
+       capacity=st.sampled_from([1, 2, 8, 64]))
+def test_property_cgsim_matches_reference(seed, n_kernels, n_items,
+                                          capacity):
+    spec = random_graph_spec(seed, n_kernels=n_kernels)
+    graph = build_random_graph(spec, name=f"rand{seed}")
+    rng = np.random.default_rng(seed + 1)
+    inputs = [rng.integers(-1000, 1000, size=n_items)
+              for _ in range(spec.n_inputs)]
+    expected = reference_eval(spec, inputs)
+    got = _run_cgsim(graph, inputs, len(expected), capacity=capacity)
+    for e, g in zip(expected, got):
+        assert np.array_equal(e, g)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_serialized_roundtrip_matches(seed):
+    from repro.core import SerializedGraph
+
+    spec = random_graph_spec(seed, n_kernels=6)
+    graph = build_random_graph(spec, name=f"rt{seed}")
+    rebuilt = SerializedGraph.from_json(graph.serialized.to_json())
+    rng = np.random.default_rng(seed)
+    inputs = [rng.integers(-99, 99, size=10)
+              for _ in range(spec.n_inputs)]
+    expected = reference_eval(spec, inputs)
+    sinks = [[] for _ in expected]
+    rebuilt(*inputs, *sinks)
+    for e, s in zip(expected, sinks):
+        assert np.array_equal(e, np.asarray(s, dtype=np.int64))
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11, 42, 97])
+def test_x86sim_matches_reference(seed):
+    spec = random_graph_spec(seed, n_kernels=7)
+    graph = build_random_graph(spec, name=f"x86r{seed}")
+    rng = np.random.default_rng(seed)
+    inputs = [rng.integers(-500, 500, size=25)
+              for _ in range(spec.n_inputs)]
+    expected = reference_eval(spec, inputs)
+    got = _run_x86(graph, inputs, len(expected))
+    for e, g in zip(expected, got):
+        assert np.array_equal(e, g)
+
+
+class TestExtractionRoundTrip:
+    """Write a fresh prototype module, extract it, run the generated
+    project, and confirm functional equivalence (Figure 2's right path
+    joined back to its left path)."""
+
+    PROTO = '''
+import numpy as np
+from repro.core import (
+    AIE, In, IoC, IoConnector, Out, compute_kernel,
+    extract_compute_graph, int64, make_compute_graph,
+)
+
+BIAS = 7
+
+def shape(v):
+    return v * v + BIAS
+
+@compute_kernel(realm=AIE)
+async def shaper(x: In[int64], y: Out[int64]):
+    while True:
+        await y.put(shape(await x.get()))
+
+@extract_compute_graph
+@make_compute_graph(name="shaper_graph")
+def SHAPER(a: IoC[int64]):
+    a.set_attrs(block_items=4)
+    o = IoConnector(int64, name="o")
+    shaper(a, o)
+    return o
+'''
+
+    def test_full_cycle(self, tmp_path):
+        import importlib.util
+
+        from repro.extractor import extract_project
+
+        src = tmp_path / "shaper_proto.py"
+        src.write_text(self.PROTO)
+        res = extract_project(src, out_dir=tmp_path / "out")
+        project = res.project("shaper_graph")
+
+        # the co-extraction carried the helper and the constant
+        cc = project.realm_files["aie"]["kernels/shaper.cc"]
+        assert "BIAS" in cc and "shape" in cc
+
+        gen_path = project.output_dir / "pysim" / "graph_shaper_graph.py"
+        spec = importlib.util.spec_from_file_location("gen_shaper",
+                                                      gen_path)
+        gen = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(gen)
+
+        data = list(range(-5, 6))
+        out = []
+        gen.run(data, out)
+        assert out == [v * v + 7 for v in data]
+
+        # and the generated project simulates on the AIE model
+        rep = gen.simulate(mode="thunk", n_blocks=3)
+        assert rep.block_interval_cycles > 0
+
+
+class TestCrossSimulatorApps:
+    """One matrix test: every app agrees across cgsim and x86sim."""
+
+    def test_all_apps_agree(self):
+        from repro.apps import bilinear, bitonic, datasets, farrow, iir
+
+        b = datasets.bitonic_blocks(3)
+        out = []
+        run_threaded(bitonic.BITONIC_GRAPH, b.reshape(-1), out)
+        assert np.array_equal(
+            np.asarray(out, np.float32).reshape(b.shape),
+            bitonic.run_cgsim(b),
+        )
+
+        fb, mu = datasets.farrow_blocks(2)
+        out = []
+        run_threaded(farrow.FARROW_GRAPH, fb, int(mu), out)
+        assert np.array_equal(np.stack(out), farrow.run_cgsim(fb, mu))
+
+        ib = datasets.iir_blocks(2)
+        out = []
+        run_threaded(iir.IIR_GRAPH, ib, out)
+        assert np.allclose(
+            np.stack([np.asarray(x, np.float32) for x in out]),
+            iir.run_cgsim(ib),
+        )
+
+        px, fr = datasets.bilinear_blocks(2)
+        out = []
+        run_threaded(bilinear.BILINEAR_GRAPH, px.reshape(-1),
+                     fr.reshape(-1), out)
+        assert np.array_equal(
+            np.asarray(out, np.float32).reshape(-1, 256),
+            bilinear.run_cgsim(px, fr),
+        )
+
+
+class TestAiesimOnRandomTopologies:
+    """The cycle-approximate simulator handles arbitrary stream DAGs."""
+
+    @pytest.mark.parametrize("seed", [1, 8, 23])
+    def test_random_graph_simulates(self, seed):
+        from repro.aiesim import simulate_graph
+        from repro.core import IoConnector, build_compute_graph, int64
+        from repro.testing import KERNEL_SEMANTICS, random_graph_spec
+
+        spec = random_graph_spec(seed, n_kernels=4)
+        # rebuild with block_items attributes on all nets
+        from repro.testing import build_random_graph
+
+        graph = build_random_graph(spec, name=f"sim{seed}")
+        # inject block_items on every stream net via a fresh serialized
+        # form (attrs live on nets)
+        g = graph.graph
+        for net in g.nets:
+            net.attrs["block_items"] = 4
+        rep = simulate_graph(g, mode="thunk", n_blocks=3)
+        assert rep.block_interval_cycles > 0
+        assert len(rep.tiles) == spec.n_nodes

@@ -1,0 +1,169 @@
+"""Threaded broadcast channels: drain protocol and thread safety."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.x86sim.channels import ThreadedBroadcastQueue, ThreadedLatchQueue
+
+
+class TestBasicSemantics:
+    def test_fifo(self):
+        q = ThreadedBroadcastQueue(4, n_consumers=1, n_producers=1)
+        q.try_put(1)
+        q.try_put(2)
+        assert q.try_get(0) == (True, 1)
+        assert q.try_get(0) == (True, 2)
+        assert q.try_get(0) == (False, None)
+
+    def test_capacity(self):
+        q = ThreadedBroadcastQueue(1, 1, 1)
+        assert q.try_put("a")
+        assert not q.try_put("b")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            ThreadedBroadcastQueue(0, 1, 1)
+
+    def test_broadcast(self):
+        q = ThreadedBroadcastQueue(4, n_consumers=2, n_producers=1)
+        q.try_put("x")
+        assert q.try_get(0) == (True, "x")
+        assert q.try_get(1) == (True, "x")
+
+
+class TestDrainProtocol:
+    def test_closed_after_all_producers_done(self):
+        q = ThreadedBroadcastQueue(4, 1, n_producers=2)
+        assert not q.closed
+        q.producer_done()
+        assert not q.closed
+        q.producer_done()
+        assert q.closed
+
+    def test_wait_readable_false_when_closed_empty(self):
+        q = ThreadedBroadcastQueue(4, 1, 1)
+        q.producer_done()
+        assert q.wait_readable(0, timeout=0.1) is False
+
+    def test_wait_readable_true_with_residual_data(self):
+        q = ThreadedBroadcastQueue(4, 1, 1)
+        q.try_put(1)
+        q.producer_done()
+        assert q.wait_readable(0, timeout=0.1) is True
+        assert q.try_get(0) == (True, 1)
+        assert q.wait_readable(0, timeout=0.1) is False
+
+    def test_close_wakes_blocked_reader(self):
+        q = ThreadedBroadcastQueue(4, 1, 1)
+        results = []
+
+        def reader():
+            results.append(q.wait_readable(0, timeout=5.0))
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        q.producer_done()
+        t.join(timeout=2.0)
+        assert results == [False]
+
+
+class TestDetach:
+    def test_detached_consumer_stops_backpressure(self):
+        q = ThreadedBroadcastQueue(1, n_consumers=2, n_producers=1)
+        q.try_put("a")
+        q.try_get(0)            # consumer 0 caught up; consumer 1 lags
+        assert not q.try_put("b")
+        q.detach_consumer(1)
+        assert q.try_put("b")
+
+    def test_read_after_detach_raises(self):
+        q = ThreadedBroadcastQueue(1, 1, 1)
+        q.detach_consumer(0)
+        with pytest.raises(SimulationError):
+            q.try_get(0)
+
+    def test_detach_wakes_writer(self):
+        q = ThreadedBroadcastQueue(1, 1, 1)
+        q.try_put("a")
+        woke = []
+
+        def writer():
+            woke.append(q.wait_writable(timeout=5.0))
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)
+        q.detach_consumer(0)
+        t.join(timeout=2.0)
+        assert woke == [True]
+
+
+class TestConcurrency:
+    def test_two_producers_one_consumer(self):
+        q = ThreadedBroadcastQueue(8, 1, n_producers=2)
+        N = 200
+
+        def produce(tag):
+            for i in range(N):
+                while not q.try_put((tag, i)):
+                    q.wait_writable(1.0)
+            q.producer_done()
+
+        got = []
+
+        def consume():
+            while True:
+                ok, v = q.try_get(0)
+                if ok:
+                    got.append(v)
+                    continue
+                if not q.wait_readable(0, timeout=1.0):
+                    return
+
+        threads = [threading.Thread(target=produce, args=("A",)),
+                   threading.Thread(target=produce, args=("B",)),
+                   threading.Thread(target=consume)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(got) == 2 * N
+        # per-producer order preserved
+        for tag in ("A", "B"):
+            seq = [i for t_, i in got if t_ == tag]
+            assert seq == list(range(N))
+
+
+class TestLatch:
+    def test_latch_semantics(self):
+        q = ThreadedLatchQueue(1)
+        assert q.try_get(0) == (False, None)
+        q.try_put(5)
+        assert q.try_get(0) == (True, 5)
+        assert q.try_get(0) == (True, 5)
+        q.try_put(6)
+        assert q.last_value == 6
+
+    def test_latch_wait_readable(self):
+        q = ThreadedLatchQueue(1)
+        ok = []
+
+        def waiter():
+            ok.append(q.wait_readable(0, timeout=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        q.try_put(1)
+        t.join(timeout=2.0)
+        assert ok == [True]
+
+    def test_latch_never_closes(self):
+        q = ThreadedLatchQueue(1)
+        q.producer_done()  # no-op
+        q.try_put(3)
+        assert q.try_get(0) == (True, 3)
