@@ -34,7 +34,7 @@ from repro.core import (
     float32,
     make_compute_graph,
 )
-from repro.x86sim import run_threaded
+from repro.exec import run_graph
 
 from conftest import record_row
 
@@ -50,7 +50,8 @@ def test_a1_queue_capacity(benchmark, capacity, results_dir):
 
     def run():
         out = []
-        return bitonic.BITONIC_GRAPH(flat, out, capacity=capacity)
+        return run_graph(bitonic.BITONIC_GRAPH, flat, out,
+                         backend="cgsim", capacity=capacity)
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
     t = benchmark.stats.stats.mean
@@ -81,7 +82,8 @@ def test_a1_capacity_monotone_switches(results_dir):
     switches = []
     for cap in (1, 8, 64):
         out = []
-        rep = bitonic.BITONIC_GRAPH(flat, out, capacity=cap)
+        rep = run_graph(bitonic.BITONIC_GRAPH, flat, out,
+                        backend="cgsim", capacity=cap)
         switches.append(rep.context_switches)
     assert switches[0] >= switches[1] >= switches[2]
 
@@ -125,7 +127,7 @@ def test_a2_scaling(benchmark, n_kernels, results_dir):
 
     def cg():
         out = []
-        g(data, out)
+        run_graph(g, data, out, backend="cgsim")
         return out
 
     benchmark.pedantic(cg, rounds=1, iterations=1)
@@ -133,7 +135,7 @@ def test_a2_scaling(benchmark, n_kernels, results_dir):
 
     t0 = perf_counter()
     out = []
-    run_threaded(g, data, out)
+    run_graph(g, data, out, backend="x86sim")
     t_x86 = perf_counter() - t0
 
     benchmark.extra_info.update({"n_kernels": n_kernels,

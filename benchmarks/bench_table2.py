@@ -5,7 +5,9 @@ repo's substrates: the cooperative single-thread cgsim runtime, the
 thread-per-kernel functional simulator (x86sim analog), and the
 discrete-event cycle-approximate simulator (aiesim analog), all running
 the same kernels over the same repetition counts the paper uses
-(1024/512/256/1 — divided by 8 under ``--quick``).
+(1024/512/256/1 — divided by 8 under ``--quick``).  The cgsim and
+x86sim engines are reached through the unified ``repro.exec`` backend
+layer, exactly as user code would.
 
 The reproduced *shape*:
 
@@ -27,7 +29,7 @@ import pytest
 
 from repro.aiesim import simulate_graph
 from repro.apps import bilinear, bitonic, datasets, farrow, iir
-from repro.x86sim import run_threaded
+from repro.exec import run_graph
 
 from conftest import PAPER_TABLE2, record_row
 
@@ -56,12 +58,12 @@ def _workload(app: str, reps: int):
 
         def cg():
             out = []
-            bitonic.BITONIC_GRAPH(flat, out)
+            run_graph(bitonic.BITONIC_GRAPH, flat, out, backend="cgsim")
             return len(out)
 
         def x86():
             out = []
-            run_threaded(bitonic.BITONIC_GRAPH, flat, out)
+            run_graph(bitonic.BITONIC_GRAPH, flat, out, backend="x86sim")
             return len(out)
 
         def aie():
@@ -72,12 +74,14 @@ def _workload(app: str, reps: int):
 
         def cg():
             out = []
-            farrow.FARROW_GRAPH(blocks, int(mu), out)
+            run_graph(farrow.FARROW_GRAPH, blocks, int(mu), out,
+                      backend="cgsim")
             return len(out)
 
         def x86():
             out = []
-            run_threaded(farrow.FARROW_GRAPH, blocks, int(mu), out)
+            run_graph(farrow.FARROW_GRAPH, blocks, int(mu), out,
+                      backend="x86sim")
             return len(out)
 
         def aie():
@@ -89,12 +93,12 @@ def _workload(app: str, reps: int):
 
         def cg():
             out = []
-            iir.IIR_GRAPH(blocks, out)
+            run_graph(iir.IIR_GRAPH, blocks, out, backend="cgsim")
             return len(out)
 
         def x86():
             out = []
-            run_threaded(iir.IIR_GRAPH, blocks, out)
+            run_graph(iir.IIR_GRAPH, blocks, out, backend="x86sim")
             return len(out)
 
         def aie():
@@ -107,13 +111,14 @@ def _workload(app: str, reps: int):
 
         def cg():
             out = []
-            bilinear.BILINEAR_GRAPH(px.reshape(-1), fr.reshape(-1), out)
+            run_graph(bilinear.BILINEAR_GRAPH, px.reshape(-1),
+                      fr.reshape(-1), out, backend="cgsim")
             return len(out)
 
         def x86():
             out = []
-            run_threaded(bilinear.BILINEAR_GRAPH, px.reshape(-1),
-                         fr.reshape(-1), out)
+            run_graph(bilinear.BILINEAR_GRAPH, px.reshape(-1),
+                      fr.reshape(-1), out, backend="x86sim")
             return len(out)
 
         def aie():

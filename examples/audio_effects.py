@@ -9,8 +9,10 @@ A dry/wet effects processor built from three custom kernels:
 * a two-input mixer blends dry/wet with a **runtime parameter** (RTP)
   controlling the blend (paper sec. 3.7).
 
-The same graph runs on the cooperative cgsim runtime and on the
-thread-per-kernel x86sim runner, producing identical samples.
+The same graph runs on every registered execution backend through the
+unified ``repro.exec`` layer — the cooperative cgsim runtime, the
+serialization round trip (pysim), and the thread-per-kernel x86sim
+runner — producing identical samples.
 
 Run:  python examples/audio_effects.py
 """
@@ -28,7 +30,7 @@ from repro.core import (
     float32,
     make_compute_graph,
 )
-from repro.x86sim import run_threaded
+from repro.exec import available_backends, run_graph
 
 RTP = PortSettings(runtime_parameter=True)
 
@@ -115,22 +117,23 @@ def main():
     bcast = [n for n in effects_graph.graph.nets if n.is_broadcast]
     print(f"broadcast nets: {[n.name for n in bcast]}")
 
-    out_cg: list = []
-    report = effects_graph(signal, blend, out_cg)
-    print(f"cgsim : {report!r}")
-
-    out_x86: list = []
-    x86rep = run_threaded(effects_graph, signal, blend, out_x86)
-    print(f"x86sim: {x86rep!r}")
+    results = {}
+    for backend in available_backends():
+        out: list = []
+        result = run_graph(effects_graph, signal, blend, out,
+                           backend=backend)
+        print(f"{backend:<6}: {result!r}")
+        results[backend] = np.asarray(out, dtype=np.float32)
 
     ref = reference(signal, blend)
-    got_cg = np.asarray(out_cg, dtype=np.float32)
-    got_x86 = np.asarray(out_x86, dtype=np.float32)
-    assert np.array_equal(got_cg, got_x86), "execution models disagree!"
+    got_cg = results["cgsim"]
+    for backend, got in results.items():
+        assert np.array_equal(got_cg, got), \
+            f"execution models disagree: cgsim vs {backend}!"
     assert np.allclose(got_cg, ref, atol=1e-6), "chain mismatch vs reference"
     print(f"processed {got_cg.size} samples; peak out "
-          f"{np.abs(got_cg).max():.3f}; both execution models agree "
-          f"with the reference.")
+          f"{np.abs(got_cg).max():.3f}; all {len(results)} execution "
+          f"backends agree with the reference.")
     print("audio_effects passed.")
 
 

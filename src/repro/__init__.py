@@ -21,6 +21,10 @@ SC'25).  Subpackages:
 ``repro.x86sim``
     Functional thread-per-kernel simulator (substitute for AMD's
     x86sim), used for the Table 2 wall-clock experiments.
+``repro.exec``
+    Unified pluggable execution-backend layer: one registry and one
+    ``run_graph(graph, *io, backend=...)`` entry point over the cgsim,
+    x86sim, and pysim engines, with uniform run statistics.
 ``repro.apps``
     The four AMD Vitis-Tutorials example applications ported to cgsim:
     bilinear interpolation, bitonic sort, farrow filter, IIR filter

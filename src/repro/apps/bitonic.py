@@ -30,7 +30,10 @@ from ..core import (
 from .datasets import BITONIC_BLOCK
 from .golden import golden_bitonic
 
-__all__ = ["bitonic16_kernel", "BITONIC_GRAPH", "run_cgsim", "reference"]
+__all__ = [
+    "bitonic16_kernel", "BITONIC_GRAPH", "bitonic16_kernel_batched",
+    "BITONIC_GRAPH_BATCHED", "run_cgsim", "reference",
+]
 
 
 @compute_kernel(realm=AIE)
@@ -55,6 +58,31 @@ def BITONIC_GRAPH(samples: IoC[float32]):
     sorted_out = IoConnector(float32, name="sorted")
     sorted_out.set_attrs(plio_name="sorted_out", plio_width=32)
     bitonic16_kernel(samples, sorted_out)
+    return sorted_out
+
+
+@compute_kernel(realm=AIE)
+async def bitonic16_kernel_batched(inp: In[float32], out: Out[float32]):
+    """Batched-I/O variant: one bulk read and one bulk write per block.
+
+    Identical math to :func:`bitonic16_kernel`; stream elements cross
+    the port layer in 16-element runs (``get_batch``/``put_batch``), so
+    the whole block moves with at most one suspension per queue
+    transition instead of one awaitable per element.
+    """
+    while True:
+        xs = await inp.get_batch(BITONIC_BLOCK)
+        v = aie.vec(np.asarray(xs, dtype=np.float32))
+        v = aie.bitonic_sort_vector(v)
+        await out.put_batch(list(v.to_array()))
+
+
+@make_compute_graph(name="bitonic_batched")
+def BITONIC_GRAPH_BATCHED(samples: IoC[float32]):
+    """Opt-in batched-port-I/O twin of :data:`BITONIC_GRAPH`."""
+    samples.set_attrs(block_items=BITONIC_BLOCK)
+    sorted_out = IoConnector(float32, name="sorted")
+    bitonic16_kernel_batched(samples, sorted_out)
     return sorted_out
 
 

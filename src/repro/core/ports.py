@@ -262,6 +262,85 @@ class _PutAwaitable:
     __iter__ = __await__
 
 
+class _GetBatchAwaitable:
+    """Awaitable returned by :meth:`KernelReadPort.get_batch`.
+
+    Pulls elements through the queue's bulk ring operation, moving a
+    contiguous run per call.  Partial progress is carried across
+    suspensions, and the park command's fourth field reports how many
+    elements were already collected — the batch therefore blocks at most
+    once per queue-empty transition rather than once per element.
+
+    ``exact=True`` resolves to exactly *n* elements; ``exact=False``
+    resolves to whatever is available (at least one element), which is
+    the safe mode for stream tails of unknown length (sinks).
+    """
+
+    __slots__ = ("port", "n", "exact")
+
+    def __init__(self, port: "KernelReadPort", n: int, exact: bool):
+        self.port = port
+        self.n = n
+        self.exact = exact
+
+    def __await__(self):
+        port = self.port
+        queue = port._queue
+        idx = port._consumer_idx
+        n = self.n
+        exact = self.exact
+        out: list = []
+        while True:
+            got = queue.try_get_many(idx, n - len(out))
+            if got:
+                out.extend(got)
+                if len(out) == n or not exact:
+                    port._items += len(out)
+                    return out
+                continue
+            if out and not exact:
+                port._items += len(out)
+                return out
+            yield ("rd", queue, idx, len(out))
+
+    __iter__ = __await__
+
+
+class _PutBatchAwaitable:
+    """Awaitable returned by :meth:`KernelWritePort.put_batch`.
+
+    Pushes the whole sequence through the queue's bulk ring operation;
+    when the ring fills mid-batch the park command carries the count of
+    elements already delivered, and the remainder resumes from that
+    offset — one suspension per queue-full transition.
+    """
+
+    __slots__ = ("port", "values")
+
+    def __init__(self, port: "KernelWritePort", values):
+        self.port = port
+        self.values = values
+
+    def __await__(self):
+        port = self.port
+        values = self.values
+        if port._validate:
+            values = [port.dtype.validate(v) for v in values]
+        elif not isinstance(values, (list, tuple)):
+            values = list(values)
+        queue = port._queue
+        total = len(values)
+        pos = 0
+        while pos < total:
+            pos += queue.try_put_many(values, pos)
+            if pos < total:
+                yield ("wr", queue, -1, pos)
+        port._items += total
+        return None
+
+    __iter__ = __await__
+
+
 class KernelReadPort:
     """Runtime read endpoint of a kernel, bound to one broadcast queue.
 
@@ -282,6 +361,18 @@ class KernelReadPort:
     def get(self) -> _GetAwaitable:
         """Awaitable that resolves to the next element on this stream."""
         return _GetAwaitable(self)
+
+    def get_batch(self, n: int, *, exact: bool = True) -> _GetBatchAwaitable:
+        """Awaitable that resolves to a list of stream elements.
+
+        ``exact=True`` (default) waits for exactly *n* elements — the
+        form for kernels with a fixed block structure.  ``exact=False``
+        resolves as soon as at least one element is available, returning
+        up to *n* — the form for consumers that must drain stream tails.
+        """
+        if n < 1:
+            raise StreamTypeError(f"batch size must be >= 1, got {n}")
+        return _GetBatchAwaitable(self, n, exact)
 
     def try_get(self):
         """Non-blocking read: ``(True, value)`` or ``(False, None)``."""
@@ -314,6 +405,12 @@ class KernelWritePort:
     def put(self, value: Any) -> _PutAwaitable:
         """Awaitable that completes once *value* is enqueued downstream."""
         return _PutAwaitable(self, value)
+
+    def put_batch(self, values) -> _PutBatchAwaitable:
+        """Awaitable that completes once every element of *values* is
+        enqueued downstream (bulk ring writes, one suspension per
+        queue-full transition)."""
+        return _PutBatchAwaitable(self, values)
 
     def try_put(self, value: Any) -> bool:
         """Non-blocking write; returns False when the queue is full."""

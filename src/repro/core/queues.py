@@ -8,9 +8,18 @@ individual producer; elements from multiple producers may interleave.
 Implementation: a shared ring buffer of ``capacity`` slots with one
 absolute write head and one absolute read cursor per consumer.  A slot is
 recycled only once *every* consumer's cursor has passed it, so the queue
-is full when ``head - min(cursors) == capacity``.  All operations are
-O(1) except the full-check, which is O(n_consumers) with tiny constants
-(graphs have small fan-out).
+is full when ``head - min(cursors) == capacity``.  The minimum consumer
+cursor is cached and invalidated lazily when the laggard consumer
+advances, which keeps the full-check on ``try_put`` O(1); the cache is
+rebuilt (O(n_consumers), tiny constants — graphs have small fan-out)
+only on the first full-check after an invalidating get.
+
+Besides the per-element ``try_put``/``try_get``, the queue exposes bulk
+ring operations ``try_put_many``/``try_get_many`` that move *contiguous
+slot runs* per call via slice assignment.  They are the substrate of the
+batched port I/O fast path (``await port.get_batch(n)`` /
+``await port.put_batch(seq)``): a batch crosses the scheduler at most
+once per queue-full/empty transition instead of once per element.
 
 The queue itself is lock-free single-threaded state; waking blocked
 coroutines is delegated to the scheduler through the waiter lists, which
@@ -54,11 +63,15 @@ class BroadcastQueue:
         "_slots",
         "_head",
         "_cursors",
+        "_min_cursor",
+        "_min_dirty",
         "read_waiters",
         "write_waiters",
         "_scheduler",
         "total_puts",
         "total_gets",
+        "producer_names",
+        "consumer_names",
     )
 
     def __init__(self, capacity: int = DEFAULT_QUEUE_CAPACITY,
@@ -77,12 +90,18 @@ class BroadcastQueue:
         self._slots: List[Any] = [None] * capacity
         self._head = 0  # absolute index of next write
         self._cursors = [0] * n_consumers  # absolute index of next read
+        self._min_cursor = 0   # cached min(self._cursors)
+        self._min_dirty = False
         # Waiter lists hold scheduler Task objects parked on this queue.
         self.read_waiters: List[List] = [[] for _ in range(n_consumers)]
         self.write_waiters: List = []
         self._scheduler = None  # wired by the RuntimeContext
         self.total_puts = 0
         self.total_gets = 0
+        # Endpoint labels for deadlock diagnostics, filled in by the
+        # runtime that wires this queue into a graph.
+        self.producer_names: List[str] = []
+        self.consumer_names: List[str] = []
 
     # -- wiring --------------------------------------------------------------
 
@@ -96,12 +115,20 @@ class BroadcastQueue:
         """Number of elements available to consumer *consumer_idx*."""
         return self._head - self._cursors[consumer_idx]
 
+    def _min_cursor_now(self) -> int:
+        """Cached min consumer cursor; rebuilt lazily after a laggard
+        get invalidated it (keeps ``try_put``'s full-check O(1))."""
+        if self._min_dirty:
+            self._min_cursor = min(self._cursors)
+            self._min_dirty = False
+        return self._min_cursor
+
     @property
     def free_slots(self) -> int:
         """Slots a producer can still write before blocking."""
         if self.n_consumers == 0:
             return self.capacity
-        return self.capacity - (self._head - min(self._cursors))
+        return self.capacity - (self._head - self._min_cursor_now())
 
     @property
     def is_full(self) -> bool:
@@ -118,7 +145,7 @@ class BroadcastQueue:
             self.total_puts += 1
             return True  # no one to deliver to; writes complete trivially
         head = self._head
-        if head - min(self._cursors) >= self.capacity:
+        if head - self._min_cursor_now() >= self.capacity:
             return False
         self._slots[head % self.capacity] = value
         self._head = head + 1
@@ -128,6 +155,40 @@ class BroadcastQueue:
                 if waiters:
                     self._scheduler.wake_all(waiters)
         return True
+
+    def try_put_many(self, values, start: int = 0) -> int:
+        """Append ``values[start:]`` as one contiguous run.
+
+        Writes as many elements as the ring has free slots (possibly 0)
+        using at most two slice assignments (one per wrap segment) and
+        returns the number written.  This is the bulk fast path behind
+        ``await port.put_batch(seq)``.
+        """
+        n_values = len(values) - start
+        if n_values <= 0:
+            return 0
+        if self.n_consumers == 0:
+            self.total_puts += n_values
+            return n_values
+        head = self._head
+        free = self.capacity - (head - self._min_cursor_now())
+        if free <= 0:
+            return 0
+        n = free if free < n_values else n_values
+        cap = self.capacity
+        slots = self._slots
+        s = head % cap
+        run1 = n if n <= cap - s else cap - s
+        slots[s:s + run1] = values[start:start + run1]
+        if n > run1:
+            slots[0:n - run1] = values[start + run1:start + n]
+        self._head = head + n
+        self.total_puts += n
+        if self._scheduler is not None:
+            for waiters in self.read_waiters:
+                if waiters:
+                    self._scheduler.wake_all(waiters)
+        return n
 
     def try_get(self, consumer_idx: int) -> Tuple[bool, Any]:
         """Pop the next element for *consumer_idx*.
@@ -141,12 +202,41 @@ class BroadcastQueue:
         value = self._slots[cur % self.capacity]
         self._cursors[consumer_idx] = cur + 1
         self.total_gets += 1
-        # Freeing a slot can only unblock writers if this consumer was the
-        # (a) laggard; checking min() is cheap for realistic fan-outs.
+        # Only the (a) laggard advancing can change the min cursor.
+        if cur == self._min_cursor and not self._min_dirty:
+            self._min_dirty = True
         if self.write_waiters and self._scheduler is not None:
-            if self._head - min(self._cursors) < self.capacity:
+            if self._head - self._min_cursor_now() < self.capacity:
                 self._scheduler.wake_all(self.write_waiters)
         return True, value
+
+    def try_get_many(self, consumer_idx: int, max_n: int) -> List[Any]:
+        """Pop up to *max_n* elements for *consumer_idx* as one run.
+
+        Returns a (possibly empty) list, taken with at most two slot
+        slices.  This is the bulk fast path behind
+        ``await port.get_batch(n)``.
+        """
+        cur = self._cursors[consumer_idx]
+        avail = self._head - cur
+        if avail <= 0 or max_n <= 0:
+            return []
+        n = avail if avail < max_n else max_n
+        cap = self.capacity
+        slots = self._slots
+        s = cur % cap
+        run1 = n if n <= cap - s else cap - s
+        out = slots[s:s + run1]
+        if n > run1:
+            out += slots[0:n - run1]
+        self._cursors[consumer_idx] = cur + n
+        self.total_gets += n
+        if cur == self._min_cursor and not self._min_dirty:
+            self._min_dirty = True
+        if self.write_waiters and self._scheduler is not None:
+            if self._head - self._min_cursor_now() < self.capacity:
+                self._scheduler.wake_all(self.write_waiters)
+        return out
 
     def peek(self, consumer_idx: int) -> Tuple[bool, Any]:
         """Like :meth:`try_get` but does not advance the cursor."""
@@ -198,11 +288,25 @@ class LatchQueue(BroadcastQueue):
                     self._scheduler.wake_all(waiters)
         return True
 
+    def try_put_many(self, values, start: int = 0) -> int:
+        n = len(values) - start
+        if n <= 0:
+            return 0
+        self.try_put(values[-1])  # a latch keeps only the newest value
+        self.total_puts += n - 1  # count the overwritten ones too
+        return n
+
     def try_get(self, consumer_idx: int) -> Tuple[bool, Any]:
         if not self._has_value:
             return False, None
         self.total_gets += 1
         return True, self._latched
+
+    def try_get_many(self, consumer_idx: int, max_n: int) -> List[Any]:
+        if not self._has_value or max_n <= 0:
+            return []
+        self.total_gets += max_n
+        return [self._latched] * max_n
 
     def is_empty_for(self, consumer_idx: int) -> bool:
         return not self._has_value

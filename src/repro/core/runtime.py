@@ -88,17 +88,24 @@ class RuntimeContext:
     validate:
         Enable per-element stream type checking on kernel writes and
         sources (off by default; it costs a dtype conversion per item).
+    batch_io:
+        When set (> 1), global-I/O sources and sinks move elements in
+        bulk ring runs of this size instead of one element per awaitable
+        (the batched port I/O fast path).  Kernel-side batching is opt-in
+        per kernel via ``port.get_batch`` / ``port.put_batch``.
     """
 
     #: Keyword arguments that CompiledGraph.__call__ routes to the
     #: constructor rather than to run().
-    CONSTRUCT_OPTIONS = frozenset({"capacity", "validate"})
+    CONSTRUCT_OPTIONS = frozenset({"capacity", "validate", "batch_io"})
 
     def __init__(self, graph: ComputeGraph,
                  capacity: int = DEFAULT_QUEUE_CAPACITY,
-                 validate: bool = False):
+                 validate: bool = False,
+                 batch_io: Optional[int] = None):
         self.graph = graph
         self.validate = validate
+        self.batch_io = batch_io
         self.queues: Dict[int, BroadcastQueue] = {}
         self._consumer_alloc: Dict[int, int] = {}  # net_id -> next idx
         self._kernel_ports: List[Tuple] = []       # per-instance port lists
@@ -140,8 +147,10 @@ class RuntimeContext:
                 if spec.is_input:
                     cidx = self._alloc_consumer(net_id)
                     ports.append(KernelReadPort(spec, q, cidx))
+                    q.consumer_names.append(inst.instance_name)
                 else:
                     ports.append(KernelWritePort(spec, q, validate=validate))
+                    q.producer_names.append(inst.instance_name)
             coro = inst.kernel.instantiate(ports)
             self._kernel_coros.append((inst.instance_name, coro))
             self._kernel_ports.append(tuple(ports))
@@ -178,8 +187,10 @@ class RuntimeContext:
                     value = net.dtype.validate(value)
                 q.try_put(value)  # latch; always succeeds
             else:
-                coro = make_source(q, net.dtype, container, self.validate)
+                coro = make_source(q, net.dtype, container, self.validate,
+                                   batch=self.batch_io)
                 self._sources.append((gio.io_index, coro))
+                q.producer_names.append(f"source[{gio.io_index}]")
 
         for gio, container in zip(g.outputs, io[len(g.inputs):]):
             net = g.net(gio.net_id)
@@ -195,7 +206,9 @@ class RuntimeContext:
                 self._rtp_sinks.append((q, container))
             else:
                 cidx = self._alloc_consumer(gio.net_id)
-                coro, cursor = make_sink(q, cidx, net.dtype, container)
+                coro, cursor = make_sink(q, cidx, net.dtype, container,
+                                         batch=self.batch_io)
+                q.consumer_names.append(f"sink[{gio.io_index}]")
                 self._sinks.append((gio.io_index, coro, cursor))
                 self._containers_out.append((gio.io_index, container))
                 if cursor is not None:
@@ -234,6 +247,14 @@ class RuntimeContext:
 
         try:
             stats = sched.run(max_steps=max_steps)
+            # Snapshot the wait diagnosis *before* teardown: close()
+            # cancels every parked task, which would erase who was
+            # blocked on what.
+            blockage = sched.describe_blockage()
+            blocked_writers = [
+                t.name for t in sched.tasks
+                if t.state is TaskState.BLOCKED_WRITE and t.kind == "kernel"
+            ]
         finally:
             sched.close()
 
@@ -256,10 +277,6 @@ class RuntimeContext:
         sources_done = all(
             t.state is TaskState.FINISHED for t in self._source_tasks
         )
-        blocked_writers = [
-            t for t in sched.tasks
-            if t.state is TaskState.BLOCKED_WRITE and t.kind == "kernel"
-        ]
         # Data left in a queue that some consumer never drained means a
         # kernel stopped making progress while work remained (a deadlock
         # or an early-returning kernel), even if no writer is blocked.
@@ -273,7 +290,7 @@ class RuntimeContext:
         diagnosis = "" if not deadlocked else (
             f"graph stalled before consuming all input "
             f"({undrained} element(s) left undrained):\n"
-            + sched.describe_blockage()
+            + blockage
         )
 
         report = RunReport(

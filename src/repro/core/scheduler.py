@@ -66,7 +66,7 @@ class Task:
         self.coro = coro
         self.kind = kind  # "kernel" | "source" | "sink"
         self.state = TaskState.READY
-        self.blocked_on: Optional[Tuple[Any, str]] = None  # (queue, op)
+        self.blocked_on: Optional[Tuple[Any, str, int]] = None  # (queue, op, idx)
         self.resumes = 0
         self.cpu_time = 0.0
         self.error: Optional[BaseException] = None
@@ -100,6 +100,7 @@ class SchedulerStats:
     wall_time: float = 0.0
     kernel_time: float = 0.0       # only populated when profiling
     overhead_time: float = 0.0     # only populated when profiling
+    batch_carried_items: int = 0   # partial batch progress across parks
     profiled: bool = False
     task_states: Dict[str, str] = field(default_factory=dict)
     task_resumes: Dict[str, int] = field(default_factory=dict)
@@ -126,6 +127,14 @@ class CooperativeScheduler:
         park on ``queue.write_waiters`` until a slot frees.
     ``("yield", None, -1)``
         voluntary reschedule.
+
+    Batched port operations extend the command with a fourth field, the
+    **partial-progress count**: ``("rd", queue, idx, n_collected)`` /
+    ``("wr", queue, -1, n_delivered)`` report how many elements of the
+    batch already moved before the queue forced a park.  The scheduler
+    aggregates these into :attr:`SchedulerStats.batch_carried_items`;
+    three-field commands remain valid (per-element fast path pays no
+    tuple growth).
     """
 
     def __init__(self, profile: bool = False):
@@ -208,18 +217,20 @@ class CooperativeScheduler:
                     f"{type(exc).__name__}: {exc}"
                 ) from exc
 
-            op, queue, idx = cmd
+            op, queue, idx = cmd[0], cmd[1], cmd[2]
+            if len(cmd) > 3:  # batched op parked with partial progress
+                stats.batch_carried_items += cmd[3]
             if op == "rd":
                 # Re-check under "lock" (single thread, so: after send
                 # returned).  A producer may have pushed between the failed
                 # try_get and the yield reaching us only in re-entrant
                 # scenarios; the awaitable retries on resume either way.
                 task.state = TaskState.BLOCKED_READ
-                task.blocked_on = (queue, "read")
+                task.blocked_on = (queue, "read", idx)
                 queue.read_waiters[idx].append(task)
             elif op == "wr":
                 task.state = TaskState.BLOCKED_WRITE
-                task.blocked_on = (queue, "write")
+                task.blocked_on = (queue, "write", -1)
                 queue.write_waiters.append(task)
             elif op == "yield":
                 task.state = TaskState.READY
@@ -275,12 +286,34 @@ class CooperativeScheduler:
         ]
 
     def describe_blockage(self) -> str:
-        """Human-readable wait diagnosis for deadlock reports."""
+        """Human-readable wait diagnosis for deadlock reports.
+
+        Each line names the parked task, the operation and queue it is
+        parked on, the queue's fill level, and the peer endpoints on the
+        other side of that queue (who would have to act to unblock it).
+        """
         lines = []
         for t in self.blocked_tasks():
-            queue, op = t.blocked_on
+            queue, op, idx = t.blocked_on
+            qname = queue.name or "queue"
+            capacity = getattr(queue, "capacity", None)
+            if op == "read":
+                fill = queue.size_for(idx) if 0 <= idx < queue.n_consumers \
+                    else 0
+                peers = list(getattr(queue, "producer_names", ()))
+                waiting_for = "a producer"
+            else:
+                free = getattr(queue, "free_slots", None)
+                fill = capacity - free if (
+                    capacity is not None and free is not None
+                ) else "?"
+                peers = list(getattr(queue, "consumer_names", ()))
+                waiting_for = "a consumer"
+            detail = f"fill {fill}/{capacity}" if capacity is not None \
+                else "fill ?"
+            peer_txt = ", ".join(peers) if peers else waiting_for
             lines.append(
                 f"  {t.name} ({t.kind}) blocked on {op} of "
-                f"{queue.name or 'queue'}"
+                f"{qname} [{detail}; peers: {peer_txt}]"
             )
         return "\n".join(lines) if lines else "  (no blocked tasks)"

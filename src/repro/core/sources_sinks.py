@@ -32,6 +32,8 @@ __all__ = [
     "RuntimeParam",
     "queue_put",
     "queue_get",
+    "queue_put_many",
+    "queue_get_up_to",
     "iter_stream_values",
     "make_source",
     "make_sink",
@@ -98,12 +100,71 @@ class _QueueGet:
     __iter__ = __await__
 
 
+class _QueuePutMany:
+    """Queue-level awaitable bulk put: delivers the whole sequence,
+    resuming from the partial-progress offset after each park (the
+    batched-I/O fast path for source coroutines)."""
+
+    __slots__ = ("queue", "values")
+
+    def __init__(self, queue: BroadcastQueue, values):
+        self.queue = queue
+        self.values = values
+
+    def __await__(self):
+        queue = self.queue
+        values = self.values
+        total = len(values)
+        pos = 0
+        while pos < total:
+            pos += queue.try_put_many(values, pos)
+            if pos < total:
+                yield ("wr", queue, -1, pos)
+        return None
+
+    __iter__ = __await__
+
+
+class _QueueGetUpTo:
+    """Queue-level awaitable bulk get: resolves to 1..max_n elements —
+    whatever one contiguous run yields (the batched-I/O fast path for
+    sink coroutines, which must drain stream tails of unknown length)."""
+
+    __slots__ = ("queue", "consumer_idx", "max_n")
+
+    def __init__(self, queue: BroadcastQueue, consumer_idx: int, max_n: int):
+        self.queue = queue
+        self.consumer_idx = consumer_idx
+        self.max_n = max_n
+
+    def __await__(self):
+        queue = self.queue
+        idx = self.consumer_idx
+        max_n = self.max_n
+        while True:
+            out = queue.try_get_many(idx, max_n)
+            if out:
+                return out
+            yield ("rd", queue, idx, 0)
+
+    __iter__ = __await__
+
+
 def queue_put(queue: BroadcastQueue, value: Any) -> _QueuePut:
     return _QueuePut(queue, value)
 
 
 def queue_get(queue: BroadcastQueue, consumer_idx: int) -> _QueueGet:
     return _QueueGet(queue, consumer_idx)
+
+
+def queue_put_many(queue: BroadcastQueue, values) -> _QueuePutMany:
+    return _QueuePutMany(queue, values)
+
+
+def queue_get_up_to(queue: BroadcastQueue, consumer_idx: int,
+                    max_n: int) -> _QueueGetUpTo:
+    return _QueueGetUpTo(queue, consumer_idx, max_n)
 
 
 # ---------------------------------------------------------------------------
@@ -152,10 +213,30 @@ async def _source_coro(queue: BroadcastQueue, values: Iterator[Any]):
         await _QueuePut(queue, v)
 
 
+async def _source_coro_batched(queue: BroadcastQueue,
+                               values: Iterator[Any], batch: int):
+    buf: List[Any] = []
+    for v in values:
+        buf.append(v)
+        if len(buf) >= batch:
+            await _QueuePutMany(queue, buf)
+            buf = []
+    if buf:
+        await _QueuePutMany(queue, buf)
+
+
 def make_source(queue: BroadcastQueue, dtype: StreamType, data: Any,
-                validate: bool = False):
-    """Build the source coroutine feeding *queue* from *data* (§3.7)."""
-    return _source_coro(queue, iter_stream_values(dtype, data, validate))
+                validate: bool = False, batch: Optional[int] = None):
+    """Build the source coroutine feeding *queue* from *data* (§3.7).
+
+    ``batch`` > 1 switches to bulk ring writes: elements are staged in
+    groups of *batch* and delivered through ``try_put_many``, crossing
+    the scheduler at most once per queue-full transition.
+    """
+    values = iter_stream_values(dtype, data, validate)
+    if batch is not None and batch > 1:
+        return _source_coro_batched(queue, values, batch)
+    return _source_coro(queue, values)
 
 
 # ---------------------------------------------------------------------------
@@ -208,19 +289,35 @@ async def _sink_coro(queue: BroadcastQueue, consumer_idx: int, store):
         store(value)
 
 
+async def _sink_coro_batched(queue: BroadcastQueue, consumer_idx: int,
+                             store, batch: int):
+    while True:
+        values = await _QueueGetUpTo(queue, consumer_idx, batch)
+        for v in values:
+            store(v)
+
+
 def make_sink(queue: BroadcastQueue, consumer_idx: int,
-              dtype: StreamType, container: Any):
+              dtype: StreamType, container: Any,
+              batch: Optional[int] = None):
     """Build the sink coroutine draining *queue* into *container*.
 
     Returns ``(coroutine, cursor_or_None)``; the cursor reports item
-    counts for array containers.
+    counts for array containers.  ``batch`` > 1 drains the queue through
+    bulk ring reads of up to *batch* elements per resume (up-to
+    semantics, so a tail shorter than the batch still drains).
     """
     if isinstance(container, list):
-        return _sink_coro(queue, consumer_idx, container.append), None
-    if isinstance(container, np.ndarray):
+        store = container.append
+        cursor = None
+    elif isinstance(container, np.ndarray):
         cursor = ArraySinkCursor(container, dtype)
-        return _sink_coro(queue, consumer_idx, cursor.store), cursor
-    raise IoBindingError(
-        f"unsupported sink container {type(container).__name__}; pass a "
-        f"list or a pre-allocated numpy array"
-    )
+        store = cursor.store
+    else:
+        raise IoBindingError(
+            f"unsupported sink container {type(container).__name__}; pass a "
+            f"list or a pre-allocated numpy array"
+        )
+    if batch is not None and batch > 1:
+        return _sink_coro_batched(queue, consumer_idx, store, batch), cursor
+    return _sink_coro(queue, consumer_idx, store), cursor

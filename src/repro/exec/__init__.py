@@ -1,0 +1,45 @@
+"""repro.exec — unified pluggable execution-backend layer.
+
+One graph IR, many interchangeable execution targets.  Every engine in
+the repo (the cooperative cgsim runtime, the thread-per-kernel x86sim
+runner, the extractor's executable pysim path) registers here as an
+:class:`ExecutionBackend`, and every call site selects engines by name
+through one entry point::
+
+    from repro.exec import run_graph, available_backends
+
+    out: list = []
+    result = run_graph(graph, data, out, backend="cgsim", batch_io=64)
+    assert result.completed and available_backends() == [
+        "cgsim", "pysim", "x86sim",
+    ]
+
+See ``docs/EXEC_BACKENDS.md`` for the protocol contract and how to plug
+in new engines.
+"""
+
+from .api import (
+    ExecutionBackend,
+    ExecutionPlan,
+    RunResult,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_graph,
+    run_graph,
+)
+from .backends import CgsimBackend, PysimBackend, X86simBackend
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionPlan",
+    "RunResult",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_graph",
+    "run_graph",
+    "CgsimBackend",
+    "PysimBackend",
+    "X86simBackend",
+]

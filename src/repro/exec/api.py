@@ -1,0 +1,234 @@
+"""Execution-backend protocol, registry, and unified entry point.
+
+One graph IR, many interchangeable execution targets: a backend turns a
+compute graph plus positional I/O bindings into an
+:class:`ExecutionPlan` (``prepare``), then drives that plan to
+completion (``run``) and reports uniform :class:`RunResult` statistics.
+Callers select engines by *name* through :func:`run_graph` instead of
+hand-wiring ``RuntimeContext`` / ``run_threaded`` / generated-module
+glue::
+
+    from repro.exec import run_graph
+
+    out: list = []
+    result = run_graph(graph, data, out, backend="x86sim")
+    assert result.completed
+
+Registered backends (see :mod:`repro.exec.backends`):
+
+``"cgsim"``
+    The cooperative single-thread runtime (paper §3.6–3.8).  Options:
+    ``capacity``, ``validate``, ``batch_io``, ``max_steps``, ``strict``.
+``"x86sim"``
+    The thread-per-kernel functional simulator (§5.2).  Options:
+    ``capacity``, ``timeout``.
+``"pysim"``
+    The extractor's executable backend: the graph goes through the
+    serialize → JSON → deserialize round trip the generated
+    ``graph_<name>.py`` modules embed, then runs on the cgsim runtime —
+    the extract→generate→execute guarantee as a first-class engine.
+
+New engines (sharded, multi-process, remote) plug in via
+:func:`register_backend` without forking any call site.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..errors import GraphRuntimeError
+
+__all__ = [
+    "RunResult",
+    "ExecutionPlan",
+    "ExecutionBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "resolve_graph",
+    "run_graph",
+]
+
+
+# ---------------------------------------------------------------------------
+# Uniform result type
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunResult:
+    """Backend-independent outcome of one graph execution.
+
+    ``outputs`` aliases the caller's sink containers in global-output
+    order; ``raw`` keeps the backend-native report
+    (:class:`~repro.core.runtime.RunReport`,
+    :class:`~repro.x86sim.runner.X86RunReport`, …) for engine-specific
+    inspection.
+    """
+
+    backend: str
+    graph_name: str
+    outputs: List[Any]
+    wall_time: float
+    items_in: int
+    items_out: int
+    completed: bool
+    context_switches: int = 0        # cooperative engines; 0 for threads
+    n_threads: int = 1               # preemptive engines; 1 for cgsim
+    kernel_fraction: float = float("nan")  # populated when profiled
+    task_states: Dict[str, str] = field(default_factory=dict)
+    per_kernel_resumes: Dict[str, int] = field(default_factory=dict)
+    per_kernel_time: Dict[str, float] = field(default_factory=dict)
+    stall_diagnosis: str = ""
+    raw: Any = None
+
+    @property
+    def deadlocked(self) -> bool:
+        return not self.completed
+
+    def __repr__(self):
+        status = "ok" if self.completed else "STALLED"
+        return (
+            f"<RunResult {self.backend}:{self.graph_name!r} {status} "
+            f"in={self.items_in} out={self.items_out} "
+            f"t={self.wall_time:.3f}s>"
+        )
+
+
+@dataclass
+class ExecutionPlan:
+    """A prepared, single-use execution: graph instantiated and I/O
+    bound, awaiting :meth:`ExecutionBackend.run`.  ``state`` is the
+    backend-private instantiation (a wired RuntimeContext, a thread set,
+    …)."""
+
+    backend: str
+    graph: Any                  # the resolved ComputeGraph
+    io: Tuple[Any, ...]         # positional sources + sinks as passed
+    state: Any = None
+    options: Dict[str, Any] = field(default_factory=dict)
+    _consumed: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Backend protocol and registry
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend(abc.ABC):
+    """One execution engine behind the unified entry point.
+
+    Subclasses set :attr:`name` and implement the two-phase protocol;
+    instances are stateless (all per-run state lives in the plan).
+    """
+
+    #: Registry key; class attribute set by each backend.
+    name: str = ""
+
+    @abc.abstractmethod
+    def prepare(self, graph: Any, io: Tuple[Any, ...],
+                **options: Any) -> ExecutionPlan:
+        """Instantiate *graph* and bind the positional I/O containers
+        (sources first, then sinks, §3.7).  Raises the same binding
+        errors as the underlying engine."""
+
+    @abc.abstractmethod
+    def run(self, plan: ExecutionPlan, *, profile: bool = False) -> RunResult:
+        """Drive a prepared plan to completion and collect stats.
+
+        ``profile=True`` requests per-kernel timing where the engine
+        supports it (cgsim-family backends)."""
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def _claim(self, plan: ExecutionPlan) -> None:
+        """Plans are single-use: I/O bindings and coroutine/thread state
+        cannot be rewound."""
+        if plan.backend != self.name:
+            raise GraphRuntimeError(
+                f"plan prepared by backend {plan.backend!r} passed to "
+                f"{self.name!r}"
+            )
+        if plan._consumed:
+            raise GraphRuntimeError(
+                f"execution plan for {plan.graph.name!r} already ran; "
+                f"prepare a fresh plan per run"
+            )
+        plan._consumed = True
+
+
+_REGISTRY: Dict[str, Type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
+    """Class decorator: add an :class:`ExecutionBackend` subclass to the
+    registry under its ``name``.  Re-registration under the same name
+    replaces the entry (test doubles, engine shims)."""
+    if not getattr(cls, "name", ""):
+        raise GraphRuntimeError(
+            f"backend class {cls.__name__} declares no name"
+        )
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Instantiate the registered backend *name*; raises with the list
+    of known engines on a miss."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise GraphRuntimeError(
+            f"unknown execution backend {name!r}; registered: "
+            f"{', '.join(available_backends()) or '(none)'}"
+        ) from None
+    return cls()
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered execution backend."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Graph normalization and the unified entry point
+# ---------------------------------------------------------------------------
+
+
+def resolve_graph(graph: Any):
+    """Normalize any graph carrier to the pointer-based ComputeGraph IR.
+
+    Accepts a :class:`~repro.core.builder.CompiledGraph`, a
+    :class:`~repro.core.serialize.SerializedGraph`, or an already
+    deserialized :class:`~repro.core.graph.ComputeGraph`.
+    """
+    from ..core.builder import CompiledGraph
+    from ..core.graph import ComputeGraph
+    from ..core.serialize import SerializedGraph
+
+    if isinstance(graph, CompiledGraph):
+        return graph.graph
+    if isinstance(graph, SerializedGraph):
+        return graph.deserialize()
+    if isinstance(graph, ComputeGraph):
+        return graph
+    raise GraphRuntimeError(
+        f"cannot execute object of type {type(graph).__name__}; expected "
+        f"CompiledGraph, SerializedGraph, or ComputeGraph"
+    )
+
+
+def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
+              profile: bool = False, **options: Any) -> RunResult:
+    """Execute *graph* on the named backend: the single entry point all
+    benchmarks, examples, and the differential harness go through.
+
+    Positional ``io`` follows §3.7: data sources for every global input
+    (in order), then sink containers for every global output.  Keyword
+    ``options`` are backend-specific (see :mod:`repro.exec.backends`).
+    """
+    b = get_backend(backend)
+    plan = b.prepare(graph, io, **options)
+    return b.run(plan, profile=profile)

@@ -1,0 +1,157 @@
+"""The three built-in execution backends behind :func:`repro.exec.run_graph`.
+
+Each adapter owns *all* engine wiring for its target — callers never
+touch :class:`RuntimeContext`, :func:`run_threaded`, or the generated
+module's serialization glue directly.  The adapters normalise every
+engine-native report into :class:`~repro.exec.api.RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from .api import (
+    ExecutionBackend,
+    ExecutionPlan,
+    RunResult,
+    register_backend,
+    resolve_graph,
+)
+
+__all__ = ["CgsimBackend", "X86simBackend", "PysimBackend"]
+
+
+def _split_io(graph, io: Tuple[Any, ...]):
+    """Sink containers are the positional tail after all sources."""
+    return list(io[len(graph.inputs):])
+
+
+@register_backend
+class CgsimBackend(ExecutionBackend):
+    """Cooperative single-thread runtime (§3.6–3.8).
+
+    Options: ``capacity`` (queue depth default), ``validate``
+    (per-element stream type checks), ``batch_io`` (bulk ring I/O for
+    global sources/sinks), ``max_steps`` (livelock guard), ``strict``
+    (raise :class:`DeadlockError` on stalls).
+    """
+
+    name = "cgsim"
+
+    def _instantiate(self, graph):
+        """Graph carrier → deserialized IR; pysim overrides this to
+        force the generated-module serialization round trip."""
+        return resolve_graph(graph)
+
+    def prepare(self, graph: Any, io: Tuple[Any, ...],
+                **options: Any) -> ExecutionPlan:
+        from ..core.runtime import RuntimeContext
+
+        g = self._instantiate(graph)
+        construct = {k: v for k, v in options.items()
+                     if k in RuntimeContext.CONSTRUCT_OPTIONS}
+        run_opts = {k: v for k, v in options.items()
+                    if k not in RuntimeContext.CONSTRUCT_OPTIONS}
+        rt = RuntimeContext(g, **construct)
+        if io or g.inputs or g.outputs:
+            rt.bind_io(*io)
+        return ExecutionPlan(backend=self.name, graph=g, io=io,
+                             state=rt, options=run_opts)
+
+    def run(self, plan: ExecutionPlan, *, profile: bool = False) -> RunResult:
+        self._claim(plan)
+        rt = plan.state
+        report = rt.run(profile=profile, **plan.options)
+        stats = report.stats
+        return RunResult(
+            backend=self.name,
+            graph_name=report.graph_name,
+            outputs=_split_io(plan.graph, plan.io),
+            wall_time=report.wall_time,
+            items_in=report.items_in,
+            items_out=report.items_out,
+            completed=report.completed,
+            context_switches=report.context_switches,
+            n_threads=1,
+            kernel_fraction=report.kernel_fraction,
+            task_states=dict(report.task_states),
+            per_kernel_resumes=dict(stats.task_resumes),
+            per_kernel_time=dict(stats.task_cpu_time),
+            stall_diagnosis=report.stall_diagnosis,
+            raw=report,
+        )
+
+
+@register_backend
+class PysimBackend(CgsimBackend):
+    """The extractor's executable backend as a first-class engine.
+
+    Runs the graph exactly the way a generated ``graph_<name>.py``
+    module does: flatten → JSON → format-checked load → deserialize →
+    cgsim runtime.  Functionally identical to ``cgsim``; the round trip
+    is the point — it proves the serialized form the extractor embeds is
+    complete and executable (§3.5, §4.4).
+    """
+
+    name = "pysim"
+
+    def _instantiate(self, graph):
+        from ..core.builder import CompiledGraph
+        from ..core.serialize import SerializedGraph, flatten_graph
+
+        if isinstance(graph, CompiledGraph):
+            ser = graph.serialized
+        elif isinstance(graph, SerializedGraph):
+            ser = graph
+        else:
+            ser = flatten_graph(resolve_graph(graph))
+        return SerializedGraph.from_json(ser.to_json()).deserialize()
+
+
+@register_backend
+class X86simBackend(ExecutionBackend):
+    """Thread-per-kernel functional simulator (§5.2).
+
+    Options: ``capacity`` (channel depth), ``timeout`` (per-wait stall
+    bound in seconds).  ``profile`` is accepted for interface parity but
+    preemptive threads have no per-kernel time split to report.
+    """
+
+    name = "x86sim"
+
+    def prepare(self, graph: Any, io: Tuple[Any, ...],
+                **options: Any) -> ExecutionPlan:
+        from ..core.queues import DEFAULT_QUEUE_CAPACITY
+        from ..x86sim.runner import prepare_threads
+
+        g = resolve_graph(graph)
+        capacity = options.pop("capacity", DEFAULT_QUEUE_CAPACITY)
+        timeout = options.pop("timeout", 60.0)
+        if options:
+            from ..errors import GraphRuntimeError
+            raise GraphRuntimeError(
+                f"x86sim backend got unknown options: {sorted(options)}"
+            )
+        state = prepare_threads(g, io, capacity=capacity, timeout=timeout)
+        return ExecutionPlan(backend=self.name, graph=g, io=io, state=state)
+
+    def run(self, plan: ExecutionPlan, *, profile: bool = False) -> RunResult:
+        from ..x86sim.runner import execute_plan
+
+        self._claim(plan)
+        report = execute_plan(plan.state)
+        # execute_plan raises on stalls/timeouts; a returned report
+        # means every thread drained and joined.
+        return RunResult(
+            backend=self.name,
+            graph_name=report.graph_name,
+            outputs=_split_io(plan.graph, plan.io),
+            wall_time=report.wall_time,
+            items_in=report.items_in,
+            items_out=report.items_out,
+            completed=True,
+            context_switches=0,
+            n_threads=report.n_threads,
+            task_states={name: "finished" for name in report.thread_names},
+            raw=report,
+        )

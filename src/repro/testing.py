@@ -34,7 +34,8 @@ from .core import (
 from .core.connectors import _IoCAnnotation
 
 __all__ = ["RandomGraphSpec", "random_graph_spec", "build_random_graph",
-           "reference_eval", "KERNEL_SEMANTICS"]
+           "reference_eval", "KERNEL_SEMANTICS", "BACKEND_VARIANTS",
+           "run_on_backend", "differential_run"]
 
 
 # ---------------------------------------------------------------------------
@@ -235,3 +236,69 @@ def reference_eval(spec: RandomGraphSpec,
         key=lambda k: (k[1], k[2]),
     )
     return [values[k] for k in out_keys]
+
+
+# ---------------------------------------------------------------------------
+# Differential execution across registered backends
+# ---------------------------------------------------------------------------
+
+
+def run_on_backend(graph: CompiledGraph, inputs: Sequence[np.ndarray],
+                   n_outputs: int, backend: str = "cgsim",
+                   **options) -> List[np.ndarray]:
+    """Run *graph* through :func:`repro.exec.run_graph` on one backend.
+
+    Returns one int64 array per graph output (the sink containers, in
+    declaration order).  Raises if the run stalls.
+    """
+    from .exec import run_graph
+
+    sinks: List[list] = [[] for _ in range(n_outputs)]
+    result = run_graph(graph, *inputs, *sinks, backend=backend, **options)
+    assert result.completed, result.stall_diagnosis
+    return [np.asarray(s, dtype=np.int64) for s in sinks]
+
+
+#: Differential matrix: label → (backend name, extra run options).  Covers
+#: every registered engine plus the batched-port-I/O cgsim fast path.
+BACKEND_VARIANTS: Dict[str, Tuple[str, Dict[str, object]]] = {
+    "cgsim": ("cgsim", {}),
+    "cgsim+batch": ("cgsim", {"batch_io": 8}),
+    "pysim": ("pysim", {}),
+    "x86sim": ("x86sim", {}),
+}
+
+
+def differential_run(spec: RandomGraphSpec,
+                     inputs: Sequence[np.ndarray],
+                     variants: Dict[str, Tuple[str, Dict[str, object]]]
+                     | None = None,
+                     name: str = "diff") -> Dict[str, List[np.ndarray]]:
+    """Run one random-graph spec under every backend variant and compare.
+
+    Builds the graph, evaluates the pure-numpy reference, executes the
+    graph under each entry of *variants* (default
+    :data:`BACKEND_VARIANTS` — all registered engines plus batched
+    cgsim), and asserts every pair of result sets is identical and
+    matches the reference.  Returns ``{label: [out arrays]}``.
+    """
+    variants = dict(BACKEND_VARIANTS if variants is None else variants)
+    graph = build_random_graph(spec, name=name)
+    expected = reference_eval(spec, inputs)
+    results: Dict[str, List[np.ndarray]] = {}
+    for label, (backend, opts) in variants.items():
+        results[label] = run_on_backend(
+            graph, inputs, len(expected), backend=backend, **opts
+        )
+    labels = ["reference", *results]
+    all_outs = [expected, *results.values()]
+    for i in range(len(all_outs)):
+        for j in range(i + 1, len(all_outs)):
+            for port, (a, b) in enumerate(zip(all_outs[i], all_outs[j])):
+                if not np.array_equal(a, b):
+                    raise AssertionError(
+                        f"backend divergence on output {port}: "
+                        f"{labels[i]} != {labels[j]}\n"
+                        f"  {labels[i]}: {a!r}\n  {labels[j]}: {b!r}"
+                    )
+    return results

@@ -7,10 +7,19 @@ thread-per-kernel x86sim) can be reproduced on identical kernel code.
 """
 
 from .channels import ThreadedBroadcastQueue, ThreadedLatchQueue
-from .runner import X86RunReport, run_threaded
+from .runner import (
+    X86Plan,
+    X86RunReport,
+    execute_plan,
+    prepare_threads,
+    run_threaded,
+)
 
 __all__ = [
     "run_threaded",
+    "prepare_threads",
+    "execute_plan",
+    "X86Plan",
     "X86RunReport",
     "ThreadedBroadcastQueue",
     "ThreadedLatchQueue",

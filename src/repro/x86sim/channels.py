@@ -50,6 +50,8 @@ class ThreadedBroadcastQueue:
         # API parity with the cooperative queue (unused under threads).
         self.read_waiters: List[List] = [[] for _ in range(n_consumers)]
         self.write_waiters: List = []
+        self.producer_names: List[str] = []
+        self.consumer_names: List[str] = []
 
     # -- state helpers (call with lock held) -------------------------------------
 
@@ -82,6 +84,37 @@ class ThreadedBroadcastQueue:
             self._cond.notify_all()
             return True
 
+    def try_put_many(self, values, start: int = 0) -> int:
+        """Bulk variant of :meth:`try_put`: append a contiguous run of
+        ``values[start:]``, as many as fit, returning the count written
+        (0 when full).  Same surface as the cooperative queue, so
+        batched port awaitables work unchanged under threads."""
+        n_values = len(values) - start
+        if n_values <= 0:
+            return 0
+        with self._cond:
+            m = self._active_min_cursor()
+            if m is None:
+                # no live consumers: writes are dropped, but accounted
+                self._head += n_values
+                self.total_puts += n_values
+                return n_values
+            free = self.capacity - (self._head - m)
+            if free <= 0:
+                return 0
+            n = free if free < n_values else n_values
+            cap = self.capacity
+            head = self._head
+            s = head % cap
+            run1 = n if n <= cap - s else cap - s
+            self._slots[s:s + run1] = values[start:start + run1]
+            if n > run1:
+                self._slots[0:n - run1] = values[start + run1:start + n]
+            self._head = head + n
+            self.total_puts += n
+            self._cond.notify_all()
+            return n
+
     def wait_writable(self, timeout: Optional[float] = None) -> bool:
         """Block until a slot is free.  Returns False on timeout."""
         with self._cond:
@@ -112,6 +145,31 @@ class ThreadedBroadcastQueue:
             self.total_gets += 1
             self._cond.notify_all()
             return True, value
+
+    def try_get_many(self, consumer_idx: int, max_n: int) -> List[Any]:
+        """Bulk variant of :meth:`try_get`: pop up to *max_n* elements
+        as one contiguous run (possibly empty)."""
+        with self._cond:
+            cur = self._cursors[consumer_idx]
+            if cur is None:
+                raise SimulationError(
+                    f"read on detached consumer {consumer_idx} of "
+                    f"{self.name!r}"
+                )
+            avail = self._head - cur
+            if avail <= 0 or max_n <= 0:
+                return []
+            n = avail if avail < max_n else max_n
+            cap = self.capacity
+            s = cur % cap
+            run1 = n if n <= cap - s else cap - s
+            out = self._slots[s:s + run1]
+            if n > run1:
+                out += self._slots[0:n - run1]
+            self._cursors[consumer_idx] = cur + n
+            self.total_gets += n
+            self._cond.notify_all()
+            return out
 
     def wait_readable(self, consumer_idx: int,
                       timeout: Optional[float] = None) -> bool:
@@ -152,6 +210,8 @@ class ThreadedLatchQueue:
         self.total_gets = 0
         self.read_waiters: List[List] = [[] for _ in range(max(n_consumers, 1))]
         self.write_waiters: List = []
+        self.producer_names: List[str] = []
+        self.consumer_names: List[str] = []
 
     def try_put(self, value: Any) -> bool:
         with self._cond:
@@ -161,12 +221,28 @@ class ThreadedLatchQueue:
             self._cond.notify_all()
             return True
 
+    def try_put_many(self, values, start: int = 0) -> int:
+        n = len(values) - start
+        if n <= 0:
+            return 0
+        self.try_put(values[-1])  # a latch keeps only the newest value
+        with self._lock:
+            self.total_puts += n - 1
+        return n
+
     def try_get(self, consumer_idx: int) -> Tuple[bool, Any]:
         with self._lock:
             if not self._has_value:
                 return False, None
             self.total_gets += 1
             return True, self._value
+
+    def try_get_many(self, consumer_idx: int, max_n: int) -> List[Any]:
+        with self._lock:
+            if not self._has_value or max_n <= 0:
+                return []
+            self.total_gets += max_n
+            return [self._value] * max_n
 
     def wait_readable(self, consumer_idx: int,
                       timeout: Optional[float] = None) -> bool:

@@ -37,7 +37,8 @@ from ..core.sources_sinks import (
 from ..errors import IoBindingError, SimulationError
 from .channels import ThreadedBroadcastQueue, ThreadedLatchQueue
 
-__all__ = ["X86RunReport", "run_threaded"]
+__all__ = ["X86RunReport", "X86Plan", "prepare_threads", "execute_plan",
+           "run_threaded"]
 
 
 @dataclass
@@ -91,7 +92,10 @@ class _KernelThread(threading.Thread):
         try:
             cmd = coro.send(None)
             while True:
-                op, queue, idx = cmd
+                # Batched port ops yield 4-tuples (the extra field is
+                # the partial-progress count, meaningful only to the
+                # cooperative scheduler's stats); unpack positionally.
+                op, queue, idx = cmd[0], cmd[1], cmd[2]
                 if op == "rd":
                     if not queue.wait_readable(idx, self.timeout):
                         if getattr(queue, "closed", True):
@@ -172,15 +176,27 @@ class _SinkThread(threading.Thread):
             self.error = exc
 
 
-def run_threaded(graph: CompiledGraph | ComputeGraph, *io: Any,
-                 capacity: int = DEFAULT_QUEUE_CAPACITY,
-                 timeout: Optional[float] = 60.0) -> X86RunReport:
-    """Execute a compute graph with one OS thread per kernel.
+@dataclass
+class X86Plan:
+    """Prepared thread-per-kernel execution: all threads built and wired
+    to their channels, not yet started.  Single-use."""
 
-    Takes the same positional sources/sinks as invoking the graph under
-    cgsim (§3.7).  ``timeout`` bounds any single blocking wait; a stall
-    longer than that raises :class:`SimulationError` rather than hanging
-    the host process.
+    graph: ComputeGraph
+    threads: List[threading.Thread]
+    sinks: List["_SinkThread"]
+    sink_cursors: List[ArraySinkCursor]
+    rtp_sinks: List[Tuple[ThreadedLatchQueue, RuntimeParam]]
+    queues: Dict[int, Any]
+    timeout: Optional[float]
+
+
+def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
+                    capacity: int = DEFAULT_QUEUE_CAPACITY,
+                    timeout: Optional[float] = 60.0) -> X86Plan:
+    """Instantiate channels, kernel/source/sink threads for one run.
+
+    The prepare/execute split mirrors the :mod:`repro.exec` backend
+    protocol; :func:`run_threaded` composes the two phases.
     """
     g = graph.graph if isinstance(graph, CompiledGraph) else graph
     expected = len(g.inputs) + len(g.outputs)
@@ -290,6 +306,18 @@ def run_threaded(graph: CompiledGraph | ComputeGraph, *io: Any,
         sinks.append(t)
         threads.append(t)
 
+    return X86Plan(
+        graph=g, threads=threads, sinks=sinks, sink_cursors=sink_cursors,
+        rtp_sinks=rtp_sinks, queues=queues, timeout=timeout,
+    )
+
+
+def execute_plan(plan: X86Plan) -> X86RunReport:
+    """Start every prepared thread, join with bounded waits, and collect
+    the run report."""
+    g = plan.graph
+    threads = plan.threads
+    timeout = plan.timeout
     t0 = perf_counter()
     for t in threads:
         t.start()
@@ -320,11 +348,11 @@ def run_threaded(graph: CompiledGraph | ComputeGraph, *io: Any,
             f"after {timeout}s: {stragglers}"
         )
 
-    for latch, param in rtp_sinks:
+    for latch, param in plan.rtp_sinks:
         param.value = latch.last_value
 
-    items_in = sum(queues[gio.net_id].total_puts for gio in g.inputs)
-    items_out = sum(s.items for s in sinks)
+    items_in = sum(plan.queues[gio.net_id].total_puts for gio in g.inputs)
+    items_out = sum(s.items for s in plan.sinks)
     return X86RunReport(
         graph_name=g.name,
         wall_time=wall,
@@ -333,3 +361,16 @@ def run_threaded(graph: CompiledGraph | ComputeGraph, *io: Any,
         items_out=items_out,
         thread_names=[t.name for t in threads],
     )
+
+
+def run_threaded(graph: CompiledGraph | ComputeGraph, *io: Any,
+                 capacity: int = DEFAULT_QUEUE_CAPACITY,
+                 timeout: Optional[float] = 60.0) -> X86RunReport:
+    """Execute a compute graph with one OS thread per kernel.
+
+    Takes the same positional sources/sinks as invoking the graph under
+    cgsim (§3.7).  ``timeout`` bounds any single blocking wait; a stall
+    longer than that raises :class:`SimulationError` rather than hanging
+    the host process.
+    """
+    return execute_plan(prepare_threads(graph, io, capacity, timeout))

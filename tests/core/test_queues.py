@@ -161,3 +161,126 @@ class TestLatchQueue:
         for i in range(10):
             assert q.try_put(i)
         assert not q.is_full
+
+
+class TestBulkOps:
+    """try_put_many / try_get_many: the ring ops behind batched ports."""
+
+    def test_put_many_all_accepted(self):
+        q = BroadcastQueue(capacity=8, n_consumers=1)
+        assert q.try_put_many([1, 2, 3]) == 3
+        assert q.drain(0) == [1, 2, 3]
+
+    def test_put_many_partial_accept(self):
+        q = BroadcastQueue(capacity=4, n_consumers=1)
+        assert q.try_put_many(list(range(10))) == 4
+        assert q.try_put_many(list(range(10)), start=4) == 0
+        assert q.drain(0) == [0, 1, 2, 3]
+        assert q.try_put_many(list(range(10)), start=4) == 4
+
+    def test_put_many_empty_and_start_at_end(self):
+        q = BroadcastQueue(capacity=4, n_consumers=1)
+        assert q.try_put_many([]) == 0
+        assert q.try_put_many([1, 2], start=2) == 0
+
+    def test_get_many_caps_at_available(self):
+        q = BroadcastQueue(capacity=8, n_consumers=1)
+        q.try_put_many([1, 2, 3])
+        assert q.try_get_many(0, 10) == [1, 2, 3]
+        assert q.try_get_many(0, 10) == []
+
+    def test_bulk_wraparound(self):
+        """Bulk ops that straddle the ring seam stay FIFO."""
+        q = BroadcastQueue(capacity=5, n_consumers=1)
+        q.try_put_many([0, 1, 2, 3])        # head at 4
+        assert q.try_get_many(0, 3) == [0, 1, 2]
+        assert q.try_put_many([4, 5, 6, 7]) == 4   # wraps past slot 5
+        assert q.try_get_many(0, 8) == [3, 4, 5, 6, 7]
+
+    def test_bulk_accounting_matches_scalar(self):
+        q1 = BroadcastQueue(capacity=16, n_consumers=1)
+        q2 = BroadcastQueue(capacity=16, n_consumers=1)
+        data = list(range(12))
+        q1.try_put_many(data)
+        for v in data:
+            q2.try_put(v)
+        assert q1.total_puts == q2.total_puts
+        q1.try_get_many(0, 12)
+        for _ in data:
+            q2.try_get(0)
+        assert q1.total_gets == q2.total_gets
+
+    def test_put_many_zero_consumers_swallows(self):
+        q = BroadcastQueue(capacity=2, n_consumers=0)
+        assert q.try_put_many(list(range(50))) == 50
+        assert q.total_puts == 50
+
+    def test_broadcast_bulk_delivery(self):
+        q = BroadcastQueue(capacity=8, n_consumers=3)
+        q.try_put_many([1, 2, 3, 4])
+        for c in range(3):
+            assert q.try_get_many(c, 4) == [1, 2, 3, 4]
+
+    def test_latch_bulk_ops(self):
+        q = LatchQueue(n_consumers=2)
+        assert q.try_put_many([1, 2, 3]) == 3   # last write wins
+        assert q.try_get_many(0, 2) == [3, 3]
+        assert q.try_get_many(1, 1) == [3]
+
+
+class TestMinCursorCache:
+    """The full-check is O(1): min(cursors) is cached and only
+    recomputed after the *laggard* consumer advances."""
+
+    def test_fullness_tracks_slowest_consumer(self):
+        q = BroadcastQueue(capacity=4, n_consumers=3)
+        assert q.try_put_many([0, 1, 2, 3]) == 4
+        assert q.is_full
+        # Fast consumers drain fully; the laggard holds the ring full.
+        assert q.try_get_many(0, 4) == [0, 1, 2, 3]
+        assert q.try_get_many(1, 4) == [0, 1, 2, 3]
+        assert not q.try_put(99)
+        assert q.is_full
+        # One step of the laggard frees exactly one slot.
+        assert q.try_get(2) == (True, 0)
+        assert q.try_put(99)
+        assert not q.try_put(100)
+
+    def test_cache_invalidation_is_lazy(self):
+        q = BroadcastQueue(capacity=4, n_consumers=2)
+        q.try_put_many([0, 1, 2, 3])
+        q.try_get(0)        # tied at the min: conservatively dirties
+        assert not q.try_put(9)          # full-check rebuilds (min = 0)
+        assert not q._min_dirty and q._min_cursor == 0
+        q.try_get(0)        # ahead of the laggard: cache stays clean
+        assert not q._min_dirty
+        assert q.try_get(1) == (True, 0)   # laggard advance: dirties
+        assert q._min_dirty
+        assert q.try_put(4)      # full-check rebuilds the cache
+        assert not q._min_dirty
+        assert q._min_cursor == 1
+
+    def test_interleaved_cursors_property(self):
+        """Randomised interleaving: cached fullness always equals the
+        ground truth head - min(cursors)."""
+        import random
+
+        rng = random.Random(7)
+        q = BroadcastQueue(capacity=8, n_consumers=3)
+        seen = [[] for _ in range(3)]
+        sent = []
+        for step in range(500):
+            if rng.random() < 0.5:
+                v = len(sent)
+                if q.try_put(v):
+                    sent.append(v)
+            else:
+                c = rng.randrange(3)
+                ok, v = q.try_get(c)
+                if ok:
+                    seen[c].append(v)
+            truth = q._head - min(q._cursors)
+            assert (truth >= q.capacity) == q.is_full
+            assert q.free_slots == q.capacity - truth
+        for c in range(3):
+            assert seen[c] == sent[:len(seen[c])]

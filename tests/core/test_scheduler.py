@@ -201,3 +201,66 @@ class TestProfiling:
         sched.spawn("x", nop())
         stats = sched.run()
         assert stats.kernel_fraction != stats.kernel_fraction  # NaN
+
+
+class TestBlockageDiagnosis:
+    """describe_blockage must name every parked task, the queue fill
+    level, and the peer endpoints on the other side of the queue."""
+
+    def test_deadlocked_pair_names_both_kernels(self):
+        """A deliberately deadlocked two-kernel cycle: each kernel
+        first reads from the other, so neither ever produces."""
+        from repro.core import In, IoC, IoConnector, Out, compute_kernel, \
+            int32, make_compute_graph
+        from repro.core.kernel import AIE
+
+        @compute_kernel(realm=AIE)
+        async def ping(seed: In[int32], back: In[int32], fwd: Out[int32]):
+            while True:
+                s = await seed.get()
+                b = await back.get()      # waits on pong forever
+                await fwd.put(s + b)
+
+        @compute_kernel(realm=AIE)
+        async def pong(fwd: In[int32], back: Out[int32], o: Out[int32]):
+            while True:
+                v = await fwd.get()       # waits on ping forever
+                await back.put(v)
+                await o.put(v)
+
+        @make_compute_graph(name="deadlock_pair")
+        def g(seed: IoC[int32]):
+            fwd = IoConnector(int32, name="fwd")
+            back = IoConnector(int32, name="back")
+            o = IoConnector(int32, name="o")
+            ping(seed, back, fwd)
+            pong(fwd, back, o)
+            return o
+
+        out = []
+        rep = g([1, 2, 3], out)
+        assert not rep.completed
+        diag = rep.stall_diagnosis
+        # Both parked kernels are named...
+        assert "ping_0" in diag and "pong_0" in diag
+        # ...with the queues they wait on, the fill levels, and the
+        # peer endpoint that would have to act to unblock them.
+        assert "blocked on read of back" in diag
+        assert "blocked on read of fwd" in diag
+        assert "fill 0/" in diag
+        lines = {ln.strip().split(" ")[0]: ln for ln in diag.splitlines()
+                 if "blocked" in ln}
+        assert "pong_0" in lines["ping_0"]   # peer of the back queue
+        assert "ping_0" in lines["pong_0"]   # peer of the fwd queue
+
+    def test_blocked_writer_reports_fill_and_peers(self):
+        q = BroadcastQueue(capacity=2, n_consumers=1, name="narrow")
+        q.consumer_names.append("slow_sink")
+        sched = CooperativeScheduler()
+        q.bind_scheduler(sched)
+        sched.spawn("p", producer(q, list(range(9))), "source")
+        sched.run()
+        diag = sched.describe_blockage()
+        assert "p (source) blocked on write of narrow" in diag
+        assert "fill 2/2" in diag
+        assert "slow_sink" in diag

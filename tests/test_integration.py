@@ -2,9 +2,11 @@
 
 The heavy hitter is the differential property test: random dataflow
 graphs (chains, diamonds, broadcasts, joins) must produce identical
-results under (a) the cooperative cgsim runtime, (b) the serialized
-JSON round trip, (c) the thread-per-kernel x86sim runner, and (d) the
-independent numpy reference evaluator.
+results under every registered execution backend — the cooperative
+cgsim runtime (per-element and batched port I/O), the serialization
+round trip (pysim), and the thread-per-kernel x86sim runner — all
+reached through :func:`repro.exec.run_graph`, and all compared
+pairwise against the independent numpy reference evaluator.
 """
 
 import numpy as np
@@ -12,25 +14,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.exec import available_backends, run_graph
 from repro.testing import (
+    BACKEND_VARIANTS,
     build_random_graph,
+    differential_run,
     random_graph_spec,
     reference_eval,
+    run_on_backend,
 )
-from repro.x86sim import run_threaded
-
-
-def _run_cgsim(graph, inputs, n_outputs, **opts):
-    sinks = [[] for _ in range(n_outputs)]
-    report = graph(*inputs, *sinks, **opts)
-    assert report.completed, report.stall_diagnosis
-    return [np.asarray(s, dtype=np.int64) for s in sinks]
-
-
-def _run_x86(graph, inputs, n_outputs):
-    sinks = [[] for _ in range(n_outputs)]
-    run_threaded(graph, *inputs, *sinks)
-    return [np.asarray(s, dtype=np.int64) for s in sinks]
 
 
 class TestRandomGraphHarness:
@@ -68,9 +60,28 @@ def test_property_cgsim_matches_reference(seed, n_kernels, n_items,
     inputs = [rng.integers(-1000, 1000, size=n_items)
               for _ in range(spec.n_inputs)]
     expected = reference_eval(spec, inputs)
-    got = _run_cgsim(graph, inputs, len(expected), capacity=capacity)
+    got = run_on_backend(graph, inputs, len(expected), backend="cgsim",
+                         capacity=capacity)
     for e, g in zip(expected, got):
         assert np.array_equal(e, g)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       n_kernels=st.integers(1, 8),
+       n_items=st.integers(1, 30))
+def test_property_all_backends_agree(seed, n_kernels, n_items):
+    """Every random layered DAG runs under every registered backend
+    (plus batched-port-I/O cgsim) with pairwise-identical results."""
+    assert set(available_backends()) == {"cgsim", "pysim", "x86sim"}
+    assert {b for b, _ in BACKEND_VARIANTS.values()} == \
+        set(available_backends())
+    spec = random_graph_spec(seed, n_kernels=n_kernels)
+    rng = np.random.default_rng(seed + 1)
+    inputs = [rng.integers(-1000, 1000, size=n_items)
+              for _ in range(spec.n_inputs)]
+    results = differential_run(spec, inputs, name=f"diff{seed}")
+    assert set(results) == set(BACKEND_VARIANTS)
 
 
 @settings(max_examples=10, deadline=None)
@@ -99,7 +110,7 @@ def test_x86sim_matches_reference(seed):
     inputs = [rng.integers(-500, 500, size=25)
               for _ in range(spec.n_inputs)]
     expected = reference_eval(spec, inputs)
-    got = _run_x86(graph, inputs, len(expected))
+    got = run_on_backend(graph, inputs, len(expected), backend="x86sim")
     for e, g in zip(expected, got):
         assert np.array_equal(e, g)
 
@@ -173,7 +184,8 @@ class TestCrossSimulatorApps:
 
         b = datasets.bitonic_blocks(3)
         out = []
-        run_threaded(bitonic.BITONIC_GRAPH, b.reshape(-1), out)
+        run_graph(bitonic.BITONIC_GRAPH, b.reshape(-1), out,
+                  backend="x86sim")
         assert np.array_equal(
             np.asarray(out, np.float32).reshape(b.shape),
             bitonic.run_cgsim(b),
@@ -181,12 +193,12 @@ class TestCrossSimulatorApps:
 
         fb, mu = datasets.farrow_blocks(2)
         out = []
-        run_threaded(farrow.FARROW_GRAPH, fb, int(mu), out)
+        run_graph(farrow.FARROW_GRAPH, fb, int(mu), out, backend="x86sim")
         assert np.array_equal(np.stack(out), farrow.run_cgsim(fb, mu))
 
         ib = datasets.iir_blocks(2)
         out = []
-        run_threaded(iir.IIR_GRAPH, ib, out)
+        run_graph(iir.IIR_GRAPH, ib, out, backend="x86sim")
         assert np.allclose(
             np.stack([np.asarray(x, np.float32) for x in out]),
             iir.run_cgsim(ib),
@@ -194,11 +206,33 @@ class TestCrossSimulatorApps:
 
         px, fr = datasets.bilinear_blocks(2)
         out = []
-        run_threaded(bilinear.BILINEAR_GRAPH, px.reshape(-1),
-                     fr.reshape(-1), out)
+        run_graph(bilinear.BILINEAR_GRAPH, px.reshape(-1),
+                  fr.reshape(-1), out, backend="x86sim")
         assert np.array_equal(
             np.asarray(out, np.float32).reshape(-1, 256),
             bilinear.run_cgsim(px, fr),
+        )
+
+    def test_batched_app_variants_agree(self):
+        """Opt-in batched-port kernels are bit-identical to per-element."""
+        from repro.apps import bitonic, datasets, iir
+
+        b = datasets.bitonic_blocks(5)
+        per_el, batched = [], []
+        run_graph(bitonic.BITONIC_GRAPH, b.reshape(-1), per_el,
+                  backend="cgsim")
+        run_graph(bitonic.BITONIC_GRAPH_BATCHED, b.reshape(-1), batched,
+                  backend="cgsim")
+        assert np.array_equal(np.asarray(per_el, np.float32),
+                              np.asarray(batched, np.float32))
+
+        ib = datasets.iir_blocks(3)
+        per_el, batched = [], []
+        run_graph(iir.IIR_GRAPH, ib, per_el, backend="cgsim")
+        run_graph(iir.IIR_GRAPH_BATCHED, ib, batched, backend="cgsim")
+        assert np.array_equal(
+            np.stack([np.asarray(x, np.float32) for x in per_el]),
+            np.stack([np.asarray(x, np.float32) for x in batched]),
         )
 
 
