@@ -50,15 +50,20 @@ def _emit_header():
         _HEADER = True
 
 
-def _workload(app: str, reps: int):
-    """Returns (cgsim_run, x86sim_run, aiesim_run) thunks for one app."""
+def _workload(app: str, reps: int, observe=None):
+    """Returns (cgsim_run, x86sim_run, aiesim_run) thunks for one app.
+
+    ``observe`` is threaded into the cgsim thunk only — the traced rerun
+    under ``--trace`` uses it; the timed runs leave it ``None``.
+    """
     if app == "bitonic":
         blocks = datasets.bitonic_blocks(reps)
         flat = blocks.reshape(-1)
 
         def cg():
             out = []
-            run_graph(bitonic.BITONIC_GRAPH, flat, out, backend="cgsim")
+            run_graph(bitonic.BITONIC_GRAPH, flat, out, backend="cgsim",
+                      observe=observe)
             return len(out)
 
         def x86():
@@ -75,7 +80,7 @@ def _workload(app: str, reps: int):
         def cg():
             out = []
             run_graph(farrow.FARROW_GRAPH, blocks, int(mu), out,
-                      backend="cgsim")
+                      backend="cgsim", observe=observe)
             return len(out)
 
         def x86():
@@ -93,7 +98,8 @@ def _workload(app: str, reps: int):
 
         def cg():
             out = []
-            run_graph(iir.IIR_GRAPH, blocks, out, backend="cgsim")
+            run_graph(iir.IIR_GRAPH, blocks, out, backend="cgsim",
+                      observe=observe)
             return len(out)
 
         def x86():
@@ -112,7 +118,8 @@ def _workload(app: str, reps: int):
         def cg():
             out = []
             run_graph(bilinear.BILINEAR_GRAPH, px.reshape(-1),
-                      fr.reshape(-1), out, backend="cgsim")
+                      fr.reshape(-1), out, backend="cgsim",
+                      observe=observe)
             return len(out)
 
         def x86():
@@ -129,8 +136,29 @@ def _workload(app: str, reps: int):
     return cg, x86, aie
 
 
+def _write_trace_artifacts(app: str, reps: int, results_dir) -> None:
+    """One extra, untimed cgsim run with tracing on; the Chrome-trace
+    file lands in ``results/table2_<app>.trace.json`` ready for
+    Perfetto.  For bitonic the cycle-approximate timeline is merged in
+    side by side (paper Fig. 4 style: functional vs aiesim)."""
+    from repro.aiesim.trace import to_chrome_trace
+    from repro.observe import Tracer, chrome_trace, combine_chrome_traces
+
+    trace_reps = max(1, min(reps, 64))  # keep artifacts small
+    tracer = Tracer()
+    cg, _x86, aie = _workload(app, trace_reps, observe=tracer)
+    cg()
+    tracer.close()
+    doc = chrome_trace(tracer.events)
+    if app == "bitonic":
+        doc = combine_chrome_traces(doc, to_chrome_trace(aie()))
+    path = results_dir / f"table2_{app}.trace.json"
+    path.write_text(json.dumps(doc, indent=1))
+    record_row(TABLE, f"  trace: {path}")
+
+
 @pytest.mark.parametrize("app", ["bitonic", "farrow", "iir", "bilinear"])
-def test_table2(benchmark, app, quick, results_dir):
+def test_table2(benchmark, app, quick, trace_runs, results_dir):
     paper_reps, p_cg, p_x86, p_aie = PAPER_TABLE2[app]
     reps = max(1, paper_reps // 8) if quick else paper_reps
 
@@ -165,6 +193,9 @@ def test_table2(benchmark, app, quick, results_dir):
                   "aiesim_s": p_aie},
     }
     (results_dir / "table2.json").write_text(json.dumps(_RESULTS, indent=2))
+
+    if trace_runs:
+        _write_trace_artifacts(app, reps, results_dir)
 
     # Shape assertions (the qualitative claims of §5.2):
     if app == "bitonic":

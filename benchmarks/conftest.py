@@ -48,11 +48,22 @@ def pytest_addoption(parser):
         "--quick", action="store_true", default=False,
         help="divide Table 2 repetition counts by 8",
     )
+    # (--trace itself is taken by pytest's pdb integration)
+    parser.addoption(
+        "--trace-runs", action="store_true", default=False,
+        help="also run each Table 2 app once with tracing on and write "
+             "Chrome-trace files (results/table2_<app>.trace.json)",
+    )
 
 
 @pytest.fixture(scope="session")
 def quick(request):
     return request.config.getoption("--quick")
+
+
+@pytest.fixture(scope="session")
+def trace_runs(request):
+    return request.config.getoption("--trace-runs")
 
 
 @pytest.fixture(scope="session")

@@ -25,6 +25,11 @@ SC'25).  Subpackages:
     Unified pluggable execution-backend layer: one registry and one
     ``run_graph(graph, *io, backend=...)`` entry point over the cgsim,
     x86sim, and pysim engines, with uniform run statistics.
+``repro.observe``
+    Unified cross-backend observability: structured event tracing with
+    one schema for every engine, streaming metrics (busy/blocked time,
+    stall attribution, queue watermarks), Chrome-trace/Perfetto export,
+    and a ``python -m repro.observe`` summarize/export/diff CLI.
 ``repro.apps``
     The four AMD Vitis-Tutorials example applications ported to cgsim:
     bilinear interpolation, bitonic sort, farrow filter, IIR filter

@@ -13,7 +13,8 @@ from typing import Dict, List, Sequence
 
 from .simulator import AiesimReport
 
-__all__ = ["IterationTrace", "iteration_trace", "export_vcd"]
+__all__ = ["IterationTrace", "iteration_trace", "export_vcd",
+           "to_chrome_trace"]
 
 
 @dataclass
@@ -57,6 +58,18 @@ def iteration_trace(report: AiesimReport,
         name: IterationTrace(name, times, ns_per_cycle)
         for name, times in report.output_block_times.items()
     }
+
+
+def to_chrome_trace(report: AiesimReport,
+                    ns_per_cycle: float = 0.8) -> dict:
+    """Render a simulation report in the Chrome trace-event format used
+    by :mod:`repro.observe` — the cycle-approximate timeline becomes
+    Perfetto tracks directly comparable (and mergeable via
+    :func:`repro.observe.combine_chrome_traces`) with functional-sim
+    traces of the same graph."""
+    from ..observe import aiesim_chrome_trace
+
+    return aiesim_chrome_trace(iteration_trace(report, ns_per_cycle))
 
 
 def export_vcd(report: AiesimReport) -> str:

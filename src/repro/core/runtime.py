@@ -93,19 +93,36 @@ class RuntimeContext:
         bulk ring runs of this size instead of one element per awaitable
         (the batched port I/O fast path).  Kernel-side batching is opt-in
         per kernel via ``port.get_batch`` / ``port.put_batch``.
+    observe:
+        Structured event tracing (``repro.observe``).  Accepts anything
+        :func:`repro.observe.make_tracer` understands: ``True`` for an
+        in-memory ring, a ring size, a ``.jsonl``/``.json`` path, a
+        ``TraceSink``, or a ready ``Tracer``.  ``None`` (the default)
+        keeps tracing off at a single pointer test per hook site.
     """
 
     #: Keyword arguments that CompiledGraph.__call__ routes to the
     #: constructor rather than to run().
-    CONSTRUCT_OPTIONS = frozenset({"capacity", "validate", "batch_io"})
+    CONSTRUCT_OPTIONS = frozenset({"capacity", "validate", "batch_io",
+                                   "observe"})
 
     def __init__(self, graph: ComputeGraph,
                  capacity: int = DEFAULT_QUEUE_CAPACITY,
                  validate: bool = False,
-                 batch_io: Optional[int] = None):
+                 batch_io: Optional[int] = None,
+                 observe: Any = None):
         self.graph = graph
         self.validate = validate
         self.batch_io = batch_io
+        if observe is not None and observe is not False:
+            from ..observe import make_tracer
+
+            self.tracer = make_tracer(observe)
+        else:
+            self.tracer = None
+        #: Label stamped into run.begin/run.end trace events.  The exec
+        #: backends overwrite it (pysim runs on this same runtime).
+        self.backend_label = "cgsim"
         self.queues: Dict[int, BroadcastQueue] = {}
         self._consumer_alloc: Dict[int, int] = {}  # net_id -> next idx
         self._kernel_ports: List[Tuple] = []       # per-instance port lists
@@ -230,9 +247,12 @@ class RuntimeContext:
                     "bind_io() must be called before run() on a graph "
                     "with global I/O"
                 )
-        sched = CooperativeScheduler(profile=profile)
+        tracer = self.tracer
+        sched = CooperativeScheduler(profile=profile, tracer=tracer)
         for net_id, q in self.queues.items():
             q.bind_scheduler(sched)
+            if tracer is not None and tracer.queue_events:
+                q.attach_observer(tracer)
 
         # Kernels first (they were created suspended at construction),
         # then sources and sinks.
@@ -245,6 +265,8 @@ class RuntimeContext:
         for idx, coro, _cursor in self._sinks:
             sched.spawn(f"sink[{idx}]", coro, kind="sink")
 
+        if tracer is not None:
+            tracer.run_begin(self.graph.name, self.backend_label)
         try:
             stats = sched.run(max_steps=max_steps)
             # Snapshot the wait diagnosis *before* teardown: close()
@@ -257,6 +279,8 @@ class RuntimeContext:
             ]
         finally:
             sched.close()
+            if tracer is not None:
+                tracer.run_end(self.graph.name, self.backend_label)
 
         # RTP outputs: copy the final latch values out.
         for latch, param in self._rtp_sinks:

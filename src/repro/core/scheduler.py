@@ -58,7 +58,7 @@ class Task:
 
     __slots__ = (
         "name", "coro", "kind", "state", "blocked_on",
-        "resumes", "cpu_time", "error",
+        "resumes", "cpu_time", "blocked_time", "park_ts", "error",
     )
 
     def __init__(self, name: str, coro, kind: str = "kernel"):
@@ -69,6 +69,8 @@ class Task:
         self.blocked_on: Optional[Tuple[Any, str, int]] = None  # (queue, op, idx)
         self.resumes = 0
         self.cpu_time = 0.0
+        self.blocked_time = 0.0    # only populated when profiling/tracing
+        self.park_ts = 0.0         # timestamp of the open park, 0.0 if none
         self.error: Optional[BaseException] = None
 
     def __repr__(self):
@@ -105,14 +107,20 @@ class SchedulerStats:
     task_states: Dict[str, str] = field(default_factory=dict)
     task_resumes: Dict[str, int] = field(default_factory=dict)
     task_cpu_time: Dict[str, float] = field(default_factory=dict)
+    task_blocked_time: Dict[str, float] = field(default_factory=dict)
 
     @property
     def kernel_fraction(self) -> float:
         """Fraction of profiled wall time spent inside task code — the
-        §5.2 metric (cgsim: 99.94% for bitonic)."""
-        if not self.profiled or self.wall_time == 0.0:
+        §5.2 metric (cgsim: 99.94% for bitonic).
+
+        NaN unless the run was profiled *and* wall time is strictly
+        positive (an unprofiled run has ``kernel_time == 0`` even when
+        wall time is nonzero, which would otherwise read as 0% kernel).
+        """
+        if not self.profiled or not self.wall_time > 0.0:
             return float("nan")
-        return self.kernel_time / self.wall_time
+        return min(self.kernel_time / self.wall_time, 1.0)
 
 
 class CooperativeScheduler:
@@ -137,10 +145,16 @@ class CooperativeScheduler:
     tuple growth).
     """
 
-    def __init__(self, profile: bool = False):
+    def __init__(self, profile: bool = False, tracer=None):
         self.tasks: List[Task] = []
         self.ready: deque = deque()
         self.profile = profile
+        #: optional :class:`repro.observe.Tracer`; when set, every
+        #: context switch emits task.start/resume/suspend/finish events
+        #: and per-task blocked time is measured.  The fast path (stream
+        #: ops that never park) is untouched either way.
+        self.tracer = tracer
+        self._current: Optional[Task] = None
         self._started = False
 
     # -- task management -----------------------------------------------------------
@@ -162,6 +176,18 @@ class CooperativeScheduler:
         Called by queues on puts/gets.  Spurious wakeups are harmless:
         awaitables re-check their queue and re-park if still blocked.
         """
+        tracer = self.tracer
+        if tracer is not None and waiters:
+            by = self._current.name if self._current is not None else ""
+            for task in waiters:
+                if task.state in (TaskState.BLOCKED_READ,
+                                  TaskState.BLOCKED_WRITE):
+                    b = task.blocked_on
+                    tracer.task_unpark(
+                        task.name,
+                        queue=(b[0].name or "") if b else "",
+                        by=by,
+                    )
         for task in waiters:
             if task.state in (TaskState.BLOCKED_READ, TaskState.BLOCKED_WRITE):
                 task.state = TaskState.READY
@@ -182,6 +208,10 @@ class CooperativeScheduler:
         stats = SchedulerStats(profiled=self.profile)
         ready = self.ready
         profile = self.profile
+        tracer = self.tracer
+        # Tracing implies per-task time measurement (busy/blocked), but
+        # cpu_time/kernel_fraction stay profile-only.
+        measure = profile or tracer is not None
         steps = 0
         t_run0 = perf_counter()
 
@@ -199,18 +229,33 @@ class CooperativeScheduler:
                     f"appears to livelock"
                 )
             try:
-                if profile:
+                if measure:
+                    self._current = task
+                    if tracer is not None:
+                        if task.resumes == 1:
+                            tracer.task_start(task.name, role=task.kind)
+                        else:
+                            tracer.task_resume(task.name)
                     t0 = perf_counter()
+                    if task.park_ts:
+                        task.blocked_time += t0 - task.park_ts
+                        task.park_ts = 0.0
                     cmd = task.coro.send(None)
-                    task.cpu_time += perf_counter() - t0
+                    t1 = perf_counter()
+                    if profile:
+                        task.cpu_time += t1 - t0
                 else:
                     cmd = task.coro.send(None)
             except StopIteration:
                 task.state = TaskState.FINISHED
+                if tracer is not None:
+                    tracer.task_finish(task.name)
                 continue
             except BaseException as exc:  # kernel raised
                 task.state = TaskState.FAILED
                 task.error = exc
+                if tracer is not None:
+                    tracer.task_fail(task.name, exc)
                 self._cancel_all()
                 raise GraphRuntimeError(
                     f"task {task.name!r} raised "
@@ -218,8 +263,9 @@ class CooperativeScheduler:
                 ) from exc
 
             op, queue, idx = cmd[0], cmd[1], cmd[2]
-            if len(cmd) > 3:  # batched op parked with partial progress
-                stats.batch_carried_items += cmd[3]
+            carried = cmd[3] if len(cmd) > 3 else 0
+            if carried:  # batched op parked with partial progress
+                stats.batch_carried_items += carried
             if op == "rd":
                 # Re-check under "lock" (single thread, so: after send
                 # returned).  A producer may have pushed between the failed
@@ -228,13 +274,25 @@ class CooperativeScheduler:
                 task.state = TaskState.BLOCKED_READ
                 task.blocked_on = (queue, "read", idx)
                 queue.read_waiters[idx].append(task)
+                if measure:
+                    task.park_ts = t1
+                    if tracer is not None:
+                        tracer.task_suspend(task.name, queue=queue.name or "",
+                                            op="read", n=carried)
             elif op == "wr":
                 task.state = TaskState.BLOCKED_WRITE
                 task.blocked_on = (queue, "write", -1)
                 queue.write_waiters.append(task)
+                if measure:
+                    task.park_ts = t1
+                    if tracer is not None:
+                        tracer.task_suspend(task.name, queue=queue.name or "",
+                                            op="write", n=carried)
             elif op == "yield":
                 task.state = TaskState.READY
                 ready.append(task)
+                if tracer is not None:
+                    tracer.task_suspend(task.name, op="yield")
             else:  # pragma: no cover - defensive
                 task.state = TaskState.FAILED
                 self._cancel_all()
@@ -243,16 +301,25 @@ class CooperativeScheduler:
                     f"{op!r}"
                 )
 
-        stats.wall_time = perf_counter() - t_run0
+        self._current = None
+        t_end = perf_counter()
+        stats.wall_time = t_end - t_run0
         stats.context_switches = steps
         if profile:
             stats.kernel_time = sum(t.cpu_time for t in self.tasks)
             stats.overhead_time = max(0.0, stats.wall_time - stats.kernel_time)
         for t in self.tasks:
+            if measure and t.park_ts:
+                # Still parked when the run drained (deadlocked peers or
+                # cancelled-at-end kernels): charge the wait so far.
+                t.blocked_time += t_end - t.park_ts
+                t.park_ts = 0.0
             stats.task_states[t.name] = t.state.value
             stats.task_resumes[t.name] = t.resumes
             if profile:
                 stats.task_cpu_time[t.name] = t.cpu_time
+            if measure:
+                stats.task_blocked_time[t.name] = t.blocked_time
         return stats
 
     # -- teardown -------------------------------------------------------------------

@@ -18,10 +18,16 @@ Registered backends (see :mod:`repro.exec.backends`):
 
 ``"cgsim"``
     The cooperative single-thread runtime (paper §3.6–3.8).  Options:
-    ``capacity``, ``validate``, ``batch_io``, ``max_steps``, ``strict``.
+    ``capacity``, ``validate``, ``batch_io``, ``observe``,
+    ``max_steps``, ``strict``.
 ``"x86sim"``
     The thread-per-kernel functional simulator (§5.2).  Options:
-    ``capacity``, ``timeout``.
+    ``capacity``, ``timeout``, ``observe``.
+
+Every backend accepts the cross-cutting ``observe=`` / ``trace=``
+option of :func:`run_graph` and emits one shared event schema
+(:mod:`repro.observe`), so traces from different engines are directly
+comparable.
 ``"pysim"``
     The extractor's executable backend: the graph goes through the
     serialize → JSON → deserialize round trip the generated
@@ -81,7 +87,13 @@ class RunResult:
     task_states: Dict[str, str] = field(default_factory=dict)
     per_kernel_resumes: Dict[str, int] = field(default_factory=dict)
     per_kernel_time: Dict[str, float] = field(default_factory=dict)
+    per_kernel_blocked: Dict[str, float] = field(default_factory=dict)
     stall_diagnosis: str = ""
+    #: :class:`repro.observe.TraceMetrics` when the run was traced.
+    metrics: Any = None
+    #: The :class:`repro.observe.Tracer` used for the run (its ``events``
+    #: property exposes retained events for in-memory sinks).
+    trace: Any = None
     raw: Any = None
 
     @property
@@ -221,14 +233,50 @@ def resolve_graph(graph: Any):
 
 
 def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
-              profile: bool = False, **options: Any) -> RunResult:
+              profile: bool = False, observe: Any = None,
+              trace: Any = None, **options: Any) -> RunResult:
     """Execute *graph* on the named backend: the single entry point all
     benchmarks, examples, and the differential harness go through.
 
     Positional ``io`` follows §3.7: data sources for every global input
     (in order), then sink containers for every global output.  Keyword
     ``options`` are backend-specific (see :mod:`repro.exec.backends`).
+
+    ``observe`` (alias ``trace``) enables structured event tracing with
+    the same schema on every backend: ``True`` for an in-memory ring, an
+    int ring size, a ``.jsonl``/``.json`` file path, a
+    :class:`~repro.observe.sinks.TraceSink`, or a ready
+    :class:`~repro.observe.events.Tracer`.  The result then carries
+    ``metrics`` (the :class:`~repro.observe.metrics.TraceMetrics`
+    reduction) and ``trace`` (the tracer; ``result.trace.events`` holds
+    retained events).  File-backed sinks are flushed/written before
+    :func:`run_graph` returns unless the caller passed its own Tracer.
     """
+    if observe is not None and trace is not None:
+        raise GraphRuntimeError(
+            "pass either observe= or trace= (they are aliases), not both"
+        )
+    spec = observe if observe is not None else trace
+    tracer = None
+    owned = False
+    if spec is not None and spec is not False:
+        from ..observe import Tracer, make_tracer
+
+        owned = not isinstance(spec, Tracer)
+        tracer = make_tracer(spec)
     b = get_backend(backend)
+    if tracer is not None:
+        options["observe"] = tracer
     plan = b.prepare(graph, io, **options)
-    return b.run(plan, profile=profile)
+    try:
+        result = b.run(plan, profile=profile)
+    except BaseException:
+        if tracer is not None and owned:
+            tracer.close()
+        raise
+    if tracer is not None:
+        result.trace = tracer
+        result.metrics = tracer.metrics()
+        if owned:
+            tracer.close()
+    return result

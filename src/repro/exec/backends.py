@@ -32,7 +32,8 @@ class CgsimBackend(ExecutionBackend):
 
     Options: ``capacity`` (queue depth default), ``validate``
     (per-element stream type checks), ``batch_io`` (bulk ring I/O for
-    global sources/sinks), ``max_steps`` (livelock guard), ``strict``
+    global sources/sinks), ``observe`` (structured event tracing, see
+    :mod:`repro.observe`), ``max_steps`` (livelock guard), ``strict``
     (raise :class:`DeadlockError` on stalls).
     """
 
@@ -53,6 +54,7 @@ class CgsimBackend(ExecutionBackend):
         run_opts = {k: v for k, v in options.items()
                     if k not in RuntimeContext.CONSTRUCT_OPTIONS}
         rt = RuntimeContext(g, **construct)
+        rt.backend_label = self.name
         if io or g.inputs or g.outputs:
             rt.bind_io(*io)
         return ExecutionPlan(backend=self.name, graph=g, io=io,
@@ -77,6 +79,7 @@ class CgsimBackend(ExecutionBackend):
             task_states=dict(report.task_states),
             per_kernel_resumes=dict(stats.task_resumes),
             per_kernel_time=dict(stats.task_cpu_time),
+            per_kernel_blocked=dict(stats.task_blocked_time),
             stall_diagnosis=report.stall_diagnosis,
             raw=report,
         )
@@ -113,8 +116,9 @@ class X86simBackend(ExecutionBackend):
     """Thread-per-kernel functional simulator (§5.2).
 
     Options: ``capacity`` (channel depth), ``timeout`` (per-wait stall
-    bound in seconds).  ``profile`` is accepted for interface parity but
-    preemptive threads have no per-kernel time split to report.
+    bound in seconds), ``observe`` (structured event tracing, see
+    :mod:`repro.observe`).  ``profile`` is accepted for interface parity
+    but preemptive threads have no per-kernel time split to report.
     """
 
     name = "x86sim"
@@ -127,12 +131,19 @@ class X86simBackend(ExecutionBackend):
         g = resolve_graph(graph)
         capacity = options.pop("capacity", DEFAULT_QUEUE_CAPACITY)
         timeout = options.pop("timeout", 60.0)
+        observe = options.pop("observe", None)
         if options:
             from ..errors import GraphRuntimeError
             raise GraphRuntimeError(
                 f"x86sim backend got unknown options: {sorted(options)}"
             )
-        state = prepare_threads(g, io, capacity=capacity, timeout=timeout)
+        tracer = None
+        if observe is not None and observe is not False:
+            from ..observe import make_tracer
+
+            tracer = make_tracer(observe)
+        state = prepare_threads(g, io, capacity=capacity, timeout=timeout,
+                                observe=tracer)
         return ExecutionPlan(backend=self.name, graph=g, io=io, state=state)
 
     def run(self, plan: ExecutionPlan, *, profile: bool = False) -> RunResult:

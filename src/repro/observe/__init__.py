@@ -1,0 +1,136 @@
+"""repro.observe — unified cross-backend observability.
+
+One structured event schema for every execution engine (cgsim, pysim,
+x86sim), pluggable sinks, streaming metrics, and Chrome-trace/Perfetto
+export.  The usual entry is the ``observe=`` option of
+:func:`repro.exec.run_graph`::
+
+    from repro.exec import run_graph
+
+    out: list = []
+    result = run_graph(graph, data, out, backend="cgsim", observe=True)
+    print(result.metrics.summary())          # busy/blocked, stalls, ...
+    events = result.trace.events             # the raw event ring
+
+    # Stream to disk / export for Perfetto instead:
+    run_graph(graph, data, out, observe="run.jsonl")       # JSONL file
+    run_graph(graph, data, out, observe="run.trace.json")  # Chrome trace
+
+Then ``python -m repro.observe summarize|export|diff`` works on the
+JSONL files.  See ``docs/OBSERVABILITY.md`` for the event schema, the
+metrics surface, and a Perfetto walkthrough.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional
+
+from .chrome import (
+    aiesim_chrome_trace,
+    chrome_trace,
+    combine_chrome_traces,
+    export_chrome_trace,
+)
+from .events import (
+    EVENT_KINDS,
+    QUEUE_GET,
+    QUEUE_PUT,
+    RUN_BEGIN,
+    RUN_END,
+    SCHEMA_VERSION,
+    TASK_FAIL,
+    TASK_FINISH,
+    TASK_RESUME,
+    TASK_START,
+    TASK_SUSPEND,
+    TASK_UNPARK,
+    Event,
+    Tracer,
+)
+from .metrics import (
+    KernelMetrics,
+    MetricsAggregator,
+    QueueMetrics,
+    TraceMetrics,
+    compute_metrics,
+)
+from .sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    RingSink,
+    TraceSink,
+    read_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "Event",
+    "Tracer",
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "RUN_BEGIN",
+    "RUN_END",
+    "TASK_START",
+    "TASK_RESUME",
+    "TASK_SUSPEND",
+    "TASK_UNPARK",
+    "TASK_FINISH",
+    "TASK_FAIL",
+    "QUEUE_PUT",
+    "QUEUE_GET",
+    "TraceSink",
+    "RingSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "read_jsonl",
+    "write_jsonl",
+    "TraceMetrics",
+    "KernelMetrics",
+    "QueueMetrics",
+    "MetricsAggregator",
+    "compute_metrics",
+    "chrome_trace",
+    "export_chrome_trace",
+    "combine_chrome_traces",
+    "aiesim_chrome_trace",
+    "make_tracer",
+]
+
+
+def make_tracer(spec: Any) -> Optional[Tracer]:
+    """Normalise the user-facing ``observe=`` value to a Tracer.
+
+    ========================  =============================================
+    ``None`` / ``False``      tracing off (returns ``None``)
+    ``True``                  bounded in-memory ring (the default sink)
+    ``int``                   in-memory ring of that capacity
+    ``str`` / ``Path``        ``*.jsonl`` → streamed JSONL file; any other
+                              suffix → Chrome-trace JSON written on close
+    :class:`TraceSink`        tracer over that sink
+    :class:`Tracer`           used as-is (caller keeps ownership)
+    ========================  =============================================
+    """
+    if spec is None or spec is False:
+        return None
+    if isinstance(spec, Tracer):
+        return spec
+    if spec is True:
+        return Tracer()
+    if isinstance(spec, bool):  # pragma: no cover - covered by the above
+        return None
+    if isinstance(spec, int):
+        return Tracer(RingSink(maxlen=spec))
+    if isinstance(spec, TraceSink):
+        return Tracer(spec)
+    if isinstance(spec, (str, Path)):
+        path = str(spec)
+        if path.endswith(".jsonl"):
+            return Tracer(JsonlSink(path))
+        return Tracer(ChromeTraceSink(path))
+    from ..errors import GraphRuntimeError
+
+    raise GraphRuntimeError(
+        f"cannot interpret observe={spec!r}; pass True, a ring size, a "
+        f"trace file path (.jsonl or .json), a TraceSink, or a Tracer"
+    )

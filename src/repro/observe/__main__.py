@@ -1,0 +1,133 @@
+"""``python -m repro.observe`` — summarize, diff, and export trace files.
+
+Subcommands (all take JSONL trace files produced with
+``observe="run.jsonl"`` or :class:`~repro.observe.sinks.JsonlSink`):
+
+``summarize FILE``
+    Per-kernel busy/blocked table, queue transfer totals and occupancy
+    watermarks, and the worst stall edges.
+
+``export FILE [-o OUT]``
+    Convert to Chrome trace-event JSON (default ``FILE`` with a
+    ``.trace.json`` suffix) loadable in Perfetto /
+    ``chrome://tracing``.
+
+``diff A B``
+    Compare two traces (e.g. cgsim vs x86sim of the same graph, or
+    before/after an optimisation): per-kernel busy/blocked/resume
+    deltas and per-queue transfer mismatches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .metrics import TraceMetrics, compute_metrics
+from .sinks import read_jsonl
+
+__all__ = ["main"]
+
+
+def _load_metrics(path: str) -> TraceMetrics:
+    return compute_metrics(read_jsonl(path))
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    m = _load_metrics(args.file)
+    print(m.summary())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .chrome import export_chrome_trace
+
+    events = read_jsonl(args.file)
+    out = args.output
+    if out is None:
+        src = Path(args.file)
+        out = str(src.with_suffix("")) + ".trace.json"
+    export_chrome_trace(events, out)
+    print(f"wrote {out} ({len(events)} events) — open in "
+          f"https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _fmt_delta(a: float, b: float, unit: str = "") -> str:
+    d = b - a
+    rel = f" ({d / a:+.1%})" if a else ""
+    return f"{a:.3f} -> {b:.3f}{unit}{rel}"
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    ma, mb = _load_metrics(args.a), _load_metrics(args.b)
+    print(f"A: {args.a}  ({ma.graph or '?'} on {ma.backend or '?'}, "
+          f"{ma.n_events} events, wall {ma.wall_s * 1e3:.2f} ms)")
+    print(f"B: {args.b}  ({mb.graph or '?'} on {mb.backend or '?'}, "
+          f"{mb.n_events} events, wall {mb.wall_s * 1e3:.2f} ms)")
+    print()
+    names = sorted(set(ma.kernels) | set(mb.kernels))
+    print(f"{'task':<22}{'busy ms A->B':<34}{'resumes A->B':<20}")
+    for name in names:
+        ka, kb = ma.kernels.get(name), mb.kernels.get(name)
+        if ka is None or kb is None:
+            print(f"{name:<22}only in {'B' if ka is None else 'A'}")
+            continue
+        print(f"{name:<22}"
+              f"{_fmt_delta(ka.busy_s * 1e3, kb.busy_s * 1e3):<34}"
+              f"{ka.resumes} -> {kb.resumes}")
+    qnames = sorted(set(ma.queues) | set(mb.queues))
+    if qnames:
+        print()
+        print(f"{'queue':<22}{'puts A/B':<16}{'gets A/B':<16}"
+              f"{'watermark A/B':<16}")
+        mismatches = 0
+        for name in qnames:
+            qa, qb = ma.queues.get(name), mb.queues.get(name)
+            pa, ga, wa = (qa.puts, qa.gets, qa.watermark) if qa \
+                else ("-", "-", "-")
+            pb, gb, wb = (qb.puts, qb.gets, qb.watermark) if qb \
+                else ("-", "-", "-")
+            flag = ""
+            if qa and qb and qa.puts != qb.puts:
+                flag = "  <- put-count mismatch"
+                mismatches += 1
+            print(f"{name:<22}{f'{pa}/{pb}':<16}{f'{ga}/{gb}':<16}"
+                  f"{f'{wa}/{wb}':<16}{flag}")
+        if mismatches:
+            print(f"\n{mismatches} queue(s) moved different item counts "
+                  f"between the two traces")
+            return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe",
+        description="Summarize, diff, and export execution trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize", help="metrics summary of one trace")
+    p.add_argument("file", help="JSONL trace file")
+    p.set_defaults(fn=_cmd_summarize)
+
+    p = sub.add_parser("export", help="convert JSONL to Chrome trace JSON")
+    p.add_argument("file", help="JSONL trace file")
+    p.add_argument("-o", "--output", default=None,
+                   help="output path (default: <file>.trace.json)")
+    p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser("diff", help="compare two traces")
+    p.add_argument("a", help="baseline JSONL trace")
+    p.add_argument("b", help="comparison JSONL trace")
+    p.set_defaults(fn=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

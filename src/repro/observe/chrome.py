@@ -1,0 +1,224 @@
+"""Chrome trace-event JSON export (Perfetto / ``chrome://tracing``).
+
+Converts a structured event stream into the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_:
+
+* every task (kernel, source, sink) becomes a named **track** (thread);
+* running intervals become ``X`` (complete) slices on the task's track;
+* stall intervals become ``stall:read``/``stall:write`` slices carrying
+  the queue name, **flow-annotated** from the task that performed the
+  unblocking queue operation to the stalled task's resume — in Perfetto
+  the arrow literally points from the unblocker to the unblocked;
+* queue occupancy becomes per-queue counter tracks (``C`` events);
+* ``run.begin``/``run.end`` become global instant markers.
+
+:func:`aiesim_chrome_trace` renders the cycle-approximate simulator's
+:class:`~repro.aiesim.trace.IterationTrace` timelines in the same
+format, and :func:`combine_chrome_traces` merges documents under
+distinct process IDs so hardware-model and functional-sim timelines are
+viewable side by side in one Perfetto session.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from . import events as E
+from .events import Event
+
+__all__ = [
+    "chrome_trace",
+    "export_chrome_trace",
+    "combine_chrome_traces",
+    "aiesim_chrome_trace",
+]
+
+
+def _meta(pid: int, name: str, value: str, tid: int = 0) -> Dict[str, Any]:
+    return {"ph": "M", "pid": pid, "tid": tid, "name": name,
+            "args": {"name": value}}
+
+
+def chrome_trace(events: List[Event], *, pid: int = 1,
+                 process_name: Optional[str] = None) -> Dict[str, Any]:
+    """Render an event list as a Chrome trace-event document (dict)."""
+    out: List[Dict[str, Any]] = []
+    if not events:
+        return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+    t0 = events[0].ts
+
+    def us(ts: float) -> float:
+        return (ts - t0) * 1e6
+
+    tids: Dict[str, int] = {}
+
+    def tid_for(task: str) -> int:
+        tid = tids.get(task)
+        if tid is None:
+            tid = tids[task] = len(tids) + 1
+            out.append(_meta(pid, "thread_name", task, tid))
+            out.append({"ph": "M", "pid": pid, "tid": tid,
+                        "name": "thread_sort_index",
+                        "args": {"sort_index": tid}})
+        return tid
+
+    # Open intervals per task: (start_ts, kind, queue, op)
+    open_run: Dict[str, float] = {}
+    open_stall: Dict[str, Any] = {}
+    pending_unpark: Dict[str, Any] = {}
+    flow_id = 0
+    label = process_name
+
+    for ev in events:
+        kind = ev.kind
+        if kind in (E.TASK_START, E.TASK_RESUME):
+            tid = tid_for(ev.task)
+            stall = open_stall.pop(ev.task, None)
+            if stall is not None:
+                s_ts, queue, op = stall
+                out.append({
+                    "ph": "X", "pid": pid, "tid": tid,
+                    "name": f"stall:{op}", "cat": "stall",
+                    "ts": us(s_ts), "dur": max(0.0, us(ev.ts) - us(s_ts)),
+                    "args": {"queue": queue, "op": op},
+                })
+                unpark = pending_unpark.pop(ev.task, None)
+                if unpark is not None:
+                    u_ts, by = unpark
+                    flow_id += 1
+                    out.append({
+                        "ph": "s", "pid": pid, "tid": tid_for(by),
+                        "name": "unblock", "cat": "flow",
+                        "id": flow_id, "ts": us(u_ts),
+                    })
+                    out.append({
+                        "ph": "f", "pid": pid, "tid": tid,
+                        "name": "unblock", "cat": "flow",
+                        "id": flow_id, "ts": us(ev.ts), "bp": "e",
+                    })
+            open_run[ev.task] = ev.ts
+        elif kind == E.TASK_SUSPEND:
+            tid = tid_for(ev.task)
+            start = open_run.pop(ev.task, None)
+            if start is not None:
+                args: Dict[str, Any] = {}
+                if ev.n:
+                    args["batch_carried"] = ev.n
+                out.append({
+                    "ph": "X", "pid": pid, "tid": tid,
+                    "name": ev.task, "cat": "task",
+                    "ts": us(start), "dur": max(0.0, us(ev.ts) - us(start)),
+                    **({"args": args} if args else {}),
+                })
+            if ev.op in ("read", "write"):
+                open_stall[ev.task] = (ev.ts, ev.queue, ev.op)
+        elif kind == E.TASK_UNPARK:
+            by = (ev.meta or {}).get("by", "")
+            if by:
+                pending_unpark[ev.task] = (ev.ts, by)
+        elif kind in (E.TASK_FINISH, E.TASK_FAIL):
+            tid = tid_for(ev.task)
+            start = open_run.pop(ev.task, None)
+            if start is not None:
+                out.append({
+                    "ph": "X", "pid": pid, "tid": tid,
+                    "name": ev.task, "cat": "task",
+                    "ts": us(start), "dur": max(0.0, us(ev.ts) - us(start)),
+                })
+            if kind == E.TASK_FAIL:
+                out.append({
+                    "ph": "i", "pid": pid, "tid": tid, "s": "t",
+                    "name": f"fail:{ev.task}", "cat": "task",
+                    "ts": us(ev.ts),
+                    "args": dict(ev.meta or {}),
+                })
+        elif kind in (E.QUEUE_PUT, E.QUEUE_GET):
+            if ev.fill >= 0:
+                out.append({
+                    "ph": "C", "pid": pid, "tid": 0,
+                    "name": f"fill:{ev.queue}", "ts": us(ev.ts),
+                    "args": {"fill": ev.fill},
+                })
+        elif kind in (E.RUN_BEGIN, E.RUN_END):
+            meta = ev.meta or {}
+            if kind == E.RUN_BEGIN and label is None:
+                label = (f"{meta.get('graph', '?')} "
+                         f"[{meta.get('backend', '?')}]")
+            out.append({
+                "ph": "i", "pid": pid, "tid": 0, "s": "g",
+                "name": kind, "ts": us(ev.ts), "args": dict(meta),
+            })
+
+    # Close dangling intervals (deadlocks, cancelled end-of-input tasks)
+    # at the final timestamp so every slice renders.
+    t_end = events[-1].ts
+    for task, start in open_run.items():
+        out.append({
+            "ph": "X", "pid": pid, "tid": tid_for(task),
+            "name": task, "cat": "task",
+            "ts": us(start), "dur": max(0.0, us(t_end) - us(start)),
+        })
+    for task, (s_ts, queue, op) in open_stall.items():
+        out.append({
+            "ph": "X", "pid": pid, "tid": tid_for(task),
+            "name": f"stall:{op}", "cat": "stall",
+            "ts": us(s_ts), "dur": max(0.0, us(t_end) - us(s_ts)),
+            "args": {"queue": queue, "op": op, "unresolved": True},
+        })
+
+    out.insert(0, _meta(pid, "process_name", label or "repro trace"))
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(events: List[Event], path: Union[str, Path],
+                        **kwargs: Any) -> Dict[str, Any]:
+    """Render *events* and write the JSON document to *path*."""
+    doc = chrome_trace(events, **kwargs)
+    Path(path).write_text(json.dumps(doc, indent=1), encoding="utf-8")
+    return doc
+
+
+def combine_chrome_traces(*docs: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge trace documents under distinct process IDs (side-by-side
+    viewing: e.g. a cgsim run next to the aiesim hardware model)."""
+    merged: List[Dict[str, Any]] = []
+    for i, doc in enumerate(docs, start=1):
+        for ev in doc.get("traceEvents", []):
+            ev = dict(ev)
+            ev["pid"] = i
+            merged.append(ev)
+    return {"traceEvents": merged, "displayTimeUnit": "ms"}
+
+
+def aiesim_chrome_trace(traces: Any, *, pid: int = 1,
+                        process_name: str = "aiesim (cycle-approximate)"
+                        ) -> Dict[str, Any]:
+    """Render aiesim iteration traces as a Chrome trace document.
+
+    Accepts the ``{output: IterationTrace}`` mapping produced by
+    :func:`repro.aiesim.trace.iteration_trace` (any object with
+    ``output`` / ``times_cycles`` / ``ns_per_cycle`` works).  Each
+    graph output becomes a track whose slices are the block intervals —
+    cycle timestamps are converted to microseconds at the device clock,
+    so the timeline aligns with functional-sim traces when merged via
+    :func:`combine_chrome_traces`.
+    """
+    out: List[Dict[str, Any]] = [_meta(pid, "process_name", process_name)]
+    for tid, name in enumerate(sorted(traces), start=1):
+        tr = traces[name]
+        out.append(_meta(pid, "thread_name", f"output {tr.output}", tid))
+        prev_cycles = 0
+        for i, t in enumerate(tr.times_cycles):
+            ts_us = prev_cycles * tr.ns_per_cycle / 1e3
+            dur_us = max(0.0, (t - prev_cycles) * tr.ns_per_cycle / 1e3)
+            out.append({
+                "ph": "X", "pid": pid, "tid": tid,
+                "name": f"block {i}", "cat": "aiesim",
+                "ts": ts_us, "dur": dur_us,
+                "args": {"t_cycles": t},
+            })
+            prev_cycles = t
+    return {"traceEvents": out, "displayTimeUnit": "ms"}

@@ -1,0 +1,264 @@
+"""Structured execution events and the :class:`Tracer` front door.
+
+One event schema for every execution engine (cgsim, pysim, x86sim): the
+scheduler, the queues, and the thread runner all report what happened
+through a single :class:`Tracer`, which timestamps each occurrence,
+feeds the streaming metrics aggregator, and forwards the event to the
+configured sink (ring buffer, JSONL file, Chrome-trace file — see
+:mod:`repro.observe.sinks`).
+
+Event schema (version 1)
+------------------------
+
+Every event carries ``(ts, kind, task, queue, op, n, fill, meta)``;
+unused fields stay at their defaults and are omitted from serialized
+forms.  ``ts`` is a :func:`time.perf_counter` timestamp in seconds,
+assigned under the tracer lock so the event stream is totally ordered
+even when emitted from multiple threads (x86sim).
+
+=================  ==========================================================
+kind               meaning / populated fields
+=================  ==========================================================
+``run.begin``      execution started; ``meta`` = graph, backend, schema
+``run.end``        execution finished; ``meta`` = graph, backend
+``task.start``     first resume of a task; ``meta["role"]`` is
+                   kernel/source/sink
+``task.resume``    a parked or ready task starts running again
+``task.suspend``   task stopped running; ``op`` = read/write/yield,
+                   ``queue`` names the stream it parked on, ``n`` is the
+                   batched-I/O partial progress carried into the park
+``task.unpark``    a queue operation moved the task from a waiter list
+                   back to ready; ``meta["by"]`` names the unblocking
+                   task where known (cgsim)
+``task.finish``    the task's coroutine/thread completed
+``task.fail``      the task raised; ``meta["error"]`` summarises it
+``queue.put``      ``n`` element(s) appended; ``fill`` = occupancy after
+``queue.get``      ``n`` element(s) popped; ``fill`` = remaining for the
+                   reading consumer
+=================  ==========================================================
+
+The no-op path is the design constraint: when tracing is off no Tracer
+exists, cgsim queues run their plain transfer methods (the traced
+subclass is only swapped in by ``attach_observer``), and the remaining
+hook sites — once per scheduler context switch, once per x86sim channel
+operation under its lock — are single ``is not None`` checks (see
+``benchmarks/bench_observe_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RUN_BEGIN", "RUN_END",
+    "TASK_START", "TASK_RESUME", "TASK_SUSPEND", "TASK_UNPARK",
+    "TASK_FINISH", "TASK_FAIL",
+    "QUEUE_PUT", "QUEUE_GET",
+    "EVENT_KINDS",
+    "Event",
+    "Tracer",
+]
+
+#: Version stamp carried in the ``run.begin`` event's metadata.
+SCHEMA_VERSION = 1
+
+RUN_BEGIN = "run.begin"
+RUN_END = "run.end"
+TASK_START = "task.start"
+TASK_RESUME = "task.resume"
+TASK_SUSPEND = "task.suspend"
+TASK_UNPARK = "task.unpark"
+TASK_FINISH = "task.finish"
+TASK_FAIL = "task.fail"
+QUEUE_PUT = "queue.put"
+QUEUE_GET = "queue.get"
+
+#: Every kind a schema-1 trace may contain.
+EVENT_KINDS = frozenset({
+    RUN_BEGIN, RUN_END,
+    TASK_START, TASK_RESUME, TASK_SUSPEND, TASK_UNPARK,
+    TASK_FINISH, TASK_FAIL,
+    QUEUE_PUT, QUEUE_GET,
+})
+
+
+class Event:
+    """One structured execution event (see the module schema table)."""
+
+    __slots__ = ("ts", "kind", "task", "queue", "op", "n", "fill", "meta")
+
+    def __init__(self, ts: float, kind: str, task: str = "",
+                 queue: str = "", op: str = "", n: int = 0,
+                 fill: int = -1, meta: Optional[Dict[str, Any]] = None):
+        self.ts = ts
+        self.kind = kind
+        self.task = task
+        self.queue = queue
+        self.op = op
+        self.n = n
+        self.fill = fill
+        self.meta = meta
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form with default-valued fields omitted."""
+        d: Dict[str, Any] = {"ts": self.ts, "kind": self.kind}
+        if self.task:
+            d["task"] = self.task
+        if self.queue:
+            d["queue"] = self.queue
+        if self.op:
+            d["op"] = self.op
+        if self.n:
+            d["n"] = self.n
+        if self.fill >= 0:
+            d["fill"] = self.fill
+        if self.meta:
+            d["meta"] = self.meta
+        return d
+
+    @staticmethod
+    def from_dict(d: Dict[str, Any]) -> "Event":
+        return Event(
+            ts=float(d["ts"]),
+            kind=str(d["kind"]),
+            task=str(d.get("task", "")),
+            queue=str(d.get("queue", "")),
+            op=str(d.get("op", "")),
+            n=int(d.get("n", 0)),
+            fill=int(d.get("fill", -1)),
+            meta=d.get("meta"),
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, Event) and self.to_dict() == other.to_dict()
+
+    def __repr__(self):
+        parts = [f"{self.ts:.6f}", self.kind]
+        if self.task:
+            parts.append(self.task)
+        if self.queue:
+            parts.append(f"q={self.queue}")
+        if self.op:
+            parts.append(self.op)
+        if self.n:
+            parts.append(f"n={self.n}")
+        return f"<Event {' '.join(parts)}>"
+
+
+class Tracer:
+    """Front door of the observability layer.
+
+    Engines call the typed ``emit_*`` helpers at their hook points; the
+    tracer stamps a timestamp, feeds the streaming
+    :class:`~repro.observe.metrics.MetricsAggregator`, and forwards the
+    event to the sink.  A single lock makes emission safe from the
+    x86sim thread pool and guarantees the event stream is ordered by
+    timestamp.
+
+    Parameters
+    ----------
+    sink:
+        Any :class:`~repro.observe.sinks.TraceSink`; defaults to a
+        bounded in-memory :class:`~repro.observe.sinks.RingSink`.
+    queue_events:
+        When False, engines skip attaching the tracer to queues, so no
+        per-element ``queue.put``/``queue.get`` events are emitted
+        (task-level slices and stall attribution still work, at a
+        fraction of the event volume).
+    metrics:
+        When False, skip the streaming aggregator (export-only runs).
+    """
+
+    def __init__(self, sink=None, *, queue_events: bool = True,
+                 metrics: bool = True,
+                 clock: Callable[[], float] = perf_counter):
+        from .metrics import MetricsAggregator
+        from .sinks import RingSink
+
+        self.sink = sink if sink is not None else RingSink()
+        self.queue_events = queue_events
+        self.aggregator = MetricsAggregator() if metrics else None
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.closed = False
+
+    # -- core emission -------------------------------------------------------
+
+    def emit(self, kind: str, task: str = "", queue: str = "", op: str = "",
+             n: int = 0, fill: int = -1,
+             meta: Optional[Dict[str, Any]] = None) -> None:
+        with self._lock:
+            ev = Event(self._clock(), kind, task, queue, op, n, fill, meta)
+            if self.aggregator is not None:
+                self.aggregator.observe(ev)
+            self.sink.write(ev)
+
+    # -- typed helpers (the engine-facing surface) ---------------------------
+
+    def run_begin(self, graph: str, backend: str) -> None:
+        self.emit(RUN_BEGIN, meta={
+            "graph": graph, "backend": backend, "schema": SCHEMA_VERSION,
+        })
+
+    def run_end(self, graph: str, backend: str) -> None:
+        self.emit(RUN_END, meta={"graph": graph, "backend": backend})
+
+    def task_start(self, task: str, role: str = "kernel") -> None:
+        self.emit(TASK_START, task=task, meta={"role": role})
+
+    def task_resume(self, task: str) -> None:
+        self.emit(TASK_RESUME, task=task)
+
+    def task_suspend(self, task: str, queue: str = "", op: str = "yield",
+                     n: int = 0) -> None:
+        self.emit(TASK_SUSPEND, task=task, queue=queue, op=op, n=n)
+
+    def task_unpark(self, task: str, queue: str = "",
+                    by: str = "") -> None:
+        self.emit(TASK_UNPARK, task=task, queue=queue,
+                  meta={"by": by} if by else None)
+
+    def task_finish(self, task: str) -> None:
+        self.emit(TASK_FINISH, task=task)
+
+    def task_fail(self, task: str, error: BaseException) -> None:
+        self.emit(TASK_FAIL, task=task, meta={
+            "error": f"{type(error).__name__}: {error}",
+        })
+
+    def queue_put(self, queue: str, n: int, fill: int) -> None:
+        self.emit(QUEUE_PUT, queue=queue, n=n, fill=fill)
+
+    def queue_get(self, queue: str, n: int, fill: int) -> None:
+        self.emit(QUEUE_GET, queue=queue, n=n, fill=fill)
+
+    # -- harvest -------------------------------------------------------------
+
+    def metrics(self):
+        """Aggregated :class:`~repro.observe.metrics.TraceMetrics`, or
+        ``None`` when the aggregator was disabled."""
+        if self.aggregator is None:
+            return None
+        with self._lock:
+            return self.aggregator.result()
+
+    @property
+    def events(self) -> Optional[List[Event]]:
+        """The collected events when the sink retains them (ring and
+        Chrome sinks do; a JSONL sink streams to disk and returns
+        ``None`` — reload with :func:`repro.observe.sinks.read_jsonl`)."""
+        return self.sink.events
+
+    def close(self) -> None:
+        """Flush and close the sink (idempotent)."""
+        with self._lock:
+            if not self.closed:
+                self.closed = True
+                self.sink.close()
+
+    def __repr__(self):
+        return (f"<Tracer sink={type(self.sink).__name__} "
+                f"queue_events={self.queue_events}>")

@@ -1,0 +1,304 @@
+"""Streaming metrics aggregation over structured execution events.
+
+The aggregator consumes events one at a time (the
+:class:`~repro.observe.events.Tracer` feeds it as they are emitted, the
+CLI feeds it from reloaded JSONL files) and reduces them to the
+quantities the paper's evaluation is built on:
+
+* per-kernel **busy** time (running between resume and suspend) and
+  **blocked** time (parked on a queue between suspend and resume),
+  resume counts, and park counts split by read/write;
+* per-queue transfer totals and **occupancy watermarks** (the highest
+  fill level ever observed);
+* **backpressure attribution**: for every queue, how long each task
+  spent blocked writing to it (the queue was full — its consumers are
+  the bottleneck) — and the dual **starvation attribution** for reads
+  (the queue was empty — its producers are the bottleneck).
+
+Tasks still parked or running when the trace ends (deadlocks, cancelled
+end-of-input kernels) are charged up to the final event's timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import events as E
+from .events import Event
+
+__all__ = [
+    "KernelMetrics",
+    "QueueMetrics",
+    "TraceMetrics",
+    "MetricsAggregator",
+    "compute_metrics",
+]
+
+
+@dataclass
+class KernelMetrics:
+    """Aggregated lifecycle statistics for one task (kernel/source/sink)."""
+
+    role: str = "kernel"
+    busy_s: float = 0.0
+    blocked_s: float = 0.0
+    resumes: int = 0
+    parks_read: int = 0
+    parks_write: int = 0
+    yields: int = 0
+    batch_carried: int = 0          # partial batch progress across parks
+    finished: bool = False
+    failed: bool = False
+
+    @property
+    def parks(self) -> int:
+        return self.parks_read + self.parks_write
+
+
+@dataclass
+class QueueMetrics:
+    """Aggregated transfer statistics for one stream queue (net)."""
+
+    puts: int = 0
+    gets: int = 0
+    watermark: int = 0              # highest observed occupancy
+
+
+@dataclass
+class TraceMetrics:
+    """The full reduction of one trace."""
+
+    graph: str = ""
+    backend: str = ""
+    schema: int = 0
+    n_events: int = 0
+    wall_s: float = 0.0
+    kernels: Dict[str, KernelMetrics] = field(default_factory=dict)
+    queues: Dict[str, QueueMetrics] = field(default_factory=dict)
+    #: queue -> {task: seconds blocked *writing* it} (queue full; the
+    #: queue's consumers stalled this task).
+    backpressure: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: queue -> {task: seconds blocked *reading* it} (queue empty; the
+    #: queue's producers starved this task).
+    starvation: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def busy_fraction(self, task: str) -> float:
+        k = self.kernels.get(task)
+        if k is None or self.wall_s <= 0.0:
+            return float("nan")
+        return k.busy_s / self.wall_s
+
+    def top_stalls(self, limit: int = 5) -> List[Tuple[str, str, str, float]]:
+        """Worst stall edges as ``(kind, queue, task, seconds)``,
+        longest first — the "which edge stalled whom" view."""
+        rows: List[Tuple[str, str, str, float]] = []
+        for qname, per_task in self.backpressure.items():
+            rows.extend(("backpressure", qname, t, s)
+                        for t, s in per_task.items())
+        for qname, per_task in self.starvation.items():
+            rows.extend(("starvation", qname, t, s)
+                        for t, s in per_task.items())
+        rows.sort(key=lambda r: r[3], reverse=True)
+        return rows[:limit]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "graph": self.graph,
+            "backend": self.backend,
+            "schema": self.schema,
+            "n_events": self.n_events,
+            "wall_s": self.wall_s,
+            "kernels": {
+                name: {
+                    "role": k.role, "busy_s": k.busy_s,
+                    "blocked_s": k.blocked_s, "resumes": k.resumes,
+                    "parks_read": k.parks_read,
+                    "parks_write": k.parks_write, "yields": k.yields,
+                    "batch_carried": k.batch_carried,
+                    "finished": k.finished, "failed": k.failed,
+                }
+                for name, k in self.kernels.items()
+            },
+            "queues": {
+                name: {"puts": q.puts, "gets": q.gets,
+                       "watermark": q.watermark}
+                for name, q in self.queues.items()
+            },
+            "backpressure": {q: dict(t) for q, t in self.backpressure.items()},
+            "starvation": {q: dict(t) for q, t in self.starvation.items()},
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (the CLI's output)."""
+        head = (f"trace of {self.graph or '?'} on "
+                f"{self.backend or '?'}: {self.n_events} events, "
+                f"wall {self.wall_s * 1e3:.2f} ms")
+        lines = [head, "", f"{'task':<22}{'role':<8}{'busy ms':>10}"
+                 f"{'blocked ms':>12}{'resumes':>9}{'parks r/w':>11}"]
+        for name in sorted(self.kernels):
+            k = self.kernels[name]
+            lines.append(
+                f"{name:<22}{k.role:<8}{k.busy_s * 1e3:>10.3f}"
+                f"{k.blocked_s * 1e3:>12.3f}{k.resumes:>9}"
+                f"{f'{k.parks_read}/{k.parks_write}':>11}"
+            )
+        if self.queues:
+            lines.append("")
+            lines.append(f"{'queue':<22}{'puts':>9}{'gets':>9}"
+                         f"{'watermark':>11}")
+            for name in sorted(self.queues):
+                q = self.queues[name]
+                lines.append(f"{name:<22}{q.puts:>9}{q.gets:>9}"
+                             f"{q.watermark:>11}")
+        stalls = self.top_stalls()
+        if stalls:
+            lines.append("")
+            lines.append("top stall edges (who was stalled, by which queue):")
+            for kind, qname, task, sec in stalls:
+                cause = ("consumers of" if kind == "backpressure"
+                         else "producers of")
+                lines.append(
+                    f"  {task:<20} {sec * 1e3:>9.3f} ms on {cause} "
+                    f"{qname!r} ({kind})"
+                )
+        return "\n".join(lines)
+
+
+class MetricsAggregator:
+    """O(1)-per-event streaming reducer from events to
+    :class:`TraceMetrics`.  ``result()`` may be called repeatedly; open
+    intervals are closed non-destructively at the last seen timestamp.
+    """
+
+    def __init__(self):
+        self._m = TraceMetrics()
+        self._running: Dict[str, float] = {}    # task -> resume ts
+        self._parked: Dict[str, Tuple[float, str, str]] = {}
+        self._first_ts: Optional[float] = None
+        self._last_ts: Optional[float] = None
+        self._end_ts: Optional[float] = None
+
+    # -- helpers -------------------------------------------------------------
+
+    def _kernel(self, task: str) -> KernelMetrics:
+        k = self._m.kernels.get(task)
+        if k is None:
+            k = self._m.kernels[task] = KernelMetrics()
+        return k
+
+    def _queue(self, queue: str) -> QueueMetrics:
+        q = self._m.queues.get(queue)
+        if q is None:
+            q = self._m.queues[queue] = QueueMetrics()
+        return q
+
+    def _close_park(self, task: str, ts: float) -> None:
+        parked = self._parked.pop(task, None)
+        if parked is None:
+            return
+        t_park, queue, op = parked
+        dt = max(0.0, ts - t_park)
+        self._kernel(task).blocked_s += dt
+        table = self._m.starvation if op == "read" else self._m.backpressure
+        per_task = table.setdefault(queue, {})
+        per_task[task] = per_task.get(task, 0.0) + dt
+
+    def _close_run(self, task: str, ts: float) -> None:
+        t0 = self._running.pop(task, None)
+        if t0 is not None:
+            self._kernel(task).busy_s += max(0.0, ts - t0)
+
+    # -- the reducer ---------------------------------------------------------
+
+    def observe(self, ev: Event) -> None:
+        m = self._m
+        m.n_events += 1
+        ts = ev.ts
+        if self._first_ts is None:
+            self._first_ts = ts
+        self._last_ts = ts
+        kind = ev.kind
+
+        if kind == E.TASK_START:
+            k = self._kernel(ev.task)
+            if ev.meta:
+                k.role = ev.meta.get("role", k.role)
+            k.resumes += 1
+            self._running[ev.task] = ts
+        elif kind == E.TASK_RESUME:
+            k = self._kernel(ev.task)
+            k.resumes += 1
+            self._close_park(ev.task, ts)
+            self._running[ev.task] = ts
+        elif kind == E.TASK_SUSPEND:
+            k = self._kernel(ev.task)
+            self._close_run(ev.task, ts)
+            if ev.op == "read":
+                k.parks_read += 1
+                self._parked[ev.task] = (ts, ev.queue, "read")
+            elif ev.op == "write":
+                k.parks_write += 1
+                self._parked[ev.task] = (ts, ev.queue, "write")
+            else:
+                k.yields += 1
+            if ev.n:
+                k.batch_carried += ev.n
+        elif kind == E.TASK_FINISH:
+            k = self._kernel(ev.task)
+            k.finished = True
+            self._close_run(ev.task, ts)
+            self._close_park(ev.task, ts)
+        elif kind == E.TASK_FAIL:
+            k = self._kernel(ev.task)
+            k.failed = True
+            self._close_run(ev.task, ts)
+            self._close_park(ev.task, ts)
+        elif kind == E.QUEUE_PUT:
+            q = self._queue(ev.queue)
+            q.puts += ev.n
+            if ev.fill > q.watermark:
+                q.watermark = ev.fill
+        elif kind == E.QUEUE_GET:
+            q = self._queue(ev.queue)
+            q.gets += ev.n
+            if ev.fill > q.watermark:
+                q.watermark = ev.fill
+        elif kind == E.RUN_BEGIN:
+            if ev.meta:
+                m.graph = ev.meta.get("graph", m.graph)
+                m.backend = ev.meta.get("backend", m.backend)
+                m.schema = ev.meta.get("schema", m.schema)
+        elif kind == E.RUN_END:
+            self._end_ts = ts
+        # TASK_UNPARK carries no duration of its own: the park interval
+        # closes at the next resume (ready-deque wait is counted as
+        # blocked, matching the paper's "time not inside the kernel").
+
+    def result(self) -> TraceMetrics:
+        """Snapshot the aggregated metrics (open intervals are charged
+        up to the last event; internal state is untouched)."""
+        import copy
+
+        end = self._end_ts if self._end_ts is not None else self._last_ts
+        m = copy.deepcopy(self._m)
+        if end is not None:
+            for task, t0 in self._running.items():
+                m.kernels[task].busy_s += max(0.0, end - t0)
+            for task, (t_park, queue, op) in self._parked.items():
+                dt = max(0.0, end - t_park)
+                m.kernels[task].blocked_s += dt
+                table = m.starvation if op == "read" else m.backpressure
+                per_task = table.setdefault(queue, {})
+                per_task[task] = per_task.get(task, 0.0) + dt
+        if self._first_ts is not None and end is not None:
+            m.wall_s = max(0.0, end - self._first_ts)
+        return m
+
+
+def compute_metrics(events) -> TraceMetrics:
+    """Reduce an event list (e.g. from :func:`read_jsonl`) to metrics."""
+    agg = MetricsAggregator()
+    for ev in events:
+        agg.observe(ev)
+    return agg.result()

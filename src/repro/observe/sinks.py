@@ -1,0 +1,161 @@
+"""Pluggable trace sinks: where emitted events go.
+
+Three built-ins cover the paper-reproduction workflows:
+
+* :class:`RingSink` — bounded in-memory ring for interactive inspection
+  and post-run metrics; the default.  Memory is O(maxlen) no matter how
+  long the run is; overflow is counted, not silently ignored.
+* :class:`JsonlSink` — newline-delimited JSON on disk, one event per
+  line, streamed as the run progresses (crash-safe, constant memory).
+  Reload with :func:`read_jsonl`; summarize/export/diff with
+  ``python -m repro.observe``.
+* :class:`ChromeTraceSink` — buffers events and, on close, writes a
+  Chrome trace-event JSON file loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+All sinks expose ``write(event)`` / ``close()`` plus an ``events``
+property returning the retained event list (or ``None`` for
+streaming-to-disk sinks).  Sinks are not themselves thread-safe; the
+:class:`~repro.observe.events.Tracer` serializes writes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .events import Event
+
+__all__ = [
+    "TraceSink",
+    "RingSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+#: Default ring capacity: enough for the Table 2 ``--quick`` workloads
+#: with queue events on, while bounding memory to a few MB.
+DEFAULT_RING_CAPACITY = 1 << 18
+
+
+class TraceSink:
+    """Base sink: collects nothing, accepts everything."""
+
+    def write(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def events(self) -> Optional[List[Event]]:
+        """Retained events, or ``None`` when the sink streams to disk."""
+        return None
+
+
+class RingSink(TraceSink):
+    """Bounded in-memory ring buffer of the most recent events.
+
+    ``maxlen=None`` retains everything (unbounded).  ``dropped`` counts
+    events that fell off the front of a bounded ring.
+    """
+
+    def __init__(self, maxlen: Optional[int] = DEFAULT_RING_CAPACITY):
+        self._ring: deque = deque(maxlen=maxlen)
+        self.maxlen = maxlen
+        self.dropped = 0
+
+    def write(self, event: Event) -> None:
+        ring = self._ring
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append(event)
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._ring)
+
+    def __len__(self):
+        return len(self._ring)
+
+    def __repr__(self):
+        return (f"<RingSink {len(self._ring)}/{self.maxlen or '∞'} events"
+                f"{f', {self.dropped} dropped' if self.dropped else ''}>")
+
+
+class JsonlSink(TraceSink):
+    """Streams events to a newline-delimited JSON file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self.count = 0
+
+    def write(self, event: Event) -> None:
+        self._fh.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._fh.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __repr__(self):
+        return f"<JsonlSink {self.path} ({self.count} events)>"
+
+
+class ChromeTraceSink(TraceSink):
+    """Buffers events; writes Chrome trace-event JSON on close.
+
+    The produced file loads in Perfetto / ``chrome://tracing`` with
+    kernels as tracks and stall intervals as flow-annotated slices (see
+    :mod:`repro.observe.chrome`).
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._events: List[Event] = []
+        self._written = False
+
+    def write(self, event: Event) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def close(self) -> None:
+        if self._written:
+            return
+        from .chrome import export_chrome_trace
+
+        export_chrome_trace(self._events, self.path)
+        self._written = True
+
+    def __repr__(self):
+        return f"<ChromeTraceSink {self.path} ({len(self._events)} events)>"
+
+
+def write_jsonl(events, path: Union[str, Path]) -> Path:
+    """Write an event list as a JSONL trace file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), separators=(",", ":")))
+            fh.write("\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Event]:
+    """Load a JSONL trace file back into an event list."""
+    out: List[Event] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(Event.from_dict(json.loads(line)))
+    return out

@@ -71,24 +71,34 @@ class _KernelThread(threading.Thread):
     def __init__(self, name: str, coro,
                  in_bindings: List[Tuple[ThreadedBroadcastQueue, int]],
                  out_queues: List[ThreadedBroadcastQueue],
-                 timeout: Optional[float]):
+                 timeout: Optional[float], tracer=None):
         super().__init__(name=f"x86sim-{name}", daemon=True)
+        self.task = name  # logical task name (shared schema across engines)
         self.coro = coro
         self.in_bindings = in_bindings
         self.out_queues = out_queues
         self.timeout = timeout
+        self.tracer = tracer
         self.error: Optional[BaseException] = None
 
     def run(self) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.task_start(self.task, role="kernel")
         try:
             self._drive()
+            if tracer is not None:
+                tracer.task_finish(self.task)
         except BaseException as exc:  # surfaced by the runner after join
             self.error = exc
+            if tracer is not None:
+                tracer.task_fail(self.task, exc)
         finally:
             self._teardown()
 
     def _drive(self) -> None:
         coro = self.coro
+        tracer = self.tracer
         try:
             cmd = coro.send(None)
             while True:
@@ -97,7 +107,15 @@ class _KernelThread(threading.Thread):
                 # cooperative scheduler's stats); unpack positionally.
                 op, queue, idx = cmd[0], cmd[1], cmd[2]
                 if op == "rd":
-                    if not queue.wait_readable(idx, self.timeout):
+                    if tracer is not None:
+                        tracer.task_suspend(
+                            self.task, queue=queue.name or "", op="read",
+                            n=cmd[3] if len(cmd) > 3 else 0,
+                        )
+                    ok = queue.wait_readable(idx, self.timeout)
+                    if tracer is not None:
+                        tracer.task_resume(self.task)
+                    if not ok:
                         if getattr(queue, "closed", True):
                             coro.close()
                             return
@@ -106,7 +124,15 @@ class _KernelThread(threading.Thread):
                             f"{queue.name!r} for {self.timeout}s"
                         )
                 elif op == "wr":
-                    if not queue.wait_writable(self.timeout):
+                    if tracer is not None:
+                        tracer.task_suspend(
+                            self.task, queue=queue.name or "", op="write",
+                            n=cmd[3] if len(cmd) > 3 else 0,
+                        )
+                    ok = queue.wait_writable(self.timeout)
+                    if tracer is not None:
+                        tracer.task_resume(self.task)
+                    if not ok:
                         raise SimulationError(
                             f"{self.name}: stalled waiting to write "
                             f"{queue.name!r} for {self.timeout}s"
@@ -125,39 +151,61 @@ class _KernelThread(threading.Thread):
 
 class _SourceThread(threading.Thread):
     def __init__(self, name: str, queue: ThreadedBroadcastQueue, values,
-                 timeout: Optional[float]):
+                 timeout: Optional[float], tracer=None):
         super().__init__(name=f"x86sim-{name}", daemon=True)
+        self.task = name
         self.queue = queue
         self.values = values
         self.timeout = timeout
+        self.tracer = tracer
         self.error: Optional[BaseException] = None
 
     def run(self) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.task_start(self.task, role="source")
         try:
             for v in self.values:
                 while not self.queue.try_put(v):
-                    if not self.queue.wait_writable(self.timeout):
+                    if tracer is not None:
+                        tracer.task_suspend(self.task,
+                                            queue=self.queue.name or "",
+                                            op="write")
+                    ok = self.queue.wait_writable(self.timeout)
+                    if tracer is not None:
+                        tracer.task_resume(self.task)
+                    if not ok:
                         raise SimulationError(
                             f"{self.name}: stalled writing {self.queue.name!r}"
                         )
+            if tracer is not None:
+                tracer.task_finish(self.task)
         except BaseException as exc:
             self.error = exc
+            if tracer is not None:
+                tracer.task_fail(self.task, exc)
         finally:
             self.queue.producer_done()
 
 
 class _SinkThread(threading.Thread):
     def __init__(self, name: str, queue: ThreadedBroadcastQueue,
-                 consumer_idx: int, store, timeout: Optional[float]):
+                 consumer_idx: int, store, timeout: Optional[float],
+                 tracer=None):
         super().__init__(name=f"x86sim-{name}", daemon=True)
+        self.task = name
         self.queue = queue
         self.consumer_idx = consumer_idx
         self.store = store
         self.timeout = timeout
+        self.tracer = tracer
         self.items = 0
         self.error: Optional[BaseException] = None
 
     def run(self) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.task_start(self.task, role="sink")
         try:
             while True:
                 ok, v = self.queue.try_get(self.consumer_idx)
@@ -165,15 +213,26 @@ class _SinkThread(threading.Thread):
                     self.store(v)
                     self.items += 1
                     continue
-                if not self.queue.wait_readable(self.consumer_idx,
-                                                self.timeout):
+                if tracer is not None:
+                    tracer.task_suspend(self.task,
+                                        queue=self.queue.name or "",
+                                        op="read")
+                readable = self.queue.wait_readable(self.consumer_idx,
+                                                    self.timeout)
+                if tracer is not None:
+                    tracer.task_resume(self.task)
+                if not readable:
                     if getattr(self.queue, "closed", True):
+                        if tracer is not None:
+                            tracer.task_finish(self.task)
                         return
                     raise SimulationError(
                         f"{self.name}: stalled reading {self.queue.name!r}"
                     )
         except BaseException as exc:
             self.error = exc
+            if tracer is not None:
+                tracer.task_fail(self.task, exc)
 
 
 @dataclass
@@ -188,17 +247,28 @@ class X86Plan:
     rtp_sinks: List[Tuple[ThreadedLatchQueue, RuntimeParam]]
     queues: Dict[int, Any]
     timeout: Optional[float]
+    tracer: Any = None
 
 
 def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
                     capacity: int = DEFAULT_QUEUE_CAPACITY,
-                    timeout: Optional[float] = 60.0) -> X86Plan:
+                    timeout: Optional[float] = 60.0,
+                    observe: Any = None) -> X86Plan:
     """Instantiate channels, kernel/source/sink threads for one run.
 
     The prepare/execute split mirrors the :mod:`repro.exec` backend
-    protocol; :func:`run_threaded` composes the two phases.
+    protocol; :func:`run_threaded` composes the two phases.  ``observe``
+    enables structured event tracing (anything
+    :func:`repro.observe.make_tracer` accepts); events use the tasks'
+    *logical* names (instance names, ``source[i]``, ``sink[i]``) so
+    x86sim traces line up with cgsim traces of the same graph.
     """
     g = graph.graph if isinstance(graph, CompiledGraph) else graph
+    tracer = None
+    if observe is not None and observe is not False:
+        from ..observe import make_tracer
+
+        tracer = make_tracer(observe)
     expected = len(g.inputs) + len(g.outputs)
     if len(io) != expected:
         raise IoBindingError(
@@ -230,6 +300,8 @@ def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
                 capacity=depth, n_consumers=n_consumers,
                 n_producers=n_producers, name=net.name,
             )
+        if tracer is not None and tracer.queue_events:
+            queues[net.net_id].attach_observer(tracer)
         consumer_alloc[net.net_id] = 0
 
     def alloc_consumer(net_id: int) -> int:
@@ -257,7 +329,8 @@ def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
                 out_queues.append(q)
         coro = inst.kernel.instantiate(ports)
         threads.append(_KernelThread(
-            inst.instance_name, coro, in_bindings, out_queues, timeout
+            inst.instance_name, coro, in_bindings, out_queues, timeout,
+            tracer=tracer,
         ))
 
     # Sources.
@@ -275,7 +348,7 @@ def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
         else:
             values = iter_stream_values(net.dtype, container)
             threads.append(_SourceThread(
-                f"source[{gio.io_index}]", q, values, timeout
+                f"source[{gio.io_index}]", q, values, timeout, tracer=tracer
             ))
 
     # Sinks.
@@ -302,13 +375,14 @@ def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
             raise IoBindingError(
                 f"unsupported sink container {type(container).__name__}"
             )
-        t = _SinkThread(f"sink[{gio.io_index}]", q, cidx, store, timeout)
+        t = _SinkThread(f"sink[{gio.io_index}]", q, cidx, store, timeout,
+                        tracer=tracer)
         sinks.append(t)
         threads.append(t)
 
     return X86Plan(
         graph=g, threads=threads, sinks=sinks, sink_cursors=sink_cursors,
-        rtp_sinks=rtp_sinks, queues=queues, timeout=timeout,
+        rtp_sinks=rtp_sinks, queues=queues, timeout=timeout, tracer=tracer,
     )
 
 
@@ -318,6 +392,9 @@ def execute_plan(plan: X86Plan) -> X86RunReport:
     g = plan.graph
     threads = plan.threads
     timeout = plan.timeout
+    tracer = plan.tracer
+    if tracer is not None:
+        tracer.run_begin(g.name, "x86sim")
     t0 = perf_counter()
     for t in threads:
         t.start()
@@ -335,6 +412,8 @@ def execute_plan(plan: X86Plan) -> X86RunReport:
         if t.is_alive():
             stragglers.append(t.name)
     wall = perf_counter() - t0
+    if tracer is not None:
+        tracer.run_end(g.name, "x86sim")
 
     for t in threads:
         err = getattr(t, "error", None)
@@ -365,7 +444,8 @@ def execute_plan(plan: X86Plan) -> X86RunReport:
 
 def run_threaded(graph: CompiledGraph | ComputeGraph, *io: Any,
                  capacity: int = DEFAULT_QUEUE_CAPACITY,
-                 timeout: Optional[float] = 60.0) -> X86RunReport:
+                 timeout: Optional[float] = 60.0,
+                 observe: Any = None) -> X86RunReport:
     """Execute a compute graph with one OS thread per kernel.
 
     Takes the same positional sources/sinks as invoking the graph under
@@ -373,4 +453,6 @@ def run_threaded(graph: CompiledGraph | ComputeGraph, *io: Any,
     longer than that raises :class:`SimulationError` rather than hanging
     the host process.
     """
-    return execute_plan(prepare_threads(graph, io, capacity, timeout))
+    return execute_plan(
+        prepare_threads(graph, io, capacity, timeout, observe=observe)
+    )

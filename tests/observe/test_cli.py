@@ -1,0 +1,60 @@
+"""``python -m repro.observe`` CLI, invoked in-process via main()."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import build_fig4_graph
+from repro.exec import run_graph
+from repro.observe.__main__ import main
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "run.jsonl"
+    g = build_fig4_graph()
+    run_graph(g, list(range(16)), [], observe=str(path))
+    return path
+
+
+def test_summarize_prints_kernel_table(trace_file, capsys):
+    assert main(["summarize", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "doubler_kernel_0" in out
+    assert "busy ms" in out
+    assert "fig4" in out
+
+
+def test_export_default_output_path(trace_file, capsys):
+    assert main(["export", str(trace_file)]) == 0
+    out_path = trace_file.parent / "run.trace.json"
+    doc = json.loads(out_path.read_text())
+    assert doc["traceEvents"]
+    assert "perfetto" in capsys.readouterr().out.lower()
+
+
+def test_export_explicit_output(trace_file, tmp_path):
+    dest = tmp_path / "custom.json"
+    assert main(["export", str(trace_file), "-o", str(dest)]) == 0
+    assert json.loads(dest.read_text())["traceEvents"]
+
+
+def test_diff_identical_traces_is_clean(trace_file, capsys):
+    assert main(["diff", str(trace_file), str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "mismatch" not in out
+
+
+def test_diff_flags_item_count_mismatch(trace_file, tmp_path, capsys):
+    other = tmp_path / "other.jsonl"
+    g = build_fig4_graph()
+    run_graph(g, list(range(8)), [], observe=str(other))  # half the items
+    assert main(["diff", str(trace_file), str(other)]) == 1
+    assert "put-count mismatch" in capsys.readouterr().out
+
+
+def test_missing_subcommand_exits_with_usage():
+    with pytest.raises(SystemExit):
+        main([])

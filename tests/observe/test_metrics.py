@@ -1,0 +1,136 @@
+"""Metrics aggregation over synthetic event streams with exact
+timestamps, so busy/blocked arithmetic can be asserted to the digit."""
+
+from __future__ import annotations
+
+import math
+
+from repro.observe import Event, MetricsAggregator, compute_metrics
+
+
+def E(ts, kind, task="", queue="", op="", n=0, fill=-1, meta=None):
+    return Event(ts=ts, kind=kind, task=task, queue=queue, op=op, n=n,
+                 fill=fill, meta=meta)
+
+
+def test_busy_and_blocked_split():
+    events = [
+        E(0.0, "run.begin", meta={"graph": "g", "backend": "cgsim",
+                                  "schema": 1}),
+        E(1.0, "task.start", "k0", meta={"role": "kernel"}),
+        E(3.0, "task.suspend", "k0", "b", "read"),       # busy 2s, park
+        E(7.0, "task.resume", "k0"),                     # blocked 4s
+        E(8.0, "task.finish", "k0"),                     # busy 1s
+        E(9.0, "run.end", meta={"graph": "g", "backend": "cgsim"}),
+    ]
+    m = compute_metrics(events)
+    k = m.kernels["k0"]
+    assert math.isclose(k.busy_s, 3.0)
+    assert math.isclose(k.blocked_s, 4.0)
+    assert k.resumes == 2
+    assert k.parks_read == 1 and k.parks_write == 0
+    assert k.finished and not k.failed
+    assert m.graph == "g" and m.backend == "cgsim" and m.schema == 1
+    assert math.isclose(m.wall_s, 9.0)
+    assert math.isclose(m.busy_fraction("k0"), 3.0 / 9.0)
+
+
+def test_backpressure_and_starvation_attribution():
+    events = [
+        E(0.0, "task.start", "w"),
+        E(1.0, "task.suspend", "w", "q_full", "write"),
+        E(4.0, "task.resume", "w"),
+        E(5.0, "task.suspend", "w", "q_empty", "read"),
+        E(7.0, "task.resume", "w"),
+        E(8.0, "task.finish", "w"),
+    ]
+    m = compute_metrics(events)
+    assert math.isclose(m.backpressure["q_full"]["w"], 3.0)
+    assert math.isclose(m.starvation["q_empty"]["w"], 2.0)
+    top = m.top_stalls()
+    assert top[0] == ("backpressure", "q_full", "w", 3.0)
+    assert top[1] == ("starvation", "q_empty", "w", 2.0)
+
+
+def test_queue_watermark_and_transfer_totals():
+    events = [
+        E(0.0, "queue.put", queue="b", n=2, fill=2),
+        E(1.0, "queue.put", queue="b", n=3, fill=5),
+        E(2.0, "queue.get", queue="b", n=4, fill=1),
+        E(3.0, "queue.get", queue="b", n=1, fill=0),
+    ]
+    m = compute_metrics(events)
+    q = m.queues["b"]
+    assert q.puts == 5 and q.gets == 5
+    assert q.watermark == 5
+
+
+def test_dangling_intervals_charged_to_trace_end():
+    """A deadlocked task still parked when the trace ends must be
+    charged for the wait up to the final timestamp."""
+    events = [
+        E(0.0, "task.start", "k0"),
+        E(1.0, "task.suspend", "k0", "b", "write"),
+        E(6.0, "run.end"),
+    ]
+    m = compute_metrics(events)
+    assert math.isclose(m.kernels["k0"].blocked_s, 5.0)
+    assert math.isclose(m.backpressure["b"]["k0"], 5.0)
+
+
+def test_result_is_a_snapshot_not_a_drain():
+    agg = MetricsAggregator()
+    agg.observe(E(0.0, "task.start", "k0"))
+    agg.observe(E(1.0, "task.suspend", "k0", "b", "read"))
+    first = agg.result()
+    agg.observe(E(3.0, "task.resume", "k0"))
+    agg.observe(E(4.0, "task.finish", "k0"))
+    second = agg.result()
+    # The early snapshot charged the open park to its own horizon and
+    # did not consume the interval from the aggregator's state.
+    assert math.isclose(first.kernels["k0"].blocked_s, 0.0)
+    assert math.isclose(second.kernels["k0"].blocked_s, 2.0)
+    assert second.kernels["k0"].finished
+
+
+def test_batch_carried_counts_accumulate():
+    events = [
+        E(0.0, "task.start", "k0"),
+        E(1.0, "task.suspend", "k0", "b", "write", n=12),
+        E(2.0, "task.resume", "k0"),
+        E(3.0, "task.suspend", "k0", "b", "write", n=4),
+    ]
+    m = compute_metrics(events)
+    assert m.kernels["k0"].batch_carried == 16
+
+
+def test_yield_suspends_do_not_count_as_parks():
+    events = [
+        E(0.0, "task.start", "k0"),
+        E(1.0, "task.suspend", "k0", op="yield"),
+        E(2.0, "task.resume", "k0"),
+        E(3.0, "task.finish", "k0"),
+    ]
+    m = compute_metrics(events)
+    k = m.kernels["k0"]
+    assert k.yields == 1
+    assert k.parks == 0
+    assert k.blocked_s == 0.0
+
+
+def test_summary_renders_all_sections():
+    events = [
+        E(0.0, "run.begin", meta={"graph": "g", "backend": "x86sim",
+                                  "schema": 1}),
+        E(1.0, "task.start", "k0"),
+        E(2.0, "task.suspend", "k0", "b", "read"),
+        E(3.0, "task.resume", "k0"),
+        E(3.5, "queue.put", queue="b", n=1, fill=1),
+        E(4.0, "task.finish", "k0"),
+        E(5.0, "run.end"),
+    ]
+    text = compute_metrics(events).summary()
+    assert "x86sim" in text
+    assert "k0" in text
+    assert "watermark" in text
+    assert "starvation" in text

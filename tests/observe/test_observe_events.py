@@ -1,0 +1,130 @@
+"""Event model and Tracer front-door behaviour."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import GraphRuntimeError
+from repro.observe import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    ChromeTraceSink,
+    Event,
+    JsonlSink,
+    RingSink,
+    Tracer,
+    make_tracer,
+)
+
+
+class TestEvent:
+    def test_round_trip_preserves_all_fields(self):
+        ev = Event(ts=1.5, kind="task.suspend", task="k0", queue="b",
+                   op="read", n=3, fill=7, meta={"x": 1})
+        assert Event.from_dict(ev.to_dict()) == ev
+
+    def test_to_dict_omits_defaults(self):
+        ev = Event(ts=0.25, kind="task.resume", task="k0")
+        d = ev.to_dict()
+        assert set(d) == {"ts", "kind", "task"}
+
+    def test_kind_constants_are_closed_set(self):
+        assert "task.start" in EVENT_KINDS
+        assert "queue.put" in EVENT_KINDS
+        assert SCHEMA_VERSION == 1
+
+
+class TestTracer:
+    def test_timestamps_are_monotonic(self):
+        t = Tracer()
+        for i in range(100):
+            t.task_resume(f"k{i % 3}")
+        ts = [ev.ts for ev in t.events]
+        assert ts == sorted(ts)
+
+    def test_run_begin_carries_schema_version(self):
+        t = Tracer()
+        t.run_begin("g", "cgsim")
+        (ev,) = t.events
+        assert ev.meta["schema"] == SCHEMA_VERSION
+        assert ev.meta["backend"] == "cgsim"
+
+    def test_task_fail_records_error(self):
+        t = Tracer()
+        t.task_fail("k0", ValueError("boom"))
+        (ev,) = t.events
+        assert "ValueError" in ev.meta["error"]
+        assert "boom" in ev.meta["error"]
+
+    def test_concurrent_emission_is_ordered_and_lossless(self):
+        """Many threads emitting at once (the x86sim case): the lock
+        must serialize writes so the event stream stays in timestamp
+        order and no event is lost."""
+        t = Tracer()
+        n_threads, per_thread = 8, 200
+
+        def worker(i):
+            for _ in range(per_thread):
+                t.queue_put(f"q{i}", 1, 1)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        events = t.events
+        assert len(events) == n_threads * per_thread
+        ts = [ev.ts for ev in events]
+        assert ts == sorted(ts)
+
+    def test_metrics_available_while_tracing(self):
+        t = Tracer()
+        t.task_start("k0")
+        t.task_finish("k0")
+        m = t.metrics()
+        assert m.kernels["k0"].finished
+
+    def test_close_is_idempotent(self):
+        t = Tracer()
+        t.close()
+        t.close()
+        assert t.closed
+
+
+class TestMakeTracer:
+    def test_none_and_false_disable(self):
+        assert make_tracer(None) is None
+        assert make_tracer(False) is None
+
+    def test_true_gives_ring(self):
+        t = make_tracer(True)
+        assert isinstance(t.sink, RingSink)
+
+    def test_int_sets_ring_capacity(self):
+        t = make_tracer(17)
+        assert t.sink.maxlen == 17
+
+    def test_tracer_passthrough(self):
+        t = Tracer()
+        assert make_tracer(t) is t
+
+    def test_sink_is_wrapped(self):
+        sink = RingSink(maxlen=4)
+        assert make_tracer(sink).sink is sink
+
+    def test_jsonl_path_selects_jsonl_sink(self, tmp_path):
+        t = make_tracer(str(tmp_path / "run.jsonl"))
+        assert isinstance(t.sink, JsonlSink)
+        t.close()
+
+    def test_json_path_selects_chrome_sink(self, tmp_path):
+        t = make_tracer(str(tmp_path / "run.trace.json"))
+        assert isinstance(t.sink, ChromeTraceSink)
+        t.close()
+
+    def test_garbage_spec_raises(self):
+        with pytest.raises(GraphRuntimeError, match="observe"):
+            make_tracer(object())

@@ -1,0 +1,97 @@
+"""Sink behaviour: bounded rings, JSONL streaming, Chrome-on-close."""
+
+from __future__ import annotations
+
+import json
+
+from repro.observe import (
+    ChromeTraceSink,
+    Event,
+    JsonlSink,
+    RingSink,
+    Tracer,
+    read_jsonl,
+    write_jsonl,
+)
+
+
+def _events(n):
+    return [Event(ts=float(i), kind="queue.put", queue="q", n=1, fill=i)
+            for i in range(n)]
+
+
+class TestRingSink:
+    def test_bounded_memory_keeps_most_recent(self):
+        sink = RingSink(maxlen=10)
+        for ev in _events(100):
+            sink.write(ev)
+        assert len(sink) == 10
+        assert sink.dropped == 90
+        assert [ev.ts for ev in sink.events] == [float(i)
+                                                 for i in range(90, 100)]
+
+    def test_unbounded_ring_keeps_everything(self):
+        sink = RingSink(maxlen=None)
+        for ev in _events(100):
+            sink.write(ev)
+        assert len(sink) == 100
+        assert sink.dropped == 0
+
+    def test_memory_is_bounded_not_just_trimmed_on_read(self):
+        """The deque itself must be bounded — a sink that accumulates
+        and trims on access would still grow without limit."""
+        sink = RingSink(maxlen=5)
+        for ev in _events(10_000):
+            sink.write(ev)
+        assert len(sink._ring) == 5
+
+
+class TestJsonlSink:
+    def test_streams_one_compact_line_per_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        for ev in _events(5):
+            sink.write(ev)
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 5
+        assert all(json.loads(ln)["kind"] == "queue.put" for ln in lines)
+
+    def test_round_trip_via_reader(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _events(7)
+        write_jsonl(events, path)
+        assert read_jsonl(path) == events
+
+    def test_retains_nothing_in_memory(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.write(_events(1)[0])
+        assert sink.events is None
+        sink.close()
+
+
+class TestChromeTraceSink:
+    def test_writes_valid_trace_document_on_close(self, tmp_path):
+        path = tmp_path / "t.trace.json"
+        t = Tracer(ChromeTraceSink(path))
+        t.run_begin("g", "cgsim")
+        t.task_start("k0")
+        t.task_suspend("k0", queue="b", op="read")
+        t.task_resume("k0")
+        t.task_finish("k0")
+        t.run_end("g", "cgsim")
+        assert not path.exists()  # buffered until close
+        t.close()
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_close_writes_only_once(self, tmp_path):
+        path = tmp_path / "t.trace.json"
+        sink = ChromeTraceSink(path)
+        sink.write(_events(1)[0])
+        sink.close()
+        first = path.read_text()
+        sink.write(_events(1)[0])
+        sink.close()
+        assert path.read_text() == first

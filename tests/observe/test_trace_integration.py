@@ -1,0 +1,236 @@
+"""Cross-backend tracing through run_graph: one schema everywhere.
+
+Covers the event-ordering invariants, Chrome-trace schema validity, the
+cgsim-vs-x86sim differential (identical per-queue item counts), and the
+aiesim side-by-side export.
+
+(No ``from __future__ import annotations`` here: the inline graph
+definition relies on evaluated ``IoC[...]`` annotations.)
+"""
+
+import json
+from collections import defaultdict
+
+import pytest
+
+from conftest import build_fig4_graph
+from repro.exec import run_graph
+from repro.observe import (
+    RUN_BEGIN,
+    RUN_END,
+    TASK_FAIL,
+    TASK_FINISH,
+    TASK_RESUME,
+    TASK_START,
+    TASK_SUSPEND,
+    EVENT_KINDS,
+    combine_chrome_traces,
+    chrome_trace,
+    read_jsonl,
+)
+
+ALL_BACKENDS = ["cgsim", "pysim", "x86sim"]
+
+_TASK_KINDS = {TASK_START, TASK_RESUME, TASK_SUSPEND, TASK_FINISH,
+               TASK_FAIL}
+
+
+def _traced_run(backend, n=64):
+    g = build_fig4_graph()
+    out = []
+    r = run_graph(g, list(range(n)), out, backend=backend, observe=True)
+    assert r.completed
+    assert out == [4 * i for i in range(n)]
+    return r
+
+
+class TestEventOrderingInvariants:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_run_markers_bracket_the_stream(self, backend):
+        events = _traced_run(backend).trace.events
+        assert events[0].kind == RUN_BEGIN
+        assert events[-1].kind == RUN_END
+        assert sum(1 for ev in events if ev.kind == RUN_BEGIN) == 1
+        assert sum(1 for ev in events if ev.kind == RUN_END) == 1
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_timestamps_non_decreasing(self, backend):
+        events = _traced_run(backend).trace.events
+        ts = [ev.ts for ev in events]
+        assert ts == sorted(ts)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_every_kind_is_in_schema(self, backend):
+        events = _traced_run(backend).trace.events
+        assert {ev.kind for ev in events} <= EVENT_KINDS
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_per_task_lifecycle_order(self, backend):
+        """start first, resume only after a suspend, finish/fail last."""
+        per_task = defaultdict(list)
+        for ev in _traced_run(backend).trace.events:
+            if ev.kind in _TASK_KINDS:
+                per_task[ev.task].append(ev.kind)
+        assert per_task  # at least the kernels appear
+        for task, kinds in per_task.items():
+            assert kinds[0] == TASK_START, task
+            assert TASK_START not in kinds[1:], task
+            for prev, cur in zip(kinds, kinds[1:]):
+                if cur == TASK_RESUME:
+                    assert prev == TASK_SUSPEND, task
+            terminal = [k for k in kinds
+                        if k in (TASK_FINISH, TASK_FAIL)]
+            if terminal:
+                assert len(terminal) == 1, task
+                assert kinds[-1] == terminal[0], task
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_task_names_are_logical_not_thread_names(self, backend):
+        """x86sim events must use instance names (doubler_kernel_0,
+        source[0], ...), not the OS thread names, so traces from
+        different engines line up."""
+        tasks = {ev.task for ev in _traced_run(backend).trace.events
+                 if ev.kind in _TASK_KINDS}
+        assert tasks == {"doubler_kernel_0", "doubler_kernel_1",
+                         "source[0]", "sink[0]"}
+
+
+class TestChromeTraceExport:
+    _KNOWN_PH = {"X", "M", "C", "i", "s", "f"}
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_document_schema(self, backend):
+        doc = chrome_trace(_traced_run(backend).trace.events)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        rows = doc["traceEvents"]
+        assert rows
+        for row in rows:
+            assert row["ph"] in self._KNOWN_PH
+            assert "pid" in row
+            if row["ph"] == "X":
+                assert row["dur"] >= 0.0
+                assert row["ts"] >= 0.0
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_every_task_gets_a_named_track(self, backend):
+        doc = chrome_trace(_traced_run(backend).trace.events)
+        names = {row["args"]["name"] for row in doc["traceEvents"]
+                 if row["ph"] == "M" and row["name"] == "thread_name"}
+        assert {"doubler_kernel_0", "doubler_kernel_1",
+                "source[0]", "sink[0]"} <= names
+
+    def test_stall_slices_and_fill_counters_present(self):
+        doc = chrome_trace(_traced_run("cgsim").trace.events)
+        cats = {row.get("cat") for row in doc["traceEvents"]}
+        assert "task" in cats and "stall" in cats
+        counters = [row for row in doc["traceEvents"] if row["ph"] == "C"]
+        assert counters
+        assert all(row["name"].startswith("fill:") for row in counters)
+
+    def test_flow_arrows_pair_up(self):
+        doc = chrome_trace(_traced_run("cgsim").trace.events)
+        starts = [r["id"] for r in doc["traceEvents"] if r["ph"] == "s"]
+        ends = [r["id"] for r in doc["traceEvents"] if r["ph"] == "f"]
+        assert starts, "cgsim run should produce unblock flows"
+        assert sorted(starts) == sorted(ends)
+
+    def test_document_is_json_serializable(self, tmp_path):
+        doc = chrome_trace(_traced_run("cgsim").trace.events)
+        text = json.dumps(doc)
+        assert json.loads(text) == doc
+
+
+class TestDifferentialCgsimVsX86sim:
+    def test_per_queue_item_counts_agree(self):
+        """Each kernel owns its output net, so identical per-queue put
+        counts mean identical per-kernel production across engines."""
+        mc = _traced_run("cgsim").metrics
+        mx = _traced_run("x86sim").metrics
+        assert set(mc.queues) == set(mx.queues) == {"a", "b", "c"}
+        for name in mc.queues:
+            assert mc.queues[name].puts == mx.queues[name].puts, name
+            assert mc.queues[name].gets == mx.queues[name].gets, name
+
+    def test_run_begin_labels_name_their_engine(self):
+        for backend in ALL_BACKENDS:
+            m = _traced_run(backend).metrics
+            assert m.backend == backend
+
+
+class TestRunGraphWiring:
+    def test_trace_alias_equals_observe(self):
+        g = build_fig4_graph()
+        out = []
+        r = run_graph(g, [1, 2, 3], out, trace=True)
+        assert r.metrics is not None
+
+    def test_observe_and_trace_together_rejected(self):
+        from repro.errors import GraphRuntimeError
+
+        g = build_fig4_graph()
+        with pytest.raises(GraphRuntimeError, match="alias"):
+            run_graph(g, [1], [], observe=True, trace=True)
+
+    def test_untraced_result_has_no_metrics(self):
+        g = build_fig4_graph()
+        r = run_graph(g, [1, 2], [])
+        assert r.metrics is None and r.trace is None
+
+    def test_jsonl_file_option_round_trips(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        g = build_fig4_graph()
+        run_graph(g, list(range(10)), [], observe=str(path))
+        events = read_jsonl(path)
+        assert events[0].kind == RUN_BEGIN
+        assert events[-1].kind == RUN_END
+
+    def test_chrome_file_option_written_before_return(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        g = build_fig4_graph()
+        run_graph(g, list(range(10)), [], observe=str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_caller_owned_tracer_not_closed(self):
+        from repro.observe import Tracer
+
+        t = Tracer()
+        g = build_fig4_graph()
+        r = run_graph(g, [1, 2], [], observe=t)
+        assert r.trace is t
+        assert not t.closed
+
+    def test_per_kernel_blocked_populated_on_cgsim(self):
+        r = _traced_run("cgsim")
+        assert set(r.per_kernel_blocked) == {
+            "doubler_kernel_0", "doubler_kernel_1", "source[0]", "sink[0]"
+        }
+        assert all(v >= 0.0 for v in r.per_kernel_blocked.values())
+
+
+class TestAiesimSideBySide:
+    def test_iteration_trace_converts_and_merges(self):
+        from conftest import doubler_kernel
+        from repro.aiesim import simulate_graph
+        from repro.aiesim.trace import to_chrome_trace
+        from repro.core import IoC, IoConnector, int32, make_compute_graph
+
+        @make_compute_graph(name="fig4_sim")
+        def gb(a: IoC[int32]):
+            a.set_attrs(block_items=8)
+            b = IoConnector(int32, name="b")
+            b.set_attrs(block_items=8)
+            c = IoConnector(int32, name="c")
+            doubler_kernel(a, b)
+            doubler_kernel(b, c)
+            return c
+
+        rep = simulate_graph(gb, n_blocks=4)
+        doc = to_chrome_trace(rep)
+        rows = doc["traceEvents"]
+        assert any(r["ph"] == "X" and r["cat"] == "aiesim" for r in rows)
+
+        func = chrome_trace(_traced_run("cgsim").trace.events)
+        merged = combine_chrome_traces(func, doc)
+        pids = {r["pid"] for r in merged["traceEvents"]}
+        assert pids == {1, 2}
