@@ -54,6 +54,12 @@ def pytest_addoption(parser):
         help="also run each Table 2 app once with tracing on and write "
              "Chrome-trace files (results/table2_<app>.trace.json)",
     )
+    parser.addoption(
+        "--optimize", action="store", default="none",
+        choices=("none", "fuse", "full"),
+        help="also time each Table 2 cgsim run at this plan-optimization "
+             "level and record the speedups (results/table2_fused.json)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -64,6 +70,11 @@ def quick(request):
 @pytest.fixture(scope="session")
 def trace_runs(request):
     return request.config.getoption("--trace-runs")
+
+
+@pytest.fixture(scope="session")
+def optimize_level(request):
+    return request.config.getoption("--optimize")
 
 
 @pytest.fixture(scope="session")

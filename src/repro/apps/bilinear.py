@@ -28,7 +28,10 @@ from ..core import (
 from .datasets import BILINEAR_BLOCK
 from .golden import golden_bilinear
 
-__all__ = ["bilinear_kernel", "BILINEAR_GRAPH", "run_cgsim", "reference"]
+__all__ = [
+    "bilinear_kernel", "bilinear_fused", "BILINEAR_GRAPH",
+    "run_cgsim", "reference",
+]
 
 LANES = 8  # samples per vector iteration
 
@@ -68,6 +71,43 @@ async def bilinear_kernel(pix: In[float32], frac: In[float32],
             await out.put(res[LANES - 1 - i])
 
 
+#: 8-sample groups pulled per bulk read in the fused equivalent.
+_FUSED_IO_GROUPS = 32
+
+
+@compute_kernel(realm=AIE)
+async def bilinear_fused(pix: In[float32], frac: In[float32],
+                         out: Out[float32]):
+    """Fused equivalent of :func:`bilinear_kernel`.
+
+    Interpolates many 8-sample groups per resume using the golden
+    factored two-lerp expression (bit-for-bit the lane math of the
+    vector kernel, see :func:`~repro.apps.golden.golden_bilinear`); the
+    per-lane push/reverse shuffling nets out to plain sample order, so
+    only whole groups are processed and leftovers stay buffered exactly
+    like a partially filled vector register.
+    """
+    pix_carry: list = []
+    frac_carry: list = []
+    while True:
+        pix_carry.extend(
+            await pix.get_batch(_FUSED_IO_GROUPS * LANES * 4, exact=False)
+        )
+        frac_carry.extend(
+            await frac.get_batch(_FUSED_IO_GROUPS * LANES * 2, exact=False)
+        )
+        n_groups = min(len(pix_carry) // (LANES * 4),
+                       len(frac_carry) // (LANES * 2))
+        if not n_groups:
+            continue
+        n = n_groups * LANES
+        p = np.asarray(pix_carry[:n * 4], dtype=np.float32).reshape(n, 4)
+        f = np.asarray(frac_carry[:n * 2], dtype=np.float32).reshape(n, 2)
+        del pix_carry[:n * 4]
+        del frac_carry[:n * 2]
+        await out.put_batch(list(golden_bilinear(p, f)))
+
+
 @extract_compute_graph
 @make_compute_graph(name="bilinear")
 def BILINEAR_GRAPH(pixels: IoC[float32], fractions: IoC[float32]):
@@ -103,3 +143,8 @@ def reference(pixels: np.ndarray, fracs: np.ndarray) -> np.ndarray:
     fracs = np.asarray(fracs, dtype=np.float32).reshape(-1, 2)
     out = golden_bilinear(pixels, fracs)
     return out.reshape(-1, BILINEAR_BLOCK)
+
+
+from ..exec.optimize import register_fused_equivalent  # noqa: E402
+
+register_fused_equivalent((bilinear_kernel.registry_key,), bilinear_fused)

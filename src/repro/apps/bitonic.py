@@ -32,7 +32,7 @@ from .golden import golden_bitonic
 
 __all__ = [
     "bitonic16_kernel", "BITONIC_GRAPH", "bitonic16_kernel_batched",
-    "BITONIC_GRAPH_BATCHED", "run_cgsim", "reference",
+    "BITONIC_GRAPH_BATCHED", "bitonic16_fused", "run_cgsim", "reference",
 ]
 
 
@@ -86,6 +86,38 @@ def BITONIC_GRAPH_BATCHED(samples: IoC[float32]):
     return sorted_out
 
 
+#: Blocks pulled per bulk read in the fused equivalent.
+_FUSED_IO_BLOCKS = 64
+
+
+@compute_kernel(realm=AIE)
+async def bitonic16_fused(inp: In[float32], out: Out[float32]):
+    """Fused equivalent of :func:`bitonic16_kernel`.
+
+    Sorts many 16-element blocks per resume with one row-wise
+    ``np.sort`` instead of per-element vector pushes through the
+    compare-exchange network.  For finite float32 values an ascending
+    sort is value-identical to the bitonic network (the network is a
+    sorting network); a trailing partial block stays buffered exactly
+    like the per-element kernel's partially assembled vector.
+    """
+    carry: list = []
+    while True:
+        carry.extend(
+            await inp.get_batch(_FUSED_IO_BLOCKS * BITONIC_BLOCK,
+                                exact=False)
+        )
+        n_blocks = len(carry) // BITONIC_BLOCK
+        if not n_blocks:
+            continue
+        take = n_blocks * BITONIC_BLOCK
+        blk = np.asarray(carry[:take], dtype=np.float32).reshape(
+            n_blocks, BITONIC_BLOCK
+        )
+        del carry[:take]
+        await out.put_batch(list(np.sort(blk, axis=1).reshape(-1)))
+
+
 def run_cgsim(blocks: np.ndarray, **run_options) -> np.ndarray:
     """Run *blocks* ``(n, 16)`` through the cgsim graph; returns the
     sorted blocks with the same shape."""
@@ -103,3 +135,8 @@ def reference(blocks: np.ndarray) -> np.ndarray:
     """Golden output for ``(n, 16)`` input blocks."""
     blocks = np.asarray(blocks, dtype=np.float32).reshape(-1, BITONIC_BLOCK)
     return np.stack([golden_bitonic(b) for b in blocks])
+
+
+from ..exec.optimize import register_fused_equivalent  # noqa: E402
+
+register_fused_equivalent((bitonic16_kernel.registry_key,), bitonic16_fused)

@@ -38,10 +38,10 @@ from ..core import (
     make_compute_graph,
 )
 from .datasets import FARROW_BLOCK
-from .golden import FARROW_TAPS_Q15, golden_farrow
+from .golden import FARROW_TAPS_Q15, _q15_round, golden_farrow
 
 __all__ = [
-    "farrow_stage1", "farrow_stage2", "FARROW_GRAPH",
+    "farrow_stage1", "farrow_stage2", "farrow_fused", "FARROW_GRAPH",
     "run_cgsim", "reference",
 ]
 
@@ -125,6 +125,52 @@ async def farrow_stage2(
         await y_out.put(outs[0] + 1j * outs[1])
 
 
+#: Window blocks pulled per bulk read in the fused equivalent.
+_FUSED_IO_BATCH = 8
+
+_TAPS64 = FARROW_TAPS_Q15.astype(np.int64)  # rows m = 0..3, taps oldest-first
+
+
+@compute_kernel(realm=AIE)
+async def farrow_fused(
+    x_in: In[X_WIN],
+    mu: In[int32, _RTP],
+    y_out: Out[X_WIN],
+):
+    """Fused equivalent of ``farrow_stage1 -> farrow_stage2``.
+
+    One kernel computes all four Farrow branches and the whole Horner
+    recursion over several input blocks at a time (one sliding-window
+    matmul per component instead of eight per-block branch calls), with
+    the same 3-sample history carry.  The pipeline's intermediate
+    ``astype(int32)`` at the stage-1/stage-2 boundary is replicated so
+    the output is bit-identical to the two-kernel chain.
+    """
+    hist = np.zeros(3, dtype=np.complex128)
+    mu_q15 = int(await mu.get())
+    while True:
+        blks = await x_in.get_batch(_FUSED_IO_BATCH, exact=False)
+        samples = np.concatenate(
+            [np.asarray(b, dtype=np.complex128) for b in blks]
+        )
+        xh = np.concatenate([hist, samples])
+        hist = samples[-3:].copy()
+        n = samples.shape[0]
+        outs = []
+        for comp in (np.real(xh).astype(np.int64),
+                     np.imag(xh).astype(np.int64)):
+            win = np.lib.stride_tricks.sliding_window_view(comp, 4)[:n]
+            c = win @ _TAPS64.T          # (n, 4): column m = branch C_m
+            acc = _q15_round(c[:, 3] * mu_q15) + c[:, 2]
+            acc = acc.astype(np.int32).astype(np.int64)  # stage boundary
+            acc = _q15_round(acc * mu_q15) + c[:, 1]
+            acc = _q15_round(acc * mu_q15) + c[:, 0]
+            acc = np.clip(_q15_round(acc), -(1 << 15), (1 << 15) - 1)
+            outs.append(acc.astype(np.int16).astype(np.float64))
+        y = outs[0] + 1j * outs[1]
+        await y_out.put_batch(list(y.reshape(len(blks), FARROW_BLOCK)))
+
+
 @extract_compute_graph
 @make_compute_graph(name="farrow")
 def FARROW_GRAPH(x: IoC[X_WIN], mu: IoC[int32]):
@@ -153,3 +199,12 @@ def reference(blocks: np.ndarray, mu_q15: int) -> np.ndarray:
     blocks = np.asarray(blocks, dtype=np.complex128).reshape(-1, FARROW_BLOCK)
     y = golden_farrow(blocks.reshape(-1), int(mu_q15))
     return y.reshape(blocks.shape)
+
+
+# Let the plan optimizer collapse the two-stage pipeline into the fused
+# kernel when a graph runs with optimize="fuse"/"full".
+from ..exec.optimize import register_fused_equivalent  # noqa: E402
+
+register_fused_equivalent(
+    (farrow_stage1.registry_key, farrow_stage2.registry_key), farrow_fused,
+)

@@ -164,3 +164,13 @@ def reference(blocks: np.ndarray) -> np.ndarray:
     blocks = np.asarray(blocks, dtype=np.float64).reshape(-1, IIR_BLOCK)
     y, _zf = golden_iir(blocks.reshape(-1), IIR_SOS)
     return y.reshape(blocks.shape)
+
+
+# The batched twin is bit-identical to the per-block kernel (same math,
+# bulk port I/O), so it doubles as the fused equivalent under
+# optimize="fuse"/"full".
+from ..exec.optimize import register_fused_equivalent  # noqa: E402
+
+register_fused_equivalent(
+    (iir_sos_kernel.registry_key,), iir_sos_kernel_batched,
+)

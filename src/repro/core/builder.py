@@ -367,7 +367,15 @@ class CompiledGraph:
         """Instantiate and run the graph with the given sources/sinks."""
         from .runtime import RuntimeContext
 
-        rt = RuntimeContext(self.graph, **{
+        plan = None
+        level = run_options.pop("optimize", None)
+        if level is not None and level != "none":
+            from ..exec.plan_cache import get_plan
+
+            plan = get_plan(self, self.graph, level)
+            if level == "full":
+                run_options.setdefault("batch_io", 64)
+        rt = RuntimeContext(self.graph, optimize_plan=plan, **{
             k: v for k, v in run_options.items()
             if k in RuntimeContext.CONSTRUCT_OPTIONS
         })

@@ -49,6 +49,7 @@ __all__ = [
     "KernelClass",
     "kernel_registry",
     "kernel_by_key",
+    "kernel_registry_epoch",
     "clear_kernel_registry",
 ]
 
@@ -102,10 +103,20 @@ def realm_by_name(name: str) -> Realm:
 
 _KERNEL_REGISTRY: Dict[str, "KernelClass"] = {}
 
+#: Bumped on every registration or registry clear.  Caches keyed on the
+#: registry contents (deserialization memoization, compiled plans) use
+#: this to invalidate when a kernel is (re)defined.
+_REGISTRY_EPOCH = 0
+
 
 def kernel_registry() -> Dict[str, "KernelClass"]:
     """The live kernel registry (key -> KernelClass)."""
     return _KERNEL_REGISTRY
+
+
+def kernel_registry_epoch() -> int:
+    """Monotonic counter that advances whenever the registry changes."""
+    return _REGISTRY_EPOCH
 
 
 def kernel_by_key(key: str) -> "KernelClass":
@@ -121,7 +132,9 @@ def kernel_by_key(key: str) -> "KernelClass":
 
 def clear_kernel_registry() -> None:
     """Testing hook: forget all registered kernels."""
+    global _REGISTRY_EPOCH
     _KERNEL_REGISTRY.clear()
+    _REGISTRY_EPOCH += 1
 
 
 class KernelClass:
@@ -292,6 +305,8 @@ def compute_kernel(realm: Realm = AIE, *, name: Optional[str] = None):
                     f"{kc.source_file}"
                 )
         _KERNEL_REGISTRY[kc.registry_key] = kc
+        global _REGISTRY_EPOCH
+        _REGISTRY_EPOCH += 1
         return kc
 
     return deco

@@ -21,11 +21,20 @@ time split, and stall diagnostics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import DeadlockError, GraphRuntimeError, IoBindingError
+from .fused import (
+    FusedDriver,
+    FusedLink,
+    FusedMember,
+    OptimizedPlan,
+    SinkStore,
+    SourceFeed,
+)
 from .graph import ComputeGraph, Net
 from .ports import KernelReadPort, KernelWritePort
 from .queues import BroadcastQueue, DEFAULT_QUEUE_CAPACITY, LatchQueue
@@ -99,6 +108,14 @@ class RuntimeContext:
         in-memory ring, a ring size, a ``.jsonl``/``.json`` path, a
         ``TraceSink``, or a ready ``Tracer``.  ``None`` (the default)
         keeps tracing off at a single pointer test per hook site.
+    optimize_plan:
+        An :class:`~repro.core.fused.OptimizedPlan` from the plan
+        compiler (``repro.exec.optimize``).  Chains named by the plan
+        run as fused drivers: member-to-member nets become local
+        :class:`FusedLink` buffers, exclusively-chain-owned graph
+        inputs/outputs bind straight to the user containers, and the
+        chain executes as one scheduler task.  ``None`` (the default)
+        runs every kernel as its own task.
     """
 
     #: Keyword arguments that CompiledGraph.__call__ routes to the
@@ -110,7 +127,8 @@ class RuntimeContext:
                  capacity: int = DEFAULT_QUEUE_CAPACITY,
                  validate: bool = False,
                  batch_io: Optional[int] = None,
-                 observe: Any = None):
+                 observe: Any = None,
+                 optimize_plan: Optional[OptimizedPlan] = None):
         self.graph = graph
         self.validate = validate
         self.batch_io = batch_io
@@ -123,6 +141,7 @@ class RuntimeContext:
         #: Label stamped into run.begin/run.end trace events.  The exec
         #: backends overwrite it (pysim runs on this same runtime).
         self.backend_label = "cgsim"
+        self.optimize_plan = optimize_plan
         self.queues: Dict[int, BroadcastQueue] = {}
         self._consumer_alloc: Dict[int, int] = {}  # net_id -> next idx
         self._kernel_ports: List[Tuple] = []       # per-instance port lists
@@ -133,8 +152,24 @@ class RuntimeContext:
         self._source_tasks: List = []
         self._sink_cursors: List[ArraySinkCursor] = []
         self._containers_out: List[Any] = []
+        self._drivers: List[FusedDriver] = []
+        self._feeds: Dict[int, SourceFeed] = {}    # net_id -> feed
+        self._stores: Dict[int, SinkStore] = {}    # net_id -> store
+
+        plan = optimize_plan
+        if plan is not None and plan.chains:
+            fused_idxs = plan.fused_instance_idxs
+            link_nets = {n for ch in plan.chains for n in ch.link_nets}
+            feed_nets = {n for ch in plan.chains for n in ch.feed_nets}
+            store_nets = {n for ch in plan.chains for n in ch.store_nets}
+        else:
+            plan = None
+            fused_idxs = frozenset()
+            link_nets = feed_nets = store_nets = frozenset()
 
         # Step 1 (§3.6): recreate all I/O ports — one queue per net.
+        # Under an optimize plan, elided nets get driver-local buffer
+        # fronts instead of scheduler-coupled broadcast queues.
         for net in graph.nets:
             n_consumers = len(net.consumers) + sum(
                 1 for io in graph.outputs if io.net_id == net.net_id
@@ -143,6 +178,21 @@ class RuntimeContext:
                 q: BroadcastQueue = LatchQueue(
                     n_consumers=max(n_consumers, 1), name=net.name,
                 )
+            elif net.net_id in link_nets:
+                depth = net.settings.depth
+                if depth is None:
+                    attr_depth = net.attrs.get("depth")
+                    depth = int(attr_depth) if attr_depth is not None else 0
+                q = FusedLink(
+                    capacity=max(DEFAULT_QUEUE_CAPACITY, capacity, depth),
+                    name=net.name,
+                )
+            elif net.net_id in feed_nets:
+                q = SourceFeed(name=net.name)
+                self._feeds[net.net_id] = q
+            elif net.net_id in store_nets:
+                q = SinkStore(name=net.name)
+                self._stores[net.net_id] = q
             else:
                 depth = net.settings.depth
                 if depth is None:
@@ -154,9 +204,13 @@ class RuntimeContext:
             self.queues[net.net_id] = q
             self._consumer_alloc[net.net_id] = 0
 
-        # Step 2 (§3.6): instantiate kernels and connect them.
+        # Step 2 (§3.6): instantiate kernels and connect them.  Instances
+        # covered by a fused chain are instantiated below as chain
+        # members instead.
         self._kernel_coros: List[Tuple[str, Any]] = []
         for inst in graph.kernels:
+            if inst.index in fused_idxs:
+                continue
             ports = []
             for port_idx, net_id in enumerate(inst.port_nets):
                 spec = inst.kernel.port_specs[port_idx]
@@ -172,10 +226,81 @@ class RuntimeContext:
             self._kernel_coros.append((inst.instance_name, coro))
             self._kernel_ports.append(tuple(ports))
 
+        # Step 2b: build one fused driver per planned chain.
+        if plan is not None:
+            for chain in plan.chains:
+                self._drivers.append(self._build_driver(chain))
+
+    def _build_driver(self, chain) -> FusedDriver:
+        """Instantiate a chain's members and wire them into a driver."""
+        validate = self.validate
+        members: List[FusedMember] = []
+        out_member: Dict[int, FusedMember] = {}  # link net -> producer
+        in_member: Dict[int, FusedMember] = {}   # link net -> consumer
+        link_set = set(chain.link_nets)
+        for mb in chain.members:
+            ports = []
+            for port_idx, net_id in enumerate(mb.port_nets):
+                spec = mb.kernel.port_specs[port_idx]
+                q = self.queues[net_id]
+                if spec.is_input:
+                    if isinstance(q, (FusedLink, SourceFeed)):
+                        cidx = 0  # single consumer by construction
+                    else:
+                        cidx = self._alloc_consumer(net_id)
+                    ports.append(KernelReadPort(spec, q, cidx))
+                    q.consumer_names.append(mb.name)
+                else:
+                    ports.append(KernelWritePort(spec, q, validate=validate))
+                    q.producer_names.append(mb.name)
+            member = FusedMember(mb.name, mb.kernel.instantiate(ports))
+            members.append(member)
+            for port_idx, net_id in enumerate(mb.port_nets):
+                if net_id not in link_set:
+                    continue
+                if mb.kernel.port_specs[port_idx].is_output:
+                    out_member[net_id] = member
+                else:
+                    in_member[net_id] = member
+        links = {}
+        for net_id in chain.link_nets:
+            link = self.queues[net_id]
+            links[id(link)] = (
+                link, out_member.get(net_id), in_member.get(net_id),
+            )
+        feed_ids = frozenset(
+            id(self.queues[nid]) for nid in chain.feed_nets
+        )
+        return FusedDriver(chain.name, members, links=links,
+                           feed_ids=feed_ids)
+
     def _alloc_consumer(self, net_id: int) -> int:
         idx = self._consumer_alloc[net_id]
         self._consumer_alloc[net_id] = idx + 1
         return idx
+
+    def _merge_driver_stats(self, stats: SchedulerStats) -> None:
+        """Re-attribute each fused driver's stats row to its members, so
+        reports keep naming the original kernel instances."""
+        t_end = perf_counter()
+        for drv in self._drivers:
+            drv.finalize_times(t_end)
+            drv_state = stats.task_states.pop(drv.name, None)
+            stats.task_resumes.pop(drv.name, None)
+            drv_cpu = stats.task_cpu_time.pop(drv.name, None)
+            drv_blocked = stats.task_blocked_time.pop(drv.name, None)
+            for m in drv.members:
+                state = m.final_state
+                if drv_state == "cancelled" and state not in (
+                    "finished", "failed",
+                ):
+                    state = "cancelled"
+                stats.task_states[m.name] = state
+                stats.task_resumes[m.name] = m.resumes
+                if drv_cpu is not None:
+                    stats.task_cpu_time[m.name] = m.cpu_time
+                if drv_blocked is not None:
+                    stats.task_blocked_time[m.name] = m.blocked_time
 
     # -- global I/O binding (§3.7) ---------------------------------------------------
 
@@ -203,6 +328,11 @@ class RuntimeContext:
                 if self.validate:
                     value = net.dtype.validate(value)
                 q.try_put(value)  # latch; always succeeds
+            elif isinstance(q, SourceFeed):
+                # Net owned exclusively by a fused chain: the driver pulls
+                # elements straight from the container, no source task.
+                q.bind(net.dtype, container, validate=self.validate)
+                q.producer_names.append(f"source[{gio.io_index}]")
             else:
                 coro = make_source(q, net.dtype, container, self.validate,
                                    batch=self.batch_io)
@@ -221,6 +351,13 @@ class RuntimeContext:
                 if not isinstance(q, LatchQueue):  # pragma: no cover
                     raise GraphRuntimeError("RTP net lacks a latch queue")
                 self._rtp_sinks.append((q, container))
+            elif isinstance(q, SinkStore):
+                # Fused-chain output: writes land in the container as the
+                # driver produces them, no sink task.  Kept out of
+                # ``_sinks``/``_containers_out`` (those pair sink tasks
+                # with their cursors); item accounting reads the store.
+                q.bind(net.dtype, container)
+                q.consumer_names.append(f"sink[{gio.io_index}]")
             else:
                 cidx = self._alloc_consumer(gio.net_id)
                 coro, cursor = make_sink(q, cidx, net.dtype, container,
@@ -255,9 +392,15 @@ class RuntimeContext:
                 q.attach_observer(tracer)
 
         # Kernels first (they were created suspended at construction),
-        # then sources and sinks.
+        # then fused drivers, sources and sinks.
         for name, coro in self._kernel_coros:
             sched.spawn(name, coro, kind="kernel")
+        measure = profile or tracer is not None
+        for drv in self._drivers:
+            drv.tracer = tracer
+            drv.profile = profile
+            drv.measure = measure
+            sched.spawn(drv.name, drv, kind="kernel")
         for idx, coro in self._sources:
             self._source_tasks.append(
                 sched.spawn(f"source[{idx}]", coro, kind="source")
@@ -277,6 +420,10 @@ class RuntimeContext:
                 t.name for t in sched.tasks
                 if t.state is TaskState.BLOCKED_WRITE and t.kind == "kernel"
             ]
+            if self._drivers:
+                self._merge_driver_stats(stats)
+                for drv in self._drivers:
+                    blocked_writers.extend(drv.blocked_write_members())
         finally:
             sched.close()
             if tracer is not None:
@@ -297,10 +444,12 @@ class RuntimeContext:
                 items_out += cursor.items_stored
             elif isinstance(container, list):
                 items_out += len(container)
+        for store in self._stores.values():
+            items_out += store.items_stored
 
         sources_done = all(
             t.state is TaskState.FINISHED for t in self._source_tasks
-        )
+        ) and all(feed.done for feed in self._feeds.values())
         # Data left in a queue that some consumer never drained means a
         # kernel stopped making progress while work remained (a deadlock
         # or an early-returning kernel), even if no writer is blocked.
@@ -311,11 +460,20 @@ class RuntimeContext:
         )
         deadlocked = bool(blocked_writers) or not sources_done \
             or undrained > 0
-        diagnosis = "" if not deadlocked else (
-            f"graph stalled before consuming all input "
-            f"({undrained} element(s) left undrained):\n"
-            + blockage
-        )
+        diagnosis = ""
+        if deadlocked:
+            extra = [
+                line for drv in self._drivers for line in drv.stall_lines()
+            ]
+            if extra:
+                blockage = blockage + "\n" + "\n".join(extra) \
+                    if blockage.strip() != "(no blocked tasks)" \
+                    else "\n".join(extra)
+            diagnosis = (
+                f"graph stalled before consuming all input "
+                f"({undrained} element(s) left undrained):\n"
+                + blockage
+            )
 
         report = RunReport(
             graph_name=self.graph.name,

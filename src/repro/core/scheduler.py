@@ -379,8 +379,13 @@ class CooperativeScheduler:
             detail = f"fill {fill}/{capacity}" if capacity is not None \
                 else "fill ?"
             peer_txt = ", ".join(peers) if peers else waiting_for
+            # A fused driver exposes which member kernel is actually
+            # parked; stall reports should name the original endpoint.
+            member = getattr(t.coro, "blocked_member_name", None)
+            who = f"{member} (kernel, fused into {t.name})" if member \
+                else f"{t.name} ({t.kind})"
             lines.append(
-                f"  {t.name} ({t.kind}) blocked on {op} of "
+                f"  {who} blocked on {op} of "
                 f"{qname} [{detail}; peers: {peer_txt}]"
             )
         return "\n".join(lines) if lines else "  (no blocked tasks)"

@@ -14,6 +14,11 @@ through one entry point::
         "cgsim", "pysim", "x86sim",
     ]
 
+The cgsim backend additionally accepts ``optimize="none"/"fuse"/"full"``
+— the plan-optimization pipeline (chain fusion with queue elision,
+fused-equivalent kernel substitution, rate-matched bulk I/O) documented
+in ``docs/EXEC_BACKENDS.md``.
+
 See ``docs/EXEC_BACKENDS.md`` for the protocol contract and how to plug
 in new engines.
 """
@@ -23,12 +28,22 @@ from .api import (
     ExecutionPlan,
     RunResult,
     available_backends,
+    clear_resolve_cache,
     get_backend,
     register_backend,
     resolve_graph,
     run_graph,
 )
 from .backends import CgsimBackend, PysimBackend, X86simBackend
+from .optimize import (
+    OPTIMIZE_LEVELS,
+    analyze_graph,
+    clear_fused_equivalents,
+    fusion_registry_epoch,
+    register_fused_equivalent,
+)
+from .plan_cache import clear_plan_cache, get_plan, plan_cache_stats
+from ..core.fused import OptimizedPlan
 
 __all__ = [
     "ExecutionBackend",
@@ -38,8 +53,18 @@ __all__ = [
     "get_backend",
     "register_backend",
     "resolve_graph",
+    "clear_resolve_cache",
     "run_graph",
     "CgsimBackend",
     "PysimBackend",
     "X86simBackend",
+    "OPTIMIZE_LEVELS",
+    "OptimizedPlan",
+    "analyze_graph",
+    "register_fused_equivalent",
+    "clear_fused_equivalents",
+    "fusion_registry_epoch",
+    "get_plan",
+    "clear_plan_cache",
+    "plan_cache_stats",
 ]

@@ -41,6 +41,7 @@ New engines (sharded, multi-process, remote) plug in via
 from __future__ import annotations
 
 import abc
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
@@ -54,6 +55,7 @@ __all__ = [
     "get_backend",
     "available_backends",
     "resolve_graph",
+    "clear_resolve_cache",
     "run_graph",
 ]
 
@@ -209,27 +211,51 @@ def available_backends() -> List[str]:
 # ---------------------------------------------------------------------------
 
 
+# SerializedGraph -> (kernel registry epoch at resolve time, ComputeGraph).
+# Deserialization walks every kernel instance and net; graphs re-run in a
+# reps loop (benchmarks, differential tests) pay it once instead of per
+# run.  Weak keys: dropping the carrier drops the cached IR.
+_RESOLVE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def resolve_graph(graph: Any):
     """Normalize any graph carrier to the pointer-based ComputeGraph IR.
 
     Accepts a :class:`~repro.core.builder.CompiledGraph`, a
     :class:`~repro.core.serialize.SerializedGraph`, or an already
     deserialized :class:`~repro.core.graph.ComputeGraph`.
+
+    ``SerializedGraph`` deserialization is memoized per carrier object,
+    invalidated when the kernel registry changes (a re-registered kernel
+    must not resurrect instances bound to its old definition).  Use
+    :func:`clear_resolve_cache` to drop the memo explicitly.
     """
     from ..core.builder import CompiledGraph
     from ..core.graph import ComputeGraph
+    from ..core.kernel import kernel_registry_epoch
     from ..core.serialize import SerializedGraph
 
     if isinstance(graph, CompiledGraph):
         return graph.graph
     if isinstance(graph, SerializedGraph):
-        return graph.deserialize()
+        epoch = kernel_registry_epoch()
+        cached = _RESOLVE_CACHE.get(graph)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        resolved = graph.deserialize()
+        _RESOLVE_CACHE[graph] = (epoch, resolved)
+        return resolved
     if isinstance(graph, ComputeGraph):
         return graph
     raise GraphRuntimeError(
         f"cannot execute object of type {type(graph).__name__}; expected "
         f"CompiledGraph, SerializedGraph, or ComputeGraph"
     )
+
+
+def clear_resolve_cache() -> None:
+    """Drop every memoized deserialization (testing/invalidation hook)."""
+    _RESOLVE_CACHE.clear()
 
 
 def run_graph(graph: Any, *io: Any, backend: str = "cgsim",

@@ -33,11 +33,18 @@ class CgsimBackend(ExecutionBackend):
     Options: ``capacity`` (queue depth default), ``validate``
     (per-element stream type checks), ``batch_io`` (bulk ring I/O for
     global sources/sinks), ``observe`` (structured event tracing, see
-    :mod:`repro.observe`), ``max_steps`` (livelock guard), ``strict``
-    (raise :class:`DeadlockError` on stalls).
+    :mod:`repro.observe`), ``optimize`` (plan optimization level:
+    ``"none"``/``"fuse"``/``"full"``, see :mod:`repro.exec.optimize`),
+    ``max_steps`` (livelock guard), ``strict`` (raise
+    :class:`DeadlockError` on stalls).
     """
 
     name = "cgsim"
+
+    #: Whether this backend honours the ``optimize`` option.  Subclasses
+    #: that exist to exercise the *unoptimized* path (pysim's round-trip
+    #: proof) accept the option but run the plain runtime.
+    supports_optimize = True
 
     def _instantiate(self, graph):
         """Graph carrier → deserialized IR; pysim overrides this to
@@ -47,13 +54,28 @@ class CgsimBackend(ExecutionBackend):
     def prepare(self, graph: Any, io: Tuple[Any, ...],
                 **options: Any) -> ExecutionPlan:
         from ..core.runtime import RuntimeContext
+        from .optimize import OPTIMIZE_LEVELS
+        from .plan_cache import get_plan
 
+        level = options.pop("optimize", None) or "none"
+        if level not in OPTIMIZE_LEVELS:
+            from ..errors import GraphRuntimeError
+            raise GraphRuntimeError(
+                f"unknown optimize level {level!r}; expected one of "
+                f"{OPTIMIZE_LEVELS}"
+            )
         g = self._instantiate(graph)
         construct = {k: v for k, v in options.items()
                      if k in RuntimeContext.CONSTRUCT_OPTIONS}
         run_opts = {k: v for k, v in options.items()
                     if k not in RuntimeContext.CONSTRUCT_OPTIONS}
-        rt = RuntimeContext(g, **construct)
+        plan = None
+        if level != "none" and self.supports_optimize:
+            plan = get_plan(graph, g, level)
+            if level == "full":
+                # Rate-matched bulk I/O for whatever stayed unfused.
+                construct.setdefault("batch_io", 64)
+        rt = RuntimeContext(g, optimize_plan=plan, **construct)
         rt.backend_label = self.name
         if io or g.inputs or g.outputs:
             rt.bind_io(*io)
@@ -97,6 +119,9 @@ class PysimBackend(CgsimBackend):
     """
 
     name = "pysim"
+    # The round trip *is* the point; fusing would bypass the serialized
+    # wiring being proved.  ``optimize`` is accepted and ignored.
+    supports_optimize = False
 
     def _instantiate(self, graph):
         from ..core.builder import CompiledGraph
@@ -132,6 +157,9 @@ class X86simBackend(ExecutionBackend):
         capacity = options.pop("capacity", DEFAULT_QUEUE_CAPACITY)
         timeout = options.pop("timeout", 60.0)
         observe = options.pop("observe", None)
+        # Plan optimization is a cgsim-runtime concept; threads have no
+        # scheduler hops to elide.  Accepted for cross-backend parity.
+        options.pop("optimize", None)
         if options:
             from ..errors import GraphRuntimeError
             raise GraphRuntimeError(

@@ -1,0 +1,100 @@
+"""Compiled-plan cache for the optimizing plan compiler.
+
+Plans are pure functions of (graph structure, optimize level, kernel
+registry state, fused-equivalent registry state), so repeated runs of
+the same graph — the Table 2 reps loop, the differential harness, a
+server replaying one graph — can skip re-analysis entirely.
+
+Keying is *structural*: the SHA-1 of the serialized graph's canonical
+JSON, so two deserializations of the same flat graph (or a pysim JSON
+round trip of it) share one cache row.  The carrier object
+(``CompiledGraph`` / ``SerializedGraph`` / raw ``ComputeGraph``) is
+memoized to its structural key through a ``WeakKeyDictionary`` so the
+hash is computed once per object, and rows are invalidated by epoch
+counters when either registry changes (re-registered kernels or fused
+equivalents must not resurrect stale plans).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from typing import Dict, Optional, Tuple
+
+from ..core.fused import OptimizedPlan
+from ..core.graph import ComputeGraph
+from ..core.kernel import kernel_registry_epoch
+from ..core.serialize import SerializedGraph, flatten_graph
+from .optimize import analyze_graph, fusion_registry_epoch
+
+__all__ = ["get_plan", "clear_plan_cache", "plan_cache_stats"]
+
+# carrier object -> structural key (computed once per live object)
+_IDENTITY_KEYS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+# structural key -> {(level, kernel_epoch, fusion_epoch): plan-or-None}
+_PLANS: Dict[str, Dict[Tuple[str, int, int], Optional[OptimizedPlan]]] = {}
+_HITS = 0
+_MISSES = 0
+
+
+def _structural_key(carrier, graph: ComputeGraph) -> str:
+    """Stable content hash of the graph structure."""
+    try:
+        cached = _IDENTITY_KEYS.get(carrier)
+    except TypeError:  # un-weakref-able carrier; hash every time
+        cached = None
+        carrier = None
+    if cached is not None:
+        return cached
+    serialized = getattr(carrier, "serialized", None)  # CompiledGraph
+    if serialized is None and isinstance(carrier, SerializedGraph):
+        serialized = carrier
+    if serialized is None:
+        serialized = flatten_graph(graph)
+    key = hashlib.sha1(serialized.to_json().encode()).hexdigest()
+    if carrier is not None:
+        try:
+            _IDENTITY_KEYS[carrier] = key
+        except TypeError:  # pragma: no cover - un-weakref-able
+            pass
+    return key
+
+
+def get_plan(carrier, graph: ComputeGraph, level: str
+             ) -> Optional[OptimizedPlan]:
+    """Cached :func:`analyze_graph`.
+
+    *carrier* is whatever the caller passed to ``run_graph`` (it anchors
+    the identity memo); *graph* is the resolved ``ComputeGraph``.  A
+    cached ``None`` / empty plan is a valid result: "this graph has
+    nothing to fuse" is worth remembering too.
+    """
+    global _HITS, _MISSES
+    key = _structural_key(carrier, graph)
+    row = (level, kernel_registry_epoch(), fusion_registry_epoch())
+    per_graph = _PLANS.get(key)
+    if per_graph is not None and row in per_graph:
+        _HITS += 1
+        return per_graph[row]
+    _MISSES += 1
+    plan = analyze_graph(graph, level)
+    _PLANS.setdefault(key, {})[row] = plan
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and identity memo (testing hook)."""
+    global _HITS, _MISSES
+    _PLANS.clear()
+    _IDENTITY_KEYS.clear()
+    _HITS = 0
+    _MISSES = 0
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Cache effectiveness counters: ``hits``, ``misses``, ``entries``."""
+    return {
+        "hits": _HITS,
+        "misses": _MISSES,
+        "entries": sum(len(v) for v in _PLANS.values()),
+    }

@@ -260,10 +260,12 @@ def run_on_backend(graph: CompiledGraph, inputs: Sequence[np.ndarray],
 
 
 #: Differential matrix: label → (backend name, extra run options).  Covers
-#: every registered engine plus the batched-port-I/O cgsim fast path.
+#: every registered engine plus the batched-port-I/O and plan-optimized
+#: cgsim fast paths.
 BACKEND_VARIANTS: Dict[str, Tuple[str, Dict[str, object]]] = {
     "cgsim": ("cgsim", {}),
     "cgsim+batch": ("cgsim", {"batch_io": 8}),
+    "cgsim+fused": ("cgsim", {"optimize": "full"}),
     "pysim": ("pysim", {}),
     "x86sim": ("x86sim", {}),
 }
