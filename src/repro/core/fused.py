@@ -139,6 +139,13 @@ class FusedLink:
         "producer_names", "consumer_names",
     )
 
+    # Chain-internal buffers are never poisoned: a failing member takes
+    # its whole driver down, and containment acts on the chain's real
+    # boundary queues.  The class-level flag satisfies the port
+    # awaitables' slow-path poison check at zero per-instance cost.
+    poisoned = False
+    poison_origin = ""
+
     def __init__(self, capacity: int, name: str = ""):
         self.name = name
         self.capacity = max(1, int(capacity))
@@ -264,6 +271,9 @@ class SourceFeed:
         "read_waiters", "write_waiters", "total_puts", "total_gets",
         "producer_names", "consumer_names",
     )
+
+    poisoned = False        # see FusedLink: boundary-only containment
+    poison_origin = ""
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -461,6 +471,9 @@ class SinkStore:
         "_observe", "read_waiters", "write_waiters", "total_puts",
         "total_gets", "producer_names", "consumer_names",
     )
+
+    poisoned = False        # see FusedLink: boundary-only containment
+    poison_origin = ""
 
     def __init__(self, name: str = ""):
         self.name = name

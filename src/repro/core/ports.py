@@ -29,7 +29,7 @@ import enum
 from dataclasses import dataclass, replace
 from typing import Any, Optional, Tuple
 
-from ..errors import PortSettingsError, StreamTypeError
+from ..errors import PoisonSignal, PortSettingsError, StreamTypeError
 from .dtypes import StreamType
 
 __all__ = [
@@ -233,6 +233,12 @@ class _GetAwaitable:
             if ok:
                 port._items += 1
                 return value
+            # Poison is observed only here, on the blocking slow path:
+            # buffered data drains first, then the read that would have
+            # parked forever terminates the consumer instead.
+            if port._queue.poisoned:
+                q = port._queue
+                raise PoisonSignal(q.name, q.poison_origin)
             yield ("rd", port._queue, port._consumer_idx)
 
     # Allow use from plain generators in tests: iter(awaitable)
@@ -301,6 +307,8 @@ class _GetBatchAwaitable:
             if out and not exact:
                 port._items += len(out)
                 return out
+            if queue.poisoned:
+                raise PoisonSignal(queue.name, queue.poison_origin)
             yield ("rd", queue, idx, len(out))
 
     __iter__ = __await__

@@ -73,6 +73,10 @@ class BroadcastQueue:
         "total_gets",
         "producer_names",
         "consumer_names",
+        "_detached",
+        "_n_active",
+        "poisoned",
+        "poison_origin",
     )
 
     def __init__(self, capacity: int = DEFAULT_QUEUE_CAPACITY,
@@ -104,6 +108,14 @@ class BroadcastQueue:
         # runtime that wires this queue into a graph.
         self.producer_names: List[str] = []
         self.consumer_names: List[str] = []
+        # Failure containment (repro.faults): consumers detached when
+        # their task is cancelled stop gating the ring's full-check, and
+        # a poisoned queue raises PoisonSignal out of blocking reads
+        # once its buffered data is drained.
+        self._detached: set = set()
+        self._n_active = n_consumers
+        self.poisoned = False
+        self.poison_origin = ""
 
     # -- wiring --------------------------------------------------------------
 
@@ -134,20 +146,28 @@ class BroadcastQueue:
 
     def size_for(self, consumer_idx: int) -> int:
         """Number of elements available to consumer *consumer_idx*."""
+        if self._detached and consumer_idx in self._detached:
+            return 0
         return self._head - self._cursors[consumer_idx]
 
     def _min_cursor_now(self) -> int:
         """Cached min consumer cursor; rebuilt lazily after a laggard
         get invalidated it (keeps ``try_put``'s full-check O(1))."""
         if self._min_dirty:
-            self._min_cursor = min(self._cursors)
+            if self._detached:
+                self._min_cursor = min(
+                    c for i, c in enumerate(self._cursors)
+                    if i not in self._detached
+                )
+            else:
+                self._min_cursor = min(self._cursors)
             self._min_dirty = False
         return self._min_cursor
 
     @property
     def free_slots(self) -> int:
         """Slots a producer can still write before blocking."""
-        if self.n_consumers == 0:
+        if self._n_active == 0:
             return self.capacity
         return self.capacity - (self._head - self._min_cursor_now())
 
@@ -162,7 +182,7 @@ class BroadcastQueue:
 
     def try_put(self, value: Any) -> bool:
         """Append *value* for all consumers; False if the ring is full."""
-        if self.n_consumers == 0:
+        if self._n_active == 0:
             self.total_puts += 1
             return True  # no one to deliver to; writes complete trivially
         head = self._head
@@ -188,7 +208,7 @@ class BroadcastQueue:
         n_values = len(values) - start
         if n_values <= 0:
             return 0
-        if self.n_consumers == 0:
+        if self._n_active == 0:
             self.total_puts += n_values
             return n_values
         head = self._head
@@ -217,6 +237,8 @@ class BroadcastQueue:
         Returns ``(True, value)`` or ``(False, None)`` when no data is
         available for that consumer.
         """
+        if self._detached and consumer_idx in self._detached:
+            return False, None
         cur = self._cursors[consumer_idx]
         if cur == self._head:
             return False, None
@@ -238,6 +260,8 @@ class BroadcastQueue:
         slices.  This is the bulk fast path behind
         ``await port.get_batch(n)``.
         """
+        if self._detached and consumer_idx in self._detached:
+            return []
         cur = self._cursors[consumer_idx]
         avail = self._head - cur
         if avail <= 0 or max_n <= 0:
@@ -265,6 +289,46 @@ class BroadcastQueue:
         if cur == self._head:
             return False, None
         return True, self._slots[cur % self.capacity]
+
+    # -- failure containment (repro.faults) ------------------------------------
+
+    def detach_consumer(self, consumer_idx: int) -> None:
+        """Remove consumer *consumer_idx* from flow control.
+
+        Called when the consuming task is cancelled (failure isolation):
+        its frozen cursor must stop gating the ring's full-check, or
+        healthy producers sharing the queue would stall against a reader
+        that will never drain it.  Parked writers are rewoken so they
+        re-evaluate the queue without the detached cursor.
+        """
+        if consumer_idx in self._detached \
+                or not 0 <= consumer_idx < self.n_consumers:
+            return
+        self._detached.add(consumer_idx)
+        self._n_active -= 1
+        self._min_dirty = True
+        if self.write_waiters and self._scheduler is not None:
+            if self._n_active == 0 \
+                    or self._head - self._min_cursor_now() < self.capacity:
+                self._scheduler.wake_all(self.write_waiters)
+
+    def poison(self, origin: str = "") -> None:
+        """Mark the stream poisoned by the failure of *origin*.
+
+        Readers observe the poison only on the blocking slow path, after
+        draining everything already buffered — the stream delivers its
+        full prefix, then terminates its consumers with
+        :class:`~repro.errors.PoisonSignal` at the exact point the data
+        ends.
+        """
+        if self.poisoned:
+            return
+        self.poisoned = True
+        self.poison_origin = origin
+        if self._scheduler is not None:
+            for waiters in self.read_waiters:
+                if waiters:
+                    self._scheduler.wake_all(waiters)
 
     def drain(self, consumer_idx: int) -> List[Any]:
         """Pop everything currently visible to *consumer_idx* (testing)."""
@@ -365,7 +429,7 @@ class _TracedBroadcastQueue(BroadcastQueue):
     def try_put(self, value: Any) -> bool:
         ok = BroadcastQueue.try_put(self, value)
         if ok:
-            fill = (0 if self.n_consumers == 0
+            fill = (0 if self._n_active == 0
                     else self._head - self._min_cursor_now())
             self._observe.queue_put(self.name, 1, fill)
         return ok
@@ -373,7 +437,7 @@ class _TracedBroadcastQueue(BroadcastQueue):
     def try_put_many(self, values, start: int = 0) -> int:
         n = BroadcastQueue.try_put_many(self, values, start)
         if n:
-            fill = (0 if self.n_consumers == 0
+            fill = (0 if self._n_active == 0
                     else self._head - self._min_cursor_now())
             self._observe.queue_put(self.name, n, fill)
         return n

@@ -20,13 +20,22 @@ time split, and stall diagnostics.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from ..errors import DeadlockError, GraphRuntimeError, IoBindingError
+from ..errors import (
+    DeadlockError,
+    GraphRuntimeError,
+    InjectedFaultError,
+    IoBindingError,
+)
+from ..faults.plan import FaultPlan
+from ..faults.report import FailureReport, TaskFailure, TeardownError
+from ..faults.waitfor import analyze_waiters
 from .fused import (
     FusedDriver,
     FusedLink,
@@ -62,6 +71,13 @@ class RunReport:
     task_states: Dict[str, str] = field(default_factory=dict)
     stall_diagnosis: str = ""
     warnings: List[str] = field(default_factory=list)
+    #: :class:`repro.faults.FailureReport` when a kernel failed under
+    #: ``on_error="isolate"`` / ``"poison"`` (the run returned instead
+    #: of raising); ``None`` for clean runs and for ``on_error="fail"``.
+    failure: Any = None
+    #: :class:`repro.faults.DeadlockReport` (wait-for-graph analysis)
+    #: when the run stalled; names the exact task cycle if one exists.
+    deadlock: Any = None
 
     @property
     def context_switches(self) -> int:
@@ -77,7 +93,8 @@ class RunReport:
 
     def __repr__(self):
         status = "ok" if self.completed else (
-            "DEADLOCK" if self.deadlocked else "stalled"
+            "FAILED" if self.failure is not None
+            else "DEADLOCK" if self.deadlocked else "stalled"
         )
         return (
             f"<RunReport {self.graph_name!r} {status} in={self.items_in} "
@@ -116,28 +133,60 @@ class RuntimeContext:
         inputs/outputs bind straight to the user containers, and the
         chain executes as one scheduler task.  ``None`` (the default)
         runs every kernel as its own task.
+    faults:
+        Deterministic fault injection (:mod:`repro.faults`): a
+        :class:`~repro.faults.FaultPlan`, a single injection spec, or a
+        list of specs.  Target names are validated against the graph at
+        construction.  ``None`` (the default) injects nothing and runs
+        exactly the unfaulted code paths.
+    on_error:
+        Failure policy when a kernel raises.  ``"fail"`` (the default)
+        keeps the legacy behavior: cancel everything and raise
+        :class:`GraphRuntimeError`.  ``"isolate"`` contains the failure:
+        the failing task is marked failed, only its dependent cone is
+        cancelled, and :meth:`run` returns a :class:`RunReport` whose
+        ``failure`` is a :class:`~repro.faults.FailureReport`.
+        ``"poison"`` propagates instead: the failing task's output
+        streams are poisoned, downstream kernels drain buffered data
+        then terminate, cascading the marker to the sinks.
     """
 
     #: Keyword arguments that CompiledGraph.__call__ routes to the
     #: constructor rather than to run().
     CONSTRUCT_OPTIONS = frozenset({"capacity", "validate", "batch_io",
-                                   "observe"})
+                                   "observe", "faults", "on_error"})
 
     def __init__(self, graph: ComputeGraph,
                  capacity: int = DEFAULT_QUEUE_CAPACITY,
                  validate: bool = False,
                  batch_io: Optional[int] = None,
                  observe: Any = None,
-                 optimize_plan: Optional[OptimizedPlan] = None):
+                 optimize_plan: Optional[OptimizedPlan] = None,
+                 faults: Any = None,
+                 on_error: str = "fail"):
         self.graph = graph
         self.validate = validate
         self.batch_io = batch_io
+        if on_error not in ("fail", "isolate", "poison"):
+            raise GraphRuntimeError(
+                f"on_error={on_error!r}; expected 'fail', 'isolate', or "
+                f"'poison'"
+            )
+        self.on_error = on_error
+        fault_plan = FaultPlan.coerce(faults)
+        self.fault_session = fault_plan.session(graph) \
+            if fault_plan is not None else None
         if observe is not None and observe is not False:
             from ..observe import make_tracer
 
             self.tracer = make_tracer(observe)
+            #: Whether this context created the tracer (and must flush
+            #: its sink at the end of run()) vs. borrowed a caller-owned
+            #: one that the caller will close.
+            self._owns_tracer = self.tracer is not observe
         else:
             self.tracer = None
+            self._owns_tracer = False
         #: Label stamped into run.begin/run.end trace events.  The exec
         #: backends overwrite it (pysim runs on this same runtime).
         self.backend_label = "cgsim"
@@ -155,6 +204,18 @@ class RuntimeContext:
         self._drivers: List[FusedDriver] = []
         self._feeds: Dict[int, SourceFeed] = {}    # net_id -> feed
         self._stores: Dict[int, SinkStore] = {}    # net_id -> store
+        # Containment wiring (repro.faults): which shared queues each
+        # scheduler task reads (queue, consumer_idx) and writes, which
+        # original instances each task carries, and the member makeup of
+        # fused driver tasks — everything the failure hook needs to
+        # detach cursors, poison streams, and attribute fused failures.
+        self._task_inputs: Dict[str, List[Tuple[Any, int]]] = {}
+        self._task_outputs: Dict[str, List[Any]] = {}
+        self._owner_task: Dict[str, str] = {}      # instance -> task name
+        self._member_instances: Dict[str, Tuple[str, ...]] = {}
+        self._driver_members: Dict[str, Tuple[str, ...]] = {}
+        self._store_owner: Dict[int, str] = {}     # store net -> driver
+        self._source_net: Dict[str, int] = {}      # source task -> net
 
         plan = optimize_plan
         if plan is not None and plan.chains:
@@ -204,6 +265,21 @@ class RuntimeContext:
             self.queues[net.net_id] = q
             self._consumer_alloc[net.net_id] = 0
 
+        # Fault wiring (repro.faults): install stream-fault proxies now,
+        # before any kernel port captures a queue reference.  Only real
+        # broadcast queues can carry a proxy; a targeted net the
+        # optimize plan turned into a driver-local front is reported by
+        # check_wired() rather than silently skipped.
+        session = self.fault_session
+        if session is not None:
+            for net in graph.nets:
+                if not session.wants_net(net.name):
+                    continue
+                q0 = self.queues[net.net_id]
+                if isinstance(q0, BroadcastQueue):
+                    self.queues[net.net_id] = session.wrap_queue(net.name, q0)
+            session.check_wired()
+
         # Step 2 (§3.6): instantiate kernels and connect them.  Instances
         # covered by a fused chain are instantiated below as chain
         # members instead.
@@ -211,20 +287,31 @@ class RuntimeContext:
         for inst in graph.kernels:
             if inst.index in fused_idxs:
                 continue
+            name = inst.instance_name
             ports = []
+            ins: List[Tuple[Any, int]] = []
+            outs: List[Any] = []
             for port_idx, net_id in enumerate(inst.port_nets):
                 spec = inst.kernel.port_specs[port_idx]
                 q = self.queues[net_id]
                 if spec.is_input:
                     cidx = self._alloc_consumer(net_id)
                     ports.append(KernelReadPort(spec, q, cidx))
-                    q.consumer_names.append(inst.instance_name)
+                    q.consumer_names.append(name)
+                    ins.append((q, cidx))
                 else:
                     ports.append(KernelWritePort(spec, q, validate=validate))
-                    q.producer_names.append(inst.instance_name)
+                    q.producer_names.append(name)
+                    outs.append(q)
             coro = inst.kernel.instantiate(ports)
-            self._kernel_coros.append((inst.instance_name, coro))
+            if session is not None:
+                coro = session.wrap_kernel(name, coro)
+            self._kernel_coros.append((name, coro))
             self._kernel_ports.append(tuple(ports))
+            self._task_inputs[name] = ins
+            self._task_outputs[name] = outs
+            self._owner_task[name] = name
+            self._member_instances[name] = (name,)
 
         # Step 2b: build one fused driver per planned chain.
         if plan is not None:
@@ -234,10 +321,13 @@ class RuntimeContext:
     def _build_driver(self, chain) -> FusedDriver:
         """Instantiate a chain's members and wire them into a driver."""
         validate = self.validate
+        session = self.fault_session
         members: List[FusedMember] = []
         out_member: Dict[int, FusedMember] = {}  # link net -> producer
         in_member: Dict[int, FusedMember] = {}   # link net -> consumer
         link_set = set(chain.link_nets)
+        ins: List[Tuple[Any, int]] = []   # external reads of the chain
+        outs: List[Any] = []              # external poisonable writes
         for mb in chain.members:
             ports = []
             for port_idx, net_id in enumerate(mb.port_nets):
@@ -248,13 +338,23 @@ class RuntimeContext:
                         cidx = 0  # single consumer by construction
                     else:
                         cidx = self._alloc_consumer(net_id)
+                        ins.append((q, cidx))
                     ports.append(KernelReadPort(spec, q, cidx))
                     q.consumer_names.append(mb.name)
                 else:
                     ports.append(KernelWritePort(spec, q, validate=validate))
                     q.producer_names.append(mb.name)
-            member = FusedMember(mb.name, mb.kernel.instantiate(ports))
+                    if not isinstance(q, (FusedLink, SinkStore)):
+                        outs.append(q)
+            coro = mb.kernel.instantiate(ports)
+            if session is not None:
+                coro = session.wrap_kernel(mb.name, coro,
+                                           aliases=tuple(mb.fused_from))
+            member = FusedMember(mb.name, coro)
             members.append(member)
+            self._member_instances[mb.name] = tuple(mb.fused_from)
+            for orig in mb.fused_from:
+                self._owner_task[orig] = chain.name
             for port_idx, net_id in enumerate(mb.port_nets):
                 if net_id not in link_set:
                     continue
@@ -271,6 +371,11 @@ class RuntimeContext:
         feed_ids = frozenset(
             id(self.queues[nid]) for nid in chain.feed_nets
         )
+        self._task_inputs[chain.name] = ins
+        self._task_outputs[chain.name] = outs
+        self._driver_members[chain.name] = tuple(m.name for m in members)
+        for nid in chain.store_nets:
+            self._store_owner[nid] = chain.name
         return FusedDriver(chain.name, members, links=links,
                            feed_ids=feed_ids)
 
@@ -291,7 +396,7 @@ class RuntimeContext:
             drv_blocked = stats.task_blocked_time.pop(drv.name, None)
             for m in drv.members:
                 state = m.final_state
-                if drv_state == "cancelled" and state not in (
+                if drv_state in ("cancelled", "failed") and state not in (
                     "finished", "failed",
                 ):
                     state = "cancelled"
@@ -301,6 +406,71 @@ class RuntimeContext:
                     stats.task_cpu_time[m.name] = m.cpu_time
                 if drv_blocked is not None:
                     stats.task_blocked_time[m.name] = m.blocked_time
+
+    # -- failure containment (repro.faults) ------------------------------------------
+
+    def _downstream_cone(self, seed_instances: Set[str]) -> Set[str]:
+        """Instance names strictly downstream of *seed_instances* in the
+        serialized graph — the dependent cone a failure invalidates."""
+        g = self.graph
+        by_name = {k.instance_name: k for k in g.kernels}
+        cone: Set[str] = set()
+        frontier = [by_name[n] for n in seed_instances if n in by_name]
+        while frontier:
+            inst = frontier.pop()
+            for nxt in g.downstream_instances(inst):
+                nm = nxt.instance_name
+                if nm not in cone and nm not in seed_instances:
+                    cone.add(nm)
+                    frontier.append(nxt)
+        return cone
+
+    def _cone_sinks(self, dead_instances: Set[str]) -> List[str]:
+        """``sink[i]`` tasks every one of whose producers is dead — no
+        further element can ever reach them."""
+        g = self.graph
+        out = []
+        for gio in g.outputs:
+            net = g.net(gio.net_id)
+            prods = {
+                g.kernels[ep.instance_idx].instance_name
+                for ep in net.producers
+            }
+            if prods and prods <= dead_instances:
+                out.append(f"sink[{gio.io_index}]")
+        return out
+
+    def _build_failure_report(self, hook, sched, stats) -> FailureReport:
+        session = self.fault_session
+        report = FailureReport(
+            policy=self.on_error,
+            failures=list(hook.failures),
+            cancelled=tuple(sorted(hook.cancelled)),
+            collateral=tuple(sorted(hook.collateral)),
+            poisoned=tuple(hook.poisoned),
+            teardown_errors=[
+                TeardownError(nm, err) for nm, err in sched.teardown_errors
+            ],
+            injected_faults=list(session.events)
+            if session is not None else [],
+        )
+        # Sink completeness: a sink is partial when it was itself
+        # cancelled/poisoned or when any producer feeding its net died —
+        # either way it can only hold a prefix of the fault-free stream.
+        g = self.graph
+        dead_sinks = set(hook.cancelled) | set(hook.poisoned)
+        for gio in g.outputs:
+            net = g.net(gio.net_id)
+            if net.settings.runtime_parameter:
+                continue
+            key = f"sink[{gio.io_index}]"
+            prods = {
+                g.kernels[ep.instance_idx].instance_name
+                for ep in net.producers
+            }
+            partial = key in dead_sinks or bool(prods & hook.dead_instances)
+            report.sink_status[key] = "partial" if partial else "complete"
+        return report
 
     # -- global I/O binding (§3.7) ---------------------------------------------------
 
@@ -338,6 +508,8 @@ class RuntimeContext:
                                    batch=self.batch_io)
                 self._sources.append((gio.io_index, coro))
                 q.producer_names.append(f"source[{gio.io_index}]")
+                self._task_outputs[f"source[{gio.io_index}]"] = [q]
+                self._source_net[f"source[{gio.io_index}]"] = gio.net_id
 
         for gio, container in zip(g.outputs, io[len(g.inputs):]):
             net = g.net(gio.net_id)
@@ -363,6 +535,7 @@ class RuntimeContext:
                 coro, cursor = make_sink(q, cidx, net.dtype, container,
                                          batch=self.batch_io)
                 q.consumer_names.append(f"sink[{gio.io_index}]")
+                self._task_inputs[f"sink[{gio.io_index}]"] = [(q, cidx)]
                 self._sinks.append((gio.io_index, coro, cursor))
                 self._containers_out.append((gio.io_index, container))
                 if cursor is not None:
@@ -385,7 +558,14 @@ class RuntimeContext:
                     "with global I/O"
                 )
         tracer = self.tracer
-        sched = CooperativeScheduler(profile=profile, tracer=tracer)
+        session = self.fault_session
+        if session is not None:
+            session.attach_tracer(tracer)
+        hook = _ContainmentHook(self) if self.on_error != "fail" else None
+        sched = CooperativeScheduler(profile=profile, tracer=tracer,
+                                     failure_hook=hook)
+        if hook is not None:
+            hook.sched = sched
         for net_id, q in self.queues.items():
             q.bind_scheduler(sched)
             if tracer is not None and tracer.queue_events:
@@ -416,6 +596,7 @@ class RuntimeContext:
             # cancels every parked task, which would erase who was
             # blocked on what.
             blockage = sched.describe_blockage()
+            wait_snap = sched.wait_snapshot()
             blocked_writers = [
                 t.name for t in sched.tasks
                 if t.state is TaskState.BLOCKED_WRITE and t.kind == "kernel"
@@ -427,7 +608,25 @@ class RuntimeContext:
         finally:
             sched.close()
             if tracer is not None:
+                # Emitted on aborts too, so crashed runs still export:
+                # the run.end marker closes the trace and owned sinks
+                # are flushed to disk before the exception propagates.
                 tracer.run_end(self.graph.name, self.backend_label)
+                if self._owns_tracer:
+                    tracer.close()
+            if sched.teardown_errors:
+                # A kernel intercepting GeneratorExit during teardown
+                # must not mask the primary exception; ride the list on
+                # the in-flight error (the hook path reports it on the
+                # FailureReport instead).
+                exc_in_flight = sys.exc_info()[1]
+                if exc_in_flight is not None:
+                    try:
+                        exc_in_flight.teardown_errors = list(
+                            sched.teardown_errors
+                        )
+                    except Exception:  # pragma: no cover - slotted exc
+                        pass
 
         # RTP outputs: copy the final latch values out.
         for latch, param in self._rtp_sinks:
@@ -447,20 +646,27 @@ class RuntimeContext:
         for store in self._stores.values():
             items_out += store.items_stored
 
+        failure = None
+        if hook is not None and (hook.failures or hook.poisoned):
+            failure = self._build_failure_report(hook, sched, stats)
+
         sources_done = all(
             t.state is TaskState.FINISHED for t in self._source_tasks
         ) and all(feed.done for feed in self._feeds.values())
         # Data left in a queue that some consumer never drained means a
         # kernel stopped making progress while work remained (a deadlock
         # or an early-returning kernel), even if no writer is blocked.
+        # A contained failure is reported as a failure, not a stall.
         undrained = sum(
             q.size_for(c)
             for q in self.queues.values()
             for c in range(q.n_consumers)
         )
-        deadlocked = bool(blocked_writers) or not sources_done \
-            or undrained > 0
+        deadlocked = (
+            bool(blocked_writers) or not sources_done or undrained > 0
+        ) and failure is None
         diagnosis = ""
+        deadlock_report = None
         if deadlocked:
             extra = [
                 line for drv in self._drivers for line in drv.stall_lines()
@@ -474,17 +680,153 @@ class RuntimeContext:
                 f"({undrained} element(s) left undrained):\n"
                 + blockage
             )
+            # Wait-for-graph analysis: who waits on whom, and the exact
+            # task cycle when the stall is a true circular deadlock.
+            deadlock_report = analyze_waiters(wait_snap)
+            if deadlock_report.has_cycle:
+                diagnosis += (
+                    "\n  wait-for cycle: "
+                    + "; ".join(deadlock_report.cycle_strings())
+                )
 
         report = RunReport(
             graph_name=self.graph.name,
             stats=stats,
-            completed=not deadlocked,
+            completed=not deadlocked and failure is None,
             deadlocked=deadlocked,
             items_in=items_in,
             items_out=items_out,
             task_states=dict(stats.task_states),
             stall_diagnosis=diagnosis,
+            failure=failure,
+            deadlock=deadlock_report,
         )
         if strict and deadlocked:
-            raise DeadlockError(diagnosis or "graph stalled", report=report)
+            raise DeadlockError(diagnosis or "graph stalled", report=report,
+                                deadlock=deadlock_report)
         return report
+
+
+class _ContainmentHook:
+    """Scheduler failure hook implementing ``on_error="isolate"`` and
+    ``"poison"`` (:mod:`repro.faults`).
+
+    ``isolate`` cancels the failing task's dependent cone eagerly,
+    computed from the serialized graph: every transitive consumer is
+    cancelled, its queue cursors detached so surviving producers never
+    block on a dead reader, and sinks fed exclusively by dead producers
+    are ended partial.  ``poison`` is the lazy counterpart: the failing
+    task's output streams are marked poisoned, downstream tasks drain
+    what was already buffered, then observe the marker and terminate,
+    cascading it one hop further per task.
+    """
+
+    def __init__(self, ctx: "RuntimeContext"):
+        self.ctx = ctx
+        self.policy = ctx.on_error
+        self.sched: Optional[CooperativeScheduler] = None
+        self.failures: List[TaskFailure] = []
+        self.cancelled: Set[str] = set()   # exact dependent cone (+ sinks)
+        self.collateral: Set[str] = set()  # healthy members of dead drivers
+        self.poisoned: List[str] = []      # tasks ended by poison, in order
+        self.dead_instances: Set[str] = set()
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _task(self, name: str):
+        for t in self.sched.tasks:
+            if t.name == name:
+                return t
+        return None
+
+    def _detach_inputs(self, task_name: str) -> None:
+        for q, cidx in self.ctx._task_inputs.get(task_name, ()):
+            q.detach_consumer(cidx)
+
+    def _cancel_task(self, name: str) -> None:
+        t = self._task(name)
+        if t is None or t.state in (
+            TaskState.FINISHED, TaskState.FAILED, TaskState.CANCELLED,
+        ):
+            return
+        t.state = TaskState.CANCELLED
+        self.sched._close_task(t)
+        self._detach_inputs(name)
+
+    def _absorb_driver(self, task_name: str, failing: str) -> Set[str]:
+        """Instances carried by *task_name*; siblings of *failing* in a
+        fused driver die with the task and count as collateral."""
+        ctx = self.ctx
+        insts = set(ctx._member_instances.get(failing, (failing,)))
+        for m in ctx._driver_members.get(task_name, ()):
+            m_insts = ctx._member_instances.get(m, (m,))
+            if m != failing:
+                self.collateral.update(m_insts)
+            insts.update(m_insts)
+        return insts
+
+    # -- scheduler callbacks --------------------------------------------------
+
+    def task_failed(self, task, exc) -> None:
+        """A task raised an ordinary exception; contain per policy."""
+        ctx = self.ctx
+        member = getattr(task.coro, "failed_member", None)
+        failing = member or task.name
+        self.failures.append(TaskFailure(
+            task=failing, error=exc,
+            via=task.name if member else "",
+            injected=isinstance(exc, InjectedFaultError),
+        ))
+        # The dead task reads nothing more: release its cursors so
+        # surviving producers never park on a reader that cannot drain.
+        self._detach_inputs(task.name)
+        seeds = self._absorb_driver(task.name, failing)
+        self.dead_instances.update(seeds)
+
+        if self.policy == "poison":
+            for q in ctx._task_outputs.get(task.name, ()):
+                q.poison(failing)
+            return
+
+        # isolate: cancel the exact dependent cone now.
+        if task.kind == "source":
+            net_id = ctx._source_net.get(task.name)
+            direct = set()
+            if net_id is not None:
+                net = ctx.graph.net(net_id)
+                direct = {
+                    ctx.graph.kernels[ep.instance_idx].instance_name
+                    for ep in net.consumers
+                }
+            cone = direct | ctx._downstream_cone(direct)
+        else:
+            cone = ctx._downstream_cone(seeds)
+        self.dead_instances.update(cone)
+        self.cancelled.update(cone)
+        # Map cone instances to their scheduler tasks; a fused driver
+        # only partially inside the cone is cancelled whole, with its
+        # out-of-cone members recorded as collateral.
+        tasks = {ctx._owner_task.get(i, i) for i in cone}
+        for name in sorted(tasks):
+            for m in ctx._driver_members.get(name, ()):
+                for orig in ctx._member_instances.get(m, (m,)):
+                    if orig not in cone and orig not in seeds:
+                        self.collateral.add(orig)
+                        self.dead_instances.add(orig)
+            self._cancel_task(name)
+        for sink in self.ctx._cone_sinks(self.dead_instances):
+            self.cancelled.add(sink)
+            self._cancel_task(sink)
+
+    def task_poisoned(self, task, exc) -> None:
+        """A task observed a poisoned stream; cascade one hop."""
+        ctx = self.ctx
+        member = getattr(task.coro, "failed_member", None)
+        name = member or task.name
+        self.poisoned.append(name)
+        insts = self._absorb_driver(task.name, name)
+        self.dead_instances.update(insts)
+        self._detach_inputs(task.name)
+        origin = getattr(exc, "origin", "") or name
+        for q in ctx._task_outputs.get(task.name, ()):
+            q.poison(origin)

@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..errors import GraphRuntimeError
+from ..errors import DeadlockError, GraphRuntimeError, PoisonSignal
+from ..faults.waitfor import Waiter, analyze_waiters
 
 __all__ = [
     "TaskState",
@@ -145,7 +146,8 @@ class CooperativeScheduler:
     tuple growth).
     """
 
-    def __init__(self, profile: bool = False, tracer=None):
+    def __init__(self, profile: bool = False, tracer=None,
+                 failure_hook=None):
         self.tasks: List[Task] = []
         self.ready: deque = deque()
         self.profile = profile
@@ -154,6 +156,15 @@ class CooperativeScheduler:
         #: and per-task blocked time is measured.  The fast path (stream
         #: ops that never park) is untouched either way.
         self.tracer = tracer
+        #: optional containment hook (repro.faults): when set, a task
+        #: raising an ordinary Exception is handed to the hook
+        #: (``task_failed``/``task_poisoned``) and the run continues
+        #: instead of cancelling everything and raising.
+        self.failure_hook = failure_hook
+        #: secondary errors raised by coroutines during teardown (a
+        #: kernel intercepting GeneratorExit must not mask the primary
+        #: failure); list of ``(task_name, exception)``.
+        self.teardown_errors: List[Tuple[str, BaseException]] = []
         self._current: Optional[Task] = None
         self._started = False
 
@@ -223,10 +234,13 @@ class CooperativeScheduler:
             task.resumes += 1
             steps += 1
             if max_steps is not None and steps > max_steps:
+                report = analyze_waiters(self.wait_snapshot(),
+                                         kind="livelock")
                 self._cancel_all()
-                raise GraphRuntimeError(
+                raise DeadlockError(
                     f"scheduler exceeded max_steps={max_steps}; the graph "
-                    f"appears to livelock"
+                    f"appears to livelock\n" + report.describe(),
+                    deadlock=report,
                 )
             try:
                 if measure:
@@ -252,6 +266,22 @@ class CooperativeScheduler:
                     tracer.task_finish(task.name)
                 continue
             except BaseException as exc:  # kernel raised
+                hook = self.failure_hook
+                if hook is not None and isinstance(exc, Exception):
+                    # Containment path (repro.faults): record, hand the
+                    # task to the policy hook, keep the run going.
+                    task.error = exc
+                    if isinstance(exc, PoisonSignal):
+                        task.state = TaskState.CANCELLED
+                        if tracer is not None:
+                            tracer.task_fail(task.name, exc)
+                        hook.task_poisoned(task, exc)
+                    else:
+                        task.state = TaskState.FAILED
+                        if tracer is not None:
+                            tracer.task_fail(task.name, exc)
+                        hook.task_failed(task, exc)
+                    continue
                 task.state = TaskState.FAILED
                 task.error = exc
                 if tracer is not None:
@@ -324,6 +354,16 @@ class CooperativeScheduler:
 
     # -- teardown -------------------------------------------------------------------
 
+    def _close_task(self, t: Task) -> None:
+        """Close one coroutine, never letting a kernel that intercepts
+        ``GeneratorExit`` (or raises during cleanup) mask the primary
+        exception in flight — secondary errors are collected on
+        :attr:`teardown_errors` and reported, not raised."""
+        try:
+            t.coro.close()
+        except BaseException as exc:
+            self.teardown_errors.append((t.name, exc))
+
     def _cancel_all(self) -> None:
         for t in self.tasks:
             if t.state in (
@@ -331,7 +371,7 @@ class CooperativeScheduler:
                 TaskState.BLOCKED_WRITE, TaskState.RUNNING,
             ):
                 t.state = TaskState.CANCELLED
-                t.coro.close()
+                self._close_task(t)
 
     def close(self) -> None:
         """Terminate all remaining coroutines (RuntimeContext teardown,
@@ -342,7 +382,7 @@ class CooperativeScheduler:
                 TaskState.BLOCKED_WRITE,
             ):
                 t.state = TaskState.CANCELLED
-                t.coro.close()
+                self._close_task(t)
 
     # -- introspection ----------------------------------------------------------------
 
@@ -351,6 +391,37 @@ class CooperativeScheduler:
             t for t in self.tasks
             if t.state in (TaskState.BLOCKED_READ, TaskState.BLOCKED_WRITE)
         ]
+
+    def wait_snapshot(self) -> List[Waiter]:
+        """Structured view of every parked task for wait-for-graph
+        analysis (:func:`repro.faults.analyze_waiters`).  Fused drivers
+        are reported as the member actually parked, with the driver task
+        recorded as ``via`` so peer names resolve either way."""
+        out: List[Waiter] = []
+        for t in self.blocked_tasks():
+            queue, op, idx = t.blocked_on
+            capacity = getattr(queue, "capacity", None)
+            if op == "read":
+                fill = queue.size_for(idx) \
+                    if 0 <= idx < queue.n_consumers else 0
+                peers = tuple(getattr(queue, "producer_names", ()))
+            else:
+                free = getattr(queue, "free_slots", None)
+                fill = capacity - free \
+                    if capacity is not None and free is not None else None
+                peers = tuple(getattr(queue, "consumer_names", ()))
+            member = getattr(t.coro, "blocked_member_name", None)
+            out.append(Waiter(
+                task=member or t.name,
+                op=op,
+                queue=queue.name or "",
+                kind=t.kind,
+                fill=fill,
+                capacity=capacity,
+                peers=peers,
+                via=t.name if member else "",
+            ))
+        return out
 
     def describe_blockage(self) -> str:
         """Human-readable wait diagnosis for deadlock reports.

@@ -24,7 +24,7 @@ from typing import Any, Iterable, Iterator, List, Optional
 
 import numpy as np
 
-from ..errors import IoBindingError, StreamTypeError
+from ..errors import IoBindingError, PoisonSignal, StreamTypeError
 from .dtypes import ScalarType, StreamType, WindowType
 from .queues import BroadcastQueue
 
@@ -95,6 +95,10 @@ class _QueueGet:
             ok, value = queue.try_get(idx)
             if ok:
                 return value
+            # Buffered data drains before a poisoned stream terminates
+            # its sink (slow path only; see BroadcastQueue.poison).
+            if queue.poisoned:
+                raise PoisonSignal(queue.name, queue.poison_origin)
             yield ("rd", queue, idx)
 
     __iter__ = __await__
@@ -145,6 +149,8 @@ class _QueueGetUpTo:
             out = queue.try_get_many(idx, max_n)
             if out:
                 return out
+            if queue.poisoned:
+                raise PoisonSignal(queue.name, queue.poison_origin)
             yield ("rd", queue, idx, 0)
 
     __iter__ = __await__

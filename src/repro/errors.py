@@ -74,11 +74,45 @@ class DeadlockError(GraphRuntimeError):
     Raised (optionally — see ``RuntimeContext.run(strict=...)``) when the
     scheduler stops with kernels blocked on *writes*, which indicates the
     graph stalled rather than ran out of input.
+
+    ``report`` carries the engine-native run report when one exists;
+    ``deadlock`` carries the structured wait-for-graph analysis
+    (:class:`repro.faults.DeadlockReport`) naming the exact cycle.
     """
 
-    def __init__(self, message: str, report=None):
+    def __init__(self, message: str, report=None, deadlock=None):
         super().__init__(message)
         self.report = report
+        self.deadlock = deadlock
+
+
+class PoisonSignal(GraphRuntimeError):
+    """A task consumed *poison*: an upstream kernel failed under the
+    ``on_error="poison"`` policy and its output streams were marked so
+    dependents terminate at the exact point the data ends (§ fault
+    semantics, docs/FAULTS.md).  Raised out of the port awaitables on
+    the blocking slow path only — a stream delivers all buffered data
+    before the poison is observed."""
+
+    def __init__(self, queue: str = "", origin: str = ""):
+        msg = f"stream {queue!r} poisoned"
+        if origin:
+            msg += f" by failure of {origin!r}"
+        super().__init__(msg)
+        self.queue = queue
+        self.origin = origin
+
+
+class InjectedFaultError(GraphRuntimeError):
+    """The deterministic fault raised by a ``KernelFault`` injection
+    (:mod:`repro.faults`).  Distinguishable from organic kernel errors
+    so tests and retry policies can target injected failures."""
+
+
+class FaultPlanError(GraphRuntimeError):
+    """A :class:`repro.faults.FaultPlan` references a kernel, net, or
+    input that the target graph does not have, or targets a net that the
+    active optimize plan elided."""
 
 
 class StreamTypeError(GraphRuntimeError):
@@ -127,6 +161,15 @@ class UnsupportedConstructError(CodegenError):
 
 class SimulationError(CgsimError):
     """Base class for errors in the aiesim / x86sim substrates."""
+
+
+class SimDeadlockError(DeadlockError, SimulationError):
+    """A thread-per-kernel (x86sim) run stalled: every blocking wait is
+    bounded, and a timeout with peers still unfinished is the preemptive
+    engine's deadlock signal.  Subclasses both :class:`DeadlockError`
+    (so all backends raise one exception type on stalls, with the same
+    structured wait-for diagnosis) and :class:`SimulationError` (the
+    historical x86sim stall type)."""
 
 
 class PlacementError(SimulationError):

@@ -96,14 +96,26 @@ class RunResult:
     #: The :class:`repro.observe.Tracer` used for the run (its ``events``
     #: property exposes retained events for in-memory sinks).
     trace: Any = None
+    #: :class:`repro.faults.FailureReport` when a kernel failed under
+    #: ``on_error="isolate"``/``"poison"`` and the run returned contained
+    #: instead of raising; ``None`` for clean runs.
+    failure: Any = None
+    #: :class:`repro.faults.DeadlockReport` (wait-for-graph analysis)
+    #: when the run stalled — names the exact task cycle if one exists.
+    deadlock: Any = None
+    #: One :class:`repro.faults.AttemptRecord` per try when the run went
+    #: through ``run_graph(retry=...)``; empty without a retry policy.
+    attempts: List[Any] = field(default_factory=list)
     raw: Any = None
 
     @property
     def deadlocked(self) -> bool:
-        return not self.completed
+        return not self.completed and self.failure is None
 
     def __repr__(self):
-        status = "ok" if self.completed else "STALLED"
+        status = "ok" if self.completed else (
+            "FAILED" if self.failure is not None else "STALLED"
+        )
         return (
             f"<RunResult {self.backend}:{self.graph_name!r} {status} "
             f"in={self.items_in} out={self.items_out} "
@@ -258,9 +270,54 @@ def clear_resolve_cache() -> None:
     _RESOLVE_CACHE.clear()
 
 
+def _coerce_retry(retry: Any):
+    """``retry=`` accepts a RetryPolicy, an int attempt count, or None."""
+    from ..faults.report import RetryPolicy
+
+    if retry is None:
+        return None
+    if isinstance(retry, RetryPolicy):
+        return retry if retry.attempts > 1 else None
+    if isinstance(retry, bool):
+        raise GraphRuntimeError(
+            "retry= takes a RetryPolicy or an attempt count, not a bool"
+        )
+    if isinstance(retry, int):
+        if retry < 1:
+            raise GraphRuntimeError(
+                f"retry attempt count must be >= 1, got {retry}"
+            )
+        return RetryPolicy(attempts=retry) if retry > 1 else None
+    raise GraphRuntimeError(
+        f"cannot interpret retry={retry!r}; pass a "
+        f"repro.faults.RetryPolicy or an int attempt count"
+    )
+
+
+def _check_replayable(sources) -> None:
+    """Retrying re-binds the original inputs; a bare iterator was
+    consumed by the first attempt and would silently replay empty."""
+    for i, src in enumerate(sources):
+        from ..core.sources_sinks import RuntimeParam
+
+        if isinstance(src, RuntimeParam):
+            continue
+        try:
+            replayable = iter(src) is not src
+        except TypeError:
+            replayable = True  # scalars etc.; the binder will complain
+        if not replayable:
+            raise GraphRuntimeError(
+                f"retry= needs replayable sources, but input {i} is a "
+                f"one-shot iterator ({type(src).__name__}); pass a list "
+                f"or array instead"
+            )
+
+
 def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
               profile: bool = False, observe: Any = None,
-              trace: Any = None, **options: Any) -> RunResult:
+              trace: Any = None, retry: Any = None,
+              **options: Any) -> RunResult:
     """Execute *graph* on the named backend: the single entry point all
     benchmarks, examples, and the differential harness go through.
 
@@ -277,6 +334,14 @@ def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
     reduction) and ``trace`` (the tracer; ``result.trace.events`` holds
     retained events).  File-backed sinks are flushed/written before
     :func:`run_graph` returns unless the caller passed its own Tracer.
+
+    ``retry`` (a :class:`repro.faults.RetryPolicy` or an int attempt
+    count) re-runs transiently-failed executions from the original
+    inputs: a try that raises, or returns a contained
+    :class:`~repro.faults.FailureReport`, is repeated after the policy's
+    backoff, list sinks cleared between tries.  The returned result
+    carries one :class:`~repro.faults.AttemptRecord` per try; the last
+    try's exception is re-raised if every attempt raised.
     """
     if observe is not None and trace is not None:
         raise GraphRuntimeError(
@@ -290,16 +355,58 @@ def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
 
         owned = not isinstance(spec, Tracer)
         tracer = make_tracer(spec)
+    policy = _coerce_retry(retry)
     b = get_backend(backend)
     if tracer is not None:
         options["observe"] = tracer
-    plan = b.prepare(graph, io, **options)
+
+    if policy is not None:
+        n_inputs = len(resolve_graph(graph).inputs)
+        _check_replayable(io[:n_inputs])
+        sinks = io[n_inputs:]
+
+    attempts: List[Any] = []
     try:
-        result = b.run(plan, profile=profile)
+        for attempt in range(policy.attempts if policy is not None else 1):
+            from ..faults.report import AttemptRecord
+
+            last = attempt == (policy.attempts - 1 if policy else 0)
+            if policy is not None and attempt > 0:
+                import time as _time
+
+                delay = policy.delay_before(attempt)
+                if delay > 0.0:
+                    _time.sleep(delay)
+                for sink in sinks:
+                    if isinstance(sink, list):
+                        del sink[:]
+            try:
+                plan = b.prepare(graph, io, **dict(options))
+                result = b.run(plan, profile=profile)
+            except Exception as exc:
+                if policy is None or last:
+                    raise
+                attempts.append(AttemptRecord(
+                    index=attempt, outcome="raised", error=exc,
+                ))
+                continue
+            if policy is not None:
+                fr = result.failure
+                attempts.append(AttemptRecord(
+                    index=attempt,
+                    outcome="ok" if fr is None else "failed",
+                    error=fr.failures[0].error
+                    if fr is not None and fr.failures else None,
+                    failing_task=fr.failing_task if fr is not None else "",
+                ))
+                if fr is not None and not last:
+                    continue
+            break
     except BaseException:
         if tracer is not None and owned:
             tracer.close()
         raise
+    result.attempts = attempts
     if tracer is not None:
         result.trace = tracer
         result.metrics = tracer.metrics()

@@ -35,6 +35,8 @@ class CgsimBackend(ExecutionBackend):
     global sources/sinks), ``observe`` (structured event tracing, see
     :mod:`repro.observe`), ``optimize`` (plan optimization level:
     ``"none"``/``"fuse"``/``"full"``, see :mod:`repro.exec.optimize`),
+    ``faults`` (deterministic fault injection) and ``on_error``
+    (failure containment policy, see :mod:`repro.faults`),
     ``max_steps`` (livelock guard), ``strict`` (raise
     :class:`DeadlockError` on stalls).
     """
@@ -103,6 +105,8 @@ class CgsimBackend(ExecutionBackend):
             per_kernel_time=dict(stats.task_cpu_time),
             per_kernel_blocked=dict(stats.task_blocked_time),
             stall_diagnosis=report.stall_diagnosis,
+            failure=report.failure,
+            deadlock=report.deadlock,
             raw=report,
         )
 
@@ -142,8 +146,11 @@ class X86simBackend(ExecutionBackend):
 
     Options: ``capacity`` (channel depth), ``timeout`` (per-wait stall
     bound in seconds), ``observe`` (structured event tracing, see
-    :mod:`repro.observe`).  ``profile`` is accepted for interface parity
-    but preemptive threads have no per-kernel time split to report.
+    :mod:`repro.observe`), ``faults`` / ``on_error`` (fault injection
+    and containment, see :mod:`repro.faults`), ``strict`` (raise
+    :class:`~repro.errors.SimDeadlockError` on stalls; default True).
+    ``profile`` is accepted for interface parity but preemptive threads
+    have no per-kernel time split to report.
     """
 
     name = "x86sim"
@@ -157,6 +164,9 @@ class X86simBackend(ExecutionBackend):
         capacity = options.pop("capacity", DEFAULT_QUEUE_CAPACITY)
         timeout = options.pop("timeout", 60.0)
         observe = options.pop("observe", None)
+        faults = options.pop("faults", None)
+        on_error = options.pop("on_error", "fail")
+        strict = options.pop("strict", True)
         # Plan optimization is a cgsim-runtime concept; threads have no
         # scheduler hops to elide.  Accepted for cross-backend parity.
         options.pop("optimize", None)
@@ -171,7 +181,8 @@ class X86simBackend(ExecutionBackend):
 
             tracer = make_tracer(observe)
         state = prepare_threads(g, io, capacity=capacity, timeout=timeout,
-                                observe=tracer)
+                                observe=tracer, faults=faults,
+                                on_error=on_error, strict=strict)
         return ExecutionPlan(backend=self.name, graph=g, io=io, state=state)
 
     def run(self, plan: ExecutionPlan, *, profile: bool = False) -> RunResult:
@@ -179,8 +190,6 @@ class X86simBackend(ExecutionBackend):
 
         self._claim(plan)
         report = execute_plan(plan.state)
-        # execute_plan raises on stalls/timeouts; a returned report
-        # means every thread drained and joined.
         return RunResult(
             backend=self.name,
             graph_name=report.graph_name,
@@ -188,9 +197,12 @@ class X86simBackend(ExecutionBackend):
             wall_time=report.wall_time,
             items_in=report.items_in,
             items_out=report.items_out,
-            completed=True,
+            completed=report.completed,
             context_switches=0,
             n_threads=report.n_threads,
-            task_states={name: "finished" for name in report.thread_names},
+            task_states=dict(report.task_states),
+            stall_diagnosis=report.stall_diagnosis,
+            failure=report.failure,
+            deadlock=report.deadlock,
             raw=report,
         )

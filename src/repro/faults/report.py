@@ -1,0 +1,134 @@
+"""Structured failure outcomes: reports, retry policies, attempt records.
+
+These dataclasses are the *result* side of the failure-semantics layer:
+when a run executes under ``on_error="isolate"`` or ``"poison"`` and a
+kernel fails, the backend returns a :class:`FailureReport` on its run
+result instead of raising — naming the failing kernel, the exact
+dependent cone that was cancelled, and the completeness of every sink.
+
+:class:`RetryPolicy` drives ``repro.exec.run_graph(retry=...)``: a run
+that fails (raises, or returns a failure report) is re-executed from the
+original inputs up to ``attempts`` times, with one :class:`AttemptRecord`
+per try accumulated on the final ``RunResult``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "TaskFailure",
+    "TeardownError",
+    "FailureReport",
+    "RetryPolicy",
+    "AttemptRecord",
+]
+
+
+@dataclass
+class TaskFailure:
+    """One failed task, attributed to the original kernel instance."""
+
+    task: str                       # kernel/member name the failure belongs to
+    error: BaseException
+    via: str = ""                   # scheduler task that carried it (fused driver)
+    injected: bool = False          # raised by a FaultPlan KernelFault
+
+    def describe(self) -> str:
+        origin = f" (inside {self.via})" if self.via and self.via != self.task \
+            else ""
+        tag = "injected " if self.injected else ""
+        return (
+            f"{self.task}{origin}: {tag}"
+            f"{type(self.error).__name__}: {self.error}"
+        )
+
+
+@dataclass
+class TeardownError:
+    """A secondary error raised while cancelling a task's coroutine
+    (e.g. a kernel intercepting ``GeneratorExit``).  Collected instead
+    of masking the primary failure."""
+
+    task: str
+    error: BaseException
+
+
+@dataclass
+class FailureReport:
+    """What failed, what was contained, and what survived.
+
+    ``sink_status`` maps each graph output (``sink[i]``, or the output's
+    net name when known) to ``"complete"`` — every element the fault-free
+    dataflow would deliver arrived — or ``"partial"`` — the sink lies in
+    the failing kernel's dependent cone and holds a prefix only.
+    """
+
+    policy: str                                   # "isolate" | "poison" | "fail"
+    failures: List[TaskFailure] = field(default_factory=list)
+    cancelled: Tuple[str, ...] = ()               # dependent cone, exact
+    collateral: Tuple[str, ...] = ()              # healthy members of a failed fused driver
+    poisoned: Tuple[str, ...] = ()                # tasks terminated by poison
+    sink_status: Dict[str, str] = field(default_factory=dict)
+    teardown_errors: List[TeardownError] = field(default_factory=list)
+    injected_faults: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def failing_task(self) -> str:
+        """The (first) kernel the failure is attributed to."""
+        return self.failures[0].task if self.failures else ""
+
+    def describe(self) -> str:
+        lines = [f"failure report (on_error={self.policy!r}):"]
+        for f in self.failures:
+            lines.append("  failed: " + f.describe())
+        if self.cancelled:
+            lines.append("  cancelled cone: " + ", ".join(self.cancelled))
+        if self.collateral:
+            lines.append("  collateral (fused): " + ", ".join(self.collateral))
+        if self.poisoned:
+            lines.append("  poisoned: " + ", ".join(self.poisoned))
+        for sink, status in sorted(self.sink_status.items()):
+            lines.append(f"  {sink}: {status}")
+        for te in self.teardown_errors:
+            lines.append(
+                f"  teardown error in {te.task}: "
+                f"{type(te.error).__name__}: {te.error}"
+            )
+        if self.injected_faults:
+            lines.append(f"  injected faults: {len(self.injected_faults)}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Re-run policy for transient failures (``run_graph(retry=...)``).
+
+    Attributes
+    ----------
+    attempts:
+        Total number of tries, including the first (must be >= 1).
+    backoff:
+        Sleep in seconds before the first retry; doubles per further
+        retry (exponential).  0.0 retries immediately.
+    """
+
+    attempts: int = 2
+    backoff: float = 0.0
+
+    def delay_before(self, attempt_index: int) -> float:
+        """Seconds to sleep before attempt *attempt_index* (0-based)."""
+        if attempt_index <= 0 or self.backoff <= 0.0:
+            return 0.0
+        return self.backoff * (2.0 ** (attempt_index - 1))
+
+
+@dataclass
+class AttemptRecord:
+    """Outcome of one run attempt under a :class:`RetryPolicy`."""
+
+    index: int                                    # 0-based attempt number
+    outcome: str                                  # "ok" | "failed" | "raised"
+    error: Optional[BaseException] = None
+    failing_task: str = ""

@@ -34,6 +34,7 @@ from .chrome import (
 )
 from .events import (
     EVENT_KINDS,
+    FAULT_INJECT,
     QUEUE_GET,
     QUEUE_PUT,
     RUN_BEGIN,
@@ -79,6 +80,7 @@ __all__ = [
     "TASK_FAIL",
     "QUEUE_PUT",
     "QUEUE_GET",
+    "FAULT_INJECT",
     "TraceSink",
     "RingSink",
     "JsonlSink",

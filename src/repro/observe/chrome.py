@@ -142,6 +142,16 @@ def chrome_trace(events: List[Event], *, pid: int = 1,
                     "name": f"fill:{ev.queue}", "ts": us(ev.ts),
                     "args": {"fill": ev.fill},
                 })
+        elif kind == E.FAULT_INJECT:
+            meta = ev.meta or {}
+            tid = tid_for(ev.task) if ev.task else 0
+            out.append({
+                "ph": "i", "pid": pid, "tid": tid,
+                "s": "t" if ev.task else "g",
+                "name": f"fault:{meta.get('fault', '?')}", "cat": "fault",
+                "ts": us(ev.ts),
+                "args": {**meta, **({"queue": ev.queue} if ev.queue else {})},
+            })
         elif kind in (E.RUN_BEGIN, E.RUN_END):
             meta = ev.meta or {}
             if kind == E.RUN_BEGIN and label is None:

@@ -57,6 +57,7 @@ __all__ = [
     "TASK_START", "TASK_RESUME", "TASK_SUSPEND", "TASK_UNPARK",
     "TASK_FINISH", "TASK_FAIL",
     "QUEUE_PUT", "QUEUE_GET",
+    "FAULT_INJECT",
     "EVENT_KINDS",
     "Event",
     "Tracer",
@@ -75,13 +76,17 @@ TASK_FINISH = "task.finish"
 TASK_FAIL = "task.fail"
 QUEUE_PUT = "queue.put"
 QUEUE_GET = "queue.get"
+FAULT_INJECT = "fault.inject"
 
-#: Every kind a schema-1 trace may contain.
+#: Every kind a schema-1 trace may contain.  ``fault.inject`` is a
+#: backwards-compatible addition (consumers ignore unknown kinds), so
+#: the schema version stays 1.
 EVENT_KINDS = frozenset({
     RUN_BEGIN, RUN_END,
     TASK_START, TASK_RESUME, TASK_SUSPEND, TASK_UNPARK,
     TASK_FINISH, TASK_FAIL,
     QUEUE_PUT, QUEUE_GET,
+    FAULT_INJECT,
 })
 
 
@@ -228,6 +233,14 @@ class Tracer:
         self.emit(TASK_FAIL, task=task, meta={
             "error": f"{type(error).__name__}: {error}",
         })
+
+    def fault_inject(self, fault: str, task: str = "", queue: str = "",
+                     **detail: Any) -> None:
+        """One triggered fault-plan injection (repro.faults)."""
+        meta: Dict[str, Any] = {"fault": fault}
+        if detail:
+            meta.update(detail)
+        self.emit(FAULT_INJECT, task=task, queue=queue, meta=meta)
 
     def queue_put(self, queue: str, n: int, fill: int) -> None:
         self.emit(QUEUE_PUT, queue=queue, n=n, fill=fill)

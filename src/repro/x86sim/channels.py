@@ -32,6 +32,12 @@ __all__ = ["ThreadedBroadcastQueue", "ThreadedLatchQueue"]
 class ThreadedBroadcastQueue:
     """Lock-guarded fixed-capacity MPMC broadcast channel."""
 
+    #: Poison marker (repro.faults): same protocol as the cooperative
+    #: queue — kernel ports check these on their blocking slow path, so
+    #: the attributes must exist even when containment is unused.
+    poisoned = False
+    poison_origin = ""
+
     def __init__(self, capacity: int, n_consumers: int, n_producers: int,
                  name: str = ""):
         if capacity < 1:
@@ -199,11 +205,16 @@ class ThreadedBroadcastQueue:
             def _ready():
                 cur = self._cursors[consumer_idx]
                 return (cur is not None and cur != self._head) \
-                    or self._producers_left == 0
+                    or self._producers_left == 0 or self.poisoned
             if not self._cond.wait_for(_ready, timeout):
                 return False
             cur = self._cursors[consumer_idx]
-            return cur is not None and cur != self._head
+            if cur is not None and cur != self._head:
+                return True
+            # Drained and poisoned: report readable so the kernel's next
+            # try_get fails and the port raises PoisonSignal instead of
+            # the consumer ending as a silent clean EOF.
+            return self.poisoned
 
     def detach_consumer(self, consumer_idx: int) -> None:
         """A consumer terminated early; stop it back-pressuring writers."""
@@ -211,10 +222,24 @@ class ThreadedBroadcastQueue:
             self._cursors[consumer_idx] = None
             self._cond.notify_all()
 
+    def poison(self, origin: str) -> None:
+        """Mark the stream poisoned (``on_error="poison"``): consumers
+        drain buffered data, then observe the marker on their next
+        blocking read and terminate instead of parking forever."""
+        with self._cond:
+            self.poisoned = True
+            self.poison_origin = origin
+            self._cond.notify_all()
+
 
 class ThreadedLatchQueue:
     """Thread-safe runtime-parameter latch (see
     :class:`repro.core.queues.LatchQueue`)."""
+
+    #: RTP latches are never poisoned; the attributes exist because the
+    #: kernel ports' blocking slow path reads them unconditionally.
+    poisoned = False
+    poison_origin = ""
 
     def __init__(self, n_consumers: int, name: str = ""):
         self.name = name

@@ -34,7 +34,17 @@ from ..core.sources_sinks import (
     iter_stream_values,
     make_sink,
 )
-from ..errors import IoBindingError, SimulationError
+from ..errors import (
+    GraphRuntimeError,
+    InjectedFaultError,
+    IoBindingError,
+    PoisonSignal,
+    SimDeadlockError,
+    SimulationError,
+)
+from ..faults.plan import FaultPlan
+from ..faults.report import FailureReport, TaskFailure
+from ..faults.waitfor import Waiter, analyze_waiters
 from .channels import ThreadedBroadcastQueue, ThreadedLatchQueue
 
 __all__ = ["X86RunReport", "X86Plan", "prepare_threads", "execute_plan",
@@ -51,13 +61,38 @@ class X86RunReport:
     items_in: int
     items_out: int
     thread_names: List[str] = field(default_factory=list)
+    completed: bool = True
+    task_states: Dict[str, str] = field(default_factory=dict)
+    stall_diagnosis: str = ""
+    #: :class:`repro.faults.FailureReport` for contained kernel failures
+    #: (``on_error="isolate"``/``"poison"``); ``None`` on clean runs.
+    failure: Any = None
+    #: :class:`repro.faults.DeadlockReport` when the run stalled.
+    deadlock: Any = None
 
     def __repr__(self):
+        status = "" if self.completed else (
+            " FAILED" if self.failure is not None else " STALLED"
+        )
         return (
-            f"<X86RunReport {self.graph_name!r} threads={self.n_threads} "
+            f"<X86RunReport {self.graph_name!r}{status} "
+            f"threads={self.n_threads} "
             f"in={self.items_in} out={self.items_out} "
             f"t={self.wall_time:.3f}s>"
         )
+
+
+def _snap_waiters(thread) -> Dict[str, Tuple[str, str]]:
+    """Freeze every peer thread's ``waiting_on`` at the moment *thread*
+    stalls.  The staller's own teardown (detach + producer_done) will
+    unblock its peers into clean exits moments later, so the wait-for
+    graph must be captured *before* the stall propagates — this is the
+    threaded analog of the cooperative scheduler's wait snapshot."""
+    return {
+        p.task: p.waiting_on
+        for p in getattr(thread, "all_threads", ())
+        if getattr(p, "waiting_on", None) is not None
+    }
 
 
 class _KernelThread(threading.Thread):
@@ -71,7 +106,8 @@ class _KernelThread(threading.Thread):
     def __init__(self, name: str, coro,
                  in_bindings: List[Tuple[ThreadedBroadcastQueue, int]],
                  out_queues: List[ThreadedBroadcastQueue],
-                 timeout: Optional[float], tracer=None):
+                 timeout: Optional[float], tracer=None,
+                 poison_on_error: bool = False):
         super().__init__(name=f"x86sim-{name}", daemon=True)
         self.task = name  # logical task name (shared schema across engines)
         self.coro = coro
@@ -79,7 +115,11 @@ class _KernelThread(threading.Thread):
         self.out_queues = out_queues
         self.timeout = timeout
         self.tracer = tracer
+        self.poison_on_error = poison_on_error
         self.error: Optional[BaseException] = None
+        self.stalled = False            # the trampoline timed out waiting
+        self.waiting_on: Optional[Tuple[str, str]] = None  # (queue, op)
+        self.stall_snapshot: Dict[str, Tuple[str, str]] = {}
 
     def run(self) -> None:
         tracer = self.tracer
@@ -93,6 +133,15 @@ class _KernelThread(threading.Thread):
             self.error = exc
             if tracer is not None:
                 tracer.task_fail(self.task, exc)
+            if self.poison_on_error and isinstance(exc, Exception) \
+                    and not self.stalled:
+                # on_error="poison": cascade the marker downstream; a
+                # kernel that itself died of poison forwards the
+                # original origin rather than naming itself.
+                origin = exc.origin if isinstance(exc, PoisonSignal) \
+                    and exc.origin else self.task
+                for queue in self.out_queues:
+                    queue.poison(origin)
         finally:
             self._teardown()
 
@@ -112,31 +161,40 @@ class _KernelThread(threading.Thread):
                             self.task, queue=queue.name or "", op="read",
                             n=cmd[3] if len(cmd) > 3 else 0,
                         )
+                    self.waiting_on = (queue.name or "", "read")
                     ok = queue.wait_readable(idx, self.timeout)
                     if tracer is not None:
                         tracer.task_resume(self.task)
                     if not ok:
                         if getattr(queue, "closed", True):
+                            self.waiting_on = None
                             coro.close()
                             return
+                        self.stalled = True
+                        self.stall_snapshot = _snap_waiters(self)
                         raise SimulationError(
                             f"{self.name}: stalled waiting to read "
                             f"{queue.name!r} for {self.timeout}s"
                         )
+                    self.waiting_on = None
                 elif op == "wr":
                     if tracer is not None:
                         tracer.task_suspend(
                             self.task, queue=queue.name or "", op="write",
                             n=cmd[3] if len(cmd) > 3 else 0,
                         )
+                    self.waiting_on = (queue.name or "", "write")
                     ok = queue.wait_writable(self.timeout)
                     if tracer is not None:
                         tracer.task_resume(self.task)
                     if not ok:
+                        self.stalled = True
+                        self.stall_snapshot = _snap_waiters(self)
                         raise SimulationError(
                             f"{self.name}: stalled waiting to write "
                             f"{queue.name!r} for {self.timeout}s"
                         )
+                    self.waiting_on = None
                 # "yield" needs no wait; resume immediately.
                 cmd = coro.send(None)
         except StopIteration:
@@ -159,6 +217,9 @@ class _SourceThread(threading.Thread):
         self.timeout = timeout
         self.tracer = tracer
         self.error: Optional[BaseException] = None
+        self.stalled = False
+        self.waiting_on: Optional[Tuple[str, str]] = None
+        self.stall_snapshot: Dict[str, Tuple[str, str]] = {}
 
     def run(self) -> None:
         tracer = self.tracer
@@ -171,13 +232,18 @@ class _SourceThread(threading.Thread):
                         tracer.task_suspend(self.task,
                                             queue=self.queue.name or "",
                                             op="write")
+                    self.waiting_on = (self.queue.name or "", "write")
                     ok = self.queue.wait_writable(self.timeout)
                     if tracer is not None:
                         tracer.task_resume(self.task)
                     if not ok:
+                        self.stalled = True
+                        self.stall_snapshot = _snap_waiters(self)
                         raise SimulationError(
                             f"{self.name}: stalled writing {self.queue.name!r}"
                         )
+                    self.waiting_on = None
+                self.waiting_on = None
             if tracer is not None:
                 tracer.task_finish(self.task)
         except BaseException as exc:
@@ -201,6 +267,9 @@ class _SinkThread(threading.Thread):
         self.tracer = tracer
         self.items = 0
         self.error: Optional[BaseException] = None
+        self.stalled = False
+        self.waiting_on: Optional[Tuple[str, str]] = None
+        self.stall_snapshot: Dict[str, Tuple[str, str]] = {}
 
     def run(self) -> None:
         tracer = self.tracer
@@ -213,22 +282,34 @@ class _SinkThread(threading.Thread):
                     self.store(v)
                     self.items += 1
                     continue
+                # Same semantics as the kernel ports' blocking slow path:
+                # buffered data drains first, then the marker terminates
+                # the sink (otherwise a poisoned-and-drained channel
+                # reports readable forever and the sink would spin).
+                if getattr(self.queue, "poisoned", False):
+                    raise PoisonSignal(self.queue.name or "",
+                                       self.queue.poison_origin)
                 if tracer is not None:
                     tracer.task_suspend(self.task,
                                         queue=self.queue.name or "",
                                         op="read")
+                self.waiting_on = (self.queue.name or "", "read")
                 readable = self.queue.wait_readable(self.consumer_idx,
                                                     self.timeout)
                 if tracer is not None:
                     tracer.task_resume(self.task)
                 if not readable:
                     if getattr(self.queue, "closed", True):
+                        self.waiting_on = None
                         if tracer is not None:
                             tracer.task_finish(self.task)
                         return
+                    self.stalled = True
+                    self.stall_snapshot = _snap_waiters(self)
                     raise SimulationError(
                         f"{self.name}: stalled reading {self.queue.name!r}"
                     )
+                self.waiting_on = None
         except BaseException as exc:
             self.error = exc
             if tracer is not None:
@@ -248,12 +329,18 @@ class X86Plan:
     queues: Dict[int, Any]
     timeout: Optional[float]
     tracer: Any = None
+    owns_tracer: bool = False
+    session: Any = None             # active repro.faults FaultSession
+    on_error: str = "fail"
+    strict: bool = True
 
 
 def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
                     capacity: int = DEFAULT_QUEUE_CAPACITY,
                     timeout: Optional[float] = 60.0,
-                    observe: Any = None) -> X86Plan:
+                    observe: Any = None, faults: Any = None,
+                    on_error: str = "fail",
+                    strict: bool = True) -> X86Plan:
     """Instantiate channels, kernel/source/sink threads for one run.
 
     The prepare/execute split mirrors the :mod:`repro.exec` backend
@@ -262,13 +349,33 @@ def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
     :func:`repro.observe.make_tracer` accepts); events use the tasks'
     *logical* names (instance names, ``source[i]``, ``sink[i]``) so
     x86sim traces line up with cgsim traces of the same graph.
+
+    ``faults`` injects a deterministic :class:`repro.faults.FaultPlan`
+    (kernel raises, stream corrupt/drop/freeze, source delays) into the
+    threaded execution; ``on_error`` selects the containment policy on
+    kernel failure (``"fail"`` raises as before, ``"isolate"`` /
+    ``"poison"`` return a :class:`~repro.faults.FailureReport` on the
+    run report); ``strict=False`` turns stall timeouts into a returned
+    report with wait-for-graph diagnosis instead of
+    :class:`~repro.errors.SimDeadlockError`.
     """
     g = graph.graph if isinstance(graph, CompiledGraph) else graph
+    if on_error not in ("fail", "isolate", "poison"):
+        raise GraphRuntimeError(
+            f"on_error={on_error!r}; expected 'fail', 'isolate', or "
+            f"'poison'"
+        )
+    fault_plan = FaultPlan.coerce(faults)
+    session = fault_plan.session(g) if fault_plan is not None else None
     tracer = None
+    owns_tracer = False
     if observe is not None and observe is not False:
         from ..observe import make_tracer
 
         tracer = make_tracer(observe)
+        owns_tracer = tracer is not observe
+    if session is not None:
+        session.attach_tracer(tracer)
     expected = len(g.inputs) + len(g.outputs)
     if len(io) != expected:
         raise IoBindingError(
@@ -302,7 +409,16 @@ def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
             )
         if tracer is not None and tracer.queue_events:
             queues[net.net_id].attach_observer(tracer)
+        if session is not None and session.wants_net(net.name) \
+                and not net.settings.runtime_parameter:
+            # The fault proxy must wrap before any port/thread captures
+            # the channel reference.
+            queues[net.net_id] = session.wrap_queue(
+                net.name, queues[net.net_id]
+            )
         consumer_alloc[net.net_id] = 0
+    if session is not None:
+        session.check_wired()
 
     def alloc_consumer(net_id: int) -> int:
         idx = consumer_alloc[net_id]
@@ -313,6 +429,7 @@ def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
 
     # Kernel threads.
     for inst in g.kernels:
+        name = inst.instance_name
         ports = []
         in_bindings: List[Tuple[Any, int]] = []
         out_queues: List[Any] = []
@@ -322,15 +439,19 @@ def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
             if spec.is_input:
                 cidx = alloc_consumer(net_id)
                 ports.append(KernelReadPort(spec, q, cidx))
-                if isinstance(q, ThreadedBroadcastQueue):
+                q.consumer_names.append(name)
+                if not isinstance(q, ThreadedLatchQueue):
                     in_bindings.append((q, cidx))
             else:
                 ports.append(KernelWritePort(spec, q))
+                q.producer_names.append(name)
                 out_queues.append(q)
         coro = inst.kernel.instantiate(ports)
+        if session is not None:
+            coro = session.wrap_kernel(name, coro)
         threads.append(_KernelThread(
-            inst.instance_name, coro, in_bindings, out_queues, timeout,
-            tracer=tracer,
+            name, coro, in_bindings, out_queues, timeout,
+            tracer=tracer, poison_on_error=(on_error == "poison"),
         ))
 
     # Sources.
@@ -347,6 +468,7 @@ def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
             q.try_put(value)
         else:
             values = iter_stream_values(net.dtype, container)
+            q.producer_names.append(f"source[{gio.io_index}]")
             threads.append(_SourceThread(
                 f"source[{gio.io_index}]", q, values, timeout, tracer=tracer
             ))
@@ -375,57 +497,231 @@ def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
             raise IoBindingError(
                 f"unsupported sink container {type(container).__name__}"
             )
+        q.consumer_names.append(f"sink[{gio.io_index}]")
         t = _SinkThread(f"sink[{gio.io_index}]", q, cidx, store, timeout,
                         tracer=tracer)
         sinks.append(t)
         threads.append(t)
 
+    # Wait-for snapshots: every thread can freeze its peers' park states
+    # at the instant it stalls (see _snap_waiters).
+    for t in threads:
+        t.all_threads = threads
+
     return X86Plan(
         graph=g, threads=threads, sinks=sinks, sink_cursors=sink_cursors,
         rtp_sinks=rtp_sinks, queues=queues, timeout=timeout, tracer=tracer,
+        owns_tracer=owns_tracer, session=session, on_error=on_error,
+        strict=strict,
+    )
+
+
+def _static_cone(g: ComputeGraph, seeds: set) -> set:
+    """Instance names strictly downstream of *seeds* in the serialized
+    graph (the dependent cone a failure isolates)."""
+    by_name = {k.instance_name: k for k in g.kernels}
+    cone: set = set()
+    frontier = [by_name[n] for n in seeds if n in by_name]
+    while frontier:
+        inst = frontier.pop()
+        for nxt in g.downstream_instances(inst):
+            nm = nxt.instance_name
+            if nm not in cone and nm not in seeds:
+                cone.add(nm)
+                frontier.append(by_name[nm])
+    return cone
+
+
+def _source_seed_consumers(g: ComputeGraph, queue_name: str) -> set:
+    """Direct consumer instances of the net a failed source fed."""
+    for net in g.nets:
+        if net.name == queue_name:
+            return {
+                g.kernels[ep.instance_idx].instance_name
+                for ep in net.consumers
+            }
+    return set()
+
+
+def _collect_waiters(plan: X86Plan) -> List[Waiter]:
+    """Reduce stalled/parked threads to wait-for records (the x86sim
+    analog of the cooperative scheduler's ``wait_snapshot``).
+
+    Merges the stall-time snapshots every stalled thread froze (see
+    :func:`_snap_waiters`) with the still-parked live threads: the
+    first stall's teardown converts its peers into clean exits, so the
+    live view alone under-reports the cycle."""
+    by_name = {q.name: q for q in plan.queues.values() if q.name}
+    by_task = {t.task: t for t in plan.threads}
+    merged: Dict[str, Tuple[str, str]] = {}
+    for t in plan.threads:
+        for task, wo in getattr(t, "stall_snapshot", {}).items():
+            merged.setdefault(task, wo)
+    for t in plan.threads:
+        wo = getattr(t, "waiting_on", None)
+        if wo is not None and (t.is_alive() or getattr(t, "stalled", False)):
+            merged.setdefault(t.task, wo)
+    out: List[Waiter] = []
+    for task in sorted(merged):
+        qname, op = merged[task]
+        q = by_name.get(qname)
+        t = by_task.get(task)
+        kind = "source" if isinstance(t, _SourceThread) else (
+            "sink" if isinstance(t, _SinkThread) else "kernel"
+        )
+        peers: Tuple[str, ...] = ()
+        capacity = None
+        if q is not None:
+            capacity = getattr(q, "capacity", None)
+            peers = tuple(
+                q.producer_names if op == "read" else q.consumer_names
+            )
+        out.append(Waiter(task=task, op=op, queue=qname, kind=kind,
+                          capacity=capacity, peers=peers))
+    return out
+
+
+def _containment_report(plan: X86Plan, failed: List[threading.Thread],
+                        poisoned: List[threading.Thread]) -> FailureReport:
+    """Attribute failures and derive the cancelled cone / sink statuses
+    from the serialized graph (threads have already terminated via the
+    drain protocol; the report states which ones died *because* of the
+    failure rather than end-of-input)."""
+    g = plan.graph
+    session = plan.session
+    failures = [
+        TaskFailure(task=t.task, error=t.error,
+                    injected=isinstance(t.error, InjectedFaultError))
+        for t in failed
+    ]
+    seeds: set = set()
+    for t in failed:
+        if isinstance(t, _SourceThread):
+            seeds |= _source_seed_consumers(g, t.queue.name or "")
+        else:
+            seeds.add(t.task)
+    dead = set(seeds)
+    cancelled: set = set()
+    if plan.on_error == "isolate":
+        cone = _static_cone(g, seeds)
+        # A failed source's direct consumers are cone, not failures.
+        cone |= seeds - {t.task for t in failed}
+        dead |= cone
+        cancelled |= cone
+    poisoned_names = [t.task for t in poisoned]
+    dead |= set(poisoned_names)
+    sink_status: Dict[str, str] = {}
+    for gio in g.outputs:
+        net = g.net(gio.net_id)
+        if net.settings.runtime_parameter:
+            continue
+        key = f"sink[{gio.io_index}]"
+        prods = {
+            g.kernels[ep.instance_idx].instance_name
+            for ep in net.producers
+        }
+        hit = key in dead or bool(prods & dead)
+        sink_status[key] = "partial" if hit else "complete"
+        if plan.on_error == "isolate" and prods and prods <= dead:
+            cancelled.add(key)
+    return FailureReport(
+        policy=plan.on_error,
+        failures=failures,
+        cancelled=tuple(sorted(cancelled)),
+        poisoned=tuple(poisoned_names),
+        sink_status=sink_status,
+        injected_faults=list(session.events) if session is not None else [],
     )
 
 
 def execute_plan(plan: X86Plan) -> X86RunReport:
     """Start every prepared thread, join with bounded waits, and collect
-    the run report."""
+    the run report.
+
+    Failure semantics follow the plan's ``on_error`` policy: under
+    ``"fail"`` any thread error raises :class:`SimulationError` (legacy
+    behavior); under ``"isolate"``/``"poison"`` kernel failures are
+    contained into a returned :class:`~repro.faults.FailureReport`.
+    Stall timeouts raise :class:`~repro.errors.SimDeadlockError` with a
+    wait-for-graph diagnosis when ``strict``, else return a report with
+    ``completed=False`` and the same diagnosis attached.
+    """
     g = plan.graph
     threads = plan.threads
     timeout = plan.timeout
     tracer = plan.tracer
-    if tracer is not None:
-        tracer.run_begin(g.name, "x86sim")
     t0 = perf_counter()
-    for t in threads:
-        t.start()
-    # Bounded joins: a kernel that spins without consuming (or any other
-    # livelock) must surface as an error, not hang the host process.
-    # Threads are daemonic, so stragglers die with the interpreter.
-    deadline = None if timeout is None else perf_counter() + timeout * (
-        len(threads) + 1
-    )
-    stragglers: List[str] = []
-    for t in threads:
-        remaining = None if deadline is None \
-            else max(0.0, deadline - perf_counter())
-        t.join(remaining)
-        if t.is_alive():
-            stragglers.append(t.name)
-    wall = perf_counter() - t0
-    if tracer is not None:
-        tracer.run_end(g.name, "x86sim")
-
-    for t in threads:
-        err = getattr(t, "error", None)
-        if err is not None:
-            raise SimulationError(
-                f"x86sim thread {t.name} failed: {err}"
-            ) from err
-    if stragglers:
-        raise SimulationError(
-            f"x86sim run of {g.name!r} stalled: threads still alive "
-            f"after {timeout}s: {stragglers}"
+    stragglers: List[threading.Thread] = []
+    try:
+        if tracer is not None:
+            tracer.run_begin(g.name, "x86sim")
+        for t in threads:
+            t.start()
+        # Bounded joins: a kernel that spins without consuming (or any
+        # other livelock) must surface as an error, not hang the host
+        # process.  Threads are daemonic, so stragglers die with the
+        # interpreter.
+        deadline = None if timeout is None else perf_counter() + timeout * (
+            len(threads) + 1
         )
+        for t in threads:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - perf_counter())
+            t.join(remaining)
+            if t.is_alive():
+                stragglers.append(t)
+        wall = perf_counter() - t0
+    finally:
+        # The run-end marker and sink flush must survive abort paths so
+        # crashed runs still export a readable trace.
+        if tracer is not None:
+            tracer.run_end(g.name, "x86sim")
+            if plan.owns_tracer:
+                tracer.close()
+
+    stalled = [t for t in threads
+               if getattr(t, "stalled", False) or t in stragglers]
+    poisoned = [t for t in threads
+                if isinstance(getattr(t, "error", None), PoisonSignal)]
+    failed = [t for t in threads
+              if getattr(t, "error", None) is not None
+              and t not in stalled and t not in poisoned]
+
+    if plan.on_error == "fail":
+        for t in failed:
+            raise SimulationError(
+                f"x86sim thread {t.name} failed: {t.error}"
+            ) from t.error
+
+    task_states: Dict[str, str] = {}
+    for t in threads:
+        if t in stragglers or getattr(t, "stalled", False):
+            task_states[t.task] = "stalled"
+        elif t in poisoned:
+            task_states[t.task] = "cancelled"
+        elif getattr(t, "error", None) is not None:
+            task_states[t.task] = "failed"
+        else:
+            task_states[t.task] = "finished"
+
+    failure = None
+    if failed or poisoned:
+        failure = _containment_report(plan, failed, poisoned)
+
+    deadlock_report = None
+    diagnosis = ""
+    if stalled and failure is None:
+        deadlock_report = analyze_waiters(_collect_waiters(plan))
+        first = stalled[0]
+        detail = f"{first.error}" if getattr(first, "error", None) \
+            else f"threads still alive after {timeout}s: " \
+                 f"{[t.name for t in stragglers]}"
+        diagnosis = (
+            f"x86sim run of {g.name!r} stalled: {detail}\n"
+            + deadlock_report.describe()
+        )
+        if plan.strict:
+            raise SimDeadlockError(diagnosis, deadlock=deadlock_report)
 
     for latch, param in plan.rtp_sinks:
         param.value = latch.last_value
@@ -439,20 +735,30 @@ def execute_plan(plan: X86Plan) -> X86RunReport:
         items_in=items_in,
         items_out=items_out,
         thread_names=[t.name for t in threads],
+        completed=failure is None and not stalled,
+        task_states=task_states,
+        stall_diagnosis=diagnosis,
+        failure=failure,
+        deadlock=deadlock_report,
     )
 
 
 def run_threaded(graph: CompiledGraph | ComputeGraph, *io: Any,
                  capacity: int = DEFAULT_QUEUE_CAPACITY,
                  timeout: Optional[float] = 60.0,
-                 observe: Any = None) -> X86RunReport:
+                 observe: Any = None, faults: Any = None,
+                 on_error: str = "fail",
+                 strict: bool = True) -> X86RunReport:
     """Execute a compute graph with one OS thread per kernel.
 
     Takes the same positional sources/sinks as invoking the graph under
     cgsim (§3.7).  ``timeout`` bounds any single blocking wait; a stall
     longer than that raises :class:`SimulationError` rather than hanging
-    the host process.
+    the host process (``strict=False`` returns the diagnosis on the
+    report instead).  ``faults`` / ``on_error`` are the fault-injection
+    and containment options of :mod:`repro.faults`.
     """
     return execute_plan(
-        prepare_threads(graph, io, capacity, timeout, observe=observe)
+        prepare_threads(graph, io, capacity, timeout, observe=observe,
+                        faults=faults, on_error=on_error, strict=strict)
     )

@@ -1,0 +1,195 @@
+"""Failure containment: ``on_error={"fail","isolate","poison"}``.
+
+The acceptance contract: with an injected kernel fault and
+``on_error="isolate"``, ``run_graph`` *returns* a RunResult whose
+FailureReport names the injected kernel and the exact cancelled cone —
+on the cooperative and the threaded engine alike.  ``poison`` instead
+marks the failing kernel's output streams so dependents terminate at
+the element where the data ends.
+"""
+
+import pytest
+
+from repro.core import AIE, In, IoC, IoConnector, Out, compute_kernel, \
+    int32, make_compute_graph
+from repro.errors import GraphRuntimeError
+from repro.exec import run_graph
+from repro.faults import FailureReport, KernelFault
+
+DATA = list(range(1, 26))
+
+CONTAINED = ["cgsim", "x86sim"]
+
+
+def _opts(backend):
+    return {"timeout": 10.0} if backend == "x86sim" else {}
+
+
+class TestIsolateChain:
+    @pytest.mark.parametrize("backend", CONTAINED)
+    def test_returns_report_naming_kernel_and_cone(self, fig4_graph,
+                                                   backend):
+        out = []
+        result = run_graph(
+            fig4_graph, DATA, out, backend=backend, on_error="isolate",
+            faults=KernelFault("doubler_kernel_0", at_resume=1),
+            **_opts(backend))
+        assert not result.completed
+        report = result.failure
+        assert isinstance(report, FailureReport)
+        assert report.policy == "isolate"
+        assert report.failing_task == "doubler_kernel_0"
+        assert report.failures[0].injected
+        # The dependent cone — and nothing else — is cancelled.
+        assert report.cancelled == ("doubler_kernel_1", "sink[0]")
+        assert report.sink_status == {"sink[0]": "partial"}
+        assert out == []  # the head kernel died before forwarding data
+
+    @pytest.mark.parametrize("backend", CONTAINED)
+    def test_contained_failure_is_not_a_deadlock(self, fig4_graph,
+                                                 backend):
+        result = run_graph(
+            fig4_graph, DATA, [], backend=backend, on_error="isolate",
+            faults=KernelFault("doubler_kernel_0", at_resume=1),
+            **_opts(backend))
+        assert not result.deadlocked
+        assert result.deadlock is None
+
+    @pytest.mark.parametrize("backend", CONTAINED)
+    def test_injection_recorded_on_report(self, fig4_graph, backend):
+        result = run_graph(
+            fig4_graph, DATA, [], backend=backend, on_error="isolate",
+            faults=KernelFault("doubler_kernel_0", at_resume=1),
+            **_opts(backend))
+        faults = result.failure.injected_faults
+        assert any(ev.get("fault") == "kernel_raise"
+                   and ev.get("task") == "doubler_kernel_0"
+                   for ev in faults)
+
+
+class TestIsolateBroadcast:
+    @pytest.mark.parametrize("backend", CONTAINED)
+    def test_outside_cone_sink_is_untouched(self, broadcast_graph,
+                                            backend):
+        """bcast: k0 feeds mid; k1 -> sink[0], k2 -> sink[1].  Killing
+        k1 must cancel only sink[0]; sink[1] still gets every element."""
+        o1, o2 = [], []
+        result = run_graph(
+            broadcast_graph, DATA, o1, o2, backend=backend,
+            on_error="isolate",
+            faults=KernelFault("doubler_kernel_1", at_resume=1),
+            **_opts(backend))
+        report = result.failure
+        assert report.failing_task == "doubler_kernel_1"
+        assert report.cancelled == ("sink[0]",)
+        assert report.sink_status["sink[0]"] == "partial"
+        assert report.sink_status["sink[1]"] == "complete"
+        assert o2 == [4 * x for x in DATA]
+
+
+class TestPoison:
+    @pytest.mark.parametrize("backend", CONTAINED)
+    def test_poison_propagates_to_dependents(self, fig4_graph, backend):
+        out = []
+        result = run_graph(
+            fig4_graph, DATA, out, backend=backend, on_error="poison",
+            faults=KernelFault("doubler_kernel_0", at_resume=1),
+            **_opts(backend))
+        report = result.failure
+        assert report.policy == "poison"
+        assert report.failing_task == "doubler_kernel_0"
+        assert report.poisoned == ("doubler_kernel_1", "sink[0]")
+        assert report.sink_status == {"sink[0]": "partial"}
+        assert out == []
+
+    @pytest.mark.parametrize("backend", CONTAINED)
+    def test_poison_lets_buffered_data_drain(self, fig4_graph, backend):
+        # Faulting the *second* kernel after it processed some elements:
+        # whatever it already emitted stays in the sink.
+        out = []
+        result = run_graph(
+            fig4_graph, DATA, out, backend=backend, on_error="poison",
+            capacity=2,
+            faults=KernelFault("doubler_kernel_1", at_resume=3),
+            **_opts(backend))
+        assert result.failure.failing_task == "doubler_kernel_1"
+        # Whatever reached the sink is an exact prefix of the fault-free
+        # stream — poison truncates, never corrupts.
+        assert out == [4 * x for x in DATA[:len(out)]]
+        assert len(out) < len(DATA)
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected_cgsim(self, fig4_graph):
+        with pytest.raises(GraphRuntimeError, match="on_error"):
+            run_graph(fig4_graph, DATA, [], on_error="retry")
+
+    def test_unknown_policy_rejected_x86sim(self, fig4_graph):
+        with pytest.raises(GraphRuntimeError, match="on_error"):
+            run_graph(fig4_graph, DATA, [], backend="x86sim",
+                      on_error="retry")
+
+
+class TestFusedAttribution:
+    def test_fused_driver_blames_member_kernel(self, fig4_graph):
+        """Under optimize="fuse" the two doublers share one driver task;
+        the report must still name the member kernel, with the driver
+        recorded as the ``via`` path."""
+        out = []
+        # at_resume=0 faults the member's very first drive: a fused
+        # link drains synchronously, so later resumes may never happen.
+        result = run_graph(
+            fig4_graph, DATA, out, optimize="fuse", on_error="isolate",
+            faults=KernelFault("doubler_kernel_1", at_resume=0))
+        report = result.failure
+        assert report.failing_task == "doubler_kernel_1"
+        failure = report.failures[0]
+        assert failure.via.startswith("fused:")
+        # The co-fused upstream member dies with its driver: collateral,
+        # not cancelled (it is not downstream of the failure).
+        assert report.collateral == ("doubler_kernel_0",)
+        assert report.cancelled == ("sink[0]",)
+        assert report.sink_status["sink[0]"] == "partial"
+
+
+class TestTeardownErrors:
+    def _graph(self):
+        @compute_kernel(realm=AIE)
+        async def grumpy_tail(a: In[int32], o: Out[int32]):
+            try:
+                while True:
+                    await o.put(await a.get() * 2)
+            except GeneratorExit:
+                raise RuntimeError("teardown tantrum")
+
+        @compute_kernel(realm=AIE)
+        async def doomed_head(a: In[int32], o: Out[int32]):
+            while True:
+                await o.put(await a.get() * 2)
+
+        @make_compute_graph(name="grumpy")
+        def g(a: IoC[int32]):
+            b = IoConnector(int32, name="gb")
+            c = IoConnector(int32, name="gc")
+            doomed_head(a, b)
+            grumpy_tail(b, c)
+            return c
+
+        return g
+
+    def test_isolate_collects_teardown_errors(self):
+        result = run_graph(
+            self._graph(), DATA, [], on_error="isolate",
+            faults=KernelFault("doomed_head_0", at_resume=1))
+        report = result.failure
+        assert report.failing_task == "doomed_head_0"
+        tde = report.teardown_errors
+        assert any(t.task == "grumpy_tail_0"
+                   and "tantrum" in str(t.error) for t in tde)
+
+    def test_fail_policy_does_not_mask_primary_error(self):
+        with pytest.raises(GraphRuntimeError, match="doomed_head_0") as ei:
+            run_graph(self._graph(), DATA, [],
+                      faults=KernelFault("doomed_head_0", at_resume=1))
+        tde = getattr(ei.value, "teardown_errors", [])
+        assert any("tantrum" in str(err) for _name, err in tde)

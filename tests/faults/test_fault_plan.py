@@ -1,0 +1,106 @@
+"""FaultPlan construction, coercion, validation, and seeded generation.
+
+The plan layer is the declarative face of repro.faults: specs name
+targets by graph identity, ``coerce`` normalises the ``faults=`` run
+option, and ``FaultPlan.random`` derives concrete chaos plans from a
+seed with full determinism.
+"""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.exec import resolve_graph
+from repro.faults import (
+    FaultPlan,
+    KernelFault,
+    NetCorrupt,
+    NetDrop,
+    QueueFreeze,
+    SourceDelay,
+)
+from conftest import build_adder_graph
+
+
+class TestCoerce:
+    def test_none_passes_through(self):
+        assert FaultPlan.coerce(None) is None
+
+    def test_plan_passes_through(self):
+        plan = FaultPlan((KernelFault("k_0"),))
+        assert FaultPlan.coerce(plan) is plan
+
+    def test_single_spec_wraps(self):
+        fault = KernelFault("k_0", at_resume=3)
+        plan = FaultPlan.coerce(fault)
+        assert plan.injections == (fault,)
+
+    def test_list_of_specs_wraps(self):
+        specs = [NetCorrupt("b"), NetDrop("b", every=2)]
+        plan = FaultPlan.coerce(specs)
+        assert plan.injections == tuple(specs)
+
+    def test_list_with_junk_entry_rejected(self):
+        with pytest.raises(FaultPlanError, match="injection specs"):
+            FaultPlan.coerce([KernelFault("k_0"), "oops"])
+
+    def test_arbitrary_object_rejected(self):
+        with pytest.raises(FaultPlanError, match="FaultPlan"):
+            FaultPlan.coerce(42)
+
+
+class TestSessionValidation:
+    def test_unknown_kernel_lists_available(self, fig4_graph):
+        g = resolve_graph(fig4_graph)
+        plan = FaultPlan((KernelFault("no_such_kernel"),))
+        with pytest.raises(FaultPlanError) as ei:
+            plan.session(g)
+        msg = str(ei.value)
+        assert "no_such_kernel" in msg
+        assert "doubler_kernel_0" in msg and "doubler_kernel_1" in msg
+
+    def test_unknown_net_lists_available(self, fig4_graph):
+        g = resolve_graph(fig4_graph)
+        plan = FaultPlan((NetDrop("ghost_net"),))
+        with pytest.raises(FaultPlanError) as ei:
+            plan.session(g)
+        assert "ghost_net" in str(ei.value)
+
+    def test_valid_targets_accepted(self, fig4_graph):
+        g = resolve_graph(fig4_graph)
+        plan = FaultPlan((
+            KernelFault("doubler_kernel_1"),
+            NetCorrupt("b"),
+            QueueFreeze("b", after_puts=4),
+            SourceDelay("a"),
+        ))
+        session = plan.session(g)
+        assert session.events == []
+
+
+class TestRandomPlans:
+    def test_same_seed_same_plan(self, fig4_graph):
+        g = resolve_graph(fig4_graph)
+        a = FaultPlan.random(g, seed=7, n=3)
+        b = FaultPlan.random(g, seed=7, n=3)
+        assert a.injections == b.injections
+        assert a.seed == 7
+
+    def test_different_seeds_eventually_differ(self, fig4_graph):
+        g = resolve_graph(fig4_graph)
+        plans = {FaultPlan.random(g, seed=s, n=3).injections
+                 for s in range(8)}
+        assert len(plans) > 1
+
+    def test_random_plan_targets_validate(self, fig4_graph):
+        g = resolve_graph(fig4_graph)
+        for seed in range(12):
+            FaultPlan.random(g, seed=seed, n=2).session(g)
+
+    def test_no_internal_nets_falls_back_to_kernel_faults(self):
+        # adder_graph has no kernel->kernel net, so net-kind draws must
+        # degrade to kernel faults rather than emit invalid targets.
+        g = resolve_graph(build_adder_graph())
+        plan = FaultPlan.random(g, seed=3, n=4,
+                                kinds=("corrupt", "drop"))
+        assert all(isinstance(i, KernelFault) for i in plan.injections)
+        plan.session(g)

@@ -1,0 +1,138 @@
+"""Deterministic fault injection on live runs (the ``faults=`` option).
+
+Each fault class is exercised on the fig4 chain through the public
+``run_graph`` entry point, asserting both the data-level effect and the
+``fault.inject`` record on the observe trace.
+"""
+
+import pytest
+
+from repro.errors import GraphRuntimeError, InjectedFaultError
+from repro.exec import run_graph
+from repro.faults import (
+    FaultPlan,
+    KernelFault,
+    NetCorrupt,
+    NetDrop,
+    QueueFreeze,
+    SourceDelay,
+)
+from repro.observe import FAULT_INJECT
+
+DATA = list(range(1, 11))  # fig4 output is 4*x per element
+
+
+def _fault_events(result):
+    return [e for e in result.trace.events if e.kind == FAULT_INJECT]
+
+
+class TestKernelFault:
+    def test_fail_policy_raises_injected_error(self, fig4_graph):
+        # "fail" keeps the legacy loud-abort contract: the scheduler's
+        # task-failure wrapper, with the injection as the cause.
+        with pytest.raises(GraphRuntimeError,
+                           match="doubler_kernel_0") as ei:
+            run_graph(fig4_graph, DATA, [],
+                      faults=KernelFault("doubler_kernel_0", at_resume=1))
+        assert isinstance(ei.value.__cause__, InjectedFaultError)
+
+    def test_custom_message(self, fig4_graph):
+        with pytest.raises(GraphRuntimeError, match="chaos says hi"):
+            run_graph(fig4_graph, DATA, [],
+                      faults=KernelFault("doubler_kernel_0", at_resume=1,
+                                         message="chaos says hi"))
+
+    def test_kernel_finishing_early_never_faults(self, fig4_graph):
+        # The injection window is the Nth resume; a kernel that drains
+        # the whole (tiny) stream first simply completes.
+        out = []
+        result = run_graph(fig4_graph, [5], out,
+                           faults=KernelFault("doubler_kernel_0",
+                                              at_resume=500))
+        assert result.completed and out == [20]
+
+    def test_injection_emits_trace_event(self, fig4_graph):
+        result = run_graph(
+            fig4_graph, DATA, [], observe=True, on_error="isolate",
+            faults=KernelFault("doubler_kernel_0", at_resume=1))
+        events = _fault_events(result)
+        assert events, "expected a fault.inject event on the trace"
+        assert events[0].task == "doubler_kernel_0"
+        assert events[0].meta["fault"] == "kernel_raise"
+
+
+class TestNetCorrupt:
+    def test_default_corruption_is_typed_zero(self, fig4_graph):
+        out = []
+        run_graph(fig4_graph, DATA, out, faults=NetCorrupt("b"))
+        assert out == [0] * len(DATA)
+
+    def test_custom_corruption_fn(self, fig4_graph):
+        out = []
+        run_graph(fig4_graph, DATA, out,
+                  faults=NetCorrupt("b", fn=lambda v: -v))
+        assert out == [-4 * x for x in DATA]
+
+    def test_every_and_offset(self, fig4_graph):
+        out = []
+        result = run_graph(fig4_graph, DATA, out, observe=True,
+                           faults=NetCorrupt("b", every=3, offset=1))
+        expect = [0 if (i >= 1 and (i - 1) % 3 == 0) else 4 * x
+                  for i, x in enumerate(DATA)]
+        assert out == expect
+        hit = [e.meta["index"] for e in _fault_events(result)]
+        assert hit == [1, 4, 7]
+
+
+class TestNetDrop:
+    def test_drop_every_other(self, fig4_graph):
+        out = []
+        result = run_graph(fig4_graph, DATA, out, observe=True,
+                           faults=NetDrop("b", every=2))
+        # indices 0, 2, 4, ... on net b vanish silently
+        assert out == [4 * x for i, x in enumerate(DATA) if i % 2 == 1]
+        assert result.items_in == len(DATA)
+        assert all(e.meta["fault"] == "drop" for e in _fault_events(result))
+
+
+class TestQueueFreeze:
+    def test_temporary_freeze_preserves_output(self, fig4_graph):
+        out = []
+        result = run_graph(
+            fig4_graph, DATA, out, observe=True,
+            faults=QueueFreeze("b", after_puts=2, release_after_gets=2))
+        assert out == [4 * x for x in DATA]
+        kinds = [e.meta["fault"] for e in _fault_events(result)]
+        assert "freeze" in kinds and "thaw" in kinds
+
+    def test_permanent_freeze_stalls_not_hangs(self, fig4_graph):
+        out = []
+        result = run_graph(fig4_graph, DATA, out, strict=False,
+                           faults=QueueFreeze("b", after_puts=2))
+        assert not result.completed
+        assert result.deadlocked
+        assert "stall" in result.stall_diagnosis.lower() \
+            or result.stall_diagnosis
+
+
+class TestSourceDelay:
+    def test_delay_is_data_neutral(self, fig4_graph):
+        out = []
+        result = run_graph(fig4_graph, DATA, out,
+                           faults=SourceDelay("a", every=2))
+        assert result.completed and out == [4 * x for x in DATA]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("backend", ["cgsim", "pysim", "x86sim"])
+    def test_net_faults_identical_run_to_run(self, fig4_graph, backend):
+        plan = FaultPlan((NetCorrupt("b", every=3),
+                          NetDrop("b", every=4, offset=1)))
+        opts = {"timeout": 10.0} if backend == "x86sim" else {}
+        runs = []
+        for _ in range(2):
+            out = []
+            run_graph(fig4_graph, DATA, out, backend=backend,
+                      faults=plan, **opts)
+            runs.append(out)
+        assert runs[0] == runs[1]

@@ -1,0 +1,117 @@
+"""``retry=`` on run_graph: bounded re-execution with per-attempt records.
+
+Transient failures (the classic flaky-hardware case the fault layer
+models) get a bounded number of fresh attempts; every attempt leaves an
+:class:`AttemptRecord` on the result so the caller can see exactly what
+it cost to converge.
+"""
+
+import pytest
+
+from repro.core import AIE, In, IoC, IoConnector, Out, compute_kernel, \
+    int32, make_compute_graph
+from repro.errors import GraphRuntimeError
+from repro.exec import run_graph
+from repro.faults import RetryPolicy
+
+
+def build_flaky_graph(fail_first_n):
+    """A kernel that raises on its first *fail_first_n* instantiations
+    and then behaves — a transient fault, from retry's point of view."""
+    calls = {"n": 0}
+
+    @compute_kernel(realm=AIE)
+    async def flaky(a: In[int32], o: Out[int32]):
+        calls["n"] += 1
+        if calls["n"] <= fail_first_n:
+            raise ValueError(f"transient glitch #{calls['n']}")
+        while True:
+            await o.put(await a.get() * 2)
+
+    @make_compute_graph(name="flaky_g")
+    def g(a: IoC[int32]):
+        o = IoConnector(int32, name="fo")
+        flaky(a, o)
+        return o
+
+    return g
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        p = RetryPolicy()
+        assert p.attempts == 2
+        assert p.delay_before(0) == 0.0
+
+    def test_backoff_grows(self):
+        p = RetryPolicy(attempts=4, backoff=0.5)
+        assert p.delay_before(0) == 0.0
+        assert 0.0 < p.delay_before(1) <= p.delay_before(2)
+
+    def test_bool_rejected(self, fig4_graph):
+        with pytest.raises(GraphRuntimeError, match="bool"):
+            run_graph(fig4_graph, [1], [], retry=True)
+
+
+class TestRetryRuns:
+    def test_transient_contained_failure_retried(self):
+        out = []
+        result = run_graph(build_flaky_graph(1), [1, 2, 3], out,
+                           on_error="isolate", retry=2)
+        assert result.completed
+        assert out == [2, 4, 6]
+        assert result.failure is None
+        recs = result.attempts
+        assert [(r.index, r.outcome) for r in recs] == [(0, "failed"),
+                                                        (1, "ok")]
+        assert recs[0].failing_task == "flaky_0"
+
+    def test_transient_raise_retried_under_fail_policy(self):
+        out = []
+        result = run_graph(build_flaky_graph(1), [1, 2, 3], out, retry=2)
+        assert result.completed and out == [2, 4, 6]
+        assert [r.outcome for r in result.attempts] == ["raised", "ok"]
+        assert isinstance(result.attempts[0].error, GraphRuntimeError)
+
+    def test_attempts_exhausted_reraises(self):
+        with pytest.raises(GraphRuntimeError, match="transient glitch"):
+            run_graph(build_flaky_graph(99), [1], [], retry=3)
+
+    def test_exhausted_contained_failure_returned(self):
+        result = run_graph(build_flaky_graph(99), [1], [],
+                           on_error="isolate", retry=2)
+        assert not result.completed
+        assert result.failure.failing_task == "flaky_0"
+        assert [r.outcome for r in result.attempts] == ["failed", "failed"]
+
+    def test_no_retry_no_attempt_records(self, fig4_graph):
+        result = run_graph(fig4_graph, [1, 2], [])
+        assert result.attempts == []
+
+    def test_sinks_cleared_between_attempts(self):
+        # Attempt 0 may deposit a partial prefix; attempt 1 must not
+        # append to it.
+        out = []
+        result = run_graph(build_flaky_graph(1), list(range(10)), out,
+                           on_error="isolate", retry=2)
+        assert result.completed
+        assert out == [2 * x for x in range(10)]
+
+    def test_policy_object_accepted(self):
+        result = run_graph(build_flaky_graph(1), [7], [],
+                           on_error="isolate",
+                           retry=RetryPolicy(attempts=2, backoff=0.0))
+        assert result.completed
+
+
+class TestReplayability:
+    def test_one_shot_iterator_rejected(self, fig4_graph):
+        src = iter([1, 2, 3])
+        with pytest.raises(GraphRuntimeError, match="iterator"):
+            run_graph(fig4_graph, src, [], retry=2)
+
+    def test_lists_are_fine_without_retry(self, fig4_graph):
+        # No retry: one-shot sources remain allowed (legacy contract).
+        out = []
+        run_graph(fig4_graph, iter([1, 2, 3]), out)
+        assert out == [4, 8, 12]

@@ -1,0 +1,155 @@
+"""Wait-for-graph deadlock detection with exact cycle reporting.
+
+The acceptance case: a forced A→B→A queue cycle yields a deadlock
+report naming that cycle on every backend — as a raised
+``DeadlockError`` under ``strict=True`` and as a structured
+``RunResult.deadlock`` otherwise.
+"""
+
+import pytest
+
+from repro.core import AIE, In, IoC, IoConnector, Out, compute_kernel, \
+    int32, make_compute_graph
+from repro.errors import DeadlockError, SimDeadlockError, SimulationError
+from repro.exec import run_graph
+from repro.faults import DeadlockReport, Waiter, analyze_waiters
+
+
+def build_cycle_graph():
+    """fwd reads the loopback net before anything was ever written to
+    it; loop reads fwd's output.  Neither can make the first move."""
+
+    @compute_kernel(realm=AIE)
+    async def fwd(a: In[int32], loop: In[int32], o: Out[int32]):
+        while True:
+            v = await a.get()
+            w = await loop.get()
+            await o.put(v + w)
+
+    @compute_kernel(realm=AIE)
+    async def loopback(x: In[int32], y: Out[int32]):
+        while True:
+            await y.put(await x.get())
+
+    @make_compute_graph(name="cyc")
+    def g(a: IoC[int32]):
+        x = IoConnector(int32, name="cx")
+        y = IoConnector(int32, name="cy")
+        fwd(a, y, x)
+        loopback(x, y)
+        return x
+
+    return g
+
+
+CYCLE = ["fwd_0 -> loopback_0 -> fwd_0"]
+
+
+class TestCycleAllBackends:
+    @pytest.mark.parametrize("backend", ["cgsim", "pysim"])
+    def test_cooperative_strict_raises_with_cycle(self, backend):
+        with pytest.raises(DeadlockError) as ei:
+            run_graph(build_cycle_graph(), [1, 2, 3], [],
+                      backend=backend, strict=True)
+        report = ei.value.deadlock
+        assert isinstance(report, DeadlockReport)
+        assert report.has_cycle
+        assert report.cycle_strings() == CYCLE
+        assert "fwd_0 -> loopback_0 -> fwd_0" in str(ei.value)
+
+    def test_x86sim_strict_raises_with_cycle(self):
+        with pytest.raises(SimDeadlockError) as ei:
+            run_graph(build_cycle_graph(), [1, 2, 3], [],
+                      backend="x86sim", strict=True, timeout=0.5)
+        report = ei.value.deadlock
+        assert report.has_cycle
+        assert report.cycle_strings() == CYCLE
+        # Strictness is *consistent*: the threaded engine raises the
+        # same DeadlockError family the cooperative engines do (and
+        # stays a SimulationError for legacy catchers).
+        assert isinstance(ei.value, DeadlockError)
+        assert isinstance(ei.value, SimulationError)
+
+    @pytest.mark.parametrize("backend", ["cgsim", "x86sim"])
+    def test_non_strict_returns_structured_report(self, backend):
+        opts = {"timeout": 0.5} if backend == "x86sim" else {}
+        result = run_graph(build_cycle_graph(), [1, 2, 3], [],
+                           backend=backend, strict=False, **opts)
+        assert not result.completed
+        assert result.deadlocked
+        report = result.deadlock
+        assert report.cycle_strings() == CYCLE
+        assert result.stall_diagnosis
+
+
+class TestLivelockWatchdog:
+    def test_max_steps_raises_structured_livelock_report(self):
+        @compute_kernel(realm=AIE)
+        async def spinner(a: In[int32], o: Out[int32]):
+            from repro.core import sched_yield
+            _ = await a.get()
+            while True:
+                await sched_yield()
+
+        @make_compute_graph(name="spin_wf")
+        def g(a: IoC[int32]):
+            o = IoConnector(int32, name="so")
+            spinner(a, o)
+            return o
+
+        with pytest.raises(DeadlockError, match="max_steps") as ei:
+            run_graph(g, [1, 2, 3], [], max_steps=50)
+        report = ei.value.deadlock
+        assert isinstance(report, DeadlockReport)
+        assert report.kind == "livelock"
+
+
+class TestWaiterDetails:
+    def test_waiters_name_queues_and_ops(self):
+        result = run_graph(build_cycle_graph(), [1, 2, 3], [],
+                           strict=False)
+        waiters = {w.task: w for w in result.deadlock.waiters}
+        assert waiters["fwd_0"].op == "read"
+        assert waiters["fwd_0"].queue == "cy"
+        assert waiters["loopback_0"].op == "read"
+        assert waiters["loopback_0"].queue == "cx"
+
+
+class TestAnalyzeWaiters:
+    def test_two_party_cycle(self):
+        ws = [
+            Waiter(task="a", op="read", queue="q1", kind="kernel",
+                   fill=0, capacity=4, peers=("b",)),
+            Waiter(task="b", op="read", queue="q2", kind="kernel",
+                   fill=0, capacity=4, peers=("a",)),
+        ]
+        report = analyze_waiters(ws)
+        assert report.has_cycle
+        assert report.cycle_strings() == ["a -> b -> a"]
+        assert "a -> b -> a" in report.describe()
+
+    def test_chain_without_cycle(self):
+        ws = [
+            Waiter(task="a", op="read", queue="q1", kind="kernel",
+                   fill=0, capacity=4, peers=("b",)),
+        ]
+        report = analyze_waiters(ws)
+        assert not report.has_cycle
+        assert report.cycle_strings() == []
+
+    def test_self_edges_read_as_starvation(self):
+        # A task listed as its own peer (producer and consumer of the
+        # same net) is not a wait-for *cycle* between tasks; it reports
+        # as starvation, with the waiter still fully described.
+        ws = [
+            Waiter(task="a", op="write", queue="q1", kind="kernel",
+                   fill=4, capacity=4, peers=("a",)),
+        ]
+        report = analyze_waiters(ws)
+        assert not report.has_cycle
+        assert "starvation" in report.describe()
+
+    def test_livelock_kind_carries_through(self):
+        report = analyze_waiters([], kind="livelock")
+        assert report.kind == "livelock"
+        assert "livelock" in report.describe()
