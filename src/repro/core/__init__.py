@@ -84,7 +84,18 @@ from .scheduler import CooperativeScheduler, SchedulerStats, TaskState, sched_yi
 from .serialize import FORMAT_VERSION, SerializedGraph, flatten_graph
 from .sources_sinks import RuntimeParam
 from .templates import KernelTemplate, kernel_template
+from .transport import (
+    Transport,
+    TransportInfo,
+    _register_builtin_transports,
+    available_transports,
+    get_transport,
+    make_queue,
+    register_transport,
+)
 from .validation import GraphIssue, check_graph, find_kernel_cycles, realm_summary
+
+_register_builtin_transports()
 
 __all__ = [
     # construction
@@ -109,6 +120,9 @@ __all__ = [
     "RuntimeContext", "RunReport", "RuntimeParam", "BroadcastQueue",
     "LatchQueue", "DEFAULT_QUEUE_CAPACITY", "CooperativeScheduler",
     "SchedulerStats", "TaskState", "sched_yield",
+    # transports
+    "Transport", "TransportInfo", "register_transport", "get_transport",
+    "available_transports", "make_queue",
     # validation
     "GraphIssue", "check_graph", "find_kernel_cycles", "realm_summary",
 ]

@@ -351,6 +351,7 @@ class CompiledGraph:
             self.qualname = None
             self.source_file = None
         self._graph_cache: Optional[ComputeGraph] = None
+        self._graph_cache_epoch: int = -1
 
     @property
     def name(self) -> str:
@@ -358,9 +359,20 @@ class CompiledGraph:
 
     @property
     def graph(self) -> ComputeGraph:
-        """Deserialize (cached) back to the pointer-based IR (§3.6)."""
-        if self._graph_cache is None:
+        """Deserialize (cached) back to the pointer-based IR (§3.6).
+
+        The cache is keyed on the kernel-registry epoch: re-registering
+        a kernel (a mutated definition under a test runner, a reloaded
+        module) must not resurrect instances bound to its old
+        definition — the same invalidation rule as
+        :func:`repro.exec.resolve_graph`'s memo.
+        """
+        from .kernel import kernel_registry_epoch
+
+        epoch = kernel_registry_epoch()
+        if self._graph_cache is None or self._graph_cache_epoch != epoch:
             self._graph_cache = self.serialized.deserialize()
+            self._graph_cache_epoch = epoch
         return self._graph_cache
 
     def __call__(self, *io, **run_options):

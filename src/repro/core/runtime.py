@@ -149,12 +149,20 @@ class RuntimeContext:
         ``"poison"`` propagates instead: the failing task's output
         streams are poisoned, downstream kernels drain buffered data
         then terminate, cascading the marker to the sinks.
+    transport:
+        Stream-net carrier selection (:mod:`repro.core.transport`): a
+        registered transport name or :class:`TransportInfo`.  Must be
+        scheduler-aware (wakes cooperative waiter lists).  ``None``
+        (the default) builds plain in-process
+        :class:`~repro.core.queues.BroadcastQueue` rings with no
+        registry indirection — behavior-identical to earlier releases.
     """
 
     #: Keyword arguments that CompiledGraph.__call__ routes to the
     #: constructor rather than to run().
     CONSTRUCT_OPTIONS = frozenset({"capacity", "validate", "batch_io",
-                                   "observe", "faults", "on_error"})
+                                   "observe", "faults", "on_error",
+                                   "transport"})
 
     def __init__(self, graph: ComputeGraph,
                  capacity: int = DEFAULT_QUEUE_CAPACITY,
@@ -163,10 +171,26 @@ class RuntimeContext:
                  observe: Any = None,
                  optimize_plan: Optional[OptimizedPlan] = None,
                  faults: Any = None,
-                 on_error: str = "fail"):
+                 on_error: str = "fail",
+                 transport: Any = None):
         self.graph = graph
         self.validate = validate
         self.batch_io = batch_io
+        # Stream-net carrier selection (repro.core.transport).  None is
+        # the plain in-process ring with no registry hop — the default
+        # path stays byte-identical to the pre-transport-layer runtime.
+        self._transport = None
+        if transport is not None:
+            from .transport import TransportInfo, get_transport
+            info = transport if isinstance(transport, TransportInfo) \
+                else get_transport(transport)
+            if not info.scheduler_aware:
+                raise GraphRuntimeError(
+                    f"transport {info.name!r} is not scheduler-aware; the "
+                    f"cooperative runtime needs a transport that wakes "
+                    f"scheduler waiter lists (e.g. 'ring')"
+                )
+            self._transport = info
         if on_error not in ("fail", "isolate", "poison"):
             raise GraphRuntimeError(
                 f"on_error={on_error!r}; expected 'fail', 'isolate', or "
@@ -259,9 +283,18 @@ class RuntimeContext:
                 if depth is None:
                     attr_depth = net.attrs.get("depth")
                     depth = int(attr_depth) if attr_depth is not None else capacity
-                q = BroadcastQueue(
-                    capacity=depth, n_consumers=n_consumers, name=net.name,
-                )
+                if self._transport is not None:
+                    from .transport import make_queue
+
+                    q = make_queue(self._transport, capacity=depth,
+                                   n_consumers=n_consumers,
+                                   n_producers=max(len(net.producers), 1),
+                                   name=net.name)
+                else:
+                    q = BroadcastQueue(
+                        capacity=depth, n_consumers=n_consumers,
+                        name=net.name,
+                    )
             self.queues[net.net_id] = q
             self._consumer_alloc[net.net_id] = 0
 
@@ -412,18 +445,9 @@ class RuntimeContext:
     def _downstream_cone(self, seed_instances: Set[str]) -> Set[str]:
         """Instance names strictly downstream of *seed_instances* in the
         serialized graph — the dependent cone a failure invalidates."""
-        g = self.graph
-        by_name = {k.instance_name: k for k in g.kernels}
-        cone: Set[str] = set()
-        frontier = [by_name[n] for n in seed_instances if n in by_name]
-        while frontier:
-            inst = frontier.pop()
-            for nxt in g.downstream_instances(inst):
-                nm = nxt.instance_name
-                if nm not in cone and nm not in seed_instances:
-                    cone.add(nm)
-                    frontier.append(nxt)
-        return cone
+        from ..faults.cone import dependent_cone
+
+        return dependent_cone(self.graph, seed_instances)
 
     def _cone_sinks(self, dead_instances: Set[str]) -> List[str]:
         """``sink[i]`` tasks every one of whose producers is dead — no

@@ -11,7 +11,7 @@ through one entry point::
     out: list = []
     result = run_graph(graph, data, out, backend="cgsim", batch_io=64)
     assert result.completed and available_backends() == [
-        "cgsim", "pysim", "x86sim",
+        "cgsim", "cgsim-mp", "pysim", "x86sim",
     ]
 
 The cgsim backend additionally accepts ``optimize="none"/"fuse"/"full"``
@@ -35,6 +35,7 @@ from .api import (
     run_graph,
 )
 from .backends import CgsimBackend, PysimBackend, X86simBackend
+from ..mp.backend import CgsimMpBackend  # registers "cgsim-mp"
 from .optimize import (
     OPTIMIZE_LEVELS,
     analyze_graph,
@@ -56,6 +57,7 @@ __all__ = [
     "clear_resolve_cache",
     "run_graph",
     "CgsimBackend",
+    "CgsimMpBackend",
     "PysimBackend",
     "X86simBackend",
     "OPTIMIZE_LEVELS",

@@ -1,0 +1,73 @@
+"""Command-line window into the execution-backend registry.
+
+::
+
+    python -m repro.exec list-backends
+
+prints every registered :class:`~repro.exec.api.ExecutionBackend` with a
+one-line capability summary — which cross-cutting run options (batched
+port I/O, plan optimization, fault injection/containment, observe
+tracing) each engine honours, and how it executes the graph.
+"""
+
+from __future__ import annotations
+
+import sys
+
+#: name -> (execution model, capability notes).  The capability column
+#: names the cross-cutting options the backend honours; engines that
+#: merely *accept* an option for interface parity say so.
+_CAPABILITIES = {
+    "cgsim": (
+        "cooperative single-process scheduler",
+        "batch_io, optimize (fuse/full), faults+on_error, observe",
+    ),
+    "cgsim-mp": (
+        "sharded multi-process scheduler farm",
+        "workers, batch_io, on_error (worker-loss containment), "
+        "observe (merged per-worker traces); no fault plans, "
+        "optimize ignored",
+    ),
+    "pysim": (
+        "serialization round trip -> cooperative scheduler",
+        "batch_io, faults+on_error, observe; optimize ignored "
+        "(the unoptimized round trip is the point)",
+    ),
+    "x86sim": (
+        "preemptive thread per kernel",
+        "faults+on_error, observe, timeout; no batch_io, "
+        "optimize ignored",
+    ),
+}
+
+
+def list_backends(file=sys.stdout) -> int:
+    from . import available_backends, get_backend
+
+    names = available_backends()
+    width = max(len(n) for n in names)
+    print(f"{len(names)} registered execution backend(s):", file=file)
+    for name in names:
+        backend = get_backend(name)
+        model, caps = _CAPABILITIES.get(
+            name, (type(backend).__name__, "(unregistered capabilities)")
+        )
+        print(f"  {name:<{width}}  {model}", file=file)
+        print(f"  {'':<{width}}    options: {caps}", file=file)
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 0 if argv else 2
+    if argv[0] == "list-backends":
+        return list_backends()
+    print(f"unknown command {argv[0]!r}; try: list-backends",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

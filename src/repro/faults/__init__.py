@@ -27,6 +27,7 @@ execution under failure).  It has three faces:
 See ``docs/FAULTS.md`` for the full semantics.
 """
 
+from .cone import dependent_cone
 from .plan import (
     FaultPlan,
     FaultSession,
@@ -61,4 +62,5 @@ __all__ = [
     "DeadlockReport",
     "Waiter",
     "analyze_waiters",
+    "dependent_cone",
 ]

@@ -1,0 +1,38 @@
+"""The dependent cone of a failure: what a lost kernel invalidates.
+
+Every containment path in the framework — the cooperative runtime's
+``on_error="isolate"``, the x86sim thread runner's static containment,
+and the ``cgsim-mp`` manager's worker-loss handling — needs the same
+set: the kernel instances strictly downstream of the failing seed(s) in
+the serialized graph, whose outputs can no longer be trusted complete.
+This module is the one shared implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from ..core.graph import ComputeGraph
+
+__all__ = ["dependent_cone"]
+
+
+def dependent_cone(graph: ComputeGraph,
+                   seeds: Iterable[str]) -> Set[str]:
+    """Instance names strictly downstream of *seeds* (instance names)
+    over stream dataflow — the dependent cone a failure cancels.
+
+    Seeds themselves are excluded; unknown names are ignored (a seed may
+    be a source/sink task or a whole dead worker, not a kernel)."""
+    seed_set = set(seeds)
+    by_name = {k.instance_name: k for k in graph.kernels}
+    cone: Set[str] = set()
+    frontier = [by_name[n] for n in seed_set if n in by_name]
+    while frontier:
+        inst = frontier.pop()
+        for nxt in graph.downstream_instances(inst):
+            nm = nxt.instance_name
+            if nm not in cone and nm not in seed_set:
+                cone.add(nm)
+                frontier.append(nxt)
+    return cone

@@ -1,0 +1,416 @@
+"""The run manager of the ``cgsim-mp`` backend (FireSim's manager side).
+
+:func:`run_sharded` is the whole lifecycle:
+
+1. **place** — :func:`~repro.mp.placement.place_graph` cuts the graph
+   into per-worker shards with an acyclic, id-ordered worker quotient;
+2. **allocate** — one :class:`~repro.mp.shm_ring.ShmRing` per
+   inter-worker net crossing, created *before* fork so every child
+   inherits the mappings and locks;
+3. **fork** — one OS process per shard
+   (:func:`~repro.mp.worker.worker_main`), results returned over pipes;
+4. **monitor** — poll pipes and exit codes; a worker that dies without
+   reporting (``os._exit``, a segfault, the OOM killer) triggers
+   containment: the remaining farm is torn down and the run returns a
+   :class:`~repro.faults.FailureReport` whose cancelled cone names
+   every kernel instance downstream of the lost shard
+   (:func:`repro.faults.dependent_cone` over the full graph);
+5. **merge** — sink payloads land in the caller's containers in net
+   FIFO order (bit-identical to a single-process run), RTP latch values
+   fill the caller's :class:`~repro.core.sources_sinks.RuntimeParam`
+   boxes, per-worker statistics are summed, and observe events from all
+   workers are sorted by timestamp and fed through
+   :meth:`~repro.observe.events.Tracer.ingest` into the caller-facing
+   tracer — one totally-ordered trace with per-kernel tracks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.queues import DEFAULT_QUEUE_CAPACITY
+from ..core.sources_sinks import ArraySinkCursor, RuntimeParam
+from ..errors import GraphRuntimeError, IoBindingError
+from ..faults.cone import dependent_cone
+from ..faults.report import FailureReport, TaskFailure
+from .placement import Placement, place_graph
+from .shm_ring import DEFAULT_RING_BYTES, ShmRing
+from .worker import WorkerSpec, worker_main
+
+__all__ = ["MpRunReport", "WorkerCrashError", "RemoteKernelError",
+           "run_sharded"]
+
+#: Items buffered per inter-worker ring (transport capacity; the byte
+#: region is bounded separately by ``ring_bytes``).
+DEFAULT_RING_CAPACITY = 4096
+
+#: Seconds granted to surviving workers to report after a peer died.
+_REAP_GRACE = 2.0
+
+
+class WorkerCrashError(GraphRuntimeError):
+    """A worker process died without reporting a result."""
+
+    def __init__(self, wid: int, exitcode: Optional[int], shard_names):
+        self.wid = wid
+        self.exitcode = exitcode
+        self.shard_names = tuple(shard_names)
+        super().__init__(
+            f"worker[{wid}] died (exitcode={exitcode}) carrying kernel "
+            f"instance(s): {', '.join(self.shard_names) or '(none)'}"
+        )
+
+
+class RemoteKernelError(GraphRuntimeError):
+    """A kernel raised inside a worker process; carries the remote
+    type name and traceback text (the original object stays remote)."""
+
+    def __init__(self, error_type: str, error_msg: str, remote_tb: str = ""):
+        self.error_type = error_type
+        self.remote_tb = remote_tb
+        super().__init__(f"{error_type}: {error_msg}")
+
+
+@dataclass
+class MpRunReport:
+    """Outcome of one sharded execution (manager-side aggregate)."""
+
+    graph_name: str
+    placement: Placement
+    completed: bool
+    deadlocked: bool
+    wall_time: float
+    items_in: int
+    items_out: int
+    context_switches: int
+    n_workers: int
+    task_states: Dict[str, str] = field(default_factory=dict)
+    task_resumes: Dict[str, int] = field(default_factory=dict)
+    task_cpu: Dict[str, float] = field(default_factory=dict)
+    task_blocked: Dict[str, float] = field(default_factory=dict)
+    worker_walls: Dict[int, float] = field(default_factory=dict)
+    stall_diagnosis: str = ""
+    failure: Optional[FailureReport] = None
+
+    def __repr__(self):
+        status = "ok" if self.completed else (
+            "FAILED" if self.failure is not None else "stalled"
+        )
+        return (
+            f"<MpRunReport {self.graph_name!r} {status} "
+            f"workers={self.n_workers} in={self.items_in} "
+            f"out={self.items_out}>"
+        )
+
+
+def _check_io(graph, io: Tuple[Any, ...]) -> None:
+    expected = len(graph.inputs) + len(graph.outputs)
+    if len(io) != expected:
+        raise IoBindingError(
+            f"graph {graph.name!r} takes {len(graph.inputs)} source(s) + "
+            f"{len(graph.outputs)} sink(s) = {expected} positional I/O "
+            f"argument(s), got {len(io)}"
+        )
+
+
+def _merge_outputs(graph, placement: Placement, io, results,
+                   validate: bool = False) -> int:
+    """Copy worker sink payloads / RTP values into the caller's
+    containers; returns total items delivered."""
+    n_in = len(graph.inputs)
+    items_out = 0
+    for gio in graph.outputs:
+        container = io[n_in + gio.io_index]
+        net = graph.net(gio.net_id)
+        if net.settings.runtime_parameter:
+            if not isinstance(container, RuntimeParam):
+                raise IoBindingError(
+                    f"output {gio.name!r} is a runtime parameter; pass a "
+                    f"RuntimeParam sink"
+                )
+            home = placement.sink_home(gio.io_index)
+            msg = results.get(home)
+            value = msg["rtp"].get(gio.io_index) if msg else None
+            if value is None and not net.producers:
+                # Pure input→output RTP passthrough: echo the input.
+                for gin in graph.inputs:
+                    if gin.net_id == gio.net_id:
+                        src = io[gin.io_index]
+                        value = src.value if isinstance(src, RuntimeParam) \
+                            else src
+            container.value = value
+            continue
+        home = placement.sink_home(gio.io_index)
+        msg = results.get(home)
+        payload = msg["sinks"].get(gio.io_index, []) if msg else []
+        if isinstance(container, list):
+            container.extend(payload)
+        elif isinstance(container, np.ndarray):
+            cursor = ArraySinkCursor(container, net.dtype)
+            for v in payload:
+                cursor.store(v)
+        else:
+            raise IoBindingError(
+                f"unsupported sink container {type(container).__name__}; "
+                f"pass a list or a pre-allocated numpy array"
+            )
+        items_out += len(payload)
+    return items_out
+
+
+def _merge_events(tracer, results) -> None:
+    """Sort worker events by timestamp and ingest into the caller's
+    tracer (workers share the manager's CLOCK_MONOTONIC timebase)."""
+    if tracer is None:
+        return
+    from ..observe import Event
+
+    merged = [Event.from_dict(d)
+              for msg in results.values() for d in msg.get("events", ())]
+    merged.sort(key=lambda e: e.ts)
+    for ev in merged:
+        tracer.ingest(ev)
+
+
+def _containment_report(graph, placement: Placement, dead_wid: int,
+                        error: BaseException, results,
+                        failing_task: str = "") -> FailureReport:
+    """Worker-loss containment: the dependent cone of every instance the
+    dead worker carried is cancelled; sinks fed (transitively) by the
+    dead shard are partial."""
+    dead_insts = {
+        graph.kernels[i].instance_name
+        for i in placement.shards[dead_wid]
+    }
+    seeds = {failing_task} if failing_task in dead_insts else dead_insts
+    cone = dependent_cone(graph, seeds)
+    all_dead = seeds | cone
+    report = FailureReport(
+        policy="isolate",
+        failures=[TaskFailure(
+            task=failing_task or f"worker[{dead_wid}]",
+            error=error,
+            via=f"worker[{dead_wid}]",
+        )],
+        cancelled=tuple(sorted(cone)),
+        # Healthy kernels that shared the lost process: terminated by
+        # the loss, not by dataflow dependence.
+        collateral=tuple(sorted(dead_insts - seeds)),
+    )
+    for gio in graph.outputs:
+        net = graph.net(gio.net_id)
+        if net.settings.runtime_parameter:
+            continue
+        key = f"sink[{gio.io_index}]"
+        prods = {
+            graph.kernels[ep.instance_idx].instance_name
+            for ep in net.producers
+        }
+        home = placement.sink_home(gio.io_index)
+        partial = bool(prods & (all_dead | dead_insts)) \
+            or home == dead_wid or home not in results
+        report.sink_status[key] = "partial" if partial else "complete"
+    return report
+
+
+def _release_downstream(rings: Dict[Tuple[int, int, int], ShmRing],
+                        wid: int) -> None:
+    """Mark a lost worker's outbound rings EOF so surviving downstream
+    workers drain the delivered prefix and report, instead of waiting
+    on a producer that will never write again."""
+    for (_net_id, src, _dst), ring in rings.items():
+        if src == wid:
+            try:
+                ring.mark_eof()
+            except Exception:  # pragma: no cover - ring already gone
+                pass
+
+
+def run_sharded(graph, io: Tuple[Any, ...], *,
+                workers: int = 2,
+                capacity: int = DEFAULT_QUEUE_CAPACITY,
+                validate: bool = False,
+                batch: Optional[int] = None,
+                observe: Any = None,
+                profile: bool = False,
+                stall_timeout: float = 30.0,
+                ring_capacity: int = DEFAULT_RING_CAPACITY,
+                ring_bytes: int = DEFAULT_RING_BYTES,
+                on_error: str = "fail",
+                backend_label: str = "cgsim-mp") -> MpRunReport:
+    """Execute *graph* sharded across *workers* OS processes.
+
+    ``io`` is the usual positional tuple (sources then sinks, §3.7);
+    ``observe`` is a ready :class:`~repro.observe.Tracer` or ``None``.
+    ``on_error="fail"`` raises on worker loss / remote kernel failure;
+    ``"isolate"`` returns the report with a contained
+    :class:`~repro.faults.FailureReport` instead.
+    """
+    if on_error not in ("fail", "isolate"):
+        raise GraphRuntimeError(
+            f"on_error={on_error!r}; cgsim-mp supports 'fail' or 'isolate'"
+        )
+    _check_io(graph, io)
+    placement = place_graph(graph, workers)
+    n_workers = placement.n_workers
+    tracer = observe
+
+    t0 = perf_counter()
+    if tracer is not None:
+        tracer.run_begin(graph.name, backend_label)
+
+    rings: Dict[Tuple[int, int, int], ShmRing] = {}
+    ctx = multiprocessing.get_context("fork")
+    procs: List[Any] = []
+    conns: List[Any] = []
+    results: Dict[int, Dict[str, Any]] = {}
+    failure_report: Optional[FailureReport] = None
+    failure_exc: Optional[BaseException] = None
+    stall_lines: List[str] = []
+
+    try:
+        for key in placement.ring_keys():
+            net_id, src, dst = key
+            if src >= dst:  # pragma: no cover - placement invariant
+                raise GraphRuntimeError(
+                    f"ring {key} violates the worker-order invariant "
+                    f"(src must be < dst); placement bug"
+                )
+            rings[key] = ShmRing.create(
+                capacity=ring_capacity,
+                name=f"{graph.net(net_id).name}@w{src}->w{dst}",
+                data_bytes=ring_bytes,
+            )
+
+        for wid in range(n_workers):
+            spec = WorkerSpec(
+                wid=wid, placement=placement, io=io, rings=rings,
+                capacity=capacity, validate=validate, batch=batch,
+                observe=tracer is not None,
+                queue_events=tracer.queue_events if tracer is not None
+                else True,
+                profile=profile, stall_timeout=stall_timeout,
+            )
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            p = ctx.Process(target=worker_main, args=(spec, child_conn),
+                            daemon=True, name=f"cgsim-mp-w{wid}")
+            p.start()
+            child_conn.close()
+            procs.append(p)
+            conns.append(parent_conn)
+
+        pending = set(range(n_workers))
+        deadline: Optional[float] = None
+        while pending:
+            ready = multiprocessing.connection.wait(
+                [conns[w] for w in pending], timeout=0.05,
+            )
+            for conn in ready:
+                wid = conns.index(conn)
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    # The pipe died without a result: the worker was
+                    # killed (os._exit, a signal, the OOM killer).
+                    pending.discard(wid)
+                    procs[wid].join(timeout=1.0)
+                    exc: BaseException = WorkerCrashError(
+                        wid, procs[wid].exitcode,
+                        [graph.kernels[i].instance_name
+                         for i in placement.shards[wid]],
+                    )
+                    failure_exc = exc
+                    failure_report = _containment_report(
+                        graph, placement, wid, exc, results,
+                    )
+                    _release_downstream(rings, wid)
+                    continue
+                results[wid] = msg
+                pending.discard(wid)
+                if msg["kind"] == "stall":
+                    stall_lines.append(msg["stall_diagnosis"])
+                elif msg["kind"] in ("failure", "error"):
+                    err_info = msg.get("failure") or msg
+                    exc = RemoteKernelError(
+                        err_info.get("error_type", "Exception"),
+                        err_info.get("error_msg", ""),
+                        err_info.get("traceback", ""),
+                    )
+                    failure_exc = exc
+                    failure_report = _containment_report(
+                        graph, placement, wid, exc, results,
+                        failing_task=err_info.get("task", ""),
+                    )
+                    _release_downstream(rings, wid)
+            if (failure_report is not None or stall_lines) and pending:
+                # Containment/teardown: give survivors a short grace to
+                # report their partial state, then stop the farm.
+                now = perf_counter()
+                if deadline is None:
+                    deadline = now + _REAP_GRACE
+                elif now > deadline:
+                    for wid in sorted(pending):
+                        procs[wid].terminate()
+                    break
+
+        wall = perf_counter() - t0
+        # Merge whatever arrived even after a failure: surviving
+        # workers' sinks hold a valid prefix (isolate semantics).
+        items_out = _merge_outputs(graph, placement, io, results,
+                                   validate=validate)
+        _merge_events(tracer, results)
+        if tracer is not None:
+            tracer.run_end(graph.name, backend_label)
+
+        if failure_report is not None and on_error == "fail":
+            assert failure_exc is not None
+            failure_exc.report = failure_report  # type: ignore[union-attr]
+            raise failure_exc
+
+        task_states: Dict[str, str] = {}
+        task_resumes: Dict[str, int] = {}
+        task_cpu: Dict[str, float] = {}
+        task_blocked: Dict[str, float] = {}
+        for msg in results.values():
+            task_states.update(msg.get("task_states", {}))
+            task_resumes.update(msg.get("task_resumes", {}))
+            task_cpu.update(msg.get("task_cpu", {}))
+            task_blocked.update(msg.get("task_blocked", {}))
+
+        deadlocked = bool(stall_lines) and failure_report is None
+        return MpRunReport(
+            graph_name=graph.name,
+            placement=placement,
+            completed=not deadlocked and failure_report is None
+            and len(results) == n_workers,
+            deadlocked=deadlocked,
+            wall_time=wall,
+            items_in=sum(m.get("items_in", 0) for m in results.values()),
+            items_out=items_out,
+            context_switches=sum(
+                m.get("context_switches", 0) for m in results.values()
+            ),
+            n_workers=n_workers,
+            task_states=task_states,
+            task_resumes=task_resumes,
+            task_cpu=task_cpu,
+            task_blocked=task_blocked,
+            worker_walls={w: m.get("wall_time", 0.0)
+                          for w, m in results.items()},
+            stall_diagnosis="\n".join(stall_lines),
+            failure=failure_report,
+        )
+    finally:
+        for p in procs:
+            if p.exitcode is None:
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5.0)
+        for ring in rings.values():
+            ring.close()
+            ring.unlink()

@@ -201,6 +201,22 @@ class Tracer:
                 self.aggregator.observe(ev)
             self.sink.write(ev)
 
+    def ingest(self, event: Event) -> None:
+        """Feed an already-stamped :class:`Event` through the aggregator
+        and sink without re-stamping its timestamp.
+
+        The merge path of multi-process runs (``cgsim-mp``): workers
+        collect events with their own per-process tracers, ship them to
+        the run manager, and the manager ingests them — sorted by ``ts``
+        — into the caller-facing tracer.  ``perf_counter`` is
+        ``CLOCK_MONOTONIC`` on Linux, so timestamps from forked workers
+        share one timebase and the merged stream stays totally ordered.
+        """
+        with self._lock:
+            if self.aggregator is not None:
+                self.aggregator.observe(event)
+            self.sink.write(event)
+
     # -- typed helpers (the engine-facing surface) ---------------------------
 
     def run_begin(self, graph: str, backend: str) -> None:

@@ -266,6 +266,7 @@ BACKEND_VARIANTS: Dict[str, Tuple[str, Dict[str, object]]] = {
     "cgsim": ("cgsim", {}),
     "cgsim+batch": ("cgsim", {"batch_io": 8}),
     "cgsim+fused": ("cgsim", {"optimize": "full"}),
+    "cgsim-mp": ("cgsim-mp", {"workers": 2}),
     "pysim": ("pysim", {}),
     "x86sim": ("x86sim", {}),
 }

@@ -65,6 +65,10 @@ class ThreadedBroadcastQueue:
         receives ``queue.put``/``queue.get`` events with fill levels."""
         self._observe = tracer
 
+    def bind_scheduler(self, scheduler) -> None:
+        """Transport-protocol parity: threads synchronise through the
+        condition variable, not a cooperative scheduler."""
+
     # -- state helpers (call with lock held) -------------------------------------
 
     def _active_min_cursor(self) -> Optional[int]:
@@ -81,6 +85,41 @@ class ThreadedBroadcastQueue:
     def closed(self) -> bool:
         with self._lock:
             return self._producers_left == 0
+
+    # -- capacity / fill introspection (Transport protocol) ----------------------
+
+    def size_for(self, consumer_idx: int) -> int:
+        """Elements currently visible to consumer *consumer_idx*."""
+        with self._lock:
+            cur = self._cursors[consumer_idx]
+            return 0 if cur is None else self._head - cur
+
+    @property
+    def free_slots(self) -> int:
+        """Slots a producer can still write before blocking."""
+        with self._lock:
+            m = self._active_min_cursor()
+            if m is None:
+                return self.capacity
+            return self.capacity - (self._head - m)
+
+    @property
+    def is_full(self) -> bool:
+        with self._lock:
+            return self._is_full()
+
+    def is_empty_for(self, consumer_idx: int) -> bool:
+        with self._lock:
+            cur = self._cursors[consumer_idx]
+            return cur is None or cur == self._head
+
+    def peek(self, consumer_idx: int) -> Tuple[bool, Any]:
+        """Like :meth:`try_get` but does not advance the cursor."""
+        with self._lock:
+            cur = self._cursors[consumer_idx]
+            if cur is None or cur == self._head:
+                return False, None
+            return True, self._slots[cur % self.capacity]
 
     # -- producer side -----------------------------------------------------------
 

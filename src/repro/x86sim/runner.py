@@ -519,17 +519,9 @@ def prepare_threads(graph: CompiledGraph | ComputeGraph, io: Tuple[Any, ...],
 def _static_cone(g: ComputeGraph, seeds: set) -> set:
     """Instance names strictly downstream of *seeds* in the serialized
     graph (the dependent cone a failure isolates)."""
-    by_name = {k.instance_name: k for k in g.kernels}
-    cone: set = set()
-    frontier = [by_name[n] for n in seeds if n in by_name]
-    while frontier:
-        inst = frontier.pop()
-        for nxt in g.downstream_instances(inst):
-            nm = nxt.instance_name
-            if nm not in cone and nm not in seeds:
-                cone.add(nm)
-                frontier.append(by_name[nm])
-    return cone
+    from ..faults.cone import dependent_cone
+
+    return dependent_cone(g, seeds)
 
 
 def _source_seed_consumers(g: ComputeGraph, queue_name: str) -> set:

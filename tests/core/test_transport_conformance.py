@@ -1,0 +1,202 @@
+"""Transport-conformance suite: one contract, every registered carrier.
+
+Each registered transport (``repro.core.transport``) must satisfy the
+same put/get/bulk/poison/freeze/fill-introspection surface, because the
+kernel ports, the batched I/O awaitables, the fault proxies, and
+``describe_blockage`` are written once against the protocol.  The tests
+parametrize over the registry so a new transport is covered the moment
+it registers — capability flags (``broadcast``, ``max_consumers``)
+scope the broadcast-specific cases.
+"""
+
+import pytest
+
+from repro.core.transport import (
+    Transport,
+    available_transports,
+    get_transport,
+    make_queue,
+)
+from repro.faults.injectors import FaultyStreamQueue
+from repro.faults.plan import QueueFreeze
+
+TRANSPORTS = available_transports()
+
+
+class _StubSession:
+    """Minimal FaultSession stand-in: the proxy only calls record()."""
+
+    def __init__(self):
+        self.events = []
+
+    def record(self, fault, **detail):
+        self.events.append((fault, detail))
+
+
+def _make(name, capacity=4, n_consumers=1):
+    info = get_transport(name)
+    if info.max_consumers is not None and n_consumers > info.max_consumers:
+        pytest.skip(f"{name} supports at most {info.max_consumers} "
+                    f"consumer(s)")
+    q = make_queue(info, capacity=capacity, n_consumers=n_consumers,
+                   name=f"conf_{name}")
+    return q, info
+
+
+def _cleanup(q):
+    if hasattr(q, "unlink"):  # shared-memory transports own OS objects
+        q.close()
+        q.unlink()
+
+
+@pytest.mark.parametrize("name", TRANSPORTS)
+class TestTransportContract:
+    def test_registry_builds_protocol_instances(self, name):
+        q, info = _make(name)
+        try:
+            assert isinstance(q, Transport)
+            assert q.name == f"conf_{name}"
+            assert q.capacity == 4
+            assert info.description
+        finally:
+            _cleanup(q)
+
+    def test_fifo_round_trip(self, name):
+        q, _ = _make(name)
+        try:
+            assert q.try_put(10) and q.try_put(20)
+            ok, v = q.try_get(0)
+            assert ok and v == 10
+            ok, v = q.try_get(0)
+            assert ok and v == 20
+            ok, _v = q.try_get(0)
+            assert not ok  # empty
+        finally:
+            _cleanup(q)
+
+    def test_bulk_ops_and_capacity_bound(self, name):
+        q, _ = _make(name, capacity=3)
+        try:
+            n = q.try_put_many([1, 2, 3, 4, 5], 0)
+            assert 1 <= n <= 3          # capacity admits at most 3
+            n += q.try_put_many([1, 2, 3, 4, 5], n)
+            assert n == 3 or q.is_full
+            got = q.try_get_many(0, 10)
+            assert got == [1, 2, 3][:len(got)] and len(got) >= 1
+        finally:
+            _cleanup(q)
+
+    def test_fill_introspection(self, name):
+        q, _ = _make(name, capacity=4)
+        try:
+            assert q.is_empty_for(0) and not q.is_full
+            assert q.size_for(0) == 0 and q.free_slots == 4
+            q.try_put_many([7, 8, 9], 0)
+            assert q.size_for(0) == 3
+            assert q.free_slots == 1
+            assert not q.is_empty_for(0) and not q.is_full
+            q.try_put(10)
+            assert q.is_full and q.free_slots == 0
+            q.try_get(0)
+            assert not q.is_full
+        finally:
+            _cleanup(q)
+
+    def test_transfer_accounting(self, name):
+        q, _ = _make(name, capacity=8)
+        try:
+            q.try_put_many(list(range(5)), 0)
+            assert q.total_puts == 5
+            q.try_get_many(0, 3)
+            assert q.total_gets == 3
+            assert q.producer_names == [] and q.consumer_names == []
+            q.producer_names.append("k0")  # diagnostics labels are open
+            assert "k0" in q.producer_names
+        finally:
+            _cleanup(q)
+
+    def test_poison_marks_and_preserves_buffered(self, name):
+        q, _ = _make(name, capacity=4)
+        try:
+            q.try_put(1)
+            assert not q.poisoned
+            q.poison("t_fail_0")
+            assert q.poisoned and q.poison_origin == "t_fail_0"
+            # Buffered data must stay readable so downstream drains to
+            # the exact element where the data ends.
+            ok, v = q.try_get(0)
+            assert ok and v == 1
+        finally:
+            _cleanup(q)
+
+    def test_detach_consumer(self, name):
+        q, _ = _make(name, capacity=4)
+        try:
+            q.try_put_many([1, 2], 0)
+            q.detach_consumer(0)
+            # A detached cursor no longer holds data back.
+            assert q.try_put_many([3, 4, 5], 0) >= 2
+        finally:
+            _cleanup(q)
+
+    def test_freeze_proxy_wraps_any_transport(self, name):
+        q, _ = _make(name, capacity=4)
+        session = _StubSession()
+        proxy = FaultyStreamQueue(
+            q, session,
+            freeze=QueueFreeze(net=q.name, after_puts=2,
+                               release_after_gets=1),
+        )
+        try:
+            assert proxy.try_put(1) and proxy.try_put(2)
+            assert not proxy.try_put(3)  # frozen: behaves full
+            assert session.events and session.events[0][0] == "freeze"
+            ok, v = proxy.try_get(0)
+            assert ok and v == 1         # thaw trigger
+            assert proxy.try_put(3)      # thawed
+            assert proxy.capacity == 4   # passthrough attributes
+        finally:
+            _cleanup(q)
+
+    def test_observer_attach_does_not_break_transfers(self, name):
+        from repro.observe import Tracer
+        from repro.observe.sinks import RingSink
+
+        q, _ = _make(name, capacity=4)
+        try:
+            tracer = Tracer(RingSink(), metrics=False)
+            q.attach_observer(tracer)
+            q.try_put(5)
+            ok, v = q.try_get(0)
+            assert ok and v == 5
+        finally:
+            _cleanup(q)
+
+
+@pytest.mark.parametrize("name", [n for n in TRANSPORTS
+                                  if get_transport(n).broadcast])
+def test_broadcast_every_consumer_sees_every_element(name):
+    q, _ = _make(name, n_consumers=2)
+    try:
+        q.try_put_many([1, 2, 3], 0)
+        a = q.try_get_many(0, 10)
+        b = q.try_get_many(1, 10)
+        assert a == b == [1, 2, 3]
+    finally:
+        _cleanup(q)
+
+
+def test_max_consumers_enforced_at_construction():
+    from repro.errors import GraphRuntimeError
+
+    for name in TRANSPORTS:
+        info = get_transport(name)
+        if info.max_consumers is None:
+            continue
+        with pytest.raises(GraphRuntimeError, match="consumer"):
+            make_queue(info, capacity=4,
+                       n_consumers=info.max_consumers + 1, name="over")
+
+
+def test_registry_covers_builtin_transports():
+    assert {"ring", "threaded", "shm"} <= set(TRANSPORTS)

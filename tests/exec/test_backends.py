@@ -20,7 +20,7 @@ from repro.exec import (
     run_graph,
 )
 
-ALL_BACKENDS = ["cgsim", "pysim", "x86sim"]
+ALL_BACKENDS = ["cgsim", "cgsim-mp", "pysim", "x86sim"]
 
 
 class TestRegistry:

@@ -224,6 +224,77 @@ class TestResolveMemo:
         assert result.completed and out == [4, 8, 12]
 
 
+class TestKernelMutationRecompile:
+    """A kernel re-registered (mutated) after a cached run must not be
+    resurrected by the resolve memo, the plan cache, or the compiled
+    carrier's own deserialization cache."""
+
+    @staticmethod
+    def _register_probe(factor):
+        from repro.core import AIE, In, Out, compute_kernel
+
+        @compute_kernel(realm=AIE)
+        async def mut_probe_kernel(a: In[int64], z: Out[int64]):
+            while True:
+                await z.put(factor * (await a.get()))
+
+        return mut_probe_kernel
+
+    def _build(self):
+        k = self._register_probe(2)
+
+        @make_compute_graph(name="mutprobe")
+        def g(a: IoC[int64]):
+            o = IoConnector(int64)
+            k(a, o)
+            return o
+
+        return g
+
+    def test_mutation_then_clear_recompiles_serialized(self):
+        g = self._build()
+        s = g.serialized
+        out1 = []
+        run_graph(s, [1, 2, 3], out1, backend="cgsim", optimize="fuse")
+        assert out1 == [2, 4, 6]
+        resolved_before = resolve_graph(s)
+
+        self._register_probe(3)  # same registry key, new behavior
+        clear_resolve_cache()
+        clear_plan_cache()
+        assert plan_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+        assert resolve_graph(s) is not resolved_before
+        out2 = []
+        run_graph(s, [1, 2, 3], out2, backend="cgsim", optimize="fuse")
+        assert out2 == [3, 6, 9]
+
+    def test_mutation_invalidates_compiled_carrier_cache(self):
+        g = self._build()
+        out1 = []
+        run_graph(g, [4], out1, backend="cgsim")
+        assert out1 == [8]
+        cached = g.graph
+
+        self._register_probe(5)
+        assert g.graph is not cached  # registry epoch moved
+        out2 = []
+        run_graph(g, [4], out2, backend="cgsim")
+        assert out2 == [20]
+
+    def test_epoch_alone_invalidates_without_explicit_clear(self):
+        g = self._build()
+        s = g.serialized
+        out1 = []
+        run_graph(s, [7], out1, backend="cgsim", optimize="fuse")
+        assert out1 == [14]
+
+        self._register_probe(10)  # epoch bump is sufficient by itself
+        out2 = []
+        run_graph(s, [7], out2, backend="cgsim", optimize="fuse")
+        assert out2 == [70]
+
+
 # ---------------------------------------------------------------------------
 # Stats, diagnostics, tracing
 # ---------------------------------------------------------------------------

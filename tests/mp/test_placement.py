@@ -1,0 +1,145 @@
+"""Placement invariants: shards, homing, and ring topology.
+
+The manager relies on three structural guarantees from
+:func:`repro.mp.place_graph`: the worker quotient graph is acyclic with
+rings running strictly upward in worker id, every net has exactly one
+producing worker, and kernel-produced RTP nets never cross a process
+boundary.  These tests pin each invariant on real app graphs.
+"""
+
+import pytest
+
+from repro.core import (
+    AIE,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    PortSettings,
+    compute_kernel,
+    int32,
+    make_compute_graph,
+)
+from repro.errors import GraphRuntimeError
+from repro.exec.api import resolve_graph
+from repro.mp import place_graph
+
+RTP = PortSettings(runtime_parameter=True)
+
+
+@compute_kernel(realm=AIE)
+async def mp_track_peak(x: In[int32], y: Out[int32],
+                        peak: Out[int32, RTP]):
+    best = None
+    while True:
+        v = await x.get()
+        if best is None or v > best:
+            best = v
+            await peak.put(best)
+        await y.put(v)
+
+
+@compute_kernel(realm=AIE)
+async def mp_rtp_scale(inp: In[int32], k: In[int32, RTP],
+                       out: Out[int32]):
+    f = await k.get()
+    while True:
+        await out.put(f * (await inp.get()))
+
+
+@compute_kernel(realm=AIE)
+async def mp_inc(inp: In[int32], out: Out[int32]):
+    while True:
+        await out.put(1 + (await inp.get()))
+
+
+def _names(placement, wid):
+    g = placement.graph
+    return sorted(g.kernels[i].instance_name
+                  for i in placement.shards[wid])
+
+
+def test_farrow_two_worker_split():
+    from repro.apps.farrow import FARROW_GRAPH
+
+    g = resolve_graph(FARROW_GRAPH)
+    pl = place_graph(g, 2)
+    assert pl.n_workers == 2
+    assert _names(pl, 0) == ["farrow_stage1_0"]
+    assert _names(pl, 1) == ["farrow_stage2_0"]
+    # Both inter-stage nets (acc, x_fwd) become stage1->stage2 rings.
+    keys = pl.ring_keys()
+    assert len(keys) == 2
+    assert all(src == 0 and dst == 1 for _net, src, dst in keys)
+
+
+def test_rings_run_upward_on_farm():
+    from repro.apps.farm import BITONIC_FARM4
+
+    g = resolve_graph(BITONIC_FARM4)
+    for workers in (1, 2, 4):
+        pl = place_graph(g, workers)
+        assert pl.n_workers == workers
+        # Independent lanes: no inter-worker rings at all.
+        assert pl.ring_keys() == []
+        for net in g.nets:
+            if net.settings.runtime_parameter:
+                continue
+            assert pl.net_producer_worker(net.net_id) is not None
+        for net_id, src, dst in pl.ring_keys():
+            assert src < dst
+
+
+def test_workers_clamped_to_unit_count():
+    from repro.apps.farrow import FARROW_GRAPH
+
+    g = resolve_graph(FARROW_GRAPH)
+    pl = place_graph(g, 8)  # only two indivisible units exist
+    assert pl.n_workers == 2
+    assert all(pl.shards[w] for w in range(pl.n_workers))
+
+
+def test_rejects_nonpositive_worker_count():
+    from repro.apps.farrow import FARROW_GRAPH
+
+    g = resolve_graph(FARROW_GRAPH)
+    with pytest.raises(GraphRuntimeError, match="workers"):
+        place_graph(g, 0)
+
+
+def test_kernel_produced_rtp_is_colocated():
+    @make_compute_graph(name="mp_rtp_colo")
+    def g(x: IoC[int32], x2: IoC[int32]):
+        y = IoConnector(int32, name="y")
+        peak = IoConnector(int32, name="peak")
+        scaled = IoConnector(int32, name="scaled")
+        a = IoConnector(int32, name="a")
+        b = IoConnector(int32, name="b")
+        mp_track_peak(x, y, peak)
+        mp_rtp_scale(x2, peak, scaled)
+        mp_inc(y, a)
+        mp_inc(a, b)
+        return scaled, b
+
+    rg = resolve_graph(g)
+    pl = place_graph(rg, 2)
+    assert pl.n_workers == 2
+    # The RTP latch has no cross-process carrier: producer and consumer
+    # of `peak` must share a worker no matter how shards are balanced.
+    by_name = {rg.kernels[i].instance_name: w
+               for i, w in pl.worker_of.items()}
+    assert by_name["mp_track_peak_0"] == by_name["mp_rtp_scale_0"]
+    for _net, src, dst in pl.ring_keys():
+        assert src < dst
+
+
+def test_single_producing_worker_per_net():
+    from repro.apps.farrow import FARROW_GRAPH
+
+    g = resolve_graph(FARROW_GRAPH)
+    pl = place_graph(g, 2)
+    for net in g.nets:
+        if net.settings.runtime_parameter:
+            continue
+        producers = {pl.worker_of[ep.instance_idx] for ep in net.producers}
+        assert len(producers) <= 1

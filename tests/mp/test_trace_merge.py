@@ -1,0 +1,73 @@
+"""Merged observe traces from sharded runs.
+
+Workers trace locally (same schema, shared CLOCK_MONOTONIC timebase
+under fork) and the manager replays every worker's events through the
+caller's tracer in timestamp order — so a ``cgsim-mp`` run yields ONE
+trace whose per-kernel tracks render exactly like a single-process one.
+"""
+
+import json
+
+from repro.apps import datasets
+from repro.apps.farrow import FARROW_GRAPH
+from repro.exec import run_graph
+from repro.observe.chrome import chrome_trace, export_chrome_trace
+
+
+def _traced_run(**opts):
+    blocks, mu = datasets.farrow_blocks(3)
+    sink = []
+    return run_graph(FARROW_GRAPH, blocks, mu, sink,
+                     backend="cgsim-mp", workers=2, observe=True, **opts)
+
+
+def test_merged_trace_is_time_ordered_and_complete():
+    result = _traced_run()
+    assert result.completed
+    events = result.trace.events
+    assert events, "sharded run produced no events"
+    ts = [e.ts for e in events]
+    assert ts == sorted(ts)
+    tasks = {e.task for e in events if e.task}
+    # Kernels from BOTH workers appear in the single merged stream.
+    assert "farrow_stage1_0" in tasks
+    assert "farrow_stage2_0" in tasks
+    kinds = {e.kind for e in events}
+    assert "task.start" in kinds and "task.finish" in kinds
+    # The manager frames the merged stream with its own run markers.
+    run_events = [e for e in events if e.kind in ("run.begin", "run.end")]
+    assert [e.kind for e in run_events] == ["run.begin", "run.end"]
+    assert all(e.meta.get("backend") == "cgsim-mp" for e in run_events)
+
+
+def test_merged_metrics_cover_all_shards():
+    result = _traced_run()
+    metrics = result.metrics
+    assert metrics.backend == "cgsim-mp"
+    assert "farrow_stage1_0" in metrics.kernels
+    assert "farrow_stage2_0" in metrics.kernels
+    assert metrics.n_events == len(result.trace.events)
+
+
+def test_chrome_export_has_per_kernel_tracks(tmp_path):
+    result = _traced_run()
+    doc = chrome_trace(result.trace.events)
+    names = {ev["args"]["name"] for ev in doc["traceEvents"]
+             if ev.get("name") == "thread_name"}
+    # One Perfetto track per kernel instance, across process shards.
+    assert {"farrow_stage1_0", "farrow_stage2_0"} <= names
+
+    path = tmp_path / "mp_trace.json"
+    export_chrome_trace(result.trace.events, path)
+    loaded = json.loads(path.read_text())
+    assert loaded["traceEvents"]
+
+
+def test_file_sink_written_by_run_graph(tmp_path):
+    path = tmp_path / "mp_run.jsonl"
+    blocks, mu = datasets.farrow_blocks(2)
+    run_graph(FARROW_GRAPH, blocks, mu, [], backend="cgsim-mp",
+              workers=2, observe=str(path))
+    lines = [json.loads(ln) for ln in path.read_text().splitlines() if ln]
+    assert lines
+    assert any(d.get("task") == "farrow_stage2_0" for d in lines)

@@ -73,7 +73,8 @@ def test_property_cgsim_matches_reference(seed, n_kernels, n_items,
 def test_property_all_backends_agree(seed, n_kernels, n_items):
     """Every random layered DAG runs under every registered backend
     (plus batched-port-I/O cgsim) with pairwise-identical results."""
-    assert set(available_backends()) == {"cgsim", "pysim", "x86sim"}
+    assert set(available_backends()) == {"cgsim", "cgsim-mp", "pysim",
+                                         "x86sim"}
     assert {b for b, _ in BACKEND_VARIANTS.values()} == \
         set(available_backends())
     spec = random_graph_spec(seed, n_kernels=n_kernels)
