@@ -1,0 +1,156 @@
+"""Serve throughput: many tenants hammering one run server.
+
+Spins up the ``repro.serve`` HTTP server in-process on an ephemeral
+port, then drives it from 8 concurrent client threads (one tenant
+each) submitting small bitonic and iir graphs with ``optimize="fuse"``
+until 1000 runs have completed (``--quick`` divides by 8).  Every run's
+sinks are compared bit-for-bit against a sequential in-process golden
+run — any cross-run interference between concurrent tenants shows up
+as a hard failure, not a statistic.
+
+Asserted floors (ISSUE 7 acceptance):
+
+* every submitted run completes ``ok`` with bit-identical sinks;
+* the shared compiled-plan cache serves >90% of lookups (the clients
+  cycle two graph structures, so repeat structures dominate);
+* server-side latency histogram and client-side throughput land in
+  ``results/serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from time import perf_counter
+
+import numpy as np
+
+from repro.apps import bitonic, datasets, iir
+from repro.exec import clear_plan_cache, run_graph
+from repro.serve import GraphService, RunServer, ServeClient, ServeConfig
+
+from conftest import record_row
+
+TABLE = "Serve throughput: 8 tenants, shared plan cache"
+
+N_CLIENTS = 8
+TOTAL_RUNS = 1000
+HIT_RATE_FLOOR = 0.90
+
+#: Small per-run payloads: the benchmark measures service overheads and
+#: interference, not simulator horsepower.
+_APPS = {
+    "bitonic": (datasets.bitonic_blocks(2).reshape(-1),),
+    "iir": (datasets.iir_blocks(1),),
+}
+_GRAPHS = {"bitonic": bitonic.BITONIC_GRAPH, "iir": iir.IIR_GRAPH}
+
+
+def _golden():
+    out = {}
+    for app, inputs in _APPS.items():
+        sink: list = []
+        result = run_graph(_GRAPHS[app], *inputs, sink, backend="cgsim")
+        assert result.completed
+        out[app] = sink
+    return out
+
+
+def _sinks_equal(got, want) -> bool:
+    return len(got) == len(want) and all(
+        np.array_equal(np.asarray(g), np.asarray(w))
+        for g, w in zip(got, want)
+    )
+
+
+class TestServeThroughput:
+    def test_serve_throughput(self, quick, results_dir):
+        total = TOTAL_RUNS // 8 if quick else TOTAL_RUNS
+        per_client = total // N_CLIENTS
+        total = per_client * N_CLIENTS
+        golden = _golden()
+        clear_plan_cache()
+
+        cfg = ServeConfig(workers=N_CLIENTS, queue_depth=4 * N_CLIENTS,
+                          tenant_in_flight=0)
+        completed = [0] * N_CLIENTS
+        mismatches: list = []
+        failures: list = []
+
+        def client_loop(idx: int, host: str, port: int) -> None:
+            c = ServeClient(host, port, tenant=f"bench-{idx}")
+            for j in range(per_client):
+                app = "bitonic" if (idx + j) % 2 == 0 else "iir"
+                rid = c.submit({
+                    "app": app,
+                    "inputs": list(_APPS[app]),
+                    "options": {"optimize": "fuse"},
+                })
+                rec = c.wait(rid, timeout=120, poll_s=0.005)
+                if rec["state"] != "ok":
+                    failures.append((idx, j, app, rec["state"]))
+                    continue
+                if not _sinks_equal(c.decode_outputs(rec)[0], golden[app]):
+                    mismatches.append((idx, j, app))
+                    continue
+                completed[idx] += 1
+
+        with RunServer(GraphService(cfg), port=0) as srv:
+            t0 = perf_counter()
+            threads = [
+                threading.Thread(target=client_loop,
+                                 args=(i, srv.host, srv.port))
+                for i in range(N_CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=600)
+                assert not t.is_alive(), "client thread wedged"
+            wall = perf_counter() - t0
+            metrics = ServeClient(srv.host, srv.port).metrics()
+
+        assert not failures, f"runs did not complete ok: {failures[:5]}"
+        assert not mismatches, (
+            f"cross-run interference: {len(mismatches)} runs differed "
+            f"from the sequential golden, e.g. {mismatches[:5]}"
+        )
+        n_ok = sum(completed)
+        assert n_ok == total
+        assert metrics["runs"]["completed"] >= total
+
+        hit_rate = metrics["plan_cache"]["hit_rate"]
+        assert hit_rate > HIT_RATE_FLOOR, (
+            f"plan-cache hit rate {hit_rate:.3f} under the "
+            f"{HIT_RATE_FLOOR:.0%} floor: {metrics['plan_cache']}"
+        )
+
+        latency = metrics["latency"]
+        throughput = n_ok / wall
+        row = {
+            "clients": N_CLIENTS,
+            "runs": n_ok,
+            "quick": bool(quick),
+            "wall_s": round(wall, 3),
+            "throughput_rps": round(throughput, 1),
+            "latency_p50_s": latency["p50_s"],
+            "latency_p90_s": latency["p90_s"],
+            "latency_p99_s": latency["p99_s"],
+            "latency_mean_s": round(latency["mean_s"], 6),
+            "plan_cache_hit_rate": round(hit_rate, 4),
+            "plan_cache": {
+                k: metrics["plan_cache"][k]
+                for k in ("hits", "misses", "graphs", "evictions")
+            },
+            "workers": metrics["workers"],
+            "cores": len(os.sched_getaffinity(0)),
+        }
+        (results_dir / "serve.json").write_text(json.dumps(row, indent=2))
+
+        record_row(TABLE, f"{'clients':>10} {'runs':>6} {'rps':>8} "
+                          f"{'p50 ms':>8} {'p99 ms':>8} {'cache':>7}")
+        record_row(TABLE, f"{N_CLIENTS:>10} {n_ok:>6} {throughput:>8.1f} "
+                          f"{latency['p50_s'] * 1e3:>8.2f} "
+                          f"{latency['p99_s'] * 1e3:>8.2f} "
+                          f"{hit_rate:>6.1%}")

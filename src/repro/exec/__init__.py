@@ -33,6 +33,7 @@ from .api import (
     register_backend,
     resolve_graph,
     run_graph,
+    summarize_sink,
 )
 from .backends import CgsimBackend, PysimBackend, X86simBackend
 from ..mp.backend import CgsimMpBackend  # registers "cgsim-mp"
@@ -43,7 +44,13 @@ from .optimize import (
     fusion_registry_epoch,
     register_fused_equivalent,
 )
-from .plan_cache import clear_plan_cache, get_plan, plan_cache_stats
+from .plan_cache import (
+    clear_plan_cache,
+    get_plan,
+    get_plan_cache_limit,
+    plan_cache_stats,
+    set_plan_cache_limit,
+)
 from ..core.fused import OptimizedPlan
 
 __all__ = [
@@ -56,6 +63,7 @@ __all__ = [
     "resolve_graph",
     "clear_resolve_cache",
     "run_graph",
+    "summarize_sink",
     "CgsimBackend",
     "CgsimMpBackend",
     "PysimBackend",
@@ -69,4 +77,6 @@ __all__ = [
     "get_plan",
     "clear_plan_cache",
     "plan_cache_stats",
+    "set_plan_cache_limit",
+    "get_plan_cache_limit",
 ]

@@ -54,6 +54,10 @@ def list_backends(file=sys.stdout) -> int:
         )
         print(f"  {name:<{width}}  {model}", file=file)
         print(f"  {'':<{width}}    options: {caps}", file=file)
+    print("serve these backends over HTTP with `python -m repro.serve` "
+          "(graph-as-a-service run server; cgsim-mp excluded — forking "
+          "from a threaded server is unsafe).  See docs/SERVE.md.",
+          file=file)
     return 0
 
 

@@ -41,6 +41,8 @@ New engines (sharded, multi-process, remote) plug in via
 from __future__ import annotations
 
 import abc
+import math
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
@@ -57,7 +59,43 @@ __all__ = [
     "resolve_graph",
     "clear_resolve_cache",
     "run_graph",
+    "summarize_sink",
 ]
+
+
+def summarize_sink(container: Any) -> Dict[str, Any]:
+    """Shape-summarize one sink container into a tiny JSON-safe dict.
+
+    Lists report their length and a description of the first element;
+    ndarrays report dtype and shape; RTP boxes report their (scalar)
+    value.  The data itself never crosses — summaries are O(1).
+    """
+    import numpy as np
+
+    from ..core.sources_sinks import RuntimeParam
+
+    if isinstance(container, RuntimeParam):
+        value = container.value
+        if isinstance(value, np.generic):
+            value = value.item()
+        if not isinstance(value, (int, float, str, bool, type(None))):
+            value = repr(value)
+        return {"kind": "rtp", "value": value}
+    if isinstance(container, np.ndarray):
+        return {"kind": "ndarray", "dtype": str(container.dtype),
+                "shape": list(container.shape)}
+    if isinstance(container, list):
+        d: Dict[str, Any] = {"kind": "list", "len": len(container)}
+        if container:
+            first = container[0]
+            if isinstance(first, np.ndarray):
+                d["element"] = {"kind": "ndarray",
+                                "dtype": str(first.dtype),
+                                "shape": list(first.shape)}
+            else:
+                d["element"] = {"kind": type(first).__name__}
+        return d
+    return {"kind": type(container).__name__}
 
 
 # ---------------------------------------------------------------------------
@@ -111,6 +149,62 @@ class RunResult:
     @property
     def deadlocked(self) -> bool:
         return not self.completed and self.failure is None
+
+    @property
+    def status(self) -> str:
+        """``"ok"`` | ``"failed"`` (contained failure) | ``"stalled"``."""
+        if self.completed:
+            return "ok"
+        return "failed" if self.failure is not None else "stalled"
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact JSON-safe overview of the run.
+
+        Sink containers are *shape-summarized* (see
+        :func:`summarize_sink`), never embedded — the dict stays small
+        no matter how much data the run moved.  The full per-kernel
+        breakdown lives on :meth:`to_json`.
+        """
+        return {
+            "backend": self.backend,
+            "graph": self.graph_name,
+            "status": self.status,
+            "completed": self.completed,
+            "wall_time_s": self.wall_time,
+            "items_in": self.items_in,
+            "items_out": self.items_out,
+            "sinks": [summarize_sink(s) for s in self.outputs],
+            "failure": self.failure.to_dict()
+            if self.failure is not None else None,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        """Stable JSON-safe dict of the full result surface.
+
+        Everything :mod:`json` can serialize directly: NaN kernel
+        fractions become ``None``, exceptions become
+        ``{error_type, error}`` summaries, sinks are shape-summarized.
+        The backend-native ``raw`` report, the live tracer, and the sink
+        containers themselves are deliberately not included — this is
+        the ``repro.serve`` wire format, useful standalone for logging
+        and archival.
+        """
+        d = self.summary()
+        d.update({
+            "context_switches": self.context_switches,
+            "n_threads": self.n_threads,
+            "kernel_fraction": None
+            if math.isnan(self.kernel_fraction) else self.kernel_fraction,
+            "task_states": dict(self.task_states),
+            "per_kernel_resumes": dict(self.per_kernel_resumes),
+            "per_kernel_time": dict(self.per_kernel_time),
+            "per_kernel_blocked": dict(self.per_kernel_blocked),
+            "stall_diagnosis": self.stall_diagnosis,
+            "deadlock": self.deadlock.to_dict()
+            if self.deadlock is not None else None,
+        })
+        return d
 
     def __repr__(self):
         status = "ok" if self.completed else (
@@ -226,8 +320,11 @@ def available_backends() -> List[str]:
 # SerializedGraph -> (kernel registry epoch at resolve time, ComputeGraph).
 # Deserialization walks every kernel instance and net; graphs re-run in a
 # reps loop (benchmarks, differential tests) pay it once instead of per
-# run.  Weak keys: dropping the carrier drops the cached IR.
+# run.  Weak keys: dropping the carrier drops the cached IR.  The lock
+# covers the memo's read-check-write races under concurrent run_graph
+# (the repro.serve worker pool); deserialization itself runs outside it.
 _RESOLVE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_RESOLVE_LOCK = threading.Lock()
 
 
 def resolve_graph(graph: Any):
@@ -251,11 +348,18 @@ def resolve_graph(graph: Any):
         return graph.graph
     if isinstance(graph, SerializedGraph):
         epoch = kernel_registry_epoch()
-        cached = _RESOLVE_CACHE.get(graph)
-        if cached is not None and cached[0] == epoch:
-            return cached[1]
+        with _RESOLVE_LOCK:
+            cached = _RESOLVE_CACHE.get(graph)
+            if cached is not None and cached[0] == epoch:
+                return cached[1]
         resolved = graph.deserialize()
-        _RESOLVE_CACHE[graph] = (epoch, resolved)
+        with _RESOLVE_LOCK:
+            # Two threads may race the deserialization; keep whichever
+            # landed first so every caller shares one IR object.
+            cached = _RESOLVE_CACHE.get(graph)
+            if cached is not None and cached[0] == epoch:
+                return cached[1]
+            _RESOLVE_CACHE[graph] = (epoch, resolved)
         return resolved
     if isinstance(graph, ComputeGraph):
         return graph
@@ -267,7 +371,8 @@ def resolve_graph(graph: Any):
 
 def clear_resolve_cache() -> None:
     """Drop every memoized deserialization (testing/invalidation hook)."""
-    _RESOLVE_CACHE.clear()
+    with _RESOLVE_LOCK:
+        _RESOLVE_CACHE.clear()
 
 
 def _coerce_retry(retry: Any):

@@ -13,12 +13,23 @@ memoized to its structural key through a ``WeakKeyDictionary`` so the
 hash is computed once per object, and rows are invalidated by epoch
 counters when either registry changes (re-registered kernels or fused
 equivalents must not resurrect stale plans).
+
+The cache is **bounded and thread-safe**: a long-lived process (the
+``repro.serve`` run server) sees an open-ended stream of distinct graph
+structures, so structural keys are kept in an LRU order and evicted
+past :func:`set_plan_cache_limit` (default :data:`DEFAULT_CACHE_LIMIT`,
+overridable via the ``REPRO_PLAN_CACHE_LIMIT`` environment variable).
+All access goes through one module lock — concurrent ``run_graph``
+calls share plans without racing the bookkeeping.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import threading
 import weakref
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from ..core.fused import OptimizedPlan
@@ -27,25 +38,57 @@ from ..core.kernel import kernel_registry_epoch
 from ..core.serialize import SerializedGraph, flatten_graph
 from .optimize import analyze_graph, fusion_registry_epoch
 
-__all__ = ["get_plan", "clear_plan_cache", "plan_cache_stats"]
+__all__ = [
+    "DEFAULT_CACHE_LIMIT",
+    "get_plan",
+    "clear_plan_cache",
+    "plan_cache_stats",
+    "set_plan_cache_limit",
+    "get_plan_cache_limit",
+]
+
+#: Default maximum number of distinct graph *structures* retained.
+#: Generous for test suites and benchmarks (which cycle through a
+#: handful of graphs) while bounding a multi-tenant server's footprint.
+DEFAULT_CACHE_LIMIT = 256
+
+
+def _limit_from_env() -> int:
+    raw = os.environ.get("REPRO_PLAN_CACHE_LIMIT", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_CACHE_LIMIT
+    return value if raw else DEFAULT_CACHE_LIMIT
+
+
+# One lock for every piece of cache state below; plan analysis itself
+# runs outside it (analyzing the same structure twice concurrently is
+# harmless — last writer wins with an identical plan).
+_CACHE_LOCK = threading.RLock()
 
 # carrier object -> structural key (computed once per live object)
 _IDENTITY_KEYS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
-# structural key -> {(level, kernel_epoch, fusion_epoch): plan-or-None}
-_PLANS: Dict[str, Dict[Tuple[str, int, int], Optional[OptimizedPlan]]] = {}
+# structural key -> {(level, kernel_epoch, fusion_epoch): plan-or-None},
+# ordered least-recently-used first.
+_PLANS: "OrderedDict[str, Dict[Tuple[str, int, int], Optional[OptimizedPlan]]]" \
+    = OrderedDict()
+_LIMIT = _limit_from_env()
 _HITS = 0
 _MISSES = 0
+_EVICTIONS = 0
 
 
 def _structural_key(carrier, graph: ComputeGraph) -> str:
     """Stable content hash of the graph structure."""
-    try:
-        cached = _IDENTITY_KEYS.get(carrier)
-    except TypeError:  # un-weakref-able carrier; hash every time
-        cached = None
-        carrier = None
-    if cached is not None:
-        return cached
+    with _CACHE_LOCK:
+        try:
+            cached = _IDENTITY_KEYS.get(carrier)
+        except TypeError:  # un-weakref-able carrier; hash every time
+            cached = None
+            carrier = None
+        if cached is not None:
+            return cached
     serialized = getattr(carrier, "serialized", None)  # CompiledGraph
     if serialized is None and isinstance(carrier, SerializedGraph):
         serialized = carrier
@@ -53,11 +96,19 @@ def _structural_key(carrier, graph: ComputeGraph) -> str:
         serialized = flatten_graph(graph)
     key = hashlib.sha1(serialized.to_json().encode()).hexdigest()
     if carrier is not None:
-        try:
-            _IDENTITY_KEYS[carrier] = key
-        except TypeError:  # pragma: no cover - un-weakref-able
-            pass
+        with _CACHE_LOCK:
+            try:
+                _IDENTITY_KEYS[carrier] = key
+            except TypeError:  # pragma: no cover - un-weakref-able
+                pass
     return key
+
+
+def _evict_over_limit_locked() -> None:
+    global _EVICTIONS
+    while _LIMIT > 0 and len(_PLANS) > _LIMIT:
+        _PLANS.popitem(last=False)
+        _EVICTIONS += 1
 
 
 def get_plan(carrier, graph: ComputeGraph, level: str
@@ -72,29 +123,63 @@ def get_plan(carrier, graph: ComputeGraph, level: str
     global _HITS, _MISSES
     key = _structural_key(carrier, graph)
     row = (level, kernel_registry_epoch(), fusion_registry_epoch())
-    per_graph = _PLANS.get(key)
-    if per_graph is not None and row in per_graph:
-        _HITS += 1
-        return per_graph[row]
-    _MISSES += 1
+    with _CACHE_LOCK:
+        per_graph = _PLANS.get(key)
+        if per_graph is not None:
+            _PLANS.move_to_end(key)
+            if row in per_graph:
+                _HITS += 1
+                return per_graph[row]
+        _MISSES += 1
     plan = analyze_graph(graph, level)
-    _PLANS.setdefault(key, {})[row] = plan
+    with _CACHE_LOCK:
+        per_graph = _PLANS.get(key)
+        if per_graph is None:
+            per_graph = _PLANS[key] = {}
+        _PLANS.move_to_end(key)
+        per_graph[row] = plan
+        _evict_over_limit_locked()
     return plan
 
 
+def set_plan_cache_limit(limit: int) -> None:
+    """Cap the cache at *limit* distinct graph structures (LRU
+    eviction).  ``0`` disables the bound entirely.  Shrinking below the
+    current occupancy evicts immediately."""
+    global _LIMIT
+    if limit < 0:
+        raise ValueError(f"plan cache limit must be >= 0, got {limit}")
+    with _CACHE_LOCK:
+        _LIMIT = limit
+        _evict_over_limit_locked()
+
+
+def get_plan_cache_limit() -> int:
+    """The active structural-key cap (``0`` means unbounded)."""
+    return _LIMIT
+
+
 def clear_plan_cache() -> None:
-    """Drop every cached plan and identity memo (testing hook)."""
+    """Drop every cached plan and identity memo (testing hook).  The
+    configured limit and the eviction counter survive a clear."""
     global _HITS, _MISSES
-    _PLANS.clear()
-    _IDENTITY_KEYS.clear()
-    _HITS = 0
-    _MISSES = 0
+    with _CACHE_LOCK:
+        _PLANS.clear()
+        _IDENTITY_KEYS.clear()
+        _HITS = 0
+        _MISSES = 0
 
 
 def plan_cache_stats() -> Dict[str, int]:
-    """Cache effectiveness counters: ``hits``, ``misses``, ``entries``."""
-    return {
-        "hits": _HITS,
-        "misses": _MISSES,
-        "entries": sum(len(v) for v in _PLANS.values()),
-    }
+    """Cache effectiveness counters: ``hits``, ``misses``, ``entries``
+    (plan rows), ``graphs`` (distinct structures), ``evictions``, and
+    the active ``limit``."""
+    with _CACHE_LOCK:
+        return {
+            "hits": _HITS,
+            "misses": _MISSES,
+            "entries": sum(len(v) for v in _PLANS.values()),
+            "graphs": len(_PLANS),
+            "evictions": _EVICTIONS,
+            "limit": _LIMIT,
+        }

@@ -44,6 +44,16 @@ class TaskFailure:
             f"{type(self.error).__name__}: {self.error}"
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form; the exception is summarised, not pickled."""
+        return {
+            "task": self.task,
+            "error_type": type(self.error).__name__,
+            "error": str(self.error),
+            "via": self.via,
+            "injected": self.injected,
+        }
+
 
 @dataclass
 class TeardownError:
@@ -53,6 +63,13 @@ class TeardownError:
 
     task: str
     error: BaseException
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task": self.task,
+            "error_type": type(self.error).__name__,
+            "error": str(self.error),
+        }
 
 
 @dataclass
@@ -100,6 +117,20 @@ class FailureReport:
             lines.append(f"  injected faults: {len(self.injected_faults)}")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON-safe dict (the ``repro.serve`` wire form)."""
+        return {
+            "policy": self.policy,
+            "failing_task": self.failing_task,
+            "failures": [f.to_dict() for f in self.failures],
+            "cancelled": list(self.cancelled),
+            "collateral": list(self.collateral),
+            "poisoned": list(self.poisoned),
+            "sink_status": dict(self.sink_status),
+            "teardown_errors": [t.to_dict() for t in self.teardown_errors],
+            "injected_faults": [dict(f) for f in self.injected_faults],
+        }
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -132,3 +163,12 @@ class AttemptRecord:
     outcome: str                                  # "ok" | "failed" | "raised"
     error: Optional[BaseException] = None
     failing_task: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "outcome": self.outcome,
+            "error_type": type(self.error).__name__ if self.error else None,
+            "error": str(self.error) if self.error is not None else None,
+            "failing_task": self.failing_task,
+        }

@@ -88,6 +88,19 @@ class DeadlockReport:
             lines.append("  (no parked tasks)")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (the ``repro.serve`` wire format)."""
+        return {
+            "kind": self.kind,
+            "cycles": [list(c) for c in self.cycles],
+            "waiters": [
+                {"task": w.task, "op": w.op, "queue": w.queue,
+                 "role": w.kind, "fill": w.fill, "capacity": w.capacity,
+                 "peers": list(w.peers), "via": w.via}
+                for w in self.waiters
+            ],
+        }
+
 
 def _find_cycles(edges: Dict[str, Tuple[str, ...]]) -> List[Tuple[str, ...]]:
     """Elementary cycles of a small digraph, each reported once.

@@ -55,6 +55,7 @@ from .metrics import (
     QueueMetrics,
     TraceMetrics,
     compute_metrics,
+    merge_metrics,
 )
 from .sinks import (
     ChromeTraceSink,
@@ -92,6 +93,7 @@ __all__ = [
     "QueueMetrics",
     "MetricsAggregator",
     "compute_metrics",
+    "merge_metrics",
     "chrome_trace",
     "export_chrome_trace",
     "combine_chrome_traces",

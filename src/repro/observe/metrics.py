@@ -33,6 +33,7 @@ __all__ = [
     "TraceMetrics",
     "MetricsAggregator",
     "compute_metrics",
+    "merge_metrics",
 ]
 
 
@@ -302,3 +303,53 @@ def compute_metrics(events) -> TraceMetrics:
     for ev in events:
         agg.observe(ev)
     return agg.result()
+
+
+def merge_metrics(metrics_list) -> TraceMetrics:
+    """Sum per-run :class:`TraceMetrics` into one cross-run aggregate.
+
+    The service view (``repro.serve`` ``/metrics``): many independent
+    traced runs of possibly different graphs collapse into totals —
+    kernel busy/blocked seconds, resume and park counts, queue transfer
+    totals (watermarks take the max), stall-edge attribution seconds,
+    and summed wall time.  ``graph``/``backend`` keep the common value
+    when all runs agree and become ``"*"`` when they mix.
+    """
+    out = TraceMetrics()
+    first = True
+    for m in metrics_list:
+        if m is None:
+            continue
+        if first:
+            out.graph, out.backend, out.schema = m.graph, m.backend, m.schema
+            first = False
+        else:
+            if m.graph != out.graph:
+                out.graph = "*"
+            if m.backend != out.backend:
+                out.backend = "*"
+        out.n_events += m.n_events
+        out.wall_s += m.wall_s
+        for name, k in m.kernels.items():
+            acc = out.kernels.setdefault(name, KernelMetrics(role=k.role))
+            acc.busy_s += k.busy_s
+            acc.blocked_s += k.blocked_s
+            acc.resumes += k.resumes
+            acc.parks_read += k.parks_read
+            acc.parks_write += k.parks_write
+            acc.yields += k.yields
+            acc.batch_carried += k.batch_carried
+            acc.finished = acc.finished or k.finished
+            acc.failed = acc.failed or k.failed
+        for name, q in m.queues.items():
+            acc_q = out.queues.setdefault(name, QueueMetrics())
+            acc_q.puts += q.puts
+            acc_q.gets += q.gets
+            acc_q.watermark = max(acc_q.watermark, q.watermark)
+        for table_src, table_dst in ((m.backpressure, out.backpressure),
+                                     (m.starvation, out.starvation)):
+            for qname, per_task in table_src.items():
+                dst = table_dst.setdefault(qname, {})
+                for task, sec in per_task.items():
+                    dst[task] = dst.get(task, 0.0) + sec
+    return out

@@ -1,0 +1,57 @@
+"""repro.serve — concurrent multi-tenant graph-as-a-service run server.
+
+Submit serialized compute graphs (or server-registered apps) over
+HTTP/JSON and run many of them concurrently on a bounded worker pool,
+with per-tenant quotas, a shared compiled-plan cache, per-run failure
+isolation, live aggregate metrics, and downloadable Perfetto traces.
+
+Start a server::
+
+    python -m repro.serve --port 8642 --workers 8
+
+Or embed one::
+
+    from repro.serve import RunServer, ServeConfig, GraphService
+    with RunServer(GraphService(ServeConfig(workers=8)), port=0) as srv:
+        ...
+
+See ``docs/SERVE.md`` for the wire schema and endpoint reference.
+"""
+
+from .client import ServeClient, ServeClientError
+from .quotas import QuotaDecision, QuotaManager, TokenBucket
+from .registry import RunRecord, RunRegistry, TERMINAL_STATES
+from .scheduler import AdmissionError, RunScheduler
+from .server import RunServer, create_server
+from .service import DEFAULT_BACKENDS, GraphService, ServeConfig, default_apps
+from .wire import (
+    Submission,
+    WireError,
+    decode_value,
+    encode_value,
+    parse_submission,
+)
+
+__all__ = [
+    "AdmissionError",
+    "DEFAULT_BACKENDS",
+    "GraphService",
+    "QuotaDecision",
+    "QuotaManager",
+    "RunRecord",
+    "RunRegistry",
+    "RunScheduler",
+    "RunServer",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "Submission",
+    "TERMINAL_STATES",
+    "TokenBucket",
+    "WireError",
+    "create_server",
+    "decode_value",
+    "default_apps",
+    "encode_value",
+    "parse_submission",
+]

@@ -1,0 +1,88 @@
+"""``python -m repro.serve`` — run the graph service in the foreground.
+
+Examples::
+
+    python -m repro.serve                          # 127.0.0.1:8642
+    python -m repro.serve --port 0 --workers 8     # ephemeral port
+    python -m repro.serve --tenant-rate 20 --tenant-burst 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .server import RunServer
+from .service import DEFAULT_BACKENDS, GraphService, ServeConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Concurrent multi-tenant graph-as-a-service run "
+                    "server over the repro.exec backends.",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8642,
+                   help="bind port; 0 picks an ephemeral port "
+                        "(default 8642)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="concurrent run worker threads (default 4)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="pending-run queue bound; beyond it submissions "
+                        "get HTTP 429 (default 64)")
+    p.add_argument("--tenant-inflight", type=int, default=16,
+                   help="per-tenant cap on admitted-but-unfinished runs, "
+                        "0 disables (default 16)")
+    p.add_argument("--tenant-rate", type=float, default=0.0,
+                   help="per-tenant sustained submissions/second, "
+                        "0 disables rate limiting (default 0)")
+    p.add_argument("--tenant-burst", type=float, default=32.0,
+                   help="per-tenant token-bucket burst size (default 32)")
+    p.add_argument("--backends", default=",".join(DEFAULT_BACKENDS),
+                   help="comma-separated backend allowlist "
+                        f"(default {','.join(DEFAULT_BACKENDS)})")
+    p.add_argument("--max-body-mb", type=int, default=64,
+                   help="reject request bodies above this size "
+                        "(default 64 MB)")
+    p.add_argument("--max-records", type=int, default=10_000,
+                   help="terminal run records retained before "
+                        "oldest-first eviction (default 10000)")
+    p.add_argument("--import", dest="imports", action="append", default=[],
+                   metavar="MODULE",
+                   help="import MODULE at startup so submitted graphs "
+                        "can resolve custom kernels (repeatable)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request to stderr")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServeConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        tenant_in_flight=args.tenant_inflight,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        allowed_backends=tuple(
+            b.strip() for b in args.backends.split(",") if b.strip()
+        ),
+        max_body_bytes=args.max_body_mb * 1024 * 1024,
+        max_records=args.max_records,
+        imports=tuple(args.imports),
+    )
+    server = RunServer(GraphService(config), host=args.host,
+                       port=args.port, verbose=args.verbose)
+    print(f"repro.serve listening on {server.url} "
+          f"({config.workers} workers, queue depth "
+          f"{config.queue_depth}, backends: "
+          f"{', '.join(config.allowed_backends)})",
+          file=sys.stderr, flush=True)
+    server.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

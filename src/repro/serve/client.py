@@ -1,0 +1,129 @@
+"""Minimal stdlib client for a running ``repro.serve`` server.
+
+Used by the tests, the benchmark, and handy from a REPL::
+
+    from repro.serve import ServeClient
+    c = ServeClient("127.0.0.1", 8642, tenant="alice")
+    rid = c.submit({"app": "bitonic", "inputs": [data], "trace": True})
+    rec = c.wait(rid)
+    sinks = c.decode_outputs(rec)
+
+Only ``http.client`` + ``json`` — no sockets held between calls, so one
+client object is safe to share across threads (each request opens its
+own connection).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from ..errors import CgsimError
+from .wire import decode_value, encode_value
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(CgsimError):
+    """Non-2xx response from the server."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after_s: float = 0.0):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Talk to one server as one tenant."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
+                 tenant: str = "default", timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- raw request -------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = None
+            headers = {"X-Tenant": self.tenant}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                doc = json.loads(raw) if raw else {}
+            except ValueError:
+                doc = {"error": raw.decode("utf-8", "replace")}
+            if resp.status >= 400:
+                retry_after = float(resp.getheader("Retry-After") or 0.0)
+                raise ServeClientError(
+                    resp.status, doc.get("error", "request failed"),
+                    retry_after_s=retry_after,
+                )
+            return doc
+        finally:
+            conn.close()
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> bool:
+        return bool(self.request("GET", "/healthz").get("ok"))
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("GET", "/metrics")
+
+    def submit(self, submission: Dict[str, Any], *,
+               encode_inputs: bool = True) -> str:
+        """POST a run; returns the run id.  ``inputs`` entries may be
+        numpy arrays / complex scalars — they are wire-encoded here."""
+        doc = dict(submission)
+        if encode_inputs and "inputs" in doc:
+            doc["inputs"] = [encode_value(v) for v in doc["inputs"]]
+        return self.request("POST", "/runs", body=doc)["id"]
+
+    def get_run(self, run_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/runs/{run_id}")
+
+    def list_runs(self, *, tenant: Optional[str] = None,
+                  limit: int = 200) -> List[Dict[str, Any]]:
+        path = f"/runs?limit={limit}"
+        if tenant is not None:
+            path += f"&tenant={tenant}"
+        return self.request("GET", path)["runs"]
+
+    def trace(self, run_id: str) -> Dict[str, Any]:
+        """The Chrome-trace document of a traced, finished run."""
+        return self.request("GET", f"/runs/{run_id}/trace")
+
+    def wait(self, run_id: str, *, timeout: float = 60.0,
+             poll_s: float = 0.02) -> Dict[str, Any]:
+        """Poll until the run reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            rec = self.get_run(run_id)
+            if rec["state"] not in ("queued", "running"):
+                return rec
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"run {run_id} still {rec['state']} after {timeout}s"
+                )
+            time.sleep(poll_s)
+
+    @staticmethod
+    def decode_outputs(record: Dict[str, Any]) -> Optional[List[Any]]:
+        """Decode a finished record's sink values back to numpy/python."""
+        outputs = record.get("outputs")
+        if outputs is None:
+            return None
+        return [decode_value(v) for v in outputs]

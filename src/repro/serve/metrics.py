@@ -1,0 +1,211 @@
+"""Live service metrics: what ``GET /metrics`` reports.
+
+One lock-guarded accumulator fed by the scheduler and the run executor:
+
+* run counters (submitted / admitted / rejected-by-queue /
+  rejected-by-quota / completed / failed / errored) plus the same split
+  per tenant and per graph;
+* an exact in-flight gauge (queued + running);
+* a fixed-bucket log2 **latency histogram** over submit→finish wall
+  time, with streaming p50/p90/p99 estimates read from the buckets;
+* the shared compiled-plan cache's hit/miss/eviction counters
+  (:func:`repro.exec.plan_cache_stats`) and the derived hit rate —
+  the cross-request artifact-sharing signal;
+* an aggregate of every traced run's
+  :class:`~repro.observe.TraceMetrics` (via
+  :func:`repro.observe.merge_metrics`): total kernel busy/blocked
+  seconds and queue transfer counts across the whole service lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+
+class LatencyHistogram:
+    """Log2-bucketed latency histogram (seconds), 1 ms .. ~17 min.
+
+    Bucket *i* holds latencies in ``[2**i, 2**(i+1)) ms``; an underflow
+    bucket catches sub-millisecond runs.  Percentiles interpolate within
+    the winning bucket — coarse but monotone, O(1) memory, no samples
+    retained.
+    """
+
+    N_BUCKETS = 21          # 1ms * 2**20 ≈ 17.5 min
+
+    def __init__(self):
+        self.counts: List[int] = [0] * (self.N_BUCKETS + 1)
+        self.total = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        ms = seconds * 1e3
+        idx = 0
+        if ms >= 1.0:
+            b = int(ms).bit_length()        # [2**(b-1), 2**b) ms
+            idx = min(b, self.N_BUCKETS)
+        self.counts[idx] += 1
+        self.total += 1
+        self.sum_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-quantile in seconds (p in [0, 100])."""
+        if self.total == 0:
+            return 0.0
+        target = max(1, int(round(self.total * p / 100.0)))
+        seen = 0
+        for idx, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= target:
+                if idx == 0:
+                    lo_ms, hi_ms = 0.0, 1.0
+                else:
+                    lo_ms, hi_ms = float(2 ** (idx - 1)), float(2 ** idx)
+                frac = (target - seen) / n
+                return (lo_ms + (hi_ms - lo_ms) * frac) / 1e3
+            seen += n
+        return self.max_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "mean_s": self.sum_s / self.total if self.total else 0.0,
+            "max_s": self.max_s,
+            "p50_s": self.percentile(50),
+            "p90_s": self.percentile(90),
+            "p99_s": self.percentile(99),
+            "buckets_ms": {
+                ("<1" if i == 0 else f"<{2 ** i}"): n
+                for i, n in enumerate(self.counts) if n
+            },
+        }
+
+
+_COUNTER_KEYS = ("submitted", "admitted", "rejected_queue",
+                 "rejected_quota", "completed", "failed", "stalled",
+                 "errors")
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency histogram + observe aggregation."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {k: 0 for k in _COUNTER_KEYS}
+        self._per_tenant: Dict[str, Dict[str, int]] = {}
+        self._per_graph: Dict[str, Dict[str, int]] = {}
+        self._in_flight = 0
+        self.latency = LatencyHistogram()
+        self._trace_metrics: List[Any] = []
+        self._traced_runs = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def _bump(self, table: Dict[str, Dict[str, int]], key: str,
+              counter: str) -> None:
+        row = table.get(key)
+        if row is None:
+            row = table[key] = {}
+        row[counter] = row.get(counter, 0) + 1
+
+    def count(self, counter: str, *, tenant: str = "",
+              graph: str = "") -> None:
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + 1
+            if tenant:
+                self._bump(self._per_tenant, tenant, counter)
+            if graph:
+                self._bump(self._per_graph, graph, counter)
+
+    def run_admitted(self, tenant: str, graph: str) -> None:
+        with self._lock:
+            self._counters["admitted"] += 1
+            self._in_flight += 1
+            self._bump(self._per_tenant, tenant, "admitted")
+            self._bump(self._per_graph, graph, "admitted")
+
+    def run_finished(self, tenant: str, graph: str, state: str,
+                     latency_s: float,
+                     trace_metrics: Any = None) -> None:
+        counter = {"ok": "completed", "failed": "failed",
+                   "stalled": "stalled"}.get(state, "errors")
+        with self._lock:
+            self._counters[counter] += 1
+            self._in_flight = max(0, self._in_flight - 1)
+            self._bump(self._per_tenant, tenant, counter)
+            self._bump(self._per_graph, graph, counter)
+            self.latency.record(latency_s)
+            if trace_metrics is not None:
+                self._traced_runs += 1
+                self._trace_metrics.append(trace_metrics)
+                # Bound memory: collapse pairwise once the buffer grows.
+                if len(self._trace_metrics) > 64:
+                    from ..observe import merge_metrics
+
+                    merged = merge_metrics(self._trace_metrics)
+                    self._trace_metrics = [merged]
+
+    # -- snapshot ----------------------------------------------------------
+
+    def snapshot(self, *, quotas: Optional[Dict[str, Any]] = None,
+                 registry_counts: Optional[Dict[str, int]] = None,
+                 queue_depth: int = 0,
+                 workers: int = 0) -> Dict[str, Any]:
+        """The full ``/metrics`` JSON document."""
+        from ..exec import plan_cache_stats
+        from ..observe import merge_metrics
+
+        cache = plan_cache_stats()
+        lookups = cache["hits"] + cache["misses"]
+        with self._lock:
+            observe_agg = None
+            if self._trace_metrics:
+                merged = merge_metrics(self._trace_metrics)
+                observe_agg = {
+                    "traced_runs": self._traced_runs,
+                    "n_events": merged.n_events,
+                    "wall_s": merged.wall_s,
+                    "busy_s": sum(k.busy_s for k in merged.kernels.values()),
+                    "blocked_s": sum(
+                        k.blocked_s for k in merged.kernels.values()
+                    ),
+                    "queue_puts": sum(
+                        q.puts for q in merged.queues.values()
+                    ),
+                    "queue_gets": sum(
+                        q.gets for q in merged.queues.values()
+                    ),
+                }
+            doc: Dict[str, Any] = {
+                "runs": dict(self._counters),
+                "in_flight": self._in_flight,
+                "queue_depth": queue_depth,
+                "workers": workers,
+                "latency": self.latency.to_dict(),
+                "plan_cache": {
+                    **cache,
+                    "hit_rate": cache["hits"] / lookups if lookups else 0.0,
+                },
+                "tenants": {
+                    name: dict(row)
+                    for name, row in sorted(self._per_tenant.items())
+                },
+                "graphs": {
+                    name: dict(row)
+                    for name, row in sorted(self._per_graph.items())
+                },
+                "observe": observe_agg,
+            }
+        if quotas is not None:
+            for name, row in quotas.items():
+                doc["tenants"].setdefault(name, {}).update(row)
+        if registry_counts is not None:
+            doc["registry"] = registry_counts
+        return doc

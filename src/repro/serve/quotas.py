@@ -1,0 +1,155 @@
+"""Per-tenant admission quotas: token-bucket submit rate + in-flight cap.
+
+Tenancy is declared by the ``X-Tenant`` request header (absent →
+``"default"``).  Each tenant gets an independent token bucket (sustained
+``rate`` submissions/second with ``burst`` headroom) and an independent
+cap on concurrently admitted runs.  Both are enforced *at admission*, so
+one tenant hammering ``POST /runs`` can neither starve the worker pool
+nor grow the pending queue past its own allowance — other tenants'
+submissions keep flowing.
+
+All state is guarded by one lock; the hot path is a couple of float ops.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import monotonic
+from typing import Callable, Dict, Optional
+
+__all__ = ["QuotaDecision", "TokenBucket", "QuotaManager"]
+
+
+class QuotaDecision:
+    """Outcome of one admission check."""
+
+    __slots__ = ("allowed", "reason", "retry_after_s")
+
+    def __init__(self, allowed: bool, reason: str = "",
+                 retry_after_s: float = 0.0):
+        self.allowed = allowed
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+    def __bool__(self):
+        return self.allowed
+
+    def __repr__(self):
+        return (f"<QuotaDecision {'allow' if self.allowed else 'deny'}"
+                f"{f' ({self.reason})' if self.reason else ''}>")
+
+
+class TokenBucket:
+    """Classic token bucket: *rate* tokens/second, capacity *burst*.
+
+    Not thread-safe on its own — the :class:`QuotaManager` lock covers
+    it.  ``rate <= 0`` disables rate limiting (always allows).
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float,
+                 now: Optional[float] = None):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = monotonic() if now is None else now
+
+    def try_acquire(self, now: Optional[float] = None) -> float:
+        """Take one token.  Returns 0.0 on success, else the seconds
+        until a token becomes available."""
+        if self.rate <= 0.0:
+            return 0.0
+        t = monotonic() if now is None else now
+        self.tokens = min(self.burst,
+                          self.tokens + (t - self.stamp) * self.rate)
+        self.stamp = t
+        # Small epsilon so refill arithmetic dust never denies a token
+        # that rate * elapsed nominally granted.
+        if self.tokens >= 1.0 - 1e-9:
+            self.tokens = max(0.0, self.tokens - 1.0)
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class _TenantState:
+    __slots__ = ("bucket", "in_flight", "admitted", "denied")
+
+    def __init__(self, rate: float, burst: float):
+        self.bucket = TokenBucket(rate, burst)
+        self.in_flight = 0
+        self.admitted = 0
+        self.denied = 0
+
+
+class QuotaManager:
+    """Admission control keyed by tenant name.
+
+    Parameters
+    ----------
+    max_in_flight:
+        Per-tenant cap on runs admitted but not yet finished
+        (``0`` disables the cap).
+    rate / burst:
+        Token-bucket submit rate per tenant (``rate <= 0`` disables).
+    """
+
+    def __init__(self, *, max_in_flight: int = 8, rate: float = 0.0,
+                 burst: float = 16.0,
+                 clock: Callable[[], float] = monotonic):
+        self.max_in_flight = int(max_in_flight)
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _TenantState] = {}
+
+    def _state(self, tenant: str) -> _TenantState:
+        st = self._tenants.get(tenant)
+        if st is None:
+            st = self._tenants[tenant] = _TenantState(self.rate, self.burst)
+        return st
+
+    def admit(self, tenant: str) -> QuotaDecision:
+        """Check (and on success consume) this tenant's allowance.
+        A granted admission must be paired with :meth:`release`."""
+        with self._lock:
+            st = self._state(tenant)
+            if self.max_in_flight > 0 and st.in_flight >= self.max_in_flight:
+                st.denied += 1
+                return QuotaDecision(
+                    False,
+                    f"tenant {tenant!r} at max in-flight runs "
+                    f"({self.max_in_flight})",
+                )
+            wait = st.bucket.try_acquire(self._clock())
+            if wait > 0.0:
+                st.denied += 1
+                return QuotaDecision(
+                    False,
+                    f"tenant {tenant!r} over submit rate "
+                    f"({self.rate:g}/s, burst {self.burst:g})",
+                    retry_after_s=wait,
+                )
+            st.in_flight += 1
+            st.admitted += 1
+            return QuotaDecision(True)
+
+    def release(self, tenant: str) -> None:
+        """A previously admitted run finished (any outcome)."""
+        with self._lock:
+            st = self._tenants.get(tenant)
+            if st is not None and st.in_flight > 0:
+                st.in_flight -= 1
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant counters for ``/metrics``."""
+        with self._lock:
+            return {
+                name: {
+                    "in_flight": st.in_flight,
+                    "admitted": st.admitted,
+                    "denied": st.denied,
+                }
+                for name, st in sorted(self._tenants.items())
+            }

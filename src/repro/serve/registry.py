@@ -1,0 +1,190 @@
+"""The run registry: every submission's lifecycle record.
+
+A :class:`RunRecord` moves through ``queued -> running ->
+ok|failed|stalled|error`` (plus ``rejected`` for admission denials that
+the server chose to record).  The registry is the single source of truth
+behind ``GET /runs`` and ``GET /runs/<id>``; finished records are
+retained up to a cap and then evicted oldest-first, so a long-lived
+server holds bounded state no matter how many runs it has served.
+
+``error`` is distinct from ``failed``: *failed* means the run executed
+and returned a contained :class:`~repro.faults.FailureReport` (the
+tenant's kernel raised under ``on_error="isolate"``); *error* means the
+service could not execute the run at all (bad option combination, an
+uncontained raise).  Both carry structured JSON detail.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RunRecord", "RunRegistry", "TERMINAL_STATES"]
+
+#: States a record can no longer leave.
+TERMINAL_STATES = frozenset({"ok", "failed", "stalled", "error"})
+
+
+@dataclass
+class RunRecord:
+    """One submitted run's full lifecycle."""
+
+    run_id: str
+    tenant: str
+    graph_name: str
+    backend: str
+    state: str = "queued"
+    label: str = ""
+    submitted_ts: float = 0.0
+    started_ts: Optional[float] = None
+    finished_ts: Optional[float] = None
+    #: RunResult.to_json() dict once the run finished.
+    result_wire: Optional[Dict[str, Any]] = None
+    #: Encoded sink values (when the submission asked for them).
+    outputs_wire: Optional[List[Any]] = None
+    #: Service-level error summary for state "error".
+    error: Optional[Dict[str, Any]] = None
+    #: Retained observe events (trace=true submissions only).
+    trace_events: Optional[List[Any]] = None
+    #: Per-run TraceMetrics (trace=true submissions only).
+    trace_metrics: Any = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.finished_ts is None:
+            return None
+        return self.finished_ts - self.submitted_ts
+
+    def to_wire(self, *, include_result: bool = True) -> Dict[str, Any]:
+        """The ``GET /runs/<id>`` JSON body."""
+        d: Dict[str, Any] = {
+            "id": self.run_id,
+            "tenant": self.tenant,
+            "graph": self.graph_name,
+            "backend": self.backend,
+            "state": self.state,
+            "label": self.label,
+            "submitted_ts": self.submitted_ts,
+            "started_ts": self.started_ts,
+            "finished_ts": self.finished_ts,
+            "latency_s": self.latency_s,
+            "options": self.options,
+            "traced": self.trace_events is not None,
+        }
+        if include_result:
+            d["result"] = self.result_wire
+            d["outputs"] = self.outputs_wire
+            d["error"] = self.error
+        return d
+
+
+class RunRegistry:
+    """Thread-safe id -> :class:`RunRecord` store with bounded retention."""
+
+    def __init__(self, *, max_records: int = 10_000,
+                 clock=time.time):
+        self._lock = threading.RLock()
+        self._records: "Dict[str, RunRecord]" = {}
+        self._order: List[str] = []          # insertion order for eviction
+        self._counter = itertools.count(1)
+        self.max_records = max_records
+        self._clock = clock
+        self.evicted = 0
+
+    def create(self, *, tenant: str, graph_name: str, backend: str,
+               label: str = "",
+               options: Optional[Dict[str, Any]] = None) -> RunRecord:
+        with self._lock:
+            run_id = f"r{next(self._counter):08d}"
+            rec = RunRecord(
+                run_id=run_id, tenant=tenant, graph_name=graph_name,
+                backend=backend, label=label,
+                submitted_ts=self._clock(),
+                options=dict(options or {}),
+            )
+            self._records[run_id] = rec
+            self._order.append(run_id)
+            self._evict_locked()
+            return rec
+
+    def _evict_locked(self) -> None:
+        # Only terminal records are eligible; queued/running runs are
+        # never dropped, however many there are.
+        while len(self._records) > self.max_records:
+            for i, rid in enumerate(self._order):
+                rec = self._records.get(rid)
+                if rec is None or rec.state in TERMINAL_STATES:
+                    del self._order[i]
+                    if rec is not None:
+                        del self._records[rid]
+                        self.evicted += 1
+                    break
+            else:
+                return      # everything live; let the map grow
+
+    def get(self, run_id: str) -> Optional[RunRecord]:
+        with self._lock:
+            return self._records.get(run_id)
+
+    def drop(self, run_id: str) -> None:
+        """Remove a record that never made it into the scheduler (the
+        admission-rejected rollback path)."""
+        with self._lock:
+            if self._records.pop(run_id, None) is not None:
+                try:
+                    self._order.remove(run_id)
+                except ValueError:  # pragma: no cover - kept consistent
+                    pass
+
+    def mark_running(self, run_id: str) -> None:
+        with self._lock:
+            rec = self._records[run_id]
+            rec.state = "running"
+            rec.started_ts = self._clock()
+
+    def finish(self, run_id: str, state: str, **fields: Any) -> RunRecord:
+        """Transition to a terminal *state*, stamping ``finished_ts`` and
+        attaching any result fields (``result_wire``, ``outputs_wire``,
+        ``error``, ``trace_events``, ``trace_metrics``)."""
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"not a terminal state: {state!r}")
+        with self._lock:
+            rec = self._records[run_id]
+            rec.state = state
+            rec.finished_ts = self._clock()
+            for key, value in fields.items():
+                setattr(rec, key, value)
+            return rec
+
+    def list(self, *, tenant: Optional[str] = None,
+             limit: int = 200) -> List[Dict[str, Any]]:
+        """Newest-first summaries for ``GET /runs``."""
+        with self._lock:
+            out = []
+            for rid in reversed(self._order):
+                rec = self._records.get(rid)
+                if rec is None:
+                    continue
+                if tenant is not None and rec.tenant != tenant:
+                    continue
+                out.append(rec.to_wire(include_result=False))
+                if len(out) >= limit:
+                    break
+            return out
+
+    def counts(self) -> Dict[str, int]:
+        """State -> record count (for ``/metrics``)."""
+        with self._lock:
+            out: Dict[str, int] = {}
+            for rec in self._records.values():
+                out[rec.state] = out.get(rec.state, 0) + 1
+            out["evicted"] = self.evicted
+            return out
+
+    def __len__(self):
+        with self._lock:
+            return len(self._records)

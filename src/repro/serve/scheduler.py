@@ -1,0 +1,115 @@
+"""Bounded worker pool with admission control.
+
+The scheduler is deliberately dumb: a fixed thread pool draining one
+bounded FIFO of run jobs.  *Admission control* is the bound — when the
+pending queue is full the submit fails immediately with
+:class:`AdmissionError` (the server maps it to HTTP 429) instead of
+letting latency grow without bound.  Fairness across tenants is the
+:class:`~repro.serve.quotas.QuotaManager`'s job and happens before a
+job ever reaches this queue.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, List, Optional
+
+from ..errors import CgsimError
+
+__all__ = ["AdmissionError", "RunScheduler"]
+
+
+class AdmissionError(CgsimError):
+    """The service refused to take on the run (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.status = 429
+        self.retry_after_s = retry_after_s
+
+
+_STOP = object()
+
+
+class RunScheduler:
+    """*workers* daemon threads draining a queue of at most
+    *queue_depth* pending jobs.
+
+    Jobs are zero-argument callables that own their entire error
+    handling — a job that raises is a service bug, logged to the
+    ``crashed`` counter rather than taking a worker down.
+    """
+
+    def __init__(self, *, workers: int = 4, queue_depth: int = 64):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+        self.crashed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for i in range(self.workers):
+            t = threading.Thread(target=self._worker, daemon=True,
+                                 name=f"serve-worker-{i}")
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, *, wait: bool = True,
+             timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting work and shut the pool down.  Pending jobs
+        ahead of the stop markers still run."""
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._stopped = True
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        if wait:
+            for t in self._threads:
+                t.join(timeout=timeout)
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                return
+            try:
+                job()
+            except BaseException:
+                self.crashed += 1
+            finally:
+                self._queue.task_done()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, job: Callable[[], None]) -> None:
+        """Enqueue *job* or raise :class:`AdmissionError` if the service
+        is saturated."""
+        if self._stopped:
+            raise AdmissionError("server is shutting down")
+        if not self._started:
+            self.start()
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise AdmissionError(
+                f"pending-run queue full ({self.queue_depth} deep); "
+                f"retry later"
+            ) from None
+
+    @property
+    def pending(self) -> int:
+        """Jobs enqueued but not yet picked up by a worker."""
+        return self._queue.qsize()

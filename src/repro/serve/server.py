@@ -1,0 +1,227 @@
+"""HTTP front end: stdlib ``ThreadingHTTPServer`` over a GraphService.
+
+Endpoints (all JSON; tenancy via the ``X-Tenant`` header, default
+``"default"``):
+
+=========================  ==============================================
+``POST /runs``             submit a run (wire schema:
+                           :mod:`repro.serve.wire`); 202 + run id, 400
+                           malformed, 404 unknown app, 413 oversized,
+                           429 quota/queue rejection (with Retry-After)
+``GET /runs``              newest-first run summaries
+                           (``?tenant=``, ``?limit=``)
+``GET /runs/<id>``         full run record incl. ``RunResult.to_json()``
+                           and encoded sink values once finished
+``GET /runs/<id>/trace``   Chrome-trace JSON (Perfetto-loadable) for
+                           runs submitted with ``trace=true``
+``GET /metrics``           live service metrics (run counters, latency
+                           histogram, plan-cache hit rate, per-tenant
+                           counters, aggregated observe totals)
+``GET /healthz``           liveness probe
+=========================  ==============================================
+
+Request handling threads only parse/serve JSON; graph execution happens
+on the service's own bounded worker pool, so a slow run never pins an
+HTTP thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .scheduler import AdmissionError
+from .service import GraphService, ServeConfig
+from .wire import WireError
+
+__all__ = ["RunServer", "create_server"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; ``self.server.service`` is the GraphService."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def service(self) -> GraphService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, doc: Any,
+                   extra_headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str,
+               extra_headers: Optional[Dict[str, str]] = None) -> None:
+        self._send_json(status, {"error": message}, extra_headers)
+
+    def _tenant(self) -> str:
+        return self.headers.get("X-Tenant", "default").strip() or "default"
+
+    def _route(self) -> Tuple[str, Dict[str, str]]:
+        parts = urlsplit(self.path)
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        return parts.path.rstrip("/") or "/", query
+
+    # -- GET ---------------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        path, query = self._route()
+        try:
+            if path == "/healthz":
+                self._send_json(200, {"ok": True})
+            elif path == "/metrics":
+                self._send_json(200, self.service.metrics_document())
+            elif path == "/runs":
+                limit = min(int(query.get("limit", 200)), 1000)
+                self._send_json(200, {"runs": self.service.registry.list(
+                    tenant=query.get("tenant"), limit=limit,
+                )})
+            elif path.startswith("/runs/") and path.endswith("/trace"):
+                run_id = path[len("/runs/"):-len("/trace")]
+                doc = self.service.trace_document(run_id)
+                if doc is None:
+                    self._error(404, f"unknown run {run_id!r}")
+                else:
+                    self._send_json(200, doc, {
+                        "Content-Disposition":
+                            f'attachment; filename="{run_id}.trace.json"',
+                    })
+            elif path.startswith("/runs/"):
+                run_id = path[len("/runs/"):]
+                doc = self.service.run_wire(run_id)
+                if doc is None:
+                    self._error(404, f"unknown run {run_id!r}")
+                else:
+                    self._send_json(200, doc)
+            else:
+                self._error(404, f"no such endpoint: GET {path}")
+        except WireError as exc:
+            self._error(exc.status, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    # -- POST --------------------------------------------------------------
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        path, _query = self._route()
+        if path != "/runs":
+            self._error(404, f"no such endpoint: POST {path}")
+            return
+        service = self.service
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        if length <= 0:
+            self._error(400, "POST /runs needs a JSON body")
+            return
+        if length > service.config.max_body_bytes:
+            self._error(413, f"payload of {length} bytes exceeds the "
+                             f"{service.config.max_body_bytes}-byte limit")
+            return
+        body = self.rfile.read(length)
+        try:
+            record = service.submit(self._tenant(), body)
+        except AdmissionError as exc:
+            headers = {}
+            if exc.retry_after_s > 0.0:
+                headers["Retry-After"] = f"{exc.retry_after_s:.3f}"
+            self._error(429, str(exc), headers)
+        except WireError as exc:
+            self._error(exc.status, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"{type(exc).__name__}: {exc}")
+        else:
+            self._send_json(202, {
+                "id": record.run_id,
+                "state": record.state,
+                "url": f"/runs/{record.run_id}",
+            })
+
+
+class RunServer:
+    """Socket lifecycle around a :class:`GraphService`.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    :attr:`port` after construction.  ``start()`` serves on a daemon
+    thread; ``serve_forever()`` serves on the calling thread (the CLI).
+    """
+
+    def __init__(self, service: Optional[GraphService] = None, *,
+                 host: str = "127.0.0.1", port: int = 8642,
+                 verbose: bool = False):
+        self.service = service or GraphService()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose       # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "RunServer":
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True,
+            name="serve-http",
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.service.start()
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self.service.stop()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "RunServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def create_server(*, host: str = "127.0.0.1", port: int = 8642,
+                  config: Optional[ServeConfig] = None,
+                  verbose: bool = False) -> RunServer:
+    """Build a :class:`RunServer` over a fresh service."""
+    return RunServer(GraphService(config), host=host, port=port,
+                     verbose=verbose)

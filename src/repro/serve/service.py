@@ -1,0 +1,236 @@
+"""The graph-as-a-service core, independent of HTTP plumbing.
+
+:class:`GraphService` ties the pieces together: wire parsing →
+per-tenant quota check → bounded-scheduler admission → concurrent
+``run_graph`` execution on the worker pool → run registry + metrics.
+The HTTP layer (:mod:`repro.serve.server`) is a thin JSON shim over
+this object, so tests and benchmarks can also drive the service
+in-process without sockets.
+
+Failure isolation is structural: every run executes under
+``on_error="isolate"`` by default (a tenant's crashing kernel produces a
+contained :class:`~repro.faults.FailureReport`, not a worker death), a
+raise that escapes ``run_graph`` is caught per job and recorded as a
+structured ``error`` on the run record, and the compiled-plan cache is
+shared across all submissions — repeat structures skip recompilation
+process-wide (see ``plan_cache`` in the ``/metrics`` document).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import ServiceMetrics
+from .quotas import QuotaManager
+from .registry import RunRecord, RunRegistry
+from .scheduler import AdmissionError, RunScheduler
+from .wire import Submission, WireError, encode_value, parse_submission
+
+__all__ = ["ServeConfig", "GraphService", "default_apps"]
+
+#: Backends the service exposes by default.  ``cgsim-mp`` is excluded:
+#: forking worker processes from a multi-threaded server is unsafe.
+DEFAULT_BACKENDS = ("cgsim", "pysim", "x86sim")
+
+
+def default_apps() -> Dict[str, Any]:
+    """The four paper apps as served named graphs."""
+    from ..apps import bilinear, bitonic, farrow, iir
+
+    return {
+        "bitonic": bitonic.BITONIC_GRAPH,
+        "farrow": farrow.FARROW_GRAPH,
+        "iir": iir.IIR_GRAPH,
+        "bilinear": bilinear.BILINEAR_GRAPH,
+    }
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one service instance (CLI flags mirror these)."""
+
+    workers: int = 4
+    queue_depth: int = 64
+    #: Per-tenant cap on admitted-but-unfinished runs (0 = off).
+    tenant_in_flight: int = 16
+    #: Per-tenant sustained submissions/second (0 = off) and burst.
+    tenant_rate: float = 0.0
+    tenant_burst: float = 32.0
+    allowed_backends: Tuple[str, ...] = DEFAULT_BACKENDS
+    default_on_error: str = "isolate"
+    #: Reject request bodies larger than this many bytes.
+    max_body_bytes: int = 64 * 1024 * 1024
+    #: Terminal run records retained before oldest-first eviction.
+    max_records: int = 10_000
+    #: Named graphs served under submission field "app"; ``None`` means
+    #: :func:`default_apps`.
+    apps: Optional[Dict[str, Any]] = None
+    #: Extra modules imported at startup so submitted serialized graphs
+    #: can resolve their kernel registry keys.
+    imports: Tuple[str, ...] = ()
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class GraphService:
+    """One multi-tenant run service (no sockets; see ``server.py``)."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        for mod in self.config.imports:
+            __import__(mod)
+        self.apps = (default_apps() if self.config.apps is None
+                     else dict(self.config.apps))
+        self.registry = RunRegistry(max_records=self.config.max_records)
+        self.quotas = QuotaManager(
+            max_in_flight=self.config.tenant_in_flight,
+            rate=self.config.tenant_rate,
+            burst=self.config.tenant_burst,
+        )
+        self.scheduler = RunScheduler(
+            workers=self.config.workers,
+            queue_depth=self.config.queue_depth,
+        )
+        self.metrics = ServiceMetrics()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self.scheduler.start()
+
+    def stop(self) -> None:
+        self.scheduler.stop()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, tenant: str, body: bytes) -> RunRecord:
+        """Parse, admit, and enqueue one run.
+
+        Raises :class:`~repro.serve.wire.WireError` on malformed
+        payloads (HTTP 400-family) and
+        :class:`~repro.serve.scheduler.AdmissionError` when quotas or
+        the queue bound reject the run (HTTP 429).
+        """
+        self.metrics.count("submitted", tenant=tenant)
+        sub = parse_submission(
+            body,
+            apps=self.apps,
+            allowed_backends=self.config.allowed_backends,
+            default_on_error=self.config.default_on_error,
+            max_body=self.config.max_body_bytes,
+        )
+        decision = self.quotas.admit(tenant)
+        if not decision:
+            self.metrics.count("rejected_quota", tenant=tenant,
+                               graph=sub.graph_name)
+            raise AdmissionError(decision.reason,
+                                 retry_after_s=decision.retry_after_s)
+        record = self.registry.create(
+            tenant=tenant, graph_name=sub.graph_name, backend=sub.backend,
+            label=sub.label, options=sub.raw_options,
+        )
+        try:
+            self.scheduler.submit(lambda: self._execute(record, sub))
+        except AdmissionError:
+            self.quotas.release(tenant)
+            self.registry.drop(record.run_id)
+            self.metrics.count("rejected_queue", tenant=tenant,
+                               graph=sub.graph_name)
+            raise
+        self.metrics.run_admitted(tenant, sub.graph_name)
+        return record
+
+    def submit_json(self, tenant: str, doc: Dict[str, Any]) -> RunRecord:
+        """In-process convenience: submit an already-built JSON object."""
+        import json
+
+        return self.submit(tenant, json.dumps(doc).encode("utf-8"))
+
+    # -- execution (worker threads) ---------------------------------------
+
+    def _execute(self, record: RunRecord, sub: Submission) -> None:
+        from ..exec import run_graph
+
+        self.registry.mark_running(record.run_id)
+        sinks: List[Any] = [[] for _ in range(sub.n_outputs)]
+        state = "error"
+        trace_metrics = None
+        try:
+            result = run_graph(
+                sub.graph, *sub.inputs, *sinks,
+                backend=sub.backend,
+                retry=sub.retry,
+                observe=True if sub.trace else None,
+                **sub.options,
+            )
+            state = result.status
+            outputs_wire = None
+            if sub.return_outputs:
+                outputs_wire = [encode_value(s) for s in sinks]
+            trace_events = None
+            if sub.trace and result.trace is not None:
+                trace_events = result.trace.events
+                trace_metrics = result.metrics
+            self.registry.finish(
+                record.run_id, state,
+                result_wire=result.to_json(),
+                outputs_wire=outputs_wire,
+                trace_events=trace_events,
+                trace_metrics=trace_metrics,
+            )
+        except BaseException as exc:
+            # Uncontained raise (bad option combo, strict deadlock,
+            # service bug): isolate it to this run record.
+            state = "error"
+            self.registry.finish(
+                record.run_id, "error",
+                error={
+                    "error_type": type(exc).__name__,
+                    "error": str(exc),
+                },
+            )
+        finally:
+            self.quotas.release(record.tenant)
+            finished = self.registry.get(record.run_id)
+            latency = (finished.latency_s
+                       if finished is not None and
+                       finished.latency_s is not None else 0.0)
+            self.metrics.run_finished(
+                record.tenant, record.graph_name, state, latency,
+                trace_metrics=trace_metrics,
+            )
+
+    # -- read side ---------------------------------------------------------
+
+    def run_wire(self, run_id: str) -> Optional[Dict[str, Any]]:
+        rec = self.registry.get(run_id)
+        return None if rec is None else rec.to_wire()
+
+    def trace_document(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """Chrome-trace JSON for a traced, finished run (``None`` when
+        the run is unknown; :class:`WireError` when untraced/unfinished)."""
+        rec = self.registry.get(run_id)
+        if rec is None:
+            return None
+        if rec.state in ("queued", "running"):
+            raise WireError(
+                f"run {run_id} is still {rec.state}; trace is available "
+                f"once it finishes", status=409,
+            )
+        if rec.trace_events is None:
+            raise WireError(
+                f"run {run_id} was not submitted with trace=true",
+                status=404,
+            )
+        from ..observe import chrome_trace
+
+        return chrome_trace(rec.trace_events,
+                            process_name=f"{rec.graph_name} ({run_id})")
+
+    def metrics_document(self) -> Dict[str, Any]:
+        return self.metrics.snapshot(
+            quotas=self.quotas.snapshot(),
+            registry_counts=self.registry.counts(),
+            queue_depth=self.scheduler.pending,
+            workers=self.scheduler.workers,
+        )

@@ -1,0 +1,213 @@
+"""Concurrent ``run_graph`` safety: many threads, shared registries.
+
+The serve layer runs submissions on a thread pool against process-wide
+shared state (the compiled-plan cache, the resolve memo, the kernel
+registry).  These tests pin the contract that concurrent runs are
+bit-identical to sequential ones — mixed apps, mixed backends, and the
+optimize path with a warm shared plan cache.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps import bilinear, bitonic, datasets, farrow, iir
+from repro.exec import (
+    clear_plan_cache,
+    plan_cache_stats,
+    run_graph,
+)
+
+_FARROW_BLOCKS, _FARROW_MU = datasets.farrow_blocks(2)
+_BILINEAR_PX, _BILINEAR_FR = datasets.bilinear_blocks(2)
+
+APPS = {
+    "bitonic": (bitonic.BITONIC_GRAPH,
+                (datasets.bitonic_blocks(3).reshape(-1),)),
+    "farrow": (farrow.FARROW_GRAPH, (_FARROW_BLOCKS, int(_FARROW_MU))),
+    "iir": (iir.IIR_GRAPH, (datasets.iir_blocks(2),)),
+    "bilinear": (bilinear.BILINEAR_GRAPH,
+                 (_BILINEAR_PX.reshape(-1), _BILINEAR_FR.reshape(-1))),
+}
+
+
+def _run(app, backend="cgsim", **options):
+    graph, inputs = APPS[app]
+    sink: list = []
+    result = run_graph(graph, *inputs, sink, backend=backend, **options)
+    assert result.completed, f"{app}/{backend}: {result.failure}"
+    return sink
+
+
+def _assert_sinks_equal(got, want, ctx):
+    assert len(got) == len(want), ctx
+    for g, w in zip(got, want):
+        assert np.array_equal(np.asarray(g), np.asarray(w)), ctx
+
+
+def _fan_out(jobs):
+    """Run callables on their own threads; re-raise the first failure."""
+    errors = []
+
+    def wrap(fn):
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrap, args=(fn,)) for fn in jobs]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+        assert not t.is_alive(), "concurrent run wedged"
+    if errors:
+        raise errors[0]
+
+
+class TestConcurrentRunGraph:
+    def test_same_app_many_threads_bit_identical(self):
+        golden = _run("bitonic")
+        results = [None] * 8
+
+        def job(i):
+            return lambda: results.__setitem__(i, _run("bitonic"))
+
+        _fan_out([job(i) for i in range(8)])
+        for i, sink in enumerate(results):
+            _assert_sinks_equal(sink, golden, f"thread {i}")
+
+    def test_mixed_apps_and_backends(self):
+        mix = [("bitonic", "cgsim"), ("farrow", "cgsim"),
+               ("iir", "x86sim"), ("bilinear", "cgsim"),
+               ("bitonic", "x86sim"), ("iir", "cgsim")]
+        golden = {app: _run(app) for app in APPS}
+        results = [None] * len(mix)
+
+        def job(i, app, backend):
+            opts = {"timeout": 60.0} if backend == "x86sim" else {}
+            return lambda: results.__setitem__(
+                i, (app, _run(app, backend=backend, **opts)))
+
+        _fan_out([job(i, a, b) for i, (a, b) in enumerate(mix)])
+        for i, (app, sink) in enumerate(results):
+            _assert_sinks_equal(sink, golden[app], f"{mix[i]}")
+
+    def test_optimize_fuse_with_shared_warm_plan_cache(self):
+        clear_plan_cache()
+        golden = {app: _run(app) for app in APPS}
+        # Warm the cache sequentially: one miss per (graph, level).
+        for app in APPS:
+            _run(app, optimize="fuse")
+        warm = plan_cache_stats()
+        assert warm["misses"] >= len(APPS)
+
+        results = [None] * 12
+
+        def job(i, app):
+            return lambda: results.__setitem__(
+                i, (app, _run(app, optimize="fuse")))
+
+        apps = list(APPS) * 3
+        _fan_out([job(i, app) for i, app in enumerate(apps)])
+        for i, (app, sink) in enumerate(results):
+            _assert_sinks_equal(sink, golden[app], f"run {i} ({app})")
+
+        after = plan_cache_stats()
+        # Every concurrent optimized run hit the warm cache.
+        assert after["hits"] >= warm["hits"] + len(apps)
+        assert after["misses"] == warm["misses"]
+
+    def test_resolve_memo_single_winner_under_race(self):
+        """Racing resolve_graph on one SerializedGraph yields one IR."""
+        from repro.exec import resolve_graph
+
+        ser = bitonic.BITONIC_GRAPH.serialized
+        resolved = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def job(i):
+            def go():
+                barrier.wait(timeout=30)
+                resolved[i] = resolve_graph(ser)
+            return go
+
+        _fan_out([job(i) for i in range(8)])
+        assert all(r is resolved[0] for r in resolved)
+        assert resolved[0] is not None
+
+
+class TestPlanCacheLimit:
+    @pytest.fixture(autouse=True)
+    def _restore_limit(self):
+        from repro.exec import get_plan_cache_limit, set_plan_cache_limit
+
+        before = get_plan_cache_limit()
+        clear_plan_cache()
+        yield
+        set_plan_cache_limit(before)
+        clear_plan_cache()
+
+    def test_lru_eviction_at_cap(self):
+        from repro.exec import set_plan_cache_limit
+
+        set_plan_cache_limit(2)
+        base = plan_cache_stats()["evictions"]   # counter is cumulative
+        _run("bitonic", optimize="fuse")   # miss
+        _run("farrow", optimize="fuse")    # miss
+        _run("bitonic", optimize="fuse")   # hit (bitonic now MRU)
+        _run("iir", optimize="fuse")       # miss -> evicts farrow (LRU)
+        stats = plan_cache_stats()
+        assert stats["graphs"] == 2
+        assert stats["evictions"] == base + 1
+        assert stats["limit"] == 2
+        _run("bitonic", optimize="fuse")   # still cached
+        assert plan_cache_stats()["hits"] == stats["hits"] + 1
+        _run("farrow", optimize="fuse")    # evicted earlier -> miss again
+        assert plan_cache_stats()["misses"] == stats["misses"] + 1
+
+    def test_shrinking_limit_evicts_immediately(self):
+        from repro.exec import set_plan_cache_limit
+
+        set_plan_cache_limit(8)
+        base = plan_cache_stats()["evictions"]
+        for app in APPS:
+            _run(app, optimize="fuse")
+        assert plan_cache_stats()["graphs"] == len(APPS)
+        set_plan_cache_limit(1)
+        stats = plan_cache_stats()
+        assert stats["graphs"] == 1
+        assert stats["evictions"] == base + len(APPS) - 1
+
+    def test_zero_means_unbounded(self):
+        from repro.exec import set_plan_cache_limit
+
+        set_plan_cache_limit(0)
+        base = plan_cache_stats()["evictions"]
+        for app in APPS:
+            _run(app, optimize="fuse")
+        stats = plan_cache_stats()
+        assert stats["graphs"] == len(APPS)
+        assert stats["evictions"] == base
+        assert stats["limit"] == 0
+
+    def test_env_override(self, monkeypatch):
+        from repro.exec.plan_cache import DEFAULT_CACHE_LIMIT, _limit_from_env
+
+        monkeypatch.setenv("REPRO_PLAN_CACHE_LIMIT", "17")
+        assert _limit_from_env() == 17
+        monkeypatch.setenv("REPRO_PLAN_CACHE_LIMIT", "0")
+        assert _limit_from_env() == 0
+        monkeypatch.setenv("REPRO_PLAN_CACHE_LIMIT", "not-a-number")
+        assert _limit_from_env() == DEFAULT_CACHE_LIMIT
+        monkeypatch.delenv("REPRO_PLAN_CACHE_LIMIT")
+        assert _limit_from_env() == DEFAULT_CACHE_LIMIT
+
+    def test_invalid_limit_rejected(self):
+        from repro.exec import set_plan_cache_limit
+
+        with pytest.raises(ValueError):
+            set_plan_cache_limit(-1)

@@ -187,7 +187,9 @@ class TestPlanCache:
     def test_clear_plan_cache(self, fig4_graph):
         get_plan(fig4_graph, fig4_graph.graph, "fuse")
         clear_plan_cache()
-        assert plan_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+        stats = plan_cache_stats()
+        assert (stats["hits"], stats["misses"], stats["entries"],
+                stats["graphs"]) == (0, 0, 0, 0)
 
 
 class TestResolveMemo:
@@ -262,7 +264,8 @@ class TestKernelMutationRecompile:
         self._register_probe(3)  # same registry key, new behavior
         clear_resolve_cache()
         clear_plan_cache()
-        assert plan_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+        stats = plan_cache_stats()
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (0, 0, 0)
 
         assert resolve_graph(s) is not resolved_before
         out2 = []

@@ -1,0 +1,100 @@
+"""``RunResult.summary()`` / ``.to_json()``: stable, JSON-safe dicts."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.apps import bitonic, datasets, farrow
+from repro.exec import run_graph, summarize_sink
+from repro.faults import KernelFault, RetryPolicy
+
+_DATA = datasets.bitonic_blocks(3).reshape(-1)
+
+
+def _round_trip(doc):
+    """Through real JSON text and back; raises if anything non-JSON."""
+    return json.loads(json.dumps(doc))
+
+
+class TestSummarizeSink:
+    def test_list_of_arrays(self):
+        sink = [np.zeros((4, 8), dtype=np.float32)] * 3
+        s = summarize_sink(sink)
+        assert s == {"kind": "list", "len": 3,
+                     "element": {"kind": "ndarray", "dtype": "float32",
+                                 "shape": [4, 8]}}
+
+    def test_flat_scalar_list(self):
+        s = summarize_sink([1.0, 2.0])
+        assert s["kind"] == "list"
+        assert s["len"] == 2
+
+    def test_empty_list(self):
+        assert summarize_sink([]) == {"kind": "list", "len": 0}
+
+
+class TestRunResultJson:
+    def test_ok_run_round_trips(self):
+        sink: list = []
+        result = run_graph(bitonic.BITONIC_GRAPH, _DATA, sink)
+        doc = _round_trip(result.to_json())
+        assert doc["status"] == "ok"
+        assert doc["completed"] is True
+        assert doc["backend"] == "cgsim"
+        assert doc["graph"] == "bitonic"
+        assert doc["items_in"] == len(_DATA)
+        assert doc["items_out"] == len(sink)
+        assert doc["wall_time_s"] > 0.0
+        assert doc["failure"] is None
+        assert doc["sinks"][0]["kind"] == "list"
+        # summary() is a strict subset of to_json()
+        summary = _round_trip(result.summary())
+        for key, value in summary.items():
+            assert doc[key] == value
+
+    def test_failed_run_embeds_failure_report(self):
+        sink: list = []
+        result = run_graph(
+            bitonic.BITONIC_GRAPH, _DATA, sink, on_error="isolate",
+            faults=KernelFault("bitonic16_kernel_0", at_resume=1),
+        )
+        doc = _round_trip(result.to_json())
+        assert doc["status"] == "failed"
+        failure = doc["failure"]
+        assert failure["policy"] == "isolate"
+        assert failure["failing_task"] == "bitonic16_kernel_0"
+        assert failure["failures"][0]["injected"] is True
+        assert failure["failures"][0]["error_type"] == "InjectedFaultError"
+        assert isinstance(failure["sink_status"], dict)
+
+    def test_retry_attempts_recorded(self):
+        sink: list = []
+        result = run_graph(
+            bitonic.BITONIC_GRAPH, _DATA, sink, on_error="isolate",
+            retry=RetryPolicy(attempts=2),
+            faults=KernelFault("bitonic16_kernel_0", at_resume=1),
+        )
+        doc = _round_trip(result.to_json())
+        attempts = doc["attempts"]
+        assert len(attempts) == 2
+        assert all(a["outcome"] == "failed" for a in attempts)
+        assert [a["index"] for a in attempts] == [0, 1]
+
+    def test_rtp_input_app(self):
+        blocks, mu = datasets.farrow_blocks(2)
+        sink: list = []
+        result = run_graph(farrow.FARROW_GRAPH, blocks, int(mu), sink)
+        doc = _round_trip(result.to_json())
+        assert doc["status"] == "ok"
+        assert doc["sinks"][0]["element"]["dtype"] == "complex128"
+
+    def test_profile_fields_json_safe(self):
+        sink: list = []
+        result = run_graph(bitonic.BITONIC_GRAPH, _DATA, sink, profile=True)
+        doc = _round_trip(result.to_json())
+        # kernel_fraction is NaN-free on the wire (None when undefined).
+        kf = doc["kernel_fraction"]
+        assert kf is None or 0.0 <= kf <= 1.0
+        assert isinstance(doc["per_kernel_time"], dict)

@@ -1,0 +1,132 @@
+"""Run registry lifecycle, retention, and service metrics internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import RunRegistry, TERMINAL_STATES
+from repro.serve.metrics import LatencyHistogram, ServiceMetrics
+
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 1000.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+class TestRunRegistry:
+    def _reg(self, **kw):
+        return RunRegistry(clock=_FakeClock(), **kw)
+
+    def test_lifecycle(self):
+        reg = self._reg()
+        rec = reg.create(tenant="a", graph_name="g", backend="cgsim")
+        assert rec.state == "queued"
+        assert rec.run_id.startswith("r")
+        reg.mark_running(rec.run_id)
+        assert reg.get(rec.run_id).state == "running"
+        reg.finish(rec.run_id, "ok", result_wire={"status": "ok"})
+        got = reg.get(rec.run_id)
+        assert got.state == "ok"
+        assert got.latency_s == pytest.approx(2.0)
+        assert got.to_wire()["result"] == {"status": "ok"}
+
+    def test_non_terminal_finish_rejected(self):
+        reg = self._reg()
+        rec = reg.create(tenant="a", graph_name="g", backend="cgsim")
+        with pytest.raises(ValueError):
+            reg.finish(rec.run_id, "running")
+
+    def test_eviction_spares_live_runs(self):
+        reg = self._reg(max_records=3)
+        live = reg.create(tenant="a", graph_name="g", backend="cgsim")
+        done = [reg.create(tenant="a", graph_name="g", backend="cgsim")
+                for _ in range(3)]
+        for rec in done:
+            reg.finish(rec.run_id, "ok")
+        # One more insertion pushes over the cap: the oldest *terminal*
+        # records go until we're back at the cap; the still-queued one
+        # survives even though it is the oldest of all.
+        extra = reg.create(tenant="a", graph_name="g", backend="cgsim")
+        assert reg.get(live.run_id) is not None
+        assert reg.get(extra.run_id) is not None
+        assert reg.get(done[0].run_id) is None
+        assert reg.get(done[1].run_id) is None
+        assert len(reg) == 3
+        assert reg.evicted == 2
+        assert reg.counts()["evicted"] == 2
+
+    def test_drop_rollback(self):
+        reg = self._reg()
+        rec = reg.create(tenant="a", graph_name="g", backend="cgsim")
+        reg.drop(rec.run_id)
+        assert reg.get(rec.run_id) is None
+        assert len(reg) == 0
+        reg.drop("r-missing")      # idempotent
+
+    def test_list_newest_first_with_tenant_filter(self):
+        reg = self._reg()
+        reg.create(tenant="a", graph_name="g1", backend="cgsim")
+        reg.create(tenant="b", graph_name="g2", backend="cgsim")
+        reg.create(tenant="a", graph_name="g3", backend="cgsim")
+        rows = reg.list()
+        assert [r["graph"] for r in rows] == ["g3", "g2", "g1"]
+        assert "result" not in rows[0]
+        rows_a = reg.list(tenant="a")
+        assert [r["graph"] for r in rows_a] == ["g3", "g1"]
+        assert reg.list(limit=1)[0]["graph"] == "g3"
+
+    def test_terminal_states_frozen(self):
+        assert TERMINAL_STATES == {"ok", "failed", "stalled", "error"}
+
+
+class TestLatencyHistogram:
+    def test_percentiles_monotone(self):
+        h = LatencyHistogram()
+        for ms in (1, 2, 4, 8, 50, 120, 3000):
+            h.record(ms / 1e3)
+        d = h.to_dict()
+        assert d["total"] == 7
+        assert 0.0 < d["p50_s"] <= d["p90_s"] <= d["p99_s"]
+        assert d["max_s"] == pytest.approx(3.0)
+
+    def test_sub_millisecond_bucket(self):
+        h = LatencyHistogram()
+        h.record(0.0002)
+        assert h.counts[0] == 1
+        assert h.percentile(50) <= 0.001
+
+    def test_empty(self):
+        assert LatencyHistogram().percentile(99) == 0.0
+
+
+class TestServiceMetrics:
+    def test_counters_and_snapshot(self):
+        m = ServiceMetrics()
+        m.count("submitted", tenant="a", graph="g")
+        m.run_admitted("a", "g")
+        m.run_finished("a", "g", "ok", 0.01)
+        m.count("submitted", tenant="a", graph="g")
+        m.run_admitted("a", "g")
+        m.run_finished("a", "g", "failed", 0.02)
+        snap = m.snapshot(queue_depth=3, workers=2)
+        assert snap["runs"]["submitted"] == 2
+        assert snap["runs"]["completed"] == 1
+        assert snap["runs"]["failed"] == 1
+        assert snap["in_flight"] == 0
+        assert snap["queue_depth"] == 3
+        assert snap["workers"] == 2
+        assert snap["tenants"]["a"]["completed"] == 1
+        assert snap["graphs"]["g"]["failed"] == 1
+        assert snap["latency"]["total"] == 2
+        assert {"hits", "misses", "evictions", "hit_rate"} <= set(
+            snap["plan_cache"])
+
+    def test_error_state_maps_to_errors(self):
+        m = ServiceMetrics()
+        m.run_admitted("a", "g")
+        m.run_finished("a", "g", "error", 0.0)
+        assert m.snapshot()["runs"]["errors"] == 1

@@ -1,0 +1,276 @@
+"""End-to-end HTTP tests against a live ``repro.serve`` server.
+
+This module doubles as the CI smoke test: it starts a real
+ThreadingHTTPServer on an ephemeral port, submits the four paper apps
+concurrently from separate tenants (one with an injected kernel fault),
+and checks isolation, bit-identical outputs, quota rejections, trace
+download, and the ``/metrics`` document.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps import bilinear, bitonic, datasets, farrow, iir
+from repro.exec import run_graph
+from repro.serve import (
+    AdmissionError,
+    GraphService,
+    RunServer,
+    ServeClient,
+    ServeClientError,
+    ServeConfig,
+)
+
+_FARROW_BLOCKS, _FARROW_MU = datasets.farrow_blocks(2)
+_BILINEAR_PX, _BILINEAR_FR = datasets.bilinear_blocks(2)
+
+#: app name -> (graph carrier, positional inputs)
+APPS = {
+    "bitonic": (bitonic.BITONIC_GRAPH,
+                (datasets.bitonic_blocks(4).reshape(-1),)),
+    "farrow": (farrow.FARROW_GRAPH, (_FARROW_BLOCKS, int(_FARROW_MU))),
+    "iir": (iir.IIR_GRAPH, (datasets.iir_blocks(2),)),
+    "bilinear": (bilinear.BILINEAR_GRAPH,
+                 (_BILINEAR_PX.reshape(-1), _BILINEAR_FR.reshape(-1))),
+}
+
+
+def _golden(app):
+    """Sequential in-process reference sinks for one app."""
+    graph, inputs = APPS[app]
+    sink: list = []
+    run_graph(graph, *inputs, sink, backend="cgsim")
+    return sink
+
+
+def _assert_sinks_equal(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert np.array_equal(np.asarray(g), np.asarray(w)), \
+            "served sink differs from sequential golden run"
+
+
+@pytest.fixture(scope="module")
+def server():
+    cfg = ServeConfig(workers=4, queue_depth=64, tenant_in_flight=0)
+    with RunServer(GraphService(cfg), port=0) as srv:
+        yield srv
+
+
+def _client(server, tenant="default"):
+    return ServeClient(server.host, server.port, tenant=tenant)
+
+
+class TestBasics:
+    def test_health(self, server):
+        assert _client(server).health()
+
+    def test_submit_and_bit_identical_outputs(self, server):
+        c = _client(server, tenant="basics")
+        rid = c.submit({"app": "bitonic",
+                        "inputs": [APPS["bitonic"][1][0]]})
+        rec = c.wait(rid)
+        assert rec["state"] == "ok"
+        assert rec["tenant"] == "basics"
+        assert rec["result"]["status"] == "ok"
+        assert rec["result"]["items_out"] > 0
+        _assert_sinks_equal(c.decode_outputs(rec)[0], _golden("bitonic"))
+
+    def test_unknown_run_404(self, server):
+        with pytest.raises(ServeClientError) as ei:
+            _client(server).get_run("r99999999")
+        assert ei.value.status == 404
+
+    def test_unknown_endpoint_404(self, server):
+        with pytest.raises(ServeClientError) as ei:
+            _client(server).request("GET", "/bogus")
+        assert ei.value.status == 404
+
+    def test_bad_json_400(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port)
+        try:
+            conn.request("POST", "/runs", body=b"{nope",
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            assert resp.status == 400
+            assert "error" in json.loads(resp.read())
+        finally:
+            conn.close()
+
+    def test_unknown_app_404(self, server):
+        with pytest.raises(ServeClientError) as ei:
+            _client(server).submit({"app": "nope", "inputs": []})
+        assert ei.value.status == 404
+
+    def test_disallowed_backend_403(self, server):
+        with pytest.raises(ServeClientError) as ei:
+            _client(server).submit({
+                "app": "bitonic", "inputs": [APPS["bitonic"][1][0]],
+                "options": {"backend": "cgsim-mp"},
+            })
+        assert ei.value.status == 403
+
+    def test_unknown_submission_field_400(self, server):
+        with pytest.raises(ServeClientError) as ei:
+            _client(server).request("POST", "/runs", body={"frob": 1})
+        assert ei.value.status == 400
+
+    def test_list_runs_filters_by_tenant(self, server):
+        c = _client(server, tenant="lister")
+        rid = c.submit({"app": "bitonic",
+                        "inputs": [APPS["bitonic"][1][0]],
+                        "label": "listed"})
+        c.wait(rid)
+        rows = c.list_runs(tenant="lister")
+        assert any(r["id"] == rid for r in rows)
+        assert all(r["tenant"] == "lister" for r in rows)
+        assert not any(r["id"] == rid
+                       for r in c.list_runs(tenant="someone-else"))
+
+
+class TestConcurrentTenantsWithFaultIsolation:
+    """The headline scenario: four tenants, four apps, one poisoned."""
+
+    def test_faulted_run_isolated_from_others(self, server):
+        results: dict = {}
+
+        def run_app(app, tenant, faults=None):
+            c = _client(server, tenant=tenant)
+            doc = {"app": app,
+                   "inputs": list(APPS[app][1]),
+                   "options": {"on_error": "isolate"}}
+            if faults:
+                doc["options"]["faults"] = faults
+            rid = c.submit(doc)
+            results[app] = (c.wait(rid, timeout=120), c)
+
+        threads = [
+            threading.Thread(target=run_app, args=("bitonic", "t-bitonic"),
+                             kwargs={"faults": [{
+                                 "kind": "kernel",
+                                 "kernel": "bitonic16_kernel_0",
+                                 "at_resume": 1,
+                             }]}),
+            threading.Thread(target=run_app, args=("farrow", "t-farrow")),
+            threading.Thread(target=run_app, args=("iir", "t-iir")),
+            threading.Thread(target=run_app,
+                             args=("bilinear", "t-bilinear")),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+            assert not t.is_alive()
+
+        # The faulted run failed *structurally*: a contained
+        # FailureReport, not a dead worker or a 5xx.
+        faulted, _ = results["bitonic"]
+        assert faulted["state"] == "failed"
+        failure = faulted["result"]["failure"]
+        assert failure["policy"] == "isolate"
+        assert failure["failing_task"] == "bitonic16_kernel_0"
+        assert any(f["injected"] for f in failure["failures"])
+
+        # Every concurrent tenant still completed, bit-identically.
+        for app in ("farrow", "iir", "bilinear"):
+            rec, c = results[app]
+            assert rec["state"] == "ok", f"{app}: {rec}"
+            _assert_sinks_equal(c.decode_outputs(rec)[0], _golden(app))
+
+
+class TestQuotasOverHTTP:
+    def test_rate_limit_429_with_retry_after(self):
+        cfg = ServeConfig(workers=2, tenant_in_flight=0,
+                          tenant_rate=1.0, tenant_burst=1.0)
+        with RunServer(GraphService(cfg), port=0) as srv:
+            c = _client(srv, tenant="throttled")
+            c.submit({"app": "bitonic",
+                      "inputs": [APPS["bitonic"][1][0]]})
+            with pytest.raises(ServeClientError) as ei:
+                c.submit({"app": "bitonic",
+                          "inputs": [APPS["bitonic"][1][0]]})
+            assert ei.value.status == 429
+            assert ei.value.retry_after_s > 0.0
+            # A different tenant is unaffected.
+            other = _client(srv, tenant="other")
+            rid = other.submit({"app": "bitonic",
+                                "inputs": [APPS["bitonic"][1][0]]})
+            assert other.wait(rid)["state"] == "ok"
+            metrics = c.metrics()
+            assert metrics["runs"]["rejected_quota"] == 1
+            assert metrics["tenants"]["throttled"]["denied"] == 1
+
+    def test_queue_full_rolls_back_admission(self):
+        service = GraphService(ServeConfig(workers=1, queue_depth=1,
+                                           tenant_in_flight=0))
+
+        class _FullScheduler:
+            workers = 1
+            pending = 1
+
+            def submit(self, job):
+                raise AdmissionError("pending-run queue full (test)")
+
+            def start(self):
+                pass
+
+            def stop(self, **kw):
+                pass
+
+        service.scheduler = _FullScheduler()
+        doc = {"app": "bitonic",
+               "inputs": [json.loads(json.dumps(
+                   {"__ndarray__": {"dtype": "float32", "shape": [16],
+                                    "data": list(range(16))}}))]}
+        with pytest.raises(AdmissionError):
+            service.submit_json("q", doc)
+        # Nothing leaked: no record retained, quota slot released.
+        assert len(service.registry) == 0
+        assert service.quotas.snapshot()["q"]["in_flight"] == 0
+        assert service.metrics.snapshot()["runs"]["rejected_queue"] == 1
+
+
+class TestTraceAndMetrics:
+    def test_trace_download(self, server):
+        c = _client(server, tenant="tracer")
+        rid = c.submit({"app": "bitonic",
+                        "inputs": [APPS["bitonic"][1][0]],
+                        "trace": True})
+        rec = c.wait(rid)
+        assert rec["state"] == "ok"
+        assert rec["traced"] is True
+        doc = c.trace(rid)
+        assert doc["traceEvents"], "trace document has no events"
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert any("bitonic" in (n or "") for n in names)
+
+    def test_trace_missing_for_untraced_run(self, server):
+        c = _client(server, tenant="tracer")
+        rid = c.submit({"app": "bitonic",
+                        "inputs": [APPS["bitonic"][1][0]]})
+        c.wait(rid)
+        with pytest.raises(ServeClientError) as ei:
+            c.trace(rid)
+        assert ei.value.status == 404
+
+    def test_metrics_document_shape(self, server):
+        m = _client(server).metrics()
+        assert {"runs", "in_flight", "latency", "plan_cache", "tenants",
+                "graphs", "registry", "workers"} <= set(m)
+        assert m["runs"]["completed"] >= 1
+        assert m["latency"]["total"] >= 1
+        assert 0.0 <= m["plan_cache"]["hit_rate"] <= 1.0
+
+    def test_faulted_run_recorded_in_metrics(self, server):
+        # Runs after the isolation test in this module: the failed
+        # counter and the failing tenant's row both reflect it.
+        m = _client(server).metrics()
+        if m["runs"]["failed"]:
+            assert m["tenants"]["t-bitonic"]["failed"] >= 1
