@@ -260,3 +260,103 @@ def test_tracing_off_overhead(quick, results_dir):
         f"{MAX_OFF_OVERHEAD:.0%} (control {best_ctrl:.4f}s, "
         f"off {best_off:.4f}s)"
     )
+
+
+# -- registry + watchdog overhead ---------------------------------------------
+#
+# The standing observability plane must follow the same rule as tracing:
+# enabling it costs almost nothing (the watchdog polls counters from its
+# own thread — zero hot-path hooks — and the serve layer touches the
+# metrics registry O(1) times per run, not per element), and disabling
+# it costs exactly nothing, because a run without ``watchdog=`` takes
+# the identical code path already gated by ``test_tracing_off_overhead``.
+
+#: Same acceptance bound as tracing-off: watchdog + per-run registry
+#: bookkeeping enabled must stay within 2% of the plain run.
+MAX_ENABLED_OVERHEAD = 0.02
+
+
+def test_watchdog_and_registry_overhead(quick, results_dir):
+    from repro.observe.health import ProgressWatchdog
+    from repro.observe.registry import MetricsRegistry, log2_ms_buckets
+
+    reps = 64 if quick else 256
+    run = _make_run(reps)
+
+    registry = MetricsRegistry()
+    runs_total = registry.counter(
+        "bench_runs_total", "Runs by event.", ("event",))
+    latency = registry.histogram(
+        "bench_run_latency_seconds", "Run latency.",
+        buckets=log2_ms_buckets(21))
+
+    def run_instrumented():
+        # One per-run registry transaction, the serve layer's pattern:
+        # counter on admit, counter + histogram observation on finish.
+        runs_total.labels(event="admitted").inc()
+        dog = ProgressWatchdog(5.0)
+        dog.start(progress_fn=lambda: 0)
+        t0 = perf_counter()
+        try:
+            run()
+        finally:
+            dog.stop()
+        runs_total.labels(event="completed").inc()
+        latency.observe(perf_counter() - t0)
+
+    run()               # warm both variants
+    run_instrumented()
+
+    t_plain, t_inst = [], []
+    while True:
+        for _ in range(ROUNDS):
+            if len(t_plain) % 2:
+                t_inst.append(_time(run_instrumented))
+                t_plain.append(_time(run))
+            else:
+                t_plain.append(_time(run))
+                t_inst.append(_time(run_instrumented))
+        best_plain, best_inst = min(t_plain), min(t_inst)
+        overhead = best_inst / best_plain - 1.0
+        if overhead < MAX_ENABLED_OVERHEAD or len(t_plain) >= MAX_ROUNDS:
+            break
+
+    ratios = sorted(i / p for i, p in zip(t_inst, t_plain))
+    paired_overhead = ratios[len(ratios) // 2] - 1.0
+    overhead = min(overhead, paired_overhead)
+
+    # Registry op micro-costs, for the record: the per-scrape surface
+    # is collect(), the per-run surface is inc()/observe().
+    n_ops = 20_000
+    t0 = perf_counter()
+    for _ in range(n_ops):
+        runs_total.labels(event="completed").inc()
+    inc_ns = (perf_counter() - t0) / n_ops * 1e9
+    t0 = perf_counter()
+    for _ in range(n_ops):
+        latency.observe(0.01)
+    observe_ns = (perf_counter() - t0) / n_ops * 1e9
+
+    record_row(TABLE, f"{'watchdog + registry on':<28}{best_inst:>10.4f}"
+                      f"{best_inst / best_plain - 1.0:>+11.2%} ")
+    record_row(TABLE, f"registry counter inc: {inc_ns:.0f} ns, "
+                      f"histogram observe: {observe_ns:.0f} ns")
+
+    (results_dir / "watchdog_registry_overhead.json").write_text(
+        json.dumps({
+            "app": "bitonic", "backend": "cgsim", "reps": reps,
+            "rounds": len(t_plain),
+            "plain_s": best_plain,
+            "instrumented_s": best_inst,
+            "enabled_overhead": overhead,
+            "enabled_overhead_paired": paired_overhead,
+            "counter_inc_ns": inc_ns,
+            "histogram_observe_ns": observe_ns,
+            "bound": MAX_ENABLED_OVERHEAD,
+        }, indent=2))
+
+    assert overhead < MAX_ENABLED_OVERHEAD, (
+        f"watchdog+registry overhead {overhead:.2%} exceeds "
+        f"{MAX_ENABLED_OVERHEAD:.0%} (plain {best_plain:.4f}s, "
+        f"instrumented {best_inst:.4f}s)"
+    )

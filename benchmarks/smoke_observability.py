@@ -1,0 +1,128 @@
+"""CI observability smoke: one correlation id across every surface.
+
+Boots the real ``python -m repro.serve`` process (exercising the
+``--watchdog`` / ``--profile-dir`` CLI flags), submits a traced +
+sampled ``cgsim-mp`` run over HTTP with a caller-chosen ``X-Run-Id``,
+then checks the id shows up verbatim everywhere the issue promises:
+
+1. the HTTP 202 / run-record responses,
+2. the ``/metrics?format=prometheus`` scrape — validated with the
+   repo's *strict* exposition parser, not an eyeball,
+3. every event of the merged multi-process Chrome trace,
+4. the collapsed-stack flamegraph filename (uploaded as a CI
+   artifact).
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/smoke_observability.py \
+        --out-dir /tmp/obs-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+RUN_ID = "ci-smoke-run.1"
+
+
+def _wait_healthy(client, proc, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"serve process exited early with {proc.returncode}")
+        try:
+            if client.health():
+                return
+        except Exception:
+            time.sleep(0.2)
+    raise RuntimeError("serve did not become healthy in time")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default="benchmarks/results/observe",
+                        help="flamegraph + report output directory")
+    parser.add_argument("--port", type=int, default=8911)
+    args = parser.parse_args(argv)
+
+    from repro.observe.prom import parse_prometheus
+    from repro.serve import ServeClient
+
+    out_dir = Path(args.out_dir)
+    flame_dir = out_dir / "flamegraphs"
+    flame_dir.mkdir(parents=True, exist_ok=True)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve",
+         "--port", str(args.port),
+         "--backends", "cgsim,pysim,x86sim,cgsim-mp",
+         "--watchdog", "30",
+         "--profile-dir", str(flame_dir)],
+        env=env,
+    )
+    client = ServeClient("127.0.0.1", args.port, tenant="ci",
+                         timeout=120.0)
+    try:
+        _wait_healthy(client, proc)
+
+        from repro.apps import datasets
+        blocks, mu = datasets.farrow_blocks(2)
+        rid = client.submit(
+            {"app": "farrow", "inputs": [blocks, int(mu)], "trace": True,
+             "options": {"backend": "cgsim-mp", "workers": 2,
+                         "profile": {"mode": "sample",
+                                     "interval": 0.0005}}},
+            run_id=RUN_ID,
+        )
+        assert rid == RUN_ID, f"202 echoed {rid!r}, not {RUN_ID!r}"
+        rec = client.wait(rid, timeout=120)
+        assert rec["state"] == "ok", rec.get("error")
+        assert rec["result"]["run_id"] == RUN_ID
+
+        # Strictly-parsed Prometheus scrape with the id in the labels.
+        text = client.metrics_prometheus()
+        families = parse_prometheus(text)
+        info = families["repro_serve_run_info"]
+        ids = {labels.get("run_id") for (_n, labels, _v) in info.samples}
+        assert RUN_ID in ids, f"run id not scraped; saw {sorted(ids)}"
+        assert "repro_serve_run_latency_seconds" in families
+        (out_dir / "metrics.prom").write_text(text)
+
+        # Every event of the merged multi-process trace carries the id.
+        doc = client.trace(rid)
+        assert doc["metadata"]["run_id"] == RUN_ID
+        records = [ev for ev in doc["traceEvents"] if ev.get("ph") != "M"]
+        assert records and all(
+            ev["args"].get("run_id") == RUN_ID for ev in records)
+        (out_dir / "trace.json").write_text(json.dumps(doc))
+
+        # The flamegraph artifact is named after the run.
+        flame = flame_dir / f"farrow_{RUN_ID}.collapsed"
+        assert flame.is_file(), \
+            f"missing {flame}; have {[p.name for p in flame_dir.iterdir()]}"
+        assert flame.read_text().strip(), "flamegraph is empty"
+
+        print(f"observability smoke OK: run {RUN_ID} correlated across "
+              f"HTTP, {len(families)} scraped metric families, "
+              f"{len(records)} trace events, and {flame.name}")
+        return 0
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -745,6 +745,10 @@ class FusedDriver:
         #: name the original kernel endpoint instead of the driver.
         self.blocked_member_name: Optional[str] = None
         self.failed_member: Optional[str] = None
+        #: Name of the member currently executing inside ``_step``, read
+        #: by the sampling profiler so samples taken while the scheduler
+        #: runs this fused task are attributed to the original kernel.
+        self.current_member_name: Optional[str] = None
         # Set by the RuntimeContext before spawn.
         self.tracer = None
         self.measure = False
@@ -779,6 +783,7 @@ class FusedDriver:
         finished.  Raises if the member raised (scheduler handles it)."""
         tracer = self.tracer
         m.resumes += 1
+        self.current_member_name = m.name
         try:
             if self.measure:
                 if tracer is not None:
@@ -808,6 +813,8 @@ class FusedDriver:
             if tracer is not None:
                 tracer.task_fail(m.name, exc)
             raise
+        finally:
+            self.current_member_name = None
         return cmd
 
     def _park(self, m: FusedMember, cmd, state: int):

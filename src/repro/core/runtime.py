@@ -156,13 +156,21 @@ class RuntimeContext:
         (the default) builds plain in-process
         :class:`~repro.core.queues.BroadcastQueue` rings with no
         registry indirection — behavior-identical to earlier releases.
+    watchdog:
+        Progress monitoring (:mod:`repro.observe.health`): a no-progress
+        window in seconds or a ready
+        :class:`~repro.observe.health.ProgressWatchdog`.  The watchdog
+        polls queue transfer totals and task resume counts from its own
+        thread (no per-event hooks) and emits a ``health.stall`` trace
+        event with a ``describe_blockage`` snapshot when a full window
+        passes without progress.  ``None`` (the default) runs nothing.
     """
 
     #: Keyword arguments that CompiledGraph.__call__ routes to the
     #: constructor rather than to run().
     CONSTRUCT_OPTIONS = frozenset({"capacity", "validate", "batch_io",
                                    "observe", "faults", "on_error",
-                                   "transport"})
+                                   "transport", "watchdog"})
 
     def __init__(self, graph: ComputeGraph,
                  capacity: int = DEFAULT_QUEUE_CAPACITY,
@@ -172,7 +180,8 @@ class RuntimeContext:
                  optimize_plan: Optional[OptimizedPlan] = None,
                  faults: Any = None,
                  on_error: str = "fail",
-                 transport: Any = None):
+                 transport: Any = None,
+                 watchdog: Any = None):
         self.graph = graph
         self.validate = validate
         self.batch_io = batch_io
@@ -214,6 +223,12 @@ class RuntimeContext:
         #: Label stamped into run.begin/run.end trace events.  The exec
         #: backends overwrite it (pysim runs on this same runtime).
         self.backend_label = "cgsim"
+        if watchdog is not None and watchdog is not False:
+            from ..observe.health import coerce_watchdog
+
+            self.watchdog = coerce_watchdog(watchdog)
+        else:
+            self.watchdog = None
         self.optimize_plan = optimize_plan
         self.queues: Dict[int, BroadcastQueue] = {}
         self._consumer_alloc: Dict[int, int] = {}  # net_id -> next idx
@@ -568,12 +583,18 @@ class RuntimeContext:
     # -- execution (§3.8) ---------------------------------------------------------------
 
     def run(self, profile: bool = False, max_steps: Optional[int] = None,
-            strict: bool = False) -> RunReport:
+            strict: bool = False, profiler: Any = None) -> RunReport:
         """Execute the graph until no coroutine can continue.
 
         ``strict=True`` raises :class:`DeadlockError` if the run ends
         with kernels blocked on *writes* (a stall, as opposed to the
         normal end-of-input state where kernels block on reads).
+
+        ``profiler`` is an optional
+        :class:`~repro.observe.profile.SamplingProfiler`; it samples the
+        scheduler thread's stack for the duration of the run, with
+        samples attributed to the current task (fused-driver members
+        resolve to the member being stepped).
         """
         if not self._io_bound:
             if self.graph.inputs or self.graph.outputs:
@@ -586,6 +607,9 @@ class RuntimeContext:
         if session is not None:
             session.attach_tracer(tracer)
         hook = _ContainmentHook(self) if self.on_error != "fail" else None
+        # Stack sampling needs the scheduler to publish its current
+        # task, which the measured path does.
+        profile = profile or profiler is not None
         sched = CooperativeScheduler(profile=profile, tracer=tracer,
                                      failure_hook=hook)
         if hook is not None:
@@ -614,6 +638,29 @@ class RuntimeContext:
 
         if tracer is not None:
             tracer.run_begin(self.graph.name, self.backend_label)
+        watchdog = self.watchdog
+        if watchdog is not None:
+            queues = list(self.queues.values())
+            tasks = sched.tasks
+
+            def _progress() -> int:
+                # Plain int reads, safe from the watchdog thread; any
+                # queue transfer or task resume counts as progress.
+                total = 0
+                for q in queues:
+                    total += getattr(q, "total_puts", 0)
+                    total += getattr(q, "total_gets", 0)
+                for t in tasks:
+                    total += t.resumes
+                return total
+
+            watchdog.start(progress_fn=_progress,
+                           blockage_fn=sched.describe_blockage,
+                           tracer=tracer, scope=self.graph.name)
+        if profiler is not None:
+            from ..observe.profile import scheduler_label_fn
+
+            profiler.start(scheduler_label_fn(sched))
         try:
             stats = sched.run(max_steps=max_steps)
             # Snapshot the wait diagnosis *before* teardown: close()
@@ -630,6 +677,10 @@ class RuntimeContext:
                 for drv in self._drivers:
                     blocked_writers.extend(drv.blocked_write_members())
         finally:
+            if profiler is not None:
+                profiler.stop()
+            if watchdog is not None:
+                watchdog.stop()
             sched.close()
             if tracer is not None:
                 # Emitted on aborts too, so crashed runs still export:
@@ -725,6 +776,11 @@ class RuntimeContext:
             failure=failure,
             deadlock=deadlock_report,
         )
+        if watchdog is not None and watchdog.stalls:
+            report.warnings.append(
+                f"watchdog: {len(watchdog.stalls)} no-progress "
+                f"window(s) of >= {watchdog.window_s:g}s during the run"
+            )
         if strict and deadlocked:
             raise DeadlockError(diagnosis or "graph stalled", report=report,
                                 deadlock=deadlock_report)

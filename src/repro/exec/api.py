@@ -43,6 +43,7 @@ from __future__ import annotations
 import abc
 import math
 import threading
+import uuid
 import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
@@ -121,6 +122,10 @@ class RunResult:
     items_in: int
     items_out: int
     completed: bool
+    #: Correlation id of this run (minted by :func:`run_graph`, or
+    #: accepted from the caller / an inbound serve header); stamped on
+    #: every schema-2 trace event and any :class:`FailureReport`.
+    run_id: str = ""
     context_switches: int = 0        # cooperative engines; 0 for threads
     n_threads: int = 1               # preemptive engines; 1 for cgsim
     kernel_fraction: float = float("nan")  # populated when profiled
@@ -144,6 +149,12 @@ class RunResult:
     #: One :class:`repro.faults.AttemptRecord` per try when the run went
     #: through ``run_graph(retry=...)``; empty without a retry policy.
     attempts: List[Any] = field(default_factory=list)
+    #: :class:`repro.observe.ProfileReport` when the run was sampled
+    #: (``profile="sample"``); merged across workers for cgsim-mp.
+    profile: Any = None
+    #: Path of the written collapsed-stack flamegraph, when the sampler
+    #: was configured with an output location.
+    profile_path: str = ""
     raw: Any = None
 
     @property
@@ -168,6 +179,7 @@ class RunResult:
         return {
             "backend": self.backend,
             "graph": self.graph_name,
+            "run_id": self.run_id,
             "status": self.status,
             "completed": self.completed,
             "wall_time_s": self.wall_time,
@@ -204,6 +216,10 @@ class RunResult:
             "deadlock": self.deadlock.to_dict()
             if self.deadlock is not None else None,
         })
+        if self.profile is not None:
+            d["profile"] = self.profile.to_dict()
+        if self.profile_path:
+            d["profile_path"] = self.profile_path
         return d
 
     def __repr__(self):
@@ -420,8 +436,10 @@ def _check_replayable(sources) -> None:
 
 
 def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
-              profile: bool = False, observe: Any = None,
+              profile: Any = False, observe: Any = None,
               trace: Any = None, retry: Any = None,
+              run_id: Optional[str] = None,
+              labels: Optional[Dict[str, str]] = None,
               **options: Any) -> RunResult:
     """Execute *graph* on the named backend: the single entry point all
     benchmarks, examples, and the differential harness go through.
@@ -447,11 +465,29 @@ def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
     backoff, list sinks cleared between tries.  The returned result
     carries one :class:`~repro.faults.AttemptRecord` per try; the last
     try's exception is re-raised if every attempt raised.
+
+    ``profile`` accepts ``True`` (per-kernel timing, cgsim family),
+    ``"sample"`` or a ``{"mode": "sample", "interval": s, "out": dir}``
+    dict (timing plus the :mod:`repro.observe.profile` stack sampler),
+    or a ready :class:`~repro.observe.profile.SamplingProfiler`.
+
+    ``run_id`` is the cross-layer correlation id: minted here when not
+    supplied, stamped on every trace event (schema 2), any contained
+    :class:`~repro.faults.FailureReport`, the flamegraph filename, and
+    ``result.run_id``.  ``labels`` (e.g. tenant/graph from the serve
+    layer) ride along on every event the same way.
     """
     if observe is not None and trace is not None:
         raise GraphRuntimeError(
             "pass either observe= or trace= (they are aliases), not both"
         )
+    sampler = None
+    if profile is not None and not isinstance(profile, bool):
+        from ..observe.profile import coerce_profile
+
+        profile, sampler = coerce_profile(profile)
+    profile = bool(profile)
+    rid = str(run_id) if run_id else "r-" + uuid.uuid4().hex[:12]
     spec = observe if observe is not None else trace
     tracer = None
     owned = False
@@ -463,7 +499,16 @@ def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
     policy = _coerce_retry(retry)
     b = get_backend(backend)
     if tracer is not None:
+        # A caller-owned tracer with a pinned run_id wins over the mint.
+        tracer.set_context(run_id=rid, labels=labels)
+        rid = tracer.run_id or rid
         options["observe"] = tracer
+    if sampler is not None:
+        options["profiler"] = sampler
+    if backend == "cgsim-mp":
+        # The sharded manager forwards the id to forked workers so
+        # their per-process tracers stamp the same correlation id.
+        options.setdefault("run_id", rid)
 
     if policy is not None:
         n_inputs = len(resolve_graph(graph).inputs)
@@ -512,9 +557,31 @@ def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
             tracer.close()
         raise
     result.attempts = attempts
+    result.run_id = rid
+    if result.failure is not None and not getattr(
+            result.failure, "run_id", ""):
+        result.failure.run_id = rid
+    if sampler is not None:
+        if result.profile is None:  # mp merges worker reports itself
+            result.profile = sampler.report()
+        if sampler.out:
+            from pathlib import Path
+
+            from ..observe.profile import FLAME_SUFFIX, flamegraph_name
+
+            dest = Path(sampler.out)
+            if not str(dest).endswith(FLAME_SUFFIX):
+                dest = dest / flamegraph_name(result.graph_name, rid)
+            result.profile_path = str(
+                result.profile.write_collapsed(dest))
     if tracer is not None:
         result.trace = tracer
         result.metrics = tracer.metrics()
+        if result.metrics is not None:
+            if not result.metrics.run_id:
+                result.metrics.run_id = rid
+            if result.profile is not None and result.profile.n_samples:
+                result.metrics.profile = result.profile.self_table()
         if owned:
             tracer.close()
     return result

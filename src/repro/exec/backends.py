@@ -38,7 +38,10 @@ class CgsimBackend(ExecutionBackend):
     ``faults`` (deterministic fault injection) and ``on_error``
     (failure containment policy, see :mod:`repro.faults`),
     ``max_steps`` (livelock guard), ``strict`` (raise
-    :class:`DeadlockError` on stalls).
+    :class:`DeadlockError` on stalls), ``watchdog`` (no-progress window
+    in seconds or a :class:`~repro.observe.health.ProgressWatchdog`),
+    ``profiler`` (a :class:`~repro.observe.profile.SamplingProfiler`,
+    normally injected by ``run_graph(profile="sample")``).
     """
 
     name = "cgsim"
@@ -170,6 +173,17 @@ class X86simBackend(ExecutionBackend):
         # Plan optimization is a cgsim-runtime concept; threads have no
         # scheduler hops to elide.  Accepted for cross-backend parity.
         options.pop("optimize", None)
+        # The per-wait ``timeout`` already bounds thread stalls, so the
+        # cooperative watchdog is accepted-and-ignored for parity (the
+        # serve layer applies one default watchdog to every backend).
+        options.pop("watchdog", None)
+        if options.pop("profiler", None) is not None:
+            from ..errors import GraphRuntimeError
+            raise GraphRuntimeError(
+                "profile='sample' needs a cooperative backend "
+                "(cgsim/pysim/cgsim-mp); x86sim's preemptive threads "
+                "have no single scheduler stack to sample"
+            )
         if options:
             from ..errors import GraphRuntimeError
             raise GraphRuntimeError(

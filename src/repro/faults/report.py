@@ -90,6 +90,9 @@ class FailureReport:
     sink_status: Dict[str, str] = field(default_factory=dict)
     teardown_errors: List[TeardownError] = field(default_factory=list)
     injected_faults: List[Dict[str, Any]] = field(default_factory=list)
+    #: Correlation id of the run that produced this report (schema-v2
+    #: trace context); stamped by ``run_graph`` / the mp manager.
+    run_id: str = ""
 
     @property
     def failing_task(self) -> str:
@@ -119,7 +122,7 @@ class FailureReport:
 
     def to_dict(self) -> Dict[str, Any]:
         """Stable JSON-safe dict (the ``repro.serve`` wire form)."""
-        return {
+        out: Dict[str, Any] = {
             "policy": self.policy,
             "failing_task": self.failing_task,
             "failures": [f.to_dict() for f in self.failures],
@@ -130,6 +133,9 @@ class FailureReport:
             "teardown_errors": [t.to_dict() for t in self.teardown_errors],
             "injected_faults": [dict(f) for f in self.injected_faults],
         }
+        if self.run_id:
+            out["run_id"] = self.run_id
+        return out
 
 
 @dataclass(frozen=True)

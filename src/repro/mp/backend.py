@@ -42,7 +42,14 @@ class CgsimMpBackend(ExecutionBackend):
     returns a contained :class:`~repro.faults.FailureReport` naming the
     lost shard's cancelled cone), ``stall_timeout`` (cross-worker stall
     backstop, seconds), ``ring_capacity`` / ``ring_bytes`` (inter-worker
-    shared-memory ring sizing).  ``optimize`` is accepted and ignored
+    shared-memory ring sizing), ``run_id`` (cross-process trace
+    correlation id stamped on every worker's events), ``watchdog``
+    (no-progress window in seconds; the manager polls ring-header
+    counters for farm liveness), ``profiler`` (a
+    :class:`~repro.observe.profile.SamplingProfiler`, normally injected
+    by ``run_graph(profile="sample")`` — its interval is forwarded so
+    each worker samples its own scheduler and the reports merge).
+    ``optimize`` is accepted and ignored
     (plan fusion is a single-scheduler concept); ``faults`` injection
     plans are not supported — containment semantics still apply to real
     worker failures.
@@ -67,7 +74,15 @@ class CgsimMpBackend(ExecutionBackend):
             "ring_capacity": options.pop("ring_capacity",
                                          DEFAULT_RING_CAPACITY),
             "ring_bytes": options.pop("ring_bytes", DEFAULT_RING_BYTES),
+            "run_id": options.pop("run_id", ""),
+            "watchdog": options.pop("watchdog", None),
         }
+        # run_graph ships a ready SamplingProfiler; a manager-side
+        # sampler would only see the manager's poll loop, so forward the
+        # interval and let every forked worker sample its own scheduler.
+        profiler = options.pop("profiler", None)
+        opts["profile_sample"] = float(getattr(profiler, "interval", 0.0)) \
+            if profiler is not None else 0.0
         options.pop("optimize", None)
         if options.pop("faults", None) is not None:
             raise GraphRuntimeError(
@@ -97,6 +112,9 @@ class CgsimMpBackend(ExecutionBackend):
             ring_bytes=opts["ring_bytes"],
             on_error=opts["on_error"],
             backend_label=self.name,
+            run_id=opts["run_id"],
+            watchdog=opts["watchdog"],
+            profile_sample=opts["profile_sample"],
         )
         n_in = len(plan.graph.inputs)
         return RunResult(
@@ -115,5 +133,7 @@ class CgsimMpBackend(ExecutionBackend):
             per_kernel_blocked=dict(report.task_blocked),
             stall_diagnosis=report.stall_diagnosis,
             failure=report.failure,
+            run_id=report.run_id,
+            profile=report.profile,
             raw=report,
         )

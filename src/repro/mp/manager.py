@@ -96,6 +96,10 @@ class MpRunReport:
     worker_walls: Dict[int, float] = field(default_factory=dict)
     stall_diagnosis: str = ""
     failure: Optional[FailureReport] = None
+    run_id: str = ""
+    #: Merged :class:`~repro.observe.profile.ProfileReport` when the
+    #: workers ran with a sampling profiler, else ``None``.
+    profile: Any = None
 
     def __repr__(self):
         status = "ok" if self.completed else (
@@ -164,17 +168,38 @@ def _merge_outputs(graph, placement: Placement, io, results,
 
 
 def _merge_events(tracer, results) -> None:
-    """Sort worker events by timestamp and ingest into the caller's
-    tracer (workers share the manager's CLOCK_MONOTONIC timebase)."""
+    """Merge worker event streams into the caller's tracer in one
+    deterministic total order.
+
+    Workers share the manager's CLOCK_MONOTONIC timebase, so timestamps
+    are globally comparable — but coarse clocks *collide*, and a plain
+    ``sort(key=ts)`` scrambles equal-timestamp events across workers
+    (Python's stable sort preserves dict-iteration arrival order, which
+    depends on worker report timing).  ``Tracer.ingest_all`` breaks ties
+    by the ``(worker, seq)`` stamps each worker put on its events, so
+    the merged Chrome trace nests begin/end pairs correctly no matter
+    which pipe message landed first."""
     if tracer is None:
         return
     from ..observe import Event
 
     merged = [Event.from_dict(d)
               for msg in results.values() for d in msg.get("events", ())]
-    merged.sort(key=lambda e: e.ts)
-    for ev in merged:
-        tracer.ingest(ev)
+    tracer.ingest_all(merged)
+
+
+def _merge_profiles(results):
+    """Merge per-worker sampling reports (counts add) or ``None``."""
+    merged = None
+    for msg in results.values():
+        d = msg.get("profile")
+        if not d:
+            continue
+        from ..observe.profile import ProfileReport
+
+        rep = ProfileReport.from_dict(d)
+        merged = rep if merged is None else merged.merge(rep)
+    return merged
 
 
 def _containment_report(graph, placement: Placement, dead_wid: int,
@@ -242,7 +267,10 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
                 ring_capacity: int = DEFAULT_RING_CAPACITY,
                 ring_bytes: int = DEFAULT_RING_BYTES,
                 on_error: str = "fail",
-                backend_label: str = "cgsim-mp") -> MpRunReport:
+                backend_label: str = "cgsim-mp",
+                run_id: str = "",
+                watchdog: Any = None,
+                profile_sample: float = 0.0) -> MpRunReport:
     """Execute *graph* sharded across *workers* OS processes.
 
     ``io`` is the usual positional tuple (sources then sinks, §3.7);
@@ -250,6 +278,16 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
     ``on_error="fail"`` raises on worker loss / remote kernel failure;
     ``"isolate"`` returns the report with a contained
     :class:`~repro.faults.FailureReport` instead.
+
+    ``run_id`` (defaulting to the tracer's context when set) is the
+    cross-process correlation id every worker stamps on its events;
+    ``watchdog`` is a no-progress window in seconds or a ready
+    :class:`~repro.observe.health.ProgressWatchdog` — the manager polls
+    the shared-memory ring header counters plus worker-report arrivals,
+    so a wedged farm surfaces a ``health.stall`` event instead of
+    silence; ``profile_sample`` > 0 starts an in-process sampling
+    profiler in every worker at that interval (merged report on
+    ``MpRunReport.profile``).
     """
     if on_error not in ("fail", "isolate"):
         raise GraphRuntimeError(
@@ -259,6 +297,16 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
     placement = place_graph(graph, workers)
     n_workers = placement.n_workers
     tracer = observe
+    labels = None
+    if tracer is not None:
+        if not run_id:
+            run_id = getattr(tracer, "run_id", "") or ""
+        elif hasattr(tracer, "set_context"):
+            tracer.set_context(run_id=run_id)  # fills only if unset
+        labels = getattr(tracer, "labels", None)
+
+    from ..observe.health import coerce_watchdog
+    dog = coerce_watchdog(watchdog)
 
     t0 = perf_counter()
     if tracer is not None:
@@ -295,6 +343,8 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
                 queue_events=tracer.queue_events if tracer is not None
                 else True,
                 profile=profile, stall_timeout=stall_timeout,
+                run_id=run_id, labels=labels,
+                profile_sample=profile_sample,
             )
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             p = ctx.Process(target=worker_main, args=(spec, child_conn),
@@ -303,6 +353,31 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
             child_conn.close()
             procs.append(p)
             conns.append(parent_conn)
+
+        if dog is not None:
+            # Worker liveness from the manager side: the shared-memory
+            # ring header counters advance whenever any worker moves
+            # data, and results arriving count as progress too.  Reads
+            # a few ints per poll — no per-event hooks anywhere.
+            ring_list = list(rings.values())
+
+            def _mp_progress():
+                n = len(results)
+                for r in ring_list:
+                    n += r.total_puts + r.total_gets
+                return n
+
+            def _mp_blockage() -> str:
+                lines = [f"{len(results)}/{n_workers} worker(s) reported"]
+                for r in ring_list:
+                    lines.append(
+                        f"  ring {r.name}: fill {r.size_for(0)}"
+                        f"/{r.capacity}{' EOF' if r.eof else ''}"
+                    )
+                return "\n".join(lines)
+
+            dog.start(progress_fn=_mp_progress, blockage_fn=_mp_blockage,
+                      tracer=tracer, scope=graph.name)
 
         pending = set(range(n_workers))
         deadline: Optional[float] = None
@@ -366,7 +441,11 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
         _merge_events(tracer, results)
         if tracer is not None:
             tracer.run_end(graph.name, backend_label)
+        profile_report = _merge_profiles(results)
 
+        if failure_report is not None and run_id \
+                and not failure_report.run_id:
+            failure_report.run_id = run_id
         if failure_report is not None and on_error == "fail":
             assert failure_exc is not None
             failure_exc.report = failure_report  # type: ignore[union-attr]
@@ -404,8 +483,12 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
                           for w, m in results.items()},
             stall_diagnosis="\n".join(stall_lines),
             failure=failure_report,
+            run_id=run_id,
+            profile=profile_report,
         )
     finally:
+        if dog is not None:
+            dog.stop()
         for p in procs:
             if p.exitcode is None:
                 p.terminate()

@@ -70,6 +70,12 @@ class WorkerSpec:
     queue_events: bool = True
     profile: bool = False
     stall_timeout: float = 30.0
+    #: Trace-context correlation id stamped on every event this worker
+    #: emits (schema v2); empty = no correlation context.
+    run_id: str = ""
+    labels: Optional[Dict[str, str]] = None
+    #: Sampling-profiler interval in seconds; 0 = sampler off.
+    profile_sample: float = 0.0
 
 
 class _Import:
@@ -138,7 +144,9 @@ class ShardRuntime:
             # manager's caller-facing sink applies any bounding policy.
             self.tracer = Tracer(RingSink(maxlen=None),
                                  queue_events=spec.queue_events,
-                                 metrics=False)
+                                 metrics=False,
+                                 run_id=spec.run_id,
+                                 labels=spec.labels)
 
         self.queues: Dict[int, Any] = {}
         self._alloc: Dict[int, int] = {}
@@ -386,8 +394,11 @@ class ShardRuntime:
     def run(self) -> Dict[str, Any]:
         spec = self.spec
         t0 = perf_counter()
-        sched = CooperativeScheduler(profile=spec.profile,
-                                     tracer=self.tracer)
+        # The sampler attributes via sched._current, which the scheduler
+        # only publishes in measure mode — force it on when sampling.
+        sched = CooperativeScheduler(
+            profile=spec.profile or spec.profile_sample > 0,
+            tracer=self.tracer)
         for q in self.queues.values():
             q.bind_scheduler(sched)
             if self.tracer is not None and self.tracer.queue_events:
@@ -401,6 +412,13 @@ class ShardRuntime:
         ]
         for i, coro, _store in self._sinks:
             sched.spawn(f"sink[{i}]", coro, kind="sink")
+
+        profiler = None
+        if spec.profile_sample > 0:
+            from ..observe.profile import SamplingProfiler, scheduler_label_fn
+
+            profiler = SamplingProfiler(interval=spec.profile_sample)
+            profiler.start(scheduler_label_fn(sched))
 
         total_switches = 0
         last_stats = None
@@ -450,6 +468,8 @@ class ShardRuntime:
             except Exception:
                 pass
         finally:
+            if profiler is not None:
+                profiler.stop()
             if failure is None and not stall:
                 # Clean end: signal end-of-stream downward.  Failing or
                 # stalled workers leave their rings open — the manager
@@ -463,6 +483,17 @@ class ShardRuntime:
         items_in = sum(self.queues[nid].total_puts
                        for nid in self._input_net_ids)
         sinks_payload = {i: store for i, _coro, store in self._sinks}
+        # Stamp worker id + emission sequence (schema v2) so the manager
+        # can merge the per-worker streams into one deterministic total
+        # order even when coarse clocks collide across processes.
+        events_payload: List[Dict[str, Any]] = []
+        if self.tracer is not None:
+            for seq, ev in enumerate(self.tracer.events):
+                if ev.worker < 0:
+                    ev.worker = spec.wid
+                if ev.seq < 0:
+                    ev.seq = seq
+                events_payload.append(ev.to_dict())
         msg: Dict[str, Any] = {
             "kind": "failure" if failure is not None
             else "stall" if stall else "result",
@@ -481,8 +512,9 @@ class ShardRuntime:
             if last_stats else {},
             "stall_diagnosis": stall,
             "failure": failure,
-            "events": [e.to_dict() for e in self.tracer.events]
-            if self.tracer is not None else [],
+            "events": events_payload,
+            "profile": profiler.report().to_dict()
+            if profiler is not None else None,
         }
         return msg
 

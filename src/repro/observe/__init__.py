@@ -35,6 +35,7 @@ from .chrome import (
 from .events import (
     EVENT_KINDS,
     FAULT_INJECT,
+    HEALTH_STALL,
     QUEUE_GET,
     QUEUE_PUT,
     RUN_BEGIN,
@@ -49,6 +50,7 @@ from .events import (
     Event,
     Tracer,
 )
+from .health import ProgressWatchdog, StallReport, coerce_watchdog
 from .metrics import (
     KernelMetrics,
     MetricsAggregator,
@@ -56,6 +58,29 @@ from .metrics import (
     TraceMetrics,
     compute_metrics,
     merge_metrics,
+)
+from .profile import (
+    ProfileReport,
+    SamplingProfiler,
+    coerce_profile,
+    flamegraph_name,
+)
+from .prom import (
+    CONTENT_TYPE as PROM_CONTENT_TYPE,
+    PromParseError,
+    parse_prometheus,
+    render_prometheus,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+    default_registry,
+    log2_ms_buckets,
 )
 from .sinks import (
     ChromeTraceSink,
@@ -82,6 +107,7 @@ __all__ = [
     "QUEUE_PUT",
     "QUEUE_GET",
     "FAULT_INJECT",
+    "HEALTH_STALL",
     "TraceSink",
     "RingSink",
     "JsonlSink",
@@ -99,6 +125,29 @@ __all__ = [
     "combine_chrome_traces",
     "aiesim_chrome_trace",
     "make_tracer",
+    # registry + Prometheus exposition
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "Sample",
+    "MetricError",
+    "default_registry",
+    "log2_ms_buckets",
+    "render_prometheus",
+    "parse_prometheus",
+    "PromParseError",
+    "PROM_CONTENT_TYPE",
+    # sampling profiler
+    "SamplingProfiler",
+    "ProfileReport",
+    "coerce_profile",
+    "flamegraph_name",
+    # progress watchdog
+    "ProgressWatchdog",
+    "StallReport",
+    "coerce_watchdog",
 ]
 
 

@@ -3,9 +3,11 @@
 Subcommands (all take JSONL trace files produced with
 ``observe="run.jsonl"`` or :class:`~repro.observe.sinks.JsonlSink`):
 
-``summarize FILE``
+``summarize FILE [FILE ...] [--top N]``
     Per-kernel busy/blocked table, queue transfer totals and occupancy
-    watermarks, and the worst stall edges.
+    watermarks, and the worst ``N`` stall edges (default 5).  Multiple
+    files are merged via :func:`~repro.observe.metrics.merge_metrics`
+    into one cross-run aggregate (counts add, watermarks take the max).
 
 ``export FILE [-o OUT]``
     Convert to Chrome trace-event JSON (default ``FILE`` with a
@@ -25,7 +27,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .metrics import TraceMetrics, compute_metrics
+from .metrics import TraceMetrics, compute_metrics, merge_metrics
 from .sinks import read_jsonl
 
 __all__ = ["main"]
@@ -36,8 +38,12 @@ def _load_metrics(path: str) -> TraceMetrics:
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
-    m = _load_metrics(args.file)
-    print(m.summary())
+    per_file = [_load_metrics(f) for f in args.files]
+    m = per_file[0] if len(per_file) == 1 else merge_metrics(per_file)
+    if len(per_file) > 1:
+        print(f"merged {len(per_file)} traces")
+        print()
+    print(m.summary(top=args.top))
     return 0
 
 
@@ -110,8 +116,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("summarize", help="metrics summary of one trace")
-    p.add_argument("file", help="JSONL trace file")
+    p = sub.add_parser("summarize",
+                       help="metrics summary of one or more traces")
+    p.add_argument("files", nargs="+", metavar="file",
+                   help="JSONL trace file(s); several merge into one "
+                        "aggregate")
+    p.add_argument("--top", type=int, default=5, metavar="N",
+                   help="show the N worst stall edges (default 5)")
     p.set_defaults(fn=_cmd_summarize)
 
     p = sub.add_parser("export", help="convert JSONL to Chrome trace JSON")

@@ -42,11 +42,23 @@ def _meta(pid: int, name: str, value: str, tid: int = 0) -> Dict[str, Any]:
 
 
 def chrome_trace(events: List[Event], *, pid: int = 1,
-                 process_name: Optional[str] = None) -> Dict[str, Any]:
-    """Render an event list as a Chrome trace-event document (dict)."""
+                 process_name: Optional[str] = None,
+                 metadata: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+    """Render an event list as a Chrome trace-event document (dict).
+
+    When the events carry a schema-2 ``run`` correlation id, every
+    trace record's ``args`` is stamped with it and the document gains a
+    top-level ``metadata`` block — so one grep for the run id finds the
+    whole exported timeline.  Extra *metadata* (tenant, graph, …) is
+    merged into that block.
+    """
     out: List[Dict[str, Any]] = []
     if not events:
-        return {"traceEvents": out, "displayTimeUnit": "ms"}
+        doc: Dict[str, Any] = {"traceEvents": out, "displayTimeUnit": "ms"}
+        if metadata:
+            doc["metadata"] = dict(metadata)
+        return doc
 
     t0 = events[0].ts
 
@@ -180,7 +192,22 @@ def chrome_trace(events: List[Event], *, pid: int = 1,
         })
 
     out.insert(0, _meta(pid, "process_name", label or "repro trace"))
-    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+    run_ids = {ev.run for ev in events if ev.run}
+    doc_meta: Dict[str, Any] = dict(metadata) if metadata else {}
+    if len(run_ids) == 1:
+        run_id = next(iter(run_ids))
+        doc_meta.setdefault("run_id", run_id)
+        # Stamp every record (metadata records included) so any slice
+        # inspected in Perfetto — or grepped in the raw JSON — carries
+        # the correlation id.
+        for rec in out:
+            rec.setdefault("args", {})
+            rec["args"].setdefault("run_id", run_id)
+    doc = {"traceEvents": out, "displayTimeUnit": "ms"}
+    if doc_meta:
+        doc["metadata"] = doc_meta
+    return doc
 
 
 def export_chrome_trace(events: List[Event], path: Union[str, Path],

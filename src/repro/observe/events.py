@@ -7,7 +7,7 @@ feeds the streaming metrics aggregator, and forwards the event to the
 configured sink (ring buffer, JSONL file, Chrome-trace file — see
 :mod:`repro.observe.sinks`).
 
-Event schema (version 1)
+Event schema (version 2)
 ------------------------
 
 Every event carries ``(ts, kind, task, queue, op, n, fill, meta)``;
@@ -15,6 +15,15 @@ unused fields stay at their defaults and are omitted from serialized
 forms.  ``ts`` is a :func:`time.perf_counter` timestamp in seconds,
 assigned under the tracer lock so the event stream is totally ordered
 even when emitted from multiple threads (x86sim).
+
+Schema 2 adds four correlation fields, all default-omitted so v1
+consumers keep working unchanged: ``run`` (the ``run_id`` minted by
+:func:`repro.exec.run_graph` or accepted from an inbound
+``X-Run-Id``/``traceparent`` header), ``labels`` (tenant/graph context
+stamped by the serve layer), and ``worker``/``seq`` (originating
+cgsim-mp worker id and per-worker sequence number, stamped at merge
+time so equal-timestamp events from different forked processes keep a
+deterministic total order — see :meth:`Tracer.ingest_all`).
 
 =================  ==========================================================
 kind               meaning / populated fields
@@ -35,6 +44,9 @@ kind               meaning / populated fields
 ``queue.put``      ``n`` element(s) appended; ``fill`` = occupancy after
 ``queue.get``      ``n`` element(s) popped; ``fill`` = remaining for the
                    reading consumer
+``health.stall``   the progress watchdog saw no forward progress for its
+                   window; ``meta`` = window_s + a ``describe_blockage``
+                   snapshot (see :mod:`repro.observe.health`)
 =================  ==========================================================
 
 The no-op path is the design constraint: when tracing is off no Tracer
@@ -57,14 +69,17 @@ __all__ = [
     "TASK_START", "TASK_RESUME", "TASK_SUSPEND", "TASK_UNPARK",
     "TASK_FINISH", "TASK_FAIL",
     "QUEUE_PUT", "QUEUE_GET",
-    "FAULT_INJECT",
+    "FAULT_INJECT", "HEALTH_STALL",
     "EVENT_KINDS",
     "Event",
     "Tracer",
 ]
 
 #: Version stamp carried in the ``run.begin`` event's metadata.
-SCHEMA_VERSION = 1
+#: Version 2 adds the ``run``/``labels``/``worker``/``seq`` correlation
+#: fields and the ``health.stall`` kind; all additions are
+#: default-omitted, so v1 readers parse v2 streams unchanged.
+SCHEMA_VERSION = 2
 
 RUN_BEGIN = "run.begin"
 RUN_END = "run.end"
@@ -77,27 +92,31 @@ TASK_FAIL = "task.fail"
 QUEUE_PUT = "queue.put"
 QUEUE_GET = "queue.get"
 FAULT_INJECT = "fault.inject"
+HEALTH_STALL = "health.stall"
 
-#: Every kind a schema-1 trace may contain.  ``fault.inject`` is a
-#: backwards-compatible addition (consumers ignore unknown kinds), so
-#: the schema version stays 1.
+#: Every kind a schema-2 trace may contain.  Consumers ignore unknown
+#: kinds, so additions here are always backwards-compatible.
 EVENT_KINDS = frozenset({
     RUN_BEGIN, RUN_END,
     TASK_START, TASK_RESUME, TASK_SUSPEND, TASK_UNPARK,
     TASK_FINISH, TASK_FAIL,
     QUEUE_PUT, QUEUE_GET,
     FAULT_INJECT,
+    HEALTH_STALL,
 })
 
 
 class Event:
     """One structured execution event (see the module schema table)."""
 
-    __slots__ = ("ts", "kind", "task", "queue", "op", "n", "fill", "meta")
+    __slots__ = ("ts", "kind", "task", "queue", "op", "n", "fill", "meta",
+                 "run", "labels", "worker", "seq")
 
     def __init__(self, ts: float, kind: str, task: str = "",
                  queue: str = "", op: str = "", n: int = 0,
-                 fill: int = -1, meta: Optional[Dict[str, Any]] = None):
+                 fill: int = -1, meta: Optional[Dict[str, Any]] = None,
+                 run: str = "", labels: Optional[Dict[str, str]] = None,
+                 worker: int = -1, seq: int = -1):
         self.ts = ts
         self.kind = kind
         self.task = task
@@ -106,6 +125,12 @@ class Event:
         self.n = n
         self.fill = fill
         self.meta = meta
+        self.run = run
+        # Shared reference (never copied per event): one labels dict is
+        # stamped across a whole run's stream at pointer cost.
+        self.labels = labels
+        self.worker = worker
+        self.seq = seq
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly form with default-valued fields omitted."""
@@ -122,6 +147,14 @@ class Event:
             d["fill"] = self.fill
         if self.meta:
             d["meta"] = self.meta
+        if self.run:
+            d["run"] = self.run
+        if self.labels:
+            d["labels"] = self.labels
+        if self.worker >= 0:
+            d["worker"] = self.worker
+        if self.seq >= 0:
+            d["seq"] = self.seq
         return d
 
     @staticmethod
@@ -135,6 +168,10 @@ class Event:
             n=int(d.get("n", 0)),
             fill=int(d.get("fill", -1)),
             meta=d.get("meta"),
+            run=str(d.get("run", "")),
+            labels=d.get("labels"),
+            worker=int(d.get("worker", -1)),
+            seq=int(d.get("seq", -1)),
         )
 
     def __eq__(self, other):
@@ -175,11 +212,20 @@ class Tracer:
         fraction of the event volume).
     metrics:
         When False, skip the streaming aggregator (export-only runs).
+    run_id:
+        Correlation id stamped on every emitted event (schema-2 ``run``
+        field).  Usually set after construction by
+        :func:`repro.exec.run_graph` via :meth:`set_context`.
+    labels:
+        Context labels (tenant/graph) stamped on every emitted event as
+        a shared dict reference.
     """
 
     def __init__(self, sink=None, *, queue_events: bool = True,
                  metrics: bool = True,
-                 clock: Callable[[], float] = perf_counter):
+                 clock: Callable[[], float] = perf_counter,
+                 run_id: str = "",
+                 labels: Optional[Dict[str, str]] = None):
         from .metrics import MetricsAggregator
         from .sinks import RingSink
 
@@ -189,6 +235,22 @@ class Tracer:
         self._clock = clock
         self._lock = threading.Lock()
         self.closed = False
+        self.run_id = run_id
+        self.labels = dict(labels) if labels else None
+
+    def set_context(self, run_id: str = "",
+                    labels: Optional[Dict[str, str]] = None) -> None:
+        """Fill in correlation context without clobbering values the
+        caller already pinned (an externally supplied ``X-Run-Id`` on a
+        caller-owned tracer wins over the minted default)."""
+        with self._lock:
+            if run_id and not self.run_id:
+                self.run_id = run_id
+            if labels:
+                merged = dict(labels)
+                if self.labels:
+                    merged.update(self.labels)
+                self.labels = merged
 
     # -- core emission -------------------------------------------------------
 
@@ -196,7 +258,8 @@ class Tracer:
              n: int = 0, fill: int = -1,
              meta: Optional[Dict[str, Any]] = None) -> None:
         with self._lock:
-            ev = Event(self._clock(), kind, task, queue, op, n, fill, meta)
+            ev = Event(self._clock(), kind, task, queue, op, n, fill, meta,
+                       run=self.run_id, labels=self.labels)
             if self.aggregator is not None:
                 self.aggregator.observe(ev)
             self.sink.write(ev)
@@ -213,16 +276,39 @@ class Tracer:
         share one timebase and the merged stream stays totally ordered.
         """
         with self._lock:
+            if self.run_id and not event.run:
+                event.run = self.run_id
+            if self.labels and not event.labels:
+                event.labels = self.labels
             if self.aggregator is not None:
                 self.aggregator.observe(event)
             self.sink.write(event)
 
+    def ingest_all(self, events: List[Event]) -> None:
+        """Ingest a merged multi-worker batch in deterministic order.
+
+        ``perf_counter`` timestamps from forked workers share one
+        timebase but have finite resolution, so distinct workers *can*
+        emit colliding timestamps.  Sorting by ``ts`` alone would then
+        leave the relative order to the incoming list layout —
+        stable-sorting by ``(ts, worker, seq)`` pins equal-timestamp
+        events to (worker id, per-worker emission sequence) so merged
+        Chrome exports are reproducible run to run.
+        """
+        for ev in sorted(events, key=lambda e: (e.ts, e.worker, e.seq)):
+            self.ingest(ev)
+
     # -- typed helpers (the engine-facing surface) ---------------------------
 
     def run_begin(self, graph: str, backend: str) -> None:
-        self.emit(RUN_BEGIN, meta={
+        meta: Dict[str, Any] = {
             "graph": graph, "backend": backend, "schema": SCHEMA_VERSION,
-        })
+        }
+        if self.run_id:
+            meta["run_id"] = self.run_id
+        if self.labels:
+            meta.update(self.labels)
+        self.emit(RUN_BEGIN, meta=meta)
 
     def run_end(self, graph: str, backend: str) -> None:
         self.emit(RUN_END, meta={"graph": graph, "backend": backend})
@@ -257,6 +343,16 @@ class Tracer:
         if detail:
             meta.update(detail)
         self.emit(FAULT_INJECT, task=task, queue=queue, meta=meta)
+
+    def health_stall(self, task: str = "", window_s: float = 0.0,
+                     snapshot: str = "") -> None:
+        """The progress watchdog fired: no forward progress for
+        *window_s* seconds; *snapshot* is a ``describe_blockage``-style
+        wait-state dump taken at detection time."""
+        meta: Dict[str, Any] = {"window_s": window_s}
+        if snapshot:
+            meta["snapshot"] = snapshot
+        self.emit(HEALTH_STALL, task=task, meta=meta)
 
     def queue_put(self, queue: str, n: int, fill: int) -> None:
         self.emit(QUEUE_PUT, queue=queue, n=n, fill=fill)

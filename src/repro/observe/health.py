@@ -1,0 +1,181 @@
+"""Progress watchdog: detect silently stalled runs while they run.
+
+Deadlock detection in the cooperative runtime is *post-hoc* — the
+scheduler only diagnoses a blockage once every task has parked and the
+run loop exits.  A run that keeps one task nominally runnable (a slow
+external sink, a livelocked retry loop, a wedged forked worker) never
+reaches that diagnosis; to an operator it just looks quiet.  The
+:class:`ProgressWatchdog` closes that gap with a deliberately cheap
+contract:
+
+* The runtime hands it a zero-argument ``progress_fn`` returning any
+  comparable snapshot of forward progress (queue transfer totals plus
+  task resume counts for cgsim; ring-header counters for cgsim-mp).
+* A daemon thread polls the snapshot a few times per window.  While the
+  value keeps changing, nothing else happens — the hot path carries
+  **no** per-event hook, so enabling the watchdog costs a handful of
+  counter reads per second (see ``benchmarks/bench_observe_overhead``).
+* When a full window passes without change, the watchdog captures a
+  ``describe_blockage``-style snapshot, appends a :class:`StallReport`,
+  emits a structured ``health.stall`` event through the run's tracer,
+  and invokes the ``on_stall`` callback (the serve layer uses it to
+  flip the run's ``stalled_suspect`` annotation).  It then re-arms:
+  progress resuming and stalling again produces a second report.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import GraphRuntimeError
+
+__all__ = ["StallReport", "ProgressWatchdog", "coerce_watchdog"]
+
+
+class StallReport:
+    """One no-progress window detection."""
+
+    def __init__(self, window_s: float, at_s: float, snapshot: str = "",
+                 scope: str = ""):
+        self.window_s = window_s
+        #: ``perf_counter`` timestamp at detection, same timebase as
+        #: trace events.
+        self.at_s = at_s
+        self.snapshot = snapshot
+        self.scope = scope
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"window_s": self.window_s, "at_s": self.at_s}
+        if self.snapshot:
+            d["snapshot"] = self.snapshot
+        if self.scope:
+            d["scope"] = self.scope
+        return d
+
+    def __repr__(self):
+        return f"<StallReport {self.scope or 'run'} {self.window_s}s>"
+
+
+class ProgressWatchdog:
+    """Heartbeat monitor over a caller-supplied progress snapshot."""
+
+    def __init__(self, window_s: float = 5.0, *,
+                 poll_s: Optional[float] = None,
+                 on_stall: Optional[Callable[[StallReport], None]] = None):
+        if window_s <= 0:
+            raise GraphRuntimeError(
+                f"watchdog window must be > 0 seconds, got {window_s}")
+        self.window_s = float(window_s)
+        # A few polls per window bounds detection latency at ~1.25x the
+        # window without busy-waiting tiny windows.
+        self.poll_s = float(poll_s) if poll_s else \
+            min(max(self.window_s / 4.0, 0.005), 0.5)
+        self.on_stall = on_stall
+        #: Every stall window detected, in order.
+        self.stalls: List[StallReport] = []
+        self._beats = 0
+        self._lock = threading.Lock()
+        self._stop_ev = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def stalled(self) -> bool:
+        return bool(self.stalls)
+
+    def notify(self) -> None:
+        """Event-driven heartbeat for callers without a pollable
+        counter (folded into the progress snapshot)."""
+        with self._lock:
+            self._beats += 1
+
+    def start(self, *, progress_fn: Callable[[], Any],
+              blockage_fn: Optional[Callable[[], str]] = None,
+              tracer=None, scope: str = "") -> "ProgressWatchdog":
+        """Begin monitoring.  *progress_fn* must be cheap and safe to
+        call from the watchdog thread; *blockage_fn* (optional) renders
+        the wait-state snapshot attached to stall reports."""
+        if self._thread is not None:
+            raise GraphRuntimeError("watchdog already started")
+        self._stop_ev.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-watchdog", daemon=True,
+            args=(progress_fn, blockage_fn, tracer, scope))
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop monitoring (idempotent); joins the poller thread."""
+        if self._thread is not None:
+            self._stop_ev.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- poller thread -------------------------------------------------------
+
+    def _snapshot(self, progress_fn) -> Any:
+        with self._lock:
+            beats = self._beats
+        return (progress_fn(), beats)
+
+    def _loop(self, progress_fn, blockage_fn, tracer, scope) -> None:
+        try:
+            last = self._snapshot(progress_fn)
+        except Exception:
+            return
+        last_t = perf_counter()
+        fired = False
+        while not self._stop_ev.wait(self.poll_s):
+            try:
+                cur = self._snapshot(progress_fn)
+            except Exception:
+                return  # run tore down under us; nothing to watch
+            now = perf_counter()
+            if cur != last:
+                last, last_t, fired = cur, now, False
+                continue
+            if fired or now - last_t < self.window_s:
+                continue
+            snapshot = ""
+            if blockage_fn is not None:
+                try:
+                    snapshot = blockage_fn() or ""
+                except Exception:
+                    snapshot = ""
+            report = StallReport(self.window_s, now, snapshot, scope)
+            self.stalls.append(report)
+            if tracer is not None:
+                try:
+                    tracer.health_stall(task=scope,
+                                        window_s=self.window_s,
+                                        snapshot=snapshot)
+                except Exception:
+                    pass
+            if self.on_stall is not None:
+                try:
+                    self.on_stall(report)
+                except Exception:
+                    pass
+            fired = True  # re-arms when progress resumes
+
+    def __repr__(self):
+        state = "running" if self._thread is not None else "idle"
+        return (f"<ProgressWatchdog window={self.window_s}s {state} "
+                f"stalls={len(self.stalls)}>")
+
+
+def coerce_watchdog(spec: Any) -> Optional[ProgressWatchdog]:
+    """Normalise the ``watchdog=`` run option: ``None``/``False``/``0``
+    → off, a positive number → window in seconds, or a caller-built
+    :class:`ProgressWatchdog` (ownership stays with the caller)."""
+    if spec is None or spec is False or spec == 0:
+        return None
+    if isinstance(spec, ProgressWatchdog):
+        return spec
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        return ProgressWatchdog(float(spec))
+    raise GraphRuntimeError(
+        f"cannot interpret watchdog={spec!r}; pass a window in seconds "
+        f"or a ProgressWatchdog"
+    )

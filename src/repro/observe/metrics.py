@@ -73,6 +73,9 @@ class TraceMetrics:
     graph: str = ""
     backend: str = ""
     schema: int = 0
+    #: Correlation id of the traced run (schema 2), ``"*"`` when a
+    #: merged aggregate spans several runs.
+    run_id: str = ""
     n_events: int = 0
     wall_s: float = 0.0
     kernels: Dict[str, KernelMetrics] = field(default_factory=dict)
@@ -83,6 +86,11 @@ class TraceMetrics:
     #: queue -> {task: seconds blocked *reading* it} (queue empty; the
     #: queue's producers starved this task).
     starvation: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: ``health.stall`` detections seen in the trace (progress watchdog).
+    health_stalls: int = 0
+    #: Sampling-profiler self-time table when the run was profiled:
+    #: ``{task: {"samples": n, "self_s": seconds}}``, hottest first.
+    profile: Optional[Dict[str, Dict[str, float]]] = None
 
     def busy_fraction(self, task: str) -> float:
         k = self.kernels.get(task)
@@ -104,7 +112,7 @@ class TraceMetrics:
         return rows[:limit]
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        d = {
             "graph": self.graph,
             "backend": self.backend,
             "schema": self.schema,
@@ -129,12 +137,24 @@ class TraceMetrics:
             "backpressure": {q: dict(t) for q, t in self.backpressure.items()},
             "starvation": {q: dict(t) for q, t in self.starvation.items()},
         }
+        # Schema-2 additions are emitted only when present, so v1
+        # consumers (and golden files) see the old document unchanged.
+        if self.run_id:
+            d["run_id"] = self.run_id
+        if self.health_stalls:
+            d["health_stalls"] = self.health_stalls
+        if self.profile:
+            d["profile"] = {t: dict(row) for t, row in self.profile.items()}
+        return d
 
-    def summary(self) -> str:
-        """Human-readable multi-line summary (the CLI's output)."""
+    def summary(self, top: int = 5) -> str:
+        """Human-readable multi-line summary (the CLI's output);
+        *top* bounds the stall-edge table."""
         head = (f"trace of {self.graph or '?'} on "
                 f"{self.backend or '?'}: {self.n_events} events, "
                 f"wall {self.wall_s * 1e3:.2f} ms")
+        if self.run_id:
+            head += f" (run {self.run_id})"
         lines = [head, "", f"{'task':<22}{'role':<8}{'busy ms':>10}"
                  f"{'blocked ms':>12}{'resumes':>9}{'parks r/w':>11}"]
         for name in sorted(self.kernels):
@@ -152,7 +172,7 @@ class TraceMetrics:
                 q = self.queues[name]
                 lines.append(f"{name:<22}{q.puts:>9}{q.gets:>9}"
                              f"{q.watermark:>11}")
-        stalls = self.top_stalls()
+        stalls = self.top_stalls(limit=top)
         if stalls:
             lines.append("")
             lines.append("top stall edges (who was stalled, by which queue):")
@@ -163,6 +183,17 @@ class TraceMetrics:
                     f"  {task:<20} {sec * 1e3:>9.3f} ms on {cause} "
                     f"{qname!r} ({kind})"
                 )
+        if self.profile:
+            lines.append("")
+            lines.append(f"{'profiled task':<22}{'samples':>9}"
+                         f"{'self ms':>10}")
+            for name, row in self.profile.items():
+                lines.append(f"{name:<22}{int(row['samples']):>9}"
+                             f"{row['self_s'] * 1e3:>10.3f}")
+        if self.health_stalls:
+            lines.append("")
+            lines.append(f"watchdog: {self.health_stalls} no-progress "
+                         f"window(s) detected")
         return "\n".join(lines)
 
 
@@ -270,8 +301,13 @@ class MetricsAggregator:
                 m.graph = ev.meta.get("graph", m.graph)
                 m.backend = ev.meta.get("backend", m.backend)
                 m.schema = ev.meta.get("schema", m.schema)
+                m.run_id = ev.meta.get("run_id", m.run_id)
         elif kind == E.RUN_END:
             self._end_ts = ts
+        elif kind == E.HEALTH_STALL:
+            m.health_stalls += 1
+        if ev.run and not m.run_id:
+            m.run_id = ev.run
         # TASK_UNPARK carries no duration of its own: the park interval
         # closes at the next resume (ready-deque wait is counted as
         # blocked, matching the paper's "time not inside the kernel").
@@ -322,14 +358,27 @@ def merge_metrics(metrics_list) -> TraceMetrics:
             continue
         if first:
             out.graph, out.backend, out.schema = m.graph, m.backend, m.schema
+            out.run_id = m.run_id
             first = False
         else:
             if m.graph != out.graph:
                 out.graph = "*"
             if m.backend != out.backend:
                 out.backend = "*"
+            if m.run_id != out.run_id:
+                out.run_id = "*"
         out.n_events += m.n_events
         out.wall_s += m.wall_s
+        out.health_stalls += m.health_stalls
+        if m.profile:
+            if out.profile is None:
+                out.profile = {}
+            for task, row in m.profile.items():
+                acc_row = out.profile.setdefault(
+                    task, {"samples": 0, "self_s": 0.0})
+                acc_row["samples"] += row.get("samples", 0)
+                acc_row["self_s"] = round(
+                    acc_row["self_s"] + row.get("self_s", 0.0), 6)
         for name, k in m.kernels.items():
             acc = out.kernels.setdefault(name, KernelMetrics(role=k.role))
             acc.busy_s += k.busy_s

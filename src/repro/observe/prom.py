@@ -1,0 +1,296 @@
+"""Prometheus text exposition format 0.0.4: encoder and strict parser.
+
+:func:`render_prometheus` turns a :class:`~.registry.MetricsRegistry`
+(or a pre-collected family list) into the classic text format::
+
+    # HELP repro_serve_runs_total Run lifecycle events by type.
+    # TYPE repro_serve_runs_total counter
+    repro_serve_runs_total{event="submitted"} 12
+
+:func:`parse_prometheus` is the matching *strict* checker used by the
+CI observability smoke job: it validates metric/label name grammar,
+escape sequences, float syntax, histogram bucket monotonicity, the
+mandatory ``+Inf`` bucket, and ``+Inf == _count`` consistency, and
+raises :class:`PromParseError` on the first violation.  Keeping the
+checker next to the encoder means the scrape contract is enforced by
+the repo itself rather than by an external scraper's leniency.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import GraphRuntimeError
+from .registry import MetricFamily, MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_prometheus",
+    "parse_prometheus",
+    "PromParseError",
+    "ParsedFamily",
+]
+
+#: The scrape response content type for text format 0.0.4.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_KINDS = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+#: Sample-name suffixes each family kind may legally emit.
+_SUFFIXES = {
+    "histogram": ("_bucket", "_sum", "_count", ""),
+    "summary": ("_sum", "_count", ""),
+}
+
+
+class PromParseError(GraphRuntimeError):
+    """Strict text-format violation, with the offending line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _fmt_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+        source: Union[MetricsRegistry, List[MetricFamily]]) -> str:
+    """Render a registry (or pre-collected families) to exposition
+    text.  Families render in collection order; every family gets its
+    ``# HELP``/``# TYPE`` header exactly once."""
+    families = (source.collect() if isinstance(source, MetricsRegistry)
+                else list(source))
+    out: List[str] = []
+    for fam in families:
+        if fam.help:
+            out.append(f"# HELP {fam.name} {_escape_help(fam.help)}")
+        out.append(f"# TYPE {fam.name} {fam.kind}")
+        for s in fam.samples:
+            name = fam.name + s.suffix
+            if s.labels:
+                pairs = ",".join(
+                    f'{k}="{_escape_label(str(v))}"'
+                    for k, v in s.labels.items()
+                )
+                out.append(f"{name}{{{pairs}}} {_fmt_value(s.value)}")
+            else:
+                out.append(f"{name} {_fmt_value(s.value)}")
+    return "\n".join(out) + "\n" if out else ""
+
+
+# -- strict parsing ----------------------------------------------------------
+
+
+class ParsedFamily:
+    """One family reconstructed from exposition text."""
+
+    def __init__(self, name: str, kind: str = "untyped", help: str = ""):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        #: ``(sample_name, labels, value)`` in document order.
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def __repr__(self):
+        return (f"<ParsedFamily {self.name} {self.kind} "
+                f"{len(self.samples)} samples>")
+
+
+def _parse_value(raw: str, lineno: int) -> float:
+    token = raw.strip()
+    if token in ("+Inf", "Inf"):
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise PromParseError(lineno, f"invalid sample value {raw!r}")
+
+
+def _parse_labels(raw: str, lineno: int) -> Dict[str, str]:
+    """Parse the ``k="v",...`` body between braces, honouring escapes."""
+    labels: Dict[str, str] = {}
+    i, n = 0, len(raw)
+    while i < n:
+        j = raw.find("=", i)
+        if j < 0:
+            raise PromParseError(lineno, f"malformed labels near {raw[i:]!r}")
+        lname = raw[i:j].strip()
+        if not _LABEL_RE.match(lname):
+            raise PromParseError(lineno, f"invalid label name {lname!r}")
+        if lname in labels:
+            raise PromParseError(lineno, f"duplicate label {lname!r}")
+        i = j + 1
+        if i >= n or raw[i] != '"':
+            raise PromParseError(lineno, "label value must be quoted")
+        i += 1
+        buf: List[str] = []
+        while i < n and raw[i] != '"':
+            ch = raw[i]
+            if ch == "\\":
+                if i + 1 >= n:
+                    raise PromParseError(lineno, "dangling escape")
+                nxt = raw[i + 1]
+                if nxt == "n":
+                    buf.append("\n")
+                elif nxt in ("\\", '"'):
+                    buf.append(nxt)
+                else:
+                    raise PromParseError(lineno, f"bad escape \\{nxt}")
+                i += 2
+            else:
+                buf.append(ch)
+                i += 1
+        if i >= n:
+            raise PromParseError(lineno, "unterminated label value")
+        i += 1  # closing quote
+        labels[lname] = "".join(buf)
+        if i < n:
+            if raw[i] != ",":
+                raise PromParseError(
+                    lineno, f"expected ',' between labels, got {raw[i]!r}")
+            i += 1
+    return labels
+
+
+def _family_of(sample_name: str,
+               families: Dict[str, ParsedFamily]) -> Optional[ParsedFamily]:
+    fam = families.get(sample_name)
+    if fam is not None:
+        return fam
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            fam = families.get(sample_name[: -len(suffix)])
+            if fam is not None and fam.kind in _SUFFIXES:
+                return fam
+    return None
+
+
+def _check_histograms(families: Dict[str, ParsedFamily]) -> None:
+    for fam in families.values():
+        if fam.kind != "histogram":
+            continue
+        by_series: Dict[Tuple[Tuple[str, str], ...],
+                        Dict[str, List]] = {}
+        for name, labels, value in fam.samples:
+            bare = {k: v for k, v in labels.items() if k != "le"}
+            key = tuple(sorted(bare.items()))
+            row = by_series.setdefault(key, {"buckets": [], "count": None})
+            if name == fam.name + "_bucket":
+                if "le" not in labels:
+                    raise PromParseError(
+                        0, f"{fam.name}_bucket sample without le label")
+                row["buckets"].append(
+                    (_parse_value(labels["le"], 0), value))
+            elif name == fam.name + "_count":
+                row["count"] = value
+        for key, row in by_series.items():
+            buckets = row["buckets"]
+            if not buckets:
+                continue
+            bounds = [b for b, _ in buckets]
+            if bounds != sorted(bounds):
+                raise PromParseError(
+                    0, f"{fam.name} buckets out of le order for {key}")
+            counts = [c for _, c in buckets]
+            if counts != sorted(counts):
+                raise PromParseError(
+                    0, f"{fam.name} bucket counts decrease for {key}")
+            if not math.isinf(bounds[-1]):
+                raise PromParseError(
+                    0, f"{fam.name} missing +Inf bucket for {key}")
+            if row["count"] is not None and counts[-1] != row["count"]:
+                raise PromParseError(
+                    0,
+                    f"{fam.name} +Inf bucket {counts[-1]} != _count "
+                    f"{row['count']} for {key}",
+                )
+
+
+def parse_prometheus(text: str) -> Dict[str, ParsedFamily]:
+    """Strictly parse exposition text; returns families keyed by name.
+
+    Raises :class:`PromParseError` on any grammar or consistency
+    violation (see the module docstring for the checks performed).
+    """
+    families: Dict[str, ParsedFamily] = {}
+    seen_series: set = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                if not _NAME_RE.match(name):
+                    raise PromParseError(lineno, f"invalid name {name!r}")
+                fam = families.setdefault(name, ParsedFamily(name))
+                if parts[1] == "HELP":
+                    fam.help = parts[3] if len(parts) > 3 else ""
+                else:
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in _KINDS:
+                        raise PromParseError(
+                            lineno, f"unknown metric type {kind!r}")
+                    if fam.samples:
+                        raise PromParseError(
+                            lineno, f"# TYPE {name} after its samples")
+                    fam.kind = kind
+            continue  # other comments are legal and ignored
+        # sample line: name[{labels}] value [timestamp]
+        m = re.match(r"([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)"
+                     r"(\s+-?\d+)?\s*$", line)
+        if not m:
+            raise PromParseError(lineno, f"malformed sample line {line!r}")
+        sample_name, _braced, label_body, raw_value, _ts = m.groups()
+        labels = _parse_labels(label_body, lineno) if label_body else {}
+        value = _parse_value(raw_value, lineno)
+        fam = _family_of(sample_name, families)
+        if fam is None:
+            fam = families.setdefault(sample_name,
+                                      ParsedFamily(sample_name))
+        elif fam.kind in _SUFFIXES:
+            allowed = tuple(fam.name + s for s in _SUFFIXES[fam.kind])
+            if sample_name not in allowed:
+                raise PromParseError(
+                    lineno,
+                    f"{sample_name} not a legal {fam.kind} sample of "
+                    f"{fam.name}",
+                )
+        elif sample_name != fam.name:
+            raise PromParseError(
+                lineno, f"{sample_name} does not match family {fam.name}")
+        series = (sample_name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            raise PromParseError(
+                lineno, f"duplicate series {sample_name}{labels!r}")
+        seen_series.add(series)
+        fam.samples.append((sample_name, labels, value))
+    _check_histograms(families)
+    return families

@@ -49,6 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-records", type=int, default=10_000,
                    help="terminal run records retained before "
                         "oldest-first eviction (default 10000)")
+    p.add_argument("--watchdog", type=float, default=0.0, metavar="S",
+                   help="default no-progress watchdog window in seconds "
+                        "applied to every run; stalled runs get a "
+                        "stalled_suspect annotation (default off)")
+    p.add_argument("--profile-dir", default=None, metavar="DIR",
+                   help="write collapsed-stack flamegraphs of profiled "
+                        "runs (<graph>_<run_id>.collapsed) into DIR")
     p.add_argument("--import", dest="imports", action="append", default=[],
                    metavar="MODULE",
                    help="import MODULE at startup so submitted graphs "
@@ -71,6 +78,8 @@ def main(argv=None) -> int:
         ),
         max_body_bytes=args.max_body_mb * 1024 * 1024,
         max_records=args.max_records,
+        watchdog_s=args.watchdog,
+        profile_dir=args.profile_dir,
         imports=tuple(args.imports),
     )
     server = RunServer(GraphService(config), host=args.host,

@@ -49,16 +49,19 @@ class ServeClient:
     # -- raw request -------------------------------------------------------
 
     def request(self, method: str, path: str,
-                body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                body: Optional[Dict[str, Any]] = None,
+                headers: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
             payload = None
-            headers = {"X-Tenant": self.tenant}
+            hdrs = {"X-Tenant": self.tenant}
+            if headers:
+                hdrs.update(headers)
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=payload, headers=headers)
+                hdrs["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=hdrs)
             resp = conn.getresponse()
             raw = resp.read()
             try:
@@ -83,14 +86,34 @@ class ServeClient:
     def metrics(self) -> Dict[str, Any]:
         return self.request("GET", "/metrics")
 
+    def metrics_prometheus(self) -> str:
+        """The ``/metrics?format=prometheus`` text exposition, verbatim."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", "/metrics?format=prometheus",
+                         headers={"X-Tenant": self.tenant})
+            resp = conn.getresponse()
+            raw = resp.read()
+            if resp.status >= 400:
+                raise ServeClientError(resp.status,
+                                       raw.decode("utf-8", "replace"))
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
     def submit(self, submission: Dict[str, Any], *,
-               encode_inputs: bool = True) -> str:
+               encode_inputs: bool = True,
+               run_id: Optional[str] = None) -> str:
         """POST a run; returns the run id.  ``inputs`` entries may be
-        numpy arrays / complex scalars — they are wire-encoded here."""
+        numpy arrays / complex scalars — they are wire-encoded here.
+        *run_id* is sent as the ``X-Run-Id`` trace-context header."""
         doc = dict(submission)
         if encode_inputs and "inputs" in doc:
             doc["inputs"] = [encode_value(v) for v in doc["inputs"]]
-        return self.request("POST", "/runs", body=doc)["id"]
+        headers = {"X-Run-Id": run_id} if run_id else None
+        return self.request("POST", "/runs", body=doc,
+                            headers=headers)["id"]
 
     def get_run(self, run_id: str) -> Dict[str, Any]:
         return self.request("GET", f"/runs/{run_id}")

@@ -15,14 +15,38 @@ One lock-guarded accumulator fed by the scheduler and the run executor:
   :class:`~repro.observe.TraceMetrics` (via
   :func:`repro.observe.merge_metrics`): total kernel busy/blocked
   seconds and queue transfer counts across the whole service lifetime.
+
+Every counter is *backed* by a per-service
+:class:`~repro.observe.registry.MetricsRegistry` (typed Counter/Gauge
+instruments with tenant/graph/event labels), so the same state renders
+two ways: the JSON snapshot above, and Prometheus text exposition via
+:meth:`ServiceMetrics.prometheus` (``GET /metrics?format=prometheus``).
+The latency histogram and the plan cache export through scrape-time
+collector callbacks — one source of truth, no double bookkeeping.
+Recent run ids surface as a bounded ``repro_serve_run_info`` gauge so a
+run submitted over HTTP is findable by its correlation id in the scrape.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..observe.registry import (
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+    _bound_label,
+    log2_ms_buckets,
+)
 
 __all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+#: Distinct run ids retained in the ``repro_serve_run_info`` gauge —
+#: enough for dashboards to correlate recent runs without letting the
+#: scrape grow with service lifetime.
+RUN_INFO_LIMIT = 64
 
 
 class LatencyHistogram:
@@ -94,9 +118,12 @@ _COUNTER_KEYS = ("submitted", "admitted", "rejected_queue",
 
 
 class ServiceMetrics:
-    """Thread-safe counters + latency histogram + observe aggregation."""
+    """Thread-safe counters + latency histogram + observe aggregation,
+    backed by a per-service :class:`MetricsRegistry` for Prometheus
+    exposition.  A private registry per service keeps concurrent test
+    services (and their scrapes) fully isolated."""
 
-    def __init__(self):
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {k: 0 for k in _COUNTER_KEYS}
         self._per_tenant: Dict[str, Dict[str, int]] = {}
@@ -105,6 +132,29 @@ class ServiceMetrics:
         self.latency = LatencyHistogram()
         self._trace_metrics: List[Any] = []
         self._traced_runs = 0
+        self._run_info: "OrderedDict[str, Tuple[str, str, str]]" = \
+            OrderedDict()
+
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._runs_total = self.registry.counter(
+            "repro_serve_runs_total",
+            "Run lifecycle events (submitted/admitted/completed/...).",
+            ("event",))
+        self._tenant_runs = self.registry.counter(
+            "repro_serve_tenant_runs_total",
+            "Run lifecycle events split by tenant.",
+            ("tenant", "event"))
+        self._graph_runs = self.registry.counter(
+            "repro_serve_graph_runs_total",
+            "Run lifecycle events split by graph.",
+            ("graph", "event"))
+        in_flight = self.registry.gauge(
+            "repro_serve_in_flight", "Admitted-but-unfinished runs.")
+        in_flight.set_function(lambda: self._in_flight)
+        self.registry.register_collector(self._collect_latency)
+        self.registry.register_collector(_collect_plan_cache)
+        self.registry.register_collector(self._collect_run_info)
 
     # -- recording ---------------------------------------------------------
 
@@ -115,6 +165,14 @@ class ServiceMetrics:
             row = table[key] = {}
         row[counter] = row.get(counter, 0) + 1
 
+    def _export(self, counter: str, tenant: str, graph: str) -> None:
+        # Instruments carry their own locks; called outside self._lock.
+        self._runs_total.labels(event=counter).inc()
+        if tenant:
+            self._tenant_runs.labels(tenant=tenant, event=counter).inc()
+        if graph:
+            self._graph_runs.labels(graph=graph, event=counter).inc()
+
     def count(self, counter: str, *, tenant: str = "",
               graph: str = "") -> None:
         with self._lock:
@@ -123,17 +181,23 @@ class ServiceMetrics:
                 self._bump(self._per_tenant, tenant, counter)
             if graph:
                 self._bump(self._per_graph, graph, counter)
+        self._export(counter, tenant, graph)
 
-    def run_admitted(self, tenant: str, graph: str) -> None:
+    def run_admitted(self, tenant: str, graph: str,
+                     run_id: str = "") -> None:
         with self._lock:
             self._counters["admitted"] += 1
             self._in_flight += 1
             self._bump(self._per_tenant, tenant, "admitted")
             self._bump(self._per_graph, graph, "admitted")
+            if run_id:
+                self._run_info_locked(run_id, tenant, graph, "running")
+        self._export("admitted", tenant, graph)
 
     def run_finished(self, tenant: str, graph: str, state: str,
                      latency_s: float,
-                     trace_metrics: Any = None) -> None:
+                     trace_metrics: Any = None,
+                     run_id: str = "") -> None:
         counter = {"ok": "completed", "failed": "failed",
                    "stalled": "stalled"}.get(state, "errors")
         with self._lock:
@@ -142,6 +206,8 @@ class ServiceMetrics:
             self._bump(self._per_tenant, tenant, counter)
             self._bump(self._per_graph, graph, counter)
             self.latency.record(latency_s)
+            if run_id:
+                self._run_info_locked(run_id, tenant, graph, state)
             if trace_metrics is not None:
                 self._traced_runs += 1
                 self._trace_metrics.append(trace_metrics)
@@ -151,6 +217,59 @@ class ServiceMetrics:
 
                     merged = merge_metrics(self._trace_metrics)
                     self._trace_metrics = [merged]
+        self._export(counter, tenant, graph)
+
+    def _run_info_locked(self, run_id: str, tenant: str, graph: str,
+                         state: str) -> None:
+        self._run_info[run_id] = (tenant, graph, state)
+        self._run_info.move_to_end(run_id)
+        while len(self._run_info) > RUN_INFO_LIMIT:
+            self._run_info.popitem(last=False)
+
+    # -- Prometheus exposition ---------------------------------------------
+
+    def _collect_latency(self) -> List[MetricFamily]:
+        """Render :attr:`latency` as a Prometheus histogram.  Bucket *i*
+        of :class:`LatencyHistogram` holds ``[2**(i-1), 2**i) ms``, so
+        its cumulative upper bounds are exactly
+        :func:`~repro.observe.registry.log2_ms_buckets`."""
+        bounds = log2_ms_buckets(LatencyHistogram.N_BUCKETS)
+        with self._lock:
+            counts = list(self.latency.counts)
+            total = self.latency.total
+            sum_s = self.latency.sum_s
+        fam = MetricFamily(
+            "repro_serve_run_latency_seconds", "histogram",
+            "Submit-to-finish run latency (log2 millisecond buckets).")
+        cum = 0
+        for bound, n in zip(bounds, counts):
+            cum += n
+            fam.samples.append(
+                Sample("_bucket", {"le": _bound_label(bound)}, cum))
+        fam.samples.append(Sample("_bucket", {"le": "+Inf"}, total))
+        fam.samples.append(Sample("_sum", {}, sum_s))
+        fam.samples.append(Sample("_count", {}, total))
+        return [fam]
+
+    def _collect_run_info(self) -> List[MetricFamily]:
+        with self._lock:
+            rows = list(self._run_info.items())
+        fam = MetricFamily(
+            "repro_serve_run_info", "gauge",
+            f"Recent runs (last {RUN_INFO_LIMIT}): correlation id, "
+            f"tenant, graph, terminal state.")
+        for rid, (tenant, graph, state) in rows:
+            fam.samples.append(Sample("", {
+                "run_id": rid, "tenant": tenant,
+                "graph": graph, "state": state,
+            }, 1.0))
+        return [fam]
+
+    def prometheus(self) -> str:
+        """The ``GET /metrics?format=prometheus`` text document."""
+        from ..observe.prom import render_prometheus
+
+        return render_prometheus(self.registry)
 
     # -- snapshot ----------------------------------------------------------
 
@@ -209,3 +328,29 @@ class ServiceMetrics:
         if registry_counts is not None:
             doc["registry"] = registry_counts
         return doc
+
+
+def _collect_plan_cache() -> List[MetricFamily]:
+    """Scrape-time view of the process-wide compiled-plan cache."""
+    from ..exec import plan_cache_stats
+
+    cache = plan_cache_stats()
+
+    def fam(name: str, kind: str, help: str, value: float) -> MetricFamily:
+        return MetricFamily(name, kind, help,
+                            [Sample("", {}, float(value))])
+
+    return [
+        fam("repro_serve_plan_cache_hits_total", "counter",
+            "Compiled-plan cache hits.", cache["hits"]),
+        fam("repro_serve_plan_cache_misses_total", "counter",
+            "Compiled-plan cache misses.", cache["misses"]),
+        fam("repro_serve_plan_cache_evictions_total", "counter",
+            "Compiled-plan cache evictions.", cache["evictions"]),
+        fam("repro_serve_plan_cache_entries", "gauge",
+            "Compiled plans currently cached.", cache["entries"]),
+        fam("repro_serve_plan_cache_graphs", "gauge",
+            "Distinct graphs with cached plans.", cache["graphs"]),
+        fam("repro_serve_plan_cache_limit", "gauge",
+            "Plan-cache entry capacity.", cache["limit"]),
+    ]

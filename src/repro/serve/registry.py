@@ -52,6 +52,10 @@ class RunRecord:
     #: Per-run TraceMetrics (trace=true submissions only).
     trace_metrics: Any = None
     options: Dict[str, Any] = field(default_factory=dict)
+    #: Flipped by the progress watchdog when the run went a full
+    #: no-progress window; a run can recover and still finish ``ok``
+    #: with this annotation set (it means "was stalled at some point").
+    stalled_suspect: bool = False
 
     @property
     def latency_s(self) -> Optional[float]:
@@ -74,6 +78,7 @@ class RunRecord:
             "latency_s": self.latency_s,
             "options": self.options,
             "traced": self.trace_events is not None,
+            "stalled_suspect": self.stalled_suspect,
         }
         if include_result:
             d["result"] = self.result_wire
@@ -97,9 +102,19 @@ class RunRegistry:
 
     def create(self, *, tenant: str, graph_name: str, backend: str,
                label: str = "",
-               options: Optional[Dict[str, Any]] = None) -> RunRecord:
+               options: Optional[Dict[str, Any]] = None,
+               run_id: Optional[str] = None) -> RunRecord:
+        """Create a queued record.  *run_id* lets the caller supply an
+        external correlation id (``X-Run-Id`` / traceparent); it must be
+        unused — raises :class:`KeyError` on collision so the HTTP layer
+        can answer 409 instead of silently aliasing two runs."""
         with self._lock:
-            run_id = f"r{next(self._counter):08d}"
+            if run_id is None:
+                run_id = f"r{next(self._counter):08d}"
+            elif run_id in self._records:
+                raise KeyError(
+                    f"run id {run_id!r} already exists"
+                )
             rec = RunRecord(
                 run_id=run_id, tenant=tenant, graph_name=graph_name,
                 backend=backend, label=label,
@@ -145,6 +160,17 @@ class RunRegistry:
             rec = self._records[run_id]
             rec.state = "running"
             rec.started_ts = self._clock()
+
+    def annotate(self, run_id: str, **fields: Any) -> None:
+        """Set advisory fields (e.g. ``stalled_suspect=True``) on a
+        record without a state transition; unknown ids are ignored (the
+        watchdog may outlive an evicted record by a poll interval)."""
+        with self._lock:
+            rec = self._records.get(run_id)
+            if rec is None:
+                return
+            for key, value in fields.items():
+                setattr(rec, key, value)
 
     def finish(self, run_id: str, state: str, **fields: Any) -> RunRecord:
         """Transition to a terminal *state*, stamping ``finished_ts`` and

@@ -16,9 +16,18 @@ Endpoints (all JSON; tenancy via the ``X-Tenant`` header, default
                            runs submitted with ``trace=true``
 ``GET /metrics``           live service metrics (run counters, latency
                            histogram, plan-cache hit rate, per-tenant
-                           counters, aggregated observe totals)
+                           counters, aggregated observe totals); with
+                           ``?format=prometheus`` the same registry
+                           renders as Prometheus text exposition 0.0.4
 ``GET /healthz``           liveness probe
 =========================  ==============================================
+
+``POST /runs`` accepts trace-context correlation inbound: an
+``X-Run-Id`` header (filename-safe id, <= 128 chars) or a W3C
+``traceparent`` header (the 32-hex trace-id becomes the run id).  The
+chosen id is the run record key, appears in the 202 response, and is
+stamped on every observe event of the execution; a colliding id
+answers 409.
 
 Request handling threads only parse/serve JSON; graph execution happens
 on the service's own bounded worker pool, so a slow run never pins an
@@ -28,6 +37,7 @@ HTTP thread.
 from __future__ import annotations
 
 import json
+import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -38,6 +48,14 @@ from .service import GraphService, ServeConfig
 from .wire import WireError
 
 __all__ = ["RunServer", "create_server"]
+
+#: Caller-supplied run ids: filename-safe (they name flamegraph files)
+#: and bounded, so they pass through labels/paths verbatim.
+_RUN_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,127}\Z")
+
+#: W3C trace context: version "00", 32-hex trace-id, 16-hex parent-id.
+_TRACEPARENT_RE = re.compile(
+    r"00-([0-9a-f]{32})-[0-9a-f]{16}-[0-9a-f]{2}\Z")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -74,6 +92,29 @@ class _Handler(BaseHTTPRequestHandler):
     def _tenant(self) -> str:
         return self.headers.get("X-Tenant", "default").strip() or "default"
 
+    def _run_id(self) -> Optional[str]:
+        """Inbound correlation id: ``X-Run-Id`` wins, then the trace-id
+        of a W3C ``traceparent``; raises :class:`WireError` (400) on a
+        malformed value rather than silently minting a fresh id."""
+        rid = (self.headers.get("X-Run-Id") or "").strip()
+        if rid:
+            if not _RUN_ID_RE.match(rid):
+                raise WireError(
+                    "X-Run-Id must be 1-128 characters from "
+                    "[A-Za-z0-9._-], starting alphanumeric"
+                )
+            return rid
+        tp = (self.headers.get("traceparent") or "").strip().lower()
+        if tp:
+            m = _TRACEPARENT_RE.match(tp)
+            if m is None:
+                raise WireError(
+                    "malformed traceparent header (expected "
+                    "00-<32 hex>-<16 hex>-<2 hex>)"
+                )
+            return m.group(1)
+        return None
+
     def _route(self) -> Tuple[str, Dict[str, str]]:
         parts = urlsplit(self.path)
         query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
@@ -87,7 +128,22 @@ class _Handler(BaseHTTPRequestHandler):
             if path == "/healthz":
                 self._send_json(200, {"ok": True})
             elif path == "/metrics":
-                self._send_json(200, self.service.metrics_document())
+                fmt = query.get("format", "json")
+                if fmt == "prometheus":
+                    from ..observe.prom import CONTENT_TYPE
+
+                    body = self.service.prometheus_document() \
+                        .encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                elif fmt == "json":
+                    self._send_json(200, self.service.metrics_document())
+                else:
+                    self._error(400, f"unknown metrics format {fmt!r}; "
+                                     f"expected 'json' or 'prometheus'")
             elif path == "/runs":
                 limit = min(int(query.get("limit", 200)), 1000)
                 self._send_json(200, {"runs": self.service.registry.list(
@@ -138,7 +194,8 @@ class _Handler(BaseHTTPRequestHandler):
             return
         body = self.rfile.read(length)
         try:
-            record = service.submit(self._tenant(), body)
+            record = service.submit(self._tenant(), body,
+                                    run_id=self._run_id())
         except AdmissionError as exc:
             headers = {}
             if exc.retry_after_s > 0.0:

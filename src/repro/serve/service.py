@@ -63,6 +63,13 @@ class ServeConfig:
     max_body_bytes: int = 64 * 1024 * 1024
     #: Terminal run records retained before oldest-first eviction.
     max_records: int = 10_000
+    #: Default no-progress watchdog window in seconds applied to every
+    #: run (0 = off); submissions may set their own ``watchdog`` option.
+    watchdog_s: float = 0.0
+    #: Directory collapsed-stack flamegraphs of profiled runs are
+    #: written to (``<graph>_<run_id>.collapsed``); ``None`` keeps
+    #: profiles in-memory only (still returned in the run result).
+    profile_dir: Optional[str] = None
     #: Named graphs served under submission field "app"; ``None`` means
     #: :func:`default_apps`.
     apps: Optional[Dict[str, Any]] = None
@@ -103,11 +110,19 @@ class GraphService:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, tenant: str, body: bytes) -> RunRecord:
+    def submit(self, tenant: str, body: bytes,
+               run_id: Optional[str] = None) -> RunRecord:
         """Parse, admit, and enqueue one run.
 
+        *run_id* is an optional caller-supplied correlation id (the
+        HTTP layer validates ``X-Run-Id`` / W3C ``traceparent`` into
+        it); omitted, the registry mints one.  The id is the record key
+        AND the trace-context ``run_id`` the execution stamps on every
+        observe event, so one identifier follows the run from the HTTP
+        response through the Prometheus scrape to the Chrome trace.
+
         Raises :class:`~repro.serve.wire.WireError` on malformed
-        payloads (HTTP 400-family) and
+        payloads (HTTP 400-family, 409 on a run-id collision) and
         :class:`~repro.serve.scheduler.AdmissionError` when quotas or
         the queue bound reject the run (HTTP 429).
         """
@@ -125,10 +140,17 @@ class GraphService:
                                graph=sub.graph_name)
             raise AdmissionError(decision.reason,
                                  retry_after_s=decision.retry_after_s)
-        record = self.registry.create(
-            tenant=tenant, graph_name=sub.graph_name, backend=sub.backend,
-            label=sub.label, options=sub.raw_options,
-        )
+        try:
+            record = self.registry.create(
+                tenant=tenant, graph_name=sub.graph_name,
+                backend=sub.backend, label=sub.label,
+                options=sub.raw_options, run_id=run_id,
+            )
+        except KeyError:
+            self.quotas.release(tenant)
+            raise WireError(
+                f"run id {run_id!r} already exists", status=409,
+            )
         try:
             self.scheduler.submit(lambda: self._execute(record, sub))
         except AdmissionError:
@@ -137,7 +159,8 @@ class GraphService:
             self.metrics.count("rejected_queue", tenant=tenant,
                                graph=sub.graph_name)
             raise
-        self.metrics.run_admitted(tenant, sub.graph_name)
+        self.metrics.run_admitted(tenant, sub.graph_name,
+                                  run_id=record.run_id)
         return record
 
     def submit_json(self, tenant: str, doc: Dict[str, Any]) -> RunRecord:
@@ -155,13 +178,22 @@ class GraphService:
         sinks: List[Any] = [[] for _ in range(sub.n_outputs)]
         state = "error"
         trace_metrics = None
+        options = dict(sub.options)
+        profile = self._profile_spec(options.pop("profile", False))
+        watchdog = self._build_watchdog(
+            record, options.pop("watchdog", None))
         try:
             result = run_graph(
                 sub.graph, *sub.inputs, *sinks,
                 backend=sub.backend,
                 retry=sub.retry,
                 observe=True if sub.trace else None,
-                **sub.options,
+                run_id=record.run_id,
+                labels={"tenant": record.tenant,
+                        "graph": record.graph_name},
+                profile=profile,
+                watchdog=watchdog,
+                **options,
             )
             state = result.status
             outputs_wire = None
@@ -197,8 +229,41 @@ class GraphService:
                        finished.latency_s is not None else 0.0)
             self.metrics.run_finished(
                 record.tenant, record.graph_name, state, latency,
-                trace_metrics=trace_metrics,
+                trace_metrics=trace_metrics, run_id=record.run_id,
             )
+
+    def _profile_spec(self, profile: Any) -> Any:
+        """Attach the server's flamegraph directory to a tenant's
+        sampling request (the output location is server policy)."""
+        if not profile or profile is True:
+            return profile
+        out = self.config.profile_dir
+        if out is None:
+            return profile
+        if isinstance(profile, dict):
+            spec = dict(profile)
+            spec["out"] = out
+            return spec
+        return {"mode": "sample", "out": out}
+
+    def _build_watchdog(self, record: RunRecord, window_s: Any):
+        """Per-run :class:`~repro.observe.health.ProgressWatchdog`
+        whose ``on_stall`` flips the record's ``stalled_suspect``
+        annotation — visible in ``GET /runs/<id>`` while the run is
+        still (not) making progress."""
+        window = float(window_s) if window_s else self.config.watchdog_s
+        if not window or window <= 0:
+            return None
+        from ..observe.health import ProgressWatchdog
+
+        run_id = record.run_id
+
+        def _on_stall(_report) -> None:
+            self.registry.annotate(run_id, stalled_suspect=True)
+            self.metrics.count("stall_suspect", tenant=record.tenant,
+                               graph=record.graph_name)
+
+        return ProgressWatchdog(window, on_stall=_on_stall)
 
     # -- read side ---------------------------------------------------------
 
@@ -224,8 +289,12 @@ class GraphService:
             )
         from ..observe import chrome_trace
 
-        return chrome_trace(rec.trace_events,
-                            process_name=f"{rec.graph_name} ({run_id})")
+        return chrome_trace(
+            rec.trace_events,
+            process_name=f"{rec.graph_name} ({run_id})",
+            metadata={"run_id": rec.run_id, "tenant": rec.tenant,
+                      "graph": rec.graph_name},
+        )
 
     def metrics_document(self) -> Dict[str, Any]:
         return self.metrics.snapshot(
@@ -234,3 +303,8 @@ class GraphService:
             queue_depth=self.scheduler.pending,
             workers=self.scheduler.workers,
         )
+
+    def prometheus_document(self) -> str:
+        """Prometheus text exposition of the service registry
+        (``GET /metrics?format=prometheus``)."""
+        return self.metrics.prometheus()

@@ -13,7 +13,9 @@ A *submission* is one JSON object posted to ``POST /runs``::
         "batch_io": 64,
         "on_error": "isolate",
         "retry": 2,                # or {"attempts": 2, "backoff": 0.1}
-        "faults": [...]            # injection specs, see _parse_faults
+        "faults": [...],           # injection specs, see _parse_faults
+        "profile": "sample",       # or {"mode": "sample", "interval": s}
+        "watchdog": 5.0            # no-progress stall window, seconds
       },
       "trace": true,               # retain events; /runs/<id>/trace
       "return_outputs": true       # embed encoded sink values in result
@@ -63,7 +65,8 @@ class WireError(CgsimError):
 
 #: Run options a submission may set, with their validators.
 RUN_OPTION_KEYS = ("backend", "optimize", "capacity", "batch_io",
-                   "on_error", "retry", "faults", "max_steps", "timeout")
+                   "on_error", "retry", "faults", "max_steps", "timeout",
+                   "profile", "watchdog", "workers")
 
 _OPTIMIZE_LEVELS = ("none", "fuse", "full")
 _ON_ERROR = ("fail", "isolate", "poison")
@@ -374,6 +377,14 @@ def parse_submission(body: bytes, *, apps: Dict[str, Any],
                     or value < 1:
                 raise WireError(f"{key} must be a positive integer")
             options[key] = value
+    if "workers" in opts_doc:
+        # Only meaningful for cgsim-mp; bounded so a tenant cannot ask
+        # the service to fork an arbitrary process count.
+        value = opts_doc["workers"]
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or not 1 <= value <= 16:
+            raise WireError("workers must be an integer in [1, 16]")
+        options["workers"] = value
     if "timeout" in opts_doc:
         try:
             options["timeout"] = float(opts_doc["timeout"])
@@ -382,6 +393,44 @@ def parse_submission(body: bytes, *, apps: Dict[str, Any],
     plan = _parse_faults(opts_doc.get("faults"))
     if plan is not None:
         options["faults"] = plan
+    if "profile" in opts_doc:
+        prof = opts_doc["profile"]
+        if isinstance(prof, dict):
+            # The output location is server policy (config.profile_dir),
+            # never tenant-controlled: no path escapes over the wire.
+            unknown_prof = set(prof) - {"mode", "interval"}
+            if unknown_prof:
+                raise WireError(
+                    f"unknown profile options: {sorted(unknown_prof)}; "
+                    f"allowed: mode, interval"
+                )
+            if prof.get("mode", "sample") not in ("sample", "sampling"):
+                raise WireError("profile.mode must be 'sample'")
+            if "interval" in prof:
+                try:
+                    iv = float(prof["interval"])
+                except (TypeError, ValueError):
+                    raise WireError("profile.interval must be seconds")
+                if not 0.0001 <= iv <= 1.0:
+                    raise WireError(
+                        "profile.interval must be in [0.0001, 1.0] s"
+                    )
+            options["profile"] = dict(prof)
+        elif prof in (True, "sample", "sampling"):
+            options["profile"] = "sample" if prof is not True else True
+        elif prof is not False:
+            raise WireError(
+                "profile must be true, 'sample', or "
+                '{"mode": "sample", "interval": s}'
+            )
+    if "watchdog" in opts_doc:
+        wd = opts_doc["watchdog"]
+        if isinstance(wd, bool) or not isinstance(wd, (int, float)) \
+                or wd <= 0:
+            raise WireError(
+                "watchdog must be a positive no-progress window in seconds"
+            )
+        options["watchdog"] = float(wd)
 
     trace = bool(doc.get("trace", False))
     label = str(doc.get("label", ""))

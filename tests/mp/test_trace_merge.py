@@ -71,3 +71,56 @@ def test_file_sink_written_by_run_graph(tmp_path):
     lines = [json.loads(ln) for ln in path.read_text().splitlines() if ln]
     assert lines
     assert any(d.get("task") == "farrow_stage2_0" for d in lines)
+
+
+def test_colliding_timestamps_merge_deterministically():
+    """Regression: equal-timestamp events from different workers used
+    to keep whatever relative order the worker result messages arrived
+    in.  The merge now tie-breaks on the (worker, seq) stamps, so any
+    arrival order yields the same stream."""
+    from repro.mp.manager import _merge_events
+    from repro.observe import Tracer
+
+    def msg(wid, ts_list):
+        return {"events": [
+            {"ts": ts, "kind": "queue.put", "queue": "q", "n": 1,
+             "worker": wid, "seq": seq}
+            for seq, ts in enumerate(ts_list)
+        ]}
+
+    # Both workers emit at the exact same coarse timestamps.
+    a, b = msg(0, [1.0, 1.0, 2.0]), msg(1, [1.0, 2.0, 2.0])
+
+    def merged_order(results):
+        t = Tracer()
+        _merge_events(t, results)
+        return [(e.ts, e.worker, e.seq) for e in t.events]
+
+    first = merged_order({0: a, 1: b})
+    swapped = merged_order({1: b, 0: a})  # reversed arrival order
+    assert first == swapped
+    assert first == [(1.0, 0, 0), (1.0, 0, 1), (1.0, 1, 0),
+                     (2.0, 0, 2), (2.0, 1, 1), (2.0, 1, 2)]
+
+
+def test_merged_events_carry_worker_and_seq_stamps():
+    result = _traced_run()
+    worker_events = [e for e in result.trace.events if e.worker >= 0]
+    assert worker_events, "workers did not stamp their events"
+    assert {e.worker for e in worker_events} == {0, 1}
+    for wid in (0, 1):
+        seqs = [e.seq for e in worker_events if e.worker == wid]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+def test_run_id_stamped_across_processes():
+    result = _traced_run(run_id="mp-corr-7")
+    assert result.run_id == "mp-corr-7"
+    events = result.trace.events
+    assert events and all(e.run == "mp-corr-7" for e in events)
+    assert result.metrics.run_id == "mp-corr-7"
+    doc = chrome_trace(events, metadata={"run_id": result.run_id})
+    assert doc["metadata"]["run_id"] == "mp-corr-7"
+    assert all(ev["args"].get("run_id") == "mp-corr-7"
+               for ev in doc["traceEvents"] if ev.get("ph") != "M")

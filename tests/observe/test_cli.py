@@ -58,3 +58,59 @@ def test_diff_flags_item_count_mismatch(trace_file, tmp_path, capsys):
 def test_missing_subcommand_exits_with_usage():
     with pytest.raises(SystemExit):
         main([])
+
+
+def _synthetic_trace(path, busy_scale=1.0):
+    """Hand-written JSONL trace with three distinct stall edges."""
+    events = [
+        {"ts": 0.0, "kind": "run.begin",
+         "meta": {"graph": "g", "backend": "cgsim", "schema": 2}},
+        {"ts": 0.0, "kind": "task.start", "task": "w"},
+        {"ts": 0.1, "kind": "task.suspend", "task": "w",
+         "queue": "q_a", "op": "write"},
+        {"ts": 0.1 + 3.0 * busy_scale, "kind": "task.resume", "task": "w"},
+        {"ts": 0.2 + 3.0 * busy_scale, "kind": "task.suspend", "task": "w",
+         "queue": "q_b", "op": "write"},
+        {"ts": 0.2 + 5.0 * busy_scale, "kind": "task.resume", "task": "w"},
+        {"ts": 0.3 + 5.0 * busy_scale, "kind": "task.suspend", "task": "w",
+         "queue": "q_c", "op": "read"},
+        {"ts": 0.3 + 6.0 * busy_scale, "kind": "task.resume", "task": "w"},
+        {"ts": 1.0 + 6.0 * busy_scale, "kind": "task.finish", "task": "w"},
+        {"ts": 1.0 + 6.0 * busy_scale, "kind": "queue.put",
+         "queue": "q_a", "n": 4, "fill": 2},
+        {"ts": 1.1 + 6.0 * busy_scale, "kind": "run.end",
+         "meta": {"graph": "g", "backend": "cgsim"}},
+    ]
+    with open(path, "w") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev) + "\n")
+    return path
+
+
+def test_summarize_top_bounds_stall_table(tmp_path, capsys):
+    trace = _synthetic_trace(tmp_path / "t.jsonl")
+    assert main(["summarize", str(trace), "--top", "1"]) == 0
+    out_top1 = capsys.readouterr().out
+    assert main(["summarize", str(trace), "--top", "3"]) == 0
+    out_top3 = capsys.readouterr().out
+    # q_a is the worst edge (3s backpressure); only it survives --top 1
+    assert "q_a" in out_top1
+    assert "q_b" not in out_top1.split("stall edges")[1]
+    for q in ("q_a", "q_b", "q_c"):
+        assert q in out_top3.split("stall edges")[1]
+
+
+def test_summarize_multiple_files_merges(tmp_path, capsys):
+    a = _synthetic_trace(tmp_path / "a.jsonl")
+    b = _synthetic_trace(tmp_path / "b.jsonl")
+    assert main(["summarize", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "merged 2 traces" in out
+    # queue totals add across the two identical traces (4 puts each)
+    q_line = [ln for ln in out.splitlines() if ln.startswith("q_a")][0]
+    assert "8" in q_line.split()
+
+
+def test_summarize_single_file_is_not_merged(trace_file, capsys):
+    assert main(["summarize", str(trace_file)]) == 0
+    assert "merged" not in capsys.readouterr().out

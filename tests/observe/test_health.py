@@ -1,0 +1,200 @@
+"""Progress watchdog: stall detection, re-arming, run_graph wiring."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import (
+    AIE,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    compute_kernel,
+    int32,
+    make_compute_graph,
+)
+from repro.errors import GraphRuntimeError
+from repro.observe import Tracer
+from repro.observe.events import HEALTH_STALL
+from repro.observe.health import (
+    ProgressWatchdog,
+    StallReport,
+    coerce_watchdog,
+)
+
+
+@compute_kernel(realm=AIE)
+async def napper_kernel(inp: In[int32], out: Out[int32]):
+    """Pass-through that pins the scheduler thread per element."""
+    while True:
+        v = await inp.get()
+        time.sleep(0.09)
+        await out.put(v)
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestProgressWatchdog:
+    def test_no_stall_while_progress_flows(self):
+        counter = {"n": 0}
+
+        def progress():
+            counter["n"] += 1  # every poll sees a new value
+            return counter["n"]
+
+        dog = ProgressWatchdog(0.05)
+        dog.start(progress_fn=progress)
+        time.sleep(0.25)
+        dog.stop()
+        assert not dog.stalled
+
+    def test_stall_fires_once_then_rearms(self):
+        box = {"v": 0}
+        dog = ProgressWatchdog(0.05)
+        dog.start(progress_fn=lambda: box["v"])
+        assert _wait_for(lambda: len(dog.stalls) == 1)
+        # frozen progress → exactly one report per stall window
+        time.sleep(0.15)
+        assert len(dog.stalls) == 1
+        # progress resumes, then freezes again → second report
+        box["v"] = 1
+        assert _wait_for(lambda: len(dog.stalls) == 2)
+        dog.stop()
+
+    def test_stall_report_carries_blockage_snapshot(self):
+        dog = ProgressWatchdog(0.05)
+        dog.start(progress_fn=lambda: 0,
+                  blockage_fn=lambda: "q0: 3/4 full", scope="g")
+        assert _wait_for(lambda: dog.stalled)
+        dog.stop()
+        rep = dog.stalls[0]
+        assert rep.snapshot == "q0: 3/4 full"
+        assert rep.scope == "g"
+        assert rep.window_s == 0.05
+        d = rep.to_dict()
+        assert d["snapshot"] == "q0: 3/4 full" and d["window_s"] == 0.05
+
+    def test_stall_emits_health_event(self):
+        t = Tracer(run_id="r-dog")
+        dog = ProgressWatchdog(0.05)
+        dog.start(progress_fn=lambda: 0, tracer=t, scope="g")
+        assert _wait_for(lambda: dog.stalled)
+        dog.stop()
+        stalls = [ev for ev in t.events if ev.kind == HEALTH_STALL]
+        assert stalls
+        assert stalls[0].run == "r-dog"
+        assert stalls[0].meta["window_s"] == 0.05
+
+    def test_on_stall_callback(self):
+        got: list = []
+        dog = ProgressWatchdog(0.05, on_stall=got.append)
+        dog.start(progress_fn=lambda: 0)
+        assert _wait_for(lambda: got)
+        dog.stop()
+        assert isinstance(got[0], StallReport)
+
+    def test_notify_heartbeat_counts_as_progress(self):
+        dog = ProgressWatchdog(0.08)
+        dog.start(progress_fn=lambda: 0)
+        for _ in range(12):
+            dog.notify()
+            time.sleep(0.03)
+        assert not dog.stalled
+        dog.stop()
+
+    def test_raising_progress_fn_ends_quietly(self):
+        dog = ProgressWatchdog(0.05)
+        dog.start(progress_fn=lambda: 1 / 0)
+        time.sleep(0.2)
+        dog.stop()
+        assert not dog.stalled
+
+    def test_stop_is_idempotent(self):
+        dog = ProgressWatchdog(0.05)
+        dog.start(progress_fn=lambda: 0)
+        dog.stop()
+        dog.stop()
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(GraphRuntimeError, match="window"):
+            ProgressWatchdog(0.0)
+
+
+class TestCoerceWatchdog:
+    def test_off_values(self):
+        assert coerce_watchdog(None) is None
+        assert coerce_watchdog(False) is None
+        assert coerce_watchdog(0) is None
+
+    def test_number_is_window(self):
+        dog = coerce_watchdog(2.5)
+        assert isinstance(dog, ProgressWatchdog)
+        assert dog.window_s == 2.5
+
+    def test_instance_passthrough(self):
+        mine = ProgressWatchdog(1.0)
+        assert coerce_watchdog(mine) is mine
+
+    def test_true_rejected(self):
+        with pytest.raises(GraphRuntimeError, match="watchdog"):
+            coerce_watchdog(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(GraphRuntimeError, match="watchdog"):
+            coerce_watchdog("soon")
+
+
+class TestRunGraphWatchdog:
+    def _graph(self):
+        from conftest import build_fig4_graph
+        return build_fig4_graph()
+
+    def test_healthy_run_reports_no_stall(self):
+        from repro.exec import run_graph
+
+        g = self._graph()
+        sink: list = []
+        dog = ProgressWatchdog(5.0)
+        result = run_graph(g, list(range(256)), sink, watchdog=dog)
+        assert result.status == "ok"
+        assert not dog.stalled
+
+    def test_watchdog_window_option_accepted_everywhere(self):
+        from repro.exec import run_graph
+
+        for backend in ("cgsim", "pysim", "x86sim"):
+            g = self._graph()
+            sink: list = []
+            result = run_graph(g, list(range(64)), sink,
+                               backend=backend, watchdog=5.0)
+            assert result.status == "ok", backend
+
+    def test_stalled_kernel_detected(self):
+        """A kernel that blocks the scheduler thread without making
+        queue progress trips the watchdog mid-run."""
+        from repro.exec import run_graph
+
+        @make_compute_graph(name="nap")
+        def g(a: IoC[int32]):
+            c = IoConnector(int32, name="c")
+            napper_kernel(a, c)
+            return c
+
+        sink: list = []
+        dog = ProgressWatchdog(0.02, poll_s=0.005)
+        result = run_graph(g, [1, 2, 3], sink, watchdog=dog,
+                           observe=True)
+        assert result.status == "ok"
+        assert dog.stalled
+        assert any(ev.kind == HEALTH_STALL
+                   for ev in result.trace.events)

@@ -134,3 +134,104 @@ def test_summary_renders_all_sections():
     assert "k0" in text
     assert "watermark" in text
     assert "starvation" in text
+
+
+# ---------------------------------------------------------------------------
+# merge_metrics: cross-run aggregation
+# ---------------------------------------------------------------------------
+
+
+def _run_metrics(graph, run_id, busy, puts, gets, watermark):
+    """Synthesize one run's TraceMetrics with exact numbers."""
+    events = [
+        E(0.0, "run.begin", meta={"graph": graph, "backend": "cgsim",
+                                  "schema": 2}),
+        E(0.0, "task.start", "k0", meta={"role": "kernel"}),
+        E(busy, "task.finish", "k0"),
+        E(busy, "queue.put", queue="q", n=puts, fill=watermark),
+        E(busy, "queue.get", queue="q", n=gets, fill=0),
+        E(busy, "run.end", meta={"graph": graph, "backend": "cgsim"}),
+    ]
+    m = compute_metrics(events)
+    m.run_id = run_id
+    return m
+
+
+class TestMergeMetrics:
+    def test_overlapping_kernel_names_add(self):
+        from repro.observe import merge_metrics
+
+        a = _run_metrics("g", "r1", busy=2.0, puts=10, gets=8, watermark=3)
+        b = _run_metrics("g", "r2", busy=3.0, puts=5, gets=5, watermark=7)
+        m = merge_metrics([a, b])
+        k = m.kernels["k0"]
+        assert math.isclose(k.busy_s, 5.0)
+        assert k.resumes == a.kernels["k0"].resumes + b.kernels["k0"].resumes
+        assert math.isclose(m.wall_s, 5.0)
+        assert m.n_events == a.n_events + b.n_events
+
+    def test_overlapping_queue_counts_add_watermarks_max(self):
+        from repro.observe import merge_metrics
+
+        a = _run_metrics("g", "r1", busy=1.0, puts=10, gets=8, watermark=3)
+        b = _run_metrics("g", "r2", busy=1.0, puts=5, gets=5, watermark=7)
+        q = merge_metrics([a, b]).queues["q"]
+        assert q.puts == 15
+        assert q.gets == 13
+        assert q.watermark == 7  # max, not sum
+
+    def test_disjoint_names_keep_their_rows(self):
+        from repro.observe import merge_metrics
+
+        a = _run_metrics("g", "r1", busy=1.0, puts=1, gets=1, watermark=1)
+        b = _run_metrics("g", "r2", busy=1.0, puts=2, gets=2, watermark=2)
+        b.kernels["k9"] = b.kernels.pop("k0")
+        b.queues["p"] = b.queues.pop("q")
+        m = merge_metrics([a, b])
+        assert set(m.kernels) == {"k0", "k9"}
+        assert set(m.queues) == {"q", "p"}
+        assert m.queues["q"].puts == 1 and m.queues["p"].puts == 2
+
+    def test_mixed_identity_becomes_star(self):
+        from repro.observe import merge_metrics
+
+        a = _run_metrics("g1", "r1", busy=1.0, puts=1, gets=1, watermark=1)
+        b = _run_metrics("g2", "r2", busy=1.0, puts=1, gets=1, watermark=1)
+        m = merge_metrics([a, b])
+        assert m.graph == "*" and m.run_id == "*"
+
+    def test_common_identity_preserved(self):
+        from repro.observe import merge_metrics
+
+        a = _run_metrics("g", "r1", busy=1.0, puts=1, gets=1, watermark=1)
+        b = _run_metrics("g", "r1", busy=1.0, puts=1, gets=1, watermark=1)
+        m = merge_metrics([a, b])
+        assert m.graph == "g" and m.backend == "cgsim"
+        assert m.run_id == "r1"
+
+    def test_none_entries_skipped(self):
+        from repro.observe import merge_metrics
+
+        a = _run_metrics("g", "r1", busy=1.0, puts=3, gets=3, watermark=1)
+        m = merge_metrics([None, a, None])
+        assert m.queues["q"].puts == 3
+
+    def test_profile_tables_add(self):
+        from repro.observe import merge_metrics
+
+        a = _run_metrics("g", "r1", busy=1.0, puts=1, gets=1, watermark=1)
+        b = _run_metrics("g", "r1", busy=1.0, puts=1, gets=1, watermark=1)
+        a.profile = {"k0": {"samples": 3, "self_s": 0.006}}
+        b.profile = {"k0": {"samples": 1, "self_s": 0.002},
+                     "k1": {"samples": 2, "self_s": 0.004}}
+        m = merge_metrics([a, b])
+        assert m.profile["k0"] == {"samples": 4, "self_s": 0.008}
+        assert m.profile["k1"] == {"samples": 2, "self_s": 0.004}
+
+    def test_health_stalls_add(self):
+        from repro.observe import merge_metrics
+
+        a = _run_metrics("g", "r1", busy=1.0, puts=1, gets=1, watermark=1)
+        b = _run_metrics("g", "r1", busy=1.0, puts=1, gets=1, watermark=1)
+        a.health_stalls, b.health_stalls = 1, 2
+        assert merge_metrics([a, b]).health_stalls == 3

@@ -33,7 +33,8 @@ class TestEvent:
     def test_kind_constants_are_closed_set(self):
         assert "task.start" in EVENT_KINDS
         assert "queue.put" in EVENT_KINDS
-        assert SCHEMA_VERSION == 1
+        assert "health.stall" in EVENT_KINDS
+        assert SCHEMA_VERSION == 2
 
 
 class TestTracer:
@@ -128,3 +129,78 @@ class TestMakeTracer:
     def test_garbage_spec_raises(self):
         with pytest.raises(GraphRuntimeError, match="observe"):
             make_tracer(object())
+
+
+class TestTraceContext:
+    """Schema-2 correlation fields: run id, labels, worker/seq."""
+
+    def test_v2_fields_round_trip(self):
+        ev = Event(ts=2.0, kind="queue.put", queue="q", n=1, fill=2,
+                   run="r-abc", labels={"tenant": "t"}, worker=3, seq=9)
+        assert Event.from_dict(ev.to_dict()) == ev
+
+    def test_v2_fields_omitted_at_defaults(self):
+        ev = Event(ts=0.5, kind="task.resume", task="k0")
+        d = ev.to_dict()
+        assert set(d) == {"ts", "kind", "task"}
+        assert "run" not in d and "worker" not in d and "seq" not in d
+
+    def test_tracer_stamps_run_and_labels(self):
+        t = Tracer(run_id="r-1", labels={"tenant": "a", "graph": "g"})
+        t.task_resume("k0")
+        t.queue_put("q", 1, 1)
+        for ev in t.events:
+            assert ev.run == "r-1"
+            assert ev.labels == {"tenant": "a", "graph": "g"}
+
+    def test_run_begin_meta_carries_run_id(self):
+        t = Tracer(run_id="r-2")
+        t.run_begin("g", "cgsim")
+        (ev,) = t.events
+        assert ev.meta["run_id"] == "r-2"
+
+    def test_set_context_fills_but_never_clobbers(self):
+        t = Tracer(run_id="pinned")
+        t.set_context(run_id="minted", labels={"tenant": "a"})
+        assert t.run_id == "pinned"
+        assert t.labels == {"tenant": "a"}
+        t.set_context(labels={"tenant": "b", "graph": "g"})
+        # existing keys win; new keys fill in
+        assert t.labels == {"tenant": "a", "graph": "g"}
+
+    def test_ingest_fills_missing_context(self):
+        t = Tracer(run_id="r-3", labels={"x": "y"})
+        bare = Event(ts=1.0, kind="queue.get", queue="q", n=1)
+        t.ingest(bare)
+        (ev,) = t.events
+        assert ev.run == "r-3" and ev.labels == {"x": "y"}
+
+    def test_ingest_keeps_existing_context(self):
+        t = Tracer(run_id="outer")
+        stamped = Event(ts=1.0, kind="queue.get", queue="q", n=1,
+                        run="inner")
+        t.ingest(stamped)
+        assert t.events[0].run == "inner"
+
+    def test_ingest_all_orders_colliding_timestamps(self):
+        """The cgsim-mp merge fix: equal perf_counter stamps from
+        different forked workers sort by (worker, seq), not by the
+        accidental layout of the incoming list."""
+        t = Tracer()
+        colliding = [
+            Event(ts=1.0, kind="queue.put", queue="q", n=1,
+                  worker=1, seq=0),
+            Event(ts=1.0, kind="queue.put", queue="q", n=1,
+                  worker=0, seq=1),
+            Event(ts=0.5, kind="queue.put", queue="q", n=1,
+                  worker=2, seq=5),
+            Event(ts=1.0, kind="queue.put", queue="q", n=1,
+                  worker=0, seq=0),
+        ]
+        t.ingest_all(list(colliding))
+        got = [(ev.ts, ev.worker, ev.seq) for ev in t.events]
+        assert got == [(0.5, 2, 5), (1.0, 0, 0), (1.0, 0, 1), (1.0, 1, 0)]
+        # deterministic under any input permutation
+        t2 = Tracer()
+        t2.ingest_all(list(reversed(colliding)))
+        assert [(e.ts, e.worker, e.seq) for e in t2.events] == got

@@ -1,0 +1,230 @@
+"""Sampling profiler: report arithmetic, sampler thread, run_graph wiring."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import GraphRuntimeError
+from repro.observe.profile import (
+    DEFAULT_INTERVAL_S,
+    ProfileReport,
+    SamplingProfiler,
+    coerce_profile,
+    flamegraph_name,
+)
+
+
+class TestProfileReport:
+    def test_self_table_hottest_first(self):
+        rep = ProfileReport(interval_s=0.002,
+                            samples={"a": 1, "b": 5, "c": 2})
+        table = rep.self_table()
+        assert list(table) == ["b", "c", "a"]
+        assert table["b"] == {"samples": 5, "self_s": 0.01}
+
+    def test_collapsed_format(self):
+        rep = ProfileReport(stacks={"k0;f;g": 3, "k1;h": 1})
+        assert rep.collapsed() == "k0;f;g 3\nk1;h 1\n"
+
+    def test_collapsed_empty(self):
+        assert ProfileReport().collapsed() == ""
+
+    def test_write_collapsed_creates_parents(self, tmp_path):
+        rep = ProfileReport(stacks={"k0;f": 2})
+        p = rep.write_collapsed(tmp_path / "deep" / "g.collapsed")
+        assert p.read_text() == "k0;f 2\n"
+
+    def test_round_trip(self):
+        rep = ProfileReport(interval_s=0.001, duration_s=1.5, n_samples=7,
+                            samples={"a": 7}, stacks={"a;f": 7})
+        back = ProfileReport.from_dict(rep.to_dict())
+        assert back.to_dict() == rep.to_dict()
+
+    def test_merge_adds_counts_maxes_duration(self):
+        a = ProfileReport(interval_s=0.002, duration_s=1.0, n_samples=2,
+                          samples={"k": 2}, stacks={"k;f": 2})
+        b = ProfileReport(interval_s=0.002, duration_s=3.0, n_samples=5,
+                          samples={"k": 3, "j": 2},
+                          stacks={"k;f": 3, "j;g": 2})
+        m = a.merge(b)
+        assert m.n_samples == 7
+        assert m.duration_s == 3.0
+        assert m.samples == {"k": 5, "j": 2}
+        assert m.stacks == {"k;f": 5, "j;g": 2}
+        # merge returns a new report; inputs untouched
+        assert a.samples == {"k": 2} and b.samples == {"k": 3, "j": 2}
+
+    def test_merge_interval_mismatch_raises(self):
+        a = ProfileReport(interval_s=0.002, n_samples=1)
+        b = ProfileReport(interval_s=0.001, n_samples=1)
+        with pytest.raises(GraphRuntimeError, match="interval"):
+            a.merge(b)
+
+    def test_merge_empty_side_adopts_other_interval(self):
+        a = ProfileReport(interval_s=DEFAULT_INTERVAL_S, n_samples=0)
+        b = ProfileReport(interval_s=0.001, n_samples=3)
+        assert a.merge(b).interval_s == 0.001
+
+
+class TestFlamegraphName:
+    def test_plain(self):
+        assert flamegraph_name("fig4", "r-abc12") == "fig4_r-abc12.collapsed"
+
+    def test_run_id_survives_verbatim(self):
+        rid = "obs-e2e.42_X"
+        assert rid in flamegraph_name("g", rid)
+
+    def test_unsafe_chars_sanitised(self):
+        name = flamegraph_name("a/b c", "r:1")
+        assert "/" not in name and " " not in name and ":" not in name
+
+    def test_empty_parts_fall_back(self):
+        assert flamegraph_name("", "") == "graph_run.collapsed"
+
+
+class TestSamplingProfiler:
+    def test_samples_target_thread_with_labels(self):
+        box = {"label": "k0"}
+        done = threading.Event()
+
+        def busy():
+            while not done.is_set():
+                time.sleep(0.0005)
+
+        target = threading.Thread(target=busy, daemon=True)
+        target.start()
+        prof = SamplingProfiler(interval=0.001)
+        prof.start(label_fn=lambda: box["label"], thread_id=target.ident)
+        time.sleep(0.08)
+        box["label"] = "k1"
+        time.sleep(0.08)
+        done.set()
+        rep = prof.stop()
+        target.join(timeout=1.0)
+        assert rep.n_samples > 10
+        assert rep.samples.get("k0", 0) > 0
+        assert rep.samples.get("k1", 0) > 0
+        assert sum(rep.samples.values()) == rep.n_samples
+        assert sum(rep.stacks.values()) == rep.n_samples
+        assert all(s.split(";")[0] in ("k0", "k1")
+                   for s in rep.stacks)
+        assert rep.duration_s > 0.1
+
+    def test_stop_is_idempotent(self):
+        prof = SamplingProfiler(interval=0.001)
+        prof.start(thread_id=threading.get_ident())
+        rep1 = prof.stop()
+        rep2 = prof.stop()
+        assert rep1 is rep2
+
+    def test_double_start_raises(self):
+        prof = SamplingProfiler(interval=0.001)
+        prof.start(thread_id=threading.get_ident())
+        try:
+            with pytest.raises(GraphRuntimeError, match="started"):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(GraphRuntimeError, match="interval"):
+            SamplingProfiler(interval=0.0)
+
+    def test_broken_label_fn_falls_back(self):
+        prof = SamplingProfiler(interval=0.001)
+        prof.start(label_fn=lambda: 1 / 0,
+                   thread_id=threading.get_ident())
+        time.sleep(0.03)
+        rep = prof.stop()
+        assert set(rep.samples) <= {"(scheduler)"}
+
+
+class TestCoerceProfile:
+    def test_off_values(self):
+        assert coerce_profile(None) == (False, None)
+        assert coerce_profile(False) == (False, None)
+
+    def test_true_is_timing_only(self):
+        assert coerce_profile(True) == (True, None)
+
+    def test_sample_string(self):
+        on, prof = coerce_profile("sample")
+        assert on and isinstance(prof, SamplingProfiler)
+        assert prof.interval == DEFAULT_INTERVAL_S
+
+    def test_dict_spec(self):
+        on, prof = coerce_profile(
+            {"mode": "sample", "interval": 0.001, "out": "/tmp/x"})
+        assert on and prof.interval == 0.001 and prof.out == "/tmp/x"
+
+    def test_profiler_passthrough(self):
+        mine = SamplingProfiler(interval=0.01)
+        assert coerce_profile(mine) == (True, mine)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(GraphRuntimeError, match="profile mode"):
+            coerce_profile("wall")
+        with pytest.raises(GraphRuntimeError, match="profile mode"):
+            coerce_profile({"mode": "wall"})
+
+    def test_unknown_dict_key_raises(self):
+        with pytest.raises(GraphRuntimeError, match="unknown profile"):
+            coerce_profile({"mode": "sample", "path": "x"})
+
+    def test_garbage_raises(self):
+        with pytest.raises(GraphRuntimeError, match="profile"):
+            coerce_profile(3.5)
+
+
+class TestRunGraphProfile:
+    """profile='sample' through the public entry point."""
+
+    def _graph(self):
+        from conftest import build_fig4_graph
+        return build_fig4_graph()
+
+    def test_cgsim_profiled_run(self, tmp_path):
+        from repro.exec import run_graph
+
+        g = self._graph()
+        sink: list = []
+        result = run_graph(
+            g, list(range(512)), sink,
+            profile={"mode": "sample", "interval": 0.0005,
+                     "out": str(tmp_path)},
+            run_id="prof-run-1",
+        )
+        assert result.status == "ok"
+        assert result.run_id == "prof-run-1"
+        assert result.profile is not None
+        assert result.profile.n_samples >= 0
+        files = list(tmp_path.iterdir())
+        assert [f.name for f in files] == ["fig4_prof-run-1.collapsed"]
+        assert result.profile_path == str(files[0])
+
+    def test_profile_lands_in_trace_metrics(self):
+        from repro.exec import run_graph
+        from repro.observe.profile import SamplingProfiler
+
+        g = self._graph()
+        sink: list = []
+        result = run_graph(
+            g, list(range(2048)), sink, observe=True,
+            profile=SamplingProfiler(interval=0.0002))
+        assert result.metrics is not None
+        assert result.metrics.run_id == result.run_id
+        if result.profile.n_samples:  # timing-dependent on a fast box
+            assert result.metrics.profile == result.profile.self_table()
+            assert "profile" in result.metrics.to_dict()
+
+    def test_x86sim_rejects_sampling(self):
+        from repro.exec import run_graph
+
+        g = self._graph()
+        sink: list = []
+        with pytest.raises(GraphRuntimeError, match="cooperative"):
+            run_graph(g, list(range(16)), sink, backend="x86sim",
+                      profile="sample")

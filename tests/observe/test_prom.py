@@ -1,0 +1,153 @@
+"""Prometheus exposition: encode → strictly parse round trip."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.observe.prom import (
+    CONTENT_TYPE,
+    PromParseError,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.observe.registry import (
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+)
+
+
+def _roundtrip(registry):
+    text = render_prometheus(registry)
+    return text, parse_prometheus(text)
+
+
+class TestRender:
+    def test_counter_with_labels(self):
+        r = MetricsRegistry()
+        c = r.counter("req_total", "Requests.", ("code",))
+        c.labels(code="200").inc(3)
+        text = render_prometheus(r)
+        assert "# HELP req_total Requests." in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{code="200"} 3' in text
+
+    def test_label_value_escaping(self):
+        fam = MetricFamily("m", "gauge", "", [
+            Sample("", {"p": 'a"b\\c\nd'}, 1.0),
+        ])
+        text = render_prometheus([fam])
+        assert r'p="a\"b\\c\nd"' in text
+        parsed = parse_prometheus(text)
+        (_, labels, _) = parsed["m"].samples[0]
+        assert labels["p"] == 'a"b\\c\nd'
+
+    def test_help_newline_escaping(self):
+        fam = MetricFamily("m", "gauge", "two\nlines",
+                           [Sample("", {}, 0.0)])
+        text = render_prometheus([fam])
+        assert "# HELP m two\\nlines" in text
+        parse_prometheus(text)
+
+    def test_special_float_values(self):
+        fam = MetricFamily("m", "gauge", "", [
+            Sample("", {"k": "inf"}, math.inf),
+            Sample("", {"k": "nan"}, math.nan),
+        ])
+        text = render_prometheus([fam])
+        parsed = parse_prometheus(text)
+        values = {s[1]["k"]: s[2] for s in parsed["m"].samples}
+        assert values["inf"] == math.inf
+        assert math.isnan(values["nan"])
+
+    def test_content_type_is_004(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestRoundTrip:
+    def test_histogram_invariants_hold(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 2.0):
+            h.observe(v)
+        text, parsed = _roundtrip(r)
+        fam = parsed["lat_seconds"]
+        assert fam.kind == "histogram"
+        buckets = [(labels["le"], value) for (name, labels, value)
+                   in fam.samples if name.endswith("_bucket")]
+        assert buckets == [("0.1", 1.0), ("1", 2.0), ("+Inf", 3.0)]
+
+    def test_mixed_registry_parses(self):
+        r = MetricsRegistry()
+        r.counter("a_total", "A.", ("t",)).labels(t="x").inc()
+        r.gauge("b_depth", "B.").set(7)
+        r.histogram("c_seconds", "C.").observe(0.02)
+        text, parsed = _roundtrip(r)
+        assert set(parsed) == {"a_total", "b_depth", "c_seconds"}
+
+
+class TestStrictParser:
+    def test_malformed_sample_line(self):
+        with pytest.raises(PromParseError, match="malformed"):
+            parse_prometheus("not a metric line at all {\n")
+
+    def test_bad_metric_type(self):
+        with pytest.raises(PromParseError, match="unknown metric type"):
+            parse_prometheus("# TYPE m frobnicator\nm 1\n")
+
+    def test_type_after_samples_rejected(self):
+        with pytest.raises(PromParseError, match="after its samples"):
+            parse_prometheus("m 1\n# TYPE m gauge\n")
+
+    def test_duplicate_series_rejected(self):
+        text = '# TYPE m gauge\nm{a="1"} 1\nm{a="1"} 2\n'
+        with pytest.raises(PromParseError, match="duplicate"):
+            parse_prometheus(text)
+
+    def test_histogram_missing_inf_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\n'
+                "h_sum 1\n"
+                "h_count 1\n")
+        with pytest.raises(PromParseError, match=r"\+Inf"):
+            parse_prometheus(text)
+
+    def test_histogram_nonmonotonic_buckets_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                'h_bucket{le="2"} 3\n'
+                'h_bucket{le="+Inf"} 5\n'
+                "h_sum 1\n"
+                "h_count 5\n")
+        with pytest.raises(PromParseError, match="decrease"):
+            parse_prometheus(text)
+
+    def test_histogram_inf_count_mismatch_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\n'
+                'h_bucket{le="+Inf"} 2\n'
+                "h_sum 1\n"
+                "h_count 3\n")
+        with pytest.raises(PromParseError, match="_count"):
+            parse_prometheus(text)
+
+    def test_bad_escape_rejected(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus('m{a="\\q"} 1\n')
+
+    def test_bad_float_rejected(self):
+        with pytest.raises(PromParseError, match="value"):
+            parse_prometheus("m twelve\n")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_prometheus("ok 1\nbroken { 1\n")
+        except PromParseError as exc:
+            assert exc.lineno == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected PromParseError")

@@ -101,7 +101,9 @@ class TestChromeTraceExport:
     @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_document_schema(self, backend):
         doc = chrome_trace(_traced_run(backend).trace.events)
-        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        # "metadata" appears when the events carry a run id (schema v2)
+        assert {"traceEvents", "displayTimeUnit"} <= set(doc) \
+            <= {"traceEvents", "displayTimeUnit", "metadata"}
         rows = doc["traceEvents"]
         assert rows
         for row in rows:

@@ -1,0 +1,242 @@
+"""Acceptance: one correlation id across every observability surface.
+
+A run id submitted over HTTP (``X-Run-Id``) must be findable verbatim
+in (1) the HTTP responses, (2) the Prometheus scrape labels, (3) every
+event of the merged cgsim-mp Chrome trace, and (4) the flamegraph
+filename of the profiled run — plus the watchdog/trace-context edge
+cases around that path.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps import datasets
+from repro.core import (
+    AIE,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    compute_kernel,
+    float32,
+    make_compute_graph,
+)
+from repro.observe.prom import CONTENT_TYPE, parse_prometheus
+from repro.serve import (
+    GraphService,
+    RunServer,
+    ServeClient,
+    ServeClientError,
+    ServeConfig,
+)
+from repro.serve.service import default_apps
+
+RUN_ID = "obs-e2e-run.1"
+
+
+@compute_kernel(realm=AIE)
+async def slowpoke_kernel(inp: In[float32], out: Out[float32]):
+    """Pass-through pinning the scheduler ~90ms per element, so a
+    20ms watchdog window reliably fires mid-run."""
+    while True:
+        v = await inp.get()
+        time.sleep(0.09)
+        await out.put(v)
+
+
+@make_compute_graph(name="slowpoke")
+def SLOWPOKE_GRAPH(a: IoC[float32]):
+    c = IoConnector(float32, name="c")
+    slowpoke_kernel(a, c)
+    return c
+
+
+@pytest.fixture(scope="module")
+def profile_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("flamegraphs")
+
+
+@pytest.fixture(scope="module")
+def server(profile_dir):
+    apps = dict(default_apps())
+    apps["slowpoke"] = SLOWPOKE_GRAPH
+    cfg = ServeConfig(
+        workers=2, tenant_in_flight=0,
+        allowed_backends=("cgsim", "pysim", "x86sim", "cgsim-mp"),
+        profile_dir=str(profile_dir),
+        apps=apps,
+    )
+    with RunServer(GraphService(cfg), port=0) as srv:
+        yield srv
+
+
+def _client(server, tenant="obs"):
+    return ServeClient(server.host, server.port, tenant=tenant)
+
+
+@pytest.fixture(scope="module")
+def finished_run(server):
+    """The acceptance run: traced + profiled cgsim-mp over HTTP with a
+    caller-chosen correlation id."""
+    blocks, mu = datasets.farrow_blocks(2)
+    c = _client(server)
+    rid = c.submit(
+        {"app": "farrow", "inputs": [blocks, int(mu)], "trace": True,
+         "options": {"backend": "cgsim-mp", "workers": 2,
+                     "profile": {"mode": "sample", "interval": 0.0005}}},
+        run_id=RUN_ID,
+    )
+    assert rid == RUN_ID  # (1) the HTTP 202 echoes the id verbatim
+    rec = c.wait(rid, timeout=120)
+    assert rec["state"] == "ok", rec.get("error")
+    return rec
+
+
+class TestRunIdEverywhere:
+    def test_http_record_carries_id(self, server, finished_run):
+        assert finished_run["id"] == RUN_ID
+        assert finished_run["result"]["run_id"] == RUN_ID
+        listed = [r["id"] for r in _client(server).list_runs()]
+        assert RUN_ID in listed
+
+    def test_prometheus_scrape_labels_carry_id(self, server, finished_run):
+        text = _client(server).metrics_prometheus()
+        families = parse_prometheus(text)  # strict: grammar + invariants
+        info = families["repro_serve_run_info"]
+        by_id = {labels["run_id"]: labels
+                 for (_n, labels, _v) in info.samples}
+        assert RUN_ID in by_id
+        assert by_id[RUN_ID]["tenant"] == "obs"
+        assert by_id[RUN_ID]["graph"] == "farrow"
+        assert by_id[RUN_ID]["state"] == "ok"
+
+    def test_every_merged_trace_event_carries_id(self, server,
+                                                 finished_run):
+        doc = _client(server).trace(RUN_ID)
+        assert doc["metadata"]["run_id"] == RUN_ID
+        records = [ev for ev in doc["traceEvents"] if ev.get("ph") != "M"]
+        assert records
+        assert all(ev["args"].get("run_id") == RUN_ID for ev in records)
+
+    def test_flamegraph_filename_carries_id(self, profile_dir,
+                                            finished_run):
+        names = [p.name for p in profile_dir.iterdir()]
+        assert f"farrow_{RUN_ID}.collapsed" in names
+
+    def test_profile_report_in_result(self, finished_run):
+        prof = finished_run["result"].get("profile")
+        assert prof is not None
+        assert prof["interval_s"] == pytest.approx(0.0005)
+
+
+class TestTraceContextHeaders:
+    def test_run_id_collision_is_409(self, server, finished_run):
+        blocks, mu = datasets.farrow_blocks(2)
+        with pytest.raises(ServeClientError) as ei:
+            _client(server).submit(
+                {"app": "farrow", "inputs": [blocks, int(mu)]},
+                run_id=RUN_ID,
+            )
+        assert ei.value.status == 409
+
+    def test_malformed_run_id_is_400(self, server):
+        with pytest.raises(ServeClientError) as ei:
+            _client(server).submit({"app": "bitonic", "inputs": []},
+                                   run_id="not ok!")
+        assert ei.value.status == 400
+
+    def _post_raw(self, server, headers):
+        data = datasets.bitonic_blocks(4).reshape(-1)
+        from repro.serve.wire import encode_value
+
+        body = json.dumps({
+            "app": "bitonic", "inputs": [encode_value(data)],
+        }).encode("utf-8")
+        conn = http.client.HTTPConnection(server.host, server.port)
+        try:
+            conn.request("POST", "/runs", body=body, headers=dict(
+                {"Content-Type": "application/json"}, **headers))
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    def test_traceparent_trace_id_becomes_run_id(self, server):
+        trace_id = "f" * 31 + "0"
+        tp = f"00-{trace_id}-{'b' * 16}-01"
+        status, doc = self._post_raw(server, {"traceparent": tp})
+        assert status == 202
+        assert doc["id"] == trace_id
+        rec = _client(server).wait(trace_id, timeout=60)
+        assert rec["state"] == "ok"
+
+    def test_malformed_traceparent_is_400(self, server):
+        status, doc = self._post_raw(server, {"traceparent": "00-xyz"})
+        assert status == 400
+        assert "traceparent" in doc["error"]
+
+    def test_x_run_id_wins_over_traceparent(self, server):
+        tp = f"00-{'c' * 32}-{'d' * 16}-01"
+        status, doc = self._post_raw(
+            server, {"traceparent": tp, "X-Run-Id": "header-wins-1"})
+        assert status == 202
+        assert doc["id"] == "header-wins-1"
+
+
+class TestPrometheusEndpoint:
+    def test_scrape_has_content_type_and_parses(self, server,
+                                                finished_run):
+        conn = http.client.HTTPConnection(server.host, server.port)
+        try:
+            conn.request("GET", "/metrics?format=prometheus")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert resp.getheader("Content-Type") == CONTENT_TYPE
+            text = resp.read().decode("utf-8")
+        finally:
+            conn.close()
+        families = parse_prometheus(text)
+        assert "repro_serve_runs_total" in families
+        assert "repro_serve_run_latency_seconds" in families
+        lat = families["repro_serve_run_latency_seconds"]
+        assert lat.kind == "histogram"
+
+    def test_json_format_still_default(self, server):
+        doc = _client(server).metrics()
+        assert "runs" in doc
+
+    def test_unknown_format_is_400(self, server):
+        with pytest.raises(ServeClientError) as ei:
+            _client(server).request("GET", "/metrics?format=xml")
+        assert ei.value.status == 400
+
+    def test_counters_match_json_snapshot(self, server, finished_run):
+        json_doc = _client(server).metrics()
+        families = parse_prometheus(_client(server).metrics_prometheus())
+        completed = sum(
+            value for (_n, labels, value)
+            in families["repro_serve_runs_total"].samples
+            if labels.get("event") == "completed")
+        assert completed == json_doc["runs"]["completed"]
+
+
+class TestWatchdogAnnotation:
+    def test_stalled_suspect_flips_on_slow_run(self, server):
+        c = _client(server, tenant="stall")
+        rid = c.submit({
+            "app": "slowpoke",
+            "inputs": [np.arange(4, dtype=np.float32)],
+            "options": {"watchdog": 0.02},
+        })
+        rec = c.wait(rid, timeout=60)
+        assert rec["state"] == "ok"
+        assert rec["stalled_suspect"] is True
+
+    def test_healthy_run_not_suspected(self, server, finished_run):
+        assert finished_run["stalled_suspect"] is False

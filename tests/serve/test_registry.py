@@ -130,3 +130,45 @@ class TestServiceMetrics:
         m.run_admitted("a", "g")
         m.run_finished("a", "g", "error", 0.0)
         assert m.snapshot()["runs"]["errors"] == 1
+
+
+class TestLatencyHistogramEdges:
+    """Percentile edge cases: empty, single bucket, p0/p100."""
+
+    def test_empty_all_percentiles_zero(self):
+        h = LatencyHistogram()
+        for p in (0, 50, 100):
+            assert h.percentile(p) == 0.0
+
+    def test_single_bucket_interpolates_within_bounds(self):
+        h = LatencyHistogram()
+        for _ in range(4):
+            h.record(0.003)  # 2-4 ms bucket
+        for p in (0, 25, 50, 100):
+            assert 0.002 <= h.percentile(p) <= 0.004
+
+    def test_p0_clamps_to_first_occupied_bucket(self):
+        h = LatencyHistogram()
+        h.record(0.010)  # 8-16 ms bucket
+        h.record(0.100)
+        # target clamps to the 1st sample, never below
+        assert 0.008 <= h.percentile(0) <= 0.016
+
+    def test_p100_reaches_last_occupied_bucket(self):
+        h = LatencyHistogram()
+        h.record(0.0015)   # 1-2 ms
+        h.record(0.5)      # 256-512 ms
+        assert 0.256 <= h.percentile(100) <= 0.512
+
+    def test_percentiles_monotone_in_p(self):
+        h = LatencyHistogram()
+        for ms in (1, 3, 9, 27, 81, 243):
+            h.record(ms / 1e3)
+        values = [h.percentile(p) for p in (0, 10, 50, 90, 99, 100)]
+        assert values == sorted(values)
+
+    def test_overflow_bucket_catches_huge_latency(self):
+        h = LatencyHistogram()
+        h.record(10_000.0)  # way past the 2**20 ms ladder
+        assert h.counts[LatencyHistogram.N_BUCKETS] == 1
+        assert h.percentile(100) > 0.0
