@@ -1,0 +1,179 @@
+"""CI checkpoint smoke: kill a worker mid-run, resume, prove bit-identity.
+
+The end-to-end acceptance drill for the checkpoint layer, run as a real
+process sequence (not a pytest fixture):
+
+1. **Baseline**: a crash-free cgsim run of a 3-kernel chain.
+2. **Crash**: the same graph on ``cgsim-mp`` with a kernel that hard-kills
+   its worker process (``os._exit``) exactly once — the manager must
+   leave a worker-death checkpoint on disk.
+3. **Resume**: ``run_graph(resume_from=...)`` continues the run on
+   cgsim-mp AND cross-backend on plain cgsim; both sink sets must be
+   bit-identical to the baseline.
+4. **Retry-resume**: one invocation with
+   ``RetryPolicy(attempts=3, resume=True)`` survives the crash end to
+   end (crash -> checkpoint -> re-fork -> complete).
+5. **Replay**: a seeded fault run's JSONL trace alone reconstructs the
+   same FailureReport (no execution) and replays to bit-identical sinks.
+
+Checkpoint files and the JSON report land in ``--out-dir`` so CI can
+upload them as artifacts when a step fails.
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/smoke_checkpoint.py \
+        --out-dir /tmp/ckpt-smoke
+"""
+
+# NOTE: no `from __future__ import annotations` here — the kernel
+# decorator reads In[...]/Out[...] annotations at definition time and
+# needs them as live objects, not strings.
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+FLAG_ENV = "CKPT_SMOKE_CRASH_FLAG"
+
+
+def build_chain():
+    from repro.core import (AIE, In, IoC, IoConnector, Out, compute_kernel,
+                            int64, make_compute_graph)
+
+    @compute_kernel(realm=AIE)
+    async def smoke_head(a: In[int64], z: Out[int64]):
+        while True:
+            await z.put(10 * (await a.get()))
+
+    @compute_kernel(realm=AIE)
+    async def smoke_crash_once(a: In[int64], z: Out[int64]):
+        seen = 0
+        while True:
+            v = await a.get()
+            seen += 1
+            flag = os.environ.get(FLAG_ENV, "")
+            if seen >= 3 and flag and not os.path.exists(flag):
+                open(flag, "w").close()
+                os._exit(21)
+            await z.put(v + 1)
+
+    @compute_kernel(realm=AIE)
+    async def smoke_tail(a: In[int64], z: Out[int64]):
+        while True:
+            await z.put(2 * (await a.get()))
+
+    @make_compute_graph(name="ckpt_smoke_chain")
+    def CHAIN(x: IoC[int64]):
+        a = IoConnector(int64, name="a")
+        b = IoConnector(int64, name="b")
+        y = IoConnector(int64, name="y")
+        smoke_head(x, a)
+        smoke_crash_once(a, b)
+        smoke_tail(b, y)
+        return y
+
+    return CHAIN
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default="benchmarks/results/checkpoint")
+    args = parser.parse_args(argv)
+
+    from repro.apps import datasets, iir
+    from repro.checkpoint import reconstruct_failure, replay_run
+    from repro.exec import run_graph
+    from repro.faults import KernelFault, RetryPolicy
+    from repro.mp import WorkerCrashError
+    from repro.observe.sinks import read_jsonl
+
+    out_dir = Path(args.out_dir)
+    ck_dir = out_dir / "checkpoints"
+    ck_dir.mkdir(parents=True, exist_ok=True)
+    report = {"steps": {}}
+
+    chain = build_chain()
+    data = list(range(1, 33))
+    flag = out_dir / "crash.flag"
+    os.environ.pop(FLAG_ENV, None)   # baseline must not crash
+
+    def step(name, ok, **detail):
+        report["steps"][name] = {"ok": bool(ok), **detail}
+        print(f"[{'ok' if ok else 'FAIL'}] {name} "
+              f"{json.dumps(detail, default=str)}")
+        if not ok:
+            raise SystemExit(f"checkpoint smoke failed at: {name}")
+
+    # 1. baseline
+    base = []
+    result = run_graph(chain, data, base, backend="cgsim")
+    step("baseline", result.completed, items=len(base))
+
+    # 2. kill the worker mid-run; expect a worker-death checkpoint.
+    # The flag env is armed only now: the forked workers inherit it and
+    # the first worker to pass 3 items dies, exactly once.
+    os.environ[FLAG_ENV] = str(flag)
+    if flag.exists():
+        flag.unlink()
+    try:
+        run_graph(chain, data, [], backend="cgsim-mp", workers=2,
+                  checkpoint=str(ck_dir))
+        step("worker_kill", False, note="run unexpectedly survived")
+    except WorkerCrashError as exc:
+        ck_path = exc.checkpoint_path
+        step("worker_kill", bool(ck_path), checkpoint=ck_path,
+             exitcode=exc.exitcode)
+
+    # 3. resume that checkpoint: same backend and cross-backend
+    for backend in ("cgsim-mp", "cgsim"):
+        sink = []
+        opts = {"workers": 2} if backend == "cgsim-mp" else {}
+        result = run_graph(chain, data, sink, backend=backend,
+                           resume_from=ck_path, **opts)
+        step(f"resume_{backend}",
+             result.completed and sink == base, items=len(sink))
+
+    # 4. retry-resume: crash + recovery in ONE invocation
+    if flag.exists():
+        flag.unlink()
+    sink = []
+    result = run_graph(chain, data, sink, backend="cgsim-mp", workers=2,
+                       checkpoint=str(ck_dir),
+                       retry=RetryPolicy(attempts=3, resume=True))
+    step("retry_resume",
+         result.completed and sink == base and result.resumed_from,
+         attempts=[a.outcome for a in result.attempts])
+
+    # 5. deterministic replay of a seeded fault from its trace alone
+    trace = out_dir / "fault_run.jsonl"
+    src = datasets.iir_blocks(2)
+    orig_sink = []
+    orig = run_graph(iir.IIR_GRAPH, src, orig_sink, backend="cgsim",
+                     observe=str(trace), on_error="isolate",
+                     faults=KernelFault(kernel="iir_sos_kernel_0",
+                                        at_resume=1))
+    events = read_jsonl(trace)
+    rebuilt = reconstruct_failure(events, iir.IIR_GRAPH)
+    step("replay_report",
+         rebuilt is not None
+         and rebuilt.failing_task == orig.failure.failing_task
+         and set(rebuilt.cancelled) == set(orig.failure.cancelled),
+         failing_task=rebuilt.failing_task if rebuilt else "")
+    replay_sink = []
+    replayed = replay_run(iir.IIR_GRAPH, src, replay_sink, events=events)
+    import numpy as np
+
+    same = len(replay_sink) == len(orig_sink) and all(
+        np.array_equal(np.asarray(g), np.asarray(w))
+        for g, w in zip(replay_sink, orig_sink))
+    step("replay_sinks", same and not replayed.completed,
+         items=len(replay_sink))
+
+    (out_dir / "report.json").write_text(json.dumps(report, indent=2))
+    print(f"checkpoint smoke OK -> {out_dir / 'report.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

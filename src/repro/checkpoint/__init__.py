@@ -1,0 +1,50 @@
+"""repro.checkpoint — checkpoint, crash-safe resume, deterministic replay.
+
+Public surface:
+
+* :class:`CheckpointPolicy` / the ``checkpoint=`` run option — when and
+  where run state is captured (interval / on-fault / explicit trigger),
+  written atomically with a schema version and checksum;
+* ``run_graph(resume_from=...)`` — restore a checkpoint and continue on
+  the same or a different backend (see :class:`ResumeState`);
+* ``RetryPolicy(resume=True)`` — retries restart from the failed
+  attempt's last checkpoint instead of from zero;
+* :func:`reconstruct_failure` / :func:`replay_run` — time-travel triage
+  from a schema-v2 observe event stream, no live fault re-injection;
+* ``python -m repro.checkpoint inspect|resume|replay`` — the CLI.
+
+See ``docs/CHECKPOINT.md`` for the quiescence model and the on-disk
+format.
+"""
+
+from .capture import CheckpointSession
+from .format import (
+    CHECKPOINT_SCHEMA_VERSION,
+    Checkpoint,
+    CheckpointInfo,
+    SinkSnapshot,
+    graph_digest,
+    latest_checkpoint,
+    prefix_digest,
+)
+from .policy import CheckpointPolicy, CheckpointTrigger, coerce_checkpoint
+from .replay import plan_from_events, reconstruct_failure, replay_run
+from .resume import ResumeState
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "Checkpoint",
+    "CheckpointInfo",
+    "CheckpointPolicy",
+    "CheckpointSession",
+    "CheckpointTrigger",
+    "ResumeState",
+    "SinkSnapshot",
+    "coerce_checkpoint",
+    "graph_digest",
+    "latest_checkpoint",
+    "plan_from_events",
+    "prefix_digest",
+    "reconstruct_failure",
+    "replay_run",
+]

@@ -1,0 +1,152 @@
+"""Checkpoint/replay CLI: time-travel triage for chaos-suite failures.
+
+Usage::
+
+    python -m repro.checkpoint inspect CKPT.ckpt.json
+    python -m repro.checkpoint replay --trace events.jsonl --app iir \\
+        [--blocks 2] [--backend cgsim] [--report-only]
+    python -m repro.checkpoint resume --from CKPT.ckpt.json --app iir \\
+        [--blocks 2] [--backend cgsim]
+
+``inspect`` prints a verified checkpoint's summary.  ``replay``
+re-derives a failed run's :class:`FailureReport` from its observe
+trace alone (``--report-only``: no execution, no fault re-injection)
+or re-executes the run with the trace's faults pinned in place for
+bit-identical sinks.  ``resume`` restores a checkpoint and continues
+the run on any backend.  The four paper apps are addressable by name
+with their canonical datasets (fixed seed), matching the chaos suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Tuple
+
+from ..errors import CgsimError
+
+
+def _app_fixture(name: str, blocks: int) -> Tuple[Any, Tuple[Any, ...]]:
+    """(graph carrier, positional sources) for one paper app, from the
+    canonical seeded datasets the chaos suite uses."""
+    from ..apps import bilinear, bitonic, datasets, farrow, iir
+
+    if name == "bitonic":
+        return bitonic.BITONIC_GRAPH, (
+            datasets.bitonic_blocks(blocks).reshape(-1),)
+    if name == "bilinear":
+        px, fr = datasets.bilinear_blocks(blocks)
+        return bilinear.BILINEAR_GRAPH, (px.reshape(-1), fr.reshape(-1))
+    if name == "farrow":
+        fblocks, mu = datasets.farrow_blocks(blocks)
+        return farrow.FARROW_GRAPH, (fblocks, int(mu))
+    if name == "iir":
+        return iir.IIR_GRAPH, (datasets.iir_blocks(blocks),)
+    raise CgsimError(
+        f"unknown app {name!r}; pick one of bitonic, bilinear, farrow, iir"
+    )
+
+
+def _emit(obj: Any) -> None:
+    json.dump(obj, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .format import Checkpoint
+
+    ckpt = Checkpoint.load(args.path)
+    _emit(ckpt.summary())
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from ..observe.sinks import read_jsonl
+    from .replay import reconstruct_failure, replay_run
+
+    events = read_jsonl(args.trace)
+    graph, sources = _app_fixture(args.app, args.blocks)
+    report = reconstruct_failure(events, graph)
+    if args.report_only:
+        if report is None:
+            _emit({"failure": None,
+                   "note": "trace contains no task.fail event"})
+        else:
+            _emit({"failure": report.to_dict()})
+        return 0
+    sink: list = []
+    result = replay_run(graph, *sources, sink, events=events,
+                        backend=args.backend)
+    out = {"replay": result.summary()}
+    if report is not None:
+        out["failure_from_trace"] = report.to_dict()
+    if result.failure is not None:
+        out["failure_from_replay"] = result.failure.to_dict()
+    _emit(out)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from ..exec.api import run_graph
+
+    graph, sources = _app_fixture(args.app, args.blocks)
+    sink: list = []
+    result = run_graph(graph, *sources, sink, backend=args.backend,
+                       resume_from=getattr(args, "from"))
+    summary = result.summary()
+    summary["resumed_from"] = result.resumed_from
+    _emit(summary)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checkpoint",
+        description=__doc__.split("\n\n")[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="verify and summarize one checkpoint file")
+    p_inspect.add_argument("path", help="checkpoint file (*.ckpt.json)")
+    p_inspect.set_defaults(fn=_cmd_inspect)
+
+    def add_app_args(p):
+        p.add_argument("--app", required=True,
+                       choices=["bitonic", "bilinear", "farrow", "iir"],
+                       help="paper app to instantiate")
+        p.add_argument("--blocks", type=int, default=2,
+                       help="dataset size in blocks (default 2)")
+        p.add_argument("--backend", default="cgsim",
+                       help="execution backend (default cgsim)")
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-derive or re-execute a run from its observe trace")
+    p_replay.add_argument("--trace", required=True,
+                          help="schema-v2 JSONL event stream")
+    add_app_args(p_replay)
+    p_replay.add_argument(
+        "--report-only", action="store_true",
+        help="reconstruct the FailureReport from the trace without "
+             "executing anything")
+    p_replay.set_defaults(fn=_cmd_replay)
+
+    p_resume = sub.add_parser(
+        "resume", help="resume a checkpointed run and print its summary")
+    p_resume.add_argument("--from", required=True, dest="from",
+                          help="checkpoint file to resume from")
+    add_app_args(p_resume)
+    p_resume.set_defaults(fn=_cmd_resume)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except CgsimError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,7 @@ from .fused import (
     SinkStore,
     SourceFeed,
 )
+from .dtypes import WindowType
 from .graph import ComputeGraph, Net
 from .ports import KernelReadPort, KernelWritePort
 from .queues import BroadcastQueue, DEFAULT_QUEUE_CAPACITY, LatchQueue
@@ -78,6 +79,10 @@ class RunReport:
     #: :class:`repro.faults.DeadlockReport` (wait-for-graph analysis)
     #: when the run stalled; names the exact task cycle if one exists.
     deadlock: Any = None
+    #: :class:`repro.checkpoint.CheckpointInfo` when the run executed
+    #: with ``checkpoint=`` and captured at least once; ``None``
+    #: otherwise.
+    checkpoint: Any = None
 
     @property
     def context_switches(self) -> int:
@@ -170,7 +175,7 @@ class RuntimeContext:
     #: constructor rather than to run().
     CONSTRUCT_OPTIONS = frozenset({"capacity", "validate", "batch_io",
                                    "observe", "faults", "on_error",
-                                   "transport", "watchdog"})
+                                   "transport", "watchdog", "checkpoint"})
 
     def __init__(self, graph: ComputeGraph,
                  capacity: int = DEFAULT_QUEUE_CAPACITY,
@@ -181,7 +186,8 @@ class RuntimeContext:
                  faults: Any = None,
                  on_error: str = "fail",
                  transport: Any = None,
-                 watchdog: Any = None):
+                 watchdog: Any = None,
+                 checkpoint: Any = None):
         self.graph = graph
         self.validate = validate
         self.batch_io = batch_io
@@ -229,6 +235,16 @@ class RuntimeContext:
             self.watchdog = coerce_watchdog(watchdog)
         else:
             self.watchdog = None
+        # Checkpoint capture (repro.checkpoint): coerced here so a bad
+        # spec fails at construction; the capture session itself is
+        # built per run() (it needs the scheduler and tracer).
+        if checkpoint is not None:
+            from ..checkpoint.policy import coerce_checkpoint
+
+            self.checkpoint_policy = coerce_checkpoint(checkpoint)
+        else:
+            self.checkpoint_policy = None
+        self.checkpoint_session = None
         self.optimize_plan = optimize_plan
         self.queues: Dict[int, BroadcastQueue] = {}
         self._consumer_alloc: Dict[int, int] = {}  # net_id -> next idx
@@ -236,7 +252,11 @@ class RuntimeContext:
         self._io_bound = False
         self._sources: List[Tuple[int, Any]] = []  # (input_idx, coroutine)
         self._sinks: List[Tuple[int, Any, Optional[ArraySinkCursor]]] = []
-        self._rtp_sinks: List[Tuple[LatchQueue, RuntimeParam]] = []
+        self._rtp_sinks: List[Tuple[int, LatchQueue, RuntimeParam]] = []
+        # (io_index, container, dtype, net_id) of fused-store-bound
+        # outputs — the checkpoint layer snapshots these alongside
+        # ``_sinks``.
+        self._store_sinks: List[Tuple[int, Any, Any, int]] = []
         self._source_tasks: List = []
         self._sink_cursors: List[ArraySinkCursor] = []
         self._containers_out: List[Any] = []
@@ -561,7 +581,7 @@ class RuntimeContext:
                     )
                 if not isinstance(q, LatchQueue):  # pragma: no cover
                     raise GraphRuntimeError("RTP net lacks a latch queue")
-                self._rtp_sinks.append((q, container))
+                self._rtp_sinks.append((gio.io_index, q, container))
             elif isinstance(q, SinkStore):
                 # Fused-chain output: writes land in the container as the
                 # driver produces them, no sink task.  Kept out of
@@ -569,6 +589,8 @@ class RuntimeContext:
                 # with their cursors); item accounting reads the store.
                 q.bind(net.dtype, container)
                 q.consumer_names.append(f"sink[{gio.io_index}]")
+                self._store_sinks.append(
+                    (gio.io_index, container, net.dtype, gio.net_id))
             else:
                 cidx = self._alloc_consumer(gio.net_id)
                 coro, cursor = make_sink(q, cidx, net.dtype, container,
@@ -579,6 +601,107 @@ class RuntimeContext:
                 self._containers_out.append((gio.io_index, container))
                 if cursor is not None:
                     self._sink_cursors.append(cursor)
+
+    # -- item accounting / checkpoint state --------------------------------------------
+
+    def _count_items_in(self) -> int:
+        return sum(
+            getattr(self.queues[gio.net_id], "total_puts", 0)
+            for gio in self.graph.inputs
+        )
+
+    def _count_items_out(self) -> int:
+        items_out = 0
+        for (_sidx, _coro, cursor), (_cidx, container) in zip(
+            self._sinks, self._containers_out
+        ):
+            if cursor is not None:
+                items_out += cursor.items_stored
+            elif isinstance(container, list):
+                items_out += len(container)
+        for store in self._stores.values():
+            items_out += store.items_stored
+        return items_out
+
+    @staticmethod
+    def _snapshot_container(io_index: int, container: Any,
+                            items: int, dtype: Any):
+        """Build one :class:`SinkSnapshot` from a bound sink container
+        at a quiescent point (the data is copied/encoded, so later run
+        progress cannot mutate the snapshot)."""
+        from ..checkpoint.format import SinkSnapshot, prefix_digest
+        from ..checkpoint.resume import value_digest
+        from ..serve.wire import encode_value
+
+        if isinstance(container, list):
+            data = list(container[:items]) if items else []
+            return SinkSnapshot(
+                io_index=io_index, kind="list", delivered=len(data),
+                digest=prefix_digest(data), data=encode_value(data),
+            )
+        # ndarray sink: the delivered prefix is the first ``items``
+        # stream items; window streams fill dtype.count elements each.
+        per_item = dtype.count if isinstance(dtype, WindowType) else 1
+        flat = container.reshape(-1)[: items * per_item].copy()
+        return SinkSnapshot(
+            io_index=io_index, kind="array", delivered=items,
+            digest=value_digest(flat), data=encode_value(flat),
+        )
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Logical run state at the current quiescent point — the
+        payload the checkpoint layer persists (see repro.checkpoint)."""
+        from ..serve.wire import encode_value
+
+        sinks = []
+        for (sidx, _coro, cursor), (_cidx, container) in zip(
+            self._sinks, self._containers_out
+        ):
+            if cursor is not None:
+                sinks.append(self._snapshot_container(
+                    sidx, container, cursor.items_stored, cursor.dtype))
+            else:
+                sinks.append(self._snapshot_container(
+                    sidx, container, len(container), None))
+        for sidx, container, dtype, net_id in self._store_sinks:
+            store = self._stores.get(net_id)
+            items = store.items_stored if store is not None else (
+                len(container) if isinstance(container, list) else 0)
+            sinks.append(self._snapshot_container(
+                sidx, container, items, dtype))
+        for ridx, latch, _param in self._rtp_sinks:
+            from ..checkpoint.format import SinkSnapshot
+            from ..checkpoint.resume import value_digest
+
+            value = latch.last_value
+            sinks.append(SinkSnapshot(
+                io_index=ridx, kind="rtp",
+                delivered=0 if value is None else 1,
+                digest=value_digest(value) if value is not None else "",
+                data=encode_value(value) if value is not None else None,
+            ))
+        sources = {
+            gio.io_index: getattr(self.queues[gio.net_id], "total_puts", 0)
+            for gio in self.graph.inputs
+        }
+        fills = {}
+        for q in self.queues.values():
+            if q.name:
+                try:
+                    fills[q.name] = sum(
+                        q.size_for(c) for c in range(q.n_consumers))
+                except Exception:
+                    pass
+        session = self.fault_session
+        return {
+            "sinks": sinks,
+            "sources": sources,
+            "items_in": self._count_items_in(),
+            "items_out": self._count_items_out(),
+            "queue_fills": fills,
+            "fired_faults": list(session.events) if session is not None
+            else [],
+        }
 
     # -- execution (§3.8) ---------------------------------------------------------------
 
@@ -636,6 +759,27 @@ class RuntimeContext:
         for idx, coro, _cursor in self._sinks:
             sched.spawn(f"sink[{idx}]", coro, kind="sink")
 
+        ckpt_session = None
+        ckpt_policy = self.checkpoint_policy
+        if ckpt_policy is not None:
+            from ..checkpoint.capture import CheckpointSession
+            from ..checkpoint.format import graph_digest
+
+            ckpt_session = CheckpointSession(
+                ckpt_policy,
+                graph_name=self.graph.name,
+                graph_digest=graph_digest(self.graph),
+                state_fn=self.checkpoint_state,
+                items_fn=self._count_items_out,
+                backend=self.backend_label,
+                run_id=ckpt_policy.run_id,
+                tracer=tracer,
+            )
+            self.checkpoint_session = ckpt_session
+            step_hook = ckpt_session.make_step_hook()
+            if step_hook is not None:
+                sched.step_hook = step_hook
+
         if tracer is not None:
             tracer.run_begin(self.graph.name, self.backend_label)
         watchdog = self.watchdog
@@ -677,6 +821,22 @@ class RuntimeContext:
                 for drv in self._drivers:
                     blocked_writers.extend(drv.blocked_write_members())
         finally:
+            if ckpt_session is not None and ckpt_policy.on_fault:
+                # on_error="fail" abort path: the exception is about to
+                # propagate; persist the partial progress and ride the
+                # checkpoint path on the exception so RetryPolicy
+                # (resume=True) can pick it up.  Capture failures must
+                # never mask the primary error.
+                exc_in_flight = sys.exc_info()[1]
+                if exc_in_flight is not None:
+                    try:
+                        ckpt_path = ckpt_session.capture("on_fault")
+                        try:
+                            exc_in_flight.checkpoint_path = ckpt_path
+                        except Exception:  # pragma: no cover - slotted
+                            pass
+                    except Exception:
+                        pass
             if profiler is not None:
                 profiler.stop()
             if watchdog is not None:
@@ -704,26 +864,19 @@ class RuntimeContext:
                         pass
 
         # RTP outputs: copy the final latch values out.
-        for latch, param in self._rtp_sinks:
+        for _ridx, latch, param in self._rtp_sinks:
             param.value = latch.last_value
 
-        items_in = sum(
-            self.queues[gio.net_id].total_puts for gio in self.graph.inputs
-        )
-        items_out = 0
-        for (sidx, _coro, cursor), (_cidx, container) in zip(
-            self._sinks, self._containers_out
-        ):
-            if cursor is not None:
-                items_out += cursor.items_stored
-            elif isinstance(container, list):
-                items_out += len(container)
-        for store in self._stores.values():
-            items_out += store.items_stored
+        items_in = self._count_items_in()
+        items_out = self._count_items_out()
 
         failure = None
         if hook is not None and (hook.failures or hook.poisoned):
             failure = self._build_failure_report(hook, sched, stats)
+            if ckpt_session is not None:
+                path = ckpt_session.capture_on_fault()
+                if path:
+                    failure.checkpoint_path = path
 
         sources_done = all(
             t.state is TaskState.FINISHED for t in self._source_tasks
@@ -764,6 +917,14 @@ class RuntimeContext:
                     + "; ".join(deadlock_report.cycle_strings())
                 )
 
+        if ckpt_session is not None:
+            if deadlocked and failure is None:
+                # A stall is a fault for checkpoint purposes: the
+                # partial progress is exactly what triage wants.
+                ckpt_session.capture_on_fault()
+            elif failure is None and not deadlocked:
+                ckpt_session.capture_at_end()
+
         report = RunReport(
             graph_name=self.graph.name,
             stats=stats,
@@ -775,6 +936,8 @@ class RuntimeContext:
             stall_diagnosis=diagnosis,
             failure=failure,
             deadlock=deadlock_report,
+            checkpoint=ckpt_session.info()
+            if ckpt_session is not None else None,
         )
         if watchdog is not None and watchdog.stalls:
             report.warnings.append(

@@ -161,6 +161,12 @@ class CooperativeScheduler:
         #: (``task_failed``/``task_poisoned``) and the run continues
         #: instead of cancelling everything and raising.
         self.failure_hook = failure_hook
+        #: optional per-context-switch hook (repro.checkpoint): called
+        #: with the running step count after each task parks/finishes —
+        #: every call site is a quiescent point (no coroutine mid-step),
+        #: so the hook may capture a consistent logical snapshot.  One
+        #: ``is not None`` check per switch when unset.
+        self.step_hook = None
         #: secondary errors raised by coroutines during teardown (a
         #: kernel intercepting GeneratorExit must not mask the primary
         #: failure); list of ``(task_name, exception)``.
@@ -220,6 +226,7 @@ class CooperativeScheduler:
         ready = self.ready
         profile = self.profile
         tracer = self.tracer
+        step_hook = self.step_hook
         # Tracing implies per-task time measurement (busy/blocked), but
         # cpu_time/kernel_fraction stay profile-only.
         measure = profile or tracer is not None
@@ -227,6 +234,10 @@ class CooperativeScheduler:
         t_run0 = perf_counter()
 
         while ready:
+            if step_hook is not None:
+                # Between context switches no coroutine is mid-step, so
+                # this is a consistent cut for checkpoint capture.
+                step_hook(steps)
             task = ready.popleft()
             if task.state is not TaskState.READY:
                 continue  # cancelled/finished while queued

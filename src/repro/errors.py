@@ -115,6 +115,20 @@ class FaultPlanError(GraphRuntimeError):
     active optimize plan elided."""
 
 
+class CheckpointError(GraphRuntimeError):
+    """A run checkpoint could not be captured, written, or loaded —
+    covers unwritable directories, truncated/corrupt files (checksum
+    mismatch), and unsupported schema versions (:mod:`repro.checkpoint`)."""
+
+
+class CheckpointDivergence(CheckpointError):
+    """A resumed run did not reproduce the checkpointed prefix
+    bit-identically.  Deterministic re-execution is the resume
+    contract; divergence means the graph, its inputs, or a
+    non-suppressed fault changed between the original run and the
+    resume."""
+
+
 class StreamTypeError(GraphRuntimeError):
     """A value pushed through a stream does not match the stream's type."""
 

@@ -155,6 +155,16 @@ class RunResult:
     #: Path of the written collapsed-stack flamegraph, when the sampler
     #: was configured with an output location.
     profile_path: str = ""
+    #: :class:`repro.checkpoint.CheckpointInfo` when the run captured
+    #: checkpoints (the ``checkpoint=`` option); ``None`` otherwise.
+    checkpoint: Any = None
+    #: Path of the checkpoint this run was restored from
+    #: (``resume_from=`` or a ``RetryPolicy(resume=True)`` retry);
+    #: empty for from-scratch runs.
+    resumed_from: str = ""
+    #: Fault injections dropped on resume because the checkpoint records
+    #: them as already fired (transient-fault semantics); ``repr`` strings.
+    suppressed_faults: List[str] = field(default_factory=list)
     raw: Any = None
 
     @property
@@ -220,6 +230,12 @@ class RunResult:
             d["profile"] = self.profile.to_dict()
         if self.profile_path:
             d["profile_path"] = self.profile_path
+        if self.checkpoint is not None:
+            d["checkpoint"] = self.checkpoint.to_dict()
+        if self.resumed_from:
+            d["resumed_from"] = self.resumed_from
+        if self.suppressed_faults:
+            d["suppressed_faults"] = list(self.suppressed_faults)
         return d
 
     def __repr__(self):
@@ -392,12 +408,23 @@ def clear_resolve_cache() -> None:
 
 
 def _coerce_retry(retry: Any):
-    """``retry=`` accepts a RetryPolicy, an int attempt count, or None."""
+    """``retry=`` accepts a RetryPolicy, an int attempt count, or None.
+
+    ``attempts == 1`` normalises to ``None`` (a single try needs no
+    retry machinery); zero or negative counts raise ``ValueError`` —
+    they used to silently disable retrying, which hid typos like
+    ``retry=0`` behind a run that never retried.
+    """
     from ..faults.report import RetryPolicy
 
     if retry is None:
         return None
     if isinstance(retry, RetryPolicy):
+        # RetryPolicy validates attempts >= 1 at construction, so the
+        # only normalisation left is the no-op single-attempt policy
+        # (unless it asks for resume semantics, which run_graph reads
+        # off the policy even for attempts=1... there is nothing to
+        # resume on a first and only try, so None stays correct).
         return retry if retry.attempts > 1 else None
     if isinstance(retry, bool):
         raise GraphRuntimeError(
@@ -405,8 +432,10 @@ def _coerce_retry(retry: Any):
         )
     if isinstance(retry, int):
         if retry < 1:
-            raise GraphRuntimeError(
-                f"retry attempt count must be >= 1, got {retry}"
+            raise ValueError(
+                f"retry attempt count must be >= 1 (the first try "
+                f"counts), got {retry}; pass retry=None to disable "
+                f"retrying"
             )
         return RetryPolicy(attempts=retry) if retry > 1 else None
     raise GraphRuntimeError(
@@ -435,11 +464,37 @@ def _check_replayable(sources) -> None:
             )
 
 
+def _next_resume(graph: Any, prev: Any, *, exc: Any = None,
+                 result: Any = None) -> Any:
+    """Resume state for the next retry attempt: the newest checkpoint
+    the failed attempt left behind, or the previous state when the
+    attempt died before capturing one."""
+    path = ""
+    if exc is not None:
+        path = str(getattr(exc, "checkpoint_path", "") or "")
+    if not path and result is not None:
+        fr = result.failure
+        if fr is not None:
+            path = str(getattr(fr, "checkpoint_path", "") or "")
+        if not path:
+            info = getattr(result, "checkpoint", None)
+            if info is not None:
+                path = str(getattr(info, "last", "") or "")
+    if not path:
+        return prev
+    from ..checkpoint.resume import ResumeState
+
+    rs = ResumeState.load(path)
+    rs.verify_graph(graph)
+    return rs
+
+
 def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
               profile: Any = False, observe: Any = None,
               trace: Any = None, retry: Any = None,
               run_id: Optional[str] = None,
               labels: Optional[Dict[str, str]] = None,
+              checkpoint: Any = None, resume_from: Any = None,
               **options: Any) -> RunResult:
     """Execute *graph* on the named backend: the single entry point all
     benchmarks, examples, and the differential harness go through.
@@ -476,6 +531,21 @@ def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
     :class:`~repro.faults.FailureReport`, the flamegraph filename, and
     ``result.run_id``.  ``labels`` (e.g. tenant/graph from the serve
     layer) ride along on every event the same way.
+
+    ``checkpoint`` (a directory path, a dict of policy fields, or a
+    :class:`repro.checkpoint.CheckpointPolicy`) captures run state at
+    quiescent points — on-fault by default, plus interval and explicit
+    triggers; the result carries a
+    :class:`~repro.checkpoint.CheckpointInfo` under
+    ``result.checkpoint``.  ``resume_from`` (a checkpoint file path or
+    loaded :class:`~repro.checkpoint.Checkpoint`) restores that state
+    and continues the run on *any* backend: the graph digest is
+    verified, already-fired ``KernelFault`` injections are suppressed,
+    the re-execution lands in scratch containers, and the recorded
+    prefix is digest-verified before the caller's sinks are written
+    (divergence raises :class:`~repro.errors.CheckpointDivergence`).
+    ``RetryPolicy(resume=True)`` links the two: each retry restarts
+    from the failed attempt's last checkpoint instead of from zero.
     """
     if observe is not None and trace is not None:
         raise GraphRuntimeError(
@@ -510,10 +580,40 @@ def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
         # their per-process tracers stamp the same correlation id.
         options.setdefault("run_id", rid)
 
-    if policy is not None:
+    ckpt_policy = None
+    if checkpoint is not None:
+        from ..checkpoint import coerce_checkpoint
+
+        ckpt_policy = coerce_checkpoint(checkpoint)
+        if ckpt_policy is not None:
+            if not ckpt_policy.run_id:
+                ckpt_policy.run_id = rid
+            options["checkpoint"] = ckpt_policy
+    rs = None
+    if resume_from is not None:
+        from ..checkpoint.resume import ResumeState
+
+        rs = ResumeState.load(resume_from)
+    resume_retries = policy is not None and getattr(policy, "resume", False)
+    # RetryPolicy.resume is also honoured when _coerce_retry normalised
+    # a single-attempt policy away — there is nothing to resume then,
+    # but a resume=True policy with no checkpoint source is always a
+    # caller mistake worth naming.
+    if resume_retries and ckpt_policy is None and rs is None:
+        raise GraphRuntimeError(
+            "RetryPolicy(resume=True) needs a checkpoint to resume from: "
+            "pass checkpoint= so failed attempts capture one, or "
+            "resume_from= to seed the first attempt"
+        )
+
+    n_inputs = 0
+    if policy is not None or rs is not None:
         n_inputs = len(resolve_graph(graph).inputs)
+        # Retry and resume both re-bind the original inputs.
         _check_replayable(io[:n_inputs])
         sinks = io[n_inputs:]
+    if rs is not None:
+        rs.verify_graph(graph)
 
     attempts: List[Any] = []
     try:
@@ -530,8 +630,19 @@ def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
                 for sink in sinks:
                     if isinstance(sink, list):
                         del sink[:]
+            attempt_io = io
+            opts = dict(options)
+            scratch = None
+            if rs is not None:
+                # Resume executes into scratch containers so the
+                # caller's sinks stay untouched until the re-run is
+                # digest-verified against the checkpoint prefix.
+                scratch = rs.make_scratch(tuple(io[n_inputs:]))
+                if opts.get("faults") is not None:
+                    opts["faults"] = rs.filter_faults(opts["faults"])
+                attempt_io = tuple(io[:n_inputs]) + tuple(scratch)
             try:
-                plan = b.prepare(graph, io, **dict(options))
+                plan = b.prepare(graph, attempt_io, **opts)
                 result = b.run(plan, profile=profile)
             except Exception as exc:
                 if policy is None or last:
@@ -539,6 +650,8 @@ def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
                 attempts.append(AttemptRecord(
                     index=attempt, outcome="raised", error=exc,
                 ))
+                if resume_retries:
+                    rs = _next_resume(graph, rs, exc=exc)
                 continue
             if policy is not None:
                 fr = result.failure
@@ -550,7 +663,18 @@ def run_graph(graph: Any, *io: Any, backend: str = "cgsim",
                     failing_task=fr.failing_task if fr is not None else "",
                 ))
                 if fr is not None and not last:
+                    if resume_retries:
+                        rs = _next_resume(graph, rs, result=result)
                     continue
+            if rs is not None:
+                # Verify + splice deliberately OUTSIDE the try above: a
+                # CheckpointDivergence is a determinism violation, not a
+                # transient failure — it must propagate, never retry.
+                rs.splice(tuple(io[n_inputs:]), scratch,
+                          completed=result.completed)
+                result.outputs = list(io[n_inputs:])
+                result.resumed_from = rs.path
+                result.suppressed_faults = list(rs.suppressed)
             break
     except BaseException:
         if tracer is not None and owned:

@@ -41,7 +41,10 @@ class CgsimBackend(ExecutionBackend):
     :class:`DeadlockError` on stalls), ``watchdog`` (no-progress window
     in seconds or a :class:`~repro.observe.health.ProgressWatchdog`),
     ``profiler`` (a :class:`~repro.observe.profile.SamplingProfiler`,
-    normally injected by ``run_graph(profile="sample")``).
+    normally injected by ``run_graph(profile="sample")``),
+    ``checkpoint`` (run-state capture policy — a directory path, dict,
+    or :class:`~repro.checkpoint.CheckpointPolicy`; see
+    :mod:`repro.checkpoint`).
     """
 
     name = "cgsim"
@@ -110,6 +113,7 @@ class CgsimBackend(ExecutionBackend):
             stall_diagnosis=report.stall_diagnosis,
             failure=report.failure,
             deadlock=report.deadlock,
+            checkpoint=report.checkpoint,
             raw=report,
         )
 
@@ -183,6 +187,16 @@ class X86simBackend(ExecutionBackend):
                 "profile='sample' needs a cooperative backend "
                 "(cgsim/pysim/cgsim-mp); x86sim's preemptive threads "
                 "have no single scheduler stack to sample"
+            )
+        if options.pop("checkpoint", None) is not None:
+            from ..errors import CheckpointError
+            raise CheckpointError(
+                "checkpoint= capture needs a cooperative backend "
+                "(cgsim/pysim/cgsim-mp): x86sim's preemptive threads "
+                "interleave freely, so there is no quiescent point to "
+                "snapshot at; resume_from= still works on x86sim — "
+                "resume is a deterministic re-execution at the exec "
+                "layer, not an engine feature"
             )
         if options:
             from ..errors import GraphRuntimeError

@@ -93,6 +93,11 @@ class FailureReport:
     #: Correlation id of the run that produced this report (schema-v2
     #: trace context); stamped by ``run_graph`` / the mp manager.
     run_id: str = ""
+    #: Path of the on-fault checkpoint captured when the run failed
+    #: with ``checkpoint=`` active ("" otherwise) — the file
+    #: ``run_graph(resume_from=...)`` / ``RetryPolicy(resume=True)``
+    #: picks up.
+    checkpoint_path: str = ""
 
     @property
     def failing_task(self) -> str:
@@ -135,6 +140,8 @@ class FailureReport:
         }
         if self.run_id:
             out["run_id"] = self.run_id
+        if self.checkpoint_path:
+            out["checkpoint_path"] = self.checkpoint_path
         return out
 
 
@@ -145,14 +152,42 @@ class RetryPolicy:
     Attributes
     ----------
     attempts:
-        Total number of tries, including the first (must be >= 1).
+        Total number of tries, including the first (must be >= 1; zero
+        or negative counts raise ``ValueError`` — "never run" is not a
+        retry policy, pass ``retry=None`` to disable retrying).
     backoff:
         Sleep in seconds before the first retry; doubles per further
         retry (exponential).  0.0 retries immediately.
+    resume:
+        When True, retries resume from the last checkpoint the failed
+        attempt wrote instead of starting from zero — requires the run
+        to also pass ``checkpoint=`` (the default on-fault capture is
+        enough).  Fired ``KernelFault`` injections are suppressed on
+        the resumed attempt (transient-fault semantics), and the
+        resumed prefix is verified bit-identical to the checkpoint.
     """
 
     attempts: int = 2
     backoff: float = 0.0
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.attempts, bool) or not isinstance(
+                self.attempts, int):
+            raise ValueError(
+                f"RetryPolicy.attempts must be an int >= 1, "
+                f"got {self.attempts!r}"
+            )
+        if self.attempts < 1:
+            raise ValueError(
+                f"RetryPolicy.attempts must be >= 1 (the first try "
+                f"counts), got {self.attempts}; pass retry=None to "
+                f"disable retrying"
+            )
+        if self.backoff < 0.0:
+            raise ValueError(
+                f"RetryPolicy.backoff must be >= 0.0, got {self.backoff}"
+            )
 
     def delay_before(self, attempt_index: int) -> float:
         """Seconds to sleep before attempt *attempt_index* (0-based)."""

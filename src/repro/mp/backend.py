@@ -52,7 +52,10 @@ class CgsimMpBackend(ExecutionBackend):
     ``optimize`` is accepted and ignored
     (plan fusion is a single-scheduler concept); ``faults`` injection
     plans are not supported — containment semantics still apply to real
-    worker failures.
+    worker failures.  ``checkpoint`` enables manager-side state capture
+    on worker death / contained failure / stall (and ``at_end``); the
+    interval and explicit triggers of the policy are ignored here —
+    see :func:`repro.mp.manager.run_sharded`.
     """
 
     name = "cgsim-mp"
@@ -76,7 +79,12 @@ class CgsimMpBackend(ExecutionBackend):
             "ring_bytes": options.pop("ring_bytes", DEFAULT_RING_BYTES),
             "run_id": options.pop("run_id", ""),
             "watchdog": options.pop("watchdog", None),
+            "checkpoint": options.pop("checkpoint", None),
         }
+        if opts["checkpoint"] is not None:
+            from ..checkpoint import coerce_checkpoint
+
+            opts["checkpoint"] = coerce_checkpoint(opts["checkpoint"])
         # run_graph ships a ready SamplingProfiler; a manager-side
         # sampler would only see the manager's poll loop, so forward the
         # interval and let every forked worker sample its own scheduler.
@@ -115,6 +123,7 @@ class CgsimMpBackend(ExecutionBackend):
             run_id=opts["run_id"],
             watchdog=opts["watchdog"],
             profile_sample=opts["profile_sample"],
+            checkpoint=opts["checkpoint"],
         )
         n_in = len(plan.graph.inputs)
         return RunResult(
@@ -135,5 +144,6 @@ class CgsimMpBackend(ExecutionBackend):
             failure=report.failure,
             run_id=report.run_id,
             profile=report.profile,
+            checkpoint=report.checkpoint,
             raw=report,
         )

@@ -100,6 +100,9 @@ class MpRunReport:
     #: Merged :class:`~repro.observe.profile.ProfileReport` when the
     #: workers ran with a sampling profiler, else ``None``.
     profile: Any = None
+    #: :class:`~repro.checkpoint.CheckpointInfo` when the manager
+    #: captured a checkpoint (worker death / on-fault / at-end).
+    checkpoint: Any = None
 
     def __repr__(self):
         status = "ok" if self.completed else (
@@ -123,11 +126,13 @@ def _check_io(graph, io: Tuple[Any, ...]) -> None:
 
 
 def _merge_outputs(graph, placement: Placement, io, results,
-                   validate: bool = False) -> int:
+                   validate: bool = False) -> Tuple[int, Dict[int, int]]:
     """Copy worker sink payloads / RTP values into the caller's
-    containers; returns total items delivered."""
+    containers; returns total items delivered plus the per-sink
+    delivered counts ``{io_index: n}`` (the checkpoint layer's input)."""
     n_in = len(graph.inputs)
     items_out = 0
+    counts: Dict[int, int] = {}
     for gio in graph.outputs:
         container = io[n_in + gio.io_index]
         net = graph.net(gio.net_id)
@@ -148,6 +153,7 @@ def _merge_outputs(graph, placement: Placement, io, results,
                         value = src.value if isinstance(src, RuntimeParam) \
                             else src
             container.value = value
+            counts[gio.io_index] = 0 if value is None else 1
             continue
         home = placement.sink_home(gio.io_index)
         msg = results.get(home)
@@ -163,8 +169,73 @@ def _merge_outputs(graph, placement: Placement, io, results,
                 f"unsupported sink container {type(container).__name__}; "
                 f"pass a list or a pre-allocated numpy array"
             )
+        counts[gio.io_index] = len(payload)
         items_out += len(payload)
-    return items_out
+    return items_out, counts
+
+
+def _capture_mp_checkpoint(graph, io, policy, reason: str, *,
+                           items_in: int, items_out: int,
+                           counts: Dict[int, int], run_id: str,
+                           tracer=None) -> str:
+    """Manager-side checkpoint of the merged surviving state.
+
+    Taken after worker sink payloads were merged into the caller's
+    containers — each container then holds exactly the delivered FIFO
+    prefix, which is what the logical checkpoint records.  The manager
+    has no global scheduler step, so ``step`` is -1; fault plans are
+    not supported on cgsim-mp, so the fault position is empty.
+    """
+    import os as _os
+
+    from ..checkpoint.format import (
+        Checkpoint,
+        SinkSnapshot,
+        default_checkpoint_name,
+        fresh_timestamp,
+        graph_digest,
+    )
+    from ..checkpoint.resume import value_digest
+    from ..core.runtime import RuntimeContext
+    from ..serve.wire import encode_value
+
+    n_in = len(graph.inputs)
+    sinks = []
+    for gio in graph.outputs:
+        container = io[n_in + gio.io_index]
+        net = graph.net(gio.net_id)
+        if net.settings.runtime_parameter:
+            value = container.value \
+                if isinstance(container, RuntimeParam) else None
+            sinks.append(SinkSnapshot(
+                io_index=gio.io_index, kind="rtp",
+                delivered=0 if value is None else 1,
+                digest=value_digest(value) if value is not None else "",
+                data=encode_value(value) if value is not None else None,
+            ))
+            continue
+        sinks.append(RuntimeContext._snapshot_container(
+            gio.io_index, container,
+            counts.get(gio.io_index, 0), net.dtype,
+        ))
+    ckpt = Checkpoint(
+        graph_name=graph.name,
+        graph_digest=graph_digest(graph),
+        backend="cgsim-mp",
+        run_id=run_id or policy.run_id,
+        reason=reason,
+        step=-1,
+        items_in=items_in,
+        items_out=items_out,
+        sinks=sinks,
+        wall_ts=fresh_timestamp(),
+    )
+    path = _os.path.join(
+        policy.dir, default_checkpoint_name(run_id or policy.run_id, 0))
+    ckpt.save(path)
+    if tracer is not None:
+        tracer.checkpoint_capture(path=path, reason=reason, step=-1)
+    return path
 
 
 def _merge_events(tracer, results) -> None:
@@ -270,7 +341,8 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
                 backend_label: str = "cgsim-mp",
                 run_id: str = "",
                 watchdog: Any = None,
-                profile_sample: float = 0.0) -> MpRunReport:
+                profile_sample: float = 0.0,
+                checkpoint: Any = None) -> MpRunReport:
     """Execute *graph* sharded across *workers* OS processes.
 
     ``io`` is the usual positional tuple (sources then sinks, §3.7);
@@ -288,6 +360,18 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
     silence; ``profile_sample`` > 0 starts an in-process sampling
     profiler in every worker at that interval (merged report on
     ``MpRunReport.profile``).
+
+    ``checkpoint`` (a :class:`~repro.checkpoint.CheckpointPolicy`)
+    enables manager-side capture of the merged surviving state: on
+    worker death, on a contained remote failure, on a farm stall, and
+    (``at_end=True``) after a clean run.  Interval and explicit
+    triggers are a single-scheduler concept and are ignored here — the
+    run state lives inside forked workers with no shared quiescent
+    point.  The checkpoint path rides on
+    ``FailureReport.checkpoint_path``, the raised exception's
+    ``checkpoint_path`` attribute, and ``MpRunReport.checkpoint``, so
+    ``run_graph``'s retry-resume loop re-places the lost shard's work
+    onto fresh processes and completes from the recorded prefix.
     """
     if on_error not in ("fail", "isolate"):
         raise GraphRuntimeError(
@@ -436,8 +520,8 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
         wall = perf_counter() - t0
         # Merge whatever arrived even after a failure: surviving
         # workers' sinks hold a valid prefix (isolate semantics).
-        items_out = _merge_outputs(graph, placement, io, results,
-                                   validate=validate)
+        items_out, sink_counts = _merge_outputs(graph, placement, io,
+                                                results, validate=validate)
         _merge_events(tracer, results)
         if tracer is not None:
             tracer.run_end(graph.name, backend_label)
@@ -446,9 +530,43 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
         if failure_report is not None and run_id \
                 and not failure_report.run_id:
             failure_report.run_id = run_id
+
+        ckpt_info = None
+        if checkpoint is not None:
+            reason = ""
+            if failure_report is not None:
+                if checkpoint.on_fault:
+                    reason = "worker_death" \
+                        if isinstance(failure_exc, WorkerCrashError) \
+                        else "on_fault"
+            elif stall_lines:
+                reason = "on_fault" if checkpoint.on_fault else ""
+            elif checkpoint.at_end and len(results) == n_workers:
+                reason = "final"
+            if reason:
+                try:
+                    path = _capture_mp_checkpoint(
+                        graph, io, checkpoint, reason,
+                        items_in=sum(m.get("items_in", 0)
+                                     for m in results.values()),
+                        items_out=items_out, counts=sink_counts,
+                        run_id=run_id, tracer=tracer,
+                    )
+                except Exception:
+                    # A failed capture must never mask the run outcome.
+                    path = ""
+                if path:
+                    from ..checkpoint.format import CheckpointInfo
+                    ckpt_info = CheckpointInfo(
+                        last=path, reason=reason, count=1, paths=[path])
+                    if failure_report is not None:
+                        failure_report.checkpoint_path = path
+
         if failure_report is not None and on_error == "fail":
             assert failure_exc is not None
             failure_exc.report = failure_report  # type: ignore[union-attr]
+            if ckpt_info is not None:
+                failure_exc.checkpoint_path = ckpt_info.last  # type: ignore[union-attr]
             raise failure_exc
 
         task_states: Dict[str, str] = {}
@@ -485,6 +603,7 @@ def run_sharded(graph, io: Tuple[Any, ...], *,
             failure=failure_report,
             run_id=run_id,
             profile=profile_report,
+            checkpoint=ckpt_info,
         )
     finally:
         if dog is not None:

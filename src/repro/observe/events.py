@@ -93,6 +93,7 @@ QUEUE_PUT = "queue.put"
 QUEUE_GET = "queue.get"
 FAULT_INJECT = "fault.inject"
 HEALTH_STALL = "health.stall"
+CHECKPOINT_CAPTURE = "checkpoint.capture"
 
 #: Every kind a schema-2 trace may contain.  Consumers ignore unknown
 #: kinds, so additions here are always backwards-compatible.
@@ -103,6 +104,7 @@ EVENT_KINDS = frozenset({
     QUEUE_PUT, QUEUE_GET,
     FAULT_INJECT,
     HEALTH_STALL,
+    CHECKPOINT_CAPTURE,
 })
 
 
@@ -353,6 +355,16 @@ class Tracer:
         if snapshot:
             meta["snapshot"] = snapshot
         self.emit(HEALTH_STALL, task=task, meta=meta)
+
+    def checkpoint_capture(self, path: str = "", reason: str = "",
+                           step: int = -1) -> None:
+        """A run checkpoint was written (repro.checkpoint): *path* is
+        the file, *reason* the trigger (interval/explicit/on_fault/
+        final/worker_death), *step* the scheduler context-switch count
+        at the quiescent capture point."""
+        self.emit(CHECKPOINT_CAPTURE, meta={
+            "path": path, "reason": reason, "step": step,
+        })
 
     def queue_put(self, queue: str, n: int, fill: int) -> None:
         self.emit(QUEUE_PUT, queue=queue, n=n, fill=fill)

@@ -87,22 +87,49 @@ class RingSink(TraceSink):
                 f"{f', {self.dropped} dropped' if self.dropped else ''}>")
 
 
+#: JsonlSink flushes its OS buffer every this many events, so a hard
+#: kill (SIGKILL, ``os._exit``) loses at most one flush window.
+JSONL_FLUSH_EVERY = 64
+
+#: Suffix of the in-progress file both disk sinks stream/export to
+#: before the atomic rename publishes the final path.
+PARTIAL_SUFFIX = ".tmp"
+
+
 class JsonlSink(TraceSink):
-    """Streams events to a newline-delimited JSON file."""
+    """Streams events to a newline-delimited JSON file, crash-safely.
+
+    Events stream to ``<path>.tmp`` (flushed every
+    :data:`JSONL_FLUSH_EVERY` events), and ``close()`` — which the
+    owning tracer calls even when the run aborts with an exception —
+    flushes the tail and atomically renames to the final path.  A
+    reader therefore never observes a torn final file, and after a hard
+    kill the flushed prefix survives in the ``.tmp`` file, which
+    :func:`read_jsonl` falls back to — the replay CLI can reconstruct a
+    crashed run from whatever its trace managed to record.
+    """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
-        self._fh = self.path.open("w", encoding="utf-8")
+        self._partial = self.path.with_name(self.path.name + PARTIAL_SUFFIX)
+        self._fh = self._partial.open("w", encoding="utf-8")
         self.count = 0
 
     def write(self, event: Event) -> None:
         self._fh.write(json.dumps(event.to_dict(), separators=(",", ":")))
         self._fh.write("\n")
         self.count += 1
+        if self.count % JSONL_FLUSH_EVERY == 0:
+            self._fh.flush()
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        if self._fh.closed:
+            return
+        self._fh.flush()
+        self._fh.close()
+        import os
+
+        os.replace(self._partial, self.path)
 
     def __repr__(self):
         return f"<JsonlSink {self.path} ({self.count} events)>"
@@ -113,7 +140,9 @@ class ChromeTraceSink(TraceSink):
 
     The produced file loads in Perfetto / ``chrome://tracing`` with
     kernels as tracks and stall intervals as flow-annotated slices (see
-    :mod:`repro.observe.chrome`).
+    :mod:`repro.observe.chrome`).  The export lands in ``<path>.tmp``
+    first and is atomically renamed, so a crash mid-export never leaves
+    a truncated trace at the final path.
     """
 
     def __init__(self, path: Union[str, Path]):
@@ -131,9 +160,13 @@ class ChromeTraceSink(TraceSink):
     def close(self) -> None:
         if self._written:
             return
+        import os
+
         from .chrome import export_chrome_trace
 
-        export_chrome_trace(self._events, self.path)
+        partial = self.path.with_name(self.path.name + PARTIAL_SUFFIX)
+        export_chrome_trace(self._events, partial)
+        os.replace(partial, self.path)
         self._written = True
 
     def __repr__(self):
@@ -151,9 +184,19 @@ def write_jsonl(events, path: Union[str, Path]) -> Path:
 
 
 def read_jsonl(path: Union[str, Path]) -> List[Event]:
-    """Load a JSONL trace file back into an event list."""
+    """Load a JSONL trace file back into an event list.
+
+    Falls back to the ``.tmp`` in-progress file when the final path
+    does not exist — the trace of a hard-killed run was never renamed,
+    but its flushed prefix is still usable for triage and replay.
+    """
+    target = Path(path)
+    if not target.exists():
+        partial = target.with_name(target.name + PARTIAL_SUFFIX)
+        if partial.exists():
+            target = partial
     out: List[Event] = []
-    with Path(path).open("r", encoding="utf-8") as fh:
+    with target.open("r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if line:

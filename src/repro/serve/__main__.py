@@ -56,6 +56,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile-dir", default=None, metavar="DIR",
                    help="write collapsed-stack flamegraphs of profiled "
                         "runs (<graph>_<run_id>.collapsed) into DIR")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="write per-run checkpoints under DIR/<run_id>/; "
+                        "enables POST /runs/<id>/checkpoint, on-fault "
+                        "capture, retry.resume, and checkpoint-on-drain")
+    p.add_argument("--persist-dir", default=None, metavar="DIR",
+                   help="keep a crash-safe run-registry journal in "
+                        "DIR/runs.journal.jsonl; a restarted server "
+                        "recovers every run record from it")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   metavar="S",
+                   help="seconds the SIGTERM/SIGINT graceful drain waits "
+                        "for in-flight runs before stopping anyway "
+                        "(default 10)")
     p.add_argument("--import", dest="imports", action="append", default=[],
                    metavar="MODULE",
                    help="import MODULE at startup so submitted graphs "
@@ -80,6 +93,9 @@ def main(argv=None) -> int:
         max_records=args.max_records,
         watchdog_s=args.watchdog,
         profile_dir=args.profile_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        persist_dir=args.persist_dir,
+        drain_deadline_s=args.drain_timeout,
         imports=tuple(args.imports),
     )
     server = RunServer(GraphService(config), host=args.host,

@@ -12,14 +12,25 @@ and returned a contained :class:`~repro.faults.FailureReport` (the
 tenant's kernel raised under ``on_error="isolate"``); *error* means the
 service could not execute the run at all (bad option combination, an
 uncontained raise).  Both carry structured JSON detail.
+
+With a ``journal_path`` the registry is additionally **crash-safe**:
+every lifecycle transition appends one JSON line (flushed immediately)
+to the journal, and a restarting server replays it — finished runs
+come back with their terminal state, and runs that were queued or
+running when the process died come back as ``error`` with a
+``ServerRestart`` annotation carrying the last checkpoint path the
+run captured (if any), so a client can ``resume_from=`` it.  The
+replayed state is then compacted into a fresh journal.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 __all__ = ["RunRecord", "RunRegistry", "TERMINAL_STATES"]
@@ -56,6 +67,10 @@ class RunRecord:
     #: no-progress window; a run can recover and still finish ``ok``
     #: with this annotation set (it means "was stalled at some point").
     stalled_suspect: bool = False
+    #: Newest checkpoint file this run captured (explicit trigger,
+    #: on-fault, or the graceful-shutdown drain); resumable via
+    #: ``run_graph(resume_from=...)``.
+    checkpoint_path: str = ""
 
     @property
     def latency_s(self) -> Optional[float]:
@@ -79,6 +94,7 @@ class RunRecord:
             "options": self.options,
             "traced": self.trace_events is not None,
             "stalled_suspect": self.stalled_suspect,
+            "checkpoint_path": self.checkpoint_path,
         }
         if include_result:
             d["result"] = self.result_wire
@@ -91,7 +107,7 @@ class RunRegistry:
     """Thread-safe id -> :class:`RunRecord` store with bounded retention."""
 
     def __init__(self, *, max_records: int = 10_000,
-                 clock=time.time):
+                 clock=time.time, journal_path: Any = None):
         self._lock = threading.RLock()
         self._records: "Dict[str, RunRecord]" = {}
         self._order: List[str] = []          # insertion order for eviction
@@ -99,6 +115,139 @@ class RunRegistry:
         self.max_records = max_records
         self._clock = clock
         self.evicted = 0
+        self._journal_fh = None
+        self.journal_path = str(journal_path) if journal_path else ""
+        #: Run ids that were in flight when a previous server process
+        #: died, recovered as ``error``/``ServerRestart`` on startup.
+        self.recovered: List[str] = []
+        if self.journal_path:
+            self._recover_and_open(Path(self.journal_path))
+
+    # -- journal (crash-safe recovery) ------------------------------------
+
+    def _journal(self, obj: Dict[str, Any]) -> None:
+        fh = self._journal_fh
+        if fh is None:
+            return
+        try:
+            fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+            fh.flush()
+        except Exception:  # pragma: no cover - journaling never breaks serving
+            pass
+
+    def _replay_line(self, obj: Dict[str, Any]) -> None:
+        op = obj.get("op")
+        rid = str(obj.get("id", ""))
+        if op == "create" and rid:
+            rec = RunRecord(
+                run_id=rid, tenant=str(obj.get("tenant", "")),
+                graph_name=str(obj.get("graph", "")),
+                backend=str(obj.get("backend", "")),
+                label=str(obj.get("label", "")),
+                submitted_ts=float(obj.get("ts", 0.0)),
+                options=dict(obj.get("options") or {}),
+            )
+            self._records[rid] = rec
+            self._order.append(rid)
+            return
+        rec = self._records.get(rid)
+        if rec is None:
+            return
+        if op == "running":
+            rec.state = "running"
+            rec.started_ts = float(obj.get("ts", 0.0))
+        elif op == "finish":
+            state = str(obj.get("state", "error"))
+            rec.state = state if state in TERMINAL_STATES else "error"
+            rec.finished_ts = float(obj.get("ts", 0.0))
+            if obj.get("error") is not None:
+                rec.error = obj["error"]
+            if obj.get("result") is not None:
+                rec.result_wire = obj["result"]
+            if obj.get("checkpoint_path"):
+                rec.checkpoint_path = str(obj["checkpoint_path"])
+        elif op == "annotate":
+            for key in ("stalled_suspect", "checkpoint_path"):
+                if key in obj:
+                    setattr(rec, key, obj[key])
+
+    def _recover_and_open(self, path: Path) -> None:
+        """Replay an existing journal, error out in-flight runs, compact,
+        and reopen for appending."""
+        import os
+
+        if path.exists():
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            obj = json.loads(line)
+                        except ValueError:
+                            continue    # torn tail line of a hard kill
+                        if isinstance(obj, dict):
+                            self._replay_line(obj)
+            except OSError:
+                pass
+            now = self._clock()
+            for rec in self._records.values():
+                if rec.state not in TERMINAL_STATES:
+                    rec.state = "error"
+                    rec.finished_ts = now
+                    rec.error = {
+                        "error_type": "ServerRestart",
+                        "error": "the server process exited while this "
+                                 "run was in flight"
+                                 + (f"; resume_from={rec.checkpoint_path!r}"
+                                    if rec.checkpoint_path else ""),
+                    }
+                    self.recovered.append(rec.run_id)
+            # Continue minting past every replayed numeric id.
+            top = 0
+            for rid in self._records:
+                if rid.startswith("r") and rid[1:].isdigit():
+                    top = max(top, int(rid[1:]))
+            self._counter = itertools.count(top + 1)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Compact: the replayed (now all-terminal) state becomes the new
+        # journal prefix, written atomically.
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for rid in self._order:
+                rec = self._records.get(rid)
+                if rec is None:
+                    continue
+                fh.write(json.dumps(self._create_op(rec),
+                                    separators=(",", ":")) + "\n")
+                fh.write(json.dumps({
+                    "op": "finish", "id": rec.run_id, "state": rec.state,
+                    "ts": rec.finished_ts or 0.0, "error": rec.error,
+                    "result": rec.result_wire,
+                    "checkpoint_path": rec.checkpoint_path,
+                }, separators=(",", ":")) + "\n")
+        os.replace(tmp, path)
+        self._journal_fh = path.open("a", encoding="utf-8")
+
+    @staticmethod
+    def _create_op(rec: RunRecord) -> Dict[str, Any]:
+        return {
+            "op": "create", "id": rec.run_id, "tenant": rec.tenant,
+            "graph": rec.graph_name, "backend": rec.backend,
+            "label": rec.label, "ts": rec.submitted_ts,
+            "options": rec.options,
+        }
+
+    def close(self) -> None:
+        """Close the journal file handle (idempotent)."""
+        fh = self._journal_fh
+        if fh is not None:
+            self._journal_fh = None
+            try:
+                fh.close()
+            except Exception:  # pragma: no cover
+                pass
 
     def create(self, *, tenant: str, graph_name: str, backend: str,
                label: str = "",
@@ -124,6 +273,7 @@ class RunRegistry:
             self._records[run_id] = rec
             self._order.append(run_id)
             self._evict_locked()
+            self._journal(self._create_op(rec))
             return rec
 
     def _evict_locked(self) -> None:
@@ -160,6 +310,8 @@ class RunRegistry:
             rec = self._records[run_id]
             rec.state = "running"
             rec.started_ts = self._clock()
+            self._journal({"op": "running", "id": run_id,
+                           "ts": rec.started_ts})
 
     def annotate(self, run_id: str, **fields: Any) -> None:
         """Set advisory fields (e.g. ``stalled_suspect=True``) on a
@@ -171,6 +323,10 @@ class RunRegistry:
                 return
             for key, value in fields.items():
                 setattr(rec, key, value)
+            safe = {k: v for k, v in fields.items()
+                    if k in ("stalled_suspect", "checkpoint_path")}
+            if safe:
+                self._journal({"op": "annotate", "id": run_id, **safe})
 
     def finish(self, run_id: str, state: str, **fields: Any) -> RunRecord:
         """Transition to a terminal *state*, stamping ``finished_ts`` and
@@ -184,6 +340,12 @@ class RunRegistry:
             rec.finished_ts = self._clock()
             for key, value in fields.items():
                 setattr(rec, key, value)
+            self._journal({
+                "op": "finish", "id": run_id, "state": state,
+                "ts": rec.finished_ts, "error": rec.error,
+                "result": rec.result_wire,
+                "checkpoint_path": rec.checkpoint_path,
+            })
             return rec
 
     def list(self, *, tenant: Optional[str] = None,

@@ -29,6 +29,16 @@ class AdmissionError(CgsimError):
         self.retry_after_s = retry_after_s
 
 
+class DrainingError(AdmissionError):
+    """The service is shutting down gracefully (HTTP 503)."""
+
+    def __init__(self, message: str = "server is draining; "
+                 "not accepting new runs",
+                 retry_after_s: float = 5.0):
+        super().__init__(message, retry_after_s=retry_after_s)
+        self.status = 503
+
+
 _STOP = object()
 
 
@@ -53,6 +63,8 @@ class RunScheduler:
         self._started = False
         self._stopped = False
         self.crashed = 0
+        self._idle = threading.Condition()
+        self._active = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -85,11 +97,16 @@ class RunScheduler:
             job = self._queue.get()
             if job is _STOP:
                 return
+            with self._idle:
+                self._active += 1
             try:
                 job()
             except BaseException:
                 self.crashed += 1
             finally:
+                with self._idle:
+                    self._active -= 1
+                    self._idle.notify_all()
                 self._queue.task_done()
 
     # -- submission --------------------------------------------------------
@@ -113,3 +130,25 @@ class RunScheduler:
     def pending(self) -> int:
         """Jobs enqueued but not yet picked up by a worker."""
         return self._queue.qsize()
+
+    @property
+    def active(self) -> int:
+        """Jobs currently executing on worker threads."""
+        with self._idle:
+            return self._active
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is queued or executing (the graceful-drain
+        barrier).  Returns False when *timeout* elapsed first."""
+        import time as _time
+
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        with self._idle:
+            while self._active > 0 or self._queue.qsize() > 0:
+                remaining = None if deadline is None \
+                    else deadline - _time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(timeout=0.05 if remaining is None
+                                else min(0.05, remaining))
+            return True

@@ -14,6 +14,10 @@ Endpoints (all JSON; tenancy via the ``X-Tenant`` header, default
                            and encoded sink values once finished
 ``GET /runs/<id>/trace``   Chrome-trace JSON (Perfetto-loadable) for
                            runs submitted with ``trace=true``
+``POST /runs/<id>/checkpoint``  ask a running run to capture a
+                           checkpoint at its next quiescent point
+                           (needs ``--checkpoint-dir``); 404 unknown,
+                           409 not running / not checkpointable
 ``GET /metrics``           live service metrics (run counters, latency
                            histogram, plan-cache hit rate, per-tenant
                            counters, aggregated observe totals); with
@@ -177,6 +181,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self):  # noqa: N802 - stdlib naming
         path, _query = self._route()
+        if path.startswith("/runs/") and path.endswith("/checkpoint"):
+            run_id = path[len("/runs/"):-len("/checkpoint")]
+            try:
+                doc = self.service.request_checkpoint(run_id)
+            except WireError as exc:
+                self._error(exc.status, str(exc))
+            except Exception as exc:  # pragma: no cover - defensive
+                self._error(500, f"{type(exc).__name__}: {exc}")
+            else:
+                if doc is None:
+                    self._error(404, f"unknown run {run_id!r}")
+                else:
+                    self._send_json(202, doc)
+            return
         if path != "/runs":
             self._error(404, f"no such endpoint: POST {path}")
             return
@@ -197,10 +215,13 @@ class _Handler(BaseHTTPRequestHandler):
             record = service.submit(self._tenant(), body,
                                     run_id=self._run_id())
         except AdmissionError as exc:
+            # 429 for quota/queue pressure, 503 while draining — both
+            # with Retry-After so clients back off instead of spinning.
             headers = {}
             if exc.retry_after_s > 0.0:
                 headers["Retry-After"] = f"{exc.retry_after_s:.3f}"
-            self._error(429, str(exc), headers)
+            self._error(getattr(exc, "status", 429) or 429,
+                        str(exc), headers)
         except WireError as exc:
             self._error(exc.status, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
@@ -252,22 +273,56 @@ class RunServer:
         self._thread.start()
         return self
 
-    def serve_forever(self) -> None:
+    def serve_forever(self, *, install_signals: bool = True) -> None:
+        """Serve on the calling thread until SIGTERM/SIGINT, then drain
+        gracefully: stop admitting (503 + Retry-After), ask in-flight
+        runs to checkpoint, wait up to the configured drain deadline,
+        and shut the socket down.  A second signal aborts the drain."""
+        import signal
+
         self.service.start()
+        if install_signals:
+            def _on_signal(signum, _frame):
+                # serve_forever() owns this thread; drain on a helper so
+                # the signal handler returns immediately (a handler that
+                # blocks can deadlock the HTTP accept loop).
+                threading.Thread(target=self.drain, daemon=True,
+                                 name="serve-drain").start()
+                signal.signal(signum, signal.SIG_DFL)
+
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    signal.signal(sig, _on_signal)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass    # not the main thread / unsupported platform
         try:
             self._httpd.serve_forever()
         except KeyboardInterrupt:
-            pass
+            self.drain()
         finally:
             self.stop()
 
+    def drain(self, deadline_s: Optional[float] = None) -> bool:
+        """Graceful shutdown: refuse new runs, checkpoint and wait for
+        in-flight ones (service drain), then close the socket.  Returns
+        True when the pool went idle before the deadline."""
+        idle = self.service.drain(deadline_s)
+        self._shutdown_httpd()
+        return idle
+
     def stop(self) -> None:
-        self._httpd.shutdown()
-        self._httpd.server_close()
+        self._shutdown_httpd()
         self.service.stop()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+
+    def _shutdown_httpd(self) -> None:
+        if getattr(self, "_httpd_closed", False):
+            return
+        self._httpd_closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
 
     def __enter__(self) -> "RunServer":
         return self.start()

@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from .metrics import ServiceMetrics
 from .quotas import QuotaManager
 from .registry import RunRecord, RunRegistry
-from .scheduler import AdmissionError, RunScheduler
+from .scheduler import AdmissionError, DrainingError, RunScheduler
 from .wire import Submission, WireError, encode_value, parse_submission
 
 __all__ = ["ServeConfig", "GraphService", "default_apps"]
@@ -76,19 +76,45 @@ class ServeConfig:
     #: Extra modules imported at startup so submitted serialized graphs
     #: can resolve their kernel registry keys.
     imports: Tuple[str, ...] = ()
+    #: Directory per-run checkpoints are written under
+    #: (``<dir>/<run_id>/``); enables ``POST /runs/<id>/checkpoint``,
+    #: on-fault capture for every cooperative-backend run, and
+    #: checkpoint-on-drain during graceful shutdown.  ``None`` disables
+    #: server-side checkpointing.
+    checkpoint_dir: Optional[str] = None
+    #: Directory of the crash-safe run-registry journal
+    #: (``<dir>/runs.journal.jsonl``).  A restarted server replays it:
+    #: finished runs keep their state, in-flight runs come back as
+    #: ``error``/``ServerRestart`` with their last checkpoint path.
+    persist_dir: Optional[str] = None
+    #: Seconds the graceful drain waits for in-flight runs before the
+    #: process gives up and stops anyway.
+    drain_deadline_s: float = 10.0
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
 class GraphService:
     """One multi-tenant run service (no sockets; see ``server.py``)."""
 
+    #: Backends whose cooperative scheduler supports in-run checkpoint
+    #: capture (x86sim rejects the ``checkpoint=`` option).
+    CHECKPOINTABLE_BACKENDS = ("cgsim", "pysim", "cgsim-mp")
+
     def __init__(self, config: Optional[ServeConfig] = None):
+        import os
+        import threading
+
         self.config = config or ServeConfig()
         for mod in self.config.imports:
             __import__(mod)
         self.apps = (default_apps() if self.config.apps is None
                      else dict(self.config.apps))
-        self.registry = RunRegistry(max_records=self.config.max_records)
+        journal = None
+        if self.config.persist_dir:
+            journal = os.path.join(self.config.persist_dir,
+                                   "runs.journal.jsonl")
+        self.registry = RunRegistry(max_records=self.config.max_records,
+                                    journal_path=journal)
         self.quotas = QuotaManager(
             max_in_flight=self.config.tenant_in_flight,
             rate=self.config.tenant_rate,
@@ -99,6 +125,10 @@ class GraphService:
             queue_depth=self.config.queue_depth,
         )
         self.metrics = ServiceMetrics()
+        #: run_id -> CheckpointTrigger for currently-executing runs.
+        self._triggers: Dict[str, Any] = {}
+        self._triggers_lock = threading.Lock()
+        self.draining = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -107,6 +137,45 @@ class GraphService:
 
     def stop(self) -> None:
         self.scheduler.stop()
+        self.registry.close()
+
+    def drain(self, deadline_s: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop admitting, checkpoint what's running,
+        wait for in-flight runs, then stop the pool.
+
+        New submissions are refused with HTTP 503 + Retry-After the
+        moment draining starts.  Every currently-executing run with a
+        registered checkpoint trigger is asked to capture at its next
+        quiescent point, so even if the deadline expires and the process
+        exits with runs unfinished, a restart recovers their records
+        (via the journal) *with* a resumable checkpoint path.  Returns
+        True when the pool went idle before the deadline.
+        """
+        import os
+
+        deadline = (self.config.drain_deadline_s
+                    if deadline_s is None else float(deadline_s))
+        self.draining = True
+        with self._triggers_lock:
+            triggers = list(self._triggers.values())
+        for trig in triggers:
+            trig.request()
+        idle = self.scheduler.wait_idle(timeout=deadline)
+        # Runs that did not finish before the deadline: journal their
+        # newest on-disk checkpoint so the post-restart record carries a
+        # resumable path.
+        if self.config.checkpoint_dir:
+            from ..checkpoint import latest_checkpoint
+
+            with self._triggers_lock:
+                still_running = list(self._triggers.keys())
+            for rid in still_running:
+                path = latest_checkpoint(
+                    os.path.join(self.config.checkpoint_dir, rid), rid)
+                if path:
+                    self.registry.annotate(rid, checkpoint_path=path)
+        self.stop()
+        return idle
 
     # -- submission --------------------------------------------------------
 
@@ -126,6 +195,9 @@ class GraphService:
         :class:`~repro.serve.scheduler.AdmissionError` when quotas or
         the queue bound reject the run (HTTP 429).
         """
+        if self.draining:
+            self.metrics.count("rejected_draining", tenant=tenant)
+            raise DrainingError()
         self.metrics.count("submitted", tenant=tenant)
         sub = parse_submission(
             body,
@@ -134,6 +206,16 @@ class GraphService:
             default_on_error=self.config.default_on_error,
             max_body=self.config.max_body_bytes,
         )
+        if getattr(sub.retry, "resume", False) and (
+                not self.config.checkpoint_dir
+                or sub.backend not in self.CHECKPOINTABLE_BACKENDS):
+            raise WireError(
+                "retry.resume needs server-side checkpointing: the "
+                "server must run with --checkpoint-dir and the backend "
+                "must support in-run capture "
+                f"({', '.join(self.CHECKPOINTABLE_BACKENDS)})",
+                status=409,
+            )
         decision = self.quotas.admit(tenant)
         if not decision:
             self.metrics.count("rejected_quota", tenant=tenant,
@@ -182,6 +264,11 @@ class GraphService:
         profile = self._profile_spec(options.pop("profile", False))
         watchdog = self._build_watchdog(
             record, options.pop("watchdog", None))
+        ckpt_policy = self._build_checkpoint(record, sub)
+        if ckpt_policy is not None:
+            options["checkpoint"] = ckpt_policy
+            with self._triggers_lock:
+                self._triggers[record.run_id] = ckpt_policy.trigger
         try:
             result = run_graph(
                 sub.graph, *sub.inputs, *sinks,
@@ -196,6 +283,15 @@ class GraphService:
                 **options,
             )
             state = result.status
+            ckpt_path = ""
+            if result.checkpoint is not None:
+                ckpt_path = str(getattr(result.checkpoint, "last", "") or "")
+            if not ckpt_path and result.failure is not None:
+                ckpt_path = str(
+                    getattr(result.failure, "checkpoint_path", "") or "")
+            if ckpt_path:
+                self.registry.annotate(record.run_id,
+                                       checkpoint_path=ckpt_path)
             outputs_wire = None
             if sub.return_outputs:
                 outputs_wire = [encode_value(s) for s in sinks]
@@ -214,6 +310,10 @@ class GraphService:
             # Uncontained raise (bad option combo, strict deadlock,
             # service bug): isolate it to this run record.
             state = "error"
+            ckpt_path = str(getattr(exc, "checkpoint_path", "") or "")
+            if ckpt_path:
+                self.registry.annotate(record.run_id,
+                                       checkpoint_path=ckpt_path)
             self.registry.finish(
                 record.run_id, "error",
                 error={
@@ -222,6 +322,9 @@ class GraphService:
                 },
             )
         finally:
+            if ckpt_policy is not None:
+                with self._triggers_lock:
+                    self._triggers.pop(record.run_id, None)
             self.quotas.release(record.tenant)
             finished = self.registry.get(record.run_id)
             latency = (finished.latency_s
@@ -231,6 +334,59 @@ class GraphService:
                 record.tenant, record.graph_name, state, latency,
                 trace_metrics=trace_metrics, run_id=record.run_id,
             )
+
+    def _build_checkpoint(self, record: RunRecord, sub: Submission):
+        """Per-run :class:`~repro.checkpoint.CheckpointPolicy` when the
+        server has a ``checkpoint_dir`` and the backend's scheduler can
+        capture one (x86sim cannot).  Each run gets its own
+        subdirectory and an explicit trigger, registered in
+        ``self._triggers`` so ``POST /runs/<id>/checkpoint`` and the
+        graceful drain can request a capture at the next quiescent
+        point."""
+        import os
+
+        ckpt_dir = self.config.checkpoint_dir
+        if not ckpt_dir or sub.backend not in self.CHECKPOINTABLE_BACKENDS:
+            return None
+        from ..checkpoint import CheckpointPolicy, CheckpointTrigger
+
+        return CheckpointPolicy(
+            dir=os.path.join(ckpt_dir, record.run_id),
+            on_fault=True,
+            run_id=record.run_id,
+            trigger=CheckpointTrigger(),
+        )
+
+    def request_checkpoint(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """Ask a running run to checkpoint at its next quiescent point
+        (``POST /runs/<id>/checkpoint``).
+
+        Returns ``None`` for an unknown run (HTTP 404).  Raises
+        :class:`WireError` 409 when the run is not currently executing
+        or was started without server-side checkpointing (no
+        ``checkpoint_dir`` configured, or an x86sim run)."""
+        rec = self.registry.get(run_id)
+        if rec is None:
+            return None
+        with self._triggers_lock:
+            trigger = self._triggers.get(run_id)
+        if trigger is None:
+            if rec.state in ("queued", "running"):
+                raise WireError(
+                    f"run {run_id} has no checkpoint trigger (server "
+                    f"started without --checkpoint-dir, or backend "
+                    f"{rec.backend!r} does not support in-run capture)",
+                    status=409,
+                )
+            raise WireError(
+                f"run {run_id} is {rec.state}; checkpoints can only be "
+                f"requested while it is running", status=409,
+            )
+        trigger.request()
+        self.metrics.count("checkpoint_requested", tenant=rec.tenant,
+                           graph=rec.graph_name)
+        return {"run_id": run_id, "requested": True,
+                "state": rec.state}
 
     def _profile_spec(self, profile: Any) -> Any:
         """Attach the server's flamegraph directory to a tenant's

@@ -227,16 +227,23 @@ def _parse_retry(spec: Any):
             raise WireError("options.retry attempt count must be >= 1")
         return spec
     if isinstance(spec, dict):
+        unknown = set(spec) - {"attempts", "backoff", "resume"}
+        if unknown:
+            raise WireError(
+                f"unknown retry options: {sorted(unknown)}; allowed: "
+                f"attempts, backoff, resume"
+            )
         try:
             return RetryPolicy(
                 attempts=int(spec.get("attempts", 2)),
                 backoff=float(spec.get("backoff", 0.0)),
+                resume=bool(spec.get("resume", False)),
             )
         except (TypeError, ValueError) as exc:
             raise WireError(f"options.retry: {exc}") from exc
     raise WireError(
         "options.retry must be an int attempt count or "
-        '{"attempts": n, "backoff": s}'
+        '{"attempts": n, "backoff": s, "resume": bool}'
     )
 
 

@@ -1,0 +1,116 @@
+"""On-disk checkpoint format: versioning, checksums, atomicity."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    Checkpoint,
+    SinkSnapshot,
+    latest_checkpoint,
+    prefix_digest,
+)
+from repro.checkpoint.format import default_checkpoint_name
+from repro.errors import CheckpointError
+
+
+def _sample(run_id="r1", seq=0):
+    values = [1, 2, 3]
+    return Checkpoint(
+        graph_name="g",
+        graph_digest="abc123",
+        backend="cgsim",
+        run_id=run_id,
+        reason="interval",
+        seq=seq,
+        step=7,
+        items_in=3,
+        items_out=3,
+        sinks=[SinkSnapshot(io_index=1, kind="list", delivered=3,
+                            digest=prefix_digest(values), data=values)],
+        sources={0: 3},
+        fired_faults=[{"fault": "kernel_raise", "task": "k_0",
+                       "at_resume": 2}],
+        queue_fills={"net_a": 1},
+        wall_ts=123.5,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        ckpt = _sample()
+        path = ckpt.save(tmp_path / "c.ckpt.json")
+        back = Checkpoint.load(path)
+        assert back.to_payload() == ckpt.to_payload()
+        assert back.schema == CHECKPOINT_SCHEMA_VERSION
+        assert back.sources == {0: 3}
+        assert back.fired_faults[0]["fault"] == "kernel_raise"
+
+    def test_decoded_sink_ndarray_round_trip(self, tmp_path):
+        arr = [np.arange(4, dtype=np.float32) * 1.5]
+        from repro.serve.wire import encode_value
+
+        snap = SinkSnapshot(io_index=1, kind="list", delivered=1,
+                            digest=prefix_digest(arr),
+                            data=[encode_value(arr[0])])
+        ckpt = _sample()
+        ckpt.sinks = [snap]
+        back = Checkpoint.load(ckpt.save(tmp_path / "c.ckpt.json"))
+        decoded = back.decoded_sink(back.sinks[0])
+        assert np.array_equal(decoded[0], arr[0])
+        assert decoded[0].dtype == np.float32
+
+    def test_save_leaves_no_tmp_file(self, tmp_path):
+        _sample().save(tmp_path / "c.ckpt.json")
+        assert os.listdir(tmp_path) == ["c.ckpt.json"]
+
+
+class TestVerification:
+    def test_corrupted_payload_fails_checksum(self, tmp_path):
+        path = _sample().save(tmp_path / "c.ckpt.json")
+        doc = json.loads(open(path).read())
+        doc["payload"]["items_out"] = 999     # bit flip
+        open(path, "w").write(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="checksum"):
+            Checkpoint.load(path)
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        ckpt = _sample()
+        ckpt.schema = CHECKPOINT_SCHEMA_VERSION + 1
+        path = ckpt.save(tmp_path / "c.ckpt.json")
+        with pytest.raises(CheckpointError, match="schema"):
+            Checkpoint.load(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = _sample().save(tmp_path / "c.ckpt.json")
+        text = open(path).read()
+        open(path, "w").write(text[: len(text) // 2])
+        with pytest.raises(CheckpointError, match="JSON"):
+            Checkpoint.load(path)
+
+    def test_non_checkpoint_json_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(CheckpointError, match="not a cgsim checkpoint"):
+            Checkpoint.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            Checkpoint.load(tmp_path / "nope.ckpt.json")
+
+
+class TestLatest:
+    def test_latest_by_sequence_and_run(self, tmp_path):
+        for seq in range(3):
+            _sample(run_id="a", seq=seq).save(
+                tmp_path / default_checkpoint_name("a", seq))
+        _sample(run_id="b", seq=0).save(
+            tmp_path / default_checkpoint_name("b", 0))
+        assert latest_checkpoint(tmp_path, "a").endswith("ckpt_a_0002.ckpt.json")
+        assert latest_checkpoint(tmp_path, "b").endswith("ckpt_b_0000.ckpt.json")
+        assert latest_checkpoint(tmp_path) is not None
+        assert latest_checkpoint(tmp_path / "missing") is None
+        assert latest_checkpoint(tmp_path, "zzz") is None

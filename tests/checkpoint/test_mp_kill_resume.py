@@ -1,0 +1,135 @@
+"""Kill a cgsim-mp worker mid-run, checkpoint, resume, bit-identical.
+
+The CI ``checkpoint-smoke`` acceptance path: a worker process hard-dies
+(``os._exit``, the segfault/OOM analog) once; the manager checkpoints
+the surviving shards' merged progress; ``RetryPolicy(resume=True)``
+re-forks a fresh process farm (re-placing the dead realm) and the
+resumed run's sinks are bit-identical to the crash-free run — on
+cgsim-mp itself and cross-backend on plain cgsim.
+"""
+
+import os
+
+import pytest
+
+from repro.core import (
+    AIE,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    compute_kernel,
+    int64,
+    make_compute_graph,
+)
+from repro.exec import run_graph
+from repro.faults import RetryPolicy
+from repro.mp import WorkerCrashError
+
+#: Env var naming a flag file: the crash kernel dies only while the
+#: flag is absent, so the retried (re-forked) attempt survives.
+_FLAG_ENV = "CKPT_TEST_CRASH_FLAG"
+
+
+@compute_kernel(realm=AIE)
+async def ck_head(a: In[int64], z: Out[int64]):
+    while True:
+        await z.put(10 * (await a.get()))
+
+
+@compute_kernel(realm=AIE)
+async def ck_crash_once(a: In[int64], z: Out[int64]):
+    seen = 0
+    while True:
+        v = await a.get()
+        seen += 1
+        flag = os.environ.get(_FLAG_ENV, "")
+        if seen >= 3 and flag and not os.path.exists(flag):
+            open(flag, "w").close()
+            os._exit(21)    # hard worker death, exactly once
+        await z.put(v + 1)
+
+
+@compute_kernel(realm=AIE)
+async def ck_tail(a: In[int64], z: Out[int64]):
+    while True:
+        await z.put(2 * (await a.get()))
+
+
+@make_compute_graph(name="ckpt_kill_chain")
+def KILL_CHAIN(x: IoC[int64]):
+    a = IoConnector(int64, name="a")
+    b = IoConnector(int64, name="b")
+    y = IoConnector(int64, name="y")
+    ck_head(x, a)
+    ck_crash_once(a, b)
+    ck_tail(b, y)
+    return y
+
+
+_DATA = list(range(1, 25))
+_WANT = [2 * (10 * v + 1) for v in _DATA]
+
+
+@pytest.fixture
+def crash_flag(tmp_path, monkeypatch):
+    flag = tmp_path / "crashed.flag"
+    monkeypatch.setenv(_FLAG_ENV, str(flag))
+    return flag
+
+
+class TestKillResume:
+    def test_worker_death_leaves_resumable_checkpoint(self, tmp_path,
+                                                      crash_flag):
+        ckdir = tmp_path / "ck"
+        with pytest.raises(WorkerCrashError) as exc:
+            run_graph(KILL_CHAIN, _DATA, [], backend="cgsim-mp",
+                      workers=2, checkpoint=str(ckdir))
+        err = exc.value
+        assert err.checkpoint_path, "worker death must leave a checkpoint"
+        assert err.report.checkpoint_path == err.checkpoint_path
+        # The dead shard's checkpoint resumes on plain cgsim
+        # (cross-backend: the re-placed realm runs anywhere).
+        sink = []
+        result = run_graph(KILL_CHAIN, _DATA, sink, backend="cgsim",
+                           resume_from=err.checkpoint_path)
+        assert result.completed
+        assert sink == _WANT
+
+    def test_retry_resume_refores_dead_realm(self, tmp_path, crash_flag):
+        """One invocation: crash -> checkpoint -> re-fork -> complete."""
+        sink = []
+        result = run_graph(
+            KILL_CHAIN, _DATA, sink, backend="cgsim-mp", workers=2,
+            checkpoint=str(tmp_path / "ck"),
+            retry=RetryPolicy(attempts=3, resume=True),
+        )
+        assert result.completed
+        assert [a.outcome for a in result.attempts] == ["raised", "ok"]
+        assert result.resumed_from
+        assert sink == _WANT
+        assert crash_flag.exists()  # the crash really happened
+
+    def test_resume_on_mp_matches_crash_free_run(self, tmp_path,
+                                                 crash_flag):
+        ckdir = tmp_path / "ck"
+        with pytest.raises(WorkerCrashError) as exc:
+            run_graph(KILL_CHAIN, _DATA, [], backend="cgsim-mp",
+                      workers=2, checkpoint=str(ckdir))
+        sink = []
+        result = run_graph(KILL_CHAIN, _DATA, sink, backend="cgsim-mp",
+                           workers=2,
+                           resume_from=exc.value.checkpoint_path)
+        assert result.completed
+        assert sink == _WANT
+
+    def test_mp_report_carries_checkpoint_info(self, tmp_path, crash_flag):
+        sink = []
+        result = run_graph(
+            KILL_CHAIN, _DATA, sink, backend="cgsim-mp", workers=2,
+            checkpoint={"dir": str(tmp_path / "ck"), "at_end": True},
+            retry=RetryPolicy(attempts=3, resume=True),
+        )
+        assert result.completed
+        assert result.checkpoint is not None
+        assert result.checkpoint.reason == "final"

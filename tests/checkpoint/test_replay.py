@@ -1,0 +1,110 @@
+"""Deterministic replay from an observe event stream.
+
+The chaos-suite triage contract: a failed seeded run's trace alone is
+enough to (a) rebuild the same FailureReport with **no execution and no
+live fault re-injection** (:func:`reconstruct_failure`), and (b)
+re-execute the run with the recorded faults pinned in place for
+bit-identical sinks and the same failing kernel (:func:`replay_run`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import bilinear, datasets, iir
+from repro.checkpoint import plan_from_events, reconstruct_failure, replay_run
+from repro.exec import resolve_graph, run_graph
+from repro.faults import FaultPlan, KernelFault
+from repro.observe.sinks import read_jsonl
+
+_IIR_SRC = datasets.iir_blocks(2)
+_PX, _FR = datasets.bilinear_blocks(2)
+
+
+def _failed_trace(tmp_path):
+    """One seeded chaos-style failure with a JSONL trace on disk."""
+    path = tmp_path / "events.jsonl"
+    result = run_graph(
+        iir.IIR_GRAPH, _IIR_SRC, [], backend="cgsim",
+        observe=str(path), on_error="isolate",
+        faults=KernelFault(kernel="iir_sos_kernel_0", at_resume=1),
+    )
+    assert not result.completed
+    return result, read_jsonl(path)
+
+
+class TestReconstruct:
+    def test_failure_report_rebuilt_without_execution(self, tmp_path):
+        result, events = _failed_trace(tmp_path)
+        live = result.failure
+        rebuilt = reconstruct_failure(events, iir.IIR_GRAPH)
+        assert rebuilt is not None
+        assert rebuilt.failing_task == live.failing_task
+        assert set(rebuilt.cancelled) == set(live.cancelled)
+        assert rebuilt.sink_status == dict(live.sink_status)
+        assert rebuilt.failures[0].injected
+        assert rebuilt.policy == "replay"
+
+    def test_clean_trace_reconstructs_to_none(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        result = run_graph(iir.IIR_GRAPH, _IIR_SRC, [], backend="cgsim",
+                           observe=str(path))
+        assert result.completed
+        assert reconstruct_failure(read_jsonl(path), iir.IIR_GRAPH) is None
+
+
+class TestReplay:
+    def test_replay_reproduces_failure_and_sinks(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        orig_sink = []
+        orig = run_graph(
+            iir.IIR_GRAPH, _IIR_SRC, orig_sink, backend="cgsim",
+            observe=str(path), on_error="isolate",
+            faults=KernelFault(kernel="iir_sos_kernel_0", at_resume=1),
+        )
+        assert not orig.completed
+        replay_sink = []
+        replayed = replay_run(iir.IIR_GRAPH, _IIR_SRC, replay_sink,
+                              events=read_jsonl(path))
+        assert not replayed.completed
+        assert replayed.failure.failing_task == orig.failure.failing_task
+        assert replayed.failure.cancelled == orig.failure.cancelled
+        assert len(replay_sink) == len(orig_sink)
+        for g, w in zip(replay_sink, orig_sink):
+            assert np.array_equal(np.asarray(g), np.asarray(w))
+
+    def test_replay_of_seeded_chaos_plan(self, tmp_path):
+        """A FaultPlan.random failure replays from its trace alone."""
+        graph = resolve_graph(bilinear.BILINEAR_GRAPH)
+        src = (_PX.reshape(-1), _FR.reshape(-1))
+        for seed in (11, 23, 37):
+            plan = FaultPlan.random(graph, seed=seed, n=1,
+                                    kinds=("kernel",))
+            path = tmp_path / f"seed{seed}.jsonl"
+            orig_sink = []
+            orig = run_graph(bilinear.BILINEAR_GRAPH, *src, orig_sink,
+                             backend="cgsim", observe=str(path),
+                             on_error="isolate", faults=plan, strict=False)
+            if orig.failure is None:
+                continue        # injection window never opened
+            replay_sink = []
+            replayed = replay_run(bilinear.BILINEAR_GRAPH, *src,
+                                  replay_sink, events=read_jsonl(path),
+                                  strict=False)
+            assert replayed.failure is not None
+            assert replayed.failure.failing_task == orig.failure.failing_task
+            assert [np.asarray(x).tobytes() for x in replay_sink] == \
+                   [np.asarray(x).tobytes() for x in orig_sink]
+            return
+        pytest.skip("no seed produced a failure at this scale")
+
+    def test_clean_trace_replays_clean(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        base = []
+        run_graph(iir.IIR_GRAPH, _IIR_SRC, base, backend="cgsim",
+                  observe=str(path))
+        events = read_jsonl(path)
+        assert plan_from_events(events) is None
+        sink = []
+        replayed = replay_run(iir.IIR_GRAPH, _IIR_SRC, sink, events=events)
+        assert replayed.completed
+        assert len(sink) == len(base)

@@ -1,0 +1,122 @@
+"""Property: resume from ANY quiescent point is bit-identical.
+
+For each paper app, a cgsim run with ``every_steps=1`` captures a
+checkpoint at every scheduler context switch (every quiescent point).
+Resuming each of those checkpoints must reproduce the fault-free sinks
+bit-for-bit — on cgsim itself, and (sampled, forks/threads are
+expensive) cross-backend on cgsim-mp and x86sim.  This is the
+checkpoint layer's core determinism contract: a checkpoint is a
+consistent cut, wherever it was taken and wherever it is restored.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps import bilinear, bitonic, datasets, farrow, iir
+from repro.errors import CheckpointError
+from repro.exec import run_graph
+
+_FARROW_BLOCKS, _FARROW_MU = datasets.farrow_blocks(2)
+_BILINEAR_PX, _BILINEAR_FR = datasets.bilinear_blocks(2)
+APPS = {
+    "bitonic": (bitonic.BITONIC_GRAPH,
+                (datasets.bitonic_blocks(2).reshape(-1),)),
+    "bilinear": (bilinear.BILINEAR_GRAPH,
+                 (_BILINEAR_PX.reshape(-1), _BILINEAR_FR.reshape(-1))),
+    "farrow": (farrow.FARROW_GRAPH, (_FARROW_BLOCKS, int(_FARROW_MU))),
+    "iir": (iir.IIR_GRAPH, (datasets.iir_blocks(2),)),
+}
+
+
+def _assert_bit_identical(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert np.array_equal(np.asarray(g), np.asarray(w))
+
+
+def _sample(paths, n):
+    """First, last, and evenly spaced interior checkpoints."""
+    if len(paths) <= n:
+        return paths
+    idx = np.linspace(0, len(paths) - 1, n).astype(int)
+    return [paths[i] for i in sorted(set(idx))]
+
+
+@pytest.fixture(scope="module")
+def captured(tmp_path_factory):
+    """app -> (baseline sinks, every-quiescent-point checkpoint paths)."""
+    out = {}
+    for app, (graph, sources) in APPS.items():
+        base = []
+        result = run_graph(graph, *sources, base, backend="cgsim")
+        assert result.completed
+
+        ckdir = tmp_path_factory.mktemp(f"ck_{app}")
+        sink = []
+        result = run_graph(
+            graph, *sources, sink, backend="cgsim",
+            checkpoint={"dir": str(ckdir), "every_steps": 1},
+        )
+        assert result.completed
+        _assert_bit_identical(sink, base)   # capture itself is invisible
+        paths = sorted(glob.glob(os.path.join(ckdir, "*.ckpt.json")))
+        assert paths, f"{app}: no checkpoints captured"
+        assert result.checkpoint is not None
+        assert result.checkpoint.count == len(paths)
+        out[app] = (base, paths)
+    return out
+
+
+class TestEveryQuiescentPoint:
+    @pytest.mark.parametrize("app", sorted(APPS))
+    def test_resume_every_checkpoint_cgsim(self, captured, app):
+        graph, sources = APPS[app]
+        base, paths = captured[app]
+        for path in paths:
+            sink = []
+            result = run_graph(graph, *sources, sink, backend="cgsim",
+                               resume_from=path)
+            assert result.completed, path
+            assert result.resumed_from == path
+            _assert_bit_identical(sink, base)
+
+    @pytest.mark.parametrize("app", sorted(APPS))
+    def test_resume_cross_backend_x86sim(self, captured, app):
+        graph, sources = APPS[app]
+        base, paths = captured[app]
+        for path in _sample(paths, 3):
+            sink = []
+            result = run_graph(graph, *sources, sink, backend="x86sim",
+                               resume_from=path, timeout=30.0)
+            assert result.completed, path
+            _assert_bit_identical(sink, base)
+
+    @pytest.mark.parametrize("app", ["bitonic", "bilinear"])
+    def test_resume_cross_backend_cgsim_mp(self, captured, app):
+        graph, sources = APPS[app]
+        base, paths = captured[app]
+        for path in _sample(paths, 2):
+            sink = []
+            result = run_graph(graph, *sources, sink, backend="cgsim-mp",
+                               workers=2, resume_from=path)
+            assert result.completed, path
+            _assert_bit_identical(sink, base)
+
+
+class TestResumeGuards:
+    def test_wrong_graph_rejected(self, captured):
+        _, paths = captured["iir"]
+        graph, sources = APPS["bitonic"]
+        sink = []
+        with pytest.raises(CheckpointError, match="digest|graph"):
+            run_graph(graph, *sources, sink, backend="cgsim",
+                      resume_from=paths[0])
+
+    def test_x86sim_rejects_capture_option(self, tmp_path):
+        graph, sources = APPS["iir"]
+        with pytest.raises(CheckpointError, match="x86sim"):
+            run_graph(graph, *sources, [], backend="x86sim",
+                      checkpoint=str(tmp_path), timeout=30.0)

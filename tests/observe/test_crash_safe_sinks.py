@@ -1,0 +1,114 @@
+"""Crash-safety of the disk trace sinks: atomic publish + .tmp fallback.
+
+A hard-killed run must never leave a torn trace at the final path, and
+whatever prefix was flushed must stay readable — the replay CLI
+reconstructs crashed runs from exactly this.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.observe.events import Event
+from repro.observe.sinks import (
+    JSONL_FLUSH_EVERY,
+    ChromeTraceSink,
+    JsonlSink,
+    read_jsonl,
+)
+
+
+def _ev(i):
+    return Event(kind="task.resume", ts=float(i), task=f"k_{i}")
+
+
+class TestJsonlSink:
+    def test_streams_to_tmp_until_close(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.write(_ev(0))
+        assert not path.exists()
+        assert (tmp_path / "t.jsonl.tmp").exists()
+        sink.close()
+        assert path.exists()
+        assert not (tmp_path / "t.jsonl.tmp").exists()
+        assert len(read_jsonl(path)) == 1
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.write(_ev(0))
+        sink.close()
+        sink.close()
+        assert len(read_jsonl(tmp_path / "t.jsonl")) == 1
+
+    def test_flushed_prefix_survives_hard_kill(self, tmp_path):
+        """Simulated kill: the sink is never closed; the flushed prefix
+        must be recoverable through the read fallback."""
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        n = JSONL_FLUSH_EVERY * 2 + 7
+        for i in range(n):
+            sink.write(_ev(i))
+        # no close() — process "died".  The OS-buffered flush boundary
+        # guarantees at least two full flush windows on disk.
+        events = read_jsonl(path)       # falls back to .tmp
+        assert len(events) >= JSONL_FLUSH_EVERY * 2
+        assert events[0].task == "k_0"
+        sink.close()    # cleanup
+
+    def test_final_path_wins_over_stale_tmp(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.write(_ev(0))
+        sink.close()
+        (tmp_path / "t.jsonl.tmp").write_text("garbage\n")
+        events = read_jsonl(path)
+        assert len(events) == 1
+
+    def test_read_missing_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            read_jsonl(tmp_path / "absent.jsonl")
+
+
+class TestChromeTraceSink:
+    def test_atomic_export_on_close(self, tmp_path):
+        path = tmp_path / "t.trace.json"
+        sink = ChromeTraceSink(path)
+        for i in range(5):
+            sink.write(_ev(i))
+        assert not path.exists()
+        sink.close()
+        assert path.exists()
+        assert not (tmp_path / "t.trace.json.tmp").exists()
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+
+    def test_close_idempotent(self, tmp_path):
+        path = tmp_path / "t.trace.json"
+        sink = ChromeTraceSink(path)
+        sink.write(_ev(0))
+        sink.close()
+        before = path.stat().st_mtime_ns
+        sink.close()
+        assert path.stat().st_mtime_ns == before
+
+
+class TestRunAbortFlushesTrace:
+    def test_failed_run_still_publishes_jsonl(self, tmp_path):
+        """The tracer closes its sinks even when the run fails, so the
+        trace of a contained failure lands at the final path."""
+        from repro.apps import datasets, iir
+        from repro.exec import run_graph
+        from repro.faults import KernelFault
+
+        path = tmp_path / "fail.jsonl"
+        result = run_graph(
+            iir.IIR_GRAPH, datasets.iir_blocks(1), [], backend="cgsim",
+            observe=str(path), on_error="isolate",
+            faults=KernelFault(kernel="iir_sos_kernel_0", at_resume=1),
+        )
+        assert not result.completed
+        assert path.exists()
+        assert not (tmp_path / "fail.jsonl.tmp").exists()
+        assert any(ev.kind == "task.fail" for ev in read_jsonl(path))

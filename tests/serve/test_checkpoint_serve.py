@@ -1,0 +1,252 @@
+"""Serve-layer checkpointing: explicit triggers, graceful drain,
+crash-safe registry recovery, and the retry.resume wire option."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.apps import datasets
+from repro.core import (
+    AIE,
+    In,
+    IoC,
+    IoConnector,
+    Out,
+    compute_kernel,
+    float64,
+    make_compute_graph,
+)
+from repro.exec import run_graph
+from repro.serve import GraphService, RunServer, ServeConfig
+from repro.serve.scheduler import DrainingError
+from repro.serve.service import default_apps
+from repro.serve.wire import WireError, encode_value, parse_submission
+
+
+@compute_kernel(realm=AIE)
+async def serve_slow_double(a: In[float64], z: Out[float64]):
+    while True:
+        v = await a.get()
+        time.sleep(0.02)
+        await z.put(2.0 * v)
+
+
+@make_compute_graph(name="serve_slow_app")
+def SLOW_APP(x: IoC[float64]):
+    y = IoConnector(float64, name="y")
+    serve_slow_double(x, y)
+    return y
+
+
+_SLOW_IN = [float(i) for i in range(60)]
+_SLOW_WANT = [2.0 * i for i in range(60)]
+
+
+def _config(tmp_path, **kw):
+    apps = dict(default_apps())
+    apps["slow"] = SLOW_APP
+    kw.setdefault("workers", 2)
+    kw.setdefault("checkpoint_dir", str(tmp_path / "ckpt"))
+    kw.setdefault("persist_dir", str(tmp_path / "persist"))
+    kw.setdefault("drain_deadline_s", 30.0)
+    return ServeConfig(apps=apps, **kw)
+
+
+def _post(url, doc=None):
+    req = urllib.request.Request(
+        url, method="POST",
+        data=json.dumps(doc).encode() if doc is not None else b"{}",
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=30) as r:
+            return r.status, json.loads(r.read()), dict(r.headers)
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read()), dict(e.headers)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as r:
+        return json.loads(r.read())
+
+
+def _wait(base, rid):
+    for _ in range(600):
+        rec = _get(f"{base}/runs/{rid}")
+        if rec["state"] not in ("queued", "running"):
+            return rec
+        time.sleep(0.02)
+    raise AssertionError(f"run {rid} never finished")
+
+
+class TestExplicitTrigger:
+    def test_post_checkpoint_captures_mid_run(self, tmp_path):
+        with RunServer(GraphService(_config(tmp_path)), port=0) as srv:
+            st, doc, _ = _post(f"{srv.url}/runs", {
+                "app": "slow", "inputs": [_SLOW_IN],
+                "options": {"backend": "cgsim"}})
+            assert st == 202
+            rid = doc["id"]
+            time.sleep(0.2)     # let it start
+            st, doc, _ = _post(f"{srv.url}/runs/{rid}/checkpoint")
+            assert st == 202 and doc["requested"]
+            rec = _wait(srv.url, rid)
+            assert rec["state"] == "ok"
+            assert rec["checkpoint_path"]
+            # The captured checkpoint resumes offline, bit-identically.
+            sink = []
+            result = run_graph(SLOW_APP, _SLOW_IN, sink, backend="cgsim",
+                               resume_from=rec["checkpoint_path"])
+            assert result.completed and sink == _SLOW_WANT
+
+    def test_unknown_run_404_and_finished_409(self, tmp_path):
+        with RunServer(GraphService(_config(tmp_path)), port=0) as srv:
+            st, _, _ = _post(f"{srv.url}/runs/nope/checkpoint")
+            assert st == 404
+            st, doc, _ = _post(f"{srv.url}/runs", {
+                "app": "iir",
+                "inputs": [encode_value(datasets.iir_blocks(1))],
+                "options": {"backend": "cgsim"}})
+            rid = doc["id"]
+            _wait(srv.url, rid)
+            st, doc, _ = _post(f"{srv.url}/runs/{rid}/checkpoint")
+            assert st == 409
+
+    def test_409_when_server_has_no_checkpoint_dir(self, tmp_path):
+        cfg = _config(tmp_path, checkpoint_dir=None)
+        service = GraphService(cfg)
+        with RunServer(service, port=0) as srv:
+            st, doc, _ = _post(f"{srv.url}/runs", {
+                "app": "slow", "inputs": [_SLOW_IN],
+                "options": {"backend": "cgsim"}})
+            rid = doc["id"]
+            time.sleep(0.2)
+            st, doc, _ = _post(f"{srv.url}/runs/{rid}/checkpoint")
+            assert st == 409
+            assert "checkpoint-dir" in doc["error"]
+            _wait(srv.url, rid)
+
+
+class TestGracefulDrain:
+    def test_drain_503_checkpoint_and_recovery(self, tmp_path):
+        cfg = _config(tmp_path)
+        srv = RunServer(GraphService(cfg), port=0).start()
+        st, doc, _ = _post(f"{srv.url}/runs", {
+            "app": "slow", "inputs": [_SLOW_IN],
+            "options": {"backend": "cgsim"}})
+        rid = doc["id"]
+        time.sleep(0.2)
+        url = srv.url
+        t = threading.Thread(target=srv.drain)
+        t.start()
+        time.sleep(0.2)
+        # New submissions are refused with 503 + Retry-After mid-drain.
+        st, doc, hdrs = _post(f"{url}/runs", {
+            "app": "slow", "inputs": [_SLOW_IN],
+            "options": {"backend": "cgsim"}})
+        assert st == 503
+        assert float(hdrs["Retry-After"]) > 0
+        t.join(timeout=60)
+        assert not t.is_alive()
+
+        # A restarted service recovers the record from the journal,
+        # with a resumable checkpoint path (the drain triggered one).
+        svc2 = GraphService(cfg)
+        rec = svc2.registry.get(rid)
+        assert rec is not None
+        assert rec.state == "ok"            # drain waited for it
+        assert rec.checkpoint_path
+        sink = []
+        result = run_graph(SLOW_APP, _SLOW_IN, sink, backend="cgsim",
+                           resume_from=rec.checkpoint_path)
+        assert result.completed and sink == _SLOW_WANT
+        svc2.stop()
+
+    def test_in_flight_run_recovers_as_server_restart(self, tmp_path):
+        """A journal whose run never finished (hard-killed server)
+        recovers as error/ServerRestart carrying the checkpoint path."""
+        cfg = _config(tmp_path)
+        service = GraphService(cfg)
+        rec = service.registry.create(tenant="t", graph_name="slow",
+                                      backend="cgsim")
+        service.registry.mark_running(rec.run_id)
+        service.registry.annotate(rec.run_id,
+                                  checkpoint_path="/ck/r1_0000.ckpt.json")
+        # no finish(): simulate the process dying here.
+        service.registry.close()
+        service.scheduler.stop()
+
+        svc2 = GraphService(cfg)
+        back = svc2.registry.get(rec.run_id)
+        assert back.state == "error"
+        assert back.error["error_type"] == "ServerRestart"
+        assert "resume_from" in back.error["error"]
+        assert back.checkpoint_path == "/ck/r1_0000.ckpt.json"
+        assert rec.run_id in svc2.registry.recovered
+        # Recovery compacts: a third boot sees the same terminal state.
+        svc2.stop()
+        svc3 = GraphService(cfg)
+        assert svc3.registry.get(rec.run_id).state == "error"
+        assert svc3.registry.recovered == []
+        svc3.stop()
+
+    def test_draining_error_is_503(self):
+        err = DrainingError()
+        assert err.status == 503
+        assert err.retry_after_s > 0
+
+
+class TestRetryResumeWire:
+    _APPS = {"iir": default_apps()["iir"]}
+
+    def _body(self, retry):
+        return json.dumps({
+            "app": "iir",
+            "inputs": [encode_value(datasets.iir_blocks(1))],
+            "options": {"backend": "cgsim", "retry": retry},
+        }).encode()
+
+    def test_resume_key_parses(self):
+        sub = parse_submission(
+            self._body({"attempts": 3, "resume": True}),
+            apps=self._APPS, allowed_backends=("cgsim",))
+        assert sub.retry.resume is True
+        assert sub.retry.attempts == 3
+
+    def test_unknown_retry_key_rejected(self):
+        with pytest.raises(WireError, match="unknown retry options"):
+            parse_submission(self._body({"attempts": 2, "bogus": 1}),
+                             apps=self._APPS, allowed_backends=("cgsim",))
+
+    def test_resume_without_server_checkpointing_409(self, tmp_path):
+        service = GraphService(_config(tmp_path, checkpoint_dir=None))
+        with pytest.raises(WireError, match="checkpoint-dir"):
+            service.submit_json("t", {
+                "app": "iir",
+                "inputs": [encode_value(datasets.iir_blocks(1))],
+                "options": {"backend": "cgsim",
+                            "retry": {"attempts": 2, "resume": True}},
+            })
+        service.stop()
+
+    def test_resume_retry_survives_injected_fault_e2e(self, tmp_path):
+        with RunServer(GraphService(_config(tmp_path)), port=0) as srv:
+            st, doc, _ = _post(f"{srv.url}/runs", {
+                "app": "iir",
+                "inputs": [encode_value(datasets.iir_blocks(1))],
+                "options": {
+                    "backend": "cgsim", "on_error": "isolate",
+                    "retry": {"attempts": 3, "resume": True},
+                    "faults": [{"kind": "kernel",
+                                "kernel": "iir_sos_kernel_0",
+                                "at_resume": 1}],
+                }})
+            assert st == 202
+            rec = _wait(srv.url, doc["id"])
+            assert rec["state"] == "ok"
+            assert rec["result"]["resumed_from"]
+            assert rec["result"]["suppressed_faults"] == \
+                ["iir_sos_kernel_0"]
